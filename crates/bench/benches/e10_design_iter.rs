@@ -1,0 +1,27 @@
+//! E10 bench: regenerate the design-iteration table, then time one
+//! candidate evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fem2_bench::experiments as ex;
+use fem2_core::machine::{MachineConfig, Topology};
+use fem2_core::DesignSpace;
+
+fn bench(c: &mut Criterion) {
+    eprintln!("{}", ex::e10_design_iter());
+    let mut g = c.benchmark_group("e10_design_iter");
+    g.sample_size(10);
+    let mut space = DesignSpace::standard_sweep();
+    space.requirements.small_n = 10;
+    space.requirements.large_n = 16;
+    g.bench_function("evaluate_candidate", |b| {
+        b.iter(|| {
+            space
+                .evaluate(MachineConfig::clustered(4, 4, Topology::Crossbar))
+                .makespan
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

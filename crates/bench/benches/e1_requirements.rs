@@ -1,0 +1,22 @@
+//! E1 bench: regenerate the requirements table, then time one scenario run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fem2_bench::experiments as ex;
+use fem2_core::machine::MachineConfig;
+use fem2_core::scenario::PlateScenario;
+
+fn bench(c: &mut Criterion) {
+    let (table, _) = ex::e1_requirements(&[8, 16, 32, 48, 64]);
+    eprintln!("{table}");
+    let mut g = c.benchmark_group("e1_requirements");
+    g.sample_size(10);
+    for n in [16usize, 32] {
+        g.bench_function(format!("plate_scenario_n{n}"), |b| {
+            b.iter(|| PlateScenario::square(n, MachineConfig::fem2_default()).run().elapsed)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! E2 bench: regenerate the speedup table, then time the two extremes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fem2_bench::experiments as ex;
+
+fn bench(c: &mut Criterion) {
+    let (table, _) = ex::e2_speedup(48);
+    eprintln!("{table}");
+    let mut g = c.benchmark_group("e2_speedup");
+    g.sample_size(10);
+    g.bench_function("sim_cg_1task", |b| b.iter(|| ex::quick_sim_cg(24, 1)));
+    g.bench_function("sim_cg_28tasks", |b| b.iter(|| ex::quick_sim_cg(24, 28)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

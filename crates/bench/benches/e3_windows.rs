@@ -1,0 +1,27 @@
+//! E3 bench: regenerate the window-cost table, then time window reads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fem2_bench::experiments as ex;
+use fem2_core::machine::MachineConfig;
+use fem2_core::navm::{NaVm, TaskHandle};
+
+fn bench(c: &mut Criterion) {
+    eprintln!("{}", ex::e3_windows());
+    let mut g = c.benchmark_group("e3_windows");
+    g.sample_size(20);
+    let mut vm = NaVm::simulated(MachineConfig::fem2_default(), 8);
+    let a = vm.array(256, 256);
+    vm.fill(a, |r, c| (r * c) as f64);
+    let local = vm.window(a, 0, 16, 0, 16);
+    let remote = vm.window(a, 232, 248, 0, 16);
+    g.bench_function("read_local_block", |b| {
+        b.iter(|| vm.read_window(TaskHandle(0), &local).len())
+    });
+    g.bench_function("read_remote_block", |b| {
+        b.iter(|| vm.read_window(TaskHandle(0), &remote).len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E4 bench: regenerate the task-initiation table, then time a kernel run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fem2_bench::experiments as ex;
+use fem2_core::kernel::{CodeBlock, KernelSim, WorkProfile};
+use fem2_core::machine::{Machine, MachineConfig};
+
+fn bench(c: &mut Criterion) {
+    let (table, _) = ex::e4_task_init(&[1, 8, 64, 512, 4096]);
+    eprintln!("{table}");
+    let mut g = c.benchmark_group("e4_task_init");
+    g.sample_size(10);
+    for k in [64u32, 1024] {
+        g.bench_function(format!("initiate_{k}"), |b| {
+            b.iter(|| {
+                let mut sim = KernelSim::new(Machine::new(MachineConfig::fem2_default()));
+                let code = sim.register_code(CodeBlock::new(
+                    "w",
+                    32,
+                    WorkProfile { flops: 100, int_ops: 20, mem_words: 10 },
+                    16,
+                ));
+                sim.initiate(0, 0, code, k, None, 4);
+                sim.run()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

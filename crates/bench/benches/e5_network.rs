@@ -1,0 +1,32 @@
+//! E5 bench: regenerate the communication table, then time bus vs crossbar.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fem2_bench::experiments as ex;
+use fem2_core::machine::{MachineConfig, Network, Topology};
+
+fn bench(c: &mut Criterion) {
+    eprintln!("{}", ex::e5_network());
+    let mut g = c.benchmark_group("e5_network");
+    g.sample_size(30);
+    for topo in [Topology::Bus, Topology::Crossbar] {
+        let cfg = MachineConfig::clustered(8, 2, topo);
+        g.bench_function(format!("allpairs_{}", topo.name()), |b| {
+            b.iter(|| {
+                let mut net = Network::new(&cfg);
+                let mut worst = 0;
+                for from in 0..8u32 {
+                    for to in 0..8u32 {
+                        if from != to {
+                            worst = worst.max(net.transmit(0, from, to, 64));
+                        }
+                    }
+                }
+                worst
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

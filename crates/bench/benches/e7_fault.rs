@@ -1,0 +1,41 @@
+//! E7 bench: regenerate the fault table, then time a faulted kernel run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fem2_bench::experiments as ex;
+use fem2_core::kernel::{CodeBlock, KernelSim, WorkProfile};
+use fem2_core::machine::fault::FaultPlan;
+use fem2_core::machine::{Machine, MachineConfig, PeId, Topology};
+
+fn bench(c: &mut Criterion) {
+    let (table, _) = ex::e7_fault();
+    eprintln!("{table}");
+    let mut g = c.benchmark_group("e7_fault");
+    g.sample_size(10);
+    for faults in [0usize, 2] {
+        g.bench_function(format!("batch_with_{faults}_faults"), |b| {
+            b.iter(|| {
+                let machine = Machine::new(MachineConfig::clustered(2, 4, Topology::Crossbar));
+                let mut sim = KernelSim::new(machine);
+                let code = sim.register_code(CodeBlock::new(
+                    "w",
+                    32,
+                    WorkProfile { flops: 5000, int_ops: 100, mem_words: 200 },
+                    16,
+                ));
+                sim.initiate(0, 0, code, 32, None, 0);
+                sim.initiate(0, 1, code, 32, None, 0);
+                if faults > 0 {
+                    sim.inject_faults(&FaultPlan::at(
+                        30_000,
+                        (0..faults as u32).map(|i| PeId::new(i % 2, 1 + i / 2)),
+                    ));
+                }
+                sim.run()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

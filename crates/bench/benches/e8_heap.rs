@@ -1,0 +1,34 @@
+//! E8 bench: regenerate the heap table, then time alloc/free churn.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fem2_bench::experiments as ex;
+use fem2_core::kernel::Heap;
+
+fn bench(c: &mut Criterion) {
+    eprintln!("{}", ex::e8_heap());
+    let mut g = c.benchmark_group("e8_heap");
+    g.sample_size(20);
+    g.bench_function("churn_10k_ops", |b| {
+        b.iter(|| {
+            let mut heap = Heap::new(1 << 18);
+            let mut rng = ex::XorShift::new(3);
+            let mut live = Vec::new();
+            for i in 0..10_000u64 {
+                if live.is_empty() || (i % 10) < 6 {
+                    if let Ok(blk) = heap.alloc(1 + rng.below(128)) {
+                        live.push(blk);
+                    }
+                } else {
+                    let idx = rng.below(live.len() as u64) as usize;
+                    let blk = live.swap_remove(idx);
+                    heap.free(blk).unwrap();
+                }
+            }
+            heap.high_water()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

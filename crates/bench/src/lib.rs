@@ -1,0 +1,9 @@
+//! # fem2-bench — the experiment harness
+//!
+//! One module per experiment (E1–E10 of DESIGN.md §5). Each experiment has
+//! a `*_table()` function that runs the workload and renders the result
+//! table; the `fem2-report` binary prints all of them, and each Criterion
+//! bench prints its experiment's table before timing the underlying kernel,
+//! so `cargo bench` regenerates every row.
+
+pub mod experiments;

@@ -1,0 +1,54 @@
+//! fem2-report: print every experiment table (E1–E10).
+//!
+//! Run with: `cargo run --release -p fem2-bench --bin fem2-report`
+//! Optionally pass experiment ids to restrict: `fem2-report e1 e9`.
+
+use fem2_bench::experiments as ex;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
+
+    println!("FEM-2 experiment report (deterministic simulated plane + host wall times)\n");
+
+    if want("e1") {
+        let (table, _) = ex::e1_requirements(&[8, 16, 32, 48, 64]);
+        println!("{table}");
+    }
+    if want("e2") {
+        let (table, _) = ex::e2_speedup(48);
+        println!("{table}");
+    }
+    if want("e3") {
+        println!("{}", ex::e3_windows());
+    }
+    if want("e4") {
+        let (table, _) = ex::e4_task_init(&[1, 8, 64, 512, 4096]);
+        println!("{table}");
+    }
+    if want("e5") {
+        println!("{}", ex::e5_network());
+    }
+    if want("e6") {
+        println!("{}", ex::e6_levels());
+    }
+    if want("e7") {
+        let (table, _) = ex::e7_fault();
+        println!("{table}");
+    }
+    if want("e8") {
+        println!("{}", ex::e8_heap());
+    }
+    if want("e9") {
+        println!("{}", ex::e9_solvers(&[16, 32]));
+    }
+    if want("e10") {
+        println!("{}", ex::e10_design_iter());
+    }
+    if want("a1") {
+        println!("{}", ex::a1_renumbering());
+    }
+    if want("a2") {
+        println!("{}", ex::a2_spawn_ablation());
+    }
+}

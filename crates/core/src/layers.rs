@@ -1,0 +1,312 @@
+//! The four layers of virtual machine and their formal catalog.
+//!
+//! > "Four layers of virtual machine are currently conceived: (1) The
+//! > applications user's machine …, (2) the applications
+//! > programmer/numerical analyst's machine …, (3) the systems programmer's
+//! > machine …, and (4) the hardware itself."
+//!
+//! Each [`Layer`] carries a [`VmModel`]: the layer's data-object grammar
+//! (from [`crate::spec`]) plus its feature catalog under the five VM
+//! components. The stack knows which layer implements which — the top-down
+//! refinement chain the design method walks.
+
+use crate::spec;
+use fem2_hgraph::{VmComponent, VmModel};
+
+/// The four FEM-2 layers, top to bottom.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Layer {
+    /// The structural engineer's interactive workstation.
+    ApplicationUser,
+    /// The research user's parallel programming machine.
+    NumericalAnalyst,
+    /// The operating-system implementation machine.
+    SystemProgrammer,
+    /// The clusters-of-PEs hardware.
+    Hardware,
+}
+
+impl Layer {
+    /// All four layers, top to bottom.
+    pub const ALL: [Layer; 4] = [
+        Layer::ApplicationUser,
+        Layer::NumericalAnalyst,
+        Layer::SystemProgrammer,
+        Layer::Hardware,
+    ];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Layer::ApplicationUser => "application user's virtual machine",
+            Layer::NumericalAnalyst => "numerical analyst's virtual machine",
+            Layer::SystemProgrammer => "system programmer's virtual machine",
+            Layer::Hardware => "hardware architecture",
+        }
+    }
+
+    /// The layer this one is implemented on (the next lower layer), if any.
+    pub fn implemented_on(self) -> Option<Layer> {
+        match self {
+            Layer::ApplicationUser => Some(Layer::NumericalAnalyst),
+            Layer::NumericalAnalyst => Some(Layer::SystemProgrammer),
+            Layer::SystemProgrammer => Some(Layer::Hardware),
+            Layer::Hardware => None,
+        }
+    }
+
+    /// The crate that realizes this layer in the reproduction.
+    pub fn crate_name(self) -> &'static str {
+        match self {
+            Layer::ApplicationUser => "fem2-appvm",
+            Layer::NumericalAnalyst => "fem2-navm",
+            Layer::SystemProgrammer => "fem2-kernel",
+            Layer::Hardware => "fem2-machine",
+        }
+    }
+}
+
+/// The assembled four-layer design.
+pub struct LayerStack {
+    models: Vec<(Layer, VmModel)>,
+}
+
+impl LayerStack {
+    /// Build the FEM-2 stack with every layer's formal model, feature
+    /// catalogs populated from the paper's component lists.
+    pub fn fem2() -> Self {
+        LayerStack {
+            models: vec![
+                (Layer::ApplicationUser, app_user_model()),
+                (Layer::NumericalAnalyst, numerical_analyst_model()),
+                (Layer::SystemProgrammer, system_programmer_model()),
+                (Layer::Hardware, hardware_model()),
+            ],
+        }
+    }
+
+    /// The formal model of one layer.
+    pub fn model(&self, layer: Layer) -> &VmModel {
+        &self
+            .models
+            .iter()
+            .find(|(l, _)| *l == layer)
+            .expect("all four layers present")
+            .1
+    }
+
+    /// Number of layers (always 4).
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The full design document: every layer's component summary plus the
+    /// refinement chain.
+    pub fn design_document(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "THE FEM-2 DESIGN — four layers of virtual machine\n");
+        for (layer, model) in &self.models {
+            out.push_str(&model.summary());
+            let _ = writeln!(out, "realized by: {}", layer.crate_name());
+            match layer.implemented_on() {
+                Some(lower) => {
+                    let _ = writeln!(out, "implemented on: {} ({})\n", lower.name(), lower.crate_name());
+                }
+                None => {
+                    let _ = writeln!(out, "implemented on: (physical machine)\n");
+                }
+            }
+        }
+        out
+    }
+}
+
+fn app_user_model() -> VmModel {
+    let mut m = VmModel::new(Layer::ApplicationUser.name(), spec::app_grammar());
+    for d in [
+        "structure/substructure model",
+        "grid description",
+        "node/element description",
+        "load set",
+        "displacements of nodes",
+        "stresses on elements",
+    ] {
+        m.declare(d, VmComponent::DataObjects);
+    }
+    for o in [
+        "define structure model",
+        "generate grid",
+        "define elements",
+        "solve for displacements",
+        "calculate stresses",
+        "database store/retrieve",
+    ] {
+        m.declare(o, VmComponent::Operations);
+    }
+    m.declare("direct interpretation of user commands", VmComponent::SequenceControl);
+    m.declare("workspace (user local data)", VmComponent::DataControl);
+    m.declare("data base (long-term storage; shared data)", VmComponent::DataControl);
+    m.declare("dynamic storage allocation for models/results/workspaces", VmComponent::StorageManagement);
+    m.declare("data movement between data base and workspace", VmComponent::StorageManagement);
+    m
+}
+
+fn numerical_analyst_model() -> VmModel {
+    let mut m = VmModel::new(Layer::NumericalAnalyst.name(), spec::navm_grammar());
+    m.declare("windows on arrays (row/column/block descriptors)", VmComponent::DataObjects);
+    for o in [
+        "tasks (programmer-defined parallel procedures)",
+        "window operations: create/access/assign",
+        "broadcast data to a set of tasks",
+        "linear algebra operations",
+    ] {
+        m.declare(o, VmComponent::Operations);
+    }
+    for c in [
+        "forall loops",
+        "pardo ... end",
+        "task control: initiate/pause/resume/terminate",
+        "remote procedure call (routed by window location)",
+    ] {
+        m.declare(c, VmComponent::SequenceControl);
+    }
+    for c in [
+        "all data owned by a single task",
+        "non-local access only via windows",
+        "windows transmissible/partitionable/storable",
+    ] {
+        m.declare(c, VmComponent::DataControl);
+    }
+    for s in [
+        "dynamic creation of data objects by a task",
+        "data lifetime = owner task lifetime",
+        "dynamic task replication",
+        "locals retained over pause/resume",
+    ] {
+        m.declare(s, VmComponent::StorageManagement);
+    }
+    m
+}
+
+fn system_programmer_model() -> VmModel {
+    let mut m = VmModel::new(Layer::SystemProgrammer.name(), spec::kernel_grammar());
+    for d in [
+        "code blocks/constants blocks",
+        "task/procedure activation records",
+        "window descriptors",
+        "storage representations",
+        "the seven kernel message types",
+    ] {
+        m.declare(d, VmComponent::DataObjects);
+    }
+    for o in [
+        "sequential operations",
+        "linear algebra library routines",
+        "format and send message",
+        "decode and execute message",
+    ] {
+        m.declare(o, VmComponent::Operations);
+    }
+    m.declare("sequential control structures", VmComponent::SequenceControl);
+    m.declare("sequential language data control", VmComponent::DataControl);
+    m.declare("general heap with variable size blocks", VmComponent::StorageManagement);
+    m
+}
+
+fn hardware_model() -> VmModel {
+    let mut m = VmModel::new(Layer::Hardware.name(), spec::hw_grammar());
+    for d in [
+        "clusters of PEs around a shared memory",
+        "common communication network",
+        "cluster input queues",
+    ] {
+        m.declare(d, VmComponent::DataObjects);
+    }
+    for o in [
+        "kernel PE fields incoming messages",
+        "any available PE processes queued messages",
+        "fault isolation / reconfiguration",
+    ] {
+        m.declare(o, VmComponent::Operations);
+    }
+    m.declare("message-driven dispatch", VmComponent::SequenceControl);
+    m.declare("cluster-local shared memory access", VmComponent::DataControl);
+    m.declare("per-cluster memory capacity", VmComponent::StorageManagement);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_has_four_layers_in_order() {
+        let s = LayerStack::fem2();
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        for layer in Layer::ALL {
+            let m = s.model(layer);
+            assert_eq!(m.name(), layer.name());
+        }
+    }
+
+    #[test]
+    fn refinement_chain_is_linear() {
+        assert_eq!(
+            Layer::ApplicationUser.implemented_on(),
+            Some(Layer::NumericalAnalyst)
+        );
+        assert_eq!(
+            Layer::NumericalAnalyst.implemented_on(),
+            Some(Layer::SystemProgrammer)
+        );
+        assert_eq!(
+            Layer::SystemProgrammer.implemented_on(),
+            Some(Layer::Hardware)
+        );
+        assert_eq!(Layer::Hardware.implemented_on(), None);
+    }
+
+    #[test]
+    fn every_layer_declares_all_five_components() {
+        let s = LayerStack::fem2();
+        for layer in Layer::ALL {
+            let m = s.model(layer);
+            for c in fem2_hgraph::VmComponent::ALL {
+                assert!(
+                    !m.features(c).is_empty(),
+                    "{} missing {c}",
+                    layer.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_vocabulary_present() {
+        let s = LayerStack::fem2();
+        let doc = s.design_document();
+        for phrase in [
+            "windows on arrays",
+            "forall loops",
+            "general heap with variable size blocks",
+            "clusters of PEs around a shared memory",
+            "direct interpretation of user commands",
+            "remote procedure call",
+        ] {
+            assert!(doc.contains(phrase), "design document missing {phrase:?}");
+        }
+    }
+
+    #[test]
+    fn crate_mapping() {
+        assert_eq!(Layer::Hardware.crate_name(), "fem2-machine");
+        assert_eq!(Layer::ApplicationUser.crate_name(), "fem2-appvm");
+    }
+}

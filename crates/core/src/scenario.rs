@@ -1,0 +1,303 @@
+//! Scenario analyses: the "typical large-scale application" of the design
+//! method, run end-to-end through the numerical analyst's VM.
+//!
+//! The workload is the one the paper's applications imply (and that
+//! Adams–Voigt analyze in reference [8]): a plate model — assemble element
+//! stiffnesses, solve the resulting SPD system by conjugate gradients with a
+//! 5-point-stencil operator, recover stresses. On the simulated plane the
+//! run produces the paper's three requirement families per phase:
+//! processing (flops), storage (allocation high-water), and communication
+//! (messages, words).
+
+use fem2_kernel::WorkProfile;
+use fem2_machine::stats::PhaseCounters;
+use fem2_machine::{Cycles, MachineConfig};
+use fem2_navm::{ArrayId, NaVm};
+
+/// Per-element assembly work of a Quad4 plane-stress element (four Gauss
+/// points of `BᵀDB` products plus bookkeeping), as charged on the simulated
+/// plane.
+pub const ASSEMBLY_PROFILE_PER_ELEMENT: WorkProfile = WorkProfile {
+    flops: 1200,
+    int_ops: 300,
+    mem_words: 160,
+};
+
+/// Per-element stress-recovery work (gather, centre-point `B·u`, `D·ε`).
+pub const STRESS_PROFILE_PER_ELEMENT: WorkProfile = WorkProfile {
+    flops: 120,
+    int_ops: 40,
+    mem_words: 24,
+};
+
+/// Conjugate gradients on the 5-point-stencil operator, written entirely in
+/// NA-VM operations, so the same function runs on the native plane (real
+/// threads) and the simulated plane (cost accounting). Solves `A·x = b`
+/// with `b ≡ 1`, `x₀ = 0`. Returns `(iterations, final residual, x)`.
+pub fn plate_cg(
+    vm: &mut NaVm,
+    nx: usize,
+    ny: usize,
+    tol: f64,
+    max_iters: usize,
+) -> (usize, f64, ArrayId) {
+    let n = nx * ny;
+    let b = vm.vector(n);
+    vm.fill(b, |_, _| 1.0);
+    let x = vm.vector(n);
+    let r = vm.vector(n);
+    vm.copy(b, r);
+    let p = vm.vector(n);
+    vm.copy(r, p);
+    let ap = vm.vector(n);
+    let mut rr = vm.inner(r, r);
+    let target = tol * rr.sqrt();
+    let mut iters = 0;
+    let mut res = rr.sqrt();
+    while iters < max_iters && res > target {
+        vm.stencil5(p, ap, nx, ny);
+        let pap = vm.inner(p, ap);
+        if pap <= 0.0 {
+            break;
+        }
+        let alpha = rr / pap;
+        vm.axpy(alpha, p, x);
+        vm.axpy(-alpha, ap, r);
+        let rr_new = vm.inner(r, r);
+        res = rr_new.sqrt();
+        let beta = rr_new / rr;
+        rr = rr_new;
+        vm.xpby(r, beta, p);
+        iters += 1;
+    }
+    (iters, res, x)
+}
+
+/// A plate scenario: grid size, task count, machine, solver controls.
+#[derive(Clone, Debug)]
+pub struct PlateScenario {
+    /// Grid points in x.
+    pub nx: usize,
+    /// Grid points in y.
+    pub ny: usize,
+    /// NA-VM task count.
+    pub tasks: u32,
+    /// The machine organization under evaluation.
+    pub machine: MachineConfig,
+    /// CG relative tolerance.
+    pub tol: f64,
+    /// CG iteration cap.
+    pub max_iters: usize,
+}
+
+impl PlateScenario {
+    /// An `n × n` plate on `machine`, one task per worker PE.
+    pub fn square(n: usize, machine: MachineConfig) -> Self {
+        let tasks = machine.total_workers().max(1);
+        PlateScenario {
+            nx: n,
+            ny: n,
+            tasks,
+            machine,
+            tol: 1e-6,
+            max_iters: 5000,
+        }
+    }
+
+    /// Run on the simulated plane and collect the requirement tables.
+    pub fn run(&self) -> ScenarioReport {
+        let mut vm = NaVm::simulated(self.machine.clone(), self.tasks);
+        let elements = (self.nx - 1).max(1) * (self.ny - 1).max(1);
+
+        vm.phase("assembly");
+        let stmts: Vec<_> = vm
+            .tasks()
+            .iter()
+            .map(|t| {
+                let share = vm.tasks().share(elements, t).len() as u64;
+                (t, ASSEMBLY_PROFILE_PER_ELEMENT.scaled(share))
+            })
+            .collect();
+        vm.pardo(&stmts);
+
+        vm.phase("solve");
+        let (iterations, residual, _x) = plate_cg(&mut vm, self.nx, self.ny, self.tol, self.max_iters);
+
+        vm.phase("stress");
+        let stmts: Vec<_> = vm
+            .tasks()
+            .iter()
+            .map(|t| {
+                let share = vm.tasks().share(elements, t).len() as u64;
+                (t, STRESS_PROFILE_PER_ELEMENT.scaled(share))
+            })
+            .collect();
+        vm.pardo(&stmts);
+
+        let machine = vm.machine().expect("simulated plane");
+        let stats = &machine.stats;
+        let phases: Vec<(String, PhaseCounters)> = stats
+            .phase_names()
+            .iter()
+            .map(|n| (n.clone(), *stats.get(n).unwrap()))
+            .collect();
+        let total = stats.total();
+        ScenarioReport {
+            elapsed: vm.elapsed(),
+            iterations,
+            residual,
+            converged: iterations < self.max_iters,
+            phases,
+            peak_memory_words: machine.peak_memory(),
+            total_memory_words: machine.total_memory_high_water(),
+            total_messages: machine.network.messages,
+            total_words_moved: machine.network.total_words_moved(),
+            total_flops: total.flops,
+            table: stats.table(),
+            unknowns: self.nx * self.ny,
+        }
+    }
+}
+
+/// The requirement tables of one scenario run.
+#[derive(Clone, Debug)]
+pub struct ScenarioReport {
+    /// Simulated makespan in cycles.
+    pub elapsed: Cycles,
+    /// CG iterations taken.
+    pub iterations: usize,
+    /// Final CG residual.
+    pub residual: f64,
+    /// Whether CG met its tolerance.
+    pub converged: bool,
+    /// Per-phase counters in phase order.
+    pub phases: Vec<(String, PhaseCounters)>,
+    /// Largest single-cluster memory high-water, words.
+    pub peak_memory_words: u64,
+    /// Sum of cluster memory high-waters, words.
+    pub total_memory_words: u64,
+    /// Remote messages sent.
+    pub total_messages: u64,
+    /// Total words moved (payload + headers).
+    pub total_words_moved: u64,
+    /// Total floating-point operations charged.
+    pub total_flops: u64,
+    /// Rendered per-phase table.
+    pub table: String,
+    /// Number of unknowns solved.
+    pub unknowns: usize,
+}
+
+impl ScenarioReport {
+    /// Counters of a named phase.
+    pub fn phase(&self, name: &str) -> Option<&PhaseCounters> {
+        self.phases.iter().find(|(n, _)| n == name).map(|(_, c)| c)
+    }
+
+    /// One summary row: problem size, cycles, flops, messages, words,
+    /// memory.
+    pub fn row(&self) -> String {
+        format!(
+            "{:>8} {:>14} {:>14} {:>9} {:>12} {:>12} {:>6}",
+            self.unknowns,
+            self.elapsed,
+            self.total_flops,
+            self.total_messages,
+            self.total_words_moved,
+            self.total_memory_words,
+            self.iterations
+        )
+    }
+
+    /// Header matching [`ScenarioReport::row`].
+    pub fn header() -> String {
+        format!(
+            "{:>8} {:>14} {:>14} {:>9} {:>12} {:>12} {:>6}",
+            "n", "cycles", "flops", "messages", "words", "mem_words", "iters"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fem2_par::Pool;
+    use std::sync::Arc;
+
+    #[test]
+    fn scenario_produces_all_three_requirement_families() {
+        let r = PlateScenario::square(16, MachineConfig::fem2_default()).run();
+        assert!(r.converged, "{} iters, residual {}", r.iterations, r.residual);
+        // Processing.
+        assert!(r.total_flops > 0);
+        assert!(r.phase("solve").unwrap().flops > r.phase("stress").unwrap().flops);
+        // Storage.
+        assert!(r.peak_memory_words > 0);
+        // Communication.
+        assert!(r.total_messages > 0);
+        assert!(r.total_words_moved > 0);
+        // Phases in order.
+        let names: Vec<&str> = r.phases.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["assembly", "solve", "stress"]);
+        assert!(r.table.contains("TOTAL"));
+    }
+
+    #[test]
+    fn bigger_plates_need_more_of_everything() {
+        let small = PlateScenario::square(8, MachineConfig::fem2_default()).run();
+        let large = PlateScenario::square(24, MachineConfig::fem2_default()).run();
+        assert!(large.total_flops > small.total_flops);
+        assert!(large.total_memory_words > small.total_memory_words);
+        assert!(large.elapsed > small.elapsed);
+        assert!(large.iterations >= small.iterations, "CG iteration growth");
+    }
+
+    #[test]
+    fn more_workers_reduce_makespan() {
+        let one = PlateScenario::square(24, MachineConfig::clustered(1, 2, fem2_machine::Topology::Crossbar)).run();
+        let many = PlateScenario::square(24, MachineConfig::fem2_default()).run();
+        assert!(
+            many.elapsed < one.elapsed,
+            "28 workers {} < 1 worker {}",
+            many.elapsed,
+            one.elapsed
+        );
+    }
+
+    #[test]
+    fn plate_cg_identical_on_both_planes() {
+        let mut sim = NaVm::simulated(MachineConfig::fem2_default(), 8);
+        let (it_s, res_s, xs) = plate_cg(&mut sim, 12, 12, 1e-8, 2000);
+        let mut native = NaVm::native(Arc::new(Pool::new(4)), 8);
+        let (it_n, res_n, xn) = plate_cg(&mut native, 12, 12, 1e-8, 2000);
+        assert_eq!(it_s, it_n, "same iteration path");
+        assert_eq!(res_s.to_bits(), res_n.to_bits(), "bitwise-equal residuals");
+        let a = sim.snapshot(xs);
+        let b = native.snapshot(xn);
+        for (p, q) in a.iter().zip(&b) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+    }
+
+    #[test]
+    fn plate_cg_actually_solves_the_system() {
+        let mut vm = NaVm::native(Arc::new(Pool::new(4)), 4);
+        let (_, res, x) = plate_cg(&mut vm, 10, 10, 1e-10, 5000);
+        assert!(res < 1e-8);
+        // Verify A·x ≈ 1 directly.
+        let ax = vm.vector(100);
+        vm.stencil5(x, ax, 10, 10);
+        let sol = vm.snapshot(ax);
+        for v in sol {
+            assert!((v - 1.0).abs() < 1e-6, "A·x component {v}");
+        }
+    }
+
+    #[test]
+    fn report_row_and_header_align() {
+        let r = PlateScenario::square(8, MachineConfig::fem2_default()).run();
+        let h = ScenarioReport::header();
+        let row = r.row();
+        assert_eq!(h.split_whitespace().count(), row.split_whitespace().count());
+    }
+}

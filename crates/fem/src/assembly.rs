@@ -1,0 +1,142 @@
+//! Global stiffness assembly.
+//!
+//! Scatter element stiffness matrices into a global COO builder, optionally
+//! in parallel (element stiffness computation is embarrassingly parallel;
+//! the scatter is merged per-thread to stay deterministic).
+
+use crate::element::{stiffness, ElementMatrix};
+use crate::material::Material;
+use crate::mesh::Mesh;
+use crate::sparse::{Coo, Csr};
+use crate::DOF_PER_NODE;
+use fem2_par::Pool;
+
+/// Global dof indices of an element (2 per node, `[u, v]` interleaved).
+pub fn element_dofs(nodes: &[usize]) -> Vec<usize> {
+    let mut dofs = Vec::with_capacity(nodes.len() * DOF_PER_NODE);
+    for &n in nodes {
+        dofs.push(DOF_PER_NODE * n);
+        dofs.push(DOF_PER_NODE * n + 1);
+    }
+    dofs
+}
+
+/// Compute one element's stiffness and dof map.
+pub fn element_matrix(mesh: &Mesh, elem: usize, mat: &Material) -> ElementMatrix {
+    let e = &mesh.elements[elem];
+    let coords: Vec<_> = e.nodes.iter().map(|&n| mesh.nodes[n]).collect();
+    ElementMatrix {
+        k: stiffness(e.kind, &coords, mat),
+        dofs: element_dofs(&e.nodes),
+    }
+}
+
+/// Assemble the global stiffness matrix, sequentially.
+pub fn assemble(mesh: &Mesh, mat: &Material) -> Csr {
+    let n = mesh.node_count() * DOF_PER_NODE;
+    let mut coo = Coo::new(n);
+    for e in 0..mesh.element_count() {
+        let em = element_matrix(mesh, e, mat);
+        scatter(&mut coo, &em);
+    }
+    coo.to_csr()
+}
+
+/// Assemble with element stiffnesses computed in parallel on `pool`.
+/// Deterministic: per-element results are scattered in element order.
+pub fn assemble_par(pool: &Pool, mesh: &Mesh, mat: &Material) -> Csr {
+    let ne = mesh.element_count();
+    let mut mats: Vec<Option<ElementMatrix>> = Vec::with_capacity(ne);
+    mats.resize_with(ne, || None);
+    fem2_par::chunks_mut(pool, &mut mats, 32, |chunk, piece| {
+        let base = chunk * 32;
+        for (i, slot) in piece.iter_mut().enumerate() {
+            *slot = Some(element_matrix(mesh, base + i, mat));
+        }
+    });
+    let n = mesh.node_count() * DOF_PER_NODE;
+    let mut coo = Coo::new(n);
+    for em in mats.into_iter().map(|m| m.expect("all chunks filled")) {
+        scatter(&mut coo, &em);
+    }
+    coo.to_csr()
+}
+
+/// Scatter one element matrix into the builder.
+pub fn scatter(coo: &mut Coo, em: &ElementMatrix) {
+    let nd = em.dofs.len();
+    for i in 0..nd {
+        for j in 0..nd {
+            coo.add(em.dofs[i], em.dofs[j], em.k[(i, j)]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_dofs_interleaved() {
+        assert_eq!(element_dofs(&[3, 7]), vec![6, 7, 14, 15]);
+    }
+
+    #[test]
+    fn bar_chain_global_matrix() {
+        // 2 unit bars with EA = 1: global K (x dofs) = [1 -1 0; -1 2 -1; 0 -1 1].
+        let mesh = Mesh::bar_chain(2, 2.0);
+        let k = assemble(&mesh, &Material::unit());
+        assert_eq!(k.order(), 6);
+        assert_eq!(k.get(0, 0), 1.0);
+        assert_eq!(k.get(2, 2), 2.0);
+        assert_eq!(k.get(0, 2), -1.0);
+        assert_eq!(k.get(2, 4), -1.0);
+        assert_eq!(k.get(0, 4), 0.0);
+    }
+
+    #[test]
+    fn assembled_matrix_is_symmetric() {
+        let mesh = Mesh::grid_quad(4, 3, 4.0, 3.0);
+        let k = assemble(&mesh, &Material::steel());
+        assert!(k.is_symmetric(1e-3));
+    }
+
+    #[test]
+    fn parallel_assembly_matches_sequential() {
+        let mesh = Mesh::grid_tri(6, 5, 2.0, 1.0);
+        let mat = Material::aluminum();
+        let seq = assemble(&mesh, &mat);
+        let pool = Pool::new(4);
+        let par = assemble_par(&pool, &mesh, &mat);
+        assert_eq!(seq.rowptr, par.rowptr);
+        assert_eq!(seq.colidx, par.colidx);
+        // Scatter order is identical, so values match bitwise.
+        assert_eq!(seq.vals, par.vals);
+    }
+
+    #[test]
+    fn rigid_body_null_vectors() {
+        // Unconstrained K times a rigid translation = 0.
+        let mesh = Mesh::grid_quad(3, 3, 1.0, 1.0);
+        let k = assemble(&mesh, &Material::steel());
+        let n = k.order();
+        let mut tx = vec![0.0; n];
+        for i in (0..n).step_by(2) {
+            tx[i] = 1.0;
+        }
+        let mut out = vec![0.0; n];
+        k.matvec(&tx, &mut out);
+        let worst = out.iter().fold(0.0f64, |m, x| m.max(x.abs()));
+        assert!(worst < 1e-3, "residual {worst}");
+    }
+
+    #[test]
+    fn quad_and_tri_meshes_have_expected_sparsity() {
+        let quad = assemble(&Mesh::grid_quad(4, 4, 1.0, 1.0), &Material::unit());
+        let tri = assemble(&Mesh::grid_tri(4, 4, 1.0, 1.0), &Material::unit());
+        assert_eq!(quad.order(), tri.order());
+        // Same node adjacency except the quad's cross-diagonal coupling:
+        // the quad stencil is a superset.
+        assert!(quad.nnz() >= tri.nnz());
+    }
+}

@@ -1,0 +1,137 @@
+//! Material properties.
+
+use serde::{Deserialize, Serialize};
+
+/// Isotropic linear-elastic material plus section properties.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Material {
+    /// Young's modulus, Pa.
+    pub e: f64,
+    /// Poisson's ratio.
+    pub nu: f64,
+    /// Plate thickness (areal elements), m.
+    pub thickness: f64,
+    /// Cross-section area (bar elements), m².
+    pub area: f64,
+    /// Mass density, kg/m³ (reserved for dynamics extensions).
+    pub rho: f64,
+}
+
+impl Material {
+    /// Structural steel.
+    pub fn steel() -> Self {
+        Material {
+            e: 200e9,
+            nu: 0.3,
+            thickness: 0.01,
+            area: 1e-4,
+            rho: 7850.0,
+        }
+    }
+
+    /// Aluminium alloy.
+    pub fn aluminum() -> Self {
+        Material {
+            e: 70e9,
+            nu: 0.33,
+            thickness: 0.01,
+            area: 1e-4,
+            rho: 2700.0,
+        }
+    }
+
+    /// A unit material (E = 1, ν = 0, t = 1, A = 1): handy in tests where
+    /// stiffness should reduce to pure geometry.
+    pub fn unit() -> Self {
+        Material {
+            e: 1.0,
+            nu: 0.0,
+            thickness: 1.0,
+            area: 1.0,
+            rho: 1.0,
+        }
+    }
+
+    /// Override the thickness.
+    pub fn with_thickness(mut self, t: f64) -> Self {
+        self.thickness = t;
+        self
+    }
+
+    /// Override the section area.
+    pub fn with_area(mut self, a: f64) -> Self {
+        self.area = a;
+        self
+    }
+
+    /// The plane-stress constitutive matrix entries `(d11, d12, d33)` where
+    /// `D = E/(1-ν²) · [[1, ν, 0], [ν, 1, 0], [0, 0, (1-ν)/2]]`.
+    pub fn plane_stress_d(&self) -> (f64, f64, f64) {
+        let f = self.e / (1.0 - self.nu * self.nu);
+        (f, f * self.nu, f * (1.0 - self.nu) / 2.0)
+    }
+
+    /// Physical plausibility check.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.e <= 0.0 {
+            return Err("Young's modulus must be positive".into());
+        }
+        if !(-1.0..0.5).contains(&self.nu) {
+            return Err(format!("Poisson's ratio {} outside (-1, 0.5)", self.nu));
+        }
+        if self.thickness <= 0.0 || self.area <= 0.0 {
+            return Err("section properties must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        Material::steel().validate().unwrap();
+        Material::aluminum().validate().unwrap();
+        Material::unit().validate().unwrap();
+    }
+
+    #[test]
+    fn plane_stress_d_unit_material() {
+        let (d11, d12, d33) = Material::unit().plane_stress_d();
+        assert_eq!(d11, 1.0);
+        assert_eq!(d12, 0.0);
+        assert_eq!(d33, 0.5);
+    }
+
+    #[test]
+    fn plane_stress_d_steel() {
+        let m = Material::steel();
+        let (d11, d12, d33) = m.plane_stress_d();
+        let f = 200e9 / (1.0 - 0.09);
+        assert!((d11 - f).abs() / f < 1e-12);
+        assert!((d12 - 0.3 * f).abs() / f < 1e-12);
+        assert!((d33 - 0.35 * f).abs() / f < 1e-12);
+    }
+
+    #[test]
+    fn validate_rejects_nonsense() {
+        let mut m = Material::steel();
+        m.e = -1.0;
+        assert!(m.validate().is_err());
+        let mut m = Material::steel();
+        m.nu = 0.5;
+        assert!(m.validate().is_err());
+        let mut m = Material::steel();
+        m.thickness = 0.0;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn builders() {
+        let m = Material::steel().with_thickness(0.02).with_area(3e-4);
+        assert_eq!(m.thickness, 0.02);
+        assert_eq!(m.area, 3e-4);
+    }
+}

@@ -1,0 +1,143 @@
+//! Conjugate gradients, optionally Jacobi-preconditioned.
+
+use crate::solver::{IterControls, SolveLog};
+use crate::sparse::Csr;
+
+/// Solve `K·u = f` by (preconditioned) CG from a zero initial guess.
+/// `jacobi_precond` enables the diagonal preconditioner.
+pub fn solve(k: &Csr, f: &[f64], ctl: IterControls, jacobi_precond: bool) -> (Vec<f64>, SolveLog) {
+    let n = k.order();
+    assert_eq!(f.len(), n, "f length");
+    let dinv: Option<Vec<f64>> = if jacobi_precond {
+        let d = k.diagonal();
+        assert!(d.iter().all(|&x| x > 0.0), "preconditioner needs positive diagonal");
+        Some(d.iter().map(|&x| 1.0 / x).collect())
+    } else {
+        None
+    };
+    let fnorm = f.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let target = ctl.rel_tol * fnorm.max(f64::MIN_POSITIVE);
+
+    let mut u = vec![0.0; n];
+    let mut r = f.to_vec();
+    let mut z: Vec<f64> = match &dinv {
+        Some(di) => r.iter().zip(di).map(|(a, b)| a * b).collect(),
+        None => r.clone(),
+    };
+    let mut p = z.clone();
+    let mut rz: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+    let mut flops: u64 = 2 * n as u64;
+    let mut iters = 0;
+    let mut res = fnorm;
+
+    while iters < ctl.max_iter && res > target {
+        let mut kp = vec![0.0; n];
+        k.matvec(&p, &mut kp);
+        flops += 2 * k.nnz() as u64;
+        let pkp: f64 = p.iter().zip(&kp).map(|(a, b)| a * b).sum();
+        flops += 2 * n as u64;
+        if pkp <= 0.0 {
+            break; // not SPD (or breakdown)
+        }
+        let alpha = rz / pkp;
+        for i in 0..n {
+            u[i] += alpha * p[i];
+            r[i] -= alpha * kp[i];
+        }
+        flops += 4 * n as u64;
+        res = r.iter().map(|x| x * x).sum::<f64>().sqrt();
+        flops += 2 * n as u64;
+        match &dinv {
+            Some(di) => {
+                for i in 0..n {
+                    z[i] = r[i] * di[i];
+                }
+                flops += n as u64;
+            }
+            None => z.copy_from_slice(&r),
+        }
+        let rz_new: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+        flops += 2 * n as u64;
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+        flops += 2 * n as u64;
+        iters += 1;
+    }
+    let converged = res <= target;
+    (
+        u,
+        SolveLog {
+            iterations: iters,
+            residual: res,
+            converged,
+            flops,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::residual_norm;
+    use crate::solver::testmat::{laplacian_2d, rhs};
+
+    #[test]
+    fn converges_fast_on_laplacian() {
+        let a = laplacian_2d(16);
+        let f = rhs(256);
+        let (u, log) = solve(&a, &f, IterControls::default(), false);
+        assert!(log.converged);
+        assert!(log.iterations <= 100, "{} iterations", log.iterations);
+        assert!(residual_norm(&a, &u, &f) < 1e-5);
+    }
+
+    #[test]
+    fn preconditioning_never_worse_much() {
+        let a = laplacian_2d(16);
+        let f = rhs(256);
+        let ctl = IterControls::default();
+        let (_, plain) = solve(&a, &f, ctl, false);
+        let (_, pre) = solve(&a, &f, ctl, true);
+        assert!(pre.converged && plain.converged);
+        // Jacobi preconditioning on a constant-diagonal matrix is a no-op
+        // up to scaling — iterations should be comparable.
+        assert!(pre.iterations <= plain.iterations + 2);
+    }
+
+    #[test]
+    fn exact_after_n_iterations_in_theory() {
+        // Tiny system: CG converges in at most n steps.
+        let a = laplacian_2d(3);
+        let f = rhs(9);
+        let ctl = IterControls {
+            rel_tol: 1e-12,
+            max_iter: 9,
+        };
+        let (u, log) = solve(&a, &f, ctl, false);
+        assert!(log.converged, "{log:?}");
+        assert!(residual_norm(&a, &u, &f) < 1e-9);
+    }
+
+    #[test]
+    fn indefinite_matrix_breaks_down_gracefully() {
+        let mut coo = crate::sparse::Coo::new(2);
+        coo.add(0, 0, 1.0);
+        coo.add(0, 1, 2.0);
+        coo.add(1, 0, 2.0);
+        coo.add(1, 1, 1.0);
+        let a = coo.to_csr();
+        let (_, log) = solve(&a, &[1.0, 0.0], IterControls::default(), false);
+        assert!(!log.converged || log.residual.is_finite());
+    }
+
+    #[test]
+    fn zero_rhs_zero_solution() {
+        let a = laplacian_2d(4);
+        let (u, log) = solve(&a, &vec![0.0; 16], IterControls::default(), false);
+        assert_eq!(log.iterations, 0);
+        assert!(u.iter().all(|&x| x == 0.0));
+    }
+}

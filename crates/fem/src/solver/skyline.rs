@@ -1,0 +1,273 @@
+//! Skyline (envelope) storage and Cholesky factorization.
+//!
+//! The direct solver of choice on early FEM systems: only the column
+//! envelope (from the first nonzero row down to the diagonal) is stored,
+//! and the `L·D·Lᵀ`-style factorization fills only within it. Storage is
+//! governed by the mesh bandwidth, which is why 1983-vintage codes cared so
+//! much about node numbering.
+
+use crate::sparse::Csr;
+
+/// A symmetric matrix in skyline (column envelope) storage.
+#[derive(Clone, Debug)]
+pub struct Skyline {
+    n: usize,
+    /// `colptr[j]` is the offset of column j's envelope in `vals`;
+    /// `colptr[n]` is the total envelope size.
+    colptr: Vec<usize>,
+    /// First stored row of each column.
+    first_row: Vec<usize>,
+    /// Envelope values, column-major top-to-diagonal.
+    vals: Vec<f64>,
+}
+
+impl Skyline {
+    /// Build skyline storage from the upper triangle of a symmetric CSR
+    /// matrix.
+    pub fn from_csr(a: &Csr) -> Self {
+        let n = a.order();
+        // Envelope: first nonzero row per column (considering symmetry).
+        let mut first_row: Vec<usize> = (0..n).collect();
+        for r in 0..n {
+            for k in a.rowptr[r]..a.rowptr[r + 1] {
+                let c = a.colidx[k];
+                if c >= r {
+                    first_row[c] = first_row[c].min(r);
+                } else {
+                    first_row[r] = first_row[r].min(c);
+                }
+            }
+        }
+        let mut colptr = Vec::with_capacity(n + 1);
+        colptr.push(0);
+        for j in 0..n {
+            let height = j - first_row[j] + 1;
+            colptr.push(colptr[j] + height);
+        }
+        let mut vals = vec![0.0; colptr[n]];
+        for r in 0..n {
+            for k in a.rowptr[r]..a.rowptr[r + 1] {
+                let c = a.colidx[k];
+                if c >= r {
+                    // Entry (r, c) sits in column c at depth r - first_row[c].
+                    let off = colptr[c] + (r - first_row[c]);
+                    vals[off] = a.vals[k];
+                }
+            }
+        }
+        Skyline {
+            n,
+            colptr,
+            first_row,
+            vals,
+        }
+    }
+
+    /// Matrix order.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Envelope size (stored entries).
+    pub fn envelope(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Entry `(r, c)` with `r ≤ c` (upper triangle), zero outside the
+    /// envelope.
+    fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r <= c);
+        if r < self.first_row[c] {
+            0.0
+        } else {
+            self.vals[self.colptr[c] + (r - self.first_row[c])]
+        }
+    }
+
+    fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r <= c && r >= self.first_row[c]);
+        self.vals[self.colptr[c] + (r - self.first_row[c])] = v;
+    }
+
+    /// In-place Cholesky within the envelope: produces `U` with `A = UᵀU`
+    /// (upper factor stored in the same skyline). Returns `Err` if a pivot
+    /// is non-positive.
+    pub fn factorize(&mut self) -> Result<(), String> {
+        let n = self.n;
+        for j in 0..n {
+            // u[i][j] for i in envelope.
+            for i in self.first_row[j]..j {
+                let mut s = self.get(i, j);
+                let lo = self.first_row[i].max(self.first_row[j]);
+                for k in lo..i {
+                    s -= self.get(k, i) * self.get(k, j);
+                }
+                let uii = self.get(i, i);
+                if uii == 0.0 {
+                    return Err(format!("zero pivot at {i}"));
+                }
+                self.set(i, j, s / uii);
+            }
+            let mut d = self.get(j, j);
+            for k in self.first_row[j]..j {
+                let u = self.get(k, j);
+                d -= u * u;
+            }
+            if d <= 0.0 {
+                return Err(format!("non-positive pivot {d} at {j}"));
+            }
+            self.set(j, j, d.sqrt());
+        }
+        Ok(())
+    }
+
+    /// Solve `A·x = b` given a factorized skyline (`UᵀU x = b`).
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.n;
+        assert_eq!(b.len(), n, "b length");
+        // Forward: Uᵀ y = b.
+        let mut y = b.to_vec();
+        for j in 0..n {
+            for k in self.first_row[j]..j {
+                y[j] -= self.get(k, j) * y[k];
+            }
+            y[j] /= self.get(j, j);
+        }
+        // Backward: U x = y.
+        let mut x = y;
+        for j in (0..n).rev() {
+            x[j] /= self.get(j, j);
+            let xj = x[j];
+            for k in self.first_row[j]..j {
+                x[k] -= self.get(k, j) * xj;
+            }
+        }
+        x
+    }
+}
+
+/// Factor-and-solve convenience: `A·x = b` by skyline Cholesky.
+pub fn solve(a: &Csr, b: &[f64]) -> Result<Vec<f64>, String> {
+    let mut sky = Skyline::from_csr(a);
+    sky.factorize()?;
+    Ok(sky.solve(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::Coo;
+
+    fn laplacian_1d(n: usize) -> Csr {
+        let mut coo = Coo::new(n);
+        for i in 0..n {
+            coo.add(i, i, 2.0);
+            if i > 0 {
+                coo.add(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                coo.add(i, i + 1, -1.0);
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn envelope_of_tridiagonal_is_2n_minus_1() {
+        let a = laplacian_1d(10);
+        let s = Skyline::from_csr(&a);
+        assert_eq!(s.order(), 10);
+        assert_eq!(s.envelope(), 19);
+    }
+
+    #[test]
+    fn solves_tridiagonal_exactly() {
+        let n = 50;
+        let a = laplacian_1d(n);
+        let x_true: Vec<f64> = (0..n).map(|i| ((i * 7) % 11) as f64 - 5.0).collect();
+        let mut b = vec![0.0; n];
+        a.matvec(&x_true, &mut b);
+        let x = solve(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-9, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn matches_dense_cholesky() {
+        use crate::dense::DenseMatrix;
+        // A small SPD matrix with irregular envelope.
+        let mut coo = Coo::new(4);
+        let dense_vals = [
+            10.0, 2.0, 0.0, 1.0,
+            2.0, 12.0, 3.0, 0.0,
+            0.0, 3.0, 14.0, 4.0,
+            1.0, 0.0, 4.0, 16.0,
+        ];
+        for r in 0..4 {
+            for c in 0..4 {
+                let v = dense_vals[r * 4 + c];
+                if v != 0.0 {
+                    coo.add(r, c, v);
+                }
+            }
+        }
+        let a = coo.to_csr();
+        let dense = DenseMatrix::from_rows(4, 4, &dense_vals);
+        let b = vec![1.0, -2.0, 3.0, -4.0];
+        let x_sky = solve(&a, &b).unwrap();
+        let x_dense = dense.solve_spd(&b).unwrap();
+        for (s, d) in x_sky.iter().zip(&x_dense) {
+            assert!((s - d).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn indefinite_matrix_rejected() {
+        let mut coo = Coo::new(2);
+        coo.add(0, 0, 1.0);
+        coo.add(0, 1, 2.0);
+        coo.add(1, 0, 2.0);
+        coo.add(1, 1, 1.0);
+        let a = coo.to_csr();
+        assert!(solve(&a, &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn residual_small_on_grid_matrix() {
+        // 2-D Laplacian on a 6x6 grid via Kronecker-style construction.
+        let nx = 6;
+        let n = nx * nx;
+        let mut coo = Coo::new(n);
+        for j in 0..nx {
+            for i in 0..nx {
+                let r = j * nx + i;
+                coo.add(r, r, 4.0);
+                if i > 0 {
+                    coo.add(r, r - 1, -1.0);
+                }
+                if i + 1 < nx {
+                    coo.add(r, r + 1, -1.0);
+                }
+                if j > 0 {
+                    coo.add(r, r - nx, -1.0);
+                }
+                if j + 1 < nx {
+                    coo.add(r, r + nx, -1.0);
+                }
+            }
+        }
+        let a = coo.to_csr();
+        let b: Vec<f64> = (0..n).map(|i| (i % 3) as f64).collect();
+        let x = solve(&a, &b).unwrap();
+        let mut ax = vec![0.0; n];
+        a.matvec(&x, &mut ax);
+        let res: f64 = ax
+            .iter()
+            .zip(&b)
+            .map(|(p, q)| (p - q) * (p - q))
+            .sum::<f64>()
+            .sqrt();
+        assert!(res < 1e-9, "residual {res}");
+    }
+}

@@ -1,0 +1,302 @@
+//! Sparse matrix storage: a COO assembly builder and CSR for solves.
+
+use fem2_par::Pool;
+
+/// Coordinate-format builder: accumulate `(row, col, value)` triplets during
+//  assembly, then compress to CSR (duplicates summed).
+#[derive(Clone, Debug, Default)]
+pub struct Coo {
+    n: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl Coo {
+    /// An empty `n × n` builder.
+    pub fn new(n: usize) -> Self {
+        Coo {
+            n,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Matrix order.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Number of (possibly duplicate) triplets.
+    pub fn triplet_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Accumulate `a[r][c] += v`.
+    pub fn add(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.n && c < self.n, "triplet out of range");
+        if v != 0.0 {
+            self.entries.push((r, c, v));
+        }
+    }
+
+    /// Compress to CSR, summing duplicates.
+    pub fn to_csr(&self) -> Csr {
+        let n = self.n;
+        let mut sorted = self.entries.clone();
+        sorted.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        let mut rowptr = Vec::with_capacity(n + 1);
+        let mut colidx = Vec::new();
+        let mut vals = Vec::new();
+        rowptr.push(0);
+        let mut cur_row = 0;
+        for (r, c, v) in sorted {
+            while cur_row < r {
+                rowptr.push(colidx.len());
+                cur_row += 1;
+            }
+            if let (Some(&last_c), Some(last_v)) = (colidx.last(), vals.last_mut()) {
+                if colidx.len() > rowptr[cur_row] && last_c == c {
+                    *last_v += v;
+                    continue;
+                }
+            }
+            colidx.push(c);
+            vals.push(v);
+        }
+        while cur_row < n {
+            rowptr.push(colidx.len());
+            cur_row += 1;
+        }
+        Csr {
+            rowptr,
+            colidx,
+            vals,
+        }
+    }
+}
+
+/// Compressed sparse row matrix.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Csr {
+    /// Row pointers, length `n + 1`.
+    pub rowptr: Vec<usize>,
+    /// Column indices, length `nnz`.
+    pub colidx: Vec<usize>,
+    /// Values, length `nnz`.
+    pub vals: Vec<f64>,
+}
+
+impl Csr {
+    /// Matrix order.
+    pub fn order(&self) -> usize {
+        self.rowptr.len() - 1
+    }
+
+    /// Stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Entry `a[r][c]` (zero if not stored).
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        let range = self.rowptr[r]..self.rowptr[r + 1];
+        for k in range {
+            if self.colidx[k] == c {
+                return self.vals[k];
+            }
+        }
+        0.0
+    }
+
+    /// The diagonal, as a vector (zeros where unstored).
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.order()).map(|i| self.get(i, i)).collect()
+    }
+
+    /// `y ← A·x`, sequential.
+    pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        let n = self.order();
+        assert_eq!(x.len(), n, "x length");
+        assert_eq!(y.len(), n, "y length");
+        for r in 0..n {
+            let mut acc = 0.0;
+            for k in self.rowptr[r]..self.rowptr[r + 1] {
+                acc += self.vals[k] * x[self.colidx[k]];
+            }
+            y[r] = acc;
+        }
+    }
+
+    /// `y ← A·x` with rows in parallel on `pool`.
+    pub fn matvec_par(&self, pool: &Pool, x: &[f64], y: &mut [f64]) {
+        let n = self.order();
+        assert_eq!(x.len(), n, "x length");
+        assert_eq!(y.len(), n, "y length");
+        let rowptr = &self.rowptr;
+        let colidx = &self.colidx;
+        let vals = &self.vals;
+        let grain = (n / (pool.threads() * 8)).max(64);
+        fem2_par::chunks_mut(pool, y, grain, |chunk, piece| {
+            let base = chunk * grain;
+            for (i, out) in piece.iter_mut().enumerate() {
+                let r = base + i;
+                let mut acc = 0.0;
+                for k in rowptr[r]..rowptr[r + 1] {
+                    acc += vals[k] * x[colidx[k]];
+                }
+                *out = acc;
+            }
+        });
+    }
+
+    /// Structural + numerical symmetry check within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        let n = self.order();
+        for r in 0..n {
+            for k in self.rowptr[r]..self.rowptr[r + 1] {
+                let c = self.colidx[k];
+                if (self.vals[k] - self.get(c, r)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Extract the principal submatrix on `keep` (sorted, deduplicated
+    /// indices), renumbered densely — how boundary conditions reduce the
+    /// system.
+    pub fn submatrix(&self, keep: &[usize]) -> Csr {
+        let mut map = vec![usize::MAX; self.order()];
+        for (new, &old) in keep.iter().enumerate() {
+            map[old] = new;
+        }
+        let mut coo = Coo::new(keep.len());
+        for (new_r, &old_r) in keep.iter().enumerate() {
+            for k in self.rowptr[old_r]..self.rowptr[old_r + 1] {
+                let old_c = self.colidx[k];
+                if map[old_c] != usize::MAX {
+                    coo.add(new_r, map[old_c], self.vals[k]);
+                }
+            }
+        }
+        coo.to_csr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        // [2 1 0]
+        // [1 3 1]
+        // [0 1 4]
+        let mut coo = Coo::new(3);
+        coo.add(0, 0, 2.0);
+        coo.add(0, 1, 1.0);
+        coo.add(1, 0, 1.0);
+        coo.add(1, 1, 3.0);
+        coo.add(1, 2, 1.0);
+        coo.add(2, 1, 1.0);
+        coo.add(2, 2, 4.0);
+        coo.to_csr()
+    }
+
+    #[test]
+    fn coo_to_csr_basic() {
+        let a = sample();
+        assert_eq!(a.order(), 3);
+        assert_eq!(a.nnz(), 7);
+        assert_eq!(a.get(0, 0), 2.0);
+        assert_eq!(a.get(2, 0), 0.0);
+        assert_eq!(a.rowptr, vec![0, 2, 5, 7]);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut coo = Coo::new(2);
+        coo.add(0, 0, 1.0);
+        coo.add(0, 0, 2.5);
+        coo.add(1, 1, 1.0);
+        let a = coo.to_csr();
+        assert_eq!(a.get(0, 0), 3.5);
+        assert_eq!(a.nnz(), 2);
+    }
+
+    #[test]
+    fn zero_entries_skipped() {
+        let mut coo = Coo::new(2);
+        coo.add(0, 0, 0.0);
+        coo.add(1, 0, 1.0);
+        assert_eq!(coo.triplet_count(), 1);
+    }
+
+    #[test]
+    fn empty_rows_handled() {
+        let mut coo = Coo::new(4);
+        coo.add(0, 0, 1.0);
+        coo.add(3, 3, 2.0);
+        let a = coo.to_csr();
+        assert_eq!(a.rowptr, vec![0, 1, 1, 1, 2]);
+        let mut y = vec![0.0; 4];
+        a.matvec(&[1.0; 4], &mut y);
+        assert_eq!(y, vec![1.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn matvec_known() {
+        let a = sample();
+        let mut y = vec![0.0; 3];
+        a.matvec(&[1.0, 2.0, 3.0], &mut y);
+        assert_eq!(y, vec![4.0, 10.0, 14.0]);
+    }
+
+    #[test]
+    fn matvec_par_matches_seq() {
+        let n = 500;
+        let mut coo = Coo::new(n);
+        for i in 0..n {
+            coo.add(i, i, 4.0);
+            if i > 0 {
+                coo.add(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                coo.add(i, i + 1, -1.0);
+            }
+        }
+        let a = coo.to_csr();
+        let x: Vec<f64> = (0..n).map(|i| ((i * 13) % 7) as f64 - 3.0).collect();
+        let mut y1 = vec![0.0; n];
+        let mut y2 = vec![0.0; n];
+        a.matvec(&x, &mut y1);
+        let pool = Pool::new(4);
+        a.matvec_par(&pool, &x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let a = sample();
+        assert!(a.is_symmetric(1e-14));
+        let mut coo = Coo::new(2);
+        coo.add(0, 1, 1.0);
+        let b = coo.to_csr();
+        assert!(!b.is_symmetric(1e-14));
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        let a = sample();
+        assert_eq!(a.diagonal(), vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn submatrix_renumbers() {
+        let a = sample();
+        let s = a.submatrix(&[0, 2]);
+        assert_eq!(s.order(), 2);
+        assert_eq!(s.get(0, 0), 2.0);
+        assert_eq!(s.get(1, 1), 4.0);
+        assert_eq!(s.get(0, 1), 0.0, "coupling through dropped row vanishes");
+        assert_eq!(s.nnz(), 2);
+    }
+}

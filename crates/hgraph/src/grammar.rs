@@ -1,0 +1,824 @@
+//! H-graph grammars: BNF-style productions whose "language" is a set of
+//! H-graphs representing a class of data objects.
+//!
+//! A [`Grammar`] maps nonterminal names to alternatives of [`Shape`]s. A
+//! shape constrains one storage location (its atom kind or nested graph, and
+//! its labeled access paths) or one graph (via its entry node). Conformance
+//! checking is coinductive: cyclic data structures (rings, doubly-linked
+//! chains) conform as long as every unfolding matches, which is the greatest
+//! fixpoint reading of recursive productions.
+//!
+//! ```
+//! use fem2_hgraph::prelude::*;
+//!
+//! // TaskTree ::= node(Sym) with children[0..k] -> TaskTree
+//! let g = Grammar::builder("tasks")
+//!     .rule("TaskTree", Shape::node(AtomKind::Sym).arcs_indexed("TaskTree"))
+//!     .build()
+//!     .unwrap();
+//!
+//! let mut h = HGraph::new();
+//! let gr = h.new_graph("t");
+//! let root = h.add_node(gr, Value::sym("root"));
+//! let kid = h.add_node(gr, Value::sym("kid"));
+//! h.add_arc(gr, root, Selector::index(0), kid).unwrap();
+//! assert!(g.node_conforms(&h, gr, root, "TaskTree").is_ok());
+//! ```
+
+use crate::graph::{GraphId, NodeId, Selector};
+use crate::hier::{Atom, HGraph, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Constraint on the atomic value of a storage location.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AtomKind {
+    /// Any atom (but not a nested graph).
+    Any,
+    /// Specifically the empty atom.
+    Empty,
+    /// Any integer.
+    Int,
+    /// Any float.
+    Float,
+    /// Any string.
+    Str,
+    /// Any symbol.
+    Sym,
+    /// Exactly the named symbol (keyword positions, tags, states).
+    SymExact(String),
+}
+
+impl AtomKind {
+    fn matches(&self, a: &Atom) -> bool {
+        match (self, a) {
+            (AtomKind::Any, _) => true,
+            (AtomKind::Empty, Atom::Empty) => true,
+            (AtomKind::Int, Atom::Int(_)) => true,
+            (AtomKind::Float, Atom::Float(_)) => true,
+            (AtomKind::Str, Atom::Str(_)) => true,
+            (AtomKind::Sym, Atom::Sym(_)) => true,
+            (AtomKind::SymExact(want), Atom::Sym(got)) => want == got,
+            _ => false,
+        }
+    }
+}
+
+/// Whether a named access path must be present.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Multiplicity {
+    /// The arc must exist.
+    One,
+    /// The arc may be absent; if present it must conform.
+    Optional,
+}
+
+/// A requirement on one named access path out of a node.
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct ArcSpec {
+    selector: String,
+    target: String,
+    mult: Multiplicity,
+}
+
+/// What a node's value must be.
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum ValueSpec {
+    /// An atom of the given kind.
+    Atom(AtomKind),
+    /// A nested graph conforming to the named (graph) nonterminal.
+    Nested(String),
+    /// Either an atom of the given kind or a nested graph of the named
+    /// nonterminal.
+    Either(AtomKind, String),
+}
+
+/// One alternative of a production: the shape a node or graph must have.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Shape {
+    kind: ShapeKind,
+}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum ShapeKind {
+    Node {
+        value: ValueSpec,
+        arcs: Vec<ArcSpec>,
+        /// Dense indexed arcs `[0..k)` each conforming to this nonterminal.
+        indexed: Option<String>,
+        /// Permit named arcs not mentioned in `arcs`.
+        open: bool,
+    },
+    /// A graph whose entry node conforms to the named node nonterminal.
+    GraphEntry(String),
+}
+
+impl Shape {
+    /// A node holding an atom of kind `k`, with no arcs required.
+    pub fn node(k: AtomKind) -> Self {
+        Shape {
+            kind: ShapeKind::Node {
+                value: ValueSpec::Atom(k),
+                arcs: Vec::new(),
+                indexed: None,
+                open: false,
+            },
+        }
+    }
+
+    /// A node whose value is a nested graph conforming to nonterminal `nt`.
+    pub fn nested(nt: impl Into<String>) -> Self {
+        Shape {
+            kind: ShapeKind::Node {
+                value: ValueSpec::Nested(nt.into()),
+                arcs: Vec::new(),
+                indexed: None,
+                open: false,
+            },
+        }
+    }
+
+    /// A node holding either an atom of kind `k` or a nested graph
+    /// conforming to `nt`.
+    pub fn atom_or_nested(k: AtomKind, nt: impl Into<String>) -> Self {
+        Shape {
+            kind: ShapeKind::Node {
+                value: ValueSpec::Either(k, nt.into()),
+                arcs: Vec::new(),
+                indexed: None,
+                open: false,
+            },
+        }
+    }
+
+    /// A graph-level shape: the graph's entry node must conform to `nt`.
+    pub fn graph_entry(nt: impl Into<String>) -> Self {
+        Shape {
+            kind: ShapeKind::GraphEntry(nt.into()),
+        }
+    }
+
+    /// Require a named arc to a node conforming to `target`.
+    pub fn arc(mut self, selector: impl Into<String>, target: impl Into<String>) -> Self {
+        self.push_arc(selector, target, Multiplicity::One);
+        self
+    }
+
+    /// Permit an optional named arc to a node conforming to `target`.
+    pub fn arc_opt(mut self, selector: impl Into<String>, target: impl Into<String>) -> Self {
+        self.push_arc(selector, target, Multiplicity::Optional);
+        self
+    }
+
+    /// Require that all indexed arcs form a dense sequence `[0..k)` whose
+    /// targets each conform to `target` (k may be zero).
+    pub fn arcs_indexed(mut self, target: impl Into<String>) -> Self {
+        if let ShapeKind::Node { indexed, .. } = &mut self.kind {
+            *indexed = Some(target.into());
+        } else {
+            panic!("arcs_indexed applies to node shapes only");
+        }
+        self
+    }
+
+    /// Permit named arcs beyond those specified (an "open" record).
+    pub fn open(mut self) -> Self {
+        if let ShapeKind::Node { open, .. } = &mut self.kind {
+            *open = true;
+        } else {
+            panic!("open applies to node shapes only");
+        }
+        self
+    }
+
+    fn push_arc(&mut self, selector: impl Into<String>, target: impl Into<String>, mult: Multiplicity) {
+        if let ShapeKind::Node { arcs, .. } = &mut self.kind {
+            arcs.push(ArcSpec {
+                selector: selector.into(),
+                target: target.into(),
+                mult,
+            });
+        } else {
+            panic!("arc specs apply to node shapes only");
+        }
+    }
+
+    fn referenced(&self) -> Vec<&str> {
+        match &self.kind {
+            ShapeKind::Node {
+                value,
+                arcs,
+                indexed,
+                ..
+            } => {
+                let mut v: Vec<&str> = arcs.iter().map(|a| a.target.as_str()).collect();
+                if let Some(nt) = indexed {
+                    v.push(nt);
+                }
+                match value {
+                    ValueSpec::Nested(nt) | ValueSpec::Either(_, nt) => v.push(nt),
+                    ValueSpec::Atom(_) => {}
+                }
+                v
+            }
+            ShapeKind::GraphEntry(nt) => vec![nt.as_str()],
+        }
+    }
+}
+
+/// Errors from grammar construction and conformance checking.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum GrammarError {
+    /// A shape references a nonterminal with no production.
+    UndefinedReference { in_rule: String, to: String },
+    /// A rule name was defined twice.
+    DuplicateRule(String),
+    /// Conformance was requested against an unknown nonterminal.
+    UnknownNonterminal(String),
+    /// The value does not conform; the message localizes the failure.
+    Mismatch { nonterminal: String, detail: String },
+}
+
+impl fmt::Display for GrammarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GrammarError::UndefinedReference { in_rule, to } => {
+                write!(f, "rule {in_rule:?} references undefined nonterminal {to:?}")
+            }
+            GrammarError::DuplicateRule(r) => write!(f, "rule {r:?} defined twice"),
+            GrammarError::UnknownNonterminal(nt) => write!(f, "unknown nonterminal {nt:?}"),
+            GrammarError::Mismatch { nonterminal, detail } => {
+                write!(f, "does not conform to {nonterminal:?}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GrammarError {}
+
+/// An H-graph grammar: named productions, each a list of alternative shapes.
+#[derive(Clone, Debug)]
+pub struct Grammar {
+    name: String,
+    rules: BTreeMap<String, Vec<Shape>>,
+}
+
+/// Builder for [`Grammar`]; validates cross-references at [`build`](GrammarBuilder::build).
+#[derive(Clone, Debug)]
+pub struct GrammarBuilder {
+    name: String,
+    rules: BTreeMap<String, Vec<Shape>>,
+    order: Vec<String>,
+    duplicate: Option<String>,
+}
+
+impl Grammar {
+    /// Start building a grammar with the given name.
+    pub fn builder(name: impl Into<String>) -> GrammarBuilder {
+        GrammarBuilder {
+            name: name.into(),
+            rules: BTreeMap::new(),
+            order: Vec::new(),
+            duplicate: None,
+        }
+    }
+
+    /// The grammar's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The number of productions.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// The defined nonterminal names (sorted).
+    pub fn nonterminals(&self) -> impl Iterator<Item = &str> {
+        self.rules.keys().map(|s| s.as_str())
+    }
+
+    /// Check that node `n` of graph `g` conforms to nonterminal `nt`.
+    pub fn node_conforms(
+        &self,
+        h: &HGraph,
+        g: GraphId,
+        n: NodeId,
+        nt: &str,
+    ) -> Result<(), GrammarError> {
+        let mut memo = Memo::default();
+        if self.check_node(h, g, n, nt, &mut memo)? {
+            Ok(())
+        } else {
+            Err(GrammarError::Mismatch {
+                nonterminal: nt.to_string(),
+                detail: format!("node {n:?} in graph {g:?}"),
+            })
+        }
+    }
+
+    /// Check that graph `g` conforms to (graph-level) nonterminal `nt`.
+    pub fn graph_conforms(&self, h: &HGraph, g: GraphId, nt: &str) -> Result<(), GrammarError> {
+        let mut memo = Memo::default();
+        if self.check_graph(h, g, nt, &mut memo)? {
+            Ok(())
+        } else {
+            Err(GrammarError::Mismatch {
+                nonterminal: nt.to_string(),
+                detail: format!("graph {g:?} (\"{}\")", h.label(g)),
+            })
+        }
+    }
+
+    /// Human-readable descriptions of each alternative of `nt` (used by the
+    /// BNF renderer). Unknown nonterminals yield an empty list.
+    pub(crate) fn describe_alternatives(&self, nt: &str) -> Vec<String> {
+        self.rules
+            .get(nt)
+            .map(|shapes| shapes.iter().map(describe_shape).collect())
+            .unwrap_or_default()
+    }
+
+    fn alternatives(&self, nt: &str) -> Result<&[Shape], GrammarError> {
+        self.rules
+            .get(nt)
+            .map(|v| v.as_slice())
+            .ok_or_else(|| GrammarError::UnknownNonterminal(nt.to_string()))
+    }
+
+    fn check_graph(
+        &self,
+        h: &HGraph,
+        g: GraphId,
+        nt: &str,
+        memo: &mut Memo,
+    ) -> Result<bool, GrammarError> {
+        let key = (nt.to_string(), Subject::Graph(g));
+        match memo.get(&key) {
+            Some(v) => return Ok(v),
+            None => memo.begin(key.clone()),
+        }
+        let mut ok = false;
+        for shape in self.alternatives(nt)? {
+            match &shape.kind {
+                ShapeKind::GraphEntry(entry_nt) => {
+                    if let Ok(entry) = h.entry(g) {
+                        if self.check_node(h, g, entry, entry_nt, memo)? {
+                            ok = true;
+                            break;
+                        }
+                    }
+                }
+                ShapeKind::Node { .. } => {
+                    // A node shape never matches a graph subject.
+                }
+            }
+        }
+        memo.finish(key, ok);
+        Ok(ok)
+    }
+
+    fn check_node(
+        &self,
+        h: &HGraph,
+        g: GraphId,
+        n: NodeId,
+        nt: &str,
+        memo: &mut Memo,
+    ) -> Result<bool, GrammarError> {
+        let key = (nt.to_string(), Subject::Node(g, n));
+        match memo.get(&key) {
+            Some(v) => return Ok(v),
+            None => memo.begin(key.clone()),
+        }
+        let mut ok = false;
+        for shape in self.alternatives(nt)? {
+            if self.check_node_shape(h, g, n, shape, memo)? {
+                ok = true;
+                break;
+            }
+        }
+        memo.finish(key, ok);
+        Ok(ok)
+    }
+
+    fn check_node_shape(
+        &self,
+        h: &HGraph,
+        g: GraphId,
+        n: NodeId,
+        shape: &Shape,
+        memo: &mut Memo,
+    ) -> Result<bool, GrammarError> {
+        let ShapeKind::Node {
+            value,
+            arcs,
+            indexed,
+            open,
+        } = &shape.kind
+        else {
+            return Ok(false);
+        };
+        // 1. Value constraint.
+        let value_ok = match (value, h.value(n)) {
+            (ValueSpec::Atom(k), Value::Atom(a)) => k.matches(a),
+            (ValueSpec::Nested(nt), Value::Graph(child)) => self.check_graph(h, *child, nt, memo)?,
+            (ValueSpec::Either(k, _), Value::Atom(a)) => k.matches(a),
+            (ValueSpec::Either(_, nt), Value::Graph(child)) => {
+                self.check_graph(h, *child, nt, memo)?
+            }
+            _ => false,
+        };
+        if !value_ok {
+            return Ok(false);
+        }
+        // 2. Named-arc constraints.
+        let mut matched: BTreeSet<&str> = BTreeSet::new();
+        for spec in arcs {
+            let sel = Selector::name(spec.selector.clone());
+            match h.out_arcs(g, n).find(|a| a.selector == sel) {
+                Some(arc) => {
+                    if !self.check_node(h, g, arc.to, &spec.target, memo)? {
+                        return Ok(false);
+                    }
+                    matched.insert(spec.selector.as_str());
+                }
+                None => {
+                    if spec.mult == Multiplicity::One {
+                        return Ok(false);
+                    }
+                }
+            }
+        }
+        // 3. Indexed-arc constraints: dense [0..k).
+        let mut index_arcs: Vec<(u64, NodeId)> = h
+            .out_arcs(g, n)
+            .filter_map(|a| a.selector.as_index().map(|i| (i, a.to)))
+            .collect();
+        index_arcs.sort_unstable_by_key(|(i, _)| *i);
+        match indexed {
+            Some(target) => {
+                for (pos, (i, to)) in index_arcs.iter().enumerate() {
+                    if *i != pos as u64 {
+                        return Ok(false); // not dense
+                    }
+                    if !self.check_node(h, g, *to, target, memo)? {
+                        return Ok(false);
+                    }
+                }
+            }
+            None => {
+                if !index_arcs.is_empty() && !open {
+                    return Ok(false);
+                }
+            }
+        }
+        // 4. Closed shapes forbid unexpected named arcs.
+        if !open {
+            for a in h.out_arcs(g, n) {
+                if let Some(name) = a.selector.as_name() {
+                    if !matched.contains(name)
+                        && !arcs.iter().any(|s| s.selector == name)
+                    {
+                        return Ok(false);
+                    }
+                }
+            }
+        }
+        Ok(true)
+    }
+}
+
+impl GrammarBuilder {
+    /// Add one alternative for nonterminal `name`. Call repeatedly with the
+    /// same name for alternation.
+    pub fn rule(mut self, name: impl Into<String>, shape: Shape) -> Self {
+        let name = name.into();
+        if !self.rules.contains_key(&name) {
+            self.order.push(name.clone());
+        }
+        self.rules.entry(name).or_default().push(shape);
+        self
+    }
+
+    /// Finish, validating that every referenced nonterminal is defined.
+    pub fn build(self) -> Result<Grammar, GrammarError> {
+        if let Some(d) = self.duplicate {
+            return Err(GrammarError::DuplicateRule(d));
+        }
+        for (name, shapes) in &self.rules {
+            for shape in shapes {
+                for r in shape.referenced() {
+                    if !self.rules.contains_key(r) {
+                        return Err(GrammarError::UndefinedReference {
+                            in_rule: name.clone(),
+                            to: r.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(Grammar {
+            name: self.name,
+            rules: self.rules,
+        })
+    }
+}
+
+fn describe_atom(k: &AtomKind) -> String {
+    match k {
+        AtomKind::Any => "atom".into(),
+        AtomKind::Empty => "empty".into(),
+        AtomKind::Int => "int".into(),
+        AtomKind::Float => "float".into(),
+        AtomKind::Str => "str".into(),
+        AtomKind::Sym => "sym".into(),
+        AtomKind::SymExact(s) => format!("'{s}'"),
+    }
+}
+
+fn describe_shape(shape: &Shape) -> String {
+    match &shape.kind {
+        ShapeKind::GraphEntry(nt) => format!("graph(entry: {nt})"),
+        ShapeKind::Node {
+            value,
+            arcs,
+            indexed,
+            open,
+        } => {
+            let v = match value {
+                ValueSpec::Atom(k) => describe_atom(k),
+                ValueSpec::Nested(nt) => format!("graph:{nt}"),
+                ValueSpec::Either(k, nt) => format!("{} | graph:{nt}", describe_atom(k)),
+            };
+            let mut parts: Vec<String> = arcs
+                .iter()
+                .map(|a| match a.mult {
+                    Multiplicity::One => format!("{} -> {}", a.selector, a.target),
+                    Multiplicity::Optional => format!("[{} -> {}]", a.selector, a.target),
+                })
+                .collect();
+            if let Some(nt) = indexed {
+                parts.push(format!("[i] -> {nt} *"));
+            }
+            if *open {
+                parts.push("...".into());
+            }
+            if parts.is_empty() {
+                format!("node({v})")
+            } else {
+                format!("node({v}) {{ {} }}", parts.join(", "))
+            }
+        }
+    }
+}
+
+/// Subject of a conformance query: a node in a graph, or a graph.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+enum Subject {
+    Node(GraphId, NodeId),
+    Graph(GraphId),
+}
+
+/// Coinductive memoization: in-progress queries are assumed true, so cyclic
+/// structures conform when every finite unfolding matches.
+#[derive(Default)]
+struct Memo {
+    state: BTreeMap<(String, Subject), Option<bool>>,
+}
+
+impl Memo {
+    fn get(&self, key: &(String, Subject)) -> Option<bool> {
+        match self.state.get(key) {
+            Some(Some(v)) => Some(*v),
+            Some(None) => Some(true), // in progress: coinductive assumption
+            None => None,
+        }
+    }
+
+    fn begin(&mut self, key: (String, Subject)) {
+        self.state.insert(key, None);
+    }
+
+    fn finish(&mut self, key: (String, Subject), v: bool) {
+        self.state.insert(key, Some(v));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hier::Value;
+
+    fn list_grammar() -> Grammar {
+        // List ::= node(Int) [next -> List]?
+        Grammar::builder("list")
+            .rule("List", Shape::node(AtomKind::Int).arc_opt("next", "List"))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn build_rejects_undefined_reference() {
+        let err = Grammar::builder("bad")
+            .rule("A", Shape::node(AtomKind::Int).arc("x", "Missing"))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GrammarError::UndefinedReference { .. }));
+    }
+
+    #[test]
+    fn linear_list_conforms() {
+        let g = list_grammar();
+        let mut h = HGraph::new();
+        let gr = h.new_graph("l");
+        let a = h.add_node(gr, Value::int(1));
+        let b = h.add_node(gr, Value::int(2));
+        let c = h.add_node(gr, Value::int(3));
+        h.add_arc(gr, a, Selector::name("next"), b).unwrap();
+        h.add_arc(gr, b, Selector::name("next"), c).unwrap();
+        assert!(g.node_conforms(&h, gr, a, "List").is_ok());
+    }
+
+    #[test]
+    fn wrong_atom_kind_rejected() {
+        let g = list_grammar();
+        let mut h = HGraph::new();
+        let gr = h.new_graph("l");
+        let a = h.add_node(gr, Value::str("oops"));
+        assert!(g.node_conforms(&h, gr, a, "List").is_err());
+    }
+
+    #[test]
+    fn unexpected_arc_rejected_when_closed() {
+        let g = list_grammar();
+        let mut h = HGraph::new();
+        let gr = h.new_graph("l");
+        let a = h.add_node(gr, Value::int(1));
+        let b = h.add_node(gr, Value::int(2));
+        h.add_arc(gr, a, Selector::name("rogue"), b).unwrap();
+        assert!(g.node_conforms(&h, gr, a, "List").is_err());
+    }
+
+    #[test]
+    fn open_shape_permits_extra_arcs() {
+        let g = Grammar::builder("open")
+            .rule("N", Shape::node(AtomKind::Int).open())
+            .build()
+            .unwrap();
+        let mut h = HGraph::new();
+        let gr = h.new_graph("l");
+        let a = h.add_node(gr, Value::int(1));
+        let b = h.add_node(gr, Value::int(2));
+        h.add_arc(gr, a, Selector::name("extra"), b).unwrap();
+        h.add_arc(gr, a, Selector::index(0), b).unwrap();
+        assert!(g.node_conforms(&h, gr, a, "N").is_ok());
+    }
+
+    #[test]
+    fn cyclic_ring_conforms_coinductively() {
+        // Ring ::= node(Int) [next -> Ring]  (required arc, cycle closes it)
+        let g = Grammar::builder("ring")
+            .rule("Ring", Shape::node(AtomKind::Int).arc("next", "Ring"))
+            .build()
+            .unwrap();
+        let mut h = HGraph::new();
+        let gr = h.new_graph("r");
+        let a = h.add_node(gr, Value::int(1));
+        let b = h.add_node(gr, Value::int(2));
+        h.add_arc(gr, a, Selector::name("next"), b).unwrap();
+        h.add_arc(gr, b, Selector::name("next"), a).unwrap();
+        assert!(g.node_conforms(&h, gr, a, "Ring").is_ok());
+        // A broken ring (missing required arc) does not conform.
+        let c = h.add_node(gr, Value::int(3));
+        assert!(g.node_conforms(&h, gr, c, "Ring").is_err());
+    }
+
+    #[test]
+    fn alternation_over_rules() {
+        // Val ::= Int | Sym
+        let g = Grammar::builder("alt")
+            .rule("Val", Shape::node(AtomKind::Int))
+            .rule("Val", Shape::node(AtomKind::Sym))
+            .build()
+            .unwrap();
+        let mut h = HGraph::new();
+        let gr = h.new_graph("v");
+        let i = h.add_node(gr, Value::int(1));
+        let s = h.add_node(gr, Value::sym("x"));
+        let f = h.add_node(gr, Value::float(1.0));
+        assert!(g.node_conforms(&h, gr, i, "Val").is_ok());
+        assert!(g.node_conforms(&h, gr, s, "Val").is_ok());
+        assert!(g.node_conforms(&h, gr, f, "Val").is_err());
+    }
+
+    #[test]
+    fn sym_exact_matches_only_that_symbol() {
+        let g = Grammar::builder("tag")
+            .rule("Ready", Shape::node(AtomKind::SymExact("ready".into())))
+            .build()
+            .unwrap();
+        let mut h = HGraph::new();
+        let gr = h.new_graph("t");
+        let ok = h.add_node(gr, Value::sym("ready"));
+        let no = h.add_node(gr, Value::sym("paused"));
+        assert!(g.node_conforms(&h, gr, ok, "Ready").is_ok());
+        assert!(g.node_conforms(&h, gr, no, "Ready").is_err());
+    }
+
+    #[test]
+    fn indexed_arcs_must_be_dense() {
+        let g = Grammar::builder("vec")
+            .rule("Vec", Shape::node(AtomKind::Sym).arcs_indexed("Elem"))
+            .rule("Elem", Shape::node(AtomKind::Float))
+            .build()
+            .unwrap();
+        let mut h = HGraph::new();
+        let gr = h.new_graph("v");
+        let v = h.add_node(gr, Value::sym("vec"));
+        let e0 = h.add_node(gr, Value::float(0.0));
+        let e2 = h.add_node(gr, Value::float(2.0));
+        h.add_arc(gr, v, Selector::index(0), e0).unwrap();
+        assert!(g.node_conforms(&h, gr, v, "Vec").is_ok());
+        // gap at index 1 -> not dense
+        h.add_arc(gr, v, Selector::index(2), e2).unwrap();
+        assert!(g.node_conforms(&h, gr, v, "Vec").is_err());
+    }
+
+    #[test]
+    fn empty_indexed_sequence_conforms() {
+        let g = Grammar::builder("vec")
+            .rule("Vec", Shape::node(AtomKind::Sym).arcs_indexed("Elem"))
+            .rule("Elem", Shape::node(AtomKind::Float))
+            .build()
+            .unwrap();
+        let mut h = HGraph::new();
+        let gr = h.new_graph("v");
+        let v = h.add_node(gr, Value::sym("vec"));
+        assert!(g.node_conforms(&h, gr, v, "Vec").is_ok());
+    }
+
+    #[test]
+    fn nested_graph_conformance() {
+        // Model ::= node containing graph whose entry is a List.
+        let g = Grammar::builder("nested")
+            .rule("Model", Shape::nested("ListGraph"))
+            .rule("ListGraph", Shape::graph_entry("List"))
+            .rule("List", Shape::node(AtomKind::Int).arc_opt("next", "List"))
+            .build()
+            .unwrap();
+        let mut h = HGraph::new();
+        let top = h.new_graph("top");
+        let inner = h.new_graph("inner");
+        let holder = h.add_node(top, Value::graph(inner));
+        let n = h.add_node(inner, Value::int(5));
+        h.set_entry(inner, n).unwrap();
+        assert!(g.node_conforms(&h, top, holder, "Model").is_ok());
+        // Graph without entry node fails the graph_entry shape.
+        let inner2 = h.new_graph("noentry");
+        let _orphan = h.add_node(inner2, Value::int(0));
+        let holder2 = h.add_node(top, Value::graph(inner2));
+        assert!(g.node_conforms(&h, top, holder2, "Model").is_err());
+    }
+
+    #[test]
+    fn unknown_nonterminal_query_errors() {
+        let g = list_grammar();
+        let mut h = HGraph::new();
+        let gr = h.new_graph("l");
+        let a = h.add_node(gr, Value::int(1));
+        assert!(matches!(
+            g.node_conforms(&h, gr, a, "Nope"),
+            Err(GrammarError::UnknownNonterminal(_))
+        ));
+    }
+
+    #[test]
+    fn atom_or_nested_accepts_both() {
+        let g = Grammar::builder("e")
+            .rule("Cell", Shape::atom_or_nested(AtomKind::Int, "Sub"))
+            .rule("Sub", Shape::graph_entry("Leaf"))
+            .rule("Leaf", Shape::node(AtomKind::Sym))
+            .build()
+            .unwrap();
+        let mut h = HGraph::new();
+        let top = h.new_graph("top");
+        let atom_cell = h.add_node(top, Value::int(3));
+        let sub = h.new_graph("sub");
+        let leaf = h.add_node(sub, Value::sym("s"));
+        h.set_entry(sub, leaf).unwrap();
+        let graph_cell = h.add_node(top, Value::graph(sub));
+        assert!(g.node_conforms(&h, top, atom_cell, "Cell").is_ok());
+        assert!(g.node_conforms(&h, top, graph_cell, "Cell").is_ok());
+        let str_cell = h.add_node(top, Value::str("no"));
+        assert!(g.node_conforms(&h, top, str_cell, "Cell").is_err());
+    }
+
+    #[test]
+    fn grammar_introspection() {
+        let g = list_grammar();
+        assert_eq!(g.name(), "list");
+        assert_eq!(g.rule_count(), 1);
+        assert_eq!(g.nonterminals().collect::<Vec<_>>(), vec!["List"]);
+    }
+}

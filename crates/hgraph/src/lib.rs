@@ -1,0 +1,74 @@
+//! # fem2-hgraph — H-graph semantics
+//!
+//! An implementation of the H-graph semantics formalism of Pratt (ICASE
+//! Report 83-2, 1983), the modeling method the FEM-2 design method uses to
+//! formally specify each layer of virtual machine:
+//!
+//! > "The data objects are modeled as hierarchies of directed graphs
+//! > (H-graphs) in which the nodes represent abstract storage locations and
+//! > the arcs represent access paths. Data types are modeled using formal
+//! > 'H-graph grammars,' a type of BNF grammar in which the 'language'
+//! > defined is a set of H-graphs representing a class of data objects.
+//! > Operations (procedures) on the data objects are modeled as 'H-graph
+//! > transforms,' which are functions defining transformations on the H-graph
+//! > models of data objects."
+//!
+//! The crate provides four pieces:
+//!
+//! * [`graph`] — directed graphs whose nodes are abstract storage locations
+//!   and whose arcs are selector-labeled access paths;
+//! * [`hier`] — the hierarchy: an [`hier::HGraph`] arena in which a node's
+//!   *value* may itself be a graph;
+//! * [`grammar`] — H-graph grammars: BNF-style productions whose language is
+//!   a set of H-graphs, with a membership (conformance) checker;
+//! * [`transform`] — H-graph transforms: named, pre/post-conditioned
+//!   functions on H-graphs, with a call-hierarchy trace;
+//! * [`model`] — virtual-machine models bundling a grammar and a transform
+//!   registry under the five VM components the paper enumerates (data
+//!   objects, operations, sequence control, data control, storage
+//!   management).
+//!
+//! # Quick example
+//!
+//! ```
+//! use fem2_hgraph::prelude::*;
+//!
+//! // Build an H-graph modeling a two-node load set.
+//! let mut h = HGraph::new();
+//! let g = h.new_graph("loadset");
+//! let a = h.add_node(g, Value::float(1.5));
+//! let b = h.add_node(g, Value::float(-2.0));
+//! h.add_arc(g, a, Selector::name("next"), b).unwrap();
+//! h.set_entry(g, a).unwrap();
+//!
+//! // A grammar: a LoadSet is a chain of float nodes linked by `next`.
+//! let gram = Grammar::builder("loadset")
+//!     .rule("LoadSet", Shape::graph_entry("Entry"))
+//!     .rule("Entry", Shape::node(AtomKind::Float).arc_opt("next", "Entry"))
+//!     .build()
+//!     .unwrap();
+//! assert!(gram.graph_conforms(&h, g, "LoadSet").is_ok());
+//! ```
+
+pub mod grammar;
+pub mod graph;
+pub mod hier;
+pub mod model;
+pub mod render;
+pub mod transform;
+
+/// Commonly used types, re-exported for glob import.
+pub mod prelude {
+    pub use crate::grammar::{AtomKind, Grammar, GrammarError, Multiplicity, Shape};
+    pub use crate::graph::{Arc, GraphId, NodeId, Selector};
+    pub use crate::hier::{Atom, HGraph, Value};
+    pub use crate::model::{VmComponent, VmModel};
+    pub use crate::transform::{Transform, TransformError, TransformRegistry};
+}
+
+pub use grammar::{AtomKind, Grammar, GrammarError, Multiplicity, Shape};
+pub use graph::{Arc, GraphId, NodeId, Selector};
+pub use hier::{Atom, HGraph, Value};
+pub use model::{VmComponent, VmModel};
+pub use render::to_dot;
+pub use transform::{Transform, TransformError, TransformRegistry};

@@ -1,0 +1,277 @@
+//! Virtual-machine models: a grammar plus a transform registry, organized
+//! under the five components the paper says every virtual machine has.
+//!
+//! > "A virtual machine is composed of (1) various types of data objects,
+//! > (2) various operations on those data objects, (3) various sequence
+//! > control mechanisms …, (4) various data control mechanisms …, and (5)
+//! > storage management mechanisms …"
+//!
+//! A [`VmModel`] is the formal specification of one layer: its data objects
+//! are the nonterminals of its [`Grammar`], its operations are the
+//! transforms in its [`TransformRegistry`], and each named item is tagged
+//! with the [`VmComponent`] it belongs to. `fem2-core` builds one `VmModel`
+//! per FEM-2 layer and validates live runtime states against them.
+
+use crate::grammar::{Grammar, GrammarError};
+use crate::hier::HGraph;
+use crate::transform::{TraceEntry, Transform, TransformError, TransformRegistry};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// The five components of a virtual machine, as enumerated in the paper.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum VmComponent {
+    /// Types of data objects.
+    DataObjects,
+    /// Operations on those data objects.
+    Operations,
+    /// Mechanisms specifying the order of operations.
+    SequenceControl,
+    /// Mechanisms controlling access to data objects by operations.
+    DataControl,
+    /// Placement and movement of data and code during execution.
+    StorageManagement,
+}
+
+impl VmComponent {
+    /// All five components, in the paper's order.
+    pub const ALL: [VmComponent; 5] = [
+        VmComponent::DataObjects,
+        VmComponent::Operations,
+        VmComponent::SequenceControl,
+        VmComponent::DataControl,
+        VmComponent::StorageManagement,
+    ];
+}
+
+impl fmt::Display for VmComponent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            VmComponent::DataObjects => "data objects",
+            VmComponent::Operations => "operations",
+            VmComponent::SequenceControl => "sequence control",
+            VmComponent::DataControl => "data control",
+            VmComponent::StorageManagement => "storage management",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A formal model of one virtual-machine layer.
+#[derive(Clone, Debug)]
+pub struct VmModel {
+    name: String,
+    grammar: Arc<Grammar>,
+    transforms: TransformRegistry,
+    /// Which component each named feature belongs to.
+    catalog: BTreeMap<String, VmComponent>,
+}
+
+impl VmModel {
+    /// A model named `name` whose data objects are specified by `grammar`.
+    pub fn new(name: impl Into<String>, grammar: Arc<Grammar>) -> Self {
+        VmModel {
+            name: name.into(),
+            grammar,
+            transforms: TransformRegistry::new(),
+            catalog: BTreeMap::new(),
+        }
+    }
+
+    /// The layer's name (e.g. "numerical analyst's virtual machine").
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layer's data-object grammar.
+    pub fn grammar(&self) -> &Arc<Grammar> {
+        &self.grammar
+    }
+
+    /// The layer's transform registry.
+    pub fn transforms(&self) -> &TransformRegistry {
+        &self.transforms
+    }
+
+    /// Mutable access to the transform registry (for registration).
+    pub fn transforms_mut(&mut self) -> &mut TransformRegistry {
+        &mut self.transforms
+    }
+
+    /// Register an operation (a transform) under the `Operations` component.
+    pub fn add_operation(&mut self, t: Transform) {
+        self.catalog
+            .insert(t.name().to_string(), VmComponent::Operations);
+        self.transforms.register(t);
+    }
+
+    /// Declare a named feature of the layer under a given component
+    /// (data-object nonterminals, control mechanisms, storage managers).
+    pub fn declare(&mut self, feature: impl Into<String>, component: VmComponent) {
+        self.catalog.insert(feature.into(), component);
+    }
+
+    /// All features declared under `component`, sorted by name.
+    pub fn features(&self, component: VmComponent) -> Vec<&str> {
+        self.catalog
+            .iter()
+            .filter(|(_, c)| **c == component)
+            .map(|(k, _)| k.as_str())
+            .collect()
+    }
+
+    /// Check a live runtime state against the layer's data-object grammar:
+    /// the root graph of `h` must conform to nonterminal `nt`.
+    pub fn conforms(&self, h: &HGraph, nt: &str) -> Result<(), GrammarError> {
+        let root = h.root().ok_or_else(|| GrammarError::Mismatch {
+            nonterminal: nt.to_string(),
+            detail: "empty H-graph".into(),
+        })?;
+        self.grammar.graph_conforms(h, root, nt)
+    }
+
+    /// Apply one of the layer's operations to a state.
+    pub fn apply(&self, op: &str, h: &mut HGraph) -> Result<Vec<TraceEntry>, TransformError> {
+        self.transforms.apply(op, h)
+    }
+
+    /// A one-page textual summary of the layer specification, in the format
+    /// of the paper's per-layer component lists.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.name);
+        let _ = writeln!(out, "{}", "=".repeat(self.name.len()));
+        for c in VmComponent::ALL {
+            let feats = self.features(c);
+            let _ = writeln!(out, "{c}:");
+            if feats.is_empty() {
+                let _ = writeln!(out, "  (none declared)");
+            }
+            for feat in feats {
+                let _ = writeln!(out, "  {feat}");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "grammar: {} ({} productions)",
+            self.grammar.name(),
+            self.grammar.rule_count()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::{AtomKind, Shape};
+    use crate::hier::Value;
+
+    fn model() -> VmModel {
+        let grammar = Arc::new(
+            Grammar::builder("demo")
+                .rule("State", Shape::graph_entry("Cell"))
+                .rule("Cell", Shape::node(AtomKind::Int))
+                .build()
+                .unwrap(),
+        );
+        let mut m = VmModel::new("demo machine", grammar);
+        m.declare("State", VmComponent::DataObjects);
+        m.declare("direct interpretation", VmComponent::SequenceControl);
+        m.declare("workspace", VmComponent::DataControl);
+        m.declare("dynamic allocation", VmComponent::StorageManagement);
+        m.add_operation(Transform::new("zero", |h, _| {
+            let g = h.root().unwrap();
+            let n = h.entry(g).unwrap();
+            h.set_value(n, Value::int(0));
+            Ok(())
+        }));
+        m
+    }
+
+    fn state(v: i64) -> HGraph {
+        let mut h = HGraph::new();
+        let g = h.new_graph("s");
+        let n = h.add_node(g, Value::int(v));
+        h.set_entry(g, n).unwrap();
+        h
+    }
+
+    #[test]
+    fn conformance_against_layer_grammar() {
+        let m = model();
+        let h = state(3);
+        assert!(m.conforms(&h, "State").is_ok());
+        let mut bad = HGraph::new();
+        let g = bad.new_graph("s");
+        let n = bad.add_node(g, Value::str("x"));
+        bad.set_entry(g, n).unwrap();
+        assert!(m.conforms(&bad, "State").is_err());
+    }
+
+    #[test]
+    fn empty_hgraph_does_not_conform() {
+        let m = model();
+        let h = HGraph::new();
+        assert!(m.conforms(&h, "State").is_err());
+    }
+
+    #[test]
+    fn operations_apply() {
+        let m = model();
+        let mut h = state(5);
+        m.apply("zero", &mut h).unwrap();
+        let g = h.root().unwrap();
+        let n = h.entry(g).unwrap();
+        assert_eq!(h.value(n), &Value::int(0));
+    }
+
+    #[test]
+    fn catalog_by_component() {
+        let m = model();
+        assert_eq!(m.features(VmComponent::DataObjects), vec!["State"]);
+        assert_eq!(m.features(VmComponent::Operations), vec!["zero"]);
+        assert_eq!(
+            m.features(VmComponent::SequenceControl),
+            vec!["direct interpretation"]
+        );
+        assert_eq!(m.features(VmComponent::DataControl), vec!["workspace"]);
+        assert_eq!(
+            m.features(VmComponent::StorageManagement),
+            vec!["dynamic allocation"]
+        );
+    }
+
+    #[test]
+    fn summary_lists_all_components() {
+        let m = model();
+        let s = m.summary();
+        for c in VmComponent::ALL {
+            assert!(s.contains(&c.to_string()), "missing {c}");
+        }
+        assert!(s.contains("demo machine"));
+        assert!(s.contains("2 productions"));
+    }
+
+    #[test]
+    fn component_display_strings() {
+        assert_eq!(VmComponent::DataObjects.to_string(), "data objects");
+        assert_eq!(
+            VmComponent::StorageManagement.to_string(),
+            "storage management"
+        );
+        assert_eq!(VmComponent::ALL.len(), 5);
+    }
+
+    #[test]
+    fn accessors() {
+        let mut m = model();
+        assert_eq!(m.name(), "demo machine");
+        assert_eq!(m.grammar().name(), "demo");
+        assert_eq!(m.transforms().len(), 1);
+        m.transforms_mut().checked = false;
+        assert!(!m.transforms().checked);
+    }
+}

@@ -1,0 +1,178 @@
+//! Rendering: H-graph grammars as BNF text and H-graphs as Graphviz DOT.
+//!
+//! The design method's deliverable is a *document*: each layer's data
+//! objects specified as a grammar, its states drawable as graphs. These
+//! renderers produce exactly those artifacts — the BNF text feeds the
+//! design document, the DOT output lets any Graphviz viewer draw a live
+//! runtime state.
+
+use crate::grammar::Grammar;
+use crate::graph::GraphId;
+use crate::hier::{HGraph, Value};
+use std::fmt::Write as _;
+
+impl Grammar {
+    /// Render the grammar as BNF-style text, one production per line,
+    /// alternatives separated by `|`.
+    ///
+    /// ```
+    /// use fem2_hgraph::prelude::*;
+    /// let g = Grammar::builder("demo")
+    ///     .rule("List", Shape::node(AtomKind::Int).arc_opt("next", "List"))
+    ///     .build()
+    ///     .unwrap();
+    /// let bnf = g.to_bnf();
+    /// assert!(bnf.contains("List ::="));
+    /// assert!(bnf.contains("[next -> List]"));
+    /// ```
+    pub fn to_bnf(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "grammar {} {{", self.name());
+        for nt in self.nonterminals() {
+            let alts = self.describe_alternatives(nt);
+            let _ = writeln!(out, "  {nt} ::= {}", alts.join("\n        | "));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Render graph `g` of `h` (and every graph reachable from it) as a
+/// Graphviz DOT digraph. Nested graphs become clusters; nested-value arcs
+/// become dashed edges into the cluster's entry (or first) node.
+pub fn to_dot(h: &HGraph, root: GraphId) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph hgraph {{");
+    let _ = writeln!(out, "  rankdir=LR; node [shape=box, fontsize=10];");
+    for g in h.reachable_graphs(root) {
+        let _ = writeln!(out, "  subgraph cluster_{} {{", g.index());
+        let _ = writeln!(out, "    label=\"{}\";", escape(h.label(g)));
+        for &n in h.nodes(g) {
+            let (text, style) = match h.value(n) {
+                Value::Atom(a) => (a.to_string(), ""),
+                Value::Graph(child) => {
+                    (format!("<graph {}>", h.label(*child)), ", style=dashed")
+                }
+            };
+            let entry = h.entry(g).ok() == Some(n);
+            let shape = if entry { ", peripheries=2" } else { "" };
+            let _ = writeln!(
+                out,
+                "    n{} [label=\"{}\"{}{}];",
+                n.index(),
+                escape(&text),
+                style,
+                shape
+            );
+        }
+        for a in h.arcs(g) {
+            let _ = writeln!(
+                out,
+                "    n{} -> n{} [label=\"{}\"];",
+                a.from.index(),
+                a.to.index(),
+                escape(&a.selector.to_string())
+            );
+        }
+        let _ = writeln!(out, "  }}");
+        // Dashed containment edges from holder nodes into their nested
+        // graph's first node.
+        for &n in h.nodes(g) {
+            if let Value::Graph(child) = h.value(n) {
+                let target = h.entry(*child).ok().or_else(|| h.nodes(*child).first().copied());
+                if let Some(t) = target {
+                    let _ = writeln!(
+                        out,
+                        "  n{} -> n{} [style=dashed, lhead=cluster_{}];",
+                        n.index(),
+                        t.index(),
+                        child.index()
+                    );
+                }
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::{AtomKind, Shape};
+    use crate::graph::Selector;
+
+    fn grammar() -> Grammar {
+        Grammar::builder("model")
+            .rule("Model", Shape::graph_entry("Root"))
+            .rule(
+                "Root",
+                Shape::node(AtomKind::SymExact("model".into()))
+                    .arc("name", "Name")
+                    .arc_opt("loads", "Hub"),
+            )
+            .rule("Name", Shape::node(AtomKind::Str))
+            .rule("Hub", Shape::node(AtomKind::Sym).arcs_indexed("Name"))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn bnf_lists_every_production() {
+        let bnf = grammar().to_bnf();
+        for nt in ["Model", "Root", "Name", "Hub"] {
+            assert!(bnf.contains(&format!("{nt} ::=")), "missing {nt} in:\n{bnf}");
+        }
+        assert!(bnf.contains("grammar model {"));
+        assert!(bnf.contains("graph(entry: Root)"));
+        assert!(bnf.contains("'model'"), "exact symbol rendered");
+        assert!(bnf.contains("[loads -> Hub]"), "optional arc bracketed");
+        assert!(bnf.contains("name -> Name"), "required arc plain");
+        assert!(bnf.contains("[i] -> Name *"), "indexed arcs starred");
+    }
+
+    #[test]
+    fn bnf_renders_alternatives() {
+        let g = Grammar::builder("alt")
+            .rule("V", Shape::node(AtomKind::Int))
+            .rule("V", Shape::node(AtomKind::Sym))
+            .build()
+            .unwrap();
+        let bnf = g.to_bnf();
+        assert!(bnf.contains('|'), "alternatives separated:\n{bnf}");
+    }
+
+    #[test]
+    fn dot_renders_nodes_arcs_and_clusters() {
+        let mut h = HGraph::new();
+        let top = h.new_graph("top");
+        let inner = h.new_graph("inner");
+        let a = h.add_node(top, Value::sym("root"));
+        let b = h.add_node(top, Value::graph(inner));
+        let c = h.add_node(inner, Value::int(7));
+        h.set_entry(inner, c).unwrap();
+        h.add_arc(top, a, Selector::name("child"), b).unwrap();
+        h.set_entry(top, a).unwrap();
+        let dot = to_dot(&h, top);
+        assert!(dot.starts_with("digraph hgraph {"));
+        assert!(dot.contains("subgraph cluster_0"));
+        assert!(dot.contains("subgraph cluster_1"));
+        assert!(dot.contains("label=\"child\""));
+        assert!(dot.contains("peripheries=2"), "entry nodes double-bordered");
+        assert!(dot.contains("style=dashed"), "containment edge dashed");
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        let mut h = HGraph::new();
+        let g = h.new_graph("with \"quotes\"");
+        let _ = h.add_node(g, Value::str("say \"hi\""));
+        let dot = to_dot(&h, g);
+        assert!(dot.contains("\\\""));
+    }
+}

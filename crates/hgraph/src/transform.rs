@@ -1,0 +1,488 @@
+//! H-graph transforms: functions defining transformations on the H-graph
+//! models of data objects.
+//!
+//! A [`Transform`] is a named function over an [`HGraph`], optionally guarded
+//! by pre- and postconditions phrased as grammar conformance of the root
+//! graph ("the operation maps data objects of type A to data objects of type
+//! B"). Transforms invoke each other through a [`CallCtx`] "in the usual
+//! manner of subprogram calling hierarchies", and every application records a
+//! call trace, which is how the formal model expresses overall flow of
+//! control.
+
+use crate::grammar::{Grammar, GrammarError};
+use crate::hier::HGraph;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors raised while applying transforms.
+#[derive(Clone, Debug)]
+pub enum TransformError {
+    /// No transform with this name is registered.
+    Unknown(String),
+    /// The input H-graph violated the transform's precondition.
+    Precondition { transform: String, source: GrammarError },
+    /// The output H-graph violated the transform's postcondition.
+    Postcondition { transform: String, source: GrammarError },
+    /// The transform body signaled a domain error.
+    Body { transform: String, message: String },
+    /// Call depth exceeded the registry's recursion limit.
+    DepthExceeded { transform: String, limit: usize },
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::Unknown(n) => write!(f, "unknown transform {n:?}"),
+            TransformError::Precondition { transform, source } => {
+                write!(f, "precondition of {transform:?} failed: {source}")
+            }
+            TransformError::Postcondition { transform, source } => {
+                write!(f, "postcondition of {transform:?} failed: {source}")
+            }
+            TransformError::Body { transform, message } => {
+                write!(f, "transform {transform:?} failed: {message}")
+            }
+            TransformError::DepthExceeded { transform, limit } => {
+                write!(f, "call depth limit {limit} exceeded at {transform:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+/// The function type of a transform body.
+pub type TransformFn =
+    Arc<dyn Fn(&mut HGraph, &mut CallCtx<'_>) -> Result<(), TransformError> + Send + Sync>;
+
+/// A named H-graph transform with optional grammar-phrased pre/postconditions.
+#[derive(Clone)]
+pub struct Transform {
+    name: String,
+    pre: Option<(Arc<Grammar>, String)>,
+    post: Option<(Arc<Grammar>, String)>,
+    body: TransformFn,
+}
+
+impl fmt::Debug for Transform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Transform")
+            .field("name", &self.name)
+            .field("pre", &self.pre.as_ref().map(|(g, nt)| (g.name(), nt)))
+            .field("post", &self.post.as_ref().map(|(g, nt)| (g.name(), nt)))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Transform {
+    /// A transform with the given name and body, no conditions.
+    pub fn new(
+        name: impl Into<String>,
+        body: impl Fn(&mut HGraph, &mut CallCtx<'_>) -> Result<(), TransformError> + Send + Sync + 'static,
+    ) -> Self {
+        Transform {
+            name: name.into(),
+            pre: None,
+            post: None,
+            body: Arc::new(body),
+        }
+    }
+
+    /// Require the root graph to conform to `nt` under `grammar` on entry.
+    pub fn with_pre(mut self, grammar: Arc<Grammar>, nt: impl Into<String>) -> Self {
+        self.pre = Some((grammar, nt.into()));
+        self
+    }
+
+    /// Require the root graph to conform to `nt` under `grammar` on exit.
+    pub fn with_post(mut self, grammar: Arc<Grammar>, nt: impl Into<String>) -> Self {
+        self.post = Some((grammar, nt.into()));
+        self
+    }
+
+    /// The transform's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// One entry in a call trace: a transform applied at some call depth.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TraceEntry {
+    /// Transform name.
+    pub name: String,
+    /// Nesting depth (0 = outermost application).
+    pub depth: usize,
+}
+
+/// Calling context passed to transform bodies: lets a body invoke other
+/// transforms and accumulates the call trace.
+pub struct CallCtx<'a> {
+    registry: &'a TransformRegistry,
+    trace: Vec<TraceEntry>,
+    depth: usize,
+}
+
+impl<'a> CallCtx<'a> {
+    /// Invoke the named transform on `h` as a sub-call of the current one.
+    pub fn call(&mut self, name: &str, h: &mut HGraph) -> Result<(), TransformError> {
+        if self.depth >= self.registry.depth_limit {
+            return Err(TransformError::DepthExceeded {
+                transform: name.to_string(),
+                limit: self.registry.depth_limit,
+            });
+        }
+        let t = self.registry.get(name)?;
+        self.trace.push(TraceEntry {
+            name: t.name.clone(),
+            depth: self.depth,
+        });
+        self.depth += 1;
+        let result = self.registry.run_checked(&t, h, self);
+        self.depth -= 1;
+        result
+    }
+
+    /// Signal a domain error from within a transform body.
+    pub fn fail(&self, transform: &str, message: impl Into<String>) -> TransformError {
+        TransformError::Body {
+            transform: transform.to_string(),
+            message: message.into(),
+        }
+    }
+
+    /// Current call depth (outermost application is depth 1 inside a body).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+/// Registry of transforms for one virtual-machine model.
+#[derive(Clone)]
+pub struct TransformRegistry {
+    map: BTreeMap<String, Arc<Transform>>,
+    /// Whether pre/postconditions are verified on each application.
+    pub checked: bool,
+    /// Maximum call depth before [`TransformError::DepthExceeded`].
+    pub depth_limit: usize,
+}
+
+impl Default for TransformRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for TransformRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TransformRegistry")
+            .field("transforms", &self.map.keys().collect::<Vec<_>>())
+            .field("checked", &self.checked)
+            .finish()
+    }
+}
+
+impl TransformRegistry {
+    /// An empty registry with condition checking on and a depth limit of 256.
+    pub fn new() -> Self {
+        TransformRegistry {
+            map: BTreeMap::new(),
+            checked: true,
+            depth_limit: 256,
+        }
+    }
+
+    /// Register a transform. Re-registering a name replaces the previous
+    /// definition (supporting design iteration).
+    pub fn register(&mut self, t: Transform) {
+        self.map.insert(t.name.clone(), Arc::new(t));
+    }
+
+    /// Number of registered transforms.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no transforms are registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Names of registered transforms (sorted).
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.map.keys().map(|s| s.as_str())
+    }
+
+    fn get(&self, name: &str) -> Result<Arc<Transform>, TransformError> {
+        self.map
+            .get(name)
+            .cloned()
+            .ok_or_else(|| TransformError::Unknown(name.to_string()))
+    }
+
+    /// Apply the named transform to `h`, returning the full call trace.
+    pub fn apply(&self, name: &str, h: &mut HGraph) -> Result<Vec<TraceEntry>, TransformError> {
+        let mut ctx = CallCtx {
+            registry: self,
+            trace: Vec::new(),
+            depth: 0,
+        };
+        ctx.call(name, h)?;
+        Ok(ctx.trace)
+    }
+
+    fn run_checked(
+        &self,
+        t: &Transform,
+        h: &mut HGraph,
+        ctx: &mut CallCtx<'_>,
+    ) -> Result<(), TransformError> {
+        if self.checked {
+            if let Some((grammar, nt)) = &t.pre {
+                let root = h.root().ok_or_else(|| TransformError::Body {
+                    transform: t.name.clone(),
+                    message: "precondition on empty H-graph".into(),
+                })?;
+                grammar
+                    .graph_conforms(h, root, nt)
+                    .map_err(|source| TransformError::Precondition {
+                        transform: t.name.clone(),
+                        source,
+                    })?;
+            }
+        }
+        (t.body)(h, ctx)?;
+        if self.checked {
+            if let Some((grammar, nt)) = &t.post {
+                let root = h.root().ok_or_else(|| TransformError::Body {
+                    transform: t.name.clone(),
+                    message: "postcondition on empty H-graph".into(),
+                })?;
+                grammar
+                    .graph_conforms(h, root, nt)
+                    .map_err(|source| TransformError::Postcondition {
+                        transform: t.name.clone(),
+                        source,
+                    })?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::{AtomKind, Shape};
+    use crate::graph::Selector;
+    use crate::hier::Value;
+
+    fn counter_grammar() -> Arc<Grammar> {
+        Arc::new(
+            Grammar::builder("counter")
+                .rule("Counter", Shape::graph_entry("Cell"))
+                .rule("Cell", Shape::node(AtomKind::Int))
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn counter_hgraph(v: i64) -> HGraph {
+        let mut h = HGraph::new();
+        let g = h.new_graph("counter");
+        let n = h.add_node(g, Value::int(v));
+        h.set_entry(g, n).unwrap();
+        h
+    }
+
+    fn incr() -> Transform {
+        Transform::new("incr", |h, _ctx| {
+            let g = h.root().unwrap();
+            let n = h.entry(g).unwrap();
+            let v = match h.value(n) {
+                Value::Atom(crate::hier::Atom::Int(i)) => *i,
+                _ => return Err(TransformError::Body {
+                    transform: "incr".into(),
+                    message: "not an int".into(),
+                }),
+            };
+            h.set_value(n, Value::int(v + 1));
+            Ok(())
+        })
+    }
+
+    #[test]
+    fn apply_runs_body() {
+        let mut reg = TransformRegistry::new();
+        reg.register(incr());
+        let mut h = counter_hgraph(41);
+        let trace = reg.apply("incr", &mut h).unwrap();
+        let g = h.root().unwrap();
+        let n = h.entry(g).unwrap();
+        assert_eq!(h.value(n), &Value::int(42));
+        assert_eq!(trace, vec![TraceEntry { name: "incr".into(), depth: 0 }]);
+    }
+
+    #[test]
+    fn unknown_transform_errors() {
+        let reg = TransformRegistry::new();
+        let mut h = counter_hgraph(0);
+        assert!(matches!(
+            reg.apply("nope", &mut h),
+            Err(TransformError::Unknown(_))
+        ));
+    }
+
+    #[test]
+    fn preconditions_are_enforced() {
+        let gram = counter_grammar();
+        let mut reg = TransformRegistry::new();
+        reg.register(incr().with_pre(gram.clone(), "Counter"));
+        // Violate: entry holds a string.
+        let mut h = HGraph::new();
+        let g = h.new_graph("bad");
+        let n = h.add_node(g, Value::str("no"));
+        h.set_entry(g, n).unwrap();
+        assert!(matches!(
+            reg.apply("incr", &mut h),
+            Err(TransformError::Precondition { .. })
+        ));
+    }
+
+    #[test]
+    fn postconditions_are_enforced() {
+        let gram = counter_grammar();
+        let mut reg = TransformRegistry::new();
+        // A transform that breaks the invariant: writes a string.
+        reg.register(
+            Transform::new("corrupt", |h, _| {
+                let g = h.root().unwrap();
+                let n = h.entry(g).unwrap();
+                h.set_value(n, Value::str("broken"));
+                Ok(())
+            })
+            .with_post(gram, "Counter"),
+        );
+        let mut h = counter_hgraph(1);
+        assert!(matches!(
+            reg.apply("corrupt", &mut h),
+            Err(TransformError::Postcondition { .. })
+        ));
+    }
+
+    #[test]
+    fn unchecked_registry_skips_conditions() {
+        let gram = counter_grammar();
+        let mut reg = TransformRegistry::new();
+        reg.checked = false;
+        reg.register(
+            Transform::new("corrupt", |h, _| {
+                let g = h.root().unwrap();
+                let n = h.entry(g).unwrap();
+                h.set_value(n, Value::str("broken"));
+                Ok(())
+            })
+            .with_post(gram, "Counter"),
+        );
+        let mut h = counter_hgraph(1);
+        assert!(reg.apply("corrupt", &mut h).is_ok());
+    }
+
+    #[test]
+    fn call_hierarchy_traces_depth() {
+        let mut reg = TransformRegistry::new();
+        reg.register(incr());
+        reg.register(Transform::new("twice", |h, ctx| {
+            ctx.call("incr", h)?;
+            ctx.call("incr", h)
+        }));
+        let mut h = counter_hgraph(0);
+        let trace = reg.apply("twice", &mut h).unwrap();
+        let g = h.root().unwrap();
+        let n = h.entry(g).unwrap();
+        assert_eq!(h.value(n), &Value::int(2));
+        assert_eq!(
+            trace,
+            vec![
+                TraceEntry { name: "twice".into(), depth: 0 },
+                TraceEntry { name: "incr".into(), depth: 1 },
+                TraceEntry { name: "incr".into(), depth: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn runaway_recursion_hits_depth_limit() {
+        let mut reg = TransformRegistry::new();
+        reg.depth_limit = 16;
+        reg.register(Transform::new("loop", |h, ctx| ctx.call("loop", h)));
+        let mut h = counter_hgraph(0);
+        assert!(matches!(
+            reg.apply("loop", &mut h),
+            Err(TransformError::DepthExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn reregistering_replaces_definition() {
+        let mut reg = TransformRegistry::new();
+        reg.register(incr());
+        reg.register(Transform::new("incr", |h, _| {
+            let g = h.root().unwrap();
+            let n = h.entry(g).unwrap();
+            h.set_value(n, Value::int(1000));
+            Ok(())
+        }));
+        assert_eq!(reg.len(), 1);
+        let mut h = counter_hgraph(0);
+        reg.apply("incr", &mut h).unwrap();
+        let g = h.root().unwrap();
+        let n = h.entry(g).unwrap();
+        assert_eq!(h.value(n), &Value::int(1000));
+    }
+
+    #[test]
+    fn body_failure_propagates() {
+        let mut reg = TransformRegistry::new();
+        reg.register(Transform::new("fails", |_, ctx| Err(ctx.fail("fails", "nope"))));
+        let mut h = counter_hgraph(0);
+        let err = reg.apply("fails", &mut h).unwrap_err();
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn registry_introspection() {
+        let mut reg = TransformRegistry::new();
+        assert!(reg.is_empty());
+        reg.register(incr());
+        assert_eq!(reg.names().collect::<Vec<_>>(), vec!["incr"]);
+        assert!(!reg.is_empty());
+        // Transform name survives builder chaining.
+        assert_eq!(incr().with_pre(counter_grammar(), "Counter").name(), "incr");
+    }
+
+    #[test]
+    fn add_and_remove_structure_in_transform() {
+        // Transforms may restructure the graph, not just rewrite atoms.
+        let mut reg = TransformRegistry::new();
+        reg.register(Transform::new("push", |h, _| {
+            let g = h.root().unwrap();
+            let entry = h.entry(g).unwrap();
+            let n = h.add_node(g, Value::int(0));
+            // New node becomes the entry, pointing at old entry.
+            h.add_arc(g, n, Selector::name("next"), entry).unwrap();
+            h.set_entry(g, n).unwrap();
+            Ok(())
+        }));
+        let mut h = counter_hgraph(7);
+        reg.apply("push", &mut h).unwrap();
+        reg.apply("push", &mut h).unwrap();
+        let g = h.root().unwrap();
+        assert_eq!(h.nodes(g).len(), 3);
+        let e = h.entry(g).unwrap();
+        let second = h.follow(g, e, &Selector::name("next")).unwrap();
+        let third = h.follow(g, second, &Selector::name("next")).unwrap();
+        assert_eq!(h.value(third), &Value::int(7));
+    }
+}

@@ -1,0 +1,834 @@
+//! The per-cluster kernel loop over the simulated machine.
+//!
+//! [`KernelSim`] is the system programmer's VM in motion: kernel messages
+//! travel the network, arrive in a cluster's input queue, are decoded by the
+//! cluster's kernel PE (one [`fem2_machine::CostClass::MsgDispatch`] each),
+//! and their effects — task creation, scheduling, pause/resume, RPC — are
+//! charged to whichever PEs perform them. "Messages arriving in the input
+//! queue of any cluster can be processed by any available PE": the ready
+//! queue is cluster-wide and the dispatcher hands tasks to the
+//! earliest-free surviving worker PE.
+//!
+//! Semantics notes (documented simplifications of the 1983 design):
+//!
+//! * a paused task restarts its work profile when resumed (pause points
+//!   inside a profile are not modeled);
+//! * a PE failure re-queues the task that was running on it; the work
+//!   already charged to the dead PE is lost, and the task re-runs in full;
+//! * code blocks are auto-loaded on first use when
+//!   [`KernelConfig::auto_load_code`] is set (the default), otherwise an
+//!   explicit [`KernelMessage::LoadCode`] is required and initiating an
+//!   unloaded block drops the request.
+
+use crate::activation::{ActivationRecord, TaskId, TaskState};
+use crate::codeblock::{CodeBlock, CodeId, CodeStore};
+use crate::message::{KernelMessage, MessageKind};
+use fem2_machine::fault::FaultPlan;
+use fem2_machine::{CostClass, Cycles, EventQueue, Machine, PeId, Words};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Policy knobs for the kernel.
+#[derive(Clone, Copy, Debug)]
+pub struct KernelConfig {
+    /// Auto-load code blocks on first initiate/call at a cluster.
+    pub auto_load_code: bool,
+    /// Payload of pause/terminate notifications and RPC results, in words.
+    pub notify_words: Words,
+    /// Cycles the cluster spends reconfiguring after a PE fault before its
+    /// re-queued work is redispatched.
+    pub reconfig_cycles: Cycles,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            auto_load_code: true,
+            notify_words: 2,
+            reconfig_cycles: 500,
+        }
+    }
+}
+
+/// Kernel events on the discrete-event queue.
+#[derive(Clone, Debug)]
+enum KEvent {
+    /// A message arrives in `to`'s input queue.
+    Arrive { to: u32, msg: KernelMessage },
+    /// Cluster `cluster`'s kernel PE finished decoding the message at the
+    /// head of the input queue.
+    Decoded { cluster: u32 },
+    /// A task finished its charged work on a PE.
+    TaskComplete { task: TaskId, pe: PeId, epoch: u32 },
+    /// Try to hand ready tasks to available PEs.
+    Dispatch { cluster: u32 },
+    /// A planned hardware fault fires.
+    Fault { pe: PeId },
+}
+
+/// Per-cluster kernel state.
+#[derive(Debug, Default)]
+struct ClusterState {
+    input: VecDeque<KernelMessage>,
+    kernel_busy: bool,
+    ready: VecDeque<TaskId>,
+    loaded: BTreeSet<CodeId>,
+}
+
+/// The kernel simulation: a [`Machine`] plus the seven-message kernel
+/// protocol, task scheduling, and fault reconfiguration.
+pub struct KernelSim {
+    /// The simulated hardware (public for inspection; mutate through the
+    /// kernel API).
+    pub machine: Machine,
+    /// Kernel policy.
+    pub config: KernelConfig,
+    queue: EventQueue<KEvent>,
+    clusters: Vec<ClusterState>,
+    code: CodeStore,
+    tasks: Vec<ActivationRecord>,
+    /// Which task each PE is currently running.
+    running: BTreeMap<PeId, TaskId>,
+    /// (task, completion time) in completion order.
+    completions: Vec<(TaskId, Cycles)>,
+    /// Parent notifications delivered: (child task, arrival time).
+    notifications: Vec<(TaskId, Cycles)>,
+    /// RPC returns received: call_id -> arrival time.
+    rpc_returns: BTreeMap<u64, Cycles>,
+    /// RPC worker tasks: task -> (call_id, reply cluster).
+    rpc_tasks: BTreeMap<TaskId, (u64, u32)>,
+    /// Messages processed, by kind.
+    msg_counts: BTreeMap<MessageKind, u64>,
+    /// Requests dropped (unloaded code, OOM, bad state).
+    pub dropped: u64,
+}
+
+impl KernelSim {
+    /// A kernel over `machine` with default policy.
+    pub fn new(machine: Machine) -> Self {
+        let clusters = (0..machine.config.clusters)
+            .map(|_| ClusterState::default())
+            .collect();
+        KernelSim {
+            machine,
+            config: KernelConfig::default(),
+            queue: EventQueue::new(),
+            clusters,
+            code: CodeStore::new(),
+            tasks: Vec::new(),
+            running: BTreeMap::new(),
+            completions: Vec::new(),
+            notifications: Vec::new(),
+            rpc_returns: BTreeMap::new(),
+            rpc_tasks: BTreeMap::new(),
+            msg_counts: BTreeMap::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Register a code block with the global program store.
+    pub fn register_code(&mut self, block: CodeBlock) -> CodeId {
+        self.code.register(block)
+    }
+
+    /// The global program store.
+    pub fn code_store(&self) -> &CodeStore {
+        &self.code
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Cycles {
+        self.queue.now()
+    }
+
+    /// Send a kernel message from cluster `from` to cluster `to` at time
+    /// `at`. The sender's kernel PE is charged the format-and-send cost and
+    /// the network carries the wire size.
+    pub fn send(&mut self, at: Cycles, from: u32, to: u32, msg: KernelMessage) {
+        let kpe = self.machine.kernel_pe(from);
+        let send_done = self
+            .machine
+            .charge(at, kpe, CostClass::MsgSend, 1)
+            .unwrap_or(at);
+        let code = &self.code;
+        let wire = msg.wire_words(|c| code.get(c).words);
+        let arrival = self.machine.transmit(send_done, from, to, wire);
+        self.queue.schedule(arrival, KEvent::Arrive { to, msg });
+    }
+
+    /// Convenience: initiate `k` replications of `code` on `cluster`,
+    /// injected locally at time `at` (a user request arriving at the
+    /// cluster).
+    pub fn initiate(
+        &mut self,
+        at: Cycles,
+        cluster: u32,
+        code: CodeId,
+        k: u32,
+        parent: Option<TaskId>,
+        args_words: Words,
+    ) {
+        self.send(
+            at,
+            cluster,
+            cluster,
+            KernelMessage::InitiateTask {
+                code,
+                replications: k,
+                parent,
+                args_words,
+            },
+        );
+    }
+
+    /// Schedule a fault plan: each planned PE failure becomes an event.
+    pub fn inject_faults(&mut self, plan: &FaultPlan) {
+        let mut p = plan.clone();
+        let all = p.due(u64::MAX);
+        for f in all {
+            self.queue.schedule(f.at, KEvent::Fault { pe: f.pe });
+        }
+    }
+
+    /// Run to quiescence; returns the machine makespan.
+    pub fn run(&mut self) -> Cycles {
+        while let Some((now, ev)) = self.queue.pop() {
+            self.handle(now, ev);
+        }
+        self.machine.makespan()
+    }
+
+    /// Completions in completion order.
+    pub fn completions(&self) -> &[(TaskId, Cycles)] {
+        &self.completions
+    }
+
+    /// Parent notifications in arrival order.
+    pub fn notifications(&self) -> &[(TaskId, Cycles)] {
+        &self.notifications
+    }
+
+    /// RPC return arrival times by call id.
+    pub fn rpc_returns(&self) -> &BTreeMap<u64, Cycles> {
+        &self.rpc_returns
+    }
+
+    /// Processed message counts by kind.
+    pub fn msg_counts(&self) -> &BTreeMap<MessageKind, u64> {
+        &self.msg_counts
+    }
+
+    /// A task's activation record.
+    pub fn task(&self, id: TaskId) -> &ActivationRecord {
+        &self.tasks[id.0 as usize]
+    }
+
+    /// Total tasks created.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True if every created task has terminated.
+    pub fn all_done(&self) -> bool {
+        self.tasks.iter().all(|t| t.state == TaskState::Done)
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, now: Cycles, ev: KEvent) {
+        match ev {
+            KEvent::Arrive { to, msg } => {
+                self.clusters[to as usize].input.push_back(msg);
+                self.pump(now, to);
+            }
+            KEvent::Decoded { cluster } => {
+                let msg = self.clusters[cluster as usize]
+                    .input
+                    .pop_front()
+                    .expect("decoded event without queued message");
+                self.clusters[cluster as usize].kernel_busy = false;
+                *self.msg_counts.entry(msg.kind()).or_insert(0) += 1;
+                self.machine.stats.kernel_msg();
+                self.execute(now, cluster, msg);
+                self.pump(now, cluster);
+            }
+            KEvent::TaskComplete { task, pe, epoch } => {
+                self.task_complete(now, task, pe, epoch);
+            }
+            KEvent::Dispatch { cluster } => {
+                self.dispatch(now, cluster);
+            }
+            KEvent::Fault { pe } => {
+                self.fault(now, pe);
+            }
+        }
+    }
+
+    /// Start the kernel PE on the next queued message if it is idle.
+    fn pump(&mut self, now: Cycles, cluster: u32) {
+        let st = &mut self.clusters[cluster as usize];
+        if st.kernel_busy || st.input.is_empty() {
+            return;
+        }
+        st.kernel_busy = true;
+        let kpe = self.machine.kernel_pe(cluster);
+        let done = self
+            .machine
+            .charge(now, kpe, CostClass::MsgDispatch, 1)
+            .unwrap_or(now);
+        self.queue.schedule(done, KEvent::Decoded { cluster });
+    }
+
+    fn ensure_loaded(&mut self, now: Cycles, cluster: u32, code: CodeId) -> bool {
+        if self.clusters[cluster as usize].loaded.contains(&code) {
+            return true;
+        }
+        if !self.config.auto_load_code {
+            return false;
+        }
+        self.load_code(now, cluster, code)
+    }
+
+    fn load_code(&mut self, now: Cycles, cluster: u32, code: CodeId) -> bool {
+        let words = self.code.get(code).words;
+        if self.machine.alloc(cluster, words).is_err() {
+            return false;
+        }
+        let kpe = self.machine.kernel_pe(cluster);
+        let _ = self.machine.charge(now, kpe, CostClass::MemWord, words);
+        self.clusters[cluster as usize].loaded.insert(code);
+        true
+    }
+
+    fn execute(&mut self, now: Cycles, cluster: u32, msg: KernelMessage) {
+        match msg {
+            KernelMessage::InitiateTask {
+                code,
+                replications,
+                parent,
+                args_words,
+            } => {
+                if !self.ensure_loaded(now, cluster, code) {
+                    self.dropped += 1;
+                    return;
+                }
+                let kpe = self.machine.kernel_pe(cluster);
+                let locals = self.code.get(code).locals_words + args_words;
+                let mut created_any = false;
+                for _ in 0..replications {
+                    if self.machine.alloc(cluster, locals).is_err() {
+                        self.dropped += 1;
+                        continue;
+                    }
+                    let create_done = self
+                        .machine
+                        .charge(now, kpe, CostClass::TaskCreate, 1)
+                        .unwrap_or(now);
+                    let id = TaskId(self.tasks.len() as u64);
+                    self.tasks.push(ActivationRecord::new(
+                        id,
+                        code,
+                        cluster,
+                        parent,
+                        locals,
+                        create_done,
+                    ));
+                    self.clusters[cluster as usize].ready.push_back(id);
+                    created_any = true;
+                }
+                if created_any {
+                    // Dispatch once the kernel PE has finished creating the
+                    // activation records.
+                    let at = self.machine.pe(self.machine.kernel_pe(cluster)).unwrap().free_at;
+                    self.queue.schedule(at, KEvent::Dispatch { cluster });
+                }
+            }
+            KernelMessage::PauseNotify { task } => {
+                let rec = &mut self.tasks[task.0 as usize];
+                if rec.state == TaskState::Running {
+                    rec.epoch += 1; // invalidate the in-flight completion
+                    rec.transition(TaskState::Paused);
+                    // Free the PE's association (its charged time stands).
+                    self.running.retain(|_, t| *t != task);
+                    let parent = rec.parent;
+                    self.notify_parent(now, cluster, task, parent);
+                } else {
+                    self.dropped += 1;
+                }
+            }
+            KernelMessage::Resume { task } => {
+                let rec = &mut self.tasks[task.0 as usize];
+                if rec.state == TaskState::Paused {
+                    rec.transition(TaskState::Ready);
+                    let c = rec.cluster;
+                    self.clusters[c as usize].ready.push_back(task);
+                    self.queue.schedule(now, KEvent::Dispatch { cluster: c });
+                } else {
+                    self.dropped += 1;
+                }
+            }
+            KernelMessage::TerminateNotify { task } => {
+                let rec = &mut self.tasks[task.0 as usize];
+                match rec.state {
+                    TaskState::Done => {
+                        // Notification of an already-completed child: record
+                        // its delivery to the parent.
+                        self.notifications.push((task, now));
+                    }
+                    TaskState::Running | TaskState::Ready | TaskState::Paused => {
+                        // Forced termination.
+                        rec.epoch += 1;
+                        let state = rec.state;
+                        rec.transition(TaskState::Done);
+                        rec.completed_at = Some(now);
+                        let c = rec.cluster;
+                        let locals = rec.locals_words;
+                        let parent = rec.parent;
+                        if state == TaskState::Ready {
+                            self.clusters[c as usize].ready.retain(|t| *t != task);
+                        }
+                        self.running.retain(|_, t| *t != task);
+                        self.machine.free(c, locals);
+                        self.completions.push((task, now));
+                        self.notify_parent(now, cluster, task, parent);
+                    }
+                }
+            }
+            KernelMessage::RemoteCall {
+                call_id,
+                code,
+                args_words,
+                caller,
+                reply_cluster,
+            } => {
+                if !self.ensure_loaded(now, cluster, code) {
+                    self.dropped += 1;
+                    return;
+                }
+                let locals = self.code.get(code).locals_words + args_words;
+                if self.machine.alloc(cluster, locals).is_err() {
+                    self.dropped += 1;
+                    return;
+                }
+                let kpe = self.machine.kernel_pe(cluster);
+                let create_done = self
+                    .machine
+                    .charge(now, kpe, CostClass::TaskCreate, 1)
+                    .unwrap_or(now);
+                let id = TaskId(self.tasks.len() as u64);
+                let mut rec = ActivationRecord::new(id, code, cluster, Some(caller), locals, create_done);
+                // RPC workers do not send TerminateNotify; they reply.
+                rec.parent = None;
+                self.tasks.push(rec);
+                self.rpc_tasks.insert(id, (call_id, reply_cluster));
+                self.clusters[cluster as usize].ready.push_back(id);
+                self.queue.schedule(create_done, KEvent::Dispatch { cluster });
+            }
+            KernelMessage::RemoteReturn { call_id, .. } => {
+                self.rpc_returns.insert(call_id, now);
+            }
+            KernelMessage::LoadCode { code } => {
+                if !self.load_code(now, cluster, code) {
+                    self.dropped += 1;
+                }
+            }
+        }
+    }
+
+    fn notify_parent(&mut self, now: Cycles, from_cluster: u32, child: TaskId, parent: Option<TaskId>) {
+        if let Some(p) = parent {
+            let pc = self.tasks.get(p.0 as usize).map(|r| r.cluster);
+            if let Some(pc) = pc {
+                if pc == from_cluster {
+                    // Local notification: no network message.
+                    self.notifications.push((child, now));
+                } else {
+                    self.send(
+                        now,
+                        from_cluster,
+                        pc,
+                        KernelMessage::TerminateNotify { task: child },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Hand ready tasks to available worker PEs.
+    fn dispatch(&mut self, now: Cycles, cluster: u32) {
+        loop {
+            if self.clusters[cluster as usize].ready.is_empty() {
+                return;
+            }
+            // An eligible worker that is free *now*.
+            let Some(pe) = self
+                .machine
+                .worker_pes(cluster)
+                .into_iter()
+                .filter(|&pe| self.machine.pe(pe).map(|p| p.available(now)).unwrap_or(false))
+                .min_by_key(|pe| pe.index)
+            else {
+                return;
+            };
+            let task = self.clusters[cluster as usize].ready.pop_front().unwrap();
+            let rec = &mut self.tasks[task.0 as usize];
+            rec.transition(TaskState::Running);
+            rec.epoch += 1;
+            let epoch = rec.epoch;
+            let work = self.code.get(rec.code).work;
+            let _ = self.machine.charge(now, pe, CostClass::ContextSwitch, 1);
+            let _ = self.machine.charge(now, pe, CostClass::IntOp, work.int_ops);
+            let _ = self.machine.charge(now, pe, CostClass::MemWord, work.mem_words);
+            let done = self
+                .machine
+                .charge(now, pe, CostClass::Flop, work.flops)
+                .unwrap_or(now);
+            self.running.insert(pe, task);
+            self.queue
+                .schedule(done, KEvent::TaskComplete { task, pe, epoch });
+        }
+    }
+
+    fn task_complete(&mut self, now: Cycles, task: TaskId, pe: PeId, epoch: u32) {
+        let rec = &mut self.tasks[task.0 as usize];
+        if rec.epoch != epoch || rec.state != TaskState::Running {
+            return; // stale completion (pause, kill, or fault intervened)
+        }
+        rec.transition(TaskState::Done);
+        rec.completed_at = Some(now);
+        let cluster = rec.cluster;
+        let locals = rec.locals_words;
+        let parent = rec.parent;
+        self.running.remove(&pe);
+        self.machine.free(cluster, locals);
+        self.completions.push((task, now));
+        self.notify_parent(now, cluster, task, parent);
+        if let Some((call_id, reply_cluster)) = self.rpc_tasks.remove(&task) {
+            self.send(
+                now,
+                cluster,
+                reply_cluster,
+                KernelMessage::RemoteReturn {
+                    call_id,
+                    result_words: self.config.notify_words,
+                },
+            );
+        }
+        self.queue.schedule(now, KEvent::Dispatch { cluster });
+    }
+
+    fn fault(&mut self, now: Cycles, pe: PeId) {
+        match self.machine.fail_pe(pe) {
+            Ok(()) => {}
+            Err(_) => {
+                // Cluster dead: any running/ready work there is lost; drop it.
+                self.dropped += 1;
+            }
+        }
+        if let Some(task) = self.running.remove(&pe) {
+            let rec = &mut self.tasks[task.0 as usize];
+            if rec.state == TaskState::Running {
+                rec.epoch += 1; // invalidate in-flight completion
+                rec.transition(TaskState::Ready);
+                let c = rec.cluster;
+                self.clusters[c as usize].ready.push_back(task);
+                self.queue.schedule(
+                    now + self.config.reconfig_cycles,
+                    KEvent::Dispatch { cluster: c },
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codeblock::WorkProfile;
+    use fem2_machine::{MachineConfig, Topology};
+
+    fn sim(clusters: u32, pes: u32) -> KernelSim {
+        let m = Machine::new(MachineConfig::clustered(clusters, pes, Topology::Crossbar));
+        KernelSim::new(m)
+    }
+
+    fn small_code(k: &mut KernelSim) -> CodeId {
+        k.register_code(CodeBlock::new(
+            "work",
+            64,
+            WorkProfile { flops: 100, int_ops: 10, mem_words: 20 },
+            16,
+        ))
+    }
+
+    #[test]
+    fn initiate_runs_tasks_to_completion() {
+        let mut k = sim(1, 4);
+        let code = small_code(&mut k);
+        k.initiate(0, 0, code, 6, None, 8);
+        let makespan = k.run();
+        assert!(makespan > 0);
+        assert_eq!(k.completions().len(), 6);
+        assert!(k.all_done());
+        assert_eq!(k.task_count(), 6);
+        // Locals were freed.
+        assert!(k.machine.memory(0).used() > 0, "code image stays loaded");
+        let code_words = k.code_store().get(code).words;
+        assert_eq!(k.machine.memory(0).used(), code_words);
+    }
+
+    #[test]
+    fn replications_run_in_parallel_across_workers() {
+        // 3 workers, 3 tasks: total time ≈ one task, not three.
+        let mut k3 = sim(1, 4);
+        let c3 = small_code(&mut k3);
+        k3.initiate(0, 0, c3, 3, None, 0);
+        let t3 = k3.run();
+
+        let mut k1 = sim(1, 2); // one worker
+        let c1 = small_code(&mut k1);
+        k1.initiate(0, 0, c1, 3, None, 0);
+        let t1 = k1.run();
+        // Two extra serialized task bodies (~490 cycles each) separate the
+        // one-worker run from the three-worker run.
+        assert!(
+            t1 >= t3 + 900,
+            "serial {t1} should trail parallel {t3} by two task bodies"
+        );
+    }
+
+    #[test]
+    fn message_counts_by_kind() {
+        let mut k = sim(1, 4);
+        let code = small_code(&mut k);
+        k.initiate(0, 0, code, 2, None, 0);
+        k.run();
+        assert_eq!(k.msg_counts()[&MessageKind::InitiateTask], 1);
+    }
+
+    #[test]
+    fn parent_is_notified_of_child_termination() {
+        let mut k = sim(2, 4);
+        let code = small_code(&mut k);
+        // Create the parent on cluster 0.
+        k.initiate(0, 0, code, 1, None, 0);
+        k.run();
+        let parent = TaskId(0);
+        // Children on cluster 1 with a cross-cluster parent.
+        k.send(
+            k.now(),
+            0,
+            1,
+            KernelMessage::InitiateTask {
+                code,
+                replications: 2,
+                parent: Some(parent),
+                args_words: 0,
+            },
+        );
+        k.run();
+        // Two remote TerminateNotify messages were delivered at cluster 0.
+        assert_eq!(k.notifications().len(), 2);
+        assert_eq!(k.msg_counts()[&MessageKind::TerminateNotify], 2);
+    }
+
+    #[test]
+    fn unloaded_code_dropped_without_autoload() {
+        let mut k = sim(1, 2);
+        k.config.auto_load_code = false;
+        let code = small_code(&mut k);
+        k.initiate(0, 0, code, 1, None, 0);
+        k.run();
+        assert_eq!(k.completions().len(), 0);
+        assert_eq!(k.dropped, 1);
+        // Explicit load then initiate works (staggered so the load's larger
+        // wire size does not reorder it behind the initiate).
+        k.send(k.now(), 0, 0, KernelMessage::LoadCode { code });
+        k.initiate(k.now() + 10_000, 0, code, 1, None, 0);
+        k.run();
+        assert_eq!(k.completions().len(), 1);
+        assert_eq!(k.msg_counts()[&MessageKind::LoadCode], 1);
+    }
+
+    #[test]
+    fn remote_call_returns_to_caller() {
+        let mut k = sim(2, 4);
+        let code = small_code(&mut k);
+        k.send(
+            0,
+            0,
+            1,
+            KernelMessage::RemoteCall {
+                call_id: 42,
+                code,
+                args_words: 16,
+                caller: TaskId(999),
+                reply_cluster: 0,
+            },
+        );
+        k.run();
+        assert!(k.rpc_returns().contains_key(&42));
+        assert_eq!(k.msg_counts()[&MessageKind::RemoteCall], 1);
+        assert_eq!(k.msg_counts()[&MessageKind::RemoteReturn], 1);
+        // The RPC worker task completed but sent no TerminateNotify.
+        assert_eq!(k.completions().len(), 1);
+        assert_eq!(k.notifications().len(), 0);
+    }
+
+    #[test]
+    fn pause_then_resume_reruns_task() {
+        let mut k = sim(1, 4);
+        // A long task so the pause lands while it is running.
+        let code = k.register_code(CodeBlock::new(
+            "long",
+            16,
+            WorkProfile::flops(1_000_000),
+            8,
+        ));
+        k.initiate(0, 0, code, 1, None, 0);
+        // Pause shortly after it starts.
+        k.send(500, 0, 0, KernelMessage::PauseNotify { task: TaskId(0) });
+        k.run();
+        assert_eq!(k.task(TaskId(0)).state, TaskState::Paused);
+        assert_eq!(k.completions().len(), 0, "paused before completion");
+        // Resume; the task restarts and completes.
+        k.send(k.now(), 0, 0, KernelMessage::Resume { task: TaskId(0) });
+        k.run();
+        assert_eq!(k.task(TaskId(0)).state, TaskState::Done);
+        assert_eq!(k.completions().len(), 1);
+    }
+
+    #[test]
+    fn pause_of_non_running_task_is_dropped() {
+        let mut k = sim(1, 4);
+        let code = small_code(&mut k);
+        k.initiate(0, 0, code, 1, None, 0);
+        k.run();
+        k.send(k.now(), 0, 0, KernelMessage::PauseNotify { task: TaskId(0) });
+        k.run();
+        assert_eq!(k.dropped, 1);
+        assert_eq!(k.task(TaskId(0)).state, TaskState::Done);
+    }
+
+    #[test]
+    fn forced_termination_of_running_task() {
+        let mut k = sim(1, 4);
+        let code = k.register_code(CodeBlock::new(
+            "long",
+            16,
+            WorkProfile::flops(1_000_000),
+            8,
+        ));
+        k.initiate(0, 0, code, 1, None, 0);
+        k.send(500, 0, 0, KernelMessage::TerminateNotify { task: TaskId(0) });
+        let makespan = k.run();
+        assert_eq!(k.task(TaskId(0)).state, TaskState::Done);
+        assert_eq!(k.completions().len(), 1);
+        // Killed well before its 4M-cycle run would have finished... the PE
+        // keeps draining charged cycles, but the task is logically done at
+        // the kill time.
+        let (_, done_at) = k.completions()[0];
+        assert!(done_at < 100_000, "killed at {done_at}");
+        let _ = makespan;
+    }
+
+    #[test]
+    fn fault_requeues_running_task() {
+        let mut k = sim(1, 2); // one worker (PE 1)
+        let code = small_code(&mut k);
+        k.initiate(0, 0, code, 1, None, 0);
+        // Fail the worker while the task runs; kernel PE 0 survives and the
+        // machine stops dedicating it (single survivor), so the task reruns
+        // on PE 0.
+        let plan = FaultPlan::at(300, [PeId::new(0, 1)]);
+        k.inject_faults(&plan);
+        k.run();
+        assert!(k.all_done());
+        assert_eq!(k.completions().len(), 1);
+        assert_eq!(k.machine.reconfigurations, 1);
+    }
+
+    #[test]
+    fn kernel_pe_fault_promotes_and_work_continues() {
+        let mut k = sim(1, 4);
+        let code = small_code(&mut k);
+        k.initiate(0, 0, code, 8, None, 0);
+        let plan = FaultPlan::at(1, [PeId::new(0, 0)]);
+        k.inject_faults(&plan);
+        k.run();
+        assert!(k.all_done());
+        assert_eq!(k.completions().len(), 8);
+        assert_eq!(k.machine.kernel_pe(0), PeId::new(0, 1));
+    }
+
+    #[test]
+    fn oom_drops_task_creation() {
+        let mut m = Machine::new(MachineConfig::clustered(1, 2, Topology::Bus));
+        // Tiny memory: only the code image fits.
+        let mut cfg = m.config.clone();
+        cfg.memory_per_cluster = 70;
+        m = Machine::new(cfg);
+        let mut k = KernelSim::new(m);
+        let code = k.register_code(CodeBlock::new(
+            "big_locals",
+            64,
+            WorkProfile::flops(10),
+            1000,
+        ));
+        k.initiate(0, 0, code, 1, None, 0);
+        k.run();
+        assert_eq!(k.dropped, 1);
+        assert_eq!(k.completions().len(), 0);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let mut k = sim(2, 4);
+            let code = small_code(&mut k);
+            k.initiate(0, 0, code, 5, None, 4);
+            k.send(
+                0,
+                0,
+                1,
+                KernelMessage::InitiateTask {
+                    code,
+                    replications: 5,
+                    parent: None,
+                    args_words: 4,
+                },
+            );
+            let makespan = k.run();
+            (makespan, k.completions().to_vec(), k.machine.stats.total())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn tasks_spread_over_clusters_finish_sooner() {
+        // Same 8 tasks: one cluster vs spread over four.
+        let mut k1 = sim(1, 3); // 2 workers
+        let c1 = small_code(&mut k1);
+        k1.initiate(0, 0, c1, 8, None, 0);
+        let t_one = k1.run();
+
+        let mut k4 = sim(4, 3); // 8 workers total
+        let c4 = small_code(&mut k4);
+        for c in 0..4 {
+            k4.send(
+                0,
+                c,
+                c,
+                KernelMessage::InitiateTask {
+                    code: c4,
+                    replications: 2,
+                    parent: None,
+                    args_words: 0,
+                },
+            );
+        }
+        let t_four = k4.run();
+        assert!(t_four < t_one, "spread {t_four} < single {t_one}");
+    }
+}

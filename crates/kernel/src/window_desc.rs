@@ -1,0 +1,267 @@
+//! Window descriptors: the storage representation of the numerical
+//! analyst's "windows on arrays".
+//!
+//! A window descriptor names a rectangular region of a distributed
+//! two-dimensional array — a row, a column, or a block — plus the owning
+//! task and its cluster. Descriptors are small, first-class values: they
+//! "may be transmitted as parameters, further partitioned, stored as values
+//! of variables" (paper, NA-VM data control), and this module implements
+//! exactly those operations. The navm layer interprets descriptors against
+//! array storage; the kernel charges their wire size when they travel.
+
+use crate::activation::TaskId;
+use fem2_machine::Words;
+
+/// The shape of a window, following the paper's "row, column, block
+/// descriptors".
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WindowKind {
+    /// One full or partial row.
+    Row,
+    /// One full or partial column.
+    Column,
+    /// A general rectangular block.
+    Block,
+}
+
+/// A descriptor of a rectangular region `[row0, row1) × [col0, col1)` of a
+/// named 2-D array.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct WindowDescriptor {
+    /// The array this window views (navm-level array id).
+    pub array: u32,
+    /// First row (inclusive).
+    pub row0: u32,
+    /// Last row (exclusive).
+    pub row1: u32,
+    /// First column (inclusive).
+    pub col0: u32,
+    /// Last column (exclusive).
+    pub col1: u32,
+    /// Task that owns the underlying data.
+    pub owner: TaskId,
+    /// Cluster where the underlying data lives.
+    pub owner_cluster: u32,
+}
+
+impl WindowDescriptor {
+    /// Size of a descriptor on the wire, in words.
+    pub const WIRE_WORDS: Words = 7;
+
+    /// A block window over `[row0, row1) × [col0, col1)`.
+    pub fn block(
+        array: u32,
+        row0: u32,
+        row1: u32,
+        col0: u32,
+        col1: u32,
+        owner: TaskId,
+        owner_cluster: u32,
+    ) -> Self {
+        assert!(row0 <= row1 && col0 <= col1, "degenerate window bounds");
+        WindowDescriptor {
+            array,
+            row0,
+            row1,
+            col0,
+            col1,
+            owner,
+            owner_cluster,
+        }
+    }
+
+    /// A window over row `r`, columns `[col0, col1)`.
+    pub fn row(array: u32, r: u32, col0: u32, col1: u32, owner: TaskId, owner_cluster: u32) -> Self {
+        Self::block(array, r, r + 1, col0, col1, owner, owner_cluster)
+    }
+
+    /// A window over column `c`, rows `[row0, row1)`.
+    pub fn column(array: u32, c: u32, row0: u32, row1: u32, owner: TaskId, owner_cluster: u32) -> Self {
+        Self::block(array, row0, row1, c, c + 1, owner, owner_cluster)
+    }
+
+    /// Number of rows visible.
+    pub fn rows(&self) -> u32 {
+        self.row1 - self.row0
+    }
+
+    /// Number of columns visible.
+    pub fn cols(&self) -> u32 {
+        self.col1 - self.col0
+    }
+
+    /// Number of elements visible.
+    pub fn len(&self) -> u64 {
+        self.rows() as u64 * self.cols() as u64
+    }
+
+    /// True if the window exposes no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The window's kind, derived from its shape.
+    pub fn kind(&self) -> WindowKind {
+        if self.rows() == 1 && self.cols() != 1 {
+            WindowKind::Row
+        } else if self.cols() == 1 && self.rows() != 1 {
+            WindowKind::Column
+        } else {
+            WindowKind::Block
+        }
+    }
+
+    /// True if `(r, c)` is visible through the window (absolute indices).
+    pub fn contains(&self, r: u32, c: u32) -> bool {
+        r >= self.row0 && r < self.row1 && c >= self.col0 && c < self.col1
+    }
+
+    /// Partition into `parts` row-wise sub-windows of near-equal size
+    /// ("windows … further partitioned"). Earlier parts get the remainder.
+    pub fn partition_rows(&self, parts: u32) -> Vec<WindowDescriptor> {
+        assert!(parts > 0, "cannot partition into zero parts");
+        let n = self.rows();
+        let parts = parts.min(n.max(1));
+        let base = n / parts;
+        let extra = n % parts;
+        let mut out = Vec::with_capacity(parts as usize);
+        let mut r = self.row0;
+        for p in 0..parts {
+            let take = base + u32::from(p < extra);
+            out.push(WindowDescriptor {
+                row0: r,
+                row1: r + take,
+                ..*self
+            });
+            r += take;
+        }
+        out
+    }
+
+    /// Intersection of two windows on the same array, if non-empty.
+    pub fn intersect(&self, other: &WindowDescriptor) -> Option<WindowDescriptor> {
+        if self.array != other.array {
+            return None;
+        }
+        let row0 = self.row0.max(other.row0);
+        let row1 = self.row1.min(other.row1);
+        let col0 = self.col0.max(other.col0);
+        let col1 = self.col1.min(other.col1);
+        if row0 < row1 && col0 < col1 {
+            Some(WindowDescriptor {
+                array: self.array,
+                row0,
+                row1,
+                col0,
+                col1,
+                owner: self.owner,
+                owner_cluster: self.owner_cluster,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> TaskId {
+        TaskId(1)
+    }
+
+    #[test]
+    fn constructors_and_shape() {
+        let r = WindowDescriptor::row(0, 5, 0, 10, t(), 0);
+        assert_eq!(r.kind(), WindowKind::Row);
+        assert_eq!(r.rows(), 1);
+        assert_eq!(r.cols(), 10);
+        assert_eq!(r.len(), 10);
+
+        let c = WindowDescriptor::column(0, 3, 0, 8, t(), 0);
+        assert_eq!(c.kind(), WindowKind::Column);
+        assert_eq!(c.len(), 8);
+
+        let b = WindowDescriptor::block(0, 0, 4, 0, 4, t(), 0);
+        assert_eq!(b.kind(), WindowKind::Block);
+        assert_eq!(b.len(), 16);
+    }
+
+    #[test]
+    fn single_element_is_block() {
+        let w = WindowDescriptor::block(0, 2, 3, 2, 3, t(), 0);
+        assert_eq!(w.kind(), WindowKind::Block);
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn empty_window() {
+        let w = WindowDescriptor::block(0, 2, 2, 0, 5, t(), 0);
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate window bounds")]
+    fn inverted_bounds_panic() {
+        WindowDescriptor::block(0, 5, 2, 0, 5, t(), 0);
+    }
+
+    #[test]
+    fn contains_absolute_indices() {
+        let w = WindowDescriptor::block(0, 2, 5, 10, 20, t(), 0);
+        assert!(w.contains(2, 10));
+        assert!(w.contains(4, 19));
+        assert!(!w.contains(5, 10));
+        assert!(!w.contains(2, 20));
+        assert!(!w.contains(0, 0));
+    }
+
+    #[test]
+    fn partition_rows_covers_exactly() {
+        let w = WindowDescriptor::block(0, 0, 10, 0, 4, t(), 0);
+        let parts = w.partition_rows(3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].rows(), 4); // 10 = 4 + 3 + 3
+        assert_eq!(parts[1].rows(), 3);
+        assert_eq!(parts[2].rows(), 3);
+        assert_eq!(parts[0].row0, 0);
+        assert_eq!(parts[2].row1, 10);
+        // Contiguous, disjoint.
+        assert_eq!(parts[0].row1, parts[1].row0);
+        assert_eq!(parts[1].row1, parts[2].row0);
+        // Columns inherited.
+        assert!(parts.iter().all(|p| p.col0 == 0 && p.col1 == 4));
+    }
+
+    #[test]
+    fn partition_more_parts_than_rows_clamps() {
+        let w = WindowDescriptor::block(0, 0, 2, 0, 4, t(), 0);
+        let parts = w.partition_rows(10);
+        assert_eq!(parts.len(), 2);
+        assert!(parts.iter().all(|p| p.rows() == 1));
+    }
+
+    #[test]
+    fn intersect_overlapping() {
+        let a = WindowDescriptor::block(0, 0, 10, 0, 10, t(), 0);
+        let b = WindowDescriptor::block(0, 5, 15, 5, 15, t(), 0);
+        let i = a.intersect(&b).unwrap();
+        assert_eq!((i.row0, i.row1, i.col0, i.col1), (5, 10, 5, 10));
+    }
+
+    #[test]
+    fn intersect_disjoint_or_cross_array() {
+        let a = WindowDescriptor::block(0, 0, 5, 0, 5, t(), 0);
+        let b = WindowDescriptor::block(0, 5, 10, 0, 5, t(), 0);
+        assert_eq!(a.intersect(&b), None);
+        let c = WindowDescriptor::block(1, 0, 5, 0, 5, t(), 0);
+        assert_eq!(a.intersect(&c), None);
+    }
+
+    #[test]
+    fn wire_size_constant() {
+        assert_eq!(WindowDescriptor::WIRE_WORDS, 7);
+    }
+}

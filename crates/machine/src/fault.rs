@@ -1,0 +1,110 @@
+//! Fault injection and the reconfiguration plan.
+//!
+//! The requirements list includes "provide reconfigurability to isolate
+//! faulty hardware components". The model here: PEs fail at planned times; a
+//! failed PE is isolated (never again assigned work), and if it was the
+//! cluster's kernel PE, the lowest-indexed surviving PE is promoted. The
+//! [`FaultPlan`] carries the schedule; the [`crate::Machine`] applies it.
+
+use crate::pe::PeId;
+use crate::Cycles;
+
+/// A scheduled PE failure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FaultEvent {
+    /// When the PE fails.
+    pub at: Cycles,
+    /// Which PE fails.
+    pub pe: PeId,
+}
+
+/// A time-ordered plan of PE failures to inject during a run.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+    cursor: usize,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A plan failing each listed PE at the given time.
+    pub fn new(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| (e.at, e.pe));
+        FaultPlan { events, cursor: 0 }
+    }
+
+    /// Convenience: fail `pes` at time `at`.
+    pub fn at(at: Cycles, pes: impl IntoIterator<Item = PeId>) -> Self {
+        Self::new(pes.into_iter().map(|pe| FaultEvent { at, pe }).collect())
+    }
+
+    /// Total planned failures.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no failures are planned.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Failures that have become due by time `now` and have not yet been
+    /// returned. Call repeatedly as the clock advances.
+    pub fn due(&mut self, now: Cycles) -> Vec<FaultEvent> {
+        let start = self.cursor;
+        while self.cursor < self.events.len() && self.events[self.cursor].at <= now {
+            self.cursor += 1;
+        }
+        self.events[start..self.cursor].to_vec()
+    }
+
+    /// The time of the next pending failure, if any.
+    pub fn next_at(&self) -> Option<Cycles> {
+        self.events.get(self.cursor).map(|e| e.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_has_nothing_due() {
+        let mut p = FaultPlan::none();
+        assert!(p.is_empty());
+        assert!(p.due(u64::MAX).is_empty());
+        assert_eq!(p.next_at(), None);
+    }
+
+    #[test]
+    fn events_sort_by_time() {
+        let mut p = FaultPlan::new(vec![
+            FaultEvent { at: 50, pe: PeId::new(0, 1) },
+            FaultEvent { at: 10, pe: PeId::new(1, 0) },
+        ]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.next_at(), Some(10));
+        let due = p.due(10);
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].pe, PeId::new(1, 0));
+        assert_eq!(p.next_at(), Some(50));
+    }
+
+    #[test]
+    fn due_is_incremental() {
+        let mut p = FaultPlan::at(100, [PeId::new(0, 0), PeId::new(0, 1)]);
+        assert!(p.due(99).is_empty());
+        assert_eq!(p.due(100).len(), 2);
+        assert!(p.due(1000).is_empty(), "already consumed");
+    }
+
+    #[test]
+    fn at_builder_sets_common_time() {
+        let p = FaultPlan::at(7, [PeId::new(2, 3)]);
+        assert_eq!(p.events[0], FaultEvent { at: 7, pe: PeId::new(2, 3) });
+    }
+}

@@ -1,0 +1,413 @@
+//! The assembled machine: PEs, cluster memories, network, stats, and fault
+//! handling behind one facade.
+
+use crate::config::MachineConfig;
+use crate::memory::{ClusterMemory, OutOfMemory};
+use crate::network::Network;
+use crate::pe::{CostClass, Pe, PeId};
+use crate::stats::Stats;
+use crate::{Cycles, Words};
+use std::fmt;
+
+/// Errors surfaced by machine operations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MachineError {
+    /// A cluster's shared memory was exhausted.
+    OutOfMemory(OutOfMemory),
+    /// A PE address does not exist in this configuration.
+    NoSuchPe(PeId),
+    /// Work was assigned to an isolated (failed) PE.
+    PeFailed(PeId),
+    /// Every PE in the cluster has failed; the cluster is dead.
+    ClusterDead(u32),
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::OutOfMemory(e) => write!(f, "{e}"),
+            MachineError::NoSuchPe(pe) => write!(f, "no such PE {pe}"),
+            MachineError::PeFailed(pe) => write!(f, "PE {pe} is isolated"),
+            MachineError::ClusterDead(c) => write!(f, "cluster {c} has no surviving PEs"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+impl From<OutOfMemory> for MachineError {
+    fn from(e: OutOfMemory) -> Self {
+        MachineError::OutOfMemory(e)
+    }
+}
+
+/// The simulated FEM-2 machine.
+///
+/// Owns every hardware resource; the kernel layer (`fem2-kernel`) drives it
+/// through an event loop. All operations are deterministic.
+pub struct Machine {
+    /// The configuration the machine was built from.
+    pub config: MachineConfig,
+    pes: Vec<Pe>,
+    memories: Vec<ClusterMemory>,
+    /// The inter-cluster network.
+    pub network: Network,
+    /// Measurement counters.
+    pub stats: Stats,
+    /// Current kernel PE index per cluster (normally 0; changes on
+    /// reconfiguration).
+    kernel_pe: Vec<u32>,
+    /// Number of fault-isolation reconfigurations performed.
+    pub reconfigurations: u64,
+}
+
+impl Machine {
+    /// Build a machine from a validated configuration.
+    ///
+    /// # Panics
+    /// Panics if `config.validate()` fails — configurations are meant to be
+    /// validated (or produced by presets) before construction.
+    pub fn new(config: MachineConfig) -> Self {
+        config.validate().expect("invalid machine configuration");
+        let total = config.total_pes() as usize;
+        let pes = vec![Pe::default(); total];
+        let memories = (0..config.clusters)
+            .map(|c| ClusterMemory::new(c, config.memory_per_cluster))
+            .collect();
+        let network = Network::new(&config);
+        let kernel_pe = vec![0; config.clusters as usize];
+        Machine {
+            config,
+            pes,
+            memories,
+            network,
+            stats: Stats::new(),
+            kernel_pe,
+            reconfigurations: 0,
+        }
+    }
+
+    fn flat(&self, pe: PeId) -> Result<usize, MachineError> {
+        if pe.cluster >= self.config.clusters || pe.index >= self.config.pes_per_cluster {
+            return Err(MachineError::NoSuchPe(pe));
+        }
+        Ok((pe.cluster * self.config.pes_per_cluster + pe.index) as usize)
+    }
+
+    /// Read access to a PE.
+    pub fn pe(&self, pe: PeId) -> Result<&Pe, MachineError> {
+        Ok(&self.pes[self.flat(pe)?])
+    }
+
+    /// All PE ids in cluster `c`.
+    pub fn cluster_pes(&self, c: u32) -> impl Iterator<Item = PeId> + '_ {
+        (0..self.config.pes_per_cluster).map(move |i| PeId::new(c, i))
+    }
+
+    /// The current kernel PE of cluster `c`.
+    pub fn kernel_pe(&self, c: u32) -> PeId {
+        PeId::new(c, self.kernel_pe[c as usize])
+    }
+
+    /// PEs of cluster `c` eligible for user work at any time: alive, and not
+    /// the kernel PE when the configuration dedicates one.
+    pub fn worker_pes(&self, c: u32) -> Vec<PeId> {
+        let dedicated = self.config.dedicated_kernel_pe && self.alive_count(c) > 1;
+        self.cluster_pes(c)
+            .filter(|&pe| {
+                let idx = self.flat(pe).unwrap();
+                if self.pes[idx].failed {
+                    return false;
+                }
+                if dedicated && pe.index == self.kernel_pe[c as usize] {
+                    return false;
+                }
+                true
+            })
+            .collect()
+    }
+
+    /// Number of surviving PEs in cluster `c`.
+    pub fn alive_count(&self, c: u32) -> u32 {
+        self.cluster_pes(c)
+            .filter(|&pe| !self.pes[self.flat(pe).unwrap()].failed)
+            .count() as u32
+    }
+
+    /// Earliest-free eligible worker PE of cluster `c` ("assigns available
+    /// PE's to process them"). `None` if the cluster is dead.
+    pub fn pick_worker(&self, c: u32) -> Option<PeId> {
+        self.worker_pes(c)
+            .into_iter()
+            .min_by_key(|&pe| (self.pes[self.flat(pe).unwrap()].free_at, pe.index))
+    }
+
+    /// Charge `count` units of `class` to `pe`, starting no earlier than
+    /// `now`; returns the completion time. Also records the work in stats.
+    pub fn charge(
+        &mut self,
+        now: Cycles,
+        pe: PeId,
+        class: CostClass,
+        count: u64,
+    ) -> Result<Cycles, MachineError> {
+        let idx = self.flat(pe)?;
+        if self.pes[idx].failed {
+            return Err(MachineError::PeFailed(pe));
+        }
+        match class {
+            CostClass::Flop => self.stats.flops(count),
+            CostClass::IntOp => self.stats.int_ops(count),
+            CostClass::MemWord => self.stats.mem_words(count),
+            CostClass::TaskCreate => {
+                for _ in 0..count {
+                    self.stats.task_created();
+                }
+            }
+            _ => {}
+        }
+        Ok(self.pes[idx].charge(now, class, count, &self.config.cost))
+    }
+
+    /// Allocate `words` in cluster `c`'s shared memory.
+    pub fn alloc(&mut self, c: u32, words: Words) -> Result<(), MachineError> {
+        self.memories[c as usize].alloc(words)?;
+        Ok(())
+    }
+
+    /// Free `words` in cluster `c`'s shared memory.
+    pub fn free(&mut self, c: u32, words: Words) {
+        self.memories[c as usize].free(words);
+    }
+
+    /// Read access to a cluster memory.
+    pub fn memory(&self, c: u32) -> &ClusterMemory {
+        &self.memories[c as usize]
+    }
+
+    /// Transmit a message and record it in stats. Returns arrival time.
+    pub fn transmit(&mut self, now: Cycles, from: u32, to: u32, words: Words) -> Cycles {
+        let t = self.network.transmit(now, from, to, words);
+        if from != to {
+            self.stats.message(words);
+        }
+        t
+    }
+
+    /// Peak memory usage across clusters, in words.
+    pub fn peak_memory(&self) -> Words {
+        self.memories.iter().map(|m| m.high_water()).max().unwrap_or(0)
+    }
+
+    /// Total memory high-water summed over clusters, in words.
+    pub fn total_memory_high_water(&self) -> Words {
+        self.memories.iter().map(|m| m.high_water()).sum()
+    }
+
+    /// Isolate a failed PE. If it was the cluster's kernel PE, promote the
+    /// lowest-indexed survivor. Returns [`MachineError::ClusterDead`] if no
+    /// PE survives.
+    pub fn fail_pe(&mut self, pe: PeId) -> Result<(), MachineError> {
+        let idx = self.flat(pe)?;
+        if self.pes[idx].failed {
+            return Ok(()); // already isolated
+        }
+        self.pes[idx].failed = true;
+        self.reconfigurations += 1;
+        let c = pe.cluster;
+        if self.alive_count(c) == 0 {
+            return Err(MachineError::ClusterDead(c));
+        }
+        if self.kernel_pe[c as usize] == pe.index {
+            // Promote the lowest-indexed surviving PE to kernel duty.
+            let successor = self
+                .cluster_pes(c)
+                .find(|&p| !self.pes[self.flat(p).unwrap()].failed)
+                .expect("alive_count > 0");
+            self.kernel_pe[c as usize] = successor.index;
+        }
+        Ok(())
+    }
+
+    /// Aggregate busy cycles over all PEs (for machine utilization).
+    pub fn total_busy_cycles(&self) -> Cycles {
+        self.pes.iter().map(|p| p.busy_cycles).sum()
+    }
+
+    /// The latest `free_at` across all PEs: when the machine finishes all
+    /// charged work.
+    pub fn makespan(&self) -> Cycles {
+        self.pes.iter().map(|p| p.free_at).max().unwrap_or(0)
+    }
+
+    /// Machine utilization over `[0, horizon]`: mean PE busy fraction,
+    /// counting only surviving PEs.
+    pub fn utilization(&self, horizon: Cycles) -> f64 {
+        let alive: Vec<&Pe> = self.pes.iter().filter(|p| !p.failed).collect();
+        if alive.is_empty() || horizon == 0 {
+            return 0.0;
+        }
+        alive.iter().map(|p| p.utilization(horizon)).sum::<f64>() / alive.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Topology;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::clustered(2, 4, Topology::Crossbar))
+    }
+
+    #[test]
+    fn construction_shapes_resources() {
+        let m = machine();
+        assert_eq!(m.cluster_pes(0).count(), 4);
+        assert_eq!(m.memory(0).capacity(), m.config.memory_per_cluster);
+        assert_eq!(m.kernel_pe(0), PeId::new(0, 0));
+        assert_eq!(m.kernel_pe(1), PeId::new(1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid machine configuration")]
+    fn invalid_config_panics() {
+        let mut c = MachineConfig::fem2_default();
+        c.clusters = 0;
+        Machine::new(c);
+    }
+
+    #[test]
+    fn worker_pes_exclude_kernel_pe() {
+        let m = machine();
+        let workers = m.worker_pes(0);
+        assert_eq!(workers.len(), 3);
+        assert!(!workers.contains(&PeId::new(0, 0)));
+    }
+
+    #[test]
+    fn single_pe_cluster_kernel_also_works() {
+        let m = Machine::new(MachineConfig::fem1_style(4));
+        let workers = m.worker_pes(0);
+        assert_eq!(workers, vec![PeId::new(0, 0)]);
+    }
+
+    #[test]
+    fn charge_records_stats_and_advances_pe() {
+        let mut m = machine();
+        let pe = PeId::new(0, 1);
+        let done = m.charge(0, pe, CostClass::Flop, 10).unwrap();
+        assert_eq!(done, 10 * m.config.cost.flop);
+        assert_eq!(m.stats.total().flops, 10);
+        assert_eq!(m.pe(pe).unwrap().busy_cycles, done);
+    }
+
+    #[test]
+    fn charge_unknown_pe_errors() {
+        let mut m = machine();
+        assert!(matches!(
+            m.charge(0, PeId::new(9, 0), CostClass::Flop, 1),
+            Err(MachineError::NoSuchPe(_))
+        ));
+        assert!(matches!(
+            m.charge(0, PeId::new(0, 9), CostClass::Flop, 1),
+            Err(MachineError::NoSuchPe(_))
+        ));
+    }
+
+    #[test]
+    fn pick_worker_prefers_earliest_free() {
+        let mut m = machine();
+        // Busy up PE 1 and 2; PE 3 is free.
+        m.charge(0, PeId::new(0, 1), CostClass::Flop, 100).unwrap();
+        m.charge(0, PeId::new(0, 2), CostClass::Flop, 50).unwrap();
+        assert_eq!(m.pick_worker(0), Some(PeId::new(0, 3)));
+    }
+
+    #[test]
+    fn pick_worker_tie_breaks_by_index() {
+        let m = machine();
+        assert_eq!(m.pick_worker(0), Some(PeId::new(0, 1)));
+    }
+
+    #[test]
+    fn transmit_counts_remote_only() {
+        let mut m = machine();
+        m.transmit(0, 0, 1, 16);
+        m.transmit(0, 1, 1, 16);
+        assert_eq!(m.stats.total().messages, 1);
+        assert_eq!(m.stats.total().msg_words, 16);
+        assert_eq!(m.network.messages, 1);
+    }
+
+    #[test]
+    fn memory_alloc_free_via_machine() {
+        let mut m = machine();
+        m.alloc(0, 1000).unwrap();
+        m.alloc(1, 500).unwrap();
+        m.free(0, 400);
+        assert_eq!(m.memory(0).used(), 600);
+        assert_eq!(m.peak_memory(), 1000);
+        assert_eq!(m.total_memory_high_water(), 1500);
+        let cap = m.memory(0).capacity();
+        assert!(matches!(
+            m.alloc(0, cap),
+            Err(MachineError::OutOfMemory(_))
+        ));
+    }
+
+    #[test]
+    fn fail_pe_isolates_and_charging_fails() {
+        let mut m = machine();
+        let pe = PeId::new(0, 2);
+        m.fail_pe(pe).unwrap();
+        assert_eq!(m.alive_count(0), 3);
+        assert!(matches!(
+            m.charge(0, pe, CostClass::Flop, 1),
+            Err(MachineError::PeFailed(_))
+        ));
+        assert!(!m.worker_pes(0).contains(&pe));
+        assert_eq!(m.reconfigurations, 1);
+        // Idempotent.
+        m.fail_pe(pe).unwrap();
+        assert_eq!(m.reconfigurations, 1);
+    }
+
+    #[test]
+    fn kernel_pe_failure_promotes_successor() {
+        let mut m = machine();
+        m.fail_pe(PeId::new(0, 0)).unwrap();
+        assert_eq!(m.kernel_pe(0), PeId::new(0, 1));
+        // Now PE 1 is the kernel PE; workers are 2 and 3.
+        let workers = m.worker_pes(0);
+        assert_eq!(workers, vec![PeId::new(0, 2), PeId::new(0, 3)]);
+    }
+
+    #[test]
+    fn last_pe_failure_kills_cluster() {
+        let mut m = Machine::new(MachineConfig::clustered(1, 2, Topology::Bus));
+        m.fail_pe(PeId::new(0, 0)).unwrap();
+        let err = m.fail_pe(PeId::new(0, 1)).unwrap_err();
+        assert_eq!(err, MachineError::ClusterDead(0));
+        assert_eq!(m.pick_worker(0), None);
+    }
+
+    #[test]
+    fn makespan_and_utilization() {
+        let mut m = machine();
+        m.charge(0, PeId::new(0, 1), CostClass::Flop, 25).unwrap(); // 100 cycles
+        assert_eq!(m.makespan(), 100);
+        assert_eq!(m.total_busy_cycles(), 100);
+        // 1 of 8 PEs busy half of a 200-cycle horizon.
+        let u = m.utilization(200);
+        assert!((u - 0.5 / 8.0).abs() < 1e-12, "u = {u}");
+        assert_eq!(m.utilization(0), 0.0);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = MachineError::NoSuchPe(PeId::new(1, 2));
+        assert!(e.to_string().contains("PE(1,2)"));
+        assert!(MachineError::ClusterDead(3).to_string().contains("cluster 3"));
+    }
+}

@@ -1,0 +1,186 @@
+//! Per-cluster shared memories.
+//!
+//! The machine level tracks *capacity*: how many words each cluster's shared
+//! memory has, how many are allocated, and the high-water mark. (The
+//! variable-size-block free list — the system programmer's "general heap" —
+//! lives one layer up, in `fem2-kernel`; this module is the hardware it
+//! draws from.)
+
+use crate::Words;
+use std::fmt;
+
+/// Out-of-memory error for a cluster allocation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct OutOfMemory {
+    /// The cluster whose memory was exhausted.
+    pub cluster: u32,
+    /// The request that failed, in words.
+    pub requested: Words,
+    /// Words still unallocated at the time of the request.
+    pub available: Words,
+}
+
+impl fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cluster {} out of memory: requested {} words, {} available",
+            self.cluster, self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+/// One cluster's shared memory: capacity accounting with a high-water mark.
+#[derive(Clone, Debug)]
+pub struct ClusterMemory {
+    cluster: u32,
+    capacity: Words,
+    used: Words,
+    high_water: Words,
+    allocs: u64,
+    frees: u64,
+}
+
+impl ClusterMemory {
+    /// A memory of `capacity` words for cluster `cluster`.
+    pub fn new(cluster: u32, capacity: Words) -> Self {
+        ClusterMemory {
+            cluster,
+            capacity,
+            used: 0,
+            high_water: 0,
+            allocs: 0,
+            frees: 0,
+        }
+    }
+
+    /// Total capacity in words.
+    pub fn capacity(&self) -> Words {
+        self.capacity
+    }
+
+    /// Words currently allocated.
+    pub fn used(&self) -> Words {
+        self.used
+    }
+
+    /// Words currently free.
+    pub fn available(&self) -> Words {
+        self.capacity - self.used
+    }
+
+    /// Peak allocation over the memory's lifetime.
+    pub fn high_water(&self) -> Words {
+        self.high_water
+    }
+
+    /// Number of successful allocations.
+    pub fn alloc_count(&self) -> u64 {
+        self.allocs
+    }
+
+    /// Number of frees.
+    pub fn free_count(&self) -> u64 {
+        self.frees
+    }
+
+    /// Allocate `words`; fails with [`OutOfMemory`] if capacity would be
+    /// exceeded.
+    pub fn alloc(&mut self, words: Words) -> Result<(), OutOfMemory> {
+        if words > self.available() {
+            return Err(OutOfMemory {
+                cluster: self.cluster,
+                requested: words,
+                available: self.available(),
+            });
+        }
+        self.used += words;
+        self.high_water = self.high_water.max(self.used);
+        self.allocs += 1;
+        Ok(())
+    }
+
+    /// Release `words`. Releasing more than is allocated is a logic error
+    /// upstream and panics in debug builds; in release it saturates.
+    pub fn free(&mut self, words: Words) {
+        debug_assert!(words <= self.used, "freeing more than allocated");
+        self.used = self.used.saturating_sub(words);
+        self.frees += 1;
+    }
+
+    /// Fraction of capacity in use, in `[0, 1]`.
+    pub fn load_factor(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.used as f64 / self.capacity as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_memory_is_empty() {
+        let m = ClusterMemory::new(0, 1000);
+        assert_eq!(m.capacity(), 1000);
+        assert_eq!(m.used(), 0);
+        assert_eq!(m.available(), 1000);
+        assert_eq!(m.high_water(), 0);
+        assert_eq!(m.load_factor(), 0.0);
+    }
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut m = ClusterMemory::new(0, 1000);
+        m.alloc(300).unwrap();
+        m.alloc(200).unwrap();
+        assert_eq!(m.used(), 500);
+        m.free(300);
+        assert_eq!(m.used(), 200);
+        assert_eq!(m.alloc_count(), 2);
+        assert_eq!(m.free_count(), 1);
+    }
+
+    #[test]
+    fn high_water_is_peak_not_current() {
+        let mut m = ClusterMemory::new(0, 1000);
+        m.alloc(700).unwrap();
+        m.free(600);
+        m.alloc(100).unwrap();
+        assert_eq!(m.used(), 200);
+        assert_eq!(m.high_water(), 700);
+    }
+
+    #[test]
+    fn oom_reports_request_and_available() {
+        let mut m = ClusterMemory::new(3, 100);
+        m.alloc(90).unwrap();
+        let err = m.alloc(20).unwrap_err();
+        assert_eq!(err.cluster, 3);
+        assert_eq!(err.requested, 20);
+        assert_eq!(err.available, 10);
+        assert!(err.to_string().contains("cluster 3"));
+        // Failed alloc does not change state.
+        assert_eq!(m.used(), 90);
+        assert_eq!(m.alloc_count(), 1);
+    }
+
+    #[test]
+    fn exact_fit_succeeds() {
+        let mut m = ClusterMemory::new(0, 100);
+        m.alloc(100).unwrap();
+        assert_eq!(m.available(), 0);
+        assert_eq!(m.load_factor(), 1.0);
+    }
+
+    #[test]
+    fn zero_capacity_load_factor() {
+        let m = ClusterMemory::new(0, 0);
+        assert_eq!(m.load_factor(), 0.0);
+    }
+}

@@ -1,0 +1,439 @@
+//! The common communication network between clusters.
+//!
+//! Four topologies ([`Topology`]) with per-link contention and
+//! store-and-forward packet transmission. Large messages are segmented into
+//! packets of at most `max_packet_words` payload, each charged a header —
+//! this is how the simulator honours the "large messages" requirement while
+//! still modeling finite link buffers. Packets of one message pipeline
+//! across the path (a later link can carry packet *k* while an earlier link
+//! carries packet *k+1*), which matters for the E5 message-size sweeps.
+//!
+//! All state is deterministic: links are FIFO resources with a `free_at`
+//! time, and arrival times depend only on the sequence of `transmit` calls.
+
+use crate::config::{MachineConfig, Topology};
+use crate::{Cycles, Words};
+
+/// The inter-cluster network: topology, per-link reservation times, and
+/// traffic counters.
+#[derive(Clone, Debug)]
+pub struct Network {
+    topology: Topology,
+    clusters: u32,
+    link_latency: Cycles,
+    words_per_cycle: u32,
+    max_packet_words: Words,
+    header_words: Words,
+    /// Next-free time per link.
+    link_free: Vec<Cycles>,
+    /// Cumulative busy cycles per link (for utilization reports).
+    link_busy: Vec<Cycles>,
+    /// Remote messages transmitted.
+    pub messages: u64,
+    /// Packets transmitted (after segmentation).
+    pub packets: u64,
+    /// Payload words moved between clusters.
+    pub payload_words: u64,
+    /// Header words moved (overhead).
+    pub header_words_moved: u64,
+}
+
+impl Network {
+    /// Build the network for a machine configuration.
+    pub fn new(cfg: &MachineConfig) -> Self {
+        let n = cfg.clusters as usize;
+        let links = match cfg.topology {
+            Topology::Bus => 1,
+            Topology::Ring => 2 * n,
+            Topology::Mesh2D { .. } => 4 * n,
+            Topology::Crossbar => n * n,
+        };
+        Network {
+            topology: cfg.topology,
+            clusters: cfg.clusters,
+            link_latency: cfg.link_latency,
+            words_per_cycle: cfg.words_per_cycle,
+            max_packet_words: cfg.max_packet_words,
+            header_words: cfg.header_words,
+            link_free: vec![0; links],
+            link_busy: vec![0; links],
+            messages: 0,
+            packets: 0,
+            payload_words: 0,
+            header_words_moved: 0,
+        }
+    }
+
+    /// Number of links in the topology.
+    pub fn link_count(&self) -> usize {
+        self.link_free.len()
+    }
+
+    /// Hop count between two clusters (0 when equal).
+    pub fn hops(&self, from: u32, to: u32) -> u32 {
+        if from == to {
+            return 0;
+        }
+        match self.topology {
+            Topology::Bus => 1,
+            Topology::Crossbar => 1,
+            Topology::Ring => {
+                let n = self.clusters;
+                let fwd = (to + n - from) % n;
+                let bwd = (from + n - to) % n;
+                fwd.min(bwd)
+            }
+            Topology::Mesh2D { width } => {
+                let (fx, fy) = (from % width, from / width);
+                let (tx, ty) = (to % width, to / width);
+                fx.abs_diff(tx) + fy.abs_diff(ty)
+            }
+        }
+    }
+
+    /// The sequence of link ids a packet from `from` to `to` traverses.
+    fn route(&self, from: u32, to: u32) -> Vec<usize> {
+        if from == to {
+            return Vec::new();
+        }
+        let n = self.clusters as usize;
+        match self.topology {
+            Topology::Bus => vec![0],
+            Topology::Crossbar => vec![from as usize * n + to as usize],
+            Topology::Ring => {
+                let nc = self.clusters;
+                let fwd = (to + nc - from) % nc;
+                let bwd = (from + nc - to) % nc;
+                let mut path = Vec::new();
+                let mut cur = from;
+                if fwd <= bwd {
+                    while cur != to {
+                        // forward link out of `cur` has id `cur`
+                        path.push(cur as usize);
+                        cur = (cur + 1) % nc;
+                    }
+                } else {
+                    while cur != to {
+                        // backward link out of `cur` has id `n + cur`
+                        path.push(n + cur as usize);
+                        cur = (cur + nc - 1) % nc;
+                    }
+                }
+                path
+            }
+            Topology::Mesh2D { width } => {
+                // XY routing: move in x first, then y.
+                // Link ids: node*4 + {0:+x, 1:-x, 2:+y, 3:-y}.
+                let mut path = Vec::new();
+                let (mut cx, mut cy) = (from % width, from / width);
+                let (tx, ty) = (to % width, to / width);
+                while cx != tx {
+                    let node = (cy * width + cx) as usize;
+                    if cx < tx {
+                        path.push(node * 4);
+                        cx += 1;
+                    } else {
+                        path.push(node * 4 + 1);
+                        cx -= 1;
+                    }
+                }
+                while cy != ty {
+                    let node = (cy * width + cx) as usize;
+                    if cy < ty {
+                        path.push(node * 4 + 2);
+                        cy += 1;
+                    } else {
+                        path.push(node * 4 + 3);
+                        cy -= 1;
+                    }
+                }
+                path
+            }
+        }
+    }
+
+    /// Transmit `words` of payload from cluster `from` to cluster `to`,
+    /// starting no earlier than `now`. Returns the arrival time of the last
+    /// packet at `to`.
+    ///
+    /// Intra-cluster transfers (`from == to`) move through the shared
+    /// memory: they cost one memory pass (`words / words_per_cycle`) and use
+    /// no links, and are *not* counted as network messages.
+    pub fn transmit(&mut self, now: Cycles, from: u32, to: u32, words: Words) -> Cycles {
+        assert!(from < self.clusters && to < self.clusters, "cluster out of range");
+        if from == to {
+            return now + words.div_ceil(self.words_per_cycle as Words).max(1);
+        }
+        self.messages += 1;
+        self.payload_words += words;
+        let mut remaining = words;
+        let mut arrival = now;
+        // Segment; a zero-word message still sends one header-only packet.
+        let mut first = true;
+        // Time at which the next packet may enter the first link (FIFO
+        // injection at the source).
+        let mut inject_at = now;
+        while remaining > 0 || first {
+            first = false;
+            let chunk = remaining.min(self.max_packet_words);
+            remaining -= chunk;
+            let packet_words = chunk + self.header_words;
+            self.packets += 1;
+            self.header_words_moved += self.header_words;
+            let occ = packet_words
+                .div_ceil(self.words_per_cycle as Words)
+                .max(1);
+            // Store-and-forward over the route with per-link FIFO contention.
+            let mut t = inject_at;
+            let route = self.route(from, to);
+            for (hop, link) in route.iter().enumerate() {
+                let start = t.max(self.link_free[*link]);
+                self.link_free[*link] = start + occ;
+                self.link_busy[*link] += occ;
+                t = start + occ + self.link_latency;
+                if hop == 0 {
+                    // The next packet can be injected once the first link
+                    // frees up.
+                    inject_at = start + occ;
+                }
+            }
+            arrival = arrival.max(t);
+        }
+        arrival
+    }
+
+    /// Highest per-link busy-cycle count (the bottleneck link).
+    pub fn max_link_busy(&self) -> Cycles {
+        self.link_busy.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total busy cycles across all links.
+    pub fn total_link_busy(&self) -> Cycles {
+        self.link_busy.iter().sum()
+    }
+
+    /// Total words moved including headers.
+    pub fn total_words_moved(&self) -> u64 {
+        self.payload_words + self.header_words_moved
+    }
+
+    /// Reset traffic counters and link reservations (new experiment phase).
+    pub fn reset(&mut self) {
+        self.link_free.fill(0);
+        self.link_busy.fill(0);
+        self.messages = 0;
+        self.packets = 0;
+        self.payload_words = 0;
+        self.header_words_moved = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    fn cfg(topology: Topology, clusters: u32) -> MachineConfig {
+        let mut c = MachineConfig::fem2_default();
+        c.topology = topology;
+        c.clusters = clusters;
+        c
+    }
+
+    #[test]
+    fn hop_counts_per_topology() {
+        let bus = Network::new(&cfg(Topology::Bus, 8));
+        assert_eq!(bus.hops(0, 7), 1);
+        assert_eq!(bus.hops(3, 3), 0);
+
+        let xbar = Network::new(&cfg(Topology::Crossbar, 8));
+        assert_eq!(xbar.hops(0, 7), 1);
+
+        let ring = Network::new(&cfg(Topology::Ring, 8));
+        assert_eq!(ring.hops(0, 1), 1);
+        assert_eq!(ring.hops(0, 4), 4);
+        assert_eq!(ring.hops(0, 7), 1); // wraps backward
+        assert_eq!(ring.hops(6, 2), 4);
+
+        let mesh = Network::new(&cfg(Topology::Mesh2D { width: 4 }, 16));
+        assert_eq!(mesh.hops(0, 3), 3); // same row
+        assert_eq!(mesh.hops(0, 15), 6); // 3 x + 3 y
+        assert_eq!(mesh.hops(5, 5), 0);
+    }
+
+    #[test]
+    fn link_counts() {
+        assert_eq!(Network::new(&cfg(Topology::Bus, 8)).link_count(), 1);
+        assert_eq!(Network::new(&cfg(Topology::Ring, 8)).link_count(), 16);
+        assert_eq!(
+            Network::new(&cfg(Topology::Mesh2D { width: 4 }, 16)).link_count(),
+            64
+        );
+        assert_eq!(Network::new(&cfg(Topology::Crossbar, 8)).link_count(), 64);
+    }
+
+    #[test]
+    fn local_transfer_uses_no_links() {
+        let mut n = Network::new(&cfg(Topology::Bus, 4));
+        let t = n.transmit(100, 2, 2, 64);
+        assert_eq!(t, 100 + 64);
+        assert_eq!(n.messages, 0);
+        assert_eq!(n.packets, 0);
+        assert_eq!(n.total_link_busy(), 0);
+    }
+
+    #[test]
+    fn single_packet_arrival_time() {
+        let mut c = cfg(Topology::Crossbar, 4);
+        c.link_latency = 10;
+        c.words_per_cycle = 1;
+        c.max_packet_words = 256;
+        c.header_words = 4;
+        let mut n = Network::new(&c);
+        // 32 payload + 4 header = 36 cycles occupancy + 10 latency.
+        let t = n.transmit(0, 0, 1, 32);
+        assert_eq!(t, 36 + 10);
+        assert_eq!(n.messages, 1);
+        assert_eq!(n.packets, 1);
+        assert_eq!(n.payload_words, 32);
+        assert_eq!(n.header_words_moved, 4);
+    }
+
+    #[test]
+    fn zero_word_message_sends_header_packet() {
+        let mut n = Network::new(&cfg(Topology::Crossbar, 4));
+        let t0 = n.transmit(0, 0, 1, 0);
+        assert!(t0 > 0);
+        assert_eq!(n.packets, 1);
+        assert_eq!(n.payload_words, 0);
+        assert!(n.header_words_moved > 0);
+    }
+
+    #[test]
+    fn segmentation_counts_packets() {
+        let mut c = cfg(Topology::Crossbar, 4);
+        c.max_packet_words = 100;
+        let mut n = Network::new(&c);
+        n.transmit(0, 0, 1, 250); // 100 + 100 + 50
+        assert_eq!(n.packets, 3);
+        assert_eq!(n.header_words_moved, 3 * c.header_words);
+    }
+
+    #[test]
+    fn bus_serializes_concurrent_transfers() {
+        let mut c = cfg(Topology::Bus, 8);
+        c.link_latency = 0;
+        c.header_words = 0;
+        c.max_packet_words = 1000;
+        let mut n = Network::new(&c);
+        let t1 = n.transmit(0, 0, 1, 100);
+        let t2 = n.transmit(0, 2, 3, 100); // different pair, same bus
+        assert_eq!(t1, 100);
+        assert_eq!(t2, 200, "bus transfers serialize");
+    }
+
+    #[test]
+    fn crossbar_parallel_transfers_do_not_contend() {
+        let mut c = cfg(Topology::Crossbar, 8);
+        c.link_latency = 0;
+        c.header_words = 0;
+        c.max_packet_words = 1000;
+        let mut n = Network::new(&c);
+        let t1 = n.transmit(0, 0, 1, 100);
+        let t2 = n.transmit(0, 2, 3, 100);
+        assert_eq!(t1, 100);
+        assert_eq!(t2, 100, "disjoint crossbar paths run in parallel");
+    }
+
+    #[test]
+    fn same_pair_crossbar_transfers_serialize() {
+        let mut c = cfg(Topology::Crossbar, 8);
+        c.link_latency = 0;
+        c.header_words = 0;
+        c.max_packet_words = 1000;
+        let mut n = Network::new(&c);
+        let t1 = n.transmit(0, 0, 1, 100);
+        let t2 = n.transmit(0, 0, 1, 100);
+        assert_eq!(t1, 100);
+        assert_eq!(t2, 200);
+    }
+
+    #[test]
+    fn ring_multi_hop_latency_accumulates() {
+        let mut c = cfg(Topology::Ring, 8);
+        c.link_latency = 5;
+        c.header_words = 0;
+        c.words_per_cycle = 1;
+        c.max_packet_words = 1000;
+        let mut n = Network::new(&c);
+        // 0 -> 2 is 2 hops forward: occupancy 10 per link, store-and-forward.
+        let t = n.transmit(0, 0, 2, 10);
+        assert_eq!(t, (10 + 5) * 2);
+    }
+
+    #[test]
+    fn packets_pipeline_across_hops() {
+        let mut c = cfg(Topology::Ring, 8);
+        c.link_latency = 0;
+        c.header_words = 0;
+        c.words_per_cycle = 1;
+        c.max_packet_words = 10;
+        let mut n = Network::new(&c);
+        // 2 hops, 3 packets of 10 words. Without pipelining: 3 * 20 = 60.
+        // With pipelining the last packet enters link 0 at t=20, arrives 40.
+        let t = n.transmit(0, 0, 2, 30);
+        assert_eq!(t, 40);
+    }
+
+    #[test]
+    fn mesh_xy_route_respects_dimension_order() {
+        let c = cfg(Topology::Mesh2D { width: 4 }, 16);
+        let n = Network::new(&c);
+        // 0 (0,0) -> 15 (3,3): route through x then y, 6 links.
+        let r = n.route(0, 15);
+        assert_eq!(r.len(), 6);
+        // First three are +x links of nodes 0,1,2.
+        assert_eq!(&r[..3], &[0, 4, 8]);
+    }
+
+    #[test]
+    fn reset_clears_counters_and_reservations() {
+        let mut n = Network::new(&cfg(Topology::Bus, 4));
+        n.transmit(0, 0, 1, 100);
+        assert!(n.messages > 0);
+        n.reset();
+        assert_eq!(n.messages, 0);
+        assert_eq!(n.packets, 0);
+        assert_eq!(n.total_link_busy(), 0);
+        // After reset, transfers start from a clean bus.
+        let t = n.transmit(0, 0, 1, 10);
+        let occ = (10u64 + 4).div_ceil(1);
+        assert_eq!(t, occ + n.link_latency);
+    }
+
+    #[test]
+    fn total_words_moved_includes_headers() {
+        let mut n = Network::new(&cfg(Topology::Crossbar, 4));
+        n.transmit(0, 0, 1, 10);
+        assert_eq!(n.total_words_moved(), 10 + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster out of range")]
+    fn out_of_range_cluster_panics() {
+        let mut n = Network::new(&cfg(Topology::Bus, 4));
+        n.transmit(0, 0, 9, 10);
+    }
+
+    #[test]
+    fn max_link_busy_tracks_bottleneck() {
+        let mut c = cfg(Topology::Ring, 4);
+        c.header_words = 0;
+        c.max_packet_words = 1000;
+        let mut n = Network::new(&c);
+        n.transmit(0, 0, 1, 50);
+        n.transmit(0, 0, 1, 50);
+        assert_eq!(n.max_link_busy(), 100);
+        assert_eq!(n.total_link_busy(), 100);
+    }
+}

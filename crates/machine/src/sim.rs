@@ -1,0 +1,293 @@
+//! A generic discrete-event engine with deterministic tie-breaking.
+//!
+//! [`EventQueue`] is a time-ordered priority queue: events scheduled for the
+//! same cycle pop in scheduling order (FIFO), so simulations are
+//! deterministic regardless of payload type. [`Simulator`] adds the standard
+//! run loop: pop, advance the clock, hand the event to a handler which may
+//! schedule more events.
+
+use crate::Cycles;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A pending event: time, a monotone sequence number for FIFO ties, payload.
+struct Entry<E> {
+    at: Cycles,
+    seq: u64,
+    ev: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Time-ordered event queue with FIFO tie-breaking.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    now: Cycles,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+        }
+    }
+
+    /// Current simulation time: the time of the last popped event.
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `ev` at absolute time `at`. Scheduling in the past clamps
+    /// to `now` (events cannot rewind the clock).
+    pub fn schedule(&mut self, at: Cycles, ev: E) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, ev }));
+    }
+
+    /// Schedule `ev` `delay` cycles from now.
+    pub fn schedule_in(&mut self, delay: Cycles, ev: E) {
+        self.schedule(self.now + delay, ev);
+    }
+
+    /// Pop the earliest event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(Cycles, E)> {
+        self.heap.pop().map(|Reverse(e)| {
+            self.now = e.at;
+            (e.at, e.ev)
+        })
+    }
+
+    /// Peek at the earliest pending event time without popping.
+    pub fn next_time(&self) -> Option<Cycles> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+}
+
+/// An event-loop wrapper over [`EventQueue`].
+pub struct Simulator<E> {
+    queue: EventQueue<E>,
+    events_processed: u64,
+}
+
+impl<E> Default for Simulator<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Simulator<E> {
+    /// A simulator with an empty queue at time zero.
+    pub fn new() -> Self {
+        Simulator {
+            queue: EventQueue::new(),
+            events_processed: 0,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Cycles {
+        self.queue.now()
+    }
+
+    /// Total events handled so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Schedule an event at absolute time `at`.
+    pub fn schedule(&mut self, at: Cycles, ev: E) {
+        self.queue.schedule(at, ev);
+    }
+
+    /// Schedule an event `delay` cycles from now.
+    pub fn schedule_in(&mut self, delay: Cycles, ev: E) {
+        self.queue.schedule_in(delay, ev);
+    }
+
+    /// Run until the queue is empty. The handler receives the simulator (to
+    /// schedule follow-on events), the event time, and the payload.
+    pub fn run<F>(&mut self, mut handler: F)
+    where
+        F: FnMut(&mut Self, Cycles, E),
+    {
+        while let Some((at, ev)) = self.queue.pop() {
+            self.events_processed += 1;
+            handler(self, at, ev);
+        }
+    }
+
+    /// Run until the queue is empty or the clock passes `deadline`.
+    /// Returns true if the queue drained before the deadline.
+    pub fn run_until<F>(&mut self, deadline: Cycles, mut handler: F) -> bool
+    where
+        F: FnMut(&mut Self, Cycles, E),
+    {
+        loop {
+            match self.queue.next_time() {
+                None => return true,
+                Some(t) if t > deadline => return false,
+                Some(_) => {
+                    let (at, ev) = self.queue.pop().unwrap();
+                    self.events_processed += 1;
+                    handler(self, at, ev);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, "c");
+        q.schedule(10, "a");
+        q.schedule(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(5, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((5, i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(10, ());
+        q.schedule(50, ());
+        assert_eq!(q.now(), 0);
+        q.pop();
+        assert_eq!(q.now(), 10);
+        q.pop();
+        assert_eq!(q.now(), 50);
+    }
+
+    #[test]
+    fn past_scheduling_clamps_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(100, "late");
+        q.pop();
+        q.schedule(5, "early"); // in the past; clamps to 100
+        assert_eq!(q.pop(), Some((100, "early")));
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(10, "first");
+        q.pop();
+        q.schedule_in(7, "second");
+        assert_eq!(q.pop(), Some((17, "second")));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1, ());
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn simulator_run_drains_and_cascades() {
+        let mut sim = Simulator::new();
+        sim.schedule(0, 3u32); // event payload = remaining cascade depth
+        let mut log = Vec::new();
+        sim.run(|sim, at, depth| {
+            log.push((at, depth));
+            if depth > 0 {
+                sim.schedule_in(10, depth - 1);
+            }
+        });
+        assert_eq!(log, vec![(0, 3), (10, 2), (20, 1), (30, 0)]);
+        assert_eq!(sim.events_processed(), 4);
+        assert_eq!(sim.now(), 30);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Simulator::new();
+        for t in [10u64, 20, 30, 40] {
+            sim.schedule(t, t);
+        }
+        let mut seen = Vec::new();
+        let drained = sim.run_until(25, |_, _, ev| seen.push(ev));
+        assert!(!drained);
+        assert_eq!(seen, vec![10, 20]);
+        assert_eq!(sim.now(), 20);
+        // Finish the rest.
+        let drained = sim.run_until(u64::MAX, |_, _, ev| seen.push(ev));
+        assert!(drained);
+        assert_eq!(seen, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let mut sim = Simulator::new();
+            for i in 0..50u64 {
+                sim.schedule((i * 7) % 13, i);
+            }
+            let mut order = Vec::new();
+            sim.run(|sim, _, ev| {
+                order.push(ev);
+                if ev < 1000 && ev % 5 == 0 {
+                    sim.schedule_in(3, ev + 1000);
+                }
+            });
+            order
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the hardware simulator: conservation, determinism,
+//! and topology invariants under random traffic.
+
+use fem2_machine::{Machine, MachineConfig, Network, PeId, Topology};
+use proptest::prelude::*;
+
+fn topo_strategy() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        Just(Topology::Bus),
+        Just(Topology::Ring),
+        Just(Topology::Mesh2D { width: 4 }),
+        Just(Topology::Crossbar),
+    ]
+}
+
+proptest! {
+    /// Hop counts are symmetric and zero exactly on the diagonal.
+    #[test]
+    fn hops_symmetric(topo in topo_strategy()) {
+        let cfg = MachineConfig::clustered(8, 2, topo);
+        let net = Network::new(&cfg);
+        for a in 0..8 {
+            for b in 0..8 {
+                prop_assert_eq!(net.hops(a, b), net.hops(b, a));
+                prop_assert_eq!(net.hops(a, b) == 0, a == b);
+            }
+        }
+    }
+
+    /// Word conservation: payload words transmitted equal words requested,
+    /// and headers scale with packet count.
+    #[test]
+    fn transmit_conserves_words(
+        topo in topo_strategy(),
+        msgs in proptest::collection::vec((0u32..8, 0u32..8, 1u64..5000), 1..40),
+    ) {
+        let mut cfg = MachineConfig::clustered(8, 2, topo);
+        cfg.max_packet_words = 256;
+        let mut net = Network::new(&cfg);
+        let mut expect_payload = 0u64;
+        let mut remote = 0u64;
+        for &(from, to, words) in &msgs {
+            net.transmit(0, from, to, words);
+            if from != to {
+                expect_payload += words;
+                remote += 1;
+            }
+        }
+        prop_assert_eq!(net.payload_words, expect_payload);
+        prop_assert_eq!(net.messages, remote);
+        // Header accounting: headers = packets * header_words.
+        prop_assert_eq!(net.header_words_moved, net.packets * cfg.header_words);
+        // Packets at least one per remote message, and enough for payload.
+        prop_assert!(net.packets >= remote);
+    }
+
+    /// Network arrival times are deterministic and monotone in start time.
+    #[test]
+    fn transmit_deterministic_and_monotone(
+        topo in topo_strategy(),
+        from in 0u32..8,
+        to in 0u32..8,
+        words in 1u64..4096,
+        delay in 0u64..10_000,
+    ) {
+        let cfg = MachineConfig::clustered(8, 2, topo);
+        let run = |start: u64| {
+            let mut net = Network::new(&cfg);
+            net.transmit(start, from, to, words)
+        };
+        prop_assert_eq!(run(0), run(0), "deterministic");
+        let t0 = run(0);
+        let t1 = run(delay);
+        prop_assert_eq!(t1 - delay, t0, "time-shift invariant on a fresh net");
+        // Arrival after start.
+        prop_assert!(t0 > 0);
+    }
+
+    /// Charging random work to random PEs keeps busy-cycle accounting
+    /// consistent with the makespan.
+    #[test]
+    fn machine_charging_consistent(
+        work in proptest::collection::vec((0u32..4, 0u32..4, 1u64..1000), 1..50),
+    ) {
+        let mut m = Machine::new(MachineConfig::clustered(4, 4, Topology::Crossbar));
+        for &(c, p, flops) in &work {
+            let _ = m.charge(0, PeId::new(c, p), fem2_machine::CostClass::Flop, flops);
+        }
+        let total_flops: u64 = work.iter().map(|&(_, _, f)| f).sum();
+        prop_assert_eq!(m.stats.total().flops, total_flops);
+        // Makespan is at least the average load and at most the total.
+        let cost = m.config.cost.flop;
+        prop_assert!(m.makespan() <= total_flops * cost);
+        prop_assert!(m.total_busy_cycles() == total_flops * cost);
+    }
+
+    /// Fault isolation never resurrects PEs and conserves the alive count.
+    #[test]
+    fn fault_accounting(kills in proptest::collection::vec((0u32..4, 0u32..4), 0..12)) {
+        let mut m = Machine::new(MachineConfig::clustered(4, 4, Topology::Bus));
+        let mut unique = std::collections::BTreeSet::new();
+        for &(c, p) in &kills {
+            let pe = PeId::new(c, p);
+            // ClusterDead errors are acceptable; the PE is still isolated.
+            let _ = m.fail_pe(pe);
+            unique.insert(pe);
+        }
+        prop_assert_eq!(m.reconfigurations as usize, unique.len());
+        let alive: u32 = (0..4).map(|c| m.alive_count(c)).sum();
+        prop_assert_eq!(alive as usize, 16 - unique.len());
+    }
+}

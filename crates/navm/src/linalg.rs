@@ -1,0 +1,571 @@
+//! Linear-algebra operations of the NA-VM.
+//!
+//! Inner products, vector updates, dense matrix–vector products, and the
+//! 5-point-stencil operator the FEM scenarios lean on. Every operation
+//! computes real values *and* charges the simulated machine when the VM
+//! runs on the simulated plane.
+//!
+//! Reductions use a fixed chunk size ([`REDUCE_GRAIN`]) with partials folded
+//! in chunk order on **both** planes, so native and simulated runs produce
+//! bitwise-identical floating-point results — the plane-equivalence property
+//! the integration tests check.
+
+use crate::runtime::{ArrayId, NaVm, Plane};
+use crate::task::TaskHandle;
+use fem2_kernel::WorkProfile;
+use fem2_machine::Words;
+
+/// Chunk size for deterministic reductions, elements.
+pub const REDUCE_GRAIN: usize = 1024;
+
+/// Fold `f` over `[0, n)` in chunks of [`REDUCE_GRAIN`], combining chunk
+/// partials in order. The combination tree depends only on `n`.
+fn chunked_fold_seq(n: usize, f: impl Fn(usize) -> f64) -> f64 {
+    let mut total = 0.0;
+    let mut start = 0;
+    while start < n {
+        let end = (start + REDUCE_GRAIN).min(n);
+        let mut acc = 0.0;
+        for i in start..end {
+            acc += f(i);
+        }
+        total += acc;
+        start = end;
+    }
+    total
+}
+
+/// Disjoint mutable access to two arrays of the registry.
+fn two_arrays(
+    arrays: &mut [crate::runtime::DArray],
+    a: ArrayId,
+    b: ArrayId,
+) -> (&mut crate::runtime::DArray, &mut crate::runtime::DArray) {
+    let (i, j) = (a.0 as usize, b.0 as usize);
+    assert_ne!(i, j, "aliasing arrays");
+    if i < j {
+        let (lo, hi) = arrays.split_at_mut(j);
+        (&mut lo[i], &mut hi[0])
+    } else {
+        let (lo, hi) = arrays.split_at_mut(i);
+        (&mut hi[0], &mut lo[j])
+    }
+}
+
+impl NaVm {
+
+    fn charge_elementwise(&mut self, n: usize, per_elem: WorkProfile) {
+        if let Plane::Sim(_) = self.plane {
+            let work: Vec<(TaskHandle, WorkProfile)> = self
+                .tasks
+                .iter()
+                .map(|t| (t, per_elem.scaled(self.tasks.share(n, t).len() as u64)))
+                .collect();
+            if let Plane::Sim(s) = &mut self.plane {
+                s.parallel_section(&self.tasks, &work);
+            }
+        }
+    }
+
+    /// Charge the tree reduction that combines per-task partials: one small
+    /// message per cluster toward cluster 0, then a broadcast of the result.
+    fn charge_reduction(&mut self) {
+        if let Plane::Sim(s) = &mut self.plane {
+            let start = s.now;
+            let mut barrier = start;
+            for c in 1..self.tasks.clusters() {
+                let arrive = s.machine.transmit(start, c, 0, 2);
+                barrier = barrier.max(arrive);
+            }
+            for c in 1..self.tasks.clusters() {
+                let arrive = s.machine.transmit(barrier, 0, c, 2);
+                barrier = barrier.max(arrive);
+            }
+            s.now = barrier;
+        }
+    }
+
+    /// Inner product `xᵀy`. Identical rounding on both planes.
+    pub fn inner(&mut self, x: ArrayId, y: ArrayId) -> f64 {
+        let n = self.len(x);
+        assert_eq!(n, self.len(y), "length mismatch");
+        let result = match &self.plane {
+            Plane::Native { pool } => {
+                let xd = &self.arrays[x.0 as usize].data;
+                let yd = &self.arrays[y.0 as usize].data;
+                pool.map_reduce_index(0..n.div_ceil(REDUCE_GRAIN), 1, |chunk| {
+                    let s = chunk * REDUCE_GRAIN;
+                    let e = (s + REDUCE_GRAIN).min(n);
+                    let mut acc = 0.0;
+                    for i in s..e {
+                        acc += xd[i] * yd[i];
+                    }
+                    acc
+                }, |a, b| a + b, 0.0)
+            }
+            Plane::Sim(_) => {
+                let xd = &self.arrays[x.0 as usize].data;
+                let yd = &self.arrays[y.0 as usize].data;
+                chunked_fold_seq(n, |i| xd[i] * yd[i])
+            }
+        };
+        self.charge_elementwise(n, WorkProfile { flops: 2, int_ops: 0, mem_words: 2 });
+        self.charge_reduction();
+        result
+    }
+
+    /// Euclidean norm `‖x‖₂`.
+    pub fn norm2(&mut self, x: ArrayId) -> f64 {
+        self.inner(x, x).sqrt()
+    }
+
+    /// `y ← y + alpha·x`.
+    pub fn axpy(&mut self, alpha: f64, x: ArrayId, y: ArrayId) {
+        let n = self.len(x);
+        assert_eq!(n, self.len(y), "length mismatch");
+        {
+            let pool = self.pool().cloned();
+            let (xa, ya) = two_arrays(&mut self.arrays, x, y);
+            let xd = &xa.data;
+            let yd = &mut ya.data;
+            match pool {
+                Some(pool) => {
+                    fem2_par::chunks_mut(&pool, yd, REDUCE_GRAIN, |c, piece| {
+                        let base = c * REDUCE_GRAIN;
+                        for (k, v) in piece.iter_mut().enumerate() {
+                            *v += alpha * xd[base + k];
+                        }
+                    });
+                }
+                None => {
+                    for i in 0..n {
+                        yd[i] += alpha * xd[i];
+                    }
+                }
+            }
+        }
+        self.charge_elementwise(n, WorkProfile { flops: 2, int_ops: 0, mem_words: 3 });
+    }
+
+    /// `y ← x + beta·y` (the CG direction update).
+    pub fn xpby(&mut self, x: ArrayId, beta: f64, y: ArrayId) {
+        let n = self.len(x);
+        assert_eq!(n, self.len(y), "length mismatch");
+        {
+            let pool = self.pool().cloned();
+            let (xa, ya) = two_arrays(&mut self.arrays, x, y);
+            let xd = &xa.data;
+            let yd = &mut ya.data;
+            match pool {
+                Some(pool) => {
+                    fem2_par::chunks_mut(&pool, yd, REDUCE_GRAIN, |c, piece| {
+                        let base = c * REDUCE_GRAIN;
+                        for (k, v) in piece.iter_mut().enumerate() {
+                            *v = xd[base + k] + beta * *v;
+                        }
+                    });
+                }
+                None => {
+                    for i in 0..n {
+                        yd[i] = xd[i] + beta * yd[i];
+                    }
+                }
+            }
+        }
+        self.charge_elementwise(n, WorkProfile { flops: 2, int_ops: 0, mem_words: 3 });
+    }
+
+    /// `x ← alpha·x`.
+    pub fn scale(&mut self, x: ArrayId, alpha: f64) {
+        let n = self.len(x);
+        let xd = &mut self.arrays[x.0 as usize].data;
+        match &self.plane {
+            Plane::Native { pool } => {
+                let pool = pool.clone();
+                fem2_par::chunks_mut(&pool, xd, REDUCE_GRAIN, |_, piece| {
+                    for v in piece.iter_mut() {
+                        *v *= alpha;
+                    }
+                });
+            }
+            Plane::Sim(_) => {
+                for v in xd.iter_mut() {
+                    *v *= alpha;
+                }
+            }
+        }
+        self.charge_elementwise(n, WorkProfile { flops: 1, int_ops: 0, mem_words: 2 });
+    }
+
+    /// `y ← x`.
+    pub fn copy(&mut self, x: ArrayId, y: ArrayId) {
+        let n = self.len(x);
+        assert_eq!(n, self.len(y), "length mismatch");
+        {
+            let (xa, ya) = two_arrays(&mut self.arrays, x, y);
+            ya.data.copy_from_slice(&xa.data);
+        }
+        self.charge_elementwise(n, WorkProfile { flops: 0, int_ops: 0, mem_words: 2 });
+    }
+
+    /// Dense matrix–vector product `y ← A·x` with `A` row-block
+    /// distributed. On the simulated plane the full `x` is allgathered
+    /// (each cluster ships its share to every other) before the local rows
+    /// multiply.
+    pub fn matvec_dense(&mut self, a: ArrayId, x: ArrayId, y: ArrayId) {
+        let (m, ncols) = (self.rows(a), self.cols(a));
+        assert_eq!(self.len(x), ncols, "x length mismatch");
+        assert_eq!(self.len(y), m, "y length mismatch");
+        // Charge the allgather of x.
+        if let Plane::Sim(_) = self.plane {
+            let clusters = self.tasks.clusters();
+            let share_words = (ncols as u64 / clusters.max(1) as u64).max(1);
+            if let Plane::Sim(s) = &mut self.plane {
+                let start = s.now;
+                let mut barrier = start;
+                for from in 0..clusters {
+                    for to in 0..clusters {
+                        if from != to {
+                            let arrive = s.machine.transmit(start, from, to, share_words as Words);
+                            barrier = barrier.max(arrive);
+                        }
+                    }
+                }
+                s.now = barrier;
+            }
+        }
+        // Compute: y[r] = Σ_c A[r][c] x[c].
+        let xd = self.arrays[x.0 as usize].data.clone();
+        {
+            let pool = self.pool().cloned();
+            let (aa, ya) = two_arrays(&mut self.arrays, a, y);
+            let ad = &aa.data;
+            let yd = &mut ya.data;
+            match pool {
+                Some(pool) => {
+                    fem2_par::chunks_mut(&pool, yd, 1, |r, out| {
+                        let row = &ad[r * ncols..(r + 1) * ncols];
+                        let mut acc = 0.0;
+                        for (c, &v) in row.iter().enumerate() {
+                            acc += v * xd[c];
+                        }
+                        out[0] = acc;
+                    });
+                }
+                None => {
+                    for r in 0..m {
+                        let row = &ad[r * ncols..(r + 1) * ncols];
+                        let mut acc = 0.0;
+                        for (c, &v) in row.iter().enumerate() {
+                            acc += v * xd[c];
+                        }
+                        yd[r] = acc;
+                    }
+                }
+            }
+        }
+        self.charge_elementwise(
+            m,
+            WorkProfile {
+                flops: 2 * ncols as u64,
+                int_ops: ncols as u64,
+                mem_words: ncols as u64 + 1,
+            },
+        );
+    }
+
+    /// 5-point-stencil operator on an `nx × ny` grid: for interior and
+    /// boundary points alike,
+    /// `y[i,j] = 4·x[i,j] − x[i−1,j] − x[i+1,j] − x[i,j−1] − x[i,j+1]`
+    /// with out-of-grid neighbours treated as zero (homogeneous Dirichlet).
+    /// `x` and `y` are `nx·ny` vectors, grid row-major.
+    ///
+    /// On the simulated plane each task owning a band of grid rows
+    /// exchanges one halo row (`nx` words) with each neighbouring task:
+    /// intra-cluster neighbours cost memory passes, inter-cluster ones cost
+    /// messages — the nearest-neighbour pattern of E5.
+    pub fn stencil5(&mut self, x: ArrayId, y: ArrayId, nx: usize, ny: usize) {
+        assert_eq!(self.len(x), nx * ny, "x length mismatch");
+        assert_eq!(self.len(y), nx * ny, "y length mismatch");
+        // Halo exchange charges.
+        if let Plane::Sim(_) = self.plane {
+            let tasks = self.tasks;
+            let pairs: Vec<(u32, u32)> = tasks
+                .iter()
+                .zip(tasks.iter().skip(1))
+                .filter(|(a, b)| {
+                    // Only adjacent tasks with non-empty shares exchange.
+                    !tasks.share(ny, *a).is_empty() && !tasks.share(ny, *b).is_empty()
+                })
+                .map(|(a, b)| (tasks.cluster_of(a), tasks.cluster_of(b)))
+                .collect();
+            if let Plane::Sim(s) = &mut self.plane {
+                let start = s.now;
+                let mut barrier = start;
+                for (ca, cb) in pairs {
+                    if ca == cb {
+                        s.machine.stats.mem_words(2 * nx as u64);
+                        let pe = s.machine.kernel_pe(ca);
+                        let done = s
+                            .machine
+                            .charge(start, pe, fem2_machine::CostClass::MemWord, 2 * nx as u64)
+                            .unwrap_or(start);
+                        barrier = barrier.max(done);
+                    } else {
+                        let a1 = s.machine.transmit(start, ca, cb, nx as Words);
+                        let a2 = s.machine.transmit(start, cb, ca, nx as Words);
+                        barrier = barrier.max(a1).max(a2);
+                    }
+                }
+                s.now = barrier;
+            }
+        }
+        // Compute.
+        let xd = self.arrays[x.0 as usize].data.clone();
+        {
+            let pool = self.pool().cloned();
+            let ya = &mut self.arrays[y.0 as usize];
+            let yd = &mut ya.data;
+            let stencil_row = |j: usize, out: &mut [f64]| {
+                for i in 0..nx {
+                    let idx = j * nx + i;
+                    let mut v = 4.0 * xd[idx];
+                    if i > 0 {
+                        v -= xd[idx - 1];
+                    }
+                    if i + 1 < nx {
+                        v -= xd[idx + 1];
+                    }
+                    if j > 0 {
+                        v -= xd[idx - nx];
+                    }
+                    if j + 1 < ny {
+                        v -= xd[idx + nx];
+                    }
+                    out[i] = v;
+                }
+            };
+            match pool {
+                Some(pool) => {
+                    fem2_par::chunks_mut(&pool, yd, nx, |j, out| stencil_row(j, out));
+                }
+                None => {
+                    for (j, out) in yd.chunks_mut(nx).enumerate() {
+                        stencil_row(j, out);
+                    }
+                }
+            }
+        }
+        self.charge_elementwise(
+            nx * ny,
+            WorkProfile { flops: 8, int_ops: 6, mem_words: 6 },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fem2_machine::MachineConfig;
+    use fem2_par::Pool;
+    use std::sync::Arc;
+
+    fn sim(ntasks: u32) -> NaVm {
+        NaVm::simulated(MachineConfig::fem2_default(), ntasks)
+    }
+
+    fn native() -> NaVm {
+        NaVm::native(Arc::new(Pool::new(4)), 4)
+    }
+
+    #[test]
+    fn inner_product_exact() {
+        for mut vm in [sim(4), native()] {
+            let x = vm.vector(100);
+            let y = vm.vector(100);
+            vm.fill(x, |i, _| i as f64);
+            vm.fill(y, |_, _| 3.0);
+            assert_eq!(vm.inner(x, y), 3.0 * (99.0 * 100.0 / 2.0));
+        }
+    }
+
+    #[test]
+    fn inner_bitwise_identical_across_planes() {
+        let n = 5000; // spans multiple reduce chunks
+        let mut vs = sim(4);
+        let mut vn = native();
+        let (xs, ys) = (vs.vector(n), vs.vector(n));
+        let (xn, yn) = (vn.vector(n), vn.vector(n));
+        let f = |i: usize, _: usize| ((i * 2654435761) % 1000) as f64 * 1e-3 + 0.1;
+        let g = |i: usize, _: usize| ((i * 40503) % 777) as f64 * 1e-2 - 3.0;
+        vs.fill(xs, f);
+        vs.fill(ys, g);
+        vn.fill(xn, f);
+        vn.fill(yn, g);
+        let a = vs.inner(xs, ys);
+        let b = vn.inner(xn, yn);
+        assert_eq!(a.to_bits(), b.to_bits(), "sim {a} vs native {b}");
+    }
+
+    #[test]
+    fn axpy_and_xpby() {
+        for mut vm in [sim(4), native()] {
+            let x = vm.vector(10);
+            let y = vm.vector(10);
+            vm.fill(x, |i, _| i as f64);
+            vm.fill(y, |_, _| 1.0);
+            vm.axpy(2.0, x, y); // y = 1 + 2i
+            assert_eq!(vm.get(y, 3, 0), 7.0);
+            vm.xpby(x, 0.5, y); // y = i + 0.5(1 + 2i) = 2i + 0.5
+            assert_eq!(vm.get(y, 3, 0), 6.5);
+        }
+    }
+
+    #[test]
+    fn scale_and_copy_and_norm() {
+        for mut vm in [sim(4), native()] {
+            let x = vm.vector(4);
+            vm.fill(x, |_, _| 2.0);
+            vm.scale(x, 1.5);
+            assert_eq!(vm.get(x, 0, 0), 3.0);
+            let y = vm.vector(4);
+            vm.copy(x, y);
+            assert_eq!(vm.snapshot(y), vec![3.0; 4]);
+            assert_eq!(vm.norm2(y), (4.0f64 * 9.0).sqrt());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let mut vm = sim(2);
+        let x = vm.vector(4);
+        let y = vm.vector(5);
+        vm.axpy(1.0, x, y);
+    }
+
+    #[test]
+    #[should_panic(expected = "aliasing arrays")]
+    fn aliasing_rejected() {
+        let mut vm = sim(2);
+        let x = vm.vector(4);
+        vm.axpy(1.0, x, x);
+    }
+
+    #[test]
+    fn matvec_dense_identity() {
+        for mut vm in [sim(4), native()] {
+            let a = vm.array(5, 5);
+            vm.fill(a, |r, c| if r == c { 1.0 } else { 0.0 });
+            let x = vm.vector(5);
+            vm.fill(x, |i, _| (i + 1) as f64);
+            let y = vm.vector(5);
+            vm.matvec_dense(a, x, y);
+            assert_eq!(vm.snapshot(y), vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        }
+    }
+
+    #[test]
+    fn matvec_dense_general() {
+        for mut vm in [sim(4), native()] {
+            let a = vm.array(2, 3);
+            vm.fill(a, |r, c| (r * 3 + c + 1) as f64); // [[1,2,3],[4,5,6]]
+            let x = vm.vector(3);
+            vm.fill(x, |i, _| (i + 1) as f64); // [1,2,3]
+            let y = vm.vector(2);
+            vm.matvec_dense(a, x, y);
+            assert_eq!(vm.snapshot(y), vec![14.0, 32.0]);
+        }
+    }
+
+    #[test]
+    fn stencil5_constant_interior() {
+        // x ≡ 1: interior points give 0; edges lose missing neighbours.
+        for mut vm in [sim(4), native()] {
+            let (nx, ny) = (5, 5);
+            let x = vm.vector(nx * ny);
+            vm.fill(x, |_, _| 1.0);
+            let y = vm.vector(nx * ny);
+            vm.stencil5(x, y, nx, ny);
+            // Interior (2,2): 4 - 4 = 0.
+            assert_eq!(vm.get(y, 2 * nx + 2, 0), 0.0);
+            // Corner (0,0): 4 - 2 = 2.
+            assert_eq!(vm.get(y, 0, 0), 2.0);
+            // Edge (2,0): 4 - 3 = 1.
+            assert_eq!(vm.get(y, 2, 0), 1.0);
+        }
+    }
+
+    #[test]
+    fn stencil5_matches_dense_laplacian() {
+        let (nx, ny) = (4, 3);
+        let n = nx * ny;
+        let mut vm = sim(4);
+        // Build the dense 5-point matrix and compare products.
+        let a = vm.array(n, n);
+        vm.fill(a, |r, c| {
+            let (ri, rj) = (r % nx, r / nx);
+            let (ci, cj) = (c % nx, c / nx);
+            if r == c {
+                4.0
+            } else if (ri == ci && rj.abs_diff(cj) == 1) || (rj == cj && ri.abs_diff(ci) == 1) {
+                -1.0
+            } else {
+                0.0
+            }
+        });
+        let x = vm.vector(n);
+        vm.fill(x, |i, _| ((i * 7) % 5) as f64 - 2.0);
+        let y_dense = vm.vector(n);
+        vm.matvec_dense(a, x, y_dense);
+        let y_sten = vm.vector(n);
+        vm.stencil5(x, y_sten, nx, ny);
+        assert_eq!(vm.snapshot(y_dense), vm.snapshot(y_sten));
+    }
+
+    #[test]
+    fn sim_plane_charges_flops_for_linalg() {
+        let mut vm = sim(4);
+        let x = vm.vector(1000);
+        let y = vm.vector(1000);
+        vm.fill(x, |_, _| 1.0);
+        vm.fill(y, |_, _| 1.0);
+        let f0 = vm.machine().unwrap().stats.total().flops;
+        let _ = vm.inner(x, y);
+        let f1 = vm.machine().unwrap().stats.total().flops;
+        assert_eq!(f1 - f0, 2000, "2 flops per element");
+    }
+
+    #[test]
+    fn stencil_halo_crosses_clusters_as_messages() {
+        // 4 tasks on 4 clusters: each task boundary is a cluster boundary.
+        let mut cfg = MachineConfig::fem2_default();
+        cfg.clusters = 4;
+        let mut vm = NaVm::simulated(cfg, 4);
+        vm.set_spawn_overhead(false); // isolate halo traffic from spawn messages
+        let (nx, ny) = (8, 8);
+        let x = vm.vector(nx * ny);
+        let y = vm.vector(nx * ny);
+        vm.fill(x, |_, _| 1.0);
+        let m0 = vm.machine().unwrap().network.messages;
+        vm.stencil5(x, y, nx, ny);
+        let m1 = vm.machine().unwrap().network.messages;
+        assert_eq!(m1 - m0, 6, "3 task boundaries × 2 directions");
+    }
+
+    #[test]
+    fn stencil_halo_within_cluster_is_message_free() {
+        // 4 tasks on 1 cluster: halos are memory passes.
+        let mut cfg = MachineConfig::fem2_default();
+        cfg.clusters = 1;
+        let mut vm = NaVm::simulated(cfg, 4);
+        let (nx, ny) = (8, 8);
+        let x = vm.vector(nx * ny);
+        let y = vm.vector(nx * ny);
+        vm.fill(x, |_, _| 1.0);
+        let m0 = vm.machine().unwrap().network.messages;
+        vm.stencil5(x, y, nx, ny);
+        let m1 = vm.machine().unwrap().network.messages;
+        assert_eq!(m1 - m0, 0);
+    }
+}

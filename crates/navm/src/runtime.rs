@@ -1,0 +1,654 @@
+//! The NA-VM runtime: arrays, forall/pardo, broadcast, and the two
+//! execution planes.
+//!
+//! Arrays are two-dimensional, row-block distributed over the task set, and
+//! owned by their creating VM ("data lifetime — lifetime of owner task").
+//! On the simulated plane every operation charges the machine: parallel
+//! sections spawn one task per [`TaskHandle`] (kernel task-create plus an
+//! initiate message to the hosting cluster), the per-task work is charged to
+//! the earliest-free worker PE of that cluster, and the section barrier
+//! advances simulated time to the latest completion.
+
+use crate::task::{TaskHandle, TaskSet};
+use fem2_kernel::WorkProfile;
+use fem2_machine::{CostClass, Cycles, Machine, MachineConfig, Words};
+use fem2_par::Pool;
+use std::sync::Arc;
+
+/// Identifier of an array owned by a [`NaVm`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ArrayId(pub(crate) u32);
+
+/// Which execution plane a VM runs on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PlaneKind {
+    /// Host threads (`fem2-par`): real parallelism, no cost accounting.
+    Native,
+    /// The `fem2-machine` cost model: deterministic cycle/message charging.
+    Simulated,
+}
+
+pub(crate) struct DArray {
+    pub(crate) rows: usize,
+    pub(crate) cols: usize,
+    pub(crate) data: Vec<f64>,
+}
+
+pub(crate) enum Plane {
+    Native { pool: Arc<Pool> },
+    Sim(Box<SimState>),
+}
+
+pub(crate) struct SimState {
+    pub(crate) machine: Machine,
+    pub(crate) now: Cycles,
+    /// Charge task-spawn overhead (kernel task creation + initiate message)
+    /// for parallel sections.
+    pub(crate) spawn_overhead: bool,
+    /// Whether the task crew has already been initiated. The FEM-2 runtime
+    /// initiates K task replications once and thereafter drives them with
+    /// forall/pardo (pausing between sections), so spawn overhead is charged
+    /// only for the first parallel section — or again after
+    /// [`NaVm::respawn_tasks`].
+    pub(crate) spawned: bool,
+}
+
+impl SimState {
+    /// Charge one parallel section: `work[t]` is executed by task `t`.
+    /// Returns the barrier time.
+    pub(crate) fn parallel_section(
+        &mut self,
+        tasks: &TaskSet,
+        work: &[(TaskHandle, WorkProfile)],
+    ) -> Cycles {
+        let start = self.now;
+        let mut barrier = start;
+        let charge_spawn = self.spawn_overhead && !self.spawned;
+        self.spawned = true;
+        for &(t, w) in work {
+            let c = tasks.cluster_of(t);
+            let mut ready_at = start;
+            if charge_spawn {
+                // The coordinator (cluster 0's kernel PE) sends an initiate
+                // message; the hosting kernel PE creates the activation.
+                let kpe0 = self.machine.kernel_pe(0);
+                let sent = self
+                    .machine
+                    .charge(start, kpe0, CostClass::MsgSend, 1)
+                    .unwrap_or(start);
+                let arrive = self.machine.transmit(sent, 0, c, 8);
+                let kpe = self.machine.kernel_pe(c);
+                ready_at = self
+                    .machine
+                    .charge(arrive, kpe, CostClass::TaskCreate, 1)
+                    .unwrap_or(arrive);
+            }
+            // Hand the body to the earliest-free worker PE of the cluster.
+            let Some(pe) = self.machine.pick_worker(c) else {
+                continue; // dead cluster: work is lost
+            };
+            let _ = self.machine.charge(ready_at, pe, CostClass::ContextSwitch, 1);
+            let _ = self.machine.charge(ready_at, pe, CostClass::IntOp, w.int_ops);
+            let _ = self.machine.charge(ready_at, pe, CostClass::MemWord, w.mem_words);
+            let done = self
+                .machine
+                .charge(ready_at, pe, CostClass::Flop, w.flops)
+                .unwrap_or(ready_at);
+            barrier = barrier.max(done);
+        }
+        self.now = barrier;
+        barrier
+    }
+
+}
+
+/// The numerical analyst's virtual machine.
+pub struct NaVm {
+    pub(crate) plane: Plane,
+    pub(crate) tasks: TaskSet,
+    pub(crate) arrays: Vec<DArray>,
+}
+
+impl NaVm {
+    /// A VM on the native plane: `ntasks` logical tasks executed by `pool`.
+    pub fn native(pool: Arc<Pool>, ntasks: u32) -> Self {
+        NaVm {
+            plane: Plane::Native { pool },
+            tasks: TaskSet::new(ntasks, 1),
+            arrays: Vec::new(),
+        }
+    }
+
+    /// A VM on the simulated plane: `ntasks` logical tasks over the machine
+    /// described by `config`.
+    pub fn simulated(config: MachineConfig, ntasks: u32) -> Self {
+        let machine = Machine::new(config);
+        let clusters = machine.config.clusters;
+        NaVm {
+            plane: Plane::Sim(Box::new(SimState {
+                machine,
+                now: 0,
+                spawn_overhead: true,
+                spawned: false,
+            })),
+            tasks: TaskSet::new(ntasks, clusters),
+            arrays: Vec::new(),
+        }
+    }
+
+    /// Which plane this VM runs on.
+    pub fn kind(&self) -> PlaneKind {
+        match self.plane {
+            Plane::Native { .. } => PlaneKind::Native,
+            Plane::Sim(_) => PlaneKind::Simulated,
+        }
+    }
+
+    /// The task set programs are written against.
+    pub fn tasks(&self) -> TaskSet {
+        self.tasks
+    }
+
+    /// Simulated cycles elapsed (0 on the native plane).
+    pub fn elapsed(&self) -> Cycles {
+        match &self.plane {
+            Plane::Native { .. } => 0,
+            Plane::Sim(s) => s.now,
+        }
+    }
+
+    /// The simulated machine, if on the simulated plane.
+    pub fn machine(&self) -> Option<&Machine> {
+        match &self.plane {
+            Plane::Native { .. } => None,
+            Plane::Sim(s) => Some(&s.machine),
+        }
+    }
+
+    /// Begin a named measurement phase (simulated plane; no-op on native).
+    pub fn phase(&mut self, name: &str) {
+        if let Plane::Sim(s) = &mut self.plane {
+            s.machine.stats.phase(name);
+        }
+    }
+
+    /// Enable or disable task-spawn overhead charging for parallel sections
+    /// (simulated plane).
+    pub fn set_spawn_overhead(&mut self, on: bool) {
+        if let Plane::Sim(s) = &mut self.plane {
+            s.spawn_overhead = on;
+        }
+    }
+
+    /// Terminate the task crew: the next parallel section charges task
+    /// initiation again (simulated plane). Use to model per-section task
+    /// creation instead of the default initiate-once/pause-resume runtime.
+    pub fn respawn_tasks(&mut self) {
+        if let Plane::Sim(s) = &mut self.plane {
+            s.spawned = false;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Arrays
+    // ------------------------------------------------------------------
+
+    /// Create a `rows × cols` array of zeros, row-block distributed over the
+    /// task set. On the simulated plane the owning clusters allocate the
+    /// storage. Errors if a cluster memory is exhausted.
+    pub fn try_array(&mut self, rows: usize, cols: usize) -> Result<ArrayId, String> {
+        assert!(rows > 0 && cols > 0, "degenerate array shape");
+        if let Plane::Sim(s) = &mut self.plane {
+            for t in self.tasks.iter() {
+                let share = self.tasks.share(rows, t);
+                let words = (share.len() * cols) as Words;
+                if words == 0 {
+                    continue;
+                }
+                let c = self.tasks.cluster_of(t);
+                s.machine
+                    .alloc(c, words)
+                    .map_err(|e| format!("array allocation failed: {e}"))?;
+            }
+        }
+        let id = ArrayId(self.arrays.len() as u32);
+        self.arrays.push(DArray {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        });
+        Ok(id)
+    }
+
+    /// Like [`NaVm::try_array`] but panics on allocation failure.
+    pub fn array(&mut self, rows: usize, cols: usize) -> ArrayId {
+        self.try_array(rows, cols).expect("array allocation")
+    }
+
+    /// A length-`n` vector (an `n × 1` array).
+    pub fn vector(&mut self, n: usize) -> ArrayId {
+        self.array(n, 1)
+    }
+
+    /// Row count of an array.
+    pub fn rows(&self, id: ArrayId) -> usize {
+        self.arrays[id.0 as usize].rows
+    }
+
+    /// Column count of an array.
+    pub fn cols(&self, id: ArrayId) -> usize {
+        self.arrays[id.0 as usize].cols
+    }
+
+    /// Element count of an array.
+    pub fn len(&self, id: ArrayId) -> usize {
+        let a = &self.arrays[id.0 as usize];
+        a.rows * a.cols
+    }
+
+    /// True if the array has no elements (never, by construction).
+    pub fn is_empty(&self, id: ArrayId) -> bool {
+        self.len(id) == 0
+    }
+
+    /// The task owning row `r` of array `id`.
+    pub fn owner_of_row(&self, id: ArrayId, r: usize) -> TaskHandle {
+        self.tasks.owner_of(self.rows(id), r)
+    }
+
+    /// Read one element (setup/diagnostics; charges one memory word on the
+    /// simulated plane).
+    pub fn get(&mut self, id: ArrayId, r: usize, c: usize) -> f64 {
+        let a = &self.arrays[id.0 as usize];
+        assert!(r < a.rows && c < a.cols, "index out of bounds");
+        let v = a.data[r * a.cols + c];
+        if let Plane::Sim(s) = &mut self.plane {
+            s.machine.stats.mem_words(1);
+        }
+        v
+    }
+
+    /// Write one element (setup/diagnostics; charges one memory word on the
+    /// simulated plane).
+    pub fn set(&mut self, id: ArrayId, r: usize, c: usize, v: f64) {
+        let a = &mut self.arrays[id.0 as usize];
+        assert!(r < a.rows && c < a.cols, "index out of bounds");
+        a.data[r * a.cols + c] = v;
+        if let Plane::Sim(s) = &mut self.plane {
+            s.machine.stats.mem_words(1);
+        }
+    }
+
+    /// Initialize every element: `a[r][c] = f(r, c)`. Runs as a forall over
+    /// rows (parallel on the native plane, charged on the simulated plane).
+    pub fn fill(&mut self, id: ArrayId, f: impl Fn(usize, usize) -> f64 + Sync) {
+        let cols = self.cols(id);
+        self.forall_rows(
+            id,
+            WorkProfile {
+                flops: 0,
+                int_ops: cols as u64,
+                mem_words: cols as u64,
+            },
+            |r, row| {
+                for (c, x) in row.iter_mut().enumerate() {
+                    *x = f(r, c);
+                }
+            },
+        );
+    }
+
+    /// A snapshot of the array contents in row-major order (diagnostics; no
+    /// charge).
+    pub fn snapshot(&self, id: ArrayId) -> Vec<f64> {
+        self.arrays[id.0 as usize].data.clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Parallel control
+    // ------------------------------------------------------------------
+
+    /// Forall over the rows of `id`: `f(r, row_slice)` for every row, in
+    /// parallel on the native plane. `cost_per_row` is what one row charges
+    /// on the simulated plane.
+    pub fn forall_rows(
+        &mut self,
+        id: ArrayId,
+        cost_per_row: WorkProfile,
+        f: impl Fn(usize, &mut [f64]) + Sync,
+    ) {
+        let a = &mut self.arrays[id.0 as usize];
+        let (rows, cols) = (a.rows, a.cols);
+        match &mut self.plane {
+            Plane::Native { pool } => {
+                let grain_rows = rows.div_ceil(pool.threads() * 4).max(1);
+                fem2_par::chunks_mut(pool, &mut a.data, grain_rows * cols, |chunk_idx, piece| {
+                    let first_row = chunk_idx * grain_rows;
+                    for (k, row) in piece.chunks_mut(cols).enumerate() {
+                        f(first_row + k, row);
+                    }
+                });
+            }
+            Plane::Sim(s) => {
+                for (r, row) in a.data.chunks_mut(cols).enumerate() {
+                    f(r, row);
+                }
+                let work: Vec<(TaskHandle, WorkProfile)> = self
+                    .tasks
+                    .iter()
+                    .map(|t| {
+                        let share = self.tasks.share(rows, t);
+                        (t, cost_per_row.scaled(share.len() as u64))
+                    })
+                    .collect();
+                s.parallel_section(&self.tasks, &work);
+            }
+        }
+    }
+
+    /// Pardo: a set of independent statements, one per entry, each with a
+    /// declared cost. On the simulated plane each statement is a task on its
+    /// handle's cluster; on the native plane this is a no-op (the statements
+    /// carry no host computation).
+    pub fn pardo(&mut self, statements: &[(TaskHandle, WorkProfile)]) -> Cycles {
+        match &mut self.plane {
+            Plane::Native { .. } => 0,
+            Plane::Sim(s) => s.parallel_section(&self.tasks, statements),
+        }
+    }
+
+    /// Broadcast `words` of data from `from` to every other task's cluster.
+    /// Returns the barrier time (simulated plane) or 0 (native: tasks share
+    /// the host address space).
+    pub fn broadcast(&mut self, from: TaskHandle, words: Words) -> Cycles {
+        match &mut self.plane {
+            Plane::Native { .. } => 0,
+            Plane::Sim(s) => {
+                let fc = self.tasks.cluster_of(from);
+                let start = s.now;
+                let mut barrier = start;
+                for c in 0..self.tasks.clusters() {
+                    if c != fc {
+                        let arrive = s.machine.transmit(start, fc, c, words);
+                        barrier = barrier.max(arrive);
+                    }
+                }
+                s.now = barrier;
+                barrier
+            }
+        }
+    }
+
+    /// Remote procedure call routed by data location: execute `profile` on
+    /// the cluster owning `window_owner`'s data, shipping `args_words` there
+    /// and `result_words` back to `caller`. Returns the round-trip latency
+    /// in cycles (0 on the native plane).
+    pub fn remote_call(
+        &mut self,
+        caller: TaskHandle,
+        window_owner: TaskHandle,
+        profile: WorkProfile,
+        args_words: Words,
+        result_words: Words,
+    ) -> Cycles {
+        match &mut self.plane {
+            Plane::Native { .. } => 0,
+            Plane::Sim(s) => {
+                let start = s.now;
+                let cc = self.tasks.cluster_of(caller);
+                let oc = self.tasks.cluster_of(window_owner);
+                // Ship the call (descriptor + args).
+                let kpe = s.machine.kernel_pe(cc);
+                let sent = s
+                    .machine
+                    .charge(start, kpe, CostClass::MsgSend, 1)
+                    .unwrap_or(start);
+                let arrive = s.machine.transmit(sent, cc, oc, 7 + args_words);
+                // Dispatch + execute at the owner.
+                let okpe = s.machine.kernel_pe(oc);
+                let dispatched = s
+                    .machine
+                    .charge(arrive, okpe, CostClass::MsgDispatch, 1)
+                    .unwrap_or(arrive);
+                let done = match s.machine.pick_worker(oc) {
+                    Some(pe) => {
+                        let _ = s.machine.charge(dispatched, pe, CostClass::IntOp, profile.int_ops);
+                        let _ = s.machine.charge(dispatched, pe, CostClass::MemWord, profile.mem_words);
+                        s.machine
+                            .charge(dispatched, pe, CostClass::Flop, profile.flops)
+                            .unwrap_or(dispatched)
+                    }
+                    None => dispatched,
+                };
+                // Ship the result back.
+                let back = s.machine.transmit(done, oc, cc, result_words);
+                s.now = s.now.max(back);
+                back - start
+            }
+        }
+    }
+
+    pub(crate) fn pool(&self) -> Option<&Arc<Pool>> {
+        match &self.plane {
+            Plane::Native { pool } => Some(pool),
+            Plane::Sim(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim(ntasks: u32) -> NaVm {
+        NaVm::simulated(MachineConfig::fem2_default(), ntasks)
+    }
+
+    fn native(ntasks: u32) -> NaVm {
+        NaVm::native(Arc::new(Pool::new(4)), ntasks)
+    }
+
+    #[test]
+    fn plane_kinds() {
+        assert_eq!(sim(4).kind(), PlaneKind::Simulated);
+        assert_eq!(native(4).kind(), PlaneKind::Native);
+        assert!(sim(4).machine().is_some());
+        assert!(native(4).machine().is_none());
+    }
+
+    #[test]
+    fn array_shape_accessors() {
+        let mut vm = sim(4);
+        let a = vm.array(10, 3);
+        assert_eq!(vm.rows(a), 10);
+        assert_eq!(vm.cols(a), 3);
+        assert_eq!(vm.len(a), 30);
+        assert!(!vm.is_empty(a));
+        let v = vm.vector(7);
+        assert_eq!(vm.cols(v), 1);
+    }
+
+    #[test]
+    fn array_allocation_charges_cluster_memory() {
+        let mut vm = sim(8);
+        let before: u64 = (0..4).map(|c| vm.machine().unwrap().memory(c).used()).sum();
+        assert_eq!(before, 0);
+        let _a = vm.array(100, 10);
+        let after: u64 = (0..4).map(|c| vm.machine().unwrap().memory(c).used()).sum();
+        assert_eq!(after, 1000, "1000 words distributed over clusters");
+        // Every cluster holds a share (8 tasks over 4 clusters, 100 rows).
+        for c in 0..4 {
+            assert!(vm.machine().unwrap().memory(c).used() > 0, "cluster {c}");
+        }
+    }
+
+    #[test]
+    fn array_oom_is_an_error() {
+        let mut cfg = MachineConfig::fem2_default();
+        cfg.memory_per_cluster = 100;
+        let mut vm = NaVm::simulated(cfg, 4);
+        assert!(vm.try_array(1000, 10).is_err());
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut vm = sim(2);
+        let a = vm.array(4, 4);
+        vm.set(a, 2, 3, 7.5);
+        assert_eq!(vm.get(a, 2, 3), 7.5);
+        assert_eq!(vm.get(a, 0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn get_bounds_checked() {
+        let mut vm = sim(2);
+        let a = vm.array(4, 4);
+        vm.get(a, 4, 0);
+    }
+
+    #[test]
+    fn fill_computes_and_charges() {
+        let mut vm = sim(4);
+        let a = vm.array(8, 2);
+        vm.fill(a, |r, c| (r * 10 + c) as f64);
+        assert_eq!(vm.get(a, 3, 1), 31.0);
+        assert!(vm.elapsed() > 0, "fill charged simulated time");
+        let t = vm.machine().unwrap().stats.total();
+        assert!(t.mem_words >= 16);
+    }
+
+    #[test]
+    fn fill_native_matches_sim() {
+        let mut vs = sim(4);
+        let mut vn = native(4);
+        let a = vs.array(13, 5);
+        let b = vn.array(13, 5);
+        vs.fill(a, |r, c| (r * 31 + c) as f64 * 0.25);
+        vn.fill(b, |r, c| (r * 31 + c) as f64 * 0.25);
+        assert_eq!(vs.snapshot(a), vn.snapshot(b));
+    }
+
+    #[test]
+    fn forall_rows_visits_every_row_once() {
+        for mut vm in [sim(3), native(3)] {
+            let a = vm.array(17, 2);
+            vm.forall_rows(a, WorkProfile::default(), |r, row| {
+                for x in row.iter_mut() {
+                    *x += (r + 1) as f64;
+                }
+            });
+            for r in 0..17 {
+                assert_eq!(vm.get(a, r, 0), (r + 1) as f64);
+                assert_eq!(vm.get(a, r, 1), (r + 1) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_section_scales_with_tasks() {
+        // More tasks over the same machine: one row-shard each, so the
+        // barrier comes down vs a single fat task.
+        let mut one = sim(1);
+        let a1 = one.array(64, 64);
+        one.forall_rows(a1, WorkProfile::flops(1000), |_, _| {});
+        let t1 = one.elapsed();
+
+        let mut eight = sim(8);
+        let a8 = eight.array(64, 64);
+        eight.forall_rows(a8, WorkProfile::flops(1000), |_, _| {});
+        let t8 = eight.elapsed();
+        assert!(t8 * 2 < t1, "8 tasks {t8} should beat 1 task {t1}");
+    }
+
+    #[test]
+    fn pardo_charges_per_statement() {
+        let mut vm = sim(4);
+        let stmts: Vec<(TaskHandle, WorkProfile)> = vm
+            .tasks()
+            .iter()
+            .map(|t| (t, WorkProfile::flops(100)))
+            .collect();
+        let barrier = vm.pardo(&stmts);
+        assert!(barrier > 0);
+        assert_eq!(vm.machine().unwrap().stats.total().flops, 400);
+        // Native pardo is free.
+        let mut vn = native(4);
+        assert_eq!(vn.pardo(&[(TaskHandle(0), WorkProfile::flops(5))]), 0);
+    }
+
+    #[test]
+    fn broadcast_reaches_every_other_cluster() {
+        let mut vm = sim(8); // 8 tasks over 4 clusters
+        let before = vm.machine().unwrap().network.messages;
+        vm.broadcast(TaskHandle(0), 128);
+        let after = vm.machine().unwrap().network.messages;
+        assert_eq!(after - before, 3, "3 remote clusters");
+        assert!(vm.elapsed() > 0);
+    }
+
+    #[test]
+    fn remote_call_roundtrip_latency() {
+        let mut vm = sim(8);
+        // Caller task 0 (cluster 0), owner task 7 (cluster 3).
+        let lat = vm.remote_call(TaskHandle(0), TaskHandle(7), WorkProfile::flops(50), 16, 4);
+        assert!(lat > 0);
+        // A local call (same cluster) is cheaper.
+        let lat_local = vm.remote_call(TaskHandle(0), TaskHandle(1), WorkProfile::flops(50), 16, 4);
+        assert!(lat_local < lat, "local {lat_local} < remote {lat}");
+        // Native plane: free.
+        let mut vn = native(8);
+        assert_eq!(
+            vn.remote_call(TaskHandle(0), TaskHandle(7), WorkProfile::flops(50), 16, 4),
+            0
+        );
+    }
+
+    #[test]
+    fn spawn_overhead_toggle() {
+        let mut with = sim(4);
+        let a = with.array(4, 1);
+        with.forall_rows(a, WorkProfile::flops(1), |_, _| {});
+        let t_with = with.elapsed();
+
+        let mut without = sim(4);
+        without.set_spawn_overhead(false);
+        let b = without.array(4, 1);
+        without.forall_rows(b, WorkProfile::flops(1), |_, _| {});
+        let t_without = without.elapsed();
+        assert!(t_without < t_with, "{t_without} < {t_with}");
+    }
+
+    #[test]
+    fn phases_accumulate_in_stats() {
+        let mut vm = sim(4);
+        let a = vm.array(8, 8);
+        vm.phase("assembly");
+        vm.fill(a, |_, _| 1.0);
+        vm.phase("solve");
+        vm.forall_rows(a, WorkProfile::flops(10), |_, _| {});
+        let st = &vm.machine().unwrap().stats;
+        assert!(st.get("assembly").unwrap().mem_words > 0);
+        assert!(st.get("solve").unwrap().flops > 0);
+    }
+
+    #[test]
+    fn owner_of_row_follows_block_distribution() {
+        let mut vm = sim(4);
+        let a = vm.array(8, 1);
+        assert_eq!(vm.owner_of_row(a, 0), TaskHandle(0));
+        assert_eq!(vm.owner_of_row(a, 7), TaskHandle(3));
+    }
+
+    #[test]
+    fn elapsed_monotone() {
+        let mut vm = sim(4);
+        let a = vm.array(16, 16);
+        let t0 = vm.elapsed();
+        vm.fill(a, |_, _| 1.0);
+        let t1 = vm.elapsed();
+        vm.broadcast(TaskHandle(0), 64);
+        let t2 = vm.elapsed();
+        assert!(t0 <= t1 && t1 <= t2);
+    }
+}

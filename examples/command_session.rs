@@ -1,0 +1,71 @@
+//! A longer interactive-command-language session.
+//!
+//! Exercises the full command vocabulary of the application user's virtual
+//! machine: model definition, two load sets, solver selection, displays,
+//! database store/retrieve/list/delete, and error recovery (the session
+//! survives bad commands exactly as a console should).
+//!
+//! Run with: `cargo run --example command_session`
+
+use fem2_core::appvm::{Database, Session, SessionError};
+
+fn main() {
+    let db = Database::in_memory();
+    let mut s = Session::new(db);
+
+    let lines = [
+        "HELP",
+        "DEFINE MODEL bridge_deck",
+        "GENERATE GRID 12 4 TRI",
+        "MATERIAL ALUMINUM",
+        "FIX EDGE LEFT",
+        "FIX EDGE RIGHT",
+        "LOADSET dead",
+        "LOAD NODE 32 0 -2000",
+        "LOAD NODE 33 0 -2000",
+        "LOADSET wind",
+        "LOAD NODE 32 1500 0",
+        "SOLVE WITH PCG LOADSET dead",
+        "DISPLAY DISPLACEMENTS",
+        "STRESSES",
+        "DISPLAY STRESSES",
+        "SOLVE WITH SOR LOADSET wind",
+        "DISPLAY DISPLACEMENTS",
+        "SOLVE SUBSTRUCTURED 4 LOADSET dead",
+        "RENUMBER",
+        "SOLVE WITH EBE LOADSET dead",
+        "FREQUENCY",
+        "STORE",
+        "LIST",
+        // Now a second model, and a mistake or two.
+        "DEFINE MODEL tower",
+        "GENERATE BAR 10 LENGTH 30",
+        "MATERIAL STEEL",
+        "FIX NODE 0",
+        "LOADSET pull",
+        "LOAD NODE 10 5000 0",
+        "SOLVE WITH CG",
+        "LOAD NODE 99 0 0",       // error: node doesn't exist
+        "SOLVE WITH GAUSS",       // error: unknown solver
+        "STORE",
+        "LIST",
+        "RETRIEVE bridge_deck",
+        "DISPLAY MODEL",
+        "DELETE tower",
+        "LIST",
+        "QUIT",
+    ];
+
+    for line in lines {
+        println!("fem2> {line}");
+        match s.exec(line) {
+            Ok(out) if out.is_empty() => {}
+            Ok(out) => println!("{out}"),
+            Err(SessionError::Parse(m)) => println!("?parse: {m}"),
+            Err(SessionError::Exec(m)) => println!("?error: {m}"),
+        }
+        if s.finished() {
+            break;
+        }
+    }
+}

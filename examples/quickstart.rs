@@ -1,0 +1,49 @@
+//! Quickstart: the FEM-2 stack in one minute.
+//!
+//! Drives the application user's virtual machine exactly as the paper's
+//! structural engineer would — define a model, generate a grid, apply
+//! supports and loads, solve, inspect stresses — then peeks one layer down
+//! to show the same workload running on the *simulated* FEM-2 hardware and
+//! printing the design method's requirement table.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use fem2_core::appvm::{Database, Session};
+use fem2_core::machine::MachineConfig;
+use fem2_core::scenario::PlateScenario;
+
+fn main() {
+    // ---- Layer 1: the application user's machine -----------------------
+    println!("== application user's virtual machine ==\n");
+    let db = Database::in_memory();
+    let mut session = Session::new(db);
+    let script = "\
+DEFINE MODEL quickstart
+GENERATE GRID 8 4 QUAD
+MATERIAL STEEL
+FIX EDGE LEFT
+LOADSET tip
+LOAD NODE 44 0 -10e3
+SOLVE WITH SKYLINE
+STRESSES
+DISPLAY MODEL
+STORE";
+    match session.run_script(script) {
+        Ok(out) => println!("{out}"),
+        Err(e) => {
+            eprintln!("session failed: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // ---- Layers 2-4: the same workload on the simulated FEM-2 ----------
+    println!("== simulated FEM-2 hardware: requirement tables ==\n");
+    let machine = MachineConfig::fem2_default();
+    println!("machine: {}\n", machine.describe());
+    let report = PlateScenario::square(32, machine).run();
+    println!("{}", report.table);
+    println!(
+        "CG iterations: {}   simulated cycles: {}   peak cluster memory: {} words",
+        report.iterations, report.elapsed, report.peak_memory_words
+    );
+}

@@ -1,0 +1,87 @@
+//! End-to-end: the application user's command language drives the full
+//! stack, and its answers match the library API called directly.
+
+use fem2_appvm::{Database, Session};
+use fem2_fem::{cantilever_plate, SolverChoice};
+
+#[test]
+fn command_session_matches_direct_api() {
+    // Through the console.
+    let db = Database::in_memory();
+    let mut s = Session::new(db);
+    s.run_script(
+        "DEFINE MODEL plate\nGENERATE GRID 8 4 QUAD\nMATERIAL STEEL\nFIX EDGE LEFT\nLOADSET tip\nLOAD NODE 44 0 -10000\nSOLVE WITH SKYLINE",
+    )
+    .unwrap();
+    let console = s.workspace.analysis().unwrap().clone();
+
+    // Directly.
+    let model = cantilever_plate(8, 4, -10e3);
+    // cantilever_plate loads nearest node to (8, 4) = node 44 for an 8x4 grid.
+    let direct = model.analyze(0, SolverChoice::Skyline).unwrap();
+
+    assert_eq!(console.displacements.len(), direct.displacements.len());
+    for (a, b) in console.displacements.iter().zip(&direct.displacements) {
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+    }
+    assert_eq!(console.stresses.len(), direct.stresses.len());
+    for (x, y) in console.stresses.iter().zip(&direct.stresses) {
+        assert!((x.von_mises() - y.von_mises()).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn database_persists_models_across_sessions_on_disk() {
+    let dir = std::env::temp_dir().join(format!("fem2-it-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let db = Database::on_disk(&dir).unwrap();
+        let mut s = Session::new(db);
+        s.run_script("DEFINE MODEL persisted\nGENERATE GRID 4 4\nMATERIAL ALUMINUM\nFIX EDGE LEFT\nSTORE")
+            .unwrap();
+    }
+    {
+        // A fresh process-equivalent: new database over the same directory.
+        let db = Database::on_disk(&dir).unwrap();
+        let mut s = Session::new(db);
+        s.exec("RETRIEVE persisted").unwrap();
+        s.exec("LOADSET pull").unwrap();
+        s.exec("LOAD NODE 24 1000 0").unwrap();
+        let out = s.exec("SOLVE WITH CG").unwrap();
+        assert!(out.contains("converged"));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn every_solver_agrees_through_the_console() {
+    let db = Database::in_memory();
+    let mut tips = Vec::new();
+    for solver in ["SKYLINE", "CG", "PCG", "SOR"] {
+        let mut s = Session::new(db.clone());
+        s.run_script(&format!(
+            "DEFINE MODEL m\nGENERATE GRID 6 3 QUAD\nMATERIAL STEEL\nFIX EDGE LEFT\nLOADSET l\nLOAD NODE 27 0 -5000\nSOLVE WITH {solver}"
+        ))
+        .unwrap();
+        let a = s.workspace.analysis().unwrap();
+        tips.push(a.max_displacement());
+    }
+    for t in &tips[1..] {
+        assert!(
+            (t - tips[0]).abs() < 1e-6 * tips[0].abs(),
+            "{t} vs {}",
+            tips[0]
+        );
+    }
+}
+
+#[test]
+fn stresses_scale_linearly_with_load() {
+    let run = |load: f64| {
+        let m = cantilever_plate(6, 3, load);
+        m.analyze(0, SolverChoice::Skyline).unwrap().max_von_mises()
+    };
+    let s1 = run(-1e3);
+    let s2 = run(-2e3);
+    assert!((s2 / s1 - 2.0).abs() < 1e-9, "linear elasticity: {}", s2 / s1);
+}
