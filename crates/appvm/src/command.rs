@@ -56,6 +56,17 @@ pub enum DisplayWhat {
     Stresses,
 }
 
+/// What a TRACE command should do.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TraceAction {
+    /// Start recording command events.
+    On,
+    /// Stop recording (the buffer is kept for a later EXPORT).
+    Off,
+    /// Write the recorded Chrome trace JSON to a file.
+    Export(String),
+}
+
 /// A parsed command.
 #[derive(Clone, PartialEq, Debug)]
 pub enum Command {
@@ -124,6 +135,8 @@ pub enum Command {
     List,
     /// Delete a model from the database.
     Delete(String),
+    /// Control event tracing of console commands.
+    Trace(TraceAction),
     /// Show the command summary.
     Help,
     /// End the session.
@@ -311,6 +324,18 @@ pub fn parse(line: &str) -> Result<Option<Command>, ParseError> {
                 return err("usage: DELETE <name>");
             }
         }
+        "TRACE" => match kw.get(1).map(|s| s.as_str()) {
+            Some("ON") => Command::Trace(TraceAction::On),
+            Some("OFF") => Command::Trace(TraceAction::Off),
+            Some("EXPORT") => {
+                if toks.len() == 3 {
+                    Command::Trace(TraceAction::Export(toks[2].to_string()))
+                } else {
+                    return err("usage: TRACE EXPORT <path>");
+                }
+            }
+            _ => return err("usage: TRACE ON|OFF|EXPORT <path>"),
+        },
         "HELP" => Command::Help,
         "QUIT" | "EXIT" => Command::Quit,
         other => return err(format!("unknown command {other}")),
@@ -335,6 +360,7 @@ RENUMBER                            RCM bandwidth reduction
 FREQUENCY                           fundamental eigenvalue / mode
 DISPLAY MODEL|DISPLACEMENTS|STRESSES
 STORE | RETRIEVE <name> | LIST | DELETE <name>
+TRACE ON|OFF|EXPORT <path>          event tracing of commands
 HELP | QUIT";
 
 #[cfg(test)]
@@ -354,7 +380,10 @@ mod tests {
 
     #[test]
     fn define_and_generate() {
-        assert_eq!(one("DEFINE MODEL wing"), Command::DefineModel("wing".into()));
+        assert_eq!(
+            one("DEFINE MODEL wing"),
+            Command::DefineModel("wing".into())
+        );
         assert_eq!(
             one("generate grid 8 4 tri"),
             Command::GenerateGrid {
@@ -379,7 +408,10 @@ mod tests {
 
     #[test]
     fn case_insensitive_keywords_preserve_names() {
-        assert_eq!(one("define model Wing"), Command::DefineModel("Wing".into()));
+        assert_eq!(
+            one("define model Wing"),
+            Command::DefineModel("Wing".into())
+        );
     }
 
     #[test]
@@ -471,6 +503,19 @@ mod tests {
     }
 
     #[test]
+    fn trace_commands_parse() {
+        assert_eq!(one("TRACE ON"), Command::Trace(TraceAction::On));
+        assert_eq!(one("trace off"), Command::Trace(TraceAction::Off));
+        assert_eq!(
+            one("TRACE EXPORT /tmp/Out.json"),
+            Command::Trace(TraceAction::Export("/tmp/Out.json".into())),
+            "export path keeps its case"
+        );
+        assert!(parse("TRACE").is_err());
+        assert!(parse("TRACE EXPORT").is_err());
+    }
+
+    #[test]
     fn errors_are_descriptive() {
         for (line, expect) in [
             ("FROBNICATE", "unknown command"),
@@ -493,8 +538,8 @@ mod tests {
     #[test]
     fn help_text_covers_every_command_family() {
         for kw in [
-            "DEFINE", "GENERATE", "MATERIAL", "FIX", "LOADSET", "LOAD", "SOLVE",
-            "STRESSES", "DISPLAY", "STORE", "RETRIEVE", "LIST", "DELETE", "QUIT",
+            "DEFINE", "GENERATE", "MATERIAL", "FIX", "LOADSET", "LOAD", "SOLVE", "STRESSES",
+            "DISPLAY", "STORE", "RETRIEVE", "LIST", "DELETE", "TRACE", "QUIT",
         ] {
             assert!(HELP_TEXT.contains(kw), "HELP missing {kw}");
         }

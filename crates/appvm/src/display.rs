@@ -19,7 +19,11 @@ pub fn model_summary(m: &StructuralModel) -> String {
         "  material: E = {:.3e}, nu = {}, t = {}",
         m.material.e, m.material.nu, m.material.thickness
     );
-    let _ = writeln!(out, "  supports: {} fixed dofs", m.constraints.fixed_count());
+    let _ = writeln!(
+        out,
+        "  supports: {} fixed dofs",
+        m.constraints.fixed_count()
+    );
     let _ = writeln!(out, "  load sets: {}", m.load_sets.len());
     for ls in &m.load_sets {
         let _ = writeln!(out, "    {} ({} loads)", ls.name, ls.len());
@@ -61,7 +65,10 @@ pub fn stress_table(a: &Analysis, max_rows: usize) -> String {
         "elem", "sx", "sy", "txy", "von Mises"
     );
     for (e, sx, sy, txy, vm) in rows.into_iter().take(max_rows) {
-        let _ = writeln!(out, "{e:>6} {sx:>13.4e} {sy:>13.4e} {txy:>13.4e} {vm:>13.4e}");
+        let _ = writeln!(
+            out,
+            "{e:>6} {sx:>13.4e} {sy:>13.4e} {txy:>13.4e} {vm:>13.4e}"
+        );
     }
     let _ = writeln!(out, "max von Mises: {:.6e}", a.max_von_mises());
     out

@@ -5,11 +5,12 @@
 //! one command line and returns its console output; scripts are just
 //! sequences of lines.
 
-use crate::command::{self, Command, DisplayWhat, Edge, GridKind};
+use crate::command::{self, Command, DisplayWhat, Edge, GridKind, TraceAction};
 use crate::database::Database;
 use crate::display;
 use crate::workspace::Workspace;
 use fem2_fem::{LoadSet, Material, Mesh, StructuralModel};
+use fem2_trace::{chrome, EventKind, SharedRecorder, TraceEvent, TraceHandle, NO_CLUSTER, NO_PE};
 use std::fmt;
 
 /// Errors surfaced to the console user.
@@ -32,12 +33,20 @@ impl fmt::Display for SessionError {
 
 impl std::error::Error for SessionError {}
 
+/// Events retained by the console trace ring.
+const TRACE_RING_CAPACITY: usize = 1 << 16;
+
 /// One user's interactive session.
 pub struct Session {
     /// Session-local data.
     pub workspace: Workspace,
     db: Database,
     finished: bool,
+    /// Console tracing: a live handle while TRACE ON, plus the recorder
+    /// (kept after TRACE OFF so EXPORT still works).
+    trace: Option<(TraceHandle, SharedRecorder)>,
+    tracing: bool,
+    cmd_seq: u32,
 }
 
 impl Session {
@@ -47,6 +56,9 @@ impl Session {
             workspace: Workspace::new(),
             db,
             finished: false,
+            trace: None,
+            tracing: false,
+            cmd_seq: 0,
         }
     }
 
@@ -90,6 +102,21 @@ impl Session {
     }
 
     fn execute(&mut self, cmd: Command) -> Result<String, String> {
+        if self.tracing && !matches!(cmd, Command::Trace(_)) {
+            if let Some((h, _)) = &self.trace {
+                self.cmd_seq += 1;
+                let seq = self.cmd_seq;
+                h.emit(|| {
+                    TraceEvent::span(
+                        seq as u64,
+                        1,
+                        NO_CLUSTER,
+                        NO_PE,
+                        EventKind::AppCommand { seq },
+                    )
+                });
+            }
+        }
         match cmd {
             Command::DefineModel(name) => {
                 self.workspace.set_model(StructuralModel::new(&name));
@@ -181,7 +208,9 @@ impl Session {
                 let a = m.analyze(idx, solver)?;
                 let msg = format!(
                     "converged in {} iteration(s), residual {:.3e}, max displacement {:.6e}",
-                    a.log.iterations, a.log.residual, a.max_displacement()
+                    a.log.iterations,
+                    a.log.residual,
+                    a.max_displacement()
                 );
                 self.workspace.last_analysis = Some(a);
                 Ok(msg)
@@ -220,7 +249,9 @@ impl Session {
                 }
                 let (before, after) = m.renumber_rcm();
                 self.workspace.last_analysis = None; // numbering changed
-                Ok(format!("RCM renumbering: half-bandwidth {before} -> {after}"))
+                Ok(format!(
+                    "RCM renumbering: half-bandwidth {before} -> {after}"
+                ))
             }
             Command::Frequency => {
                 let m = self.workspace.model()?;
@@ -290,6 +321,29 @@ impl Session {
                     Err(format!("no stored model named {name}"))
                 }
             }
+            Command::Trace(action) => match action {
+                TraceAction::On => {
+                    if self.trace.is_none() {
+                        self.trace = Some(TraceHandle::ring(TRACE_RING_CAPACITY));
+                    }
+                    self.tracing = true;
+                    Ok("tracing on".into())
+                }
+                TraceAction::Off => {
+                    self.tracing = false;
+                    Ok("tracing off".into())
+                }
+                TraceAction::Export(path) => {
+                    let Some((_, rec)) = &self.trace else {
+                        return Err("nothing recorded (TRACE ON first)".into());
+                    };
+                    let rec = rec.lock().unwrap_or_else(|e| e.into_inner());
+                    let json = chrome::trace_json(&rec);
+                    std::fs::write(&path, &json)
+                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    Ok(format!("trace written to {path} ({} events)", rec.len()))
+                }
+            },
             Command::Help => Ok(command::HELP_TEXT.to_string()),
             Command::Quit => {
                 self.finished = true;
@@ -454,6 +508,27 @@ STRESSES";
             Err(SessionError::Parse(m)) => assert!(m.contains("unknown command")),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn trace_records_and_exports_commands() {
+        let mut s = session();
+        assert!(
+            s.exec("TRACE EXPORT /tmp/x.json").is_err(),
+            "nothing recorded yet"
+        );
+        s.exec("TRACE ON").unwrap();
+        s.exec("DEFINE MODEL traced").unwrap();
+        s.exec("GENERATE GRID 2 2").unwrap();
+        s.exec("TRACE OFF").unwrap();
+        s.exec("DEFINE MODEL untraced").unwrap();
+        let path = std::env::temp_dir().join("fem2_appvm_trace_test.json");
+        let out = s.exec(&format!("TRACE EXPORT {}", path.display())).unwrap();
+        assert!(out.contains("2 events"), "only the traced commands: {out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("traceEvents"));
+        assert!(json.contains("command"));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

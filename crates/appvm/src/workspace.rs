@@ -25,7 +25,11 @@ impl Workspace {
 
     /// Install a fresh model, clearing load-set selection and results.
     pub fn set_model(&mut self, m: StructuralModel) {
-        self.current_load_set = if m.load_sets.is_empty() { None } else { Some(0) };
+        self.current_load_set = if m.load_sets.is_empty() {
+            None
+        } else {
+            Some(0)
+        };
         self.model = Some(m);
         self.last_analysis = None;
     }

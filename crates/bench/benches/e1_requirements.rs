@@ -12,7 +12,11 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for n in [16usize, 32] {
         g.bench_function(format!("plate_scenario_n{n}"), |b| {
-            b.iter(|| PlateScenario::square(n, MachineConfig::fem2_default()).run().elapsed)
+            b.iter(|| {
+                PlateScenario::square(n, MachineConfig::fem2_default())
+                    .run()
+                    .elapsed
+            })
         });
     }
     g.finish();

@@ -17,7 +17,11 @@ fn bench(c: &mut Criterion) {
                 let code = sim.register_code(CodeBlock::new(
                     "w",
                     32,
-                    WorkProfile { flops: 100, int_ops: 20, mem_words: 10 },
+                    WorkProfile {
+                        flops: 100,
+                        int_ops: 20,
+                        mem_words: 10,
+                    },
                     16,
                 ));
                 sim.initiate(0, 0, code, k, None, 4);

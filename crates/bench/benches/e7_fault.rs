@@ -19,7 +19,11 @@ fn bench(c: &mut Criterion) {
                 let code = sim.register_code(CodeBlock::new(
                     "w",
                     32,
-                    WorkProfile { flops: 5000, int_ops: 100, mem_words: 200 },
+                    WorkProfile {
+                        flops: 5000,
+                        int_ops: 100,
+                        mem_words: 200,
+                    },
                     16,
                 ));
                 sim.initiate(0, 0, code, 32, None, 0);

@@ -11,11 +11,22 @@ fn bench(c: &mut Criterion) {
     let a = ex::solver_testmat(24);
     let n = 24 * 24;
     let f: Vec<f64> = (0..n).map(|i| ((i * 31 + 7) % 17) as f64 - 8.0).collect();
-    let ctl = IterControls { rel_tol: 1e-8, max_iter: 200_000 };
-    g.bench_function("jacobi", |b| b.iter(|| solver::jacobi::solve(&a, &f, ctl).1.iterations));
-    g.bench_function("sor_1.7", |b| b.iter(|| solver::sor::solve(&a, &f, 1.7, ctl).1.iterations));
-    g.bench_function("cg", |b| b.iter(|| solver::cg::solve(&a, &f, ctl, false).1.iterations));
-    g.bench_function("skyline", |b| b.iter(|| solver::skyline::solve(&a, &f).unwrap()[0]));
+    let ctl = IterControls {
+        rel_tol: 1e-8,
+        max_iter: 200_000,
+    };
+    g.bench_function("jacobi", |b| {
+        b.iter(|| solver::jacobi::solve(&a, &f, ctl).1.iterations)
+    });
+    g.bench_function("sor_1.7", |b| {
+        b.iter(|| solver::sor::solve(&a, &f, 1.7, ctl).1.iterations)
+    });
+    g.bench_function("cg", |b| {
+        b.iter(|| solver::cg::solve(&a, &f, ctl, false).1.iterations)
+    });
+    g.bench_function("skyline", |b| {
+        b.iter(|| solver::skyline::solve(&a, &f).unwrap()[0])
+    });
     g.finish();
 }
 

@@ -64,7 +64,11 @@ pub fn e1_requirements(sizes: &[usize]) -> (String, Vec<ScenarioReport>) {
     }
     // Per-phase detail at the largest size.
     if let Some(r) = reports.last() {
-        let _ = writeln!(out, "\nper-phase detail at n = {}:", (r.unknowns as f64).sqrt() as usize);
+        let _ = writeln!(
+            out,
+            "\nper-phase detail at n = {}:",
+            (r.unknowns as f64).sqrt() as usize
+        );
         out.push_str(&r.table);
     }
     (out, reports)
@@ -134,7 +138,10 @@ pub fn e2_speedup(n: usize) -> (String, Vec<SpeedupRow>) {
 /// E3: cycles per element moved through windows of each shape.
 pub fn e3_windows() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "E3 — window access cost (256x256 array, 8 tasks on 4 clusters)");
+    let _ = writeln!(
+        out,
+        "E3 — window access cost (256x256 array, 8 tasks on 4 clusters)"
+    );
     let _ = writeln!(
         out,
         "{:>8} {:>10} {:>12} {:>14} {:>12}",
@@ -188,7 +195,10 @@ pub struct TaskInitRow {
 /// E4: initiate-K-replications scaling on the kernel.
 pub fn e4_task_init(ks: &[u32]) -> (String, Vec<TaskInitRow>) {
     let mut out = String::new();
-    let _ = writeln!(out, "E4 — dynamic task initiation (4x8 clusters, 100-flop tasks)");
+    let _ = writeln!(
+        out,
+        "E4 — dynamic task initiation (4x8 clusters, 100-flop tasks)"
+    );
     let _ = writeln!(
         out,
         "{:>8} {:>12} {:>12} {:>12} {:>10}",
@@ -201,7 +211,11 @@ pub fn e4_task_init(ks: &[u32]) -> (String, Vec<TaskInitRow>) {
         let code = sim.register_code(CodeBlock::new(
             "worklet",
             32,
-            WorkProfile { flops: 100, int_ops: 20, mem_words: 10 },
+            WorkProfile {
+                flops: 100,
+                int_ops: 20,
+                mem_words: 10,
+            },
             16,
         ));
         // Spread the initiations over the clusters, as the NA-VM would.
@@ -222,7 +236,11 @@ pub fn e4_task_init(ks: &[u32]) -> (String, Vec<TaskInitRow>) {
             "{:>8} {:>12} {:>12.1} {:>12} {:>10}",
             k, makespan, per_task, done, kernel_msgs
         );
-        rows.push(TaskInitRow { k, makespan, per_task });
+        rows.push(TaskInitRow {
+            k,
+            makespan,
+            per_task,
+        });
     }
     (out, rows)
 }
@@ -269,7 +287,10 @@ fn run_pattern(net: &mut Network, pattern: &str, clusters: u32, words: u64) -> u
 pub fn e5_network() -> String {
     let clusters = 8;
     let mut out = String::new();
-    let _ = writeln!(out, "E5 — communication patterns on 8 clusters (cycles to deliver)");
+    let _ = writeln!(
+        out,
+        "E5 — communication patterns on 8 clusters (cycles to deliver)"
+    );
     let _ = writeln!(
         out,
         "{:>11} {:>7} | {:>9} {:>9} {:>9} {:>9}",
@@ -306,13 +327,20 @@ pub fn e5_network() -> String {
 /// E6: one table spanning the conclusion's three parallelism levels.
 pub fn e6_levels() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "E6 — the three levels of parallelism (paper, Conclusion)");
+    let _ = writeln!(
+        out,
+        "E6 — the three levels of parallelism (paper, Conclusion)"
+    );
 
     // (a) independent user problems.
     let one_cluster = MachineConfig::clustered(1, 8, Topology::Crossbar);
     let t1 = PlateScenario::square(20, one_cluster).run().elapsed;
     let _ = writeln!(out, "\n(a) independent user problems (20x20 plate each):");
-    let _ = writeln!(out, "{:>10} {:>14} {:>14} {:>10}", "problems", "1 cluster", "4 clusters", "gain");
+    let _ = writeln!(
+        out,
+        "{:>10} {:>14} {:>14} {:>10}",
+        "problems", "1 cluster", "4 clusters", "gain"
+    );
     for &m in &[1u64, 2, 4, 8] {
         let serial = m * t1;
         let rounds = m.div_ceil(4);
@@ -328,7 +356,10 @@ pub fn e6_levels() -> String {
     }
 
     // (b) substructure parallelism (native plane, wall time).
-    let _ = writeln!(out, "\n(b) substructure analysis of a 32x4 wing (static condensation):");
+    let _ = writeln!(
+        out,
+        "\n(b) substructure analysis of a 32x4 wing (static condensation):"
+    );
     let mesh = Mesh::grid_quad(32, 4, 8.0, 1.0);
     let mat = Material::aluminum();
     let mut cons = Constraints::new();
@@ -359,16 +390,15 @@ pub fn e6_levels() -> String {
     }
 
     // (c) parallelism within one solve.
-    let _ = writeln!(out, "\n(c) within one system solve (28 workers vs 1, 32x32 plate):");
+    let _ = writeln!(
+        out,
+        "\n(c) within one system solve (28 workers vs 1, 32x32 plate):"
+    );
     let wide = PlateScenario::square(32, MachineConfig::fem2_default()).run();
     let mut narrow_cfg = MachineConfig::clustered(1, 2, Topology::Crossbar);
     narrow_cfg.dedicated_kernel_pe = true;
     let narrow = PlateScenario::square(32, narrow_cfg).run();
-    let _ = writeln!(
-        out,
-        "{:>12} {:>14} {:>10}",
-        "workers", "cycles", "speedup"
-    );
+    let _ = writeln!(out, "{:>12} {:>14} {:>10}", "workers", "cycles", "speedup");
     let _ = writeln!(out, "{:>12} {:>14} {:>10.2}", 1, narrow.elapsed, 1.0);
     let _ = writeln!(
         out,
@@ -397,7 +427,10 @@ pub struct FaultRow {
 /// E7: makespan of a task batch as PEs fail mid-run.
 pub fn e7_fault() -> (String, Vec<FaultRow>) {
     let mut out = String::new();
-    let _ = writeln!(out, "E7 — reconfiguration under PE faults (2x4 machine, 64-task batch)");
+    let _ = writeln!(
+        out,
+        "E7 — reconfiguration under PE faults (2x4 machine, 64-task batch)"
+    );
     let _ = writeln!(
         out,
         "{:>8} {:>12} {:>11} {:>9} {:>14}",
@@ -411,7 +444,11 @@ pub fn e7_fault() -> (String, Vec<FaultRow>) {
         let code = sim.register_code(CodeBlock::new(
             "work",
             32,
-            WorkProfile { flops: 5000, int_ops: 100, mem_words: 200 },
+            WorkProfile {
+                flops: 5000,
+                int_ops: 100,
+                mem_words: 200,
+            },
             16,
         ));
         sim.initiate(0, 0, code, 32, None, 0);
@@ -421,14 +458,32 @@ pub fn e7_fault() -> (String, Vec<FaultRow>) {
             0 => FaultPlan::none(),
             1 => FaultPlan::at(30_000, [PeId::new(0, 1)]),
             2 => FaultPlan::new(vec![
-                fem2_core::machine::fault::FaultEvent { at: 30_000, pe: PeId::new(0, 1) },
-                fem2_core::machine::fault::FaultEvent { at: 60_000, pe: PeId::new(1, 1) },
+                fem2_core::machine::fault::FaultEvent {
+                    at: 30_000,
+                    pe: PeId::new(0, 1),
+                },
+                fem2_core::machine::fault::FaultEvent {
+                    at: 60_000,
+                    pe: PeId::new(1, 1),
+                },
             ]),
             _ => FaultPlan::new(vec![
-                fem2_core::machine::fault::FaultEvent { at: 30_000, pe: PeId::new(0, 1) },
-                fem2_core::machine::fault::FaultEvent { at: 45_000, pe: PeId::new(0, 2) },
-                fem2_core::machine::fault::FaultEvent { at: 60_000, pe: PeId::new(1, 1) },
-                fem2_core::machine::fault::FaultEvent { at: 75_000, pe: PeId::new(1, 2) },
+                fem2_core::machine::fault::FaultEvent {
+                    at: 30_000,
+                    pe: PeId::new(0, 1),
+                },
+                fem2_core::machine::fault::FaultEvent {
+                    at: 45_000,
+                    pe: PeId::new(0, 2),
+                },
+                fem2_core::machine::fault::FaultEvent {
+                    at: 60_000,
+                    pe: PeId::new(1, 1),
+                },
+                fem2_core::machine::fault::FaultEvent {
+                    at: 75_000,
+                    pe: PeId::new(1, 2),
+                },
             ]),
         };
         sim.inject_faults(&plan);
@@ -496,7 +551,10 @@ fn heap_trace(label: &str, sizes: impl Fn(&mut XorShift) -> u64, out: &mut Strin
 /// E8: heap throughput and fragmentation under three allocation shapes.
 pub fn e8_heap() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "E8 — variable-size-block heap (1 Mword arena, 200k ops)");
+    let _ = writeln!(
+        out,
+        "E8 — variable-size-block heap (1 Mword arena, 200k ops)"
+    );
     let _ = writeln!(
         out,
         "{:>10} {:>10} {:>12} {:>10} {:>9} {:>8} {:>8}",
@@ -505,7 +563,13 @@ pub fn e8_heap() -> String {
     heap_trace("uniform", |r| 1 + r.below(256), &mut out);
     heap_trace(
         "bimodal",
-        |r| if r.below(10) < 8 { 1 + r.below(32) } else { 1024 + r.below(1024) },
+        |r| {
+            if r.below(10) < 8 {
+                1 + r.below(32)
+            } else {
+                1024 + r.below(1024)
+            }
+        },
         &mut out,
     );
     // FEM-shaped: activation records (small), element blocks (72 words),
@@ -513,9 +577,9 @@ pub fn e8_heap() -> String {
     heap_trace(
         "fem",
         |r| match r.below(100) {
-            0..=49 => 16 + r.below(16),   // activation records
-            50..=89 => 72,                 // Quad4 element blocks
-            _ => 256 + r.below(256),       // window buffers
+            0..=49 => 16 + r.below(16), // activation records
+            50..=89 => 72,              // Quad4 element blocks
+            _ => 256 + r.below(256),    // window buffers
         },
         &mut out,
     );
@@ -552,16 +616,32 @@ pub fn e9_solvers(sizes: &[usize]) -> String {
         };
         let t0 = std::time::Instant::now();
         let (_, log) = solver::jacobi::solve(&a, &f, ctl);
-        run("jacobi", (log.iterations, log.residual, log.flops, t0.elapsed()), &mut out);
+        run(
+            "jacobi",
+            (log.iterations, log.residual, log.flops, t0.elapsed()),
+            &mut out,
+        );
         let t0 = std::time::Instant::now();
         let (_, log) = solver::sor::solve(&a, &f, 1.7, ctl);
-        run("sor(1.7)", (log.iterations, log.residual, log.flops, t0.elapsed()), &mut out);
+        run(
+            "sor(1.7)",
+            (log.iterations, log.residual, log.flops, t0.elapsed()),
+            &mut out,
+        );
         let t0 = std::time::Instant::now();
         let (_, log) = solver::cg::solve(&a, &f, ctl, false);
-        run("cg", (log.iterations, log.residual, log.flops, t0.elapsed()), &mut out);
+        run(
+            "cg",
+            (log.iterations, log.residual, log.flops, t0.elapsed()),
+            &mut out,
+        );
         let t0 = std::time::Instant::now();
         let (_, log) = solver::cg::solve(&a, &f, ctl, true);
-        run("jacobi-pcg", (log.iterations, log.residual, log.flops, t0.elapsed()), &mut out);
+        run(
+            "jacobi-pcg",
+            (log.iterations, log.residual, log.flops, t0.elapsed()),
+            &mut out,
+        );
         let t0 = std::time::Instant::now();
         let x = solver::skyline::solve(&a, &f).unwrap();
         let res = solver::residual_norm(&a, &x, &f);
@@ -679,7 +759,11 @@ pub fn a1_renumbering() -> String {
 }
 
 fn gcd(a: usize, b: usize) -> usize {
-    if b == 0 { a } else { gcd(b, a % b) }
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -690,7 +774,10 @@ fn gcd(a: usize, b: usize) -> usize {
 /// instead of once (the runtime design decision behind the E2 speedups).
 pub fn a2_spawn_ablation() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "A2 — ablation: task crew initiate-once vs respawn per section");
+    let _ = writeln!(
+        out,
+        "A2 — ablation: task crew initiate-once vs respawn per section"
+    );
     let _ = writeln!(
         out,
         "{:>10} {:>8} {:>14} {:>14} {:>9}",
@@ -752,9 +839,17 @@ mod tests {
         let (_, rows) = e2_speedup(32);
         let first = rows.first().unwrap();
         let last = rows.last().unwrap();
-        assert!(last.clustered < first.clustered, "speedup with more workers");
+        assert!(
+            last.clustered < first.clustered,
+            "speedup with more workers"
+        );
         // At the largest machine, clustered beats the flat bus array.
-        assert!(last.clustered < last.flat, "clustered {} < flat {}", last.clustered, last.flat);
+        assert!(
+            last.clustered < last.flat,
+            "clustered {} < flat {}",
+            last.clustered,
+            last.flat
+        );
     }
 
     #[test]
@@ -768,7 +863,10 @@ mod tests {
     #[test]
     fn e4_amortizes_initiation() {
         let (_, rows) = e4_task_init(&[8, 512]);
-        assert!(rows[1].per_task < rows[0].per_task * 4.0, "per-task cost stays bounded");
+        assert!(
+            rows[1].per_task < rows[0].per_task * 4.0,
+            "per-task cost stays bounded"
+        );
     }
 
     #[test]

@@ -2,12 +2,57 @@
 //!
 //! Run with: `cargo run --release -p fem2-bench --bin fem2-report`
 //! Optionally pass experiment ids to restrict: `fem2-report e1 e9`.
+//!
+//! `--trace <path>` instead runs the E1 plate scenario (48 × 48 on the
+//! FEM-2 default machine) with the event recorder attached, writes a
+//! Chrome `trace_event` JSON file to `path` (open it in `chrome://tracing`
+//! or Perfetto), and prints the per-phase metrics table.
 
 use fem2_bench::experiments as ex;
+use fem2_core::scenario::PlateScenario;
+use fem2_machine::MachineConfig;
+use fem2_trace::{chrome, TraceHandle};
+
+/// Events retained by the `--trace` ring (newest win; drops are counted in
+/// the export).
+const TRACE_RING_CAPACITY: usize = 1 << 20;
+
+fn run_trace(path: &str) {
+    let (handle, rec) = TraceHandle::ring(TRACE_RING_CAPACITY);
+    let report = PlateScenario::square(48, MachineConfig::fem2_default())
+        .with_trace(handle)
+        .run();
+    let rec = rec.lock().unwrap_or_else(|e| e.into_inner());
+    let json = chrome::trace_json(&rec);
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("fem2-report: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "E1 plate 48x48: {} unknowns, {} cycles, {} CG iterations",
+        report.unknowns, report.elapsed, report.iterations
+    );
+    println!("wrote {} ({} bytes)\n", path, json.len());
+    println!("{}", chrome::phase_table(&rec));
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
-    let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut ids: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < raw.len() {
+        if raw[i] == "--trace" {
+            let Some(path) = raw.get(i + 1) else {
+                eprintln!("fem2-report: --trace needs an output path");
+                std::process::exit(2);
+            };
+            run_trace(path);
+            return;
+        }
+        ids.push(raw[i].to_lowercase());
+        i += 1;
+    }
+    let want = |id: &str| ids.is_empty() || ids.iter().any(|a| a == id);
 
     println!("FEM-2 experiment report (deterministic simulated plane + host wall times)\n");
 

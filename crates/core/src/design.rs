@@ -141,7 +141,11 @@ impl DesignTrace {
                 if c.feasible { "yes" } else { "OVER" },
                 c.batch_cycles,
                 c.large_cycles,
-                if c.feasible { c.makespan.to_string() } else { "-".into() },
+                if c.feasible {
+                    c.makespan.to_string()
+                } else {
+                    "-".into()
+                },
                 marker
             );
         }
@@ -213,11 +217,15 @@ impl DesignSpace {
             topology: Topology::Bus,
             ..cfg.clone()
         };
-        let t_small = PlateScenario::square(req.small_n, one_cluster).run().elapsed;
+        let t_small = PlateScenario::square(req.small_n, one_cluster)
+            .run()
+            .elapsed;
         let rounds = req.users.div_ceil(cfg.clusters as usize) as u64;
         let batch_cycles = rounds * t_small;
         // The large problem uses the whole machine.
-        let large_cycles = PlateScenario::square(req.large_n, cfg.clone()).run().elapsed;
+        let large_cycles = PlateScenario::square(req.large_n, cfg.clone())
+            .run()
+            .elapsed;
         let makespan = batch_cycles + large_cycles;
         DesignCandidate {
             config: cfg,

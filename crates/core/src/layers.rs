@@ -116,7 +116,12 @@ impl LayerStack {
             let _ = writeln!(out, "realized by: {}", layer.crate_name());
             match layer.implemented_on() {
                 Some(lower) => {
-                    let _ = writeln!(out, "implemented on: {} ({})\n", lower.name(), lower.crate_name());
+                    let _ = writeln!(
+                        out,
+                        "implemented on: {} ({})\n",
+                        lower.name(),
+                        lower.crate_name()
+                    );
                 }
                 None => {
                     let _ = writeln!(out, "implemented on: (physical machine)\n");
@@ -149,17 +154,32 @@ fn app_user_model() -> VmModel {
     ] {
         m.declare(o, VmComponent::Operations);
     }
-    m.declare("direct interpretation of user commands", VmComponent::SequenceControl);
+    m.declare(
+        "direct interpretation of user commands",
+        VmComponent::SequenceControl,
+    );
     m.declare("workspace (user local data)", VmComponent::DataControl);
-    m.declare("data base (long-term storage; shared data)", VmComponent::DataControl);
-    m.declare("dynamic storage allocation for models/results/workspaces", VmComponent::StorageManagement);
-    m.declare("data movement between data base and workspace", VmComponent::StorageManagement);
+    m.declare(
+        "data base (long-term storage; shared data)",
+        VmComponent::DataControl,
+    );
+    m.declare(
+        "dynamic storage allocation for models/results/workspaces",
+        VmComponent::StorageManagement,
+    );
+    m.declare(
+        "data movement between data base and workspace",
+        VmComponent::StorageManagement,
+    );
     m
 }
 
 fn numerical_analyst_model() -> VmModel {
     let mut m = VmModel::new(Layer::NumericalAnalyst.name(), spec::navm_grammar());
-    m.declare("windows on arrays (row/column/block descriptors)", VmComponent::DataObjects);
+    m.declare(
+        "windows on arrays (row/column/block descriptors)",
+        VmComponent::DataObjects,
+    );
     for o in [
         "tasks (programmer-defined parallel procedures)",
         "window operations: create/access/assign",
@@ -213,9 +233,15 @@ fn system_programmer_model() -> VmModel {
     ] {
         m.declare(o, VmComponent::Operations);
     }
-    m.declare("sequential control structures", VmComponent::SequenceControl);
+    m.declare(
+        "sequential control structures",
+        VmComponent::SequenceControl,
+    );
     m.declare("sequential language data control", VmComponent::DataControl);
-    m.declare("general heap with variable size blocks", VmComponent::StorageManagement);
+    m.declare(
+        "general heap with variable size blocks",
+        VmComponent::StorageManagement,
+    );
     m
 }
 
@@ -236,8 +262,14 @@ fn hardware_model() -> VmModel {
         m.declare(o, VmComponent::Operations);
     }
     m.declare("message-driven dispatch", VmComponent::SequenceControl);
-    m.declare("cluster-local shared memory access", VmComponent::DataControl);
-    m.declare("per-cluster memory capacity", VmComponent::StorageManagement);
+    m.declare(
+        "cluster-local shared memory access",
+        VmComponent::DataControl,
+    );
+    m.declare(
+        "per-cluster memory capacity",
+        VmComponent::StorageManagement,
+    );
     m
 }
 
@@ -279,11 +311,7 @@ mod tests {
         for layer in Layer::ALL {
             let m = s.model(layer);
             for c in fem2_hgraph::VmComponent::ALL {
-                assert!(
-                    !m.features(c).is_empty(),
-                    "{} missing {c}",
-                    layer.name()
-                );
+                assert!(!m.features(c).is_empty(), "{} missing {c}", layer.name());
             }
         }
     }

@@ -13,6 +13,7 @@ use fem2_kernel::WorkProfile;
 use fem2_machine::stats::PhaseCounters;
 use fem2_machine::{Cycles, MachineConfig};
 use fem2_navm::{ArrayId, NaVm};
+use fem2_trace::TraceHandle;
 
 /// Per-element assembly work of a Quad4 plane-stress element (four Gauss
 /// points of `BᵀDB` products plus bookkeeping), as charged on the simulated
@@ -88,6 +89,9 @@ pub struct PlateScenario {
     pub tol: f64,
     /// CG iteration cap.
     pub max_iters: usize,
+    /// Trace sink threaded into the simulated machine (disabled by
+    /// default; tracing is observation-only and never changes results).
+    pub trace: TraceHandle,
 }
 
 impl PlateScenario {
@@ -101,12 +105,20 @@ impl PlateScenario {
             machine,
             tol: 1e-6,
             max_iters: 5000,
+            trace: TraceHandle::disabled(),
         }
+    }
+
+    /// The same scenario with a trace sink attached.
+    pub fn with_trace(mut self, trace: TraceHandle) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Run on the simulated plane and collect the requirement tables.
     pub fn run(&self) -> ScenarioReport {
         let mut vm = NaVm::simulated(self.machine.clone(), self.tasks);
+        vm.set_trace(self.trace.clone());
         let elements = (self.nx - 1).max(1) * (self.ny - 1).max(1);
 
         vm.phase("assembly");
@@ -121,7 +133,8 @@ impl PlateScenario {
         vm.pardo(&stmts);
 
         vm.phase("solve");
-        let (iterations, residual, _x) = plate_cg(&mut vm, self.nx, self.ny, self.tol, self.max_iters);
+        let (iterations, residual, _x) =
+            plate_cg(&mut vm, self.nx, self.ny, self.tol, self.max_iters);
 
         vm.phase("stress");
         let stmts: Vec<_> = vm
@@ -227,7 +240,11 @@ mod tests {
     #[test]
     fn scenario_produces_all_three_requirement_families() {
         let r = PlateScenario::square(16, MachineConfig::fem2_default()).run();
-        assert!(r.converged, "{} iters, residual {}", r.iterations, r.residual);
+        assert!(
+            r.converged,
+            "{} iters, residual {}",
+            r.iterations, r.residual
+        );
         // Processing.
         assert!(r.total_flops > 0);
         assert!(r.phase("solve").unwrap().flops > r.phase("stress").unwrap().flops);
@@ -254,7 +271,11 @@ mod tests {
 
     #[test]
     fn more_workers_reduce_makespan() {
-        let one = PlateScenario::square(24, MachineConfig::clustered(1, 2, fem2_machine::Topology::Crossbar)).run();
+        let one = PlateScenario::square(
+            24,
+            MachineConfig::clustered(1, 2, fem2_machine::Topology::Crossbar),
+        )
+        .run();
         let many = PlateScenario::square(24, MachineConfig::fem2_default()).run();
         assert!(
             many.elapsed < one.elapsed,

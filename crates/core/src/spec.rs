@@ -60,8 +60,10 @@ pub fn model_to_hgraph(m: &StructuralModel) -> HGraph {
     let hub = h.add_node(g, Value::sym("loads"));
     h.add_arc(g, root, Selector::name("name"), name).unwrap();
     h.add_arc(g, root, Selector::name("nodes"), nodes).unwrap();
-    h.add_arc(g, root, Selector::name("elements"), elems).unwrap();
-    h.add_arc(g, root, Selector::name("fixed_dofs"), fixed).unwrap();
+    h.add_arc(g, root, Selector::name("elements"), elems)
+        .unwrap();
+    h.add_arc(g, root, Selector::name("fixed_dofs"), fixed)
+        .unwrap();
     h.add_arc(g, root, Selector::name("loads"), hub).unwrap();
     for (i, ls) in m.load_sets.iter().enumerate() {
         let lsn = h.add_node(g, Value::str(ls.name.clone()));
@@ -199,7 +201,8 @@ pub fn machine_to_hgraph(cfg: &MachineConfig) -> HGraph {
     let root = h.add_node(g, Value::sym("machine"));
     h.set_entry(g, root).unwrap();
     let topo = h.add_node(g, Value::sym(cfg.topology.name()));
-    h.add_arc(g, root, Selector::name("topology"), topo).unwrap();
+    h.add_arc(g, root, Selector::name("topology"), topo)
+        .unwrap();
     for c in 0..cfg.clusters {
         let cn = h.add_node(g, Value::sym("cluster"));
         let pes = h.add_node(g, Value::int(cfg.pes_per_cluster as i64));

@@ -59,13 +59,13 @@ impl DenseMatrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "x length mismatch");
         let mut y = vec![0.0; self.rows];
-        for r in 0..self.rows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
             let mut acc = 0.0;
             for (c, &v) in row.iter().enumerate() {
                 acc += v * x[c];
             }
-            y[r] = acc;
+            *yr = acc;
         }
         y
     }

@@ -76,10 +76,22 @@ fn bar2(coords: &[Node], mat: &Material) -> DenseMatrix {
         4,
         4,
         &[
-            ea_l * c2, ea_l * cs, -ea_l * c2, -ea_l * cs,
-            ea_l * cs, ea_l * s2, -ea_l * cs, -ea_l * s2,
-            -ea_l * c2, -ea_l * cs, ea_l * c2, ea_l * cs,
-            -ea_l * cs, -ea_l * s2, ea_l * cs, ea_l * s2,
+            ea_l * c2,
+            ea_l * cs,
+            -ea_l * c2,
+            -ea_l * cs,
+            ea_l * cs,
+            ea_l * s2,
+            -ea_l * cs,
+            -ea_l * s2,
+            -ea_l * c2,
+            -ea_l * cs,
+            ea_l * c2,
+            ea_l * cs,
+            -ea_l * cs,
+            -ea_l * s2,
+            ea_l * cs,
+            ea_l * s2,
         ],
     )
 }
@@ -101,11 +113,7 @@ pub(crate) fn tri3_geometry(coords: &[Node]) -> (f64, [f64; 3], [f64; 3]) {
 /// form `t·w·Bᵀ·D·B`.
 fn btdb(b_mat: &DenseMatrix, mat: &Material, tw: f64) -> DenseMatrix {
     let (d11, d12, d33) = mat.plane_stress_d();
-    let d = DenseMatrix::from_rows(
-        3,
-        3,
-        &[d11, d12, 0.0, d12, d11, 0.0, 0.0, 0.0, d33],
-    );
+    let d = DenseMatrix::from_rows(3, 3, &[d11, d12, 0.0, d12, d11, 0.0, 0.0, 0.0, d33]);
     let bt = b_mat.transpose();
     let mut k = bt.matmul(&d).matmul(b_mat);
     let n = k.rows();
@@ -254,7 +262,10 @@ mod tests {
         let mat = Material::steel();
         let cases = [
             (ElementKind::Bar2, vec![n(0.0, 0.0), n(2.0, 1.0)]),
-            (ElementKind::Tri3, vec![n(0.0, 0.0), n(1.0, 0.1), n(0.2, 1.3)]),
+            (
+                ElementKind::Tri3,
+                vec![n(0.0, 0.0), n(1.0, 0.1), n(0.2, 1.3)],
+            ),
             (
                 ElementKind::Quad4,
                 vec![n(0.0, 0.0), n(1.2, 0.1), n(1.1, 1.0), n(-0.1, 0.9)],
@@ -270,7 +281,10 @@ mod tests {
     fn rigid_body_modes_produce_no_force() {
         let mat = Material::steel();
         let cases = [
-            (ElementKind::Tri3, vec![n(0.0, 0.0), n(1.0, 0.0), n(0.0, 1.0)]),
+            (
+                ElementKind::Tri3,
+                vec![n(0.0, 0.0), n(1.0, 0.0), n(0.0, 1.0)],
+            ),
             (ElementKind::Quad4, unit_square()),
         ];
         for (kind, coords) in cases {
@@ -329,10 +343,24 @@ mod tests {
                 .zip(quad.matvec(&uq))
                 .map(|(a, b)| a * b)
                 .sum::<f64>();
-        let u1: Vec<f64> = [sq[0], sq[1], sq[2]].iter().flat_map(|p| [p.x, 0.0]).collect();
-        let u2: Vec<f64> = [sq[0], sq[2], sq[3]].iter().flat_map(|p| [p.x, 0.0]).collect();
-        let e_tri: f64 = 0.5 * u1.iter().zip(t1.matvec(&u1)).map(|(a, b)| a * b).sum::<f64>()
-            + 0.5 * u2.iter().zip(t2.matvec(&u2)).map(|(a, b)| a * b).sum::<f64>();
+        let u1: Vec<f64> = [sq[0], sq[1], sq[2]]
+            .iter()
+            .flat_map(|p| [p.x, 0.0])
+            .collect();
+        let u2: Vec<f64> = [sq[0], sq[2], sq[3]]
+            .iter()
+            .flat_map(|p| [p.x, 0.0])
+            .collect();
+        let e_tri: f64 = 0.5
+            * u1.iter()
+                .zip(t1.matvec(&u1))
+                .map(|(a, b)| a * b)
+                .sum::<f64>()
+            + 0.5
+                * u2.iter()
+                    .zip(t2.matvec(&u2))
+                    .map(|(a, b)| a * b)
+                    .sum::<f64>();
         assert!((e_quad - e_tri).abs() / e_quad.abs() < 1e-10);
     }
 

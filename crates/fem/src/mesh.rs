@@ -57,7 +57,10 @@ impl Mesh {
         assert!(n >= 1, "at least one bar");
         let dx = length / n as f64;
         let nodes = (0..=n)
-            .map(|i| Node { x: i as f64 * dx, y: 0.0 })
+            .map(|i| Node {
+                x: i as f64 * dx,
+                y: 0.0,
+            })
             .collect();
         let elements = (0..n)
             .map(|i| Element {

@@ -425,9 +425,7 @@ mod tests {
             .stresses
             .iter()
             .enumerate()
-            .max_by(|(_, s), (_, t)| {
-                s.von_mises().partial_cmp(&t.von_mises()).unwrap()
-            })
+            .max_by(|(_, s), (_, t)| s.von_mises().partial_cmp(&t.von_mises()).unwrap())
             .unwrap();
         let el = &m.mesh.elements[worst];
         let cx = el.nodes.iter().map(|&n| m.mesh.nodes[n].x).sum::<f64>() / 4.0;
@@ -459,7 +457,9 @@ mod tests {
     fn ebe_solver_choice_matches_direct() {
         let m = cantilever_plate(5, 2, -1e4);
         let direct = m.analyze(0, SolverChoice::Skyline).unwrap();
-        let ebe = m.analyze(0, SolverChoice::ElementByElement { tol: 1e-10 }).unwrap();
+        let ebe = m
+            .analyze(0, SolverChoice::ElementByElement { tol: 1e-10 })
+            .unwrap();
         let scale = direct.max_displacement();
         for (a, b) in ebe.displacements.iter().zip(&direct.displacements) {
             assert!((a - b).abs() < 1e-5 * scale);
@@ -503,10 +503,13 @@ mod tests {
         assert!(hb_after <= 2 * hb_before);
         let after = m.analyze(0, SolverChoice::Skyline).unwrap();
         // Physical invariants survive renumbering.
-        assert!((before.max_displacement() - after.max_displacement()).abs()
-            < 1e-9 * before.max_displacement());
-        assert!((before.max_von_mises() - after.max_von_mises()).abs()
-            < 1e-6 * before.max_von_mises());
+        assert!(
+            (before.max_displacement() - after.max_displacement()).abs()
+                < 1e-9 * before.max_displacement()
+        );
+        assert!(
+            (before.max_von_mises() - after.max_von_mises()).abs() < 1e-6 * before.max_von_mises()
+        );
     }
 
     #[test]

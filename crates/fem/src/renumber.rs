@@ -144,7 +144,11 @@ mod tests {
     }
 
     fn num_gcd(a: usize, b: usize) -> usize {
-        if b == 0 { a } else { num_gcd(b, a % b) }
+        if b == 0 {
+            a
+        } else {
+            num_gcd(b, a % b)
+        }
     }
 
     #[test]
@@ -181,7 +185,10 @@ mod tests {
     fn rcm_stays_close_to_optimal_on_structured_grids() {
         // Row-major numbering is already near-optimal for structured grids;
         // RCM's level-set order must stay within a small constant of it.
-        for mesh in [Mesh::grid_quad(6, 4, 1.0, 1.0), Mesh::grid_tri(5, 5, 1.0, 1.0)] {
+        for mesh in [
+            Mesh::grid_quad(6, 4, 1.0, 1.0),
+            Mesh::grid_tri(5, 5, 1.0, 1.0),
+        ] {
             let before = mesh.half_bandwidth();
             let (r, _) = mesh.rcm();
             assert!(

@@ -10,7 +10,10 @@ pub fn solve(k: &Csr, f: &[f64], ctl: IterControls, jacobi_precond: bool) -> (Ve
     assert_eq!(f.len(), n, "f length");
     let dinv: Option<Vec<f64>> = if jacobi_precond {
         let d = k.diagonal();
-        assert!(d.iter().all(|&x| x > 0.0), "preconditioner needs positive diagonal");
+        assert!(
+            d.iter().all(|&x| x > 0.0),
+            "preconditioner needs positive diagonal"
+        );
         Some(d.iter().map(|&x| 1.0 / x).collect())
     } else {
         None
@@ -136,7 +139,7 @@ mod tests {
     #[test]
     fn zero_rhs_zero_solution() {
         let a = laplacian_2d(4);
-        let (u, log) = solve(&a, &vec![0.0; 16], IterControls::default(), false);
+        let (u, log) = solve(&a, &[0.0; 16], IterControls::default(), false);
         assert_eq!(log.iterations, 0);
         assert!(u.iter().all(|&x| x == 0.0));
     }

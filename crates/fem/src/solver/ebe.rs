@@ -171,7 +171,9 @@ mod tests {
         let free = c.free_dofs(full);
         let op = EbeOperator::new(&mesh, &mat, &free);
         let k = assemble(&mesh, &mat).submatrix(&free);
-        let x: Vec<f64> = (0..op.order()).map(|i| ((i * 11) % 7) as f64 - 3.0).collect();
+        let x: Vec<f64> = (0..op.order())
+            .map(|i| ((i * 11) % 7) as f64 - 3.0)
+            .collect();
         let mut y_ebe = vec![0.0; op.order()];
         op.apply(&x, &mut y_ebe);
         let mut y_csr = vec![0.0; op.order()];

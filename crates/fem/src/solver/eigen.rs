@@ -95,7 +95,10 @@ mod tests {
         for nx in [4usize, 8, 12] {
             let a = laplacian_2d(nx);
             let r = smallest_eigenpair(&a, 1e-12, 500).unwrap();
-            let theory = 8.0 * (std::f64::consts::PI / (2.0 * (nx as f64 + 1.0))).sin().powi(2);
+            let theory = 8.0
+                * (std::f64::consts::PI / (2.0 * (nx as f64 + 1.0)))
+                    .sin()
+                    .powi(2);
             assert!(
                 (r.lambda - theory).abs() < 1e-8 * theory.max(1e-10),
                 "nx={nx}: {} vs {}",

@@ -57,8 +57,8 @@ pub fn solve(k: &Csr, f: &[f64], ctl: IterControls) -> (Vec<f64>, SolveLog) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::solver::testmat::{laplacian_2d, rhs};
     use crate::solver::residual_norm;
+    use crate::solver::testmat::{laplacian_2d, rhs};
 
     #[test]
     fn converges_on_spd_system() {
@@ -73,7 +73,7 @@ mod tests {
     #[test]
     fn zero_rhs_converges_immediately() {
         let a = laplacian_2d(4);
-        let (u, log) = solve(&a, &vec![0.0; 16], IterControls::default());
+        let (u, log) = solve(&a, &[0.0; 16], IterControls::default());
         assert_eq!(log.iterations, 0);
         assert!(u.iter().all(|&x| x == 0.0));
         assert!(log.converged);

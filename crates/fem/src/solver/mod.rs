@@ -6,8 +6,8 @@
 
 pub mod cg;
 pub mod dense;
-pub mod eigen;
 pub mod ebe;
+pub mod eigen;
 pub mod jacobi;
 pub mod parallel_cg;
 pub mod skyline;

@@ -138,8 +138,9 @@ impl Skyline {
         for j in (0..n).rev() {
             x[j] /= self.get(j, j);
             let xj = x[j];
-            for k in self.first_row[j]..j {
-                x[k] -= self.get(k, j) * xj;
+            let first = self.first_row[j];
+            for (k, xk) in x[first..j].iter_mut().enumerate() {
+                *xk -= self.get(first + k, j) * xj;
             }
         }
         x
@@ -199,10 +200,7 @@ mod tests {
         // A small SPD matrix with irregular envelope.
         let mut coo = Coo::new(4);
         let dense_vals = [
-            10.0, 2.0, 0.0, 1.0,
-            2.0, 12.0, 3.0, 0.0,
-            0.0, 3.0, 14.0, 4.0,
-            1.0, 0.0, 4.0, 16.0,
+            10.0, 2.0, 0.0, 1.0, 2.0, 12.0, 3.0, 0.0, 0.0, 3.0, 14.0, 4.0, 1.0, 0.0, 4.0, 16.0,
         ];
         for r in 0..4 {
             for c in 0..4 {

@@ -10,7 +10,10 @@ pub fn solve(k: &Csr, f: &[f64], omega: f64, ctl: IterControls) -> (Vec<f64>, So
     assert_eq!(f.len(), n, "f length");
     assert!(omega > 0.0 && omega < 2.0, "omega outside (0, 2)");
     let d = k.diagonal();
-    assert!(d.iter().all(|&x| x != 0.0), "SOR requires a nonzero diagonal");
+    assert!(
+        d.iter().all(|&x| x != 0.0),
+        "SOR requires a nonzero diagonal"
+    );
     let fnorm = f.iter().map(|x| x * x).sum::<f64>().sqrt();
     let target = ctl.rel_tol * fnorm.max(f64::MIN_POSITIVE);
     let mut u = vec![0.0; n];

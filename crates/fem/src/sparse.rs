@@ -41,7 +41,7 @@ impl Coo {
     pub fn to_csr(&self) -> Csr {
         let n = self.n;
         let mut sorted = self.entries.clone();
-        sorted.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        sorted.sort_unstable_by_key(|e| (e.0, e.1));
         let mut rowptr = Vec::with_capacity(n + 1);
         let mut colidx = Vec::new();
         let mut vals = Vec::new();
@@ -116,12 +116,12 @@ impl Csr {
         let n = self.order();
         assert_eq!(x.len(), n, "x length");
         assert_eq!(y.len(), n, "y length");
-        for r in 0..n {
+        for (r, yr) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for k in self.rowptr[r]..self.rowptr[r + 1] {
                 acc += self.vals[k] * x[self.colidx[k]];
             }
-            y[r] = acc;
+            *yr = acc;
         }
     }
 

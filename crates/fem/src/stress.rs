@@ -20,8 +20,7 @@ pub struct Stress {
 impl Stress {
     /// Von Mises equivalent stress.
     pub fn von_mises(&self) -> f64 {
-        (self.sx * self.sx - self.sx * self.sy + self.sy * self.sy
-            + 3.0 * self.txy * self.txy)
+        (self.sx * self.sx - self.sx * self.sy + self.sy * self.sy + 3.0 * self.txy * self.txy)
             .sqrt()
     }
 
@@ -139,14 +138,13 @@ mod tests {
 
     #[test]
     fn uniform_stretch_gives_uniform_stress_tri_and_quad() {
-        for mesh in [Mesh::grid_tri(3, 3, 1.0, 1.0), Mesh::grid_quad(3, 3, 1.0, 1.0)] {
+        for mesh in [
+            Mesh::grid_tri(3, 3, 1.0, 1.0),
+            Mesh::grid_quad(3, 3, 1.0, 1.0),
+        ] {
             let mat = Material::unit();
             // u = 0.01 x: εx = 0.01 everywhere.
-            let u: Vec<f64> = mesh
-                .nodes
-                .iter()
-                .flat_map(|n| [0.01 * n.x, 0.0])
-                .collect();
+            let u: Vec<f64> = mesh.nodes.iter().flat_map(|n| [0.01 * n.x, 0.0]).collect();
             let stresses = all_stresses(&mesh, &mat, &u);
             for s in stresses {
                 assert!((s.sx - 0.01).abs() < 1e-12, "sx = {}", s.sx);

@@ -218,12 +218,7 @@ pub fn analyze_substructures(
         } else {
             c.kib.matvec(&ub_local)
         };
-        let rhs: Vec<f64> = c
-            .f_i
-            .iter()
-            .zip(&kib_ub)
-            .map(|(fi, k)| fi - k)
-            .collect();
+        let rhs: Vec<f64> = c.f_i.iter().zip(&kib_ub).map(|(fi, k)| fi - k).collect();
         let ui = c.kii_inv.matvec(&rhs);
         for (i, &d) in c.interior.iter().enumerate() {
             u[d] = ui[i];
@@ -258,12 +253,7 @@ mod tests {
         (mesh, mat, cons, f, part)
     }
 
-    fn direct_reference(
-        mesh: &Mesh,
-        mat: &Material,
-        cons: &Constraints,
-        f: &[f64],
-    ) -> Vec<f64> {
+    fn direct_reference(mesh: &Mesh, mat: &Material, cons: &Constraints, f: &[f64]) -> Vec<f64> {
         let k = assemble(mesh, mat);
         let free = cons.free_dofs(k.order());
         let kr = k.submatrix(&free);

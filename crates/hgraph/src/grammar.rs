@@ -191,7 +191,12 @@ impl Shape {
         self
     }
 
-    fn push_arc(&mut self, selector: impl Into<String>, target: impl Into<String>, mult: Multiplicity) {
+    fn push_arc(
+        &mut self,
+        selector: impl Into<String>,
+        target: impl Into<String>,
+        mult: Multiplicity,
+    ) {
         if let ShapeKind::Node { arcs, .. } = &mut self.kind {
             arcs.push(ArcSpec {
                 selector: selector.into(),
@@ -243,11 +248,17 @@ impl fmt::Display for GrammarError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GrammarError::UndefinedReference { in_rule, to } => {
-                write!(f, "rule {in_rule:?} references undefined nonterminal {to:?}")
+                write!(
+                    f,
+                    "rule {in_rule:?} references undefined nonterminal {to:?}"
+                )
             }
             GrammarError::DuplicateRule(r) => write!(f, "rule {r:?} defined twice"),
             GrammarError::UnknownNonterminal(nt) => write!(f, "unknown nonterminal {nt:?}"),
-            GrammarError::Mismatch { nonterminal, detail } => {
+            GrammarError::Mismatch {
+                nonterminal,
+                detail,
+            } => {
                 write!(f, "does not conform to {nonterminal:?}: {detail}")
             }
         }
@@ -422,7 +433,9 @@ impl Grammar {
         // 1. Value constraint.
         let value_ok = match (value, h.value(n)) {
             (ValueSpec::Atom(k), Value::Atom(a)) => k.matches(a),
-            (ValueSpec::Nested(nt), Value::Graph(child)) => self.check_graph(h, *child, nt, memo)?,
+            (ValueSpec::Nested(nt), Value::Graph(child)) => {
+                self.check_graph(h, *child, nt, memo)?
+            }
             (ValueSpec::Either(k, _), Value::Atom(a)) => k.matches(a),
             (ValueSpec::Either(_, nt), Value::Graph(child)) => {
                 self.check_graph(h, *child, nt, memo)?
@@ -477,9 +490,7 @@ impl Grammar {
         if !open {
             for a in h.out_arcs(g, n) {
                 if let Some(name) = a.selector.as_name() {
-                    if !matched.contains(name)
-                        && !arcs.iter().any(|s| s.selector == name)
-                    {
+                    if !matched.contains(name) && !arcs.iter().any(|s| s.selector == name) {
                         return Ok(false);
                     }
                 }

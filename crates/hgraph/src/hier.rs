@@ -269,9 +269,18 @@ impl HGraph {
     /// Fails if either endpoint is not a member of `g`, or if `from` already
     /// has an outgoing arc with the same selector (access paths are
     /// deterministic).
-    pub fn add_arc(&mut self, g: GraphId, from: NodeId, selector: Selector, to: NodeId) -> Result<()> {
+    pub fn add_arc(
+        &mut self,
+        g: GraphId,
+        from: NodeId,
+        selector: Selector,
+        to: NodeId,
+    ) -> Result<()> {
         if !self.contains(g, from) {
-            return Err(HGraphError::NodeNotInGraph { node: from, graph: g });
+            return Err(HGraphError::NodeNotInGraph {
+                node: from,
+                graph: g,
+            });
         }
         if !self.contains(g, to) {
             return Err(HGraphError::NodeNotInGraph { node: to, graph: g });

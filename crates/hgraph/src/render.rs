@@ -50,9 +50,7 @@ pub fn to_dot(h: &HGraph, root: GraphId) -> String {
         for &n in h.nodes(g) {
             let (text, style) = match h.value(n) {
                 Value::Atom(a) => (a.to_string(), ""),
-                Value::Graph(child) => {
-                    (format!("<graph {}>", h.label(*child)), ", style=dashed")
-                }
+                Value::Graph(child) => (format!("<graph {}>", h.label(*child)), ", style=dashed"),
             };
             let entry = h.entry(g).ok() == Some(n);
             let shape = if entry { ", peripheries=2" } else { "" };
@@ -79,7 +77,10 @@ pub fn to_dot(h: &HGraph, root: GraphId) -> String {
         // graph's first node.
         for &n in h.nodes(g) {
             if let Value::Graph(child) = h.value(n) {
-                let target = h.entry(*child).ok().or_else(|| h.nodes(*child).first().copied());
+                let target = h
+                    .entry(*child)
+                    .ok()
+                    .or_else(|| h.nodes(*child).first().copied());
                 if let Some(t) = target {
                     let _ = writeln!(
                         out,
@@ -125,7 +126,10 @@ mod tests {
     fn bnf_lists_every_production() {
         let bnf = grammar().to_bnf();
         for nt in ["Model", "Root", "Name", "Hub"] {
-            assert!(bnf.contains(&format!("{nt} ::=")), "missing {nt} in:\n{bnf}");
+            assert!(
+                bnf.contains(&format!("{nt} ::=")),
+                "missing {nt} in:\n{bnf}"
+            );
         }
         assert!(bnf.contains("grammar model {"));
         assert!(bnf.contains("graph(entry: Root)"));

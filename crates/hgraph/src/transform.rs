@@ -21,9 +21,15 @@ pub enum TransformError {
     /// No transform with this name is registered.
     Unknown(String),
     /// The input H-graph violated the transform's precondition.
-    Precondition { transform: String, source: GrammarError },
+    Precondition {
+        transform: String,
+        source: GrammarError,
+    },
     /// The output H-graph violated the transform's postcondition.
-    Postcondition { transform: String, source: GrammarError },
+    Postcondition {
+        transform: String,
+        source: GrammarError,
+    },
     /// The transform body signaled a domain error.
     Body { transform: String, message: String },
     /// Call depth exceeded the registry's recursion limit.
@@ -79,7 +85,10 @@ impl Transform {
     /// A transform with the given name and body, no conditions.
     pub fn new(
         name: impl Into<String>,
-        body: impl Fn(&mut HGraph, &mut CallCtx<'_>) -> Result<(), TransformError> + Send + Sync + 'static,
+        body: impl Fn(&mut HGraph, &mut CallCtx<'_>) -> Result<(), TransformError>
+            + Send
+            + Sync
+            + 'static,
     ) -> Self {
         Transform {
             name: name.into(),
@@ -244,12 +253,12 @@ impl TransformRegistry {
                     transform: t.name.clone(),
                     message: "precondition on empty H-graph".into(),
                 })?;
-                grammar
-                    .graph_conforms(h, root, nt)
-                    .map_err(|source| TransformError::Precondition {
+                grammar.graph_conforms(h, root, nt).map_err(|source| {
+                    TransformError::Precondition {
                         transform: t.name.clone(),
                         source,
-                    })?;
+                    }
+                })?;
             }
         }
         (t.body)(h, ctx)?;
@@ -259,12 +268,12 @@ impl TransformRegistry {
                     transform: t.name.clone(),
                     message: "postcondition on empty H-graph".into(),
                 })?;
-                grammar
-                    .graph_conforms(h, root, nt)
-                    .map_err(|source| TransformError::Postcondition {
+                grammar.graph_conforms(h, root, nt).map_err(|source| {
+                    TransformError::Postcondition {
                         transform: t.name.clone(),
                         source,
-                    })?;
+                    }
+                })?;
             }
         }
         Ok(())
@@ -302,10 +311,12 @@ mod tests {
             let n = h.entry(g).unwrap();
             let v = match h.value(n) {
                 Value::Atom(crate::hier::Atom::Int(i)) => *i,
-                _ => return Err(TransformError::Body {
-                    transform: "incr".into(),
-                    message: "not an int".into(),
-                }),
+                _ => {
+                    return Err(TransformError::Body {
+                        transform: "incr".into(),
+                        message: "not an int".into(),
+                    })
+                }
             };
             h.set_value(n, Value::int(v + 1));
             Ok(())
@@ -321,7 +332,13 @@ mod tests {
         let g = h.root().unwrap();
         let n = h.entry(g).unwrap();
         assert_eq!(h.value(n), &Value::int(42));
-        assert_eq!(trace, vec![TraceEntry { name: "incr".into(), depth: 0 }]);
+        assert_eq!(
+            trace,
+            vec![TraceEntry {
+                name: "incr".into(),
+                depth: 0
+            }]
+        );
     }
 
     #[test]
@@ -405,9 +422,18 @@ mod tests {
         assert_eq!(
             trace,
             vec![
-                TraceEntry { name: "twice".into(), depth: 0 },
-                TraceEntry { name: "incr".into(), depth: 1 },
-                TraceEntry { name: "incr".into(), depth: 1 },
+                TraceEntry {
+                    name: "twice".into(),
+                    depth: 0
+                },
+                TraceEntry {
+                    name: "incr".into(),
+                    depth: 1
+                },
+                TraceEntry {
+                    name: "incr".into(),
+                    depth: 1
+                },
             ]
         );
     }
@@ -445,7 +471,9 @@ mod tests {
     #[test]
     fn body_failure_propagates() {
         let mut reg = TransformRegistry::new();
-        reg.register(Transform::new("fails", |_, ctx| Err(ctx.fail("fails", "nope"))));
+        reg.register(Transform::new("fails", |_, ctx| {
+            Err(ctx.fail("fails", "nope"))
+        }));
         let mut h = counter_hgraph(0);
         let err = reg.apply("fails", &mut h).unwrap_err();
         assert!(err.to_string().contains("nope"));

@@ -33,7 +33,10 @@ pub struct WorkProfile {
 impl WorkProfile {
     /// A pure-flop profile.
     pub fn flops(n: u64) -> Self {
-        WorkProfile { flops: n, ..Default::default() }
+        WorkProfile {
+            flops: n,
+            ..Default::default()
+        }
     }
 
     /// Scale every component by `k` (e.g. per-element work × element count).
@@ -71,7 +74,12 @@ pub struct CodeBlock {
 
 impl CodeBlock {
     /// A block with the given name, image size, work, and locals.
-    pub fn new(name: impl Into<String>, words: Words, work: WorkProfile, locals_words: Words) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        words: Words,
+        work: WorkProfile,
+        locals_words: Words,
+    ) -> Self {
         CodeBlock {
             name: name.into(),
             words,
@@ -153,9 +161,20 @@ mod tests {
 
     #[test]
     fn work_profile_arithmetic() {
-        let w = WorkProfile { flops: 2, int_ops: 3, mem_words: 4 };
+        let w = WorkProfile {
+            flops: 2,
+            int_ops: 3,
+            mem_words: 4,
+        };
         let s = w.scaled(10);
-        assert_eq!(s, WorkProfile { flops: 20, int_ops: 30, mem_words: 40 });
+        assert_eq!(
+            s,
+            WorkProfile {
+                flops: 20,
+                int_ops: 30,
+                mem_words: 40
+            }
+        );
         let t = s.plus(WorkProfile::flops(5));
         assert_eq!(t.flops, 25);
         assert_eq!(t.int_ops, 30);

@@ -10,6 +10,7 @@
 //! abstract, as everywhere in the simulated plane.
 
 use fem2_machine::Words;
+use fem2_trace::{EventKind, TraceEvent, TraceHandle, NO_CLUSTER, NO_PE};
 use std::fmt;
 
 /// An allocated block: offset and length in words.
@@ -42,7 +43,11 @@ pub enum HeapError {
 impl fmt::Display for HeapError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            HeapError::OutOfMemory { requested, free, largest } => write!(
+            HeapError::OutOfMemory {
+                requested,
+                free,
+                largest,
+            } => write!(
                 f,
                 "heap exhausted: requested {requested}, free {free} (largest contiguous {largest})"
             ),
@@ -68,6 +73,10 @@ pub struct Heap {
     pub frees: u64,
     /// Allocations that failed for lack of a large-enough block.
     pub failed_allocs: u64,
+    /// Trace sink; alloc/free emit heap events stamped with an op sequence
+    /// number (the heap has no clock of its own).
+    trace: TraceHandle,
+    ops: u64,
 }
 
 impl Heap {
@@ -75,13 +84,25 @@ impl Heap {
     pub fn new(capacity: Words) -> Self {
         Heap {
             capacity,
-            free_list: if capacity > 0 { vec![(0, capacity)] } else { Vec::new() },
+            free_list: if capacity > 0 {
+                vec![(0, capacity)]
+            } else {
+                Vec::new()
+            },
             used: 0,
             high_water: 0,
             allocs: 0,
             frees: 0,
             failed_allocs: 0,
+            trace: TraceHandle::disabled(),
+            ops: 0,
         }
+    }
+
+    /// Attach a trace sink: every successful alloc/free emits a heap event
+    /// (observation only; placement is unaffected).
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// Arena capacity in words.
@@ -141,6 +162,16 @@ impl Heap {
                 self.used += len;
                 self.high_water = self.high_water.max(self.used);
                 self.allocs += 1;
+                self.ops += 1;
+                let (seq, in_use) = (self.ops, self.used);
+                self.trace.emit(|| {
+                    TraceEvent::instant(
+                        seq,
+                        NO_CLUSTER,
+                        NO_PE,
+                        EventKind::Alloc { words: len, in_use },
+                    )
+                });
                 return Ok(Block { offset: off, len });
             }
         }
@@ -193,6 +224,19 @@ impl Heap {
         }
         self.used -= block.len;
         self.frees += 1;
+        self.ops += 1;
+        let (seq, in_use) = (self.ops, self.used);
+        self.trace.emit(|| {
+            TraceEvent::instant(
+                seq,
+                NO_CLUSTER,
+                NO_PE,
+                EventKind::Free {
+                    words: block.len,
+                    in_use,
+                },
+            )
+        });
         Ok(())
     }
 
@@ -240,7 +284,13 @@ mod tests {
         let a = h.alloc(10).unwrap();
         let b = h.alloc(20).unwrap();
         assert_eq!(a, Block { offset: 0, len: 10 });
-        assert_eq!(b, Block { offset: 10, len: 20 });
+        assert_eq!(
+            b,
+            Block {
+                offset: 10,
+                len: 20
+            }
+        );
         assert_eq!(h.used(), 30);
         h.check_invariants().unwrap();
     }
@@ -261,7 +311,11 @@ mod tests {
         // 40 free but fragmented? No — one hole of 40. Request 50 fails.
         let err = h.alloc(50).unwrap_err();
         match err {
-            HeapError::OutOfMemory { requested, free, largest } => {
+            HeapError::OutOfMemory {
+                requested,
+                free,
+                largest,
+            } => {
                 assert_eq!(requested, 50);
                 assert_eq!(free, 40);
                 assert_eq!(largest, 40);
@@ -296,13 +350,19 @@ mod tests {
         assert!(matches!(h.free(a), Err(HeapError::InvalidFree(_))));
         // Out of range.
         assert!(matches!(
-            h.free(Block { offset: 95, len: 10 }),
+            h.free(Block {
+                offset: 95,
+                len: 10
+            }),
             Err(HeapError::InvalidFree(_))
         ));
         // Overlapping an allocated region but touching free space.
         let _b = h.alloc(50).unwrap();
         assert!(matches!(
-            h.free(Block { offset: 25, len: 50 }),
+            h.free(Block {
+                offset: 25,
+                len: 50
+            }),
             Err(HeapError::InvalidFree(_))
         ));
     }
@@ -313,7 +373,7 @@ mod tests {
         assert_eq!(h.fragmentation(), 0.0);
         let blocks: Vec<Block> = (0..10).map(|_| h.alloc(10).unwrap()).collect();
         assert_eq!(h.fragmentation(), 0.0); // full: no free space
-        // Free every other block: 5 fragments of 10.
+                                            // Free every other block: 5 fragments of 10.
         for b in blocks.iter().step_by(2) {
             h.free(*b).unwrap();
         }

@@ -25,6 +25,7 @@ use crate::codeblock::{CodeBlock, CodeId, CodeStore};
 use crate::message::{KernelMessage, MessageKind};
 use fem2_machine::fault::FaultPlan;
 use fem2_machine::{CostClass, Cycles, EventQueue, Machine, PeId, Words};
+use fem2_trace::{EventKind, TaskStage, TraceEvent, TraceHandle, NO_PE};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Policy knobs for the kernel.
@@ -52,8 +53,13 @@ impl Default for KernelConfig {
 /// Kernel events on the discrete-event queue.
 #[derive(Clone, Debug)]
 enum KEvent {
-    /// A message arrives in `to`'s input queue.
-    Arrive { to: u32, msg: KernelMessage },
+    /// A message arrives in `to`'s input queue (`from` is the sender, kept
+    /// for receive-side tracing).
+    Arrive {
+        from: u32,
+        to: u32,
+        msg: KernelMessage,
+    },
     /// Cluster `cluster`'s kernel PE finished decoding the message at the
     /// head of the input queue.
     Decoded { cluster: u32 },
@@ -68,7 +74,8 @@ enum KEvent {
 /// Per-cluster kernel state.
 #[derive(Debug, Default)]
 struct ClusterState {
-    input: VecDeque<KernelMessage>,
+    /// Queued (sender, message) pairs awaiting decode.
+    input: VecDeque<(u32, KernelMessage)>,
     kernel_busy: bool,
     ready: VecDeque<TaskId>,
     loaded: BTreeSet<CodeId>,
@@ -125,6 +132,13 @@ impl KernelSim {
         }
     }
 
+    /// Attach a trace sink: machine-level events, DES queue events, kernel
+    /// messages, and task lifecycle transitions all flow to it.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.machine.set_trace(trace.clone());
+        self.queue.set_trace(trace);
+    }
+
     /// Register a code block with the global program store.
     pub fn register_code(&mut self, block: CodeBlock) -> CodeId {
         self.code.register(block)
@@ -152,7 +166,22 @@ impl KernelSim {
         let code = &self.code;
         let wire = msg.wire_words(|c| code.get(c).words);
         let arrival = self.machine.transmit(send_done, from, to, wire);
-        self.queue.schedule(arrival, KEvent::Arrive { to, msg });
+        let kind = msg.kind().trace_kind();
+        self.machine.trace.emit(|| {
+            TraceEvent::span(
+                at,
+                arrival - at,
+                from,
+                NO_PE,
+                EventKind::MsgSend {
+                    msg: kind,
+                    to_cluster: to,
+                    words: wire,
+                },
+            )
+        });
+        self.queue
+            .schedule(arrival, KEvent::Arrive { from, to, msg });
     }
 
     /// Convenience: initiate `k` replications of `code` on `cluster`,
@@ -238,18 +267,33 @@ impl KernelSim {
 
     fn handle(&mut self, now: Cycles, ev: KEvent) {
         match ev {
-            KEvent::Arrive { to, msg } => {
-                self.clusters[to as usize].input.push_back(msg);
+            KEvent::Arrive { from, to, msg } => {
+                self.clusters[to as usize].input.push_back((from, msg));
                 self.pump(now, to);
             }
             KEvent::Decoded { cluster } => {
-                let msg = self.clusters[cluster as usize]
+                let (from, msg) = self.clusters[cluster as usize]
                     .input
                     .pop_front()
                     .expect("decoded event without queued message");
                 self.clusters[cluster as usize].kernel_busy = false;
                 *self.msg_counts.entry(msg.kind()).or_insert(0) += 1;
                 self.machine.stats.kernel_msg();
+                let kind = msg.kind().trace_kind();
+                let code = &self.code;
+                let wire = msg.wire_words(|c| code.get(c).words);
+                self.machine.trace.emit(|| {
+                    TraceEvent::instant(
+                        now,
+                        cluster,
+                        NO_PE,
+                        EventKind::MsgRecv {
+                            msg: kind,
+                            from_cluster: from,
+                            words: wire,
+                        },
+                    )
+                });
                 self.execute(now, cluster, msg);
                 self.pump(now, cluster);
             }
@@ -292,7 +336,7 @@ impl KernelSim {
 
     fn load_code(&mut self, now: Cycles, cluster: u32, code: CodeId) -> bool {
         let words = self.code.get(code).words;
-        if self.machine.alloc(cluster, words).is_err() {
+        if self.machine.alloc_at(now, cluster, words).is_err() {
             return false;
         }
         let kpe = self.machine.kernel_pe(cluster);
@@ -317,7 +361,7 @@ impl KernelSim {
                 let locals = self.code.get(code).locals_words + args_words;
                 let mut created_any = false;
                 for _ in 0..replications {
-                    if self.machine.alloc(cluster, locals).is_err() {
+                    if self.machine.alloc_at(now, cluster, locals).is_err() {
                         self.dropped += 1;
                         continue;
                     }
@@ -334,13 +378,28 @@ impl KernelSim {
                         locals,
                         create_done,
                     ));
+                    self.machine.trace.emit(|| {
+                        TraceEvent::instant(
+                            create_done,
+                            cluster,
+                            NO_PE,
+                            EventKind::Task {
+                                task: id.0 as u32,
+                                stage: TaskStage::Created,
+                            },
+                        )
+                    });
                     self.clusters[cluster as usize].ready.push_back(id);
                     created_any = true;
                 }
                 if created_any {
                     // Dispatch once the kernel PE has finished creating the
                     // activation records.
-                    let at = self.machine.pe(self.machine.kernel_pe(cluster)).unwrap().free_at;
+                    let at = self
+                        .machine
+                        .pe(self.machine.kernel_pe(cluster))
+                        .unwrap()
+                        .free_at;
                     self.queue.schedule(at, KEvent::Dispatch { cluster });
                 }
             }
@@ -389,7 +448,7 @@ impl KernelSim {
                             self.clusters[c as usize].ready.retain(|t| *t != task);
                         }
                         self.running.retain(|_, t| *t != task);
-                        self.machine.free(c, locals);
+                        self.machine.free_at(now, c, locals);
                         self.completions.push((task, now));
                         self.notify_parent(now, cluster, task, parent);
                     }
@@ -407,7 +466,7 @@ impl KernelSim {
                     return;
                 }
                 let locals = self.code.get(code).locals_words + args_words;
-                if self.machine.alloc(cluster, locals).is_err() {
+                if self.machine.alloc_at(now, cluster, locals).is_err() {
                     self.dropped += 1;
                     return;
                 }
@@ -417,13 +476,26 @@ impl KernelSim {
                     .charge(now, kpe, CostClass::TaskCreate, 1)
                     .unwrap_or(now);
                 let id = TaskId(self.tasks.len() as u64);
-                let mut rec = ActivationRecord::new(id, code, cluster, Some(caller), locals, create_done);
+                let mut rec =
+                    ActivationRecord::new(id, code, cluster, Some(caller), locals, create_done);
                 // RPC workers do not send TerminateNotify; they reply.
                 rec.parent = None;
                 self.tasks.push(rec);
+                self.machine.trace.emit(|| {
+                    TraceEvent::instant(
+                        create_done,
+                        cluster,
+                        NO_PE,
+                        EventKind::Task {
+                            task: id.0 as u32,
+                            stage: TaskStage::Created,
+                        },
+                    )
+                });
                 self.rpc_tasks.insert(id, (call_id, reply_cluster));
                 self.clusters[cluster as usize].ready.push_back(id);
-                self.queue.schedule(create_done, KEvent::Dispatch { cluster });
+                self.queue
+                    .schedule(create_done, KEvent::Dispatch { cluster });
             }
             KernelMessage::RemoteReturn { call_id, .. } => {
                 self.rpc_returns.insert(call_id, now);
@@ -436,7 +508,13 @@ impl KernelSim {
         }
     }
 
-    fn notify_parent(&mut self, now: Cycles, from_cluster: u32, child: TaskId, parent: Option<TaskId>) {
+    fn notify_parent(
+        &mut self,
+        now: Cycles,
+        from_cluster: u32,
+        child: TaskId,
+        parent: Option<TaskId>,
+    ) {
         if let Some(p) = parent {
             let pc = self.tasks.get(p.0 as usize).map(|r| r.cluster);
             if let Some(pc) = pc {
@@ -466,7 +544,12 @@ impl KernelSim {
                 .machine
                 .worker_pes(cluster)
                 .into_iter()
-                .filter(|&pe| self.machine.pe(pe).map(|p| p.available(now)).unwrap_or(false))
+                .filter(|&pe| {
+                    self.machine
+                        .pe(pe)
+                        .map(|p| p.available(now))
+                        .unwrap_or(false)
+                })
                 .min_by_key(|pe| pe.index)
             else {
                 return;
@@ -477,9 +560,22 @@ impl KernelSim {
             rec.epoch += 1;
             let epoch = rec.epoch;
             let work = self.code.get(rec.code).work;
+            self.machine.trace.emit(|| {
+                TraceEvent::instant(
+                    now,
+                    pe.cluster,
+                    pe.index,
+                    EventKind::Task {
+                        task: task.0 as u32,
+                        stage: TaskStage::Dispatched,
+                    },
+                )
+            });
             let _ = self.machine.charge(now, pe, CostClass::ContextSwitch, 1);
             let _ = self.machine.charge(now, pe, CostClass::IntOp, work.int_ops);
-            let _ = self.machine.charge(now, pe, CostClass::MemWord, work.mem_words);
+            let _ = self
+                .machine
+                .charge(now, pe, CostClass::MemWord, work.mem_words);
             let done = self
                 .machine
                 .charge(now, pe, CostClass::Flop, work.flops)
@@ -501,7 +597,18 @@ impl KernelSim {
         let locals = rec.locals_words;
         let parent = rec.parent;
         self.running.remove(&pe);
-        self.machine.free(cluster, locals);
+        self.machine.free_at(now, cluster, locals);
+        self.machine.trace.emit(|| {
+            TraceEvent::instant(
+                now,
+                pe.cluster,
+                pe.index,
+                EventKind::Task {
+                    task: task.0 as u32,
+                    stage: TaskStage::Completed,
+                },
+            )
+        });
         self.completions.push((task, now));
         self.notify_parent(now, cluster, task, parent);
         if let Some((call_id, reply_cluster)) = self.rpc_tasks.remove(&task) {
@@ -527,6 +634,17 @@ impl KernelSim {
             }
         }
         if let Some(task) = self.running.remove(&pe) {
+            self.machine.trace.emit(|| {
+                TraceEvent::instant(
+                    now,
+                    pe.cluster,
+                    pe.index,
+                    EventKind::Task {
+                        task: task.0 as u32,
+                        stage: TaskStage::Faulted,
+                    },
+                )
+            });
             let rec = &mut self.tasks[task.0 as usize];
             if rec.state == TaskState::Running {
                 rec.epoch += 1; // invalidate in-flight completion
@@ -557,7 +675,11 @@ mod tests {
         k.register_code(CodeBlock::new(
             "work",
             64,
-            WorkProfile { flops: 100, int_ops: 10, mem_words: 20 },
+            WorkProfile {
+                flops: 100,
+                int_ops: 10,
+                mem_words: 20,
+            },
             16,
         ))
     }
@@ -680,12 +802,7 @@ mod tests {
     fn pause_then_resume_reruns_task() {
         let mut k = sim(1, 4);
         // A long task so the pause lands while it is running.
-        let code = k.register_code(CodeBlock::new(
-            "long",
-            16,
-            WorkProfile::flops(1_000_000),
-            8,
-        ));
+        let code = k.register_code(CodeBlock::new("long", 16, WorkProfile::flops(1_000_000), 8));
         k.initiate(0, 0, code, 1, None, 0);
         // Pause shortly after it starts.
         k.send(500, 0, 0, KernelMessage::PauseNotify { task: TaskId(0) });
@@ -705,7 +822,12 @@ mod tests {
         let code = small_code(&mut k);
         k.initiate(0, 0, code, 1, None, 0);
         k.run();
-        k.send(k.now(), 0, 0, KernelMessage::PauseNotify { task: TaskId(0) });
+        k.send(
+            k.now(),
+            0,
+            0,
+            KernelMessage::PauseNotify { task: TaskId(0) },
+        );
         k.run();
         assert_eq!(k.dropped, 1);
         assert_eq!(k.task(TaskId(0)).state, TaskState::Done);
@@ -714,14 +836,14 @@ mod tests {
     #[test]
     fn forced_termination_of_running_task() {
         let mut k = sim(1, 4);
-        let code = k.register_code(CodeBlock::new(
-            "long",
-            16,
-            WorkProfile::flops(1_000_000),
-            8,
-        ));
+        let code = k.register_code(CodeBlock::new("long", 16, WorkProfile::flops(1_000_000), 8));
         k.initiate(0, 0, code, 1, None, 0);
-        k.send(500, 0, 0, KernelMessage::TerminateNotify { task: TaskId(0) });
+        k.send(
+            500,
+            0,
+            0,
+            KernelMessage::TerminateNotify { task: TaskId(0) },
+        );
         let makespan = k.run();
         assert_eq!(k.task(TaskId(0)).state, TaskState::Done);
         assert_eq!(k.completions().len(), 1);

@@ -45,6 +45,20 @@ impl MessageKind {
         MessageKind::LoadCode,
     ];
 
+    /// The trace-vocabulary equivalent of this message kind.
+    pub fn trace_kind(self) -> fem2_trace::MsgKind {
+        use fem2_trace::MsgKind as T;
+        match self {
+            MessageKind::InitiateTask => T::InitiateTask,
+            MessageKind::PauseNotify => T::PauseNotify,
+            MessageKind::Resume => T::Resume,
+            MessageKind::TerminateNotify => T::TerminateNotify,
+            MessageKind::RemoteCall => T::RemoteCall,
+            MessageKind::RemoteReturn => T::RemoteReturn,
+            MessageKind::LoadCode => T::LoadCode,
+        }
+    }
+
     /// Short name for reports.
     pub fn name(self) -> &'static str {
         match self {
@@ -166,7 +180,15 @@ mod tests {
         let names: Vec<&str> = MessageKind::ALL.iter().map(|k| k.name()).collect();
         assert_eq!(
             names,
-            vec!["initiate", "pause", "resume", "terminate", "call", "return", "load"]
+            vec![
+                "initiate",
+                "pause",
+                "resume",
+                "terminate",
+                "call",
+                "return",
+                "load"
+            ]
         );
     }
 
@@ -203,7 +225,11 @@ mod tests {
             MessageKind::RemoteCall
         );
         assert_eq!(
-            KernelMessage::RemoteReturn { call_id: 1, result_words: 0 }.kind(),
+            KernelMessage::RemoteReturn {
+                call_id: 1,
+                result_words: 0
+            }
+            .kind(),
             MessageKind::RemoteReturn
         );
         assert_eq!(
@@ -226,10 +252,7 @@ mod tests {
             parent: None,
             args_words: 1000,
         };
-        assert_eq!(
-            large.wire_words(no_code) - small.wire_words(no_code),
-            1000
-        );
+        assert_eq!(large.wire_words(no_code) - small.wire_words(no_code), 1000);
     }
 
     #[test]

@@ -71,12 +71,26 @@ impl WindowDescriptor {
     }
 
     /// A window over row `r`, columns `[col0, col1)`.
-    pub fn row(array: u32, r: u32, col0: u32, col1: u32, owner: TaskId, owner_cluster: u32) -> Self {
+    pub fn row(
+        array: u32,
+        r: u32,
+        col0: u32,
+        col1: u32,
+        owner: TaskId,
+        owner_cluster: u32,
+    ) -> Self {
         Self::block(array, r, r + 1, col0, col1, owner, owner_cluster)
     }
 
     /// A window over column `c`, rows `[row0, row1)`.
-    pub fn column(array: u32, c: u32, row0: u32, row1: u32, owner: TaskId, owner_cluster: u32) -> Self {
+    pub fn column(
+        array: u32,
+        c: u32,
+        row0: u32,
+        row1: u32,
+        owner: TaskId,
+        owner_cluster: u32,
+    ) -> Self {
         Self::block(array, row0, row1, c, c + 1, owner, owner_cluster)
     }
 

@@ -193,7 +193,7 @@ impl MachineConfig {
             if width == 0 {
                 return Err("mesh width must be >= 1".into());
             }
-            if self.clusters % width != 0 {
+            if !self.clusters.is_multiple_of(width) {
                 return Err(format!(
                     "mesh width {} does not divide cluster count {}",
                     width, self.clusters

@@ -83,8 +83,14 @@ mod tests {
     #[test]
     fn events_sort_by_time() {
         let mut p = FaultPlan::new(vec![
-            FaultEvent { at: 50, pe: PeId::new(0, 1) },
-            FaultEvent { at: 10, pe: PeId::new(1, 0) },
+            FaultEvent {
+                at: 50,
+                pe: PeId::new(0, 1),
+            },
+            FaultEvent {
+                at: 10,
+                pe: PeId::new(1, 0),
+            },
         ]);
         assert_eq!(p.len(), 2);
         assert_eq!(p.next_at(), Some(10));
@@ -105,6 +111,12 @@ mod tests {
     #[test]
     fn at_builder_sets_common_time() {
         let p = FaultPlan::at(7, [PeId::new(2, 3)]);
-        assert_eq!(p.events[0], FaultEvent { at: 7, pe: PeId::new(2, 3) });
+        assert_eq!(
+            p.events[0],
+            FaultEvent {
+                at: 7,
+                pe: PeId::new(2, 3)
+            }
+        );
     }
 }

@@ -44,7 +44,7 @@ pub mod stats;
 mod machine;
 
 pub use config::{CostModel, MachineConfig, Topology};
-pub use machine::{Machine, MachineError};
+pub use machine::{trace_cost_kind, Machine, MachineError};
 pub use memory::ClusterMemory;
 pub use network::Network;
 pub use pe::{CostClass, Pe, PeId};

@@ -7,7 +7,22 @@ use crate::network::Network;
 use crate::pe::{CostClass, Pe, PeId};
 use crate::stats::Stats;
 use crate::{Cycles, Words};
+use fem2_trace::{EventKind, TraceEvent, TraceHandle, NO_PE};
 use std::fmt;
+
+/// The trace-vocabulary equivalent of a [`CostClass`].
+pub fn trace_cost_kind(class: CostClass) -> fem2_trace::CostKind {
+    use fem2_trace::CostKind as K;
+    match class {
+        CostClass::Flop => K::Flop,
+        CostClass::IntOp => K::IntOp,
+        CostClass::MemWord => K::MemWord,
+        CostClass::MsgSend => K::MsgSend,
+        CostClass::MsgDispatch => K::MsgDispatch,
+        CostClass::TaskCreate => K::TaskCreate,
+        CostClass::ContextSwitch => K::ContextSwitch,
+    }
+}
 
 /// Errors surfaced by machine operations.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -59,6 +74,9 @@ pub struct Machine {
     kernel_pe: Vec<u32>,
     /// Number of fault-isolation reconfigurations performed.
     pub reconfigurations: u64,
+    /// Event tracing. Disabled by default: instrumentation is observation
+    /// only and costs a single branch when off.
+    pub trace: TraceHandle,
 }
 
 impl Machine {
@@ -84,7 +102,22 @@ impl Machine {
             stats: Stats::new(),
             kernel_pe,
             reconfigurations: 0,
+            trace: TraceHandle::disabled(),
         }
+    }
+
+    /// Attach a trace sink. All machine-level events (PE busy spans, link
+    /// transfers, memory traffic) flow to it; pass
+    /// [`TraceHandle::disabled`] to detach.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+    }
+
+    /// Enter a named measurement phase at simulated time `at`: switches the
+    /// stats phase and informs the trace sink.
+    pub fn phase(&mut self, name: &str, at: Cycles) {
+        self.stats.phase(name);
+        self.trace.begin_phase(name, at);
     }
 
     fn flat(&self, pe: PeId) -> Result<usize, MachineError> {
@@ -166,18 +199,50 @@ impl Machine {
             }
             _ => {}
         }
-        Ok(self.pes[idx].charge(now, class, count, &self.config.cost))
+        let start = self.pes[idx].free_at.max(now);
+        let done = self.pes[idx].charge(now, class, count, &self.config.cost);
+        self.trace.emit(|| {
+            TraceEvent::span(
+                start,
+                done - start,
+                pe.cluster,
+                pe.index,
+                EventKind::PeBusy {
+                    cost: trace_cost_kind(class),
+                    count,
+                },
+            )
+        });
+        Ok(done)
     }
 
     /// Allocate `words` in cluster `c`'s shared memory.
     pub fn alloc(&mut self, c: u32, words: Words) -> Result<(), MachineError> {
+        self.alloc_at(0, c, words)
+    }
+
+    /// Like [`Machine::alloc`], stamping the trace event with simulated time
+    /// `now` (callers that know the clock should prefer this).
+    pub fn alloc_at(&mut self, now: Cycles, c: u32, words: Words) -> Result<(), MachineError> {
         self.memories[c as usize].alloc(words)?;
+        let in_use = self.memories[c as usize].used();
+        self.trace
+            .emit(|| TraceEvent::instant(now, c, NO_PE, EventKind::Alloc { words, in_use }));
         Ok(())
     }
 
     /// Free `words` in cluster `c`'s shared memory.
     pub fn free(&mut self, c: u32, words: Words) {
+        self.free_at(0, c, words);
+    }
+
+    /// Like [`Machine::free`], stamping the trace event with simulated time
+    /// `now`.
+    pub fn free_at(&mut self, now: Cycles, c: u32, words: Words) {
         self.memories[c as usize].free(words);
+        let in_use = self.memories[c as usize].used();
+        self.trace
+            .emit(|| TraceEvent::instant(now, c, NO_PE, EventKind::Free { words, in_use }));
     }
 
     /// Read access to a cluster memory.
@@ -187,16 +252,35 @@ impl Machine {
 
     /// Transmit a message and record it in stats. Returns arrival time.
     pub fn transmit(&mut self, now: Cycles, from: u32, to: u32, words: Words) -> Cycles {
+        let packets_before = self.network.packets;
         let t = self.network.transmit(now, from, to, words);
         if from != to {
             self.stats.message(words);
+            let packets = (self.network.packets - packets_before) as u32;
+            self.trace.emit(|| {
+                TraceEvent::span(
+                    now,
+                    t - now,
+                    from,
+                    NO_PE,
+                    EventKind::LinkTransfer {
+                        to_cluster: to,
+                        words,
+                        packets,
+                    },
+                )
+            });
         }
         t
     }
 
     /// Peak memory usage across clusters, in words.
     pub fn peak_memory(&self) -> Words {
-        self.memories.iter().map(|m| m.high_water()).max().unwrap_or(0)
+        self.memories
+            .iter()
+            .map(|m| m.high_water())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total memory high-water summed over clusters, in words.
@@ -350,10 +434,7 @@ mod tests {
         assert_eq!(m.peak_memory(), 1000);
         assert_eq!(m.total_memory_high_water(), 1500);
         let cap = m.memory(0).capacity();
-        assert!(matches!(
-            m.alloc(0, cap),
-            Err(MachineError::OutOfMemory(_))
-        ));
+        assert!(matches!(m.alloc(0, cap), Err(MachineError::OutOfMemory(_))));
     }
 
     #[test]
@@ -408,6 +489,8 @@ mod tests {
     fn error_display() {
         let e = MachineError::NoSuchPe(PeId::new(1, 2));
         assert!(e.to_string().contains("PE(1,2)"));
-        assert!(MachineError::ClusterDead(3).to_string().contains("cluster 3"));
+        assert!(MachineError::ClusterDead(3)
+            .to_string()
+            .contains("cluster 3"));
     }
 }

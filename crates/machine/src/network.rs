@@ -160,7 +160,10 @@ impl Network {
     /// memory: they cost one memory pass (`words / words_per_cycle`) and use
     /// no links, and are *not* counted as network messages.
     pub fn transmit(&mut self, now: Cycles, from: u32, to: u32, words: Words) -> Cycles {
-        assert!(from < self.clusters && to < self.clusters, "cluster out of range");
+        assert!(
+            from < self.clusters && to < self.clusters,
+            "cluster out of range"
+        );
         if from == to {
             return now + words.div_ceil(self.words_per_cycle as Words).max(1);
         }
@@ -180,9 +183,7 @@ impl Network {
             let packet_words = chunk + self.header_words;
             self.packets += 1;
             self.header_words_moved += self.header_words;
-            let occ = packet_words
-                .div_ceil(self.words_per_cycle as Words)
-                .max(1);
+            let occ = packet_words.div_ceil(self.words_per_cycle as Words).max(1);
             // Store-and-forward over the route with per-link FIFO contention.
             let mut t = inject_at;
             let route = self.route(from, to);

@@ -94,7 +94,13 @@ impl Pe {
     /// Charge `count` units of `class` starting no earlier than `now`.
     /// Returns the completion time. Work on a busy PE queues behind the
     /// current work (the PE is serial).
-    pub fn charge(&mut self, now: Cycles, class: CostClass, count: u64, model: &CostModel) -> Cycles {
+    pub fn charge(
+        &mut self,
+        now: Cycles,
+        class: CostClass,
+        count: u64,
+        model: &CostModel,
+    ) -> Cycles {
         debug_assert!(!self.failed, "charging a failed PE");
         let start = self.free_at.max(now);
         let dur = class.cycles(model).saturating_mul(count);
@@ -162,8 +168,10 @@ mod tests {
 
     #[test]
     fn failed_pe_is_unavailable() {
-        let mut pe = Pe::default();
-        pe.failed = true;
+        let pe = Pe {
+            failed: true,
+            ..Pe::default()
+        };
         assert!(!pe.available(0));
     }
 
@@ -185,6 +193,9 @@ mod tests {
         assert_eq!(CostClass::MsgSend.cycles(&model), model.msg_send);
         assert_eq!(CostClass::MsgDispatch.cycles(&model), model.msg_dispatch);
         assert_eq!(CostClass::TaskCreate.cycles(&model), model.task_create);
-        assert_eq!(CostClass::ContextSwitch.cycles(&model), model.context_switch);
+        assert_eq!(
+            CostClass::ContextSwitch.cycles(&model),
+            model.context_switch
+        );
     }
 }

@@ -7,6 +7,7 @@
 //! schedule more events.
 
 use crate::Cycles;
+use fem2_trace::{EventKind, TraceEvent, TraceHandle, NO_CLUSTER, NO_PE};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -39,6 +40,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
     seq: u64,
     now: Cycles,
+    trace: TraceHandle,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -54,7 +56,14 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             seq: 0,
             now: 0,
+            trace: TraceHandle::disabled(),
         }
+    }
+
+    /// Attach a trace sink: every schedule/pop emits a DES event carrying
+    /// the queue depth (observation only).
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// Current simulation time: the time of the last popped event.
@@ -79,6 +88,15 @@ impl<E> EventQueue<E> {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Reverse(Entry { at, seq, ev }));
+        let depth = self.heap.len() as u32;
+        self.trace.emit(|| {
+            TraceEvent::instant(
+                at,
+                NO_CLUSTER,
+                NO_PE,
+                EventKind::DesSchedule { queue_depth: depth },
+            )
+        });
     }
 
     /// Schedule `ev` `delay` cycles from now.
@@ -90,6 +108,15 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(Cycles, E)> {
         self.heap.pop().map(|Reverse(e)| {
             self.now = e.at;
+            let depth = self.heap.len() as u32;
+            self.trace.emit(|| {
+                TraceEvent::instant(
+                    e.at,
+                    NO_CLUSTER,
+                    NO_PE,
+                    EventKind::DesDispatch { queue_depth: depth },
+                )
+            });
             (e.at, e.ev)
         })
     }

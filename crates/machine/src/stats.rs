@@ -42,16 +42,30 @@ impl PhaseCounters {
     }
 }
 
+/// Name of the implicit phase active before the first [`Stats::phase`]
+/// call (matches `fem2_trace`'s startup phase).
+pub const STARTUP_PHASE: &str = "startup";
+
 /// Phase-grouped measurement counters for one run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Stats {
     phases: BTreeMap<String, PhaseCounters>,
     order: Vec<String>,
     current: String,
 }
 
+impl Default for Stats {
+    fn default() -> Self {
+        Stats {
+            phases: BTreeMap::new(),
+            order: Vec::new(),
+            current: STARTUP_PHASE.to_string(),
+        }
+    }
+}
+
 impl Stats {
-    /// Fresh stats; counts accrue to the unnamed phase `""` until
+    /// Fresh stats; counts accrue to the implicit [`STARTUP_PHASE`] until
     /// [`Stats::phase`] is called.
     pub fn new() -> Self {
         Self::default()
@@ -146,13 +160,7 @@ impl Stats {
             let _ = writeln!(
                 out,
                 "{:<12} {:>12} {:>10} {:>12} {:>9} {:>12} {:>7}",
-                if name.is_empty() { "(setup)" } else { name },
-                c.flops,
-                c.int_ops,
-                c.mem_words,
-                c.messages,
-                c.msg_words,
-                c.tasks_created
+                name, c.flops, c.int_ops, c.mem_words, c.messages, c.msg_words, c.tasks_created
             );
         };
         for name in &self.order {
@@ -187,13 +195,17 @@ mod tests {
     }
 
     #[test]
-    fn unnamed_phase_collects_early_counts() {
+    fn startup_phase_collects_early_counts() {
         let mut s = Stats::new();
         s.int_ops(5);
         s.phase("work");
         s.int_ops(7);
-        assert_eq!(s.get("").unwrap().int_ops, 5);
+        assert_eq!(s.get(STARTUP_PHASE).unwrap().int_ops, 5);
         assert_eq!(s.get("work").unwrap().int_ops, 7);
+        assert_eq!(
+            s.phase_names(),
+            &["startup".to_string(), "work".to_string()]
+        );
     }
 
     #[test]
@@ -241,7 +253,7 @@ mod tests {
     #[test]
     fn current_phase_reports_name() {
         let mut s = Stats::new();
-        assert_eq!(s.current_phase(), "");
+        assert_eq!(s.current_phase(), STARTUP_PHASE);
         s.phase("x");
         assert_eq!(s.current_phase(), "x");
     }

@@ -14,6 +14,7 @@ use crate::runtime::{ArrayId, NaVm, Plane};
 use crate::task::TaskHandle;
 use fem2_kernel::WorkProfile;
 use fem2_machine::Words;
+use fem2_trace::{EventKind, TraceEvent, WindowStage, NO_PE};
 
 /// Chunk size for deterministic reductions, elements.
 pub const REDUCE_GRAIN: usize = 1024;
@@ -53,7 +54,6 @@ fn two_arrays(
 }
 
 impl NaVm {
-
     fn charge_elementwise(&mut self, n: usize, per_elem: WorkProfile) {
         if let Plane::Sim(_) = self.plane {
             let work: Vec<(TaskHandle, WorkProfile)> = self
@@ -93,15 +93,21 @@ impl NaVm {
             Plane::Native { pool } => {
                 let xd = &self.arrays[x.0 as usize].data;
                 let yd = &self.arrays[y.0 as usize].data;
-                pool.map_reduce_index(0..n.div_ceil(REDUCE_GRAIN), 1, |chunk| {
-                    let s = chunk * REDUCE_GRAIN;
-                    let e = (s + REDUCE_GRAIN).min(n);
-                    let mut acc = 0.0;
-                    for i in s..e {
-                        acc += xd[i] * yd[i];
-                    }
-                    acc
-                }, |a, b| a + b, 0.0)
+                pool.map_reduce_index(
+                    0..n.div_ceil(REDUCE_GRAIN),
+                    1,
+                    |chunk| {
+                        let s = chunk * REDUCE_GRAIN;
+                        let e = (s + REDUCE_GRAIN).min(n);
+                        let mut acc = 0.0;
+                        for i in s..e {
+                            acc += xd[i] * yd[i];
+                        }
+                        acc
+                    },
+                    |a, b| a + b,
+                    0.0,
+                )
             }
             Plane::Sim(_) => {
                 let xd = &self.arrays[x.0 as usize].data;
@@ -109,7 +115,14 @@ impl NaVm {
                 chunked_fold_seq(n, |i| xd[i] * yd[i])
             }
         };
-        self.charge_elementwise(n, WorkProfile { flops: 2, int_ops: 0, mem_words: 2 });
+        self.charge_elementwise(
+            n,
+            WorkProfile {
+                flops: 2,
+                int_ops: 0,
+                mem_words: 2,
+            },
+        );
         self.charge_reduction();
         result
     }
@@ -144,7 +157,14 @@ impl NaVm {
                 }
             }
         }
-        self.charge_elementwise(n, WorkProfile { flops: 2, int_ops: 0, mem_words: 3 });
+        self.charge_elementwise(
+            n,
+            WorkProfile {
+                flops: 2,
+                int_ops: 0,
+                mem_words: 3,
+            },
+        );
     }
 
     /// `y ← x + beta·y` (the CG direction update).
@@ -172,7 +192,14 @@ impl NaVm {
                 }
             }
         }
-        self.charge_elementwise(n, WorkProfile { flops: 2, int_ops: 0, mem_words: 3 });
+        self.charge_elementwise(
+            n,
+            WorkProfile {
+                flops: 2,
+                int_ops: 0,
+                mem_words: 3,
+            },
+        );
     }
 
     /// `x ← alpha·x`.
@@ -194,7 +221,14 @@ impl NaVm {
                 }
             }
         }
-        self.charge_elementwise(n, WorkProfile { flops: 1, int_ops: 0, mem_words: 2 });
+        self.charge_elementwise(
+            n,
+            WorkProfile {
+                flops: 1,
+                int_ops: 0,
+                mem_words: 2,
+            },
+        );
     }
 
     /// `y ← x`.
@@ -205,7 +239,14 @@ impl NaVm {
             let (xa, ya) = two_arrays(&mut self.arrays, x, y);
             ya.data.copy_from_slice(&xa.data);
         }
-        self.charge_elementwise(n, WorkProfile { flops: 0, int_ops: 0, mem_words: 2 });
+        self.charge_elementwise(
+            n,
+            WorkProfile {
+                flops: 0,
+                int_ops: 0,
+                mem_words: 2,
+            },
+        );
     }
 
     /// Dense matrix–vector product `y ← A·x` with `A` row-block
@@ -304,16 +345,56 @@ impl NaVm {
                 let mut barrier = start;
                 for (ca, cb) in pairs {
                     if ca == cb {
-                        s.machine.stats.mem_words(2 * nx as u64);
+                        // The MemWord charge records the words; counting
+                        // them again here would double-book the pass.
                         let pe = s.machine.kernel_pe(ca);
                         let done = s
                             .machine
                             .charge(start, pe, fem2_machine::CostClass::MemWord, 2 * nx as u64)
                             .unwrap_or(start);
+                        s.machine.trace.emit(|| {
+                            TraceEvent::span(
+                                start,
+                                done - start,
+                                ca,
+                                NO_PE,
+                                EventKind::Window {
+                                    stage: WindowStage::Gather,
+                                    peer_cluster: cb,
+                                    words: 2 * nx as u64,
+                                },
+                            )
+                        });
                         barrier = barrier.max(done);
                     } else {
                         let a1 = s.machine.transmit(start, ca, cb, nx as Words);
                         let a2 = s.machine.transmit(start, cb, ca, nx as Words);
+                        s.machine.trace.emit(|| {
+                            TraceEvent::span(
+                                start,
+                                a1 - start,
+                                ca,
+                                NO_PE,
+                                EventKind::Window {
+                                    stage: WindowStage::Transit,
+                                    peer_cluster: cb,
+                                    words: nx as u64,
+                                },
+                            )
+                        });
+                        s.machine.trace.emit(|| {
+                            TraceEvent::span(
+                                start,
+                                a2 - start,
+                                cb,
+                                NO_PE,
+                                EventKind::Window {
+                                    stage: WindowStage::Transit,
+                                    peer_cluster: ca,
+                                    words: nx as u64,
+                                },
+                            )
+                        });
                         barrier = barrier.max(a1).max(a2);
                     }
                 }
@@ -327,7 +408,7 @@ impl NaVm {
             let ya = &mut self.arrays[y.0 as usize];
             let yd = &mut ya.data;
             let stencil_row = |j: usize, out: &mut [f64]| {
-                for i in 0..nx {
+                for (i, o) in out.iter_mut().enumerate() {
                     let idx = j * nx + i;
                     let mut v = 4.0 * xd[idx];
                     if i > 0 {
@@ -342,7 +423,7 @@ impl NaVm {
                     if j + 1 < ny {
                         v -= xd[idx + nx];
                     }
-                    out[i] = v;
+                    *o = v;
                 }
             };
             match pool {
@@ -358,7 +439,11 @@ impl NaVm {
         }
         self.charge_elementwise(
             nx * ny,
-            WorkProfile { flops: 8, int_ops: 6, mem_words: 6 },
+            WorkProfile {
+                flops: 8,
+                int_ops: 6,
+                mem_words: 6,
+            },
         );
     }
 }

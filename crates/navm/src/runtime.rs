@@ -13,6 +13,7 @@ use crate::task::{TaskHandle, TaskSet};
 use fem2_kernel::WorkProfile;
 use fem2_machine::{CostClass, Cycles, Machine, MachineConfig, Words};
 use fem2_par::Pool;
+use fem2_trace::{EventKind, MsgKind, TaskStage, TraceEvent, TraceHandle, NO_PE};
 use std::sync::Arc;
 
 /// Identifier of an array owned by a [`NaVm`].
@@ -77,29 +78,92 @@ impl SimState {
                     .charge(start, kpe0, CostClass::MsgSend, 1)
                     .unwrap_or(start);
                 let arrive = self.machine.transmit(sent, 0, c, 8);
+                self.machine.trace.emit(|| {
+                    TraceEvent::span(
+                        sent,
+                        arrive - sent,
+                        0,
+                        NO_PE,
+                        EventKind::MsgSend {
+                            msg: MsgKind::InitiateTask,
+                            to_cluster: c,
+                            words: 8,
+                        },
+                    )
+                });
+                self.machine.trace.emit(|| {
+                    TraceEvent::instant(
+                        arrive,
+                        c,
+                        NO_PE,
+                        EventKind::MsgRecv {
+                            msg: MsgKind::InitiateTask,
+                            from_cluster: 0,
+                            words: 8,
+                        },
+                    )
+                });
                 let kpe = self.machine.kernel_pe(c);
                 ready_at = self
                     .machine
                     .charge(arrive, kpe, CostClass::TaskCreate, 1)
                     .unwrap_or(arrive);
+                self.machine.trace.emit(|| {
+                    TraceEvent::instant(
+                        ready_at,
+                        c,
+                        NO_PE,
+                        EventKind::Task {
+                            task: t.0,
+                            stage: TaskStage::Created,
+                        },
+                    )
+                });
             }
             // Hand the body to the earliest-free worker PE of the cluster.
             let Some(pe) = self.machine.pick_worker(c) else {
                 continue; // dead cluster: work is lost
             };
-            let _ = self.machine.charge(ready_at, pe, CostClass::ContextSwitch, 1);
-            let _ = self.machine.charge(ready_at, pe, CostClass::IntOp, w.int_ops);
-            let _ = self.machine.charge(ready_at, pe, CostClass::MemWord, w.mem_words);
+            self.machine.trace.emit(|| {
+                TraceEvent::instant(
+                    ready_at,
+                    pe.cluster,
+                    pe.index,
+                    EventKind::Task {
+                        task: t.0,
+                        stage: TaskStage::Dispatched,
+                    },
+                )
+            });
+            let _ = self
+                .machine
+                .charge(ready_at, pe, CostClass::ContextSwitch, 1);
+            let _ = self
+                .machine
+                .charge(ready_at, pe, CostClass::IntOp, w.int_ops);
+            let _ = self
+                .machine
+                .charge(ready_at, pe, CostClass::MemWord, w.mem_words);
             let done = self
                 .machine
                 .charge(ready_at, pe, CostClass::Flop, w.flops)
                 .unwrap_or(ready_at);
+            self.machine.trace.emit(|| {
+                TraceEvent::instant(
+                    done,
+                    pe.cluster,
+                    pe.index,
+                    EventKind::Task {
+                        task: t.0,
+                        stage: TaskStage::Completed,
+                    },
+                )
+            });
             barrier = barrier.max(done);
         }
         self.now = barrier;
         barrier
     }
-
 }
 
 /// The numerical analyst's virtual machine.
@@ -168,7 +232,16 @@ impl NaVm {
     /// Begin a named measurement phase (simulated plane; no-op on native).
     pub fn phase(&mut self, name: &str) {
         if let Plane::Sim(s) = &mut self.plane {
-            s.machine.stats.phase(name);
+            let now = s.now;
+            s.machine.phase(name, now);
+        }
+    }
+
+    /// Attach a trace sink to the simulated machine (no-op on the native
+    /// plane). Tracing is observation-only: it never changes costs.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        if let Plane::Sim(s) = &mut self.plane {
+            s.machine.set_trace(trace);
         }
     }
 
@@ -206,8 +279,9 @@ impl NaVm {
                     continue;
                 }
                 let c = self.tasks.cluster_of(t);
+                let now = s.now;
                 s.machine
-                    .alloc(c, words)
+                    .alloc_at(now, c, words)
                     .map_err(|e| format!("array allocation failed: {e}"))?;
             }
         }
@@ -412,8 +486,12 @@ impl NaVm {
                     .unwrap_or(arrive);
                 let done = match s.machine.pick_worker(oc) {
                     Some(pe) => {
-                        let _ = s.machine.charge(dispatched, pe, CostClass::IntOp, profile.int_ops);
-                        let _ = s.machine.charge(dispatched, pe, CostClass::MemWord, profile.mem_words);
+                        let _ = s
+                            .machine
+                            .charge(dispatched, pe, CostClass::IntOp, profile.int_ops);
+                        let _ =
+                            s.machine
+                                .charge(dispatched, pe, CostClass::MemWord, profile.mem_words);
                         s.machine
                             .charge(dispatched, pe, CostClass::Flop, profile.flops)
                             .unwrap_or(dispatched)

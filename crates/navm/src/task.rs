@@ -60,7 +60,9 @@ impl TaskSet {
 
     /// Tasks hosted on `cluster`.
     pub fn tasks_on(&self, cluster: u32) -> Vec<TaskHandle> {
-        self.iter().filter(|&t| self.cluster_of(t) == cluster).collect()
+        self.iter()
+            .filter(|&t| self.cluster_of(t) == cluster)
+            .collect()
     }
 
     /// Split `items` items into per-task contiguous shares: task `t` owns
@@ -87,11 +89,13 @@ impl TaskSet {
         let big = (base + 1) * extra; // items covered by the larger shares
         let t = if i < big {
             i / (base + 1)
-        } else if base == 0 {
-            // More tasks than items: items only exist in the big shares.
-            unreachable!("i < big whenever base == 0 and i < items")
         } else {
-            extra + (i - big) / base
+            // With more tasks than items every item sits in a big share,
+            // so reaching this branch guarantees `base > 0`.
+            let small = (i - big)
+                .checked_div(base)
+                .expect("i < big whenever base == 0 and i < items");
+            extra + small
         };
         TaskHandle(t as u32)
     }

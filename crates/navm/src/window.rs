@@ -13,6 +13,7 @@ use crate::runtime::{ArrayId, NaVm, Plane};
 use crate::task::TaskHandle;
 use fem2_kernel::window_desc::WindowDescriptor;
 use fem2_machine::Words;
+use fem2_trace::{EventKind, TraceEvent, WindowStage, NO_PE};
 
 /// A window over a rectangular region of a distributed array.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -57,7 +58,10 @@ impl NaVm {
     pub fn window(&self, id: ArrayId, row0: u32, row1: u32, col0: u32, col1: u32) -> Window {
         let rows = self.rows(id);
         let cols = self.cols(id);
-        assert!((row1 as usize) <= rows && (col1 as usize) <= cols, "window out of bounds");
+        assert!(
+            (row1 as usize) <= rows && (col1 as usize) <= cols,
+            "window out of bounds"
+        );
         let owner = if (row0 as usize) < rows {
             self.tasks.owner_of(rows, row0 as usize)
         } else {
@@ -98,7 +102,8 @@ impl NaVm {
         };
         let ac = self.tasks.cluster_of(accessor);
         // Group the window's rows by owning cluster.
-        let mut per_cluster: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+        let mut per_cluster: std::collections::BTreeMap<u32, u64> =
+            std::collections::BTreeMap::new();
         for r in w.desc.row0..w.desc.row1 {
             let owner = self.tasks.owner_of(rows_total, r as usize);
             let c = self.tasks.cluster_of(owner);
@@ -108,13 +113,26 @@ impl NaVm {
         let mut barrier = start;
         for (c, words) in per_cluster {
             if c == ac {
-                // Local segment: a shared-memory pass.
-                s.machine.stats.mem_words(words);
+                // Local segment: a shared-memory pass (the charge records
+                // the mem_words; counting them again here would double-book).
                 let pe = s.machine.kernel_pe(ac);
                 let done = s
                     .machine
                     .charge(start, pe, fem2_machine::CostClass::MemWord, words)
                     .unwrap_or(start);
+                s.machine.trace.emit(|| {
+                    TraceEvent::span(
+                        start,
+                        done - start,
+                        ac,
+                        NO_PE,
+                        EventKind::Window {
+                            stage: WindowStage::Gather,
+                            peer_cluster: c,
+                            words,
+                        },
+                    )
+                });
                 barrier = barrier.max(done);
             } else if inbound {
                 // Remote read: request descriptor upstream, the owner
@@ -123,18 +141,70 @@ impl NaVm {
                 let req = s
                     .machine
                     .transmit(start, ac, c, WindowDescriptor::WIRE_WORDS);
+                s.machine.trace.emit(|| {
+                    TraceEvent::span(
+                        start,
+                        req - start,
+                        ac,
+                        NO_PE,
+                        EventKind::Window {
+                            stage: WindowStage::Request,
+                            peer_cluster: c,
+                            words: WindowDescriptor::WIRE_WORDS,
+                        },
+                    )
+                });
                 let owner_pe = s.machine.kernel_pe(c);
                 let gathered = s
                     .machine
                     .charge(req, owner_pe, fem2_machine::CostClass::MemWord, words)
                     .unwrap_or(req);
+                s.machine.trace.emit(|| {
+                    TraceEvent::span(
+                        req,
+                        gathered - req,
+                        c,
+                        NO_PE,
+                        EventKind::Window {
+                            stage: WindowStage::Gather,
+                            peer_cluster: ac,
+                            words,
+                        },
+                    )
+                });
                 let payload = words + WindowDescriptor::WIRE_WORDS;
                 let arrive = s.machine.transmit(gathered, c, ac, payload as Words);
+                s.machine.trace.emit(|| {
+                    TraceEvent::span(
+                        gathered,
+                        arrive - gathered,
+                        c,
+                        NO_PE,
+                        EventKind::Window {
+                            stage: WindowStage::Transit,
+                            peer_cluster: ac,
+                            words: payload,
+                        },
+                    )
+                });
                 let my_pe = s.machine.kernel_pe(ac);
                 let done = s
                     .machine
                     .charge(arrive, my_pe, fem2_machine::CostClass::MemWord, words)
                     .unwrap_or(arrive);
+                s.machine.trace.emit(|| {
+                    TraceEvent::span(
+                        arrive,
+                        done - arrive,
+                        ac,
+                        NO_PE,
+                        EventKind::Window {
+                            stage: WindowStage::Scatter,
+                            peer_cluster: c,
+                            words,
+                        },
+                    )
+                });
                 barrier = barrier.max(done);
             } else {
                 // Remote write: gather locally, ship descriptor + data, the
@@ -144,13 +214,52 @@ impl NaVm {
                     .machine
                     .charge(start, my_pe, fem2_machine::CostClass::MemWord, words)
                     .unwrap_or(start);
+                s.machine.trace.emit(|| {
+                    TraceEvent::span(
+                        start,
+                        gathered - start,
+                        ac,
+                        NO_PE,
+                        EventKind::Window {
+                            stage: WindowStage::Gather,
+                            peer_cluster: c,
+                            words,
+                        },
+                    )
+                });
                 let payload = words + WindowDescriptor::WIRE_WORDS;
                 let arrive = s.machine.transmit(gathered, ac, c, payload as Words);
+                s.machine.trace.emit(|| {
+                    TraceEvent::span(
+                        gathered,
+                        arrive - gathered,
+                        ac,
+                        NO_PE,
+                        EventKind::Window {
+                            stage: WindowStage::Transit,
+                            peer_cluster: c,
+                            words: payload,
+                        },
+                    )
+                });
                 let owner_pe = s.machine.kernel_pe(c);
                 let done = s
                     .machine
                     .charge(arrive, owner_pe, fem2_machine::CostClass::MemWord, words)
                     .unwrap_or(arrive);
+                s.machine.trace.emit(|| {
+                    TraceEvent::span(
+                        arrive,
+                        done - arrive,
+                        c,
+                        NO_PE,
+                        EventKind::Window {
+                            stage: WindowStage::Scatter,
+                            peer_cluster: ac,
+                            words,
+                        },
+                    )
+                });
                 barrier = barrier.max(done);
             }
         }
@@ -271,7 +380,11 @@ mod tests {
         let before = vm.machine().unwrap().network.messages;
         let _ = vm.read_window(TaskHandle(0), &w);
         let after = vm.machine().unwrap().network.messages;
-        assert_eq!(after - before, 6, "request + data for each of 3 remote clusters");
+        assert_eq!(
+            after - before,
+            6,
+            "request + data for each of 3 remote clusters"
+        );
     }
 
     #[test]

@@ -46,11 +46,6 @@ mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
-    fn default_grain_is_positive() {
-        assert!(DEFAULT_GRAIN > 0);
-    }
-
-    #[test]
     fn readme_style_smoke() {
         let pool = Pool::new(2);
         let hits = AtomicUsize::new(0);

@@ -476,7 +476,9 @@ mod tests {
     #[test]
     fn map_reduce_float_deterministic() {
         let p = Pool::new(8);
-        let vals: Vec<f64> = (0..4096).map(|i| ((i * 2654435761u64 as usize) % 1000) as f64 * 0.001).collect();
+        let vals: Vec<f64> = (0..4096)
+            .map(|i| ((i * 2654435761u64 as usize) % 1000) as f64 * 0.001)
+            .collect();
         let runs: Vec<f64> = (0..5)
             .map(|_| p.map_reduce_index(0..vals.len(), 100, |i| vals[i], |a, b| a + b, 0.0))
             .collect();
@@ -528,7 +530,9 @@ mod tests {
     #[test]
     fn parallel_matches_sequential_on_random_data() {
         let p = Pool::new(4);
-        let data: Vec<i64> = (0..10_000).map(|i| ((i * 31 + 7) % 1000) as i64 - 500).collect();
+        let data: Vec<i64> = (0..10_000)
+            .map(|i| ((i * 31 + 7) % 1000) as i64 - 500)
+            .collect();
         let seq: i64 = data.iter().map(|x| x * x).sum();
         let par = p.map_reduce_index(0..data.len(), 128, |i| data[i] * data[i], |a, b| a + b, 0);
         assert_eq!(seq, par);

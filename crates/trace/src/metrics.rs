@@ -1,0 +1,253 @@
+//! Counters and log2-bucketed histograms, aggregated per scenario phase.
+//!
+//! Metrics are updated for **every** event the sink sees, independent of
+//! the ring buffer's retention, so per-phase aggregates stay exact even
+//! when the ring wraps.
+
+use crate::event::{EventKind, TraceEvent, WindowStage};
+
+/// Number of log2 buckets: values up to 2^47 − 1 resolve exactly, larger
+/// ones land in the last bucket.
+pub const BUCKETS: usize = 48;
+
+/// A log2-bucketed histogram of `u64` samples.
+///
+/// Bucket `0` holds the value 0; bucket `b ≥ 1` holds `[2^(b−1), 2^b)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    /// Per-bucket sample counts.
+    pub buckets: [u64; BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        let b = if v == 0 {
+            0
+        } else {
+            ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
+        };
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Mean sample, or 0 with no samples.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Render as `lo..hi:count` pairs for non-empty buckets, e.g.
+    /// `0:3 1:10 2..3:4 8..15:1`.
+    pub fn summarize(&self) -> String {
+        if self.count == 0 {
+            return "-".to_string();
+        }
+        let mut parts = Vec::new();
+        for (b, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let label = match b {
+                0 => "0".to_string(),
+                1 => "1".to_string(),
+                b => format!("{}..{}", 1u64 << (b - 1), (1u64 << b) - 1),
+            };
+            parts.push(format!("{label}:{n}"));
+        }
+        parts.join(" ")
+    }
+}
+
+/// Aggregates for one scenario phase.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PhaseMetrics {
+    /// Events observed (all kinds).
+    pub events: u64,
+    /// PE busy cycles (sum of `PeBusy` durations).
+    pub busy_cycles: u64,
+    /// Kernel messages sent.
+    pub msgs_sent: u64,
+    /// Kernel messages received.
+    pub msgs_recv: u64,
+    /// Wire words of sent kernel messages.
+    pub msg_words: u64,
+    /// Heap/cluster-memory allocations.
+    pub allocs: u64,
+    /// Heap/cluster-memory frees.
+    pub frees: u64,
+    /// Network transfers (post-segmentation messages).
+    pub transfers: u64,
+    /// Network packets moved.
+    pub packets: u64,
+    /// Words moved per window-protocol stage (request/gather/transit/scatter).
+    pub window_words: [u64; 4],
+    /// Histogram of kernel message wire sizes, words.
+    pub msg_size: Histogram,
+    /// Histogram of DES queue depths at schedule/dispatch.
+    pub queue_depth: Histogram,
+    /// Histogram of task latencies (creation → completion), cycles.
+    pub task_latency: Histogram,
+}
+
+impl PhaseMetrics {
+    /// Fold one event in. `task_latency` is fed separately by the recorder
+    /// (it needs cross-event pairing).
+    pub fn observe(&mut self, ev: &TraceEvent) {
+        self.events += 1;
+        match ev.kind {
+            EventKind::DesSchedule { queue_depth } | EventKind::DesDispatch { queue_depth } => {
+                self.queue_depth.record(queue_depth as u64);
+            }
+            EventKind::PeBusy { .. } => {
+                self.busy_cycles += ev.dur;
+            }
+            EventKind::MsgSend { words, .. } => {
+                self.msgs_sent += 1;
+                self.msg_words += words;
+                self.msg_size.record(words);
+            }
+            EventKind::MsgRecv { .. } => {
+                self.msgs_recv += 1;
+            }
+            EventKind::Window { stage, words, .. } => {
+                self.window_words[stage.index()] += words;
+            }
+            EventKind::Alloc { .. } => {
+                self.allocs += 1;
+            }
+            EventKind::Free { .. } => {
+                self.frees += 1;
+            }
+            EventKind::LinkTransfer { packets, .. } => {
+                self.transfers += 1;
+                self.packets += packets as u64;
+            }
+            EventKind::Task { .. } | EventKind::AppCommand { .. } => {}
+        }
+    }
+
+    /// Total words across the four window stages.
+    pub fn window_total(&self) -> u64 {
+        self.window_words.iter().sum()
+    }
+}
+
+/// Per-phase metrics, in phase-first-seen order (parallel to the
+/// recorder's phase name table).
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    /// One entry per interned phase id.
+    pub phases: Vec<PhaseMetrics>,
+}
+
+impl Metrics {
+    /// The metrics slot for `phase`, growing the table as needed.
+    pub fn phase_mut(&mut self, phase: u16) -> &mut PhaseMetrics {
+        let idx = phase as usize;
+        if idx >= self.phases.len() {
+            self.phases.resize(idx + 1, PhaseMetrics::default());
+        }
+        &mut self.phases[idx]
+    }
+
+    /// Used by [`WindowStage`] display code: the four stage names in index
+    /// order.
+    pub fn stage_names() -> [&'static str; 4] {
+        [
+            WindowStage::Request.name(),
+            WindowStage::Gather.name(),
+            WindowStage::Transit.name(),
+            WindowStage::Scatter.name(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::CostKind;
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1 << 20] {
+            h.record(v);
+        }
+        assert_eq!(h.buckets[0], 1); // 0
+        assert_eq!(h.buckets[1], 1); // 1
+        assert_eq!(h.buckets[2], 2); // 2, 3
+        assert_eq!(h.buckets[3], 2); // 4, 7
+        assert_eq!(h.buckets[4], 1); // 8
+        assert_eq!(h.buckets[21], 1); // 2^20
+        assert_eq!(h.count, 8);
+        assert_eq!(h.max, 1 << 20);
+    }
+
+    #[test]
+    fn histogram_summary_labels_ranges() {
+        let mut h = Histogram::default();
+        h.record(0);
+        h.record(5);
+        h.record(6);
+        assert_eq!(h.summarize(), "0:1 4..7:2");
+    }
+
+    #[test]
+    fn observe_routes_event_families() {
+        let mut m = PhaseMetrics::default();
+        m.observe(&TraceEvent::span(
+            0,
+            40,
+            0,
+            1,
+            EventKind::PeBusy {
+                cost: CostKind::Flop,
+                count: 10,
+            },
+        ));
+        m.observe(&TraceEvent::instant(
+            5,
+            0,
+            0,
+            EventKind::MsgSend {
+                msg: crate::MsgKind::Resume,
+                to_cluster: 1,
+                words: 6,
+            },
+        ));
+        m.observe(&TraceEvent::instant(
+            9,
+            1,
+            0,
+            EventKind::Window {
+                stage: WindowStage::Transit,
+                peer_cluster: 0,
+                words: 32,
+            },
+        ));
+        assert_eq!(m.events, 3);
+        assert_eq!(m.busy_cycles, 40);
+        assert_eq!(m.msgs_sent, 1);
+        assert_eq!(m.msg_size.count, 1);
+        assert_eq!(m.window_words[WindowStage::Transit.index()], 32);
+    }
+}

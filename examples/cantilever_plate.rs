@@ -30,10 +30,19 @@ fn main() {
         ("skyline (direct)", SolverChoice::Skyline),
         ("cg", SolverChoice::Cg { tol: 1e-8 }),
         ("jacobi-pcg", SolverChoice::PreconditionedCg { tol: 1e-8 }),
-        ("sor (w=1.6)", SolverChoice::Sor { omega: 1.6, tol: 1e-8 }),
+        (
+            "sor (w=1.6)",
+            SolverChoice::Sor {
+                omega: 1.6,
+                tol: 1e-8,
+            },
+        ),
         (
             "parallel cg (4 thr)",
-            SolverChoice::ParallelCg { threads: 4, tol: 1e-8 },
+            SolverChoice::ParallelCg {
+                threads: 4,
+                tol: 1e-8,
+            },
         ),
     ];
     let tip = model.mesh.nearest_node(40.0, 12.0);
@@ -56,7 +65,9 @@ fn main() {
     // section only demonstrates that the parallel solver is correct and its
     // overhead bounded; the *simulated* FEM-2 plane (see the design_space
     // example and the E2 bench) is where the scaling curves come from.
-    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let big = cantilever_plate(160, 48, -50e3);
     println!(
         "\nparallel CG wall-clock vs threads ({} dofs, {host} host core(s)):",

@@ -45,8 +45,8 @@ fn main() {
         "LOADSET pull",
         "LOAD NODE 10 5000 0",
         "SOLVE WITH CG",
-        "LOAD NODE 99 0 0",       // error: node doesn't exist
-        "SOLVE WITH GAUSS",       // error: unknown solver
+        "LOAD NODE 99 0 0", // error: node doesn't exist
+        "SOLVE WITH GAUSS", // error: unknown solver
         "STORE",
         "LIST",
         "RETRIEVE bridge_deck",

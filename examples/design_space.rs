@@ -23,7 +23,10 @@ fn main() {
         "== design iteration: {0} user problems ({1}x{1}) + one {2}x{2} machine-wide problem, budget {3} ==\n",
         req.users, req.small_n, req.large_n, req.budget
     );
-    println!("evaluating {} candidate organizations...\n", space.candidates.len());
+    println!(
+        "evaluating {} candidate organizations...\n",
+        space.candidates.len()
+    );
     let trace = space.iterate();
     println!("{}", trace.table());
 
@@ -45,7 +48,10 @@ fn main() {
         if s.is_finite() {
             println!("  after candidate {:>2}: {:.3e} cycles", i + 1, s);
         } else {
-            println!("  after candidate {:>2}: (no feasible candidate yet)", i + 1);
+            println!(
+                "  after candidate {:>2}: (no feasible candidate yet)",
+                i + 1
+            );
         }
     }
 }

@@ -56,10 +56,7 @@ fn main() {
     let t_one = per_problem.run().elapsed;
     // Simulate the four clusters running one problem each (independent
     // event timelines → the machine-level makespan is their max).
-    let t_four_parallel = (0..4)
-        .map(|_| per_problem.run().elapsed)
-        .max()
-        .unwrap();
+    let t_four_parallel = (0..4).map(|_| per_problem.run().elapsed).max().unwrap();
     println!("4 problems on 4 clusters (1 each): {t_four_parallel} cycles (max over clusters)");
     println!(
         "throughput gain: {:.2}x with {} total PEs vs {}",

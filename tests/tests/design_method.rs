@@ -31,7 +31,11 @@ fn the_method_reaches_the_papers_conclusion() {
     let trace = space.iterate();
     let best = trace.best();
     assert!(best.feasible);
-    assert!(best.config.clusters > 1, "clustered: {}", best.config.describe());
+    assert!(
+        best.config.clusters > 1,
+        "clustered: {}",
+        best.config.describe()
+    );
     assert!(
         best.config.pes_per_cluster > 1,
         "not a flat array: {}",
@@ -95,6 +99,10 @@ fn requirement_tables_scale_sanely_on_the_winner() {
     assert!(report_large.total_memory_words > report_small.total_memory_words);
     assert!(report_large.elapsed > report_small.elapsed);
     // And the per-phase structure is assembly -> solve -> stress.
-    let names: Vec<&str> = report_large.phases.iter().map(|(n, _)| n.as_str()).collect();
+    let names: Vec<&str> = report_large
+        .phases
+        .iter()
+        .map(|(n, _)| n.as_str())
+        .collect();
     assert_eq!(names, ["assembly", "solve", "stress"]);
 }

@@ -37,8 +37,10 @@ fn database_persists_models_across_sessions_on_disk() {
     {
         let db = Database::on_disk(&dir).unwrap();
         let mut s = Session::new(db);
-        s.run_script("DEFINE MODEL persisted\nGENERATE GRID 4 4\nMATERIAL ALUMINUM\nFIX EDGE LEFT\nSTORE")
-            .unwrap();
+        s.run_script(
+            "DEFINE MODEL persisted\nGENERATE GRID 4 4\nMATERIAL ALUMINUM\nFIX EDGE LEFT\nSTORE",
+        )
+        .unwrap();
     }
     {
         // A fresh process-equivalent: new database over the same directory.
@@ -83,5 +85,9 @@ fn stresses_scale_linearly_with_load() {
     };
     let s1 = run(-1e3);
     let s2 = run(-2e3);
-    assert!((s2 / s1 - 2.0).abs() < 1e-9, "linear elasticity: {}", s2 / s1);
+    assert!(
+        (s2 / s1 - 2.0).abs() < 1e-9,
+        "linear elasticity: {}",
+        s2 / s1
+    );
 }

@@ -119,19 +119,41 @@ fn workload_survives_cascading_faults() {
     let code = k.register_code(CodeBlock::new(
         "work",
         32,
-        WorkProfile { flops: 10_000, int_ops: 500, mem_words: 100 },
+        WorkProfile {
+            flops: 10_000,
+            int_ops: 500,
+            mem_words: 100,
+        },
         16,
     ));
     k.initiate(0, 0, code, 40, None, 0);
     k.initiate(0, 1, code, 40, None, 0);
     // Kill half of each cluster's PEs, including cluster 0's kernel PE.
     let plan = FaultPlan::new(vec![
-        fem2_machine::fault::FaultEvent { at: 10_000, pe: PeId::new(0, 0) },
-        fem2_machine::fault::FaultEvent { at: 20_000, pe: PeId::new(0, 2) },
-        fem2_machine::fault::FaultEvent { at: 30_000, pe: PeId::new(0, 4) },
-        fem2_machine::fault::FaultEvent { at: 40_000, pe: PeId::new(1, 1) },
-        fem2_machine::fault::FaultEvent { at: 50_000, pe: PeId::new(1, 3) },
-        fem2_machine::fault::FaultEvent { at: 60_000, pe: PeId::new(1, 5) },
+        fem2_machine::fault::FaultEvent {
+            at: 10_000,
+            pe: PeId::new(0, 0),
+        },
+        fem2_machine::fault::FaultEvent {
+            at: 20_000,
+            pe: PeId::new(0, 2),
+        },
+        fem2_machine::fault::FaultEvent {
+            at: 30_000,
+            pe: PeId::new(0, 4),
+        },
+        fem2_machine::fault::FaultEvent {
+            at: 40_000,
+            pe: PeId::new(1, 1),
+        },
+        fem2_machine::fault::FaultEvent {
+            at: 50_000,
+            pe: PeId::new(1, 3),
+        },
+        fem2_machine::fault::FaultEvent {
+            at: 60_000,
+            pe: PeId::new(1, 5),
+        },
     ]);
     k.inject_faults(&plan);
     k.run();
@@ -171,7 +193,12 @@ fn all_seven_message_kinds_flow_in_one_run() {
     k.run();
     // Force-terminate a fresh task to exercise TerminateNotify receipt.
     k.initiate(k.now(), 0, code, 1, None, 0);
-    k.send(k.now() + 100, 0, 0, KernelMessage::TerminateNotify { task: TaskId(2) });
+    k.send(
+        k.now() + 100,
+        0,
+        0,
+        KernelMessage::TerminateNotify { task: TaskId(2) },
+    );
     k.run();
     let counts = k.msg_counts();
     for kind in MessageKind::ALL {

@@ -1,0 +1,148 @@
+#![allow(clippy::all)]
+//! Vendored minimal stand-in for the `criterion` crate.
+//!
+//! Implements the subset the fem2-bench benches use: `Criterion`,
+//! `benchmark_group` / `sample_size` / `bench_function` / `finish`,
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!` macros.
+//! Statistics are intentionally simple — a few timed samples and a mean —
+//! because the benches' primary job here is regenerating experiment tables;
+//! wall-clock numbers are indicative only. When run by `cargo test`
+//! (`--test` flag), benches exit immediately so the tier-1 suite stays fast.
+
+use std::time::Instant;
+
+/// Top-level handle, mirroring criterion's entry point.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        eprintln!("benchmark group: {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Set how many timed samples to take per benchmark (capped at 10 in
+    /// this stand-in to bound total run time).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.min(10);
+        self
+    }
+
+    /// Run one benchmark and report its mean sample time.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            elapsed_ns: 0,
+            iters: 0,
+        };
+        // One warm-up, then the timed samples.
+        f(&mut b);
+        b.elapsed_ns = 0;
+        b.iters = 0;
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        let mean = if b.iters > 0 {
+            b.elapsed_ns / b.iters
+        } else {
+            0
+        };
+        eprintln!(
+            "  {}/{}: mean {} ns/iter ({} iters)",
+            self.name, id, mean, b.iters
+        );
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; times calls to [`Bencher::iter`].
+pub struct Bencher {
+    elapsed_ns: u128,
+    iters: u128,
+}
+
+impl Bencher {
+    /// Time one execution of `f` (criterion runs many; this stand-in runs
+    /// one per sample).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.elapsed_ns += start.elapsed().as_nanos();
+        self.iters += 1;
+        std::hint::black_box(out);
+    }
+}
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` executes harness-less bench targets with
+            // `--test`; skip the actual timing loops there.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        let mut runs = 0;
+        g.bench_function("count", |b| b.iter(|| runs += 1));
+        g.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+}

@@ -1,0 +1,121 @@
+#![allow(clippy::all)]
+//! Vendored minimal stand-in for the `crossbeam` crate.
+//!
+//! Provides only `deque::{Injector, Steal}` — the FIFO work-injection queue
+//! the `fem2-par` pool uses. Backed by a mutexed `VecDeque` rather than the
+//! lock-free original; correctness and API shape are what matter for the
+//! offline build, not peak queue throughput (jobs here are coarse-grained).
+
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Outcome of a steal attempt, mirroring crossbeam's enum.
+    #[derive(Debug)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// A task was stolen.
+        Success(T),
+        /// The attempt lost a race and should be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// Whether this is `Steal::Success`.
+        pub fn is_success(&self) -> bool {
+            matches!(self, Steal::Success(_))
+        }
+
+        /// Extract the task if the steal succeeded.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+    }
+
+    /// A FIFO queue that any thread can push into and steal from.
+    pub struct Injector<T> {
+        q: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Create an empty queue.
+        pub fn new() -> Self {
+            Injector {
+                q: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Push a task onto the back of the queue.
+        pub fn push(&self, task: T) {
+            self.q
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(task);
+        }
+
+        /// Steal a task from the front of the queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.q.lock().unwrap_or_else(|e| e.into_inner()).pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.q.lock().unwrap_or_else(|e| e.into_inner()).is_empty()
+        }
+
+        /// Number of tasks currently queued.
+        pub fn len(&self) -> usize {
+            self.q.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Injector::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Injector, Steal};
+
+    #[test]
+    fn fifo_order() {
+        let q = Injector::new();
+        q.push(1);
+        q.push(2);
+        assert!(matches!(q.steal(), Steal::Success(1)));
+        assert!(matches!(q.steal(), Steal::Success(2)));
+        assert!(matches!(q.steal(), Steal::Empty));
+    }
+
+    #[test]
+    fn concurrent_producers_consume_all() {
+        let q = std::sync::Arc::new(Injector::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let q = q.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    q.push(t * 100 + i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut n = 0;
+        while let Steal::Success(_) = q.steal() {
+            n += 1;
+        }
+        assert_eq!(n, 400);
+    }
+}

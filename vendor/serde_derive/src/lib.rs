@@ -1,0 +1,285 @@
+#![allow(clippy::all)]
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! shapes this workspace actually uses: structs with named fields, and
+//! enums whose variants are unit or struct-like (externally tagged, as in
+//! real serde's default representation). Written against raw
+//! `proc_macro::TokenTree` — no `syn`/`quote`, since the build is offline.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed derive input.
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    /// Named fields.
+    Struct(Vec<String>),
+    /// Variants: name + `None` for unit, `Some(fields)` for struct-like.
+    Enum(Vec<(String, Option<Vec<String>>)>),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+/// Skip attributes (`#[...]`, including doc comments) and visibility.
+fn skip_attrs_and_vis(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                // The bracketed attribute body.
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                // Optional `(crate)` / `(super)` restriction.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse `name: Type, ...` named fields, returning the field names.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected field name, found `{other}`")),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        // Consume the type: everything until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        loop {
+            match iter.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    iter.next();
+                    break;
+                }
+                _ => {}
+            }
+            iter.next();
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Parse enum variants.
+fn parse_variants(body: TokenStream) -> Result<Vec<(String, Option<Vec<String>>)>, String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected variant name, found `{other}`")),
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body = g.stream();
+                iter.next();
+                Some(parse_named_fields(body)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "tuple variant `{name}` is not supported by the vendored serde derive"
+                ));
+            }
+            _ => None,
+        };
+        // Consume a trailing comma (and skip any discriminant — not used).
+        while let Some(tt) = iter.peek() {
+            let stop = matches!(tt, TokenTree::Punct(p) if p.as_char() == ',');
+            iter.next();
+            if stop {
+                break;
+            }
+        }
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let keyword = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found `{other:?}`")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found `{other:?}`")),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "generic item `{name}` is not supported by the vendored serde derive"
+            ));
+        }
+    }
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => {
+            return Err(format!(
+                "item `{name}` must have a braced body (tuple/unit structs unsupported)"
+            ))
+        }
+    };
+    let kind = match keyword.as_str() {
+        "struct" => ItemKind::Struct(parse_named_fields(body)?),
+        "enum" => ItemKind::Enum(parse_variants(body)?),
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+    Ok(Item { name, kind })
+}
+
+/// `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "__obj.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::json::Value)> \
+                 = ::std::vec::Vec::new();\n{pushes}::serde::json::Value::Obj(__obj)"
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    None => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::json::Value::Str({v:?}.to_string()),\n"
+                    )),
+                    Some(fields) => {
+                        let pat = fields.join(", ");
+                        let mut pushes = String::new();
+                        for f in fields {
+                            pushes.push_str(&format!(
+                                "__fields.push(({f:?}.to_string(), \
+                                 ::serde::Serialize::to_value({f})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {pat} }} => {{\n\
+                             let mut __fields: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::json::Value)> = ::std::vec::Vec::new();\n\
+                             {pushes}\
+                             ::serde::json::Value::Obj(vec![({v:?}.to_string(), \
+                             ::serde::json::Value::Obj(__fields))])\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::json::Value {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(__v.get_field({f:?})?)?,\n"
+                ));
+            }
+            format!("::std::result::Result::Ok({name} {{\n{inits}}})")
+        }
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut struct_arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    None => unit_arms.push_str(&format!(
+                        "{v:?} => ::std::result::Result::Ok({name}::{v}),\n"
+                    )),
+                    Some(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 __inner.get_field({f:?})?)?,\n"
+                            ));
+                        }
+                        struct_arms.push_str(&format!(
+                            "{v:?} => ::std::result::Result::Ok({name}::{v} {{\n{inits}}}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::json::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::msg(\
+                 format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }},\n\
+                 ::serde::json::Value::Obj(__pairs) if __pairs.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__pairs[0];\n\
+                 match __tag.as_str() {{\n\
+                 {struct_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::msg(\
+                 format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(::serde::Error::msg(\
+                 \"expected a variant name or single-key object for {name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::json::Value) \
+         -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .unwrap()
+}
