@@ -9,12 +9,13 @@ use fem2_core::fem::partition::Partition;
 use fem2_core::fem::solver::{self, IterControls};
 use fem2_core::fem::substructure::analyze_substructures;
 use fem2_core::fem::{Material, Mesh};
-use fem2_core::kernel::{CodeBlock, Heap, KernelSim, WorkProfile};
+use fem2_core::kernel::{CodeBlock, Heap, KernelMessage, KernelSim, TaskId, WorkProfile};
 use fem2_core::machine::fault::FaultPlan;
 use fem2_core::machine::{Machine, MachineConfig, Network, PeId, Topology};
 use fem2_core::navm::{NaVm, TaskHandle};
 use fem2_core::scenario::{plate_cg, PlateScenario, ScenarioReport};
 use fem2_core::DesignSpace;
+use fem2_trace::DegradationReport;
 use std::fmt::Write as _;
 
 /// A deterministic pseudo-random stream (xorshift), so "irregular" traffic
@@ -411,102 +412,139 @@ pub fn e6_levels() -> String {
 }
 
 // ---------------------------------------------------------------------
-// E7 — fault isolation and reconfiguration
+// E7 — fault isolation, reliable delivery, and degradation
 // ---------------------------------------------------------------------
 
-/// One fault-experiment row.
-pub struct FaultRow {
-    /// PEs failed during the run.
-    pub faults: usize,
-    /// Resulting makespan.
-    pub makespan: u64,
-    /// Tasks completed (should always be all of them).
-    pub completed: usize,
+/// The E7 workload: a 4x4 crossbar machine running 48 local tasks plus
+/// three cross-cluster RPCs, so the reliable layer carries real traffic.
+fn e7_run(plan: &FaultPlan) -> (KernelSim, u64) {
+    let machine = Machine::new(MachineConfig::clustered(4, 4, Topology::Crossbar));
+    let mut sim = KernelSim::new(machine);
+    let code = sim.register_code(CodeBlock::new(
+        "work",
+        32,
+        WorkProfile {
+            flops: 5000,
+            int_ops: 100,
+            mem_words: 200,
+        },
+        16,
+    ));
+    for c in 0..4 {
+        sim.initiate(0, c, code, 12, None, 0);
+    }
+    // Staggered RPCs from cluster 0 keep acked traffic in flight across the
+    // sweep's fault times.
+    for (i, c) in [1u32, 2, 3].into_iter().enumerate() {
+        sim.send(
+            5_000 * (i as u64 + 1),
+            0,
+            c,
+            KernelMessage::RemoteCall {
+                call_id: i as u64,
+                code,
+                args_words: 8,
+                caller: TaskId(0),
+                reply_cluster: 0,
+            },
+        );
+    }
+    sim.inject_faults(plan);
+    let makespan = sim.run();
+    (sim, makespan)
 }
 
-/// E7: makespan of a task batch as PEs fail mid-run.
-pub fn e7_fault() -> (String, Vec<FaultRow>) {
+/// The E7 fault mixes. Link ids on the 4-cluster crossbar are
+/// `from * 4 + to`; every dead link leaves a two-hop detour.
+fn e7_mixes() -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        ("healthy", FaultPlan::none()),
+        (
+            "pe",
+            FaultPlan::none()
+                .kill_pe(30_000, PeId::new(1, 1))
+                .transient_pe(40_000, 120_000, PeId::new(2, 1))
+                .kill_pe(60_000, PeId::new(3, 2)),
+        ),
+        (
+            "link",
+            FaultPlan::none()
+                .kill_link(20_000, 1) // 0 -> 1 dies; detour via 2 or 3
+                .degrade_link(25_000, 2, 4), // 0 -> 2 runs 4x slower
+        ),
+        (
+            "mem",
+            // Lose all but 128 words of cluster 1's memory mid-run: live
+            // activation records are invalidated and their tasks re-queued.
+            FaultPlan::none().fail_memory(35_000, 1, (4 << 20) - 128),
+        ),
+        (
+            "combined",
+            FaultPlan::none()
+                .kill_link(20_000, 1)
+                .degrade_link(25_000, 2, 4)
+                .kill_pe(30_000, PeId::new(1, 1))
+                .fail_memory(35_000, 3, (4 << 20) - 128)
+                .transient_pe(40_000, 120_000, PeId::new(2, 1)),
+        ),
+    ]
+}
+
+/// E7: degradation under fault mixes — PE (incl. transient), link (dead and
+/// degraded), memory-bank, and combined — with the reliable-delivery layer
+/// keeping every task alive.
+pub fn e7_fault() -> (String, Vec<DegradationReport>) {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "E7 — reconfiguration under PE faults (2x4 machine, 64-task batch)"
+        "E7 — degradation under fault mixes (4x4 crossbar, 48 tasks + 3 RPCs)"
     );
+    let (_, healthy_makespan) = e7_run(&FaultPlan::none());
+    let mut rows = Vec::new();
+    for (label, plan) in e7_mixes() {
+        let (sim, makespan) = e7_run(&plan);
+        rows.push(DegradationReport {
+            label: label.to_string(),
+            makespan,
+            healthy_makespan,
+            tasks: sim.task_count() as u64,
+            completed: sim.completions().len() as u64,
+            retransmits: sim.stats.retransmits,
+            dead_letters: sim.stats.drops.dead_letter,
+            rerouted_packets: sim.machine.network.rerouted_packets,
+            reconfigurations: sim.machine.reconfigurations,
+        });
+    }
+    out.push_str(&DegradationReport::render(&rows));
+
+    // Numerical integrity: the same CG solve on the NA-VM plane, with links
+    // dying and a PE blinking out mid-solve, must reproduce the healthy
+    // run's solution bit for bit (faults perturb time, never values).
+    let cg = |plan: Option<&FaultPlan>| {
+        let mut vm = NaVm::simulated(MachineConfig::fem2_default(), 8);
+        if let Some(p) = plan {
+            vm.inject_faults(p);
+        }
+        let (iters, res, x) = plate_cg(&mut vm, 16, 16, 1e-8, 400);
+        (iters, res, vm.snapshot(x), vm.retransmits(), vm.elapsed())
+    };
+    let (hi, hres, hx, _, ht) = cg(None);
+    let plan = FaultPlan::none()
+        .kill_link(2_000, 1)
+        .degrade_link(3_000, 2, 4)
+        .transient_pe(5_000, 50_000, PeId::new(3, 1));
+    let (fi, fres, fx, fretrans, ft) = cg(Some(&plan));
+    let bitwise = hx
+        .iter()
+        .zip(fx.iter())
+        .all(|(a, b)| a.to_bits() == b.to_bits());
     let _ = writeln!(
         out,
-        "{:>8} {:>12} {:>11} {:>9} {:>14}",
-        "faults", "makespan", "vs healthy", "done", "reconfigs"
+        "\nnavm CG 16x16 under link+PE faults: iters {fi} (healthy {hi}), \
+         residual bitwise-equal {}, solution bitwise-equal {bitwise}, \
+         retransmits {fretrans}, cycles {ft} vs healthy {ht}",
+        hres.to_bits() == fres.to_bits(),
     );
-    let mut rows = Vec::new();
-    let mut healthy = 0u64;
-    for faults in [0usize, 1, 2, 4] {
-        let machine = Machine::new(MachineConfig::clustered(2, 4, Topology::Crossbar));
-        let mut sim = KernelSim::new(machine);
-        let code = sim.register_code(CodeBlock::new(
-            "work",
-            32,
-            WorkProfile {
-                flops: 5000,
-                int_ops: 100,
-                mem_words: 200,
-            },
-            16,
-        ));
-        sim.initiate(0, 0, code, 32, None, 0);
-        sim.initiate(0, 1, code, 32, None, 0);
-        // Fail PEs staggered mid-run (never the last PE of a cluster).
-        let plan = match faults {
-            0 => FaultPlan::none(),
-            1 => FaultPlan::at(30_000, [PeId::new(0, 1)]),
-            2 => FaultPlan::new(vec![
-                fem2_core::machine::fault::FaultEvent {
-                    at: 30_000,
-                    pe: PeId::new(0, 1),
-                },
-                fem2_core::machine::fault::FaultEvent {
-                    at: 60_000,
-                    pe: PeId::new(1, 1),
-                },
-            ]),
-            _ => FaultPlan::new(vec![
-                fem2_core::machine::fault::FaultEvent {
-                    at: 30_000,
-                    pe: PeId::new(0, 1),
-                },
-                fem2_core::machine::fault::FaultEvent {
-                    at: 45_000,
-                    pe: PeId::new(0, 2),
-                },
-                fem2_core::machine::fault::FaultEvent {
-                    at: 60_000,
-                    pe: PeId::new(1, 1),
-                },
-                fem2_core::machine::fault::FaultEvent {
-                    at: 75_000,
-                    pe: PeId::new(1, 2),
-                },
-            ]),
-        };
-        sim.inject_faults(&plan);
-        let makespan = sim.run();
-        if faults == 0 {
-            healthy = makespan;
-        }
-        let row = FaultRow {
-            faults,
-            makespan,
-            completed: sim.completions().len(),
-        };
-        let _ = writeln!(
-            out,
-            "{:>8} {:>12} {:>11.2} {:>9} {:>14}",
-            faults,
-            makespan,
-            makespan as f64 / healthy as f64,
-            row.completed,
-            sim.machine.reconfigurations
-        );
-        rows.push(row);
-    }
     (out, rows)
 }
 
@@ -877,12 +915,23 @@ mod tests {
     }
 
     #[test]
-    fn e7_all_tasks_survive_faults() {
-        let (_, rows) = e7_fault();
+    fn e7_all_tasks_survive_every_fault_mix() {
+        let (table, rows) = e7_fault();
+        assert_eq!(rows.len(), 5);
         for r in &rows {
-            assert_eq!(r.completed, 64, "{} faults", r.faults);
+            assert_eq!(r.completed, r.tasks, "mix {}", r.label);
+            assert!(r.dead_letters == 0, "mix {} dead-lettered", r.label);
         }
-        assert!(rows[3].makespan >= rows[0].makespan);
+        let by = |l: &str| rows.iter().find(|r| r.label == l).unwrap();
+        assert!(by("link").retransmits > 0 || by("link").rerouted_packets > 0);
+        assert!(by("combined").reconfigurations >= 4);
+        assert!(by("combined").makespan >= by("healthy").makespan);
+        assert!(table.contains("solution bitwise-equal true"));
+    }
+
+    #[test]
+    fn e7_report_is_byte_stable() {
+        assert_eq!(e7_fault().0, e7_fault().0);
     }
 
     #[test]

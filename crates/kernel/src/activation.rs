@@ -76,6 +76,10 @@ pub struct ActivationRecord {
     /// so completion events from a pre-fault assignment can be recognized
     /// as stale.
     pub epoch: u32,
+    /// Whether the task's locals allocation is live in cluster memory.
+    /// Cleared when a memory-bank fault invalidates the allocation; the
+    /// dispatcher re-allocates before the task runs again.
+    pub locals_held: bool,
 }
 
 impl ActivationRecord {
@@ -98,6 +102,7 @@ impl ActivationRecord {
             created_at,
             completed_at: None,
             epoch: 0,
+            locals_held: true,
         }
     }
 

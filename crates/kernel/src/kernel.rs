@@ -19,11 +19,26 @@
 //!   [`KernelConfig::auto_load_code`] is set (the default), otherwise an
 //!   explicit [`KernelMessage::LoadCode`] is required and initiating an
 //!   unloaded block drops the request.
+//!
+//! **Reliable delivery.** Remote kernel messages ride a reliable sub-layer:
+//! each gets a sequence number, the receiver acknowledges on arrival (a
+//! wire-level ack, before decode), and the sender arms a retransmission
+//! timeout derived from the network's contention-free latency estimate.
+//! A message whose route loses a link mid-flight is dropped at arrival
+//! time; the timeout fires, and the sender retransmits (over the current —
+//! possibly rerouted — path) with exponential backoff, up to
+//! [`KernelConfig::max_retransmits`] attempts. Receivers deduplicate by
+//! sequence number, so a retried delivery is acknowledged but not
+//! re-processed. A message that exhausts its budget is dead-lettered: the
+//! drop is counted, traced, and — for a `RemoteCall` — the calling task is
+//! re-queued so the work re-runs instead of hanging. Local (intra-cluster)
+//! messages bypass the sub-layer entirely; with no faults injected the
+//! reliable layer adds no retransmissions and healthy timing is unchanged.
 
 use crate::activation::{ActivationRecord, TaskId, TaskState};
 use crate::codeblock::{CodeBlock, CodeId, CodeStore};
 use crate::message::{KernelMessage, MessageKind};
-use fem2_machine::fault::FaultPlan;
+use fem2_machine::fault::{FaultKind, FaultPlan};
 use fem2_machine::{CostClass, Cycles, EventQueue, Machine, PeId, Words};
 use fem2_trace::{EventKind, TaskStage, TraceEvent, TraceHandle, NO_PE};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -38,6 +53,13 @@ pub struct KernelConfig {
     /// Cycles the cluster spends reconfiguring after a PE fault before its
     /// re-queued work is redispatched.
     pub reconfig_cycles: Cycles,
+    /// Retransmission attempts before a remote message is dead-lettered.
+    pub max_retransmits: u32,
+    /// Wire size of a reliable-delivery acknowledgement, in words.
+    pub ack_words: Words,
+    /// Slack added to the round-trip estimate when arming a retransmission
+    /// timeout (absorbs queueing the estimate cannot see).
+    pub rto_slack: Cycles,
 }
 
 impl Default for KernelConfig {
@@ -46,20 +68,70 @@ impl Default for KernelConfig {
             auto_load_code: true,
             notify_words: 2,
             reconfig_cycles: 500,
+            max_retransmits: 4,
+            ack_words: 2,
+            rto_slack: 500,
         }
     }
+}
+
+/// Requests dropped, by cause.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DropCounts {
+    /// Initiate/call for a code block not loaded at the cluster (with
+    /// auto-load off, or whose load failed).
+    pub unloaded_code: u64,
+    /// Activation-record or code-image allocation failed.
+    pub oom: u64,
+    /// Pause/resume of a task not in the required state.
+    pub bad_state: u64,
+    /// Work lost because a cluster's last PE died.
+    pub dead_pe: u64,
+    /// Remote messages that exhausted their retransmit budget.
+    pub dead_letter: u64,
+}
+
+impl DropCounts {
+    /// Total drops across all causes.
+    pub fn total(&self) -> u64 {
+        self.unloaded_code + self.oom + self.bad_state + self.dead_pe + self.dead_letter
+    }
+}
+
+/// Kernel-level reliability and drop accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Requests dropped, by cause.
+    pub drops: DropCounts,
+    /// Task completions discarded because a pause/kill/fault superseded
+    /// their assignment epoch.
+    pub stale_completions: u64,
+    /// Reliable-layer retransmissions.
+    pub retransmits: u64,
+    /// Acknowledgements sent by receivers.
+    pub acks: u64,
+    /// Packets (messages or acks) lost to a link that died in flight.
+    pub lost_in_flight: u64,
 }
 
 /// Kernel events on the discrete-event queue.
 #[derive(Clone, Debug)]
 enum KEvent {
     /// A message arrives in `to`'s input queue (`from` is the sender, kept
-    /// for receive-side tracing).
+    /// for receive-side tracing). `seq` is 0 for local (unreliable)
+    /// delivery; `links` records the route taken so a link death mid-flight
+    /// can be recognized at arrival time.
     Arrive {
         from: u32,
         to: u32,
         msg: KernelMessage,
+        seq: u64,
+        links: Vec<usize>,
     },
+    /// A reliable-delivery acknowledgement arrives back at the sender.
+    AckArrive { seq: u64, links: Vec<usize> },
+    /// A reliable message's retransmission timeout fires.
+    Timeout { seq: u64 },
     /// Cluster `cluster`'s kernel PE finished decoding the message at the
     /// head of the input queue.
     Decoded { cluster: u32 },
@@ -67,8 +139,23 @@ enum KEvent {
     TaskComplete { task: TaskId, pe: PeId, epoch: u32 },
     /// Try to hand ready tasks to available PEs.
     Dispatch { cluster: u32 },
-    /// A planned hardware fault fires.
+    /// A planned PE fault fires.
     Fault { pe: PeId },
+    /// A transiently failed PE recovers.
+    Recover { pe: PeId },
+    /// A link dies (`degrade` 0) or degrades (factor ≥ 1).
+    LinkFault { link: usize, degrade: u32 },
+    /// A memory bank of `words` capacity fails in `cluster`.
+    MemFault { cluster: u32, words: Words },
+}
+
+/// A remote message awaiting acknowledgement.
+#[derive(Clone, Debug)]
+struct PendingMsg {
+    from: u32,
+    to: u32,
+    msg: KernelMessage,
+    attempts: u32,
 }
 
 /// Per-cluster kernel state.
@@ -105,8 +192,15 @@ pub struct KernelSim {
     rpc_tasks: BTreeMap<TaskId, (u64, u32)>,
     /// Messages processed, by kind.
     msg_counts: BTreeMap<MessageKind, u64>,
-    /// Requests dropped (unloaded code, OOM, bad state).
-    pub dropped: u64,
+    /// Next reliable-delivery sequence number (0 is reserved for local
+    /// unreliable sends).
+    next_seq: u64,
+    /// Remote messages sent but not yet acknowledged.
+    pending: BTreeMap<u64, PendingMsg>,
+    /// Sequence numbers already delivered (receiver-side dedup).
+    delivered: BTreeSet<u64>,
+    /// Reliability and drop accounting.
+    pub stats: KernelStats,
 }
 
 impl KernelSim {
@@ -128,7 +222,10 @@ impl KernelSim {
             rpc_returns: BTreeMap::new(),
             rpc_tasks: BTreeMap::new(),
             msg_counts: BTreeMap::new(),
-            dropped: 0,
+            next_seq: 1,
+            pending: BTreeMap::new(),
+            delivered: BTreeSet::new(),
+            stats: KernelStats::default(),
         }
     }
 
@@ -156,8 +253,50 @@ impl KernelSim {
 
     /// Send a kernel message from cluster `from` to cluster `to` at time
     /// `at`. The sender's kernel PE is charged the format-and-send cost and
-    /// the network carries the wire size.
+    /// the network carries the wire size. Remote messages ride the reliable
+    /// sub-layer (sequence number, ack, timeout, retransmit); local ones
+    /// are delivered directly.
     pub fn send(&mut self, at: Cycles, from: u32, to: u32, msg: KernelMessage) {
+        if from == to {
+            self.transmit_message(at, from, to, msg, 0, 0);
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.insert(
+            seq,
+            PendingMsg {
+                from,
+                to,
+                msg: msg.clone(),
+                attempts: 0,
+            },
+        );
+        self.transmit_message(at, from, to, msg, seq, 0);
+    }
+
+    /// Round-trip-based retransmission timeout for one attempt.
+    fn rto(&self, from: u32, to: u32, wire: Words) -> Cycles {
+        let fwd = self.machine.network.estimate(from, to, wire);
+        let back = self
+            .machine
+            .network
+            .estimate(to, from, self.config.ack_words);
+        (fwd + back) * 2 + self.config.rto_slack
+    }
+
+    /// One transmission attempt (`attempt` 0 is the original send; the
+    /// timeout backs off exponentially with the attempt number). `seq` 0
+    /// marks local unreliable delivery: no ack, no timeout.
+    fn transmit_message(
+        &mut self,
+        at: Cycles,
+        from: u32,
+        to: u32,
+        msg: KernelMessage,
+        seq: u64,
+        attempt: u32,
+    ) {
         let kpe = self.machine.kernel_pe(from);
         let send_done = self
             .machine
@@ -165,23 +304,71 @@ impl KernelSim {
             .unwrap_or(at);
         let code = &self.code;
         let wire = msg.wire_words(|c| code.get(c).words);
-        let arrival = self.machine.transmit(send_done, from, to, wire);
-        let kind = msg.kind().trace_kind();
-        self.machine.trace.emit(|| {
-            TraceEvent::span(
-                at,
-                arrival - at,
-                from,
-                NO_PE,
-                EventKind::MsgSend {
-                    msg: kind,
-                    to_cluster: to,
-                    words: wire,
+        if seq == 0 {
+            let arrival = self.machine.transmit(send_done, from, to, wire);
+            let kind = msg.kind().trace_kind();
+            self.machine.trace.emit(|| {
+                TraceEvent::span(
+                    at,
+                    arrival - at,
+                    from,
+                    NO_PE,
+                    EventKind::MsgSend {
+                        msg: kind,
+                        to_cluster: to,
+                        words: wire,
+                    },
+                )
+            });
+            self.queue.schedule(
+                arrival,
+                KEvent::Arrive {
+                    from,
+                    to,
+                    msg,
+                    seq: 0,
+                    links: Vec::new(),
                 },
-            )
-        });
+            );
+            return;
+        }
+        let rto = self.rto(from, to, wire);
+        let links = self.machine.network.route_links(from, to);
+        match self.machine.try_transmit(send_done, from, to, wire) {
+            Ok(arrival) => {
+                let kind = msg.kind().trace_kind();
+                self.machine.trace.emit(|| {
+                    TraceEvent::span(
+                        at,
+                        arrival - at,
+                        from,
+                        NO_PE,
+                        EventKind::MsgSend {
+                            msg: kind,
+                            to_cluster: to,
+                            words: wire,
+                        },
+                    )
+                });
+                self.queue.schedule(
+                    arrival,
+                    KEvent::Arrive {
+                        from,
+                        to,
+                        msg,
+                        seq,
+                        links: links.unwrap_or_default(),
+                    },
+                );
+            }
+            Err(_) => {
+                // No live route right now; the timeout below retries (a
+                // detour may appear) or eventually dead-letters.
+                self.stats.lost_in_flight += 1;
+            }
+        }
         self.queue
-            .schedule(arrival, KEvent::Arrive { from, to, msg });
+            .schedule(send_done + (rto << attempt), KEvent::Timeout { seq });
     }
 
     /// Convenience: initiate `k` replications of `code` on `cluster`,
@@ -209,12 +396,32 @@ impl KernelSim {
         );
     }
 
-    /// Schedule a fault plan: each planned PE failure becomes an event.
+    /// Schedule a fault plan: each planned PE, link, or memory fault becomes
+    /// an event (and a transient PE fault also schedules its recovery).
     pub fn inject_faults(&mut self, plan: &FaultPlan) {
         let mut p = plan.clone();
-        let all = p.due(u64::MAX);
-        for f in all {
-            self.queue.schedule(f.at, KEvent::Fault { pe: f.pe });
+        for f in p.due(u64::MAX) {
+            match f.kind {
+                FaultKind::Pe { pe, recover_at } => {
+                    self.queue.schedule(f.at, KEvent::Fault { pe });
+                    if let Some(back) = recover_at {
+                        self.queue.schedule(back, KEvent::Recover { pe });
+                    }
+                }
+                FaultKind::Link { link, degrade } => {
+                    self.queue.schedule(
+                        f.at,
+                        KEvent::LinkFault {
+                            link,
+                            degrade: degrade.unwrap_or(0),
+                        },
+                    );
+                }
+                FaultKind::Memory { cluster, words } => {
+                    self.queue
+                        .schedule(f.at, KEvent::MemFault { cluster, words });
+                }
+            }
         }
     }
 
@@ -265,11 +472,63 @@ impl KernelSim {
     // Event handling
     // ------------------------------------------------------------------
 
+    /// Whether a packet that traveled `links` was lost to a link that died
+    /// while it was in flight.
+    fn route_lost(&self, links: &[usize]) -> bool {
+        links.iter().any(|&l| self.machine.network.link_is_dead(l))
+    }
+
     fn handle(&mut self, now: Cycles, ev: KEvent) {
         match ev {
-            KEvent::Arrive { from, to, msg } => {
+            KEvent::Arrive {
+                from,
+                to,
+                msg,
+                seq,
+                links,
+            } => {
+                if seq != 0 {
+                    if self.route_lost(&links) {
+                        self.stats.lost_in_flight += 1;
+                        return; // sender's timeout recovers
+                    }
+                    // Wire-level ack, sent on arrival before decode. It rides
+                    // the raw network (no kernel message accounting) so
+                    // healthy-path stats are untouched.
+                    let ack_route = self.machine.network.route_links(to, from);
+                    match self
+                        .machine
+                        .network
+                        .try_transmit(now, to, from, self.config.ack_words)
+                    {
+                        Some(t) => {
+                            self.stats.acks += 1;
+                            self.queue.schedule(
+                                t,
+                                KEvent::AckArrive {
+                                    seq,
+                                    links: ack_route.unwrap_or_default(),
+                                },
+                            );
+                        }
+                        None => self.stats.lost_in_flight += 1,
+                    }
+                    if !self.delivered.insert(seq) {
+                        return; // duplicate delivery of a retried message
+                    }
+                }
                 self.clusters[to as usize].input.push_back((from, msg));
                 self.pump(now, to);
+            }
+            KEvent::AckArrive { seq, links } => {
+                if self.route_lost(&links) {
+                    self.stats.lost_in_flight += 1;
+                    return; // sender retransmits; receiver dedups
+                }
+                self.pending.remove(&seq);
+            }
+            KEvent::Timeout { seq } => {
+                self.timeout(now, seq);
             }
             KEvent::Decoded { cluster } => {
                 let (from, msg) = self.clusters[cluster as usize]
@@ -306,6 +565,144 @@ impl KernelSim {
             KEvent::Fault { pe } => {
                 self.fault(now, pe);
             }
+            KEvent::Recover { pe } => {
+                let _ = self.machine.recover_pe(now, pe);
+                self.queue.schedule(
+                    now,
+                    KEvent::Dispatch {
+                        cluster: pe.cluster,
+                    },
+                );
+            }
+            KEvent::LinkFault { link, degrade } => {
+                if degrade == 0 {
+                    self.machine.fail_link(now, link);
+                } else {
+                    self.machine.degrade_link(now, link, degrade);
+                }
+            }
+            KEvent::MemFault { cluster, words } => {
+                self.mem_fault(now, cluster, words);
+            }
+        }
+    }
+
+    /// A reliable message's retransmission timeout fired: retransmit with
+    /// backoff, or dead-letter it once the budget is spent.
+    fn timeout(&mut self, now: Cycles, seq: u64) {
+        let Some(p) = self.pending.get(&seq) else {
+            return; // acknowledged; stale timer
+        };
+        let (from, to) = (p.from, p.to);
+        if p.attempts >= self.config.max_retransmits {
+            let p = self.pending.remove(&seq).unwrap();
+            self.stats.drops.dead_letter += 1;
+            let kind = p.msg.kind().trace_kind();
+            self.machine.trace.emit(|| {
+                TraceEvent::instant(
+                    now,
+                    from,
+                    NO_PE,
+                    EventKind::DeadLetter {
+                        msg: kind,
+                        to_cluster: to,
+                    },
+                )
+            });
+            // Re-queue the originating task so the work re-runs instead of
+            // hanging on a reply that will never come.
+            if let KernelMessage::RemoteCall { caller, .. } = p.msg {
+                self.requeue_task(now, caller);
+            }
+            return;
+        }
+        let attempt = p.attempts + 1;
+        let msg = p.msg.clone();
+        self.pending.get_mut(&seq).unwrap().attempts = attempt;
+        self.stats.retransmits += 1;
+        let kind = msg.kind().trace_kind();
+        self.machine.trace.emit(|| {
+            TraceEvent::instant(
+                now,
+                from,
+                NO_PE,
+                EventKind::Retransmit {
+                    msg: kind,
+                    to_cluster: to,
+                    attempt,
+                },
+            )
+        });
+        self.transmit_message(now, from, to, msg, seq, attempt);
+    }
+
+    /// Send a live task back to its cluster's ready queue (dead-letter and
+    /// memory-fault paths). The epoch bump invalidates any in-flight
+    /// completion.
+    fn requeue_task(&mut self, now: Cycles, task: TaskId) {
+        let Some(rec) = self.tasks.get_mut(task.0 as usize) else {
+            return;
+        };
+        match rec.state {
+            TaskState::Running | TaskState::Paused => {
+                rec.epoch += 1;
+                rec.transition(TaskState::Ready);
+                let c = rec.cluster;
+                self.running.retain(|_, t| *t != task);
+                self.clusters[c as usize].ready.push_back(task);
+                self.queue.schedule(
+                    now + self.config.reconfig_cycles,
+                    KEvent::Dispatch { cluster: c },
+                );
+            }
+            TaskState::Ready | TaskState::Done => {}
+        }
+    }
+
+    /// A memory bank failed: shrink the arena, then invalidate victim
+    /// allocations — running tasks first (in PE order), then queued and
+    /// paused holders — until the surviving arena fits what remains. Victims
+    /// lose their locals (`locals_held` cleared) and re-queue; the
+    /// dispatcher re-allocates before they run again.
+    fn mem_fault(&mut self, now: Cycles, cluster: u32, words: Words) {
+        let lost = self.machine.fail_memory_bank(now, cluster, words);
+        if lost == 0 {
+            return;
+        }
+        let mut victims: Vec<TaskId> = Vec::new();
+        for (_, &t) in self.running.iter() {
+            let rec = &self.tasks[t.0 as usize];
+            if rec.cluster == cluster && rec.locals_held && rec.locals_words > 0 {
+                victims.push(t);
+            }
+        }
+        for rec in &self.tasks {
+            if rec.cluster == cluster
+                && rec.locals_held
+                && rec.locals_words > 0
+                && matches!(rec.state, TaskState::Ready | TaskState::Paused)
+            {
+                victims.push(rec.id);
+            }
+        }
+        // Shed holders until the survivors fit the shrunken arena, plus
+        // enough headroom to re-home the largest invalidated task — without
+        // it, every runnable task can end up waiting on memory that only a
+        // runnable task could free.
+        let mut realloc_need: Words = 0;
+        for t in victims {
+            let mem = self.machine.memory(cluster);
+            if mem.used() <= mem.capacity() && mem.available() >= realloc_need {
+                break;
+            }
+            let locals = {
+                let rec = &mut self.tasks[t.0 as usize];
+                rec.locals_held = false;
+                rec.locals_words
+            };
+            realloc_need = realloc_need.max(locals);
+            self.machine.free_at(now, cluster, locals);
+            self.requeue_task(now, t);
         }
     }
 
@@ -354,7 +751,7 @@ impl KernelSim {
                 args_words,
             } => {
                 if !self.ensure_loaded(now, cluster, code) {
-                    self.dropped += 1;
+                    self.stats.drops.unloaded_code += 1;
                     return;
                 }
                 let kpe = self.machine.kernel_pe(cluster);
@@ -362,7 +759,7 @@ impl KernelSim {
                 let mut created_any = false;
                 for _ in 0..replications {
                     if self.machine.alloc_at(now, cluster, locals).is_err() {
-                        self.dropped += 1;
+                        self.stats.drops.oom += 1;
                         continue;
                     }
                     let create_done = self
@@ -413,7 +810,7 @@ impl KernelSim {
                     let parent = rec.parent;
                     self.notify_parent(now, cluster, task, parent);
                 } else {
-                    self.dropped += 1;
+                    self.stats.drops.bad_state += 1;
                 }
             }
             KernelMessage::Resume { task } => {
@@ -424,7 +821,7 @@ impl KernelSim {
                     self.clusters[c as usize].ready.push_back(task);
                     self.queue.schedule(now, KEvent::Dispatch { cluster: c });
                 } else {
-                    self.dropped += 1;
+                    self.stats.drops.bad_state += 1;
                 }
             }
             KernelMessage::TerminateNotify { task } => {
@@ -444,11 +841,15 @@ impl KernelSim {
                         let c = rec.cluster;
                         let locals = rec.locals_words;
                         let parent = rec.parent;
+                        let held = rec.locals_held;
+                        rec.locals_held = false;
                         if state == TaskState::Ready {
                             self.clusters[c as usize].ready.retain(|t| *t != task);
                         }
                         self.running.retain(|_, t| *t != task);
-                        self.machine.free_at(now, c, locals);
+                        if held {
+                            self.machine.free_at(now, c, locals);
+                        }
                         self.completions.push((task, now));
                         self.notify_parent(now, cluster, task, parent);
                     }
@@ -462,12 +863,12 @@ impl KernelSim {
                 reply_cluster,
             } => {
                 if !self.ensure_loaded(now, cluster, code) {
-                    self.dropped += 1;
+                    self.stats.drops.unloaded_code += 1;
                     return;
                 }
                 let locals = self.code.get(code).locals_words + args_words;
                 if self.machine.alloc_at(now, cluster, locals).is_err() {
-                    self.dropped += 1;
+                    self.stats.drops.oom += 1;
                     return;
                 }
                 let kpe = self.machine.kernel_pe(cluster);
@@ -502,7 +903,7 @@ impl KernelSim {
             }
             KernelMessage::LoadCode { code } => {
                 if !self.load_code(now, cluster, code) {
-                    self.dropped += 1;
+                    self.stats.drops.oom += 1;
                 }
             }
         }
@@ -555,6 +956,21 @@ impl KernelSim {
                 return;
             };
             let task = self.clusters[cluster as usize].ready.pop_front().unwrap();
+            let (needs_alloc, locals) = {
+                let rec = &self.tasks[task.0 as usize];
+                (!rec.locals_held, rec.locals_words)
+            };
+            if needs_alloc {
+                // A memory-bank fault invalidated this task's locals;
+                // re-home them before it runs again. If the shrunken arena
+                // has no room yet, leave the task queued — the next
+                // completion frees space and re-triggers dispatch.
+                if self.machine.alloc_at(now, cluster, locals).is_err() {
+                    self.clusters[cluster as usize].ready.push_front(task);
+                    return;
+                }
+                self.tasks[task.0 as usize].locals_held = true;
+            }
             let rec = &mut self.tasks[task.0 as usize];
             rec.transition(TaskState::Running);
             rec.epoch += 1;
@@ -589,15 +1005,40 @@ impl KernelSim {
     fn task_complete(&mut self, now: Cycles, task: TaskId, pe: PeId, epoch: u32) {
         let rec = &mut self.tasks[task.0 as usize];
         if rec.epoch != epoch || rec.state != TaskState::Running {
-            return; // stale completion (pause, kill, or fault intervened)
+            // Stale completion: a pause, kill, or fault superseded this
+            // assignment. Count and trace it instead of vanishing silently.
+            self.stats.stale_completions += 1;
+            self.machine.trace.emit(|| {
+                TraceEvent::instant(
+                    now,
+                    pe.cluster,
+                    pe.index,
+                    EventKind::Task {
+                        task: task.0 as u32,
+                        stage: TaskStage::Stale,
+                    },
+                )
+            });
+            // The PE's charge has drained; it can take re-queued work now.
+            self.queue.schedule(
+                now,
+                KEvent::Dispatch {
+                    cluster: pe.cluster,
+                },
+            );
+            return;
         }
         rec.transition(TaskState::Done);
         rec.completed_at = Some(now);
         let cluster = rec.cluster;
         let locals = rec.locals_words;
         let parent = rec.parent;
+        let held = rec.locals_held;
+        rec.locals_held = false;
         self.running.remove(&pe);
-        self.machine.free_at(now, cluster, locals);
+        if held {
+            self.machine.free_at(now, cluster, locals);
+        }
         self.machine.trace.emit(|| {
             TraceEvent::instant(
                 now,
@@ -630,7 +1071,7 @@ impl KernelSim {
             Ok(()) => {}
             Err(_) => {
                 // Cluster dead: any running/ready work there is lost; drop it.
-                self.dropped += 1;
+                self.stats.drops.dead_pe += 1;
             }
         }
         if let Some(task) = self.running.remove(&pe) {
@@ -763,7 +1204,8 @@ mod tests {
         k.initiate(0, 0, code, 1, None, 0);
         k.run();
         assert_eq!(k.completions().len(), 0);
-        assert_eq!(k.dropped, 1);
+        assert_eq!(k.stats.drops.unloaded_code, 1);
+        assert_eq!(k.stats.drops.total(), 1);
         // Explicit load then initiate works (staggered so the load's larger
         // wire size does not reorder it behind the initiate).
         k.send(k.now(), 0, 0, KernelMessage::LoadCode { code });
@@ -829,7 +1271,7 @@ mod tests {
             KernelMessage::PauseNotify { task: TaskId(0) },
         );
         k.run();
-        assert_eq!(k.dropped, 1);
+        assert_eq!(k.stats.drops.bad_state, 1);
         assert_eq!(k.task(TaskId(0)).state, TaskState::Done);
     }
 
@@ -900,7 +1342,7 @@ mod tests {
         ));
         k.initiate(0, 0, code, 1, None, 0);
         k.run();
-        assert_eq!(k.dropped, 1);
+        assert_eq!(k.stats.drops.oom, 1);
         assert_eq!(k.completions().len(), 0);
     }
 

@@ -41,6 +41,6 @@ pub mod window_desc;
 pub use activation::{ActivationRecord, TaskId, TaskState};
 pub use codeblock::{CodeBlock, CodeId, CodeStore, WorkProfile};
 pub use heap::{Block, Heap, HeapError};
-pub use kernel::{KernelConfig, KernelSim};
+pub use kernel::{DropCounts, KernelConfig, KernelSim, KernelStats};
 pub use message::{KernelMessage, MessageKind};
 pub use window_desc::{WindowDescriptor, WindowKind};

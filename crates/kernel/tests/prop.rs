@@ -96,7 +96,7 @@ proptest! {
         prop_assert_eq!(done_h as u32, reps);
         let events: Vec<FaultEvent> = kill_idx
             .iter()
-            .map(|&i| FaultEvent { at: kill_at, pe: PeId::new(0, i) })
+            .map(|&i| FaultEvent::kill_pe(kill_at, PeId::new(0, i)))
             .collect();
         let (faulted, done_f, all_f) = build(&FaultPlan::new(events));
         prop_assert!(all_f, "all tasks complete despite faults");

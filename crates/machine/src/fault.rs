@@ -1,24 +1,74 @@
 //! Fault injection and the reconfiguration plan.
 //!
 //! The requirements list includes "provide reconfigurability to isolate
-//! faulty hardware components". The model here: PEs fail at planned times; a
-//! failed PE is isolated (never again assigned work), and if it was the
-//! cluster's kernel PE, the lowest-indexed surviving PE is promoted. The
-//! [`FaultPlan`] carries the schedule; the [`crate::Machine`] applies it.
+//! faulty hardware components". The fault plane models three hardware
+//! failure surfaces:
+//!
+//! * **PEs** — permanent kills, or transient faults with a `recover_at`
+//!   time after which the PE rejoins the free pool (a recovered PE never
+//!   reclaims kernel duty it was promoted away from);
+//! * **links** — dead links force a deterministic reroute where the
+//!   topology allows one, degraded links multiply occupancy;
+//! * **memory banks** — a failed bank shrinks the cluster heap arena and
+//!   invalidates in-flight allocations that no longer fit.
+//!
+//! The [`FaultPlan`] carries the schedule; the [`crate::Machine`] and the
+//! kernel simulation apply it.
 
 use crate::pe::PeId;
-use crate::Cycles;
+use crate::{Cycles, Words};
 
-/// A scheduled PE failure.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub struct FaultEvent {
-    /// When the PE fails.
-    pub at: Cycles,
-    /// Which PE fails.
-    pub pe: PeId,
+/// What fails.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum FaultKind {
+    /// A PE fails; with `recover_at` it is transient and rejoins the free
+    /// pool at that time.
+    Pe {
+        /// Which PE fails.
+        pe: PeId,
+        /// Recovery time for a transient fault; `None` is permanent.
+        recover_at: Option<Cycles>,
+    },
+    /// A network link fails; `degrade` of `None` kills it outright, while
+    /// `Some(f)` multiplies its occupancy by `f` (a slow, flaky link).
+    Link {
+        /// Link id in the topology's link-id scheme.
+        link: usize,
+        /// Slowdown factor (≥ 2 to matter); `None` means dead.
+        degrade: Option<u32>,
+    },
+    /// A cluster-memory bank of `words` capacity fails.
+    Memory {
+        /// Which cluster's memory.
+        cluster: u32,
+        /// Capacity removed from the arena, words.
+        words: Words,
+    },
 }
 
-/// A time-ordered plan of PE failures to inject during a run.
+/// A scheduled hardware failure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FaultEvent {
+    /// When the fault strikes.
+    pub at: Cycles,
+    /// What fails.
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// A permanent PE kill (the original fault model).
+    pub fn kill_pe(at: Cycles, pe: PeId) -> Self {
+        FaultEvent {
+            at,
+            kind: FaultKind::Pe {
+                pe,
+                recover_at: None,
+            },
+        }
+    }
+}
+
+/// A time-ordered plan of hardware failures to inject during a run.
 #[derive(Clone, Debug, Default)]
 pub struct FaultPlan {
     events: Vec<FaultEvent>,
@@ -31,15 +81,75 @@ impl FaultPlan {
         Self::default()
     }
 
-    /// A plan failing each listed PE at the given time.
+    /// A plan from explicit events, sorted by (time, kind) for determinism.
     pub fn new(mut events: Vec<FaultEvent>) -> Self {
-        events.sort_by_key(|e| (e.at, e.pe));
+        events.sort_by_key(|e| (e.at, e.kind));
         FaultPlan { events, cursor: 0 }
     }
 
-    /// Convenience: fail `pes` at time `at`.
+    /// Convenience: permanently kill `pes` at time `at`.
     pub fn at(at: Cycles, pes: impl IntoIterator<Item = PeId>) -> Self {
-        Self::new(pes.into_iter().map(|pe| FaultEvent { at, pe }).collect())
+        Self::new(
+            pes.into_iter()
+                .map(|pe| FaultEvent::kill_pe(at, pe))
+                .collect(),
+        )
+    }
+
+    fn push(mut self, ev: FaultEvent) -> Self {
+        debug_assert_eq!(self.cursor, 0, "extend plans before running them");
+        self.events.push(ev);
+        self.events.sort_by_key(|e| (e.at, e.kind));
+        self
+    }
+
+    /// Add a permanent PE kill.
+    pub fn kill_pe(self, at: Cycles, pe: PeId) -> Self {
+        self.push(FaultEvent::kill_pe(at, pe))
+    }
+
+    /// Add a transient PE fault: fails at `at`, rejoins the free pool at
+    /// `recover_at`.
+    pub fn transient_pe(self, at: Cycles, recover_at: Cycles, pe: PeId) -> Self {
+        debug_assert!(recover_at > at, "recovery must follow the fault");
+        self.push(FaultEvent {
+            at,
+            kind: FaultKind::Pe {
+                pe,
+                recover_at: Some(recover_at),
+            },
+        })
+    }
+
+    /// Add a dead-link fault.
+    pub fn kill_link(self, at: Cycles, link: usize) -> Self {
+        self.push(FaultEvent {
+            at,
+            kind: FaultKind::Link {
+                link,
+                degrade: None,
+            },
+        })
+    }
+
+    /// Add a degraded-link fault: occupancy multiplied by `factor`.
+    pub fn degrade_link(self, at: Cycles, link: usize, factor: u32) -> Self {
+        debug_assert!(factor >= 1);
+        self.push(FaultEvent {
+            at,
+            kind: FaultKind::Link {
+                link,
+                degrade: Some(factor),
+            },
+        })
+    }
+
+    /// Add a memory-bank fault removing `words` from `cluster`'s arena.
+    pub fn fail_memory(self, at: Cycles, cluster: u32, words: Words) -> Self {
+        self.push(FaultEvent {
+            at,
+            kind: FaultKind::Memory { cluster, words },
+        })
     }
 
     /// Total planned failures.
@@ -53,13 +163,14 @@ impl FaultPlan {
     }
 
     /// Failures that have become due by time `now` and have not yet been
-    /// returned. Call repeatedly as the clock advances.
-    pub fn due(&mut self, now: Cycles) -> Vec<FaultEvent> {
+    /// returned. Call repeatedly as the clock advances; returns a borrowed
+    /// slice (empty in the common nothing-due case) without allocating.
+    pub fn due(&mut self, now: Cycles) -> &[FaultEvent] {
         let start = self.cursor;
         while self.cursor < self.events.len() && self.events[self.cursor].at <= now {
             self.cursor += 1;
         }
-        self.events[start..self.cursor].to_vec()
+        &self.events[start..self.cursor]
     }
 
     /// The time of the next pending failure, if any.
@@ -83,25 +194,25 @@ mod tests {
     #[test]
     fn events_sort_by_time() {
         let mut p = FaultPlan::new(vec![
-            FaultEvent {
-                at: 50,
-                pe: PeId::new(0, 1),
-            },
-            FaultEvent {
-                at: 10,
-                pe: PeId::new(1, 0),
-            },
+            FaultEvent::kill_pe(50, PeId::new(0, 1)),
+            FaultEvent::kill_pe(10, PeId::new(1, 0)),
         ]);
         assert_eq!(p.len(), 2);
         assert_eq!(p.next_at(), Some(10));
         let due = p.due(10);
         assert_eq!(due.len(), 1);
-        assert_eq!(due[0].pe, PeId::new(1, 0));
+        assert_eq!(
+            due[0].kind,
+            FaultKind::Pe {
+                pe: PeId::new(1, 0),
+                recover_at: None
+            }
+        );
         assert_eq!(p.next_at(), Some(50));
     }
 
     #[test]
-    fn due_is_incremental() {
+    fn due_is_incremental_and_allocation_free_fast_path() {
         let mut p = FaultPlan::at(100, [PeId::new(0, 0), PeId::new(0, 1)]);
         assert!(p.due(99).is_empty());
         assert_eq!(p.due(100).len(), 2);
@@ -111,11 +222,46 @@ mod tests {
     #[test]
     fn at_builder_sets_common_time() {
         let p = FaultPlan::at(7, [PeId::new(2, 3)]);
+        assert_eq!(p.events[0], FaultEvent::kill_pe(7, PeId::new(2, 3)));
+    }
+
+    #[test]
+    fn chained_builders_cover_all_kinds_and_stay_sorted() {
+        let mut p = FaultPlan::none()
+            .kill_link(300, 2)
+            .transient_pe(100, 900, PeId::new(0, 1))
+            .degrade_link(200, 0, 4)
+            .fail_memory(50, 1, 1024)
+            .kill_pe(400, PeId::new(1, 2));
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.next_at(), Some(50));
+        let due: Vec<FaultEvent> = p.due(u64::MAX).to_vec();
         assert_eq!(
-            p.events[0],
-            FaultEvent {
-                at: 7,
-                pe: PeId::new(2, 3)
+            due[0].kind,
+            FaultKind::Memory {
+                cluster: 1,
+                words: 1024
+            }
+        );
+        assert_eq!(
+            due[1].kind,
+            FaultKind::Pe {
+                pe: PeId::new(0, 1),
+                recover_at: Some(900)
+            }
+        );
+        assert_eq!(
+            due[2].kind,
+            FaultKind::Link {
+                link: 0,
+                degrade: Some(4)
+            }
+        );
+        assert_eq!(
+            due[3].kind,
+            FaultKind::Link {
+                link: 2,
+                degrade: None
             }
         );
     }

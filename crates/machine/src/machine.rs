@@ -7,7 +7,7 @@ use crate::network::Network;
 use crate::pe::{CostClass, Pe, PeId};
 use crate::stats::Stats;
 use crate::{Cycles, Words};
-use fem2_trace::{EventKind, TraceEvent, TraceHandle, NO_PE};
+use fem2_trace::{EventKind, TraceEvent, TraceHandle, NO_CLUSTER, NO_PE};
 use std::fmt;
 
 /// The trace-vocabulary equivalent of a [`CostClass`].
@@ -35,6 +35,13 @@ pub enum MachineError {
     PeFailed(PeId),
     /// Every PE in the cluster has failed; the cluster is dead.
     ClusterDead(u32),
+    /// Dead links leave no live route between the two clusters.
+    ClusterUnreachable {
+        /// Source cluster.
+        from: u32,
+        /// Destination cluster.
+        to: u32,
+    },
 }
 
 impl fmt::Display for MachineError {
@@ -44,6 +51,9 @@ impl fmt::Display for MachineError {
             MachineError::NoSuchPe(pe) => write!(f, "no such PE {pe}"),
             MachineError::PeFailed(pe) => write!(f, "PE {pe} is isolated"),
             MachineError::ClusterDead(c) => write!(f, "cluster {c} has no surviving PEs"),
+            MachineError::ClusterUnreachable { from, to } => {
+                write!(f, "no live route from cluster {from} to cluster {to}")
+            }
         }
     }
 }
@@ -251,9 +261,29 @@ impl Machine {
     }
 
     /// Transmit a message and record it in stats. Returns arrival time.
+    ///
+    /// # Panics
+    /// Panics if dead links leave no route; reliability-aware callers use
+    /// [`Machine::try_transmit`].
     pub fn transmit(&mut self, now: Cycles, from: u32, to: u32, words: Words) -> Cycles {
+        self.try_transmit(now, from, to, words)
+            .expect("no live route between clusters")
+    }
+
+    /// Fallible [`Machine::transmit`]: charges nothing and returns
+    /// [`MachineError::ClusterUnreachable`] when no live route exists.
+    pub fn try_transmit(
+        &mut self,
+        now: Cycles,
+        from: u32,
+        to: u32,
+        words: Words,
+    ) -> Result<Cycles, MachineError> {
         let packets_before = self.network.packets;
-        let t = self.network.transmit(now, from, to, words);
+        let t = self
+            .network
+            .try_transmit(now, from, to, words)
+            .ok_or(MachineError::ClusterUnreachable { from, to })?;
         if from != to {
             self.stats.message(words);
             let packets = (self.network.packets - packets_before) as u32;
@@ -271,7 +301,7 @@ impl Machine {
                 )
             });
         }
-        t
+        Ok(t)
     }
 
     /// Peak memory usage across clusters, in words.
@@ -311,6 +341,74 @@ impl Machine {
             self.kernel_pe[c as usize] = successor.index;
         }
         Ok(())
+    }
+
+    /// A transiently failed PE recovers at time `at`: it rejoins the free
+    /// pool but does **not** reclaim kernel duty it was promoted away from
+    /// (unless the cluster has no live kernel PE, i.e. it was dead).
+    pub fn recover_pe(&mut self, at: Cycles, pe: PeId) -> Result<(), MachineError> {
+        let idx = self.flat(pe)?;
+        if !self.pes[idx].failed {
+            return Ok(()); // never failed, or already recovered
+        }
+        self.pes[idx].failed = false;
+        self.pes[idx].free_at = self.pes[idx].free_at.max(at);
+        self.reconfigurations += 1;
+        let c = pe.cluster as usize;
+        let kp = PeId::new(pe.cluster, self.kernel_pe[c]);
+        if self.pes[self.flat(kp)?].failed {
+            self.kernel_pe[c] = pe.index;
+        }
+        self.trace
+            .emit(|| TraceEvent::instant(at, pe.cluster, pe.index, EventKind::PeRecover));
+        Ok(())
+    }
+
+    /// Kill a network link at time `at`.
+    pub fn fail_link(&mut self, at: Cycles, link: usize) {
+        self.network.fail_link(link);
+        self.reconfigurations += 1;
+        self.trace.emit(|| {
+            TraceEvent::instant(
+                at,
+                NO_CLUSTER,
+                NO_PE,
+                EventKind::LinkFault {
+                    link: link as u32,
+                    degrade: 0,
+                },
+            )
+        });
+    }
+
+    /// Degrade a network link at time `at`: occupancy multiplied by
+    /// `factor`.
+    pub fn degrade_link(&mut self, at: Cycles, link: usize, factor: u32) {
+        self.network.degrade_link(link, factor);
+        self.reconfigurations += 1;
+        self.trace.emit(|| {
+            TraceEvent::instant(
+                at,
+                NO_CLUSTER,
+                NO_PE,
+                EventKind::LinkFault {
+                    link: link as u32,
+                    degrade: factor.max(1),
+                },
+            )
+        });
+    }
+
+    /// A memory bank of `words` capacity fails in cluster `c` at time `at`.
+    /// Returns the words of live allocations that no longer fit; the caller
+    /// (the kernel) must invalidate victims to bring usage back within
+    /// capacity.
+    pub fn fail_memory_bank(&mut self, at: Cycles, c: u32, words: Words) -> Words {
+        let lost = self.memories[c as usize].fail_bank(words);
+        self.reconfigurations += 1;
+        self.trace
+            .emit(|| TraceEvent::instant(at, c, NO_PE, EventKind::MemFault { words, lost }));
+        lost
     }
 
     /// Aggregate busy cycles over all PEs (for machine utilization).
@@ -483,6 +581,59 @@ mod tests {
         let u = m.utilization(200);
         assert!((u - 0.5 / 8.0).abs() < 1e-12, "u = {u}");
         assert_eq!(m.utilization(0), 0.0);
+    }
+
+    #[test]
+    fn recovered_pe_rejoins_but_does_not_reclaim_kernel_duty() {
+        let mut m = machine();
+        m.fail_pe(PeId::new(0, 0)).unwrap();
+        assert_eq!(m.kernel_pe(0), PeId::new(0, 1));
+        m.recover_pe(5_000, PeId::new(0, 0)).unwrap();
+        // Back in the worker pool, not back on kernel duty.
+        assert_eq!(m.kernel_pe(0), PeId::new(0, 1));
+        assert!(m.worker_pes(0).contains(&PeId::new(0, 0)));
+        assert!(m.pe(PeId::new(0, 0)).unwrap().free_at >= 5_000);
+        assert_eq!(m.reconfigurations, 2);
+        // Recovering a healthy PE is a no-op.
+        m.recover_pe(6_000, PeId::new(0, 0)).unwrap();
+        assert_eq!(m.reconfigurations, 2);
+    }
+
+    #[test]
+    fn recovery_revives_a_dead_cluster() {
+        let mut m = Machine::new(MachineConfig::clustered(1, 2, Topology::Bus));
+        m.fail_pe(PeId::new(0, 0)).unwrap();
+        m.fail_pe(PeId::new(0, 1)).unwrap_err();
+        m.recover_pe(1_000, PeId::new(0, 1)).unwrap();
+        // The recovered PE takes kernel duty: the previous kernel PE is dead.
+        assert_eq!(m.kernel_pe(0), PeId::new(0, 1));
+        assert_eq!(m.pick_worker(0), Some(PeId::new(0, 1)));
+    }
+
+    #[test]
+    fn dead_link_makes_transmit_fallible() {
+        let mut m = machine();
+        // 2-cluster crossbar: direct link 0 -> 1 is id 1; no intermediate
+        // cluster exists, so the pair is unreachable.
+        m.fail_link(100, 1);
+        assert_eq!(
+            m.try_transmit(100, 0, 1, 16),
+            Err(MachineError::ClusterUnreachable { from: 0, to: 1 })
+        );
+        // The reverse link is untouched.
+        assert!(m.try_transmit(100, 1, 0, 16).is_ok());
+        assert_eq!(m.reconfigurations, 1);
+    }
+
+    #[test]
+    fn memory_bank_fault_reports_invalidated_words() {
+        let mut m = machine();
+        let cap = m.memory(0).capacity();
+        m.alloc(0, cap - 100).unwrap();
+        let lost = m.fail_memory_bank(500, 0, 200);
+        assert_eq!(lost, 100);
+        assert_eq!(m.memory(0).capacity(), cap - 200);
+        assert_eq!(m.reconfigurations, 1);
     }
 
     #[test]

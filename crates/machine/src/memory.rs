@@ -66,9 +66,10 @@ impl ClusterMemory {
         self.used
     }
 
-    /// Words currently free.
+    /// Words currently free. After a bank fault `used` may transiently
+    /// exceed `capacity` (until victims are invalidated), so this saturates.
     pub fn available(&self) -> Words {
-        self.capacity - self.used
+        self.capacity.saturating_sub(self.used)
     }
 
     /// Peak allocation over the memory's lifetime.
@@ -108,6 +109,15 @@ impl ClusterMemory {
         debug_assert!(words <= self.used, "freeing more than allocated");
         self.used = self.used.saturating_sub(words);
         self.frees += 1;
+    }
+
+    /// A memory bank of `words` capacity fails: the arena shrinks. Returns
+    /// the words of live allocations that no longer fit — the caller must
+    /// invalidate victims (free their allocations) until `used()` is back
+    /// within `capacity()`.
+    pub fn fail_bank(&mut self, words: Words) -> Words {
+        self.capacity = self.capacity.saturating_sub(words);
+        self.used.saturating_sub(self.capacity)
     }
 
     /// Fraction of capacity in use, in `[0, 1]`.
@@ -182,5 +192,23 @@ mod tests {
     fn zero_capacity_load_factor() {
         let m = ClusterMemory::new(0, 0);
         assert_eq!(m.load_factor(), 0.0);
+    }
+
+    #[test]
+    fn failed_bank_shrinks_arena_and_reports_overflow() {
+        let mut m = ClusterMemory::new(0, 1000);
+        m.alloc(600).unwrap();
+        // Losing 300 words still leaves room for the 600 in use.
+        assert_eq!(m.fail_bank(300), 0);
+        assert_eq!(m.capacity(), 700);
+        assert_eq!(m.available(), 100);
+        // Losing 200 more puts 100 words of live data in the failed bank.
+        assert_eq!(m.fail_bank(200), 100);
+        assert_eq!(m.capacity(), 500);
+        assert_eq!(m.available(), 0, "available saturates, not underflows");
+        // Invalidating a 150-word victim restores headroom.
+        m.free(150);
+        assert_eq!(m.used(), 450);
+        assert_eq!(m.available(), 50);
     }
 }

@@ -28,10 +28,16 @@ pub struct Network {
     link_free: Vec<Cycles>,
     /// Cumulative busy cycles per link (for utilization reports).
     link_busy: Vec<Cycles>,
+    /// Dead links (packets cannot traverse; routes detour where possible).
+    link_dead: Vec<bool>,
+    /// Per-link occupancy multiplier (1 = healthy).
+    link_degrade: Vec<u32>,
     /// Remote messages transmitted.
     pub messages: u64,
     /// Packets transmitted (after segmentation).
     pub packets: u64,
+    /// Packets that took a detour around a dead link.
+    pub rerouted_packets: u64,
     /// Payload words moved between clusters.
     pub payload_words: u64,
     /// Header words moved (overhead).
@@ -57,11 +63,34 @@ impl Network {
             header_words: cfg.header_words,
             link_free: vec![0; links],
             link_busy: vec![0; links],
+            link_dead: vec![false; links],
+            link_degrade: vec![1; links],
             messages: 0,
             packets: 0,
+            rerouted_packets: 0,
             payload_words: 0,
             header_words_moved: 0,
         }
+    }
+
+    /// Kill a link: packets can no longer traverse it; routes that used it
+    /// detour where the topology allows.
+    pub fn fail_link(&mut self, link: usize) {
+        self.link_dead[link] = true;
+    }
+
+    /// Degrade a link: its occupancy is multiplied by `factor` (≥ 1).
+    pub fn degrade_link(&mut self, link: usize, factor: u32) {
+        self.link_degrade[link] = factor.max(1);
+    }
+
+    /// Whether `link` is dead.
+    pub fn link_is_dead(&self, link: usize) -> bool {
+        self.link_dead[link]
+    }
+
+    fn path_alive(&self, path: &[usize]) -> bool {
+        path.iter().all(|&l| !self.link_dead[l])
     }
 
     /// Number of links in the topology.
@@ -91,8 +120,69 @@ impl Network {
         }
     }
 
-    /// The sequence of link ids a packet from `from` to `to` traverses.
-    fn route(&self, from: u32, to: u32) -> Vec<usize> {
+    /// Forward ring path from `from` to `to` (link out of `cur` has id
+    /// `cur`); backward uses ids `n + cur`.
+    fn ring_path(&self, from: u32, to: u32, forward: bool) -> Vec<usize> {
+        let nc = self.clusters;
+        let n = nc as usize;
+        let mut path = Vec::new();
+        let mut cur = from;
+        if forward {
+            while cur != to {
+                path.push(cur as usize);
+                cur = (cur + 1) % nc;
+            }
+        } else {
+            while cur != to {
+                path.push(n + cur as usize);
+                cur = (cur + nc - 1) % nc;
+            }
+        }
+        path
+    }
+
+    /// Mesh path with dimension order: x-then-y (XY routing) or y-then-x.
+    /// Link ids: node*4 + {0:+x, 1:-x, 2:+y, 3:-y}.
+    fn mesh_path(&self, width: u32, from: u32, to: u32, x_first: bool) -> Vec<usize> {
+        let mut path = Vec::new();
+        let (mut cx, mut cy) = (from % width, from / width);
+        let (tx, ty) = (to % width, to / width);
+        let step_x = |path: &mut Vec<usize>, cx: &mut u32, cy: u32| {
+            while *cx != tx {
+                let node = (cy * width + *cx) as usize;
+                if *cx < tx {
+                    path.push(node * 4);
+                    *cx += 1;
+                } else {
+                    path.push(node * 4 + 1);
+                    *cx -= 1;
+                }
+            }
+        };
+        let step_y = |path: &mut Vec<usize>, cx: u32, cy: &mut u32| {
+            while *cy != ty {
+                let node = (*cy * width + cx) as usize;
+                if *cy < ty {
+                    path.push(node * 4 + 2);
+                    *cy += 1;
+                } else {
+                    path.push(node * 4 + 3);
+                    *cy -= 1;
+                }
+            }
+        };
+        if x_first {
+            step_x(&mut path, &mut cx, cy);
+            step_y(&mut path, cx, &mut cy);
+        } else {
+            step_y(&mut path, cx, &mut cy);
+            step_x(&mut path, &mut cx, cy);
+        }
+        path
+    }
+
+    /// The healthy-path route (ignores link faults).
+    fn primary_route(&self, from: u32, to: u32) -> Vec<usize> {
         if from == to {
             return Vec::new();
         }
@@ -104,52 +194,54 @@ impl Network {
                 let nc = self.clusters;
                 let fwd = (to + nc - from) % nc;
                 let bwd = (from + nc - to) % nc;
-                let mut path = Vec::new();
-                let mut cur = from;
-                if fwd <= bwd {
-                    while cur != to {
-                        // forward link out of `cur` has id `cur`
-                        path.push(cur as usize);
-                        cur = (cur + 1) % nc;
-                    }
-                } else {
-                    while cur != to {
-                        // backward link out of `cur` has id `n + cur`
-                        path.push(n + cur as usize);
-                        cur = (cur + nc - 1) % nc;
-                    }
-                }
-                path
+                self.ring_path(from, to, fwd <= bwd)
+            }
+            Topology::Mesh2D { width } => self.mesh_path(width, from, to, true),
+        }
+    }
+
+    /// Pick a live route: the primary path when intact, otherwise the
+    /// topology's deterministic detour. Returns the path and whether it is
+    /// a detour; `None` when every candidate crosses a dead link.
+    fn choose_route(&self, from: u32, to: u32) -> Option<(Vec<usize>, bool)> {
+        let primary = self.primary_route(from, to);
+        if self.path_alive(&primary) {
+            return Some((primary, false));
+        }
+        let n = self.clusters as usize;
+        let alt = match self.topology {
+            Topology::Bus => None,
+            Topology::Crossbar => {
+                // Two-hop detour via the lowest-indexed live intermediate.
+                (0..self.clusters)
+                    .filter(|&k| k != from && k != to)
+                    .map(|k| vec![from as usize * n + k as usize, k as usize * n + to as usize])
+                    .find(|p| self.path_alive(p))
+            }
+            Topology::Ring => {
+                let nc = self.clusters;
+                let fwd = (to + nc - from) % nc;
+                let bwd = (from + nc - to) % nc;
+                // The non-preferred direction.
+                let other = self.ring_path(from, to, fwd > bwd);
+                self.path_alive(&other).then_some(other)
             }
             Topology::Mesh2D { width } => {
-                // XY routing: move in x first, then y.
-                // Link ids: node*4 + {0:+x, 1:-x, 2:+y, 3:-y}.
-                let mut path = Vec::new();
-                let (mut cx, mut cy) = (from % width, from / width);
-                let (tx, ty) = (to % width, to / width);
-                while cx != tx {
-                    let node = (cy * width + cx) as usize;
-                    if cx < tx {
-                        path.push(node * 4);
-                        cx += 1;
-                    } else {
-                        path.push(node * 4 + 1);
-                        cx -= 1;
-                    }
-                }
-                while cy != ty {
-                    let node = (cy * width + cx) as usize;
-                    if cy < ty {
-                        path.push(node * 4 + 2);
-                        cy += 1;
-                    } else {
-                        path.push(node * 4 + 3);
-                        cy -= 1;
-                    }
-                }
-                path
+                let yx = self.mesh_path(width, from, to, false);
+                self.path_alive(&yx).then_some(yx)
             }
+        };
+        alt.map(|p| (p, true))
+    }
+
+    /// The link ids a message from `from` to `to` would traverse right now,
+    /// or `None` when no live route exists (reliable layers use this both
+    /// to detect unreachable clusters and to loss-check in-flight packets).
+    pub fn route_links(&self, from: u32, to: u32) -> Option<Vec<usize>> {
+        if from == to {
+            return Some(Vec::new());
         }
+        self.choose_route(from, to).map(|(p, _)| p)
     }
 
     /// Transmit `words` of payload from cluster `from` to cluster `to`,
@@ -160,13 +252,27 @@ impl Network {
     /// memory: they cost one memory pass (`words / words_per_cycle`) and use
     /// no links, and are *not* counted as network messages.
     pub fn transmit(&mut self, now: Cycles, from: u32, to: u32, words: Words) -> Cycles {
+        self.try_transmit(now, from, to, words)
+            .expect("no live route between clusters")
+    }
+
+    /// Fallible [`Network::transmit`]: returns `None` (charging nothing)
+    /// when dead links leave no route from `from` to `to`.
+    pub fn try_transmit(
+        &mut self,
+        now: Cycles,
+        from: u32,
+        to: u32,
+        words: Words,
+    ) -> Option<Cycles> {
         assert!(
             from < self.clusters && to < self.clusters,
             "cluster out of range"
         );
         if from == to {
-            return now + words.div_ceil(self.words_per_cycle as Words).max(1);
+            return Some(now + words.div_ceil(self.words_per_cycle as Words).max(1));
         }
+        let (route, rerouted) = self.choose_route(from, to)?;
         self.messages += 1;
         self.payload_words += words;
         let mut remaining = words;
@@ -182,20 +288,59 @@ impl Network {
             remaining -= chunk;
             let packet_words = chunk + self.header_words;
             self.packets += 1;
+            if rerouted {
+                self.rerouted_packets += 1;
+            }
             self.header_words_moved += self.header_words;
             let occ = packet_words.div_ceil(self.words_per_cycle as Words).max(1);
             // Store-and-forward over the route with per-link FIFO contention.
             let mut t = inject_at;
-            let route = self.route(from, to);
             for (hop, link) in route.iter().enumerate() {
+                let link_occ = occ * self.link_degrade[*link] as Cycles;
                 let start = t.max(self.link_free[*link]);
-                self.link_free[*link] = start + occ;
-                self.link_busy[*link] += occ;
-                t = start + occ + self.link_latency;
+                self.link_free[*link] = start + link_occ;
+                self.link_busy[*link] += link_occ;
+                t = start + link_occ + self.link_latency;
                 if hop == 0 {
                     // The next packet can be injected once the first link
                     // frees up.
-                    inject_at = start + occ;
+                    inject_at = start + link_occ;
+                }
+            }
+            arrival = arrival.max(t);
+        }
+        Some(arrival)
+    }
+
+    /// Contention-free latency estimate for `words` from `from` to `to`
+    /// under the current route and degradation factors — the reliable
+    /// layer's basis for retransmission timeouts. Ignores queueing; when no
+    /// live route exists the healthy-path shape is used (the timeout will
+    /// fire and the message dead-letter).
+    pub fn estimate(&self, from: u32, to: u32, words: Words) -> Cycles {
+        if from == to {
+            return words.div_ceil(self.words_per_cycle as Words).max(1);
+        }
+        let path = match self.choose_route(from, to) {
+            Some((p, _)) => p,
+            None => self.primary_route(from, to),
+        };
+        let mut remaining = words;
+        let mut first = true;
+        let mut inject_at = 0;
+        let mut arrival = 0;
+        while remaining > 0 || first {
+            first = false;
+            let chunk = remaining.min(self.max_packet_words);
+            remaining -= chunk;
+            let packet_words = chunk + self.header_words;
+            let occ = packet_words.div_ceil(self.words_per_cycle as Words).max(1);
+            let mut t = inject_at;
+            for (hop, link) in path.iter().enumerate() {
+                let link_occ = occ * self.link_degrade[*link] as Cycles;
+                t += link_occ + self.link_latency;
+                if hop == 0 {
+                    inject_at += link_occ;
                 }
             }
             arrival = arrival.max(t);
@@ -219,11 +364,14 @@ impl Network {
     }
 
     /// Reset traffic counters and link reservations (new experiment phase).
+    /// Link fault state (dead/degraded) is hardware, not traffic, and is
+    /// preserved.
     pub fn reset(&mut self) {
         self.link_free.fill(0);
         self.link_busy.fill(0);
         self.messages = 0;
         self.packets = 0;
+        self.rerouted_packets = 0;
         self.payload_words = 0;
         self.header_words_moved = 0;
     }
@@ -391,7 +539,7 @@ mod tests {
         let c = cfg(Topology::Mesh2D { width: 4 }, 16);
         let n = Network::new(&c);
         // 0 (0,0) -> 15 (3,3): route through x then y, 6 links.
-        let r = n.route(0, 15);
+        let r = n.route_links(0, 15).unwrap();
         assert_eq!(r.len(), 6);
         // First three are +x links of nodes 0,1,2.
         assert_eq!(&r[..3], &[0, 4, 8]);
@@ -424,6 +572,87 @@ mod tests {
     fn out_of_range_cluster_panics() {
         let mut n = Network::new(&cfg(Topology::Bus, 4));
         n.transmit(0, 0, 9, 10);
+    }
+
+    #[test]
+    fn dead_crossbar_link_takes_two_hop_detour() {
+        let mut c = cfg(Topology::Crossbar, 4);
+        c.link_latency = 0;
+        c.header_words = 0;
+        c.max_packet_words = 1000;
+        let mut n = Network::new(&c);
+        n.fail_link(1); // 0 -> 1 direct
+        assert!(n.link_is_dead(1));
+        // Detour via cluster 2 (lowest live intermediate): 2 hops.
+        assert_eq!(n.route_links(0, 1), Some(vec![2, 2 * 4 + 1]));
+        let t = n.transmit(0, 0, 1, 100);
+        assert_eq!(t, 200, "two store-and-forward hops");
+        assert_eq!(n.rerouted_packets, 1);
+    }
+
+    #[test]
+    fn dead_bus_is_unreachable() {
+        let mut n = Network::new(&cfg(Topology::Bus, 4));
+        n.fail_link(0);
+        assert_eq!(n.route_links(0, 1), None);
+        assert_eq!(n.try_transmit(0, 0, 1, 10), None);
+        assert_eq!(n.messages, 0, "unreachable transfers charge nothing");
+    }
+
+    #[test]
+    fn dead_ring_link_reroutes_the_long_way() {
+        let mut c = cfg(Topology::Ring, 4);
+        c.link_latency = 0;
+        c.header_words = 0;
+        c.max_packet_words = 1000;
+        let mut n = Network::new(&c);
+        // 0 -> 1 prefers forward link 0; kill it.
+        n.fail_link(0);
+        // Backward: 0 -> 3 -> 2 -> 1 over links n+0, n+3, n+2.
+        assert_eq!(n.route_links(0, 1), Some(vec![4, 7, 6]));
+        let t = n.transmit(0, 0, 1, 10);
+        assert_eq!(t, 30, "three hops instead of one");
+        // Both directions severed between 0 and 1 -> unreachable.
+        n.fail_link(6);
+        assert_eq!(n.route_links(0, 1), None);
+    }
+
+    #[test]
+    fn dead_mesh_link_falls_back_to_yx() {
+        let c = cfg(Topology::Mesh2D { width: 2 }, 4);
+        let mut n = Network::new(&c);
+        // 0 (0,0) -> 3 (1,1): XY route is +x at node 0 (link 0), +y at
+        // node 1 (link 6).
+        assert_eq!(n.route_links(0, 3), Some(vec![0, 6]));
+        n.fail_link(0);
+        // YX: +y at node 0 (link 2), +x at node 2 (link 8).
+        assert_eq!(n.route_links(0, 3), Some(vec![2, 8]));
+        n.fail_link(2);
+        assert_eq!(n.route_links(0, 3), None);
+    }
+
+    #[test]
+    fn degraded_link_slows_but_does_not_reroute() {
+        let mut c = cfg(Topology::Crossbar, 4);
+        c.link_latency = 0;
+        c.header_words = 0;
+        c.max_packet_words = 1000;
+        let mut n = Network::new(&c);
+        n.degrade_link(1, 4);
+        let t = n.transmit(0, 0, 1, 100);
+        assert_eq!(t, 400, "4x occupancy on the degraded link");
+        assert_eq!(n.rerouted_packets, 0);
+    }
+
+    #[test]
+    fn estimate_matches_contention_free_transmit() {
+        let mut c = cfg(Topology::Ring, 8);
+        c.link_latency = 5;
+        let mut n = Network::new(&c);
+        let est = n.estimate(0, 2, 30);
+        let t = n.transmit(0, 0, 2, 30);
+        assert_eq!(est, t, "estimate equals transmit on an idle network");
+        assert_eq!(n.estimate(3, 3, 64), 64);
     }
 
     #[test]

@@ -11,9 +11,11 @@
 
 use crate::task::{TaskHandle, TaskSet};
 use fem2_kernel::WorkProfile;
-use fem2_machine::{CostClass, Cycles, Machine, MachineConfig, Words};
+use fem2_machine::fault::{FaultKind, FaultPlan};
+use fem2_machine::{CostClass, Cycles, Machine, MachineConfig, PeId, Words};
 use fem2_par::Pool;
 use fem2_trace::{EventKind, MsgKind, TaskStage, TraceEvent, TraceHandle, NO_PE};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// Identifier of an array owned by a [`NaVm`].
@@ -52,9 +54,123 @@ pub(crate) struct SimState {
     /// only for the first parallel section — or again after
     /// [`NaVm::respawn_tasks`].
     pub(crate) spawned: bool,
+    /// Planned faults, applied as simulated time passes each event.
+    pub(crate) faults: FaultPlan,
+    /// Transient-PE recoveries scheduled by applied faults, kept sorted.
+    pub(crate) pending_recoveries: Vec<(Cycles, PeId)>,
+    /// Window exchanges retried after an in-flight loss.
+    pub(crate) retransmits: u64,
+    /// Retries before a window exchange is declared undeliverable.
+    pub(crate) max_retransmits: u32,
 }
 
 impl SimState {
+    /// Apply every planned fault (and transient recovery) due at or before
+    /// `t`, in time order. Returns true if any link died.
+    pub(crate) fn apply_faults_through(&mut self, t: Cycles) -> bool {
+        let mut link_died = false;
+        loop {
+            let next_fault = self.faults.next_at().filter(|&a| a <= t);
+            let next_rec = self
+                .pending_recoveries
+                .first()
+                .map(|&(a, _)| a)
+                .filter(|&a| a <= t);
+            match (next_fault, next_rec) {
+                (None, None) => break,
+                (Some(fa), r) if r.is_none_or(|ra| fa <= ra) => {
+                    let batch: Vec<_> = self.faults.due(fa).to_vec();
+                    for ev in batch {
+                        match ev.kind {
+                            FaultKind::Pe { pe, recover_at } => {
+                                let _ = self.machine.fail_pe(pe);
+                                if let Some(back) = recover_at {
+                                    self.pending_recoveries.push((back, pe));
+                                    self.pending_recoveries.sort_unstable();
+                                }
+                            }
+                            FaultKind::Link { link, degrade } => match degrade {
+                                None => {
+                                    self.machine.fail_link(ev.at, link);
+                                    link_died = true;
+                                }
+                                Some(f) => self.machine.degrade_link(ev.at, link, f),
+                            },
+                            FaultKind::Memory { cluster, words } => {
+                                let lost = self.machine.fail_memory_bank(ev.at, cluster, words);
+                                if lost > 0 {
+                                    // Re-materialize the invalidated words
+                                    // from the owner's host image: a
+                                    // shared-memory rebuild on that cluster.
+                                    let kpe = self.machine.kernel_pe(cluster);
+                                    let _ =
+                                        self.machine.charge(ev.at, kpe, CostClass::MemWord, lost);
+                                }
+                            }
+                        }
+                    }
+                }
+                (_, Some(ra)) => {
+                    let (at, pe) = self.pending_recoveries.remove(0);
+                    debug_assert_eq!(at, ra);
+                    let _ = self.machine.recover_pe(at, pe);
+                }
+                (Some(_), None) => unreachable!("covered by the guarded arm"),
+            }
+        }
+        link_died
+    }
+
+    /// Transmit with in-flight loss detection: a planned fault that fires
+    /// while the packet is on the wire and kills a link it traversed loses
+    /// the packet; the sender retries over the (possibly rerouted) network,
+    /// with the lost flight time standing in for the retransmission
+    /// timeout. `kind` labels the retransmission in the trace.
+    pub(crate) fn reliable_transmit(
+        &mut self,
+        at: Cycles,
+        from: u32,
+        to: u32,
+        words: Words,
+        kind: MsgKind,
+    ) -> Cycles {
+        let mut t = at;
+        let mut attempt = 0u32;
+        loop {
+            let route = self.machine.network.route_links(from, to);
+            let arrive = self
+                .machine
+                .try_transmit(t, from, to, words)
+                .expect("no live route for window exchange");
+            let fired = self.apply_faults_through(arrive);
+            let lost = fired
+                && route
+                    .as_deref()
+                    .is_some_and(|ls| ls.iter().any(|&l| self.machine.network.link_is_dead(l)));
+            if !lost {
+                return arrive;
+            }
+            attempt += 1;
+            assert!(
+                attempt <= self.max_retransmits,
+                "window exchange from {from} to {to} exhausted its retransmit budget"
+            );
+            self.retransmits += 1;
+            self.machine.trace.emit(|| {
+                TraceEvent::instant(
+                    arrive,
+                    from,
+                    NO_PE,
+                    EventKind::Retransmit {
+                        msg: kind,
+                        to_cluster: to,
+                        attempt,
+                    },
+                )
+            });
+            t = arrive;
+        }
+    }
     /// Charge one parallel section: `work[t]` is executed by task `t`.
     /// Returns the barrier time.
     pub(crate) fn parallel_section(
@@ -63,6 +179,7 @@ impl SimState {
         work: &[(TaskHandle, WorkProfile)],
     ) -> Cycles {
         let start = self.now;
+        self.apply_faults_through(start);
         let mut barrier = start;
         let charge_spawn = self.spawn_overhead && !self.spawned;
         self.spawned = true;
@@ -171,6 +288,11 @@ pub struct NaVm {
     pub(crate) plane: Plane,
     pub(crate) tasks: TaskSet,
     pub(crate) arrays: Vec<DArray>,
+    /// Next window-exchange sequence number (reliable window protocol).
+    pub(crate) window_seq: u64,
+    /// Exchanges already applied (receiver-side dedup, so a retried
+    /// delivery never double-applies boundary values).
+    pub(crate) applied_windows: BTreeSet<u64>,
 }
 
 impl NaVm {
@@ -180,6 +302,8 @@ impl NaVm {
             plane: Plane::Native { pool },
             tasks: TaskSet::new(ntasks, 1),
             arrays: Vec::new(),
+            window_seq: 0,
+            applied_windows: BTreeSet::new(),
         }
     }
 
@@ -194,9 +318,15 @@ impl NaVm {
                 now: 0,
                 spawn_overhead: true,
                 spawned: false,
+                faults: FaultPlan::none(),
+                pending_recoveries: Vec::new(),
+                retransmits: 0,
+                max_retransmits: 4,
             })),
             tasks: TaskSet::new(ntasks, clusters),
             arrays: Vec::new(),
+            window_seq: 0,
+            applied_windows: BTreeSet::new(),
         }
     }
 
@@ -259,6 +389,25 @@ impl NaVm {
     pub fn respawn_tasks(&mut self) {
         if let Plane::Sim(s) = &mut self.plane {
             s.spawned = false;
+        }
+    }
+
+    /// Inject a fault plan (simulated plane; no-op on native). Faults fire
+    /// as simulated time passes them, at primitive boundaries: parallel
+    /// sections, window exchanges, broadcasts, and remote calls. Numerical
+    /// results are unaffected — only costs, routes, and the retransmission
+    /// count change.
+    pub fn inject_faults(&mut self, plan: &FaultPlan) {
+        if let Plane::Sim(s) = &mut self.plane {
+            s.faults = plan.clone();
+        }
+    }
+
+    /// Window exchanges retried after an in-flight loss (simulated plane).
+    pub fn retransmits(&self) -> u64 {
+        match &self.plane {
+            Plane::Native { .. } => 0,
+            Plane::Sim(s) => s.retransmits,
         }
     }
 
@@ -440,10 +589,11 @@ impl NaVm {
             Plane::Sim(s) => {
                 let fc = self.tasks.cluster_of(from);
                 let start = s.now;
+                s.apply_faults_through(start);
                 let mut barrier = start;
                 for c in 0..self.tasks.clusters() {
                     if c != fc {
-                        let arrive = s.machine.transmit(start, fc, c, words);
+                        let arrive = s.reliable_transmit(start, fc, c, words, MsgKind::LoadCode);
                         barrier = barrier.max(arrive);
                     }
                 }
@@ -469,6 +619,7 @@ impl NaVm {
             Plane::Native { .. } => 0,
             Plane::Sim(s) => {
                 let start = s.now;
+                s.apply_faults_through(start);
                 let cc = self.tasks.cluster_of(caller);
                 let oc = self.tasks.cluster_of(window_owner);
                 // Ship the call (descriptor + args).
@@ -477,7 +628,11 @@ impl NaVm {
                     .machine
                     .charge(start, kpe, CostClass::MsgSend, 1)
                     .unwrap_or(start);
-                let arrive = s.machine.transmit(sent, cc, oc, 7 + args_words);
+                let arrive = if cc == oc {
+                    s.machine.transmit(sent, cc, oc, 7 + args_words)
+                } else {
+                    s.reliable_transmit(sent, cc, oc, 7 + args_words, MsgKind::RemoteCall)
+                };
                 // Dispatch + execute at the owner.
                 let okpe = s.machine.kernel_pe(oc);
                 let dispatched = s
@@ -499,7 +654,11 @@ impl NaVm {
                     None => dispatched,
                 };
                 // Ship the result back.
-                let back = s.machine.transmit(done, oc, cc, result_words);
+                let back = if cc == oc {
+                    s.machine.transmit(done, oc, cc, result_words)
+                } else {
+                    s.reliable_transmit(done, oc, cc, result_words, MsgKind::RemoteReturn)
+                };
                 s.now = s.now.max(back);
                 back - start
             }

@@ -13,7 +13,7 @@ use crate::runtime::{ArrayId, NaVm, Plane};
 use crate::task::TaskHandle;
 use fem2_kernel::window_desc::WindowDescriptor;
 use fem2_machine::Words;
-use fem2_trace::{EventKind, TraceEvent, WindowStage, NO_PE};
+use fem2_trace::{EventKind, MsgKind, TraceEvent, WindowStage, NO_PE};
 
 /// A window over a rectangular region of a distributed array.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -101,6 +101,8 @@ impl NaVm {
             return;
         };
         let ac = self.tasks.cluster_of(accessor);
+        let t0 = s.now;
+        s.apply_faults_through(t0);
         // Group the window's rows by owning cluster.
         let mut per_cluster: std::collections::BTreeMap<u32, u64> =
             std::collections::BTreeMap::new();
@@ -138,9 +140,13 @@ impl NaVm {
                 // Remote read: request descriptor upstream, the owner
                 // gathers from its shared memory, ships descriptor + data,
                 // and the accessor scatters into its memory.
-                let req = s
-                    .machine
-                    .transmit(start, ac, c, WindowDescriptor::WIRE_WORDS);
+                let req = s.reliable_transmit(
+                    start,
+                    ac,
+                    c,
+                    WindowDescriptor::WIRE_WORDS,
+                    MsgKind::RemoteCall,
+                );
                 s.machine.trace.emit(|| {
                     TraceEvent::span(
                         start,
@@ -173,7 +179,8 @@ impl NaVm {
                     )
                 });
                 let payload = words + WindowDescriptor::WIRE_WORDS;
-                let arrive = s.machine.transmit(gathered, c, ac, payload as Words);
+                let arrive =
+                    s.reliable_transmit(gathered, c, ac, payload as Words, MsgKind::RemoteReturn);
                 s.machine.trace.emit(|| {
                     TraceEvent::span(
                         gathered,
@@ -228,7 +235,8 @@ impl NaVm {
                     )
                 });
                 let payload = words + WindowDescriptor::WIRE_WORDS;
-                let arrive = s.machine.transmit(gathered, ac, c, payload as Words);
+                let arrive =
+                    s.reliable_transmit(gathered, ac, c, payload as Words, MsgKind::RemoteCall);
                 s.machine.trace.emit(|| {
                     TraceEvent::span(
                         gathered,
@@ -282,7 +290,9 @@ impl NaVm {
     }
 
     /// Write `values` (row-major, exactly `w.len()` of them) through the
-    /// window as task `accessor`.
+    /// window as task `accessor`. Plain writes are naturally idempotent
+    /// (assignment), so they carry no sequence number; for accumulating
+    /// boundary exchange use [`NaVm::add_window`].
     pub fn write_window(&mut self, accessor: TaskHandle, w: &Window, values: &[f64]) {
         assert_eq!(values.len() as u64, w.len(), "value count mismatch");
         self.charge_window_traffic(w, accessor, false);
@@ -291,6 +301,48 @@ impl NaVm {
         for r in w.desc.row0..w.desc.row1 {
             for c in w.desc.col0..w.desc.col1 {
                 a.data[r as usize * a.cols + c as usize] = *it.next().unwrap();
+            }
+        }
+    }
+
+    /// Accumulate `values` into the window (`+=`, the boundary exchange of
+    /// a domain-decomposed assembly) as one sequenced exchange. Returns the
+    /// exchange's sequence number. The owner applies each sequence exactly
+    /// once, so a retried delivery of the same exchange (see
+    /// [`NaVm::redeliver_window_add`]) is charged but not re-applied —
+    /// boundary values are never double-added.
+    pub fn add_window(&mut self, accessor: TaskHandle, w: &Window, values: &[f64]) -> u64 {
+        self.window_seq += 1;
+        let seq = self.window_seq;
+        self.deliver_window_add(accessor, w, values, seq);
+        seq
+    }
+
+    /// Deliver (or re-deliver) the sequenced accumulate `seq`. Models the
+    /// reliable layer handing the receiver a retried copy of an exchange
+    /// whose ack was lost: the traffic is charged again, but a sequence
+    /// already applied is deduplicated, not re-added.
+    pub fn redeliver_window_add(
+        &mut self,
+        accessor: TaskHandle,
+        w: &Window,
+        values: &[f64],
+        seq: u64,
+    ) {
+        self.deliver_window_add(accessor, w, values, seq);
+    }
+
+    fn deliver_window_add(&mut self, accessor: TaskHandle, w: &Window, values: &[f64], seq: u64) {
+        assert_eq!(values.len() as u64, w.len(), "value count mismatch");
+        self.charge_window_traffic(w, accessor, false);
+        if !self.applied_windows.insert(seq) {
+            return; // duplicate delivery of a retried exchange
+        }
+        let a = &mut self.arrays[w.array.0 as usize];
+        let mut it = values.iter();
+        for r in w.desc.row0..w.desc.row1 {
+            for c in w.desc.col0..w.desc.col1 {
+                a.data[r as usize * a.cols + c as usize] += *it.next().unwrap();
             }
         }
     }
@@ -448,6 +500,45 @@ mod tests {
             t_remote > t_local,
             "remote {t_remote} should cost more than local {t_local}"
         );
+    }
+
+    #[test]
+    fn retried_window_add_applies_once() {
+        let mut vm = sim(8);
+        let a = vm.array(16, 1);
+        let w = vm.window(a, 14, 16, 0, 1);
+        let seq = vm.add_window(TaskHandle(0), &w, &[1.5, 2.5]);
+        // The reliable layer re-delivers the same exchange (lost ack): the
+        // traffic is charged again but the values are not double-added.
+        vm.redeliver_window_add(TaskHandle(0), &w, &[1.5, 2.5], seq);
+        assert_eq!(vm.get(a, 14, 0), 1.5, "boundary value added exactly once");
+        assert_eq!(vm.get(a, 15, 0), 2.5);
+        // A fresh exchange still applies.
+        vm.add_window(TaskHandle(0), &w, &[1.0, 1.0]);
+        assert_eq!(vm.get(a, 14, 0), 2.5);
+    }
+
+    #[test]
+    fn window_exchange_survives_mid_flight_link_fault() {
+        use fem2_machine::fault::FaultPlan;
+        let mut healthy = sim(8);
+        let a = healthy.array(16, 4);
+        healthy.fill(a, |r, c| (r * 10 + c) as f64);
+        let w = healthy.window(a, 14, 16, 0, 4); // cluster 3's rows
+        let want = healthy.read_window(TaskHandle(0), &w);
+
+        let mut faulted = sim(8);
+        let b = faulted.array(16, 4);
+        faulted.fill(b, |r, c| (r * 10 + c) as f64);
+        let wf = faulted.window(b, 14, 16, 0, 4);
+        // Kill the direct 0->3 link (crossbar link 3) while the window
+        // request is on the wire: the packet is lost, the retransmission
+        // fires, and the retry detours via an intermediate cluster.
+        faulted.inject_faults(&FaultPlan::none().kill_link(faulted.elapsed() + 1, 3));
+        let got = faulted.read_window(TaskHandle(0), &wf);
+        assert_eq!(got, want, "rerouted exchange returns identical values");
+        assert!(faulted.retransmits() >= 1, "the lost packet was retried");
+        assert!(faulted.machine().unwrap().network.rerouted_packets > 0);
     }
 
     #[test]

@@ -105,6 +105,23 @@ fn args_of(ev: &TraceEvent) -> String {
         }
         EventKind::Task { task, .. } => format!("{{\"task\":{task}}}"),
         EventKind::AppCommand { seq } => format!("{{\"seq\":{seq}}}"),
+        EventKind::LinkFault { link, degrade } => {
+            format!("{{\"link\":{link},\"degrade\":{degrade}}}")
+        }
+        EventKind::Retransmit {
+            to_cluster,
+            attempt,
+            ..
+        } => {
+            format!("{{\"to_cluster\":{to_cluster},\"attempt\":{attempt}}}")
+        }
+        EventKind::DeadLetter { to_cluster, .. } => {
+            format!("{{\"to_cluster\":{to_cluster}}}")
+        }
+        EventKind::PeRecover => "{}".to_string(),
+        EventKind::MemFault { words, lost } => {
+            format!("{{\"words\":{words},\"lost\":{lost}}}")
+        }
     }
 }
 
@@ -118,6 +135,8 @@ fn cat_of(ev: &TraceEvent) -> &'static str {
         EventKind::LinkTransfer { .. } => "network",
         EventKind::Task { .. } => "task",
         EventKind::AppCommand { .. } => "command",
+        EventKind::LinkFault { .. } | EventKind::PeRecover | EventKind::MemFault { .. } => "fault",
+        EventKind::Retransmit { .. } | EventKind::DeadLetter { .. } => "reliable",
     }
 }
 
@@ -251,6 +270,17 @@ pub fn phase_table(rec: &RingRecorder) -> String {
             pm.frees,
             format!("{}/{}/{}/{}", w[0], w[1], w[2], w[3]),
         ));
+        if pm.any_fault_activity() {
+            out.push_str(&format!(
+                "  faults: link {} mem {} pe_recover {} | retransmits {} dead_letters {} stale {}\n",
+                pm.link_faults,
+                pm.mem_faults,
+                pm.pe_recoveries,
+                pm.retransmits,
+                pm.dead_letters,
+                pm.stale_tasks,
+            ));
+        }
     }
     out.push('\n');
     for (id, pm) in metrics.phases.iter().enumerate() {

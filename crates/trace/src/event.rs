@@ -152,6 +152,8 @@ pub enum TaskStage {
     Completed,
     /// Killed by a PE fault (will be re-queued).
     Faulted,
+    /// A completion arrived for a superseded epoch and was discarded.
+    Stale,
 }
 
 impl TaskStage {
@@ -162,6 +164,7 @@ impl TaskStage {
             TaskStage::Dispatched => "dispatched",
             TaskStage::Completed => "completed",
             TaskStage::Faulted => "faulted",
+            TaskStage::Stale => "stale",
         }
     }
 
@@ -171,6 +174,7 @@ impl TaskStage {
             TaskStage::Dispatched => 1,
             TaskStage::Completed => 2,
             TaskStage::Faulted => 3,
+            TaskStage::Stale => 4,
         }
     }
 }
@@ -261,6 +265,38 @@ pub enum EventKind {
         /// Command sequence number within the session.
         seq: u32,
     },
+    /// A network link died or degraded.
+    LinkFault {
+        /// Link id in the topology's link-id scheme.
+        link: u32,
+        /// Slowdown factor; 0 means the link is dead.
+        degrade: u32,
+    },
+    /// The reliable-delivery layer re-sent an unacknowledged message.
+    Retransmit {
+        /// Message type.
+        msg: MsgKind,
+        /// Destination cluster.
+        to_cluster: u32,
+        /// Attempt number (1 = first retransmit).
+        attempt: u32,
+    },
+    /// A message exhausted its retransmit budget and was dead-lettered.
+    DeadLetter {
+        /// Message type.
+        msg: MsgKind,
+        /// Destination cluster.
+        to_cluster: u32,
+    },
+    /// A transiently failed PE rejoined the free pool.
+    PeRecover,
+    /// A cluster-memory bank failed, shrinking the heap arena.
+    MemFault {
+        /// Words removed from the arena.
+        words: u64,
+        /// Words of live allocations invalidated by the failure.
+        lost: u64,
+    },
 }
 
 /// One recorded event.
@@ -322,6 +358,11 @@ impl TraceEvent {
             EventKind::LinkTransfer { .. } => "link_transfer",
             EventKind::Task { stage, .. } => stage.name(),
             EventKind::AppCommand { .. } => "command",
+            EventKind::LinkFault { .. } => "link_fault",
+            EventKind::Retransmit { .. } => "retransmit",
+            EventKind::DeadLetter { .. } => "dead_letter",
+            EventKind::PeRecover => "pe_recover",
+            EventKind::MemFault { .. } => "mem_fault",
         }
     }
 
@@ -364,6 +405,17 @@ impl TraceEvent {
             } => (8, to_cluster as u64, words, packets as u64),
             EventKind::Task { task, stage } => (9, task as u64, stage.code() as u64, 0),
             EventKind::AppCommand { seq } => (10, seq as u64, 0, 0),
+            EventKind::LinkFault { link, degrade } => (11, link as u64, degrade as u64, 0),
+            EventKind::Retransmit {
+                msg,
+                to_cluster,
+                attempt,
+            } => (12, msg.code() as u64, to_cluster as u64, attempt as u64),
+            EventKind::DeadLetter { msg, to_cluster } => {
+                (13, msg.code() as u64, to_cluster as u64, 0)
+            }
+            EventKind::PeRecover => (14, 0, 0, 0),
+            EventKind::MemFault { words, lost } => (15, words, lost, 0),
         };
         out.push(tag);
         out.extend_from_slice(&a.to_le_bytes());

@@ -26,12 +26,14 @@
 pub mod chrome;
 pub mod event;
 pub mod metrics;
+pub mod report;
 pub mod sink;
 
 pub use event::{
     CostKind, EventKind, MsgKind, TaskStage, TraceEvent, WindowStage, NO_CLUSTER, NO_PE,
 };
 pub use metrics::{Histogram, Metrics, PhaseMetrics};
+pub use report::DegradationReport;
 pub use sink::{NoopSink, RingRecorder, SharedRecorder, TraceHandle, TraceSink};
 
 /// Simulated time in machine cycles (mirrors `fem2_machine::Cycles`; this

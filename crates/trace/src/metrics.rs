@@ -4,7 +4,7 @@
 //! the ring buffer's retention, so per-phase aggregates stay exact even
 //! when the ring wraps.
 
-use crate::event::{EventKind, TraceEvent, WindowStage};
+use crate::event::{EventKind, TaskStage, TraceEvent, WindowStage};
 
 /// Number of log2 buckets: values up to 2^47 − 1 resolve exactly, larger
 /// ones land in the last bucket.
@@ -100,6 +100,18 @@ pub struct PhaseMetrics {
     pub packets: u64,
     /// Words moved per window-protocol stage (request/gather/transit/scatter).
     pub window_words: [u64; 4],
+    /// Link dead/degrade faults observed.
+    pub link_faults: u64,
+    /// Reliable-layer retransmits.
+    pub retransmits: u64,
+    /// Messages dead-lettered after exhausting retransmits.
+    pub dead_letters: u64,
+    /// Transient PE recoveries.
+    pub pe_recoveries: u64,
+    /// Cluster-memory bank faults.
+    pub mem_faults: u64,
+    /// Stale task completions discarded by the kernel.
+    pub stale_tasks: u64,
     /// Histogram of kernel message wire sizes, words.
     pub msg_size: Histogram,
     /// Histogram of DES queue depths at schedule/dispatch.
@@ -141,8 +153,39 @@ impl PhaseMetrics {
                 self.transfers += 1;
                 self.packets += packets as u64;
             }
-            EventKind::Task { .. } | EventKind::AppCommand { .. } => {}
+            EventKind::Task { stage, .. } => {
+                if stage == TaskStage::Stale {
+                    self.stale_tasks += 1;
+                }
+            }
+            EventKind::LinkFault { .. } => {
+                self.link_faults += 1;
+            }
+            EventKind::Retransmit { .. } => {
+                self.retransmits += 1;
+            }
+            EventKind::DeadLetter { .. } => {
+                self.dead_letters += 1;
+            }
+            EventKind::PeRecover => {
+                self.pe_recoveries += 1;
+            }
+            EventKind::MemFault { .. } => {
+                self.mem_faults += 1;
+            }
+            EventKind::AppCommand { .. } => {}
         }
+    }
+
+    /// True if any fault/reliability counter is nonzero (gates the extra
+    /// per-phase table line so healthy reports stay unchanged).
+    pub fn any_fault_activity(&self) -> bool {
+        self.link_faults != 0
+            || self.retransmits != 0
+            || self.dead_letters != 0
+            || self.pe_recoveries != 0
+            || self.mem_faults != 0
+            || self.stale_tasks != 0
     }
 
     /// Total words across the four window stages.

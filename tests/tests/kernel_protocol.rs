@@ -130,30 +130,12 @@ fn workload_survives_cascading_faults() {
     k.initiate(0, 1, code, 40, None, 0);
     // Kill half of each cluster's PEs, including cluster 0's kernel PE.
     let plan = FaultPlan::new(vec![
-        fem2_machine::fault::FaultEvent {
-            at: 10_000,
-            pe: PeId::new(0, 0),
-        },
-        fem2_machine::fault::FaultEvent {
-            at: 20_000,
-            pe: PeId::new(0, 2),
-        },
-        fem2_machine::fault::FaultEvent {
-            at: 30_000,
-            pe: PeId::new(0, 4),
-        },
-        fem2_machine::fault::FaultEvent {
-            at: 40_000,
-            pe: PeId::new(1, 1),
-        },
-        fem2_machine::fault::FaultEvent {
-            at: 50_000,
-            pe: PeId::new(1, 3),
-        },
-        fem2_machine::fault::FaultEvent {
-            at: 60_000,
-            pe: PeId::new(1, 5),
-        },
+        fem2_machine::fault::FaultEvent::kill_pe(10_000, PeId::new(0, 0)),
+        fem2_machine::fault::FaultEvent::kill_pe(20_000, PeId::new(0, 2)),
+        fem2_machine::fault::FaultEvent::kill_pe(30_000, PeId::new(0, 4)),
+        fem2_machine::fault::FaultEvent::kill_pe(40_000, PeId::new(1, 1)),
+        fem2_machine::fault::FaultEvent::kill_pe(50_000, PeId::new(1, 3)),
+        fem2_machine::fault::FaultEvent::kill_pe(60_000, PeId::new(1, 5)),
     ]);
     k.inject_faults(&plan);
     k.run();
