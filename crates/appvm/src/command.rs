@@ -135,6 +135,12 @@ pub enum Command {
     List,
     /// Delete a model from the database.
     Delete(String),
+    /// Statically verify the distributed solve of the current model
+    /// (protocol, deadlock, storage passes) without running it.
+    Verify {
+        /// Task-crew size (default: one task per worker PE).
+        tasks: Option<u32>,
+    },
     /// Control event tracing of console commands.
     Trace(TraceAction),
     /// Show the command summary.
@@ -324,6 +330,13 @@ pub fn parse(line: &str) -> Result<Option<Command>, ParseError> {
                 return err("usage: DELETE <name>");
             }
         }
+        "VERIFY" => match kw.get(1).map(|s| s.as_str()) {
+            None => Command::Verify { tasks: None },
+            Some("TASKS") if toks.len() == 3 => Command::Verify {
+                tasks: Some(parse_num(toks[2], "task count")?),
+            },
+            _ => return err("usage: VERIFY [TASKS <n>]"),
+        },
         "TRACE" => match kw.get(1).map(|s| s.as_str()) {
             Some("ON") => Command::Trace(TraceAction::On),
             Some("OFF") => Command::Trace(TraceAction::Off),
@@ -360,6 +373,7 @@ RENUMBER                            RCM bandwidth reduction
 FREQUENCY                           fundamental eigenvalue / mode
 DISPLAY MODEL|DISPLACEMENTS|STRESSES
 STORE | RETRIEVE <name> | LIST | DELETE <name>
+VERIFY [TASKS <n>]                  static checks of the distributed solve
 TRACE ON|OFF|EXPORT <path>          event tracing of commands
 HELP | QUIT";
 
@@ -503,6 +517,14 @@ mod tests {
     }
 
     #[test]
+    fn verify_commands_parse() {
+        assert_eq!(one("VERIFY"), Command::Verify { tasks: None });
+        assert_eq!(one("verify tasks 8"), Command::Verify { tasks: Some(8) });
+        assert!(parse("VERIFY TASKS").is_err());
+        assert!(parse("VERIFY NOW").is_err());
+    }
+
+    #[test]
     fn trace_commands_parse() {
         assert_eq!(one("TRACE ON"), Command::Trace(TraceAction::On));
         assert_eq!(one("trace off"), Command::Trace(TraceAction::Off));
@@ -539,7 +561,7 @@ mod tests {
     fn help_text_covers_every_command_family() {
         for kw in [
             "DEFINE", "GENERATE", "MATERIAL", "FIX", "LOADSET", "LOAD", "SOLVE", "STRESSES",
-            "DISPLAY", "STORE", "RETRIEVE", "LIST", "DELETE", "TRACE", "QUIT",
+            "DISPLAY", "STORE", "RETRIEVE", "LIST", "DELETE", "VERIFY", "TRACE", "QUIT",
         ] {
             assert!(HELP_TEXT.contains(kw), "HELP missing {kw}");
         }

@@ -39,7 +39,7 @@ pub fn displacement_table(m: &StructuralModel, a: &Analysis, max_rows: usize) ->
             (n, u, v, (u * u + v * v).sqrt())
         })
         .collect();
-    rows.sort_by(|x, y| y.3.partial_cmp(&x.3).unwrap());
+    rows.sort_by(|x, y| y.3.total_cmp(&x.3));
     let mut out = String::new();
     let _ = writeln!(out, "{:>6} {:>14} {:>14} {:>14}", "node", "u", "v", "|d|");
     for (n, u, v, d) in rows.into_iter().take(max_rows) {
@@ -57,7 +57,7 @@ pub fn stress_table(a: &Analysis, max_rows: usize) -> String {
         .enumerate()
         .map(|(e, s)| (e, s.sx, s.sy, s.txy, s.von_mises()))
         .collect();
-    rows.sort_by(|x, y| y.4.partial_cmp(&x.4).unwrap());
+    rows.sort_by(|x, y| y.4.total_cmp(&x.4));
     let mut out = String::new();
     let _ = writeln!(
         out,

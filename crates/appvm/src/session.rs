@@ -263,7 +263,7 @@ impl Session {
                     .max_by(|(_, a), (_, b)| {
                         let ma = a[0] * a[0] + a[1] * a[1];
                         let mb = b[0] * b[0] + b[1] * b[1];
-                        ma.partial_cmp(&mb).unwrap()
+                        ma.total_cmp(&mb)
                     })
                     .map(|(n, _)| n)
                     .unwrap_or(0);
@@ -320,6 +320,29 @@ impl Session {
                 } else {
                     Err(format!("no stored model named {name}"))
                 }
+            }
+            Command::Verify { tasks } => {
+                let m = self.workspace.model()?;
+                let dofs = m.dof_count() as u64;
+                if dofs == 0 {
+                    return Err("no unknowns to verify (GENERATE first)".into());
+                }
+                let machine = fem2_machine::MachineConfig::fem2_default();
+                let tasks = tasks.unwrap_or_else(|| machine.total_workers());
+                let script = fem2_verify::lower::solve_script(
+                    format!("{} ({dofs} unknowns, {tasks} tasks)", m.name),
+                    &machine,
+                    tasks,
+                    fem2_verify::lower::SolveShape {
+                        unknowns: dofs,
+                        // CG keeps five vectors live: b, x, r, p, Ap.
+                        vectors: 5,
+                        // One boundary row of unknowns crosses each halo.
+                        halo_words: dofs.isqrt().max(1),
+                    },
+                );
+                let report = fem2_verify::check_script(&script, &machine);
+                Ok(report.render())
             }
             Command::Trace(action) => match action {
                 TraceAction::On => {

@@ -21,7 +21,7 @@ fn bench(c: &mut Criterion) {
                 } else {
                     let idx = rng.below(live.len() as u64) as usize;
                     let blk = live.swap_remove(idx);
-                    heap.free(blk).unwrap();
+                    heap.free(blk).expect("block came from this heap");
                 }
             }
             heap.high_water()

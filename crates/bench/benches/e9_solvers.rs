@@ -25,7 +25,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| solver::cg::solve(&a, &f, ctl, false).1.iterations)
     });
     g.bench_function("skyline", |b| {
-        b.iter(|| solver::skyline::solve(&a, &f).unwrap()[0])
+        b.iter(|| solver::skyline::solve(&a, &f).expect("benchmark system is SPD")[0])
     });
     g.finish();
 }

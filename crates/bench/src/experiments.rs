@@ -569,7 +569,7 @@ fn heap_trace(label: &str, sizes: impl Fn(&mut XorShift) -> u64, out: &mut Strin
         } else {
             let idx = rng.below(live.len() as u64) as usize;
             let b = live.swap_remove(idx);
-            heap.free(b).unwrap();
+            heap.free(b).expect("block came from this heap");
         }
     }
     let dt = t0.elapsed();
@@ -681,7 +681,7 @@ pub fn e9_solvers(sizes: &[usize]) -> String {
             &mut out,
         );
         let t0 = std::time::Instant::now();
-        let x = solver::skyline::solve(&a, &f).unwrap();
+        let x = solver::skyline::solve(&a, &f).expect("benchmark system is SPD");
         let res = solver::residual_norm(&a, &x, &f);
         run("skyline", (1, res, 0, t0.elapsed()), &mut out);
     }
@@ -779,7 +779,8 @@ pub fn a1_renumbering() -> String {
             let free = cons.free_dofs(k.order());
             let kr = k.submatrix(&free);
             let fr = cons.restrict(&f);
-            let x = fem2_core::fem::solver::skyline::solve(&kr, &fr).unwrap();
+            let x =
+                fem2_core::fem::solver::skyline::solve(&kr, &fr).expect("benchmark system is SPD");
             let dt = t0.elapsed();
             let _ = x;
             let _ = writeln!(

@@ -6,4 +6,6 @@
 //! bench prints its experiment's table before timing the underlying kernel,
 //! so `cargo bench` regenerates every row.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;

@@ -7,6 +7,13 @@
 //! FEM-2 default machine) with the event recorder attached, writes a
 //! Chrome `trace_event` JSON file to `path` (open it in `chrome://tracing`
 //! or Perfetto), and prints the per-phase metrics table.
+//!
+//! `--check` instead runs the static verifier over the four layer grammars
+//! and the seven example scenarios without simulating a cycle, printing the
+//! diagnostic report. Exit status is non-zero if any subject is rejected;
+//! `--allow-warnings` lets warning-only subjects pass.
+
+#![forbid(unsafe_code)]
 
 use fem2_bench::experiments as ex;
 use fem2_core::scenario::PlateScenario;
@@ -36,8 +43,23 @@ fn run_trace(path: &str) {
     println!("{}", chrome::phase_table(&rec));
 }
 
+fn run_check(allow_warnings: bool) -> ! {
+    let reports = fem2_core::verify::check_catalog();
+    print!("{}", fem2_core::verify::render_catalog(&reports));
+    let blocked = reports.iter().filter(|r| r.blocks(allow_warnings)).count();
+    if blocked > 0 {
+        eprintln!("fem2-report: {blocked} subject(s) rejected by static verification");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.iter().any(|a| a == "--check") {
+        let allow_warnings = raw.iter().any(|a| a == "--allow-warnings");
+        run_check(allow_warnings);
+    }
     let mut ids: Vec<String> = Vec::new();
     let mut i = 0;
     while i < raw.len() {

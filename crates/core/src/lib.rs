@@ -20,12 +20,20 @@
 //!   design method calls for (experiments E1/E2/E6);
 //! * [`design`] — the design-space iteration loop: evaluate candidate
 //!   machine organizations against a workload, score them, and converge to
-//!   the "proper match of hardware and software organizations" (E10).
+//!   the "proper match of hardware and software organizations" (E10);
+//! * [`verify`] — the static analyzer wired into the system: every scenario
+//!   is lowered to a script and checked (protocol conformance, deadlock
+//!   freedom, storage bounds) *before* dispatch, and the layer grammars are
+//!   checked for well-formedness — the formal specs used as analysis tools,
+//!   as the design method promised.
+
+#![forbid(unsafe_code)]
 
 pub mod design;
 pub mod layers;
 pub mod scenario;
 pub mod spec;
+pub mod verify;
 
 pub use design::{DesignCandidate, DesignSpace, DesignTrace};
 pub use layers::{Layer, LayerStack};
@@ -39,3 +47,4 @@ pub use fem2_kernel as kernel;
 pub use fem2_machine as machine;
 pub use fem2_navm as navm;
 pub use fem2_par as par;
+pub use fem2_verify as analyzer;

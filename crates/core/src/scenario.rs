@@ -92,6 +92,9 @@ pub struct PlateScenario {
     /// Trace sink threaded into the simulated machine (disabled by
     /// default; tracing is observation-only and never changes results).
     pub trace: TraceHandle,
+    /// Let warning-severity verification findings through the pre-dispatch
+    /// gate ([`PlateScenario::run`] still hard-fails on errors).
+    pub allow_warnings: bool,
 }
 
 impl PlateScenario {
@@ -106,6 +109,7 @@ impl PlateScenario {
             tol: 1e-6,
             max_iters: 5000,
             trace: TraceHandle::disabled(),
+            allow_warnings: false,
         }
     }
 
@@ -115,8 +119,48 @@ impl PlateScenario {
         self
     }
 
+    /// The same scenario with warning-severity verification findings
+    /// allowed through the pre-dispatch gate.
+    pub fn with_allowed_warnings(mut self) -> Self {
+        self.allow_warnings = true;
+        self
+    }
+
+    /// Statically verify this scenario without running it: protocol
+    /// conformance, window-exchange deadlock freedom, and storage bounds
+    /// over the lowered scenario script.
+    pub fn verify(&self) -> fem2_verify::Report {
+        let script = crate::verify::scenario_script(self);
+        fem2_verify::check_script(&script, &self.machine)
+    }
+
+    /// Verify, then run on the simulated plane. Scenarios the analyzer
+    /// rejects are returned as `Err` with the full diagnostic report;
+    /// warnings also reject unless [`allow_warnings`](Self::allow_warnings)
+    /// is set.
+    pub fn try_run(&self) -> Result<ScenarioReport, Box<fem2_verify::Report>> {
+        let report = self.verify();
+        if report.blocks(self.allow_warnings) {
+            return Err(Box::new(report));
+        }
+        Ok(self.run_unchecked())
+    }
+
     /// Run on the simulated plane and collect the requirement tables.
+    /// The static verifier runs first and a rejected scenario panics with
+    /// its diagnostics; use [`try_run`](Self::try_run) to handle rejection,
+    /// or [`run_unchecked`](Self::run_unchecked) to skip the gate.
     pub fn run(&self) -> ScenarioReport {
+        match self.try_run() {
+            Ok(report) => report,
+            Err(diagnostics) => {
+                panic!("scenario rejected by static verification:\n{diagnostics}")
+            }
+        }
+    }
+
+    /// Run without the pre-dispatch verification gate.
+    pub fn run_unchecked(&self) -> ScenarioReport {
         let mut vm = NaVm::simulated(self.machine.clone(), self.tasks);
         vm.set_trace(self.trace.clone());
         let elements = (self.nx - 1).max(1) * (self.ny - 1).max(1);
@@ -152,7 +196,12 @@ impl PlateScenario {
         let phases: Vec<(String, PhaseCounters)> = stats
             .phase_names()
             .iter()
-            .map(|n| (n.clone(), *stats.get(n).unwrap()))
+            .map(|n| {
+                (
+                    n.clone(),
+                    *stats.get(n).expect("phase_names lists existing phases"),
+                )
+            })
             .collect();
         let total = stats.total();
         ScenarioReport {

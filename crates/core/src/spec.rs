@@ -52,24 +52,30 @@ pub fn model_to_hgraph(m: &StructuralModel) -> HGraph {
     let mut h = HGraph::new();
     let g = h.new_graph(format!("model:{}", m.name));
     let root = h.add_node(g, Value::sym("model"));
-    h.set_entry(g, root).unwrap();
+    h.set_entry(g, root)
+        .expect("fresh graph construction cannot collide");
     let name = h.add_node(g, Value::str(m.name.clone()));
     let nodes = h.add_node(g, Value::int(m.mesh.node_count() as i64));
     let elems = h.add_node(g, Value::int(m.mesh.element_count() as i64));
     let fixed = h.add_node(g, Value::int(m.constraints.fixed_count() as i64));
     let hub = h.add_node(g, Value::sym("loads"));
-    h.add_arc(g, root, Selector::name("name"), name).unwrap();
-    h.add_arc(g, root, Selector::name("nodes"), nodes).unwrap();
+    h.add_arc(g, root, Selector::name("name"), name)
+        .expect("fresh graph construction cannot collide");
+    h.add_arc(g, root, Selector::name("nodes"), nodes)
+        .expect("fresh graph construction cannot collide");
     h.add_arc(g, root, Selector::name("elements"), elems)
-        .unwrap();
+        .expect("fresh graph construction cannot collide");
     h.add_arc(g, root, Selector::name("fixed_dofs"), fixed)
-        .unwrap();
-    h.add_arc(g, root, Selector::name("loads"), hub).unwrap();
+        .expect("fresh graph construction cannot collide");
+    h.add_arc(g, root, Selector::name("loads"), hub)
+        .expect("fresh graph construction cannot collide");
     for (i, ls) in m.load_sets.iter().enumerate() {
         let lsn = h.add_node(g, Value::str(ls.name.clone()));
         let count = h.add_node(g, Value::int(ls.len() as i64));
-        h.add_arc(g, lsn, Selector::name("count"), count).unwrap();
-        h.add_arc(g, hub, Selector::index(i as u64), lsn).unwrap();
+        h.add_arc(g, lsn, Selector::name("count"), count)
+            .expect("fresh graph construction cannot collide");
+        h.add_arc(g, hub, Selector::index(i as u64), lsn)
+            .expect("fresh graph construction cannot collide");
     }
     h
 }
@@ -101,7 +107,8 @@ pub fn window_to_hgraph(w: &WindowDescriptor) -> HGraph {
     let mut h = HGraph::new();
     let g = h.new_graph("window");
     let root = h.add_node(g, Value::sym("window"));
-    h.set_entry(g, root).unwrap();
+    h.set_entry(g, root)
+        .expect("fresh graph construction cannot collide");
     let fields: [(&str, i64); 7] = [
         ("array", w.array as i64),
         ("row0", w.row0 as i64),
@@ -113,7 +120,8 @@ pub fn window_to_hgraph(w: &WindowDescriptor) -> HGraph {
     ];
     for (name, v) in fields {
         let n = h.add_node(g, Value::int(v));
-        h.add_arc(g, root, Selector::name(name), n).unwrap();
+        h.add_arc(g, root, Selector::name(name), n)
+            .expect("fresh graph construction cannot collide");
     }
     h
 }
@@ -149,7 +157,8 @@ pub fn kernel_tasks_to_hgraph(k: &KernelSim) -> HGraph {
     let mut h = HGraph::new();
     let g = h.new_graph("tasks");
     let hub = h.add_node(g, Value::sym("tasks"));
-    h.set_entry(g, hub).unwrap();
+    h.set_entry(g, hub)
+        .expect("fresh graph construction cannot collide");
     for i in 0..k.task_count() {
         let rec = k.task(fem2_kernel::TaskId(i as u64));
         let state = match rec.state {
@@ -160,12 +169,15 @@ pub fn kernel_tasks_to_hgraph(k: &KernelSim) -> HGraph {
         };
         let tn = h.add_node(g, Value::sym(state));
         let cl = h.add_node(g, Value::int(rec.cluster as i64));
-        h.add_arc(g, tn, Selector::name("cluster"), cl).unwrap();
+        h.add_arc(g, tn, Selector::name("cluster"), cl)
+            .expect("fresh graph construction cannot collide");
         if let Some(p) = rec.parent {
             let pn = h.add_node(g, Value::int(p.0 as i64));
-            h.add_arc(g, tn, Selector::name("parent"), pn).unwrap();
+            h.add_arc(g, tn, Selector::name("parent"), pn)
+                .expect("fresh graph construction cannot collide");
         }
-        h.add_arc(g, hub, Selector::index(i as u64), tn).unwrap();
+        h.add_arc(g, hub, Selector::index(i as u64), tn)
+            .expect("fresh graph construction cannot collide");
     }
     h
 }
@@ -199,17 +211,21 @@ pub fn machine_to_hgraph(cfg: &MachineConfig) -> HGraph {
     let mut h = HGraph::new();
     let g = h.new_graph("machine");
     let root = h.add_node(g, Value::sym("machine"));
-    h.set_entry(g, root).unwrap();
+    h.set_entry(g, root)
+        .expect("fresh graph construction cannot collide");
     let topo = h.add_node(g, Value::sym(cfg.topology.name()));
     h.add_arc(g, root, Selector::name("topology"), topo)
-        .unwrap();
+        .expect("fresh graph construction cannot collide");
     for c in 0..cfg.clusters {
         let cn = h.add_node(g, Value::sym("cluster"));
         let pes = h.add_node(g, Value::int(cfg.pes_per_cluster as i64));
         let mem = h.add_node(g, Value::int(cfg.memory_per_cluster as i64));
-        h.add_arc(g, cn, Selector::name("pes"), pes).unwrap();
-        h.add_arc(g, cn, Selector::name("memory"), mem).unwrap();
-        h.add_arc(g, root, Selector::index(c as u64), cn).unwrap();
+        h.add_arc(g, cn, Selector::name("pes"), pes)
+            .expect("fresh graph construction cannot collide");
+        h.add_arc(g, cn, Selector::name("memory"), mem)
+            .expect("fresh graph construction cannot collide");
+        h.add_arc(g, root, Selector::index(c as u64), cn)
+            .expect("fresh graph construction cannot collide");
     }
     h
 }

@@ -1,0 +1,165 @@
+//! Static verification of scenarios and layer grammars, wired into the
+//! system: the catalog `fem2-report --check` walks, the lowering from
+//! [`PlateScenario`] to the analyzer's script IR, and the named example
+//! workloads.
+//!
+//! Every scenario is verified *before* dispatch (see
+//! [`PlateScenario::run`]): the analyzer replays the scenario's message
+//! sequence through the kernel's protocol automaton, matches its window
+//! rendezvous for deadlock, and bounds its per-cluster storage — all
+//! without simulating a cycle. A scenario that fails is rejected with
+//! diagnostics naming the tasks and clusters involved.
+
+use crate::scenario::PlateScenario;
+use crate::spec;
+use fem2_machine::{MachineConfig, Topology};
+use fem2_verify::lower::{solve_script, SolveShape};
+use fem2_verify::{check_grammar, check_script, Report, ScenarioScript};
+
+/// Number of solver vectors a plate CG run keeps live: b, x, r, p, Ap.
+pub const CG_LIVE_VECTORS: u64 = 5;
+
+/// Lower a plate scenario to the analyzer's script IR. The script mirrors
+/// what [`PlateScenario::run`] will ask of the kernel: one task per worker
+/// block-mapped over the clusters, row-block vector storage, and red-black
+/// halo exchanges between neighbouring tasks.
+pub fn scenario_script(s: &PlateScenario) -> ScenarioScript {
+    let unknowns = (s.nx * s.ny) as u64;
+    solve_script(
+        format!("plate {}x{} on {}", s.nx, s.ny, s.machine.describe()),
+        &s.machine,
+        s.tasks,
+        SolveShape {
+            unknowns,
+            vectors: CG_LIVE_VECTORS,
+            // One boundary row of the grid crosses each halo.
+            halo_words: s.nx as u64,
+        },
+    )
+}
+
+/// The four layer grammars, named, in layer order.
+pub fn layer_grammars() -> Vec<(&'static str, std::sync::Arc<fem2_hgraph::Grammar>)> {
+    vec![
+        ("application-user", spec::app_grammar()),
+        ("numerical-analyst", spec::navm_grammar()),
+        ("system-programmer", spec::kernel_grammar()),
+        ("hardware", spec::hw_grammar()),
+    ]
+}
+
+/// Named scenarios mirroring each program under `examples/`: the workload
+/// each example drives, expressed as the plate scenario the analyzer
+/// checks. Kept in sync with the examples by the `verify` test suite.
+pub fn example_scenarios() -> Vec<(&'static str, PlateScenario)> {
+    vec![
+        // quickstart: 32x32 plate on the default FEM-2 machine.
+        (
+            "quickstart",
+            PlateScenario::square(32, MachineConfig::fem2_default()),
+        ),
+        // cantilever_plate: 40x12-element cantilever (41x13 grid points).
+        ("cantilever_plate", {
+            let mut s = PlateScenario::square(41, MachineConfig::fem2_default());
+            s.ny = 13;
+            s
+        }),
+        // substructure_wing: 48x6-element wing skin (49x7 grid points).
+        ("substructure_wing", {
+            let mut s = PlateScenario::square(49, MachineConfig::fem2_default());
+            s.ny = 7;
+            s
+        }),
+        // command_session: the 12x4 bridge-deck grid (13x5 points).
+        ("command_session", {
+            let mut s = PlateScenario::square(13, MachineConfig::fem2_default());
+            s.ny = 5;
+            s
+        }),
+        // design_space: the sweep's machine-wide problem on the selected
+        // clustered organization.
+        (
+            "design_space",
+            PlateScenario::square(32, MachineConfig::fem2_default()),
+        ),
+        // multi_user: one user's 24x24 problem confined to a single cluster.
+        (
+            "multi_user",
+            PlateScenario::square(24, MachineConfig::clustered(1, 8, Topology::Crossbar)),
+        ),
+        // formal_spec: the small demonstration model (4x2 elements).
+        ("formal_spec", {
+            let mut s = PlateScenario::square(5, MachineConfig::fem2_default());
+            s.ny = 3;
+            s
+        }),
+    ]
+}
+
+/// Run the whole check catalog: the four layer grammars, then the seven
+/// example scenarios. Deterministic order and content.
+pub fn check_catalog() -> Vec<Report> {
+    let mut reports: Vec<Report> = layer_grammars()
+        .iter()
+        .map(|(_, g)| check_grammar(g))
+        .collect();
+    for (_, scenario) in example_scenarios() {
+        let script = scenario_script(&scenario);
+        reports.push(check_script(&script, &scenario.machine));
+    }
+    reports
+}
+
+/// Render a catalog run as the `fem2-report --check` output.
+pub fn render_catalog(reports: &[Report]) -> String {
+    let mut out =
+        String::from("FEM-2 static verification (4 layer grammars + 7 example scenarios)\n\n");
+    for r in reports {
+        out.push_str(&r.render());
+        out.push('\n');
+    }
+    let errors: usize = reports.iter().map(Report::error_count).sum();
+    let warnings: usize = reports.iter().map(Report::warning_count).sum();
+    out.push_str(&format!(
+        "TOTAL: {} subject(s), {} error(s), {} warning(s)\n",
+        reports.len(),
+        errors,
+        warnings
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_clean_and_deterministic() {
+        let a = check_catalog();
+        assert_eq!(a.len(), 4 + 7);
+        for r in &a {
+            assert!(r.is_clean(), "{}", r.render());
+        }
+        let b = check_catalog();
+        assert_eq!(render_catalog(&a), render_catalog(&b));
+    }
+
+    #[test]
+    fn scenario_script_names_the_machine() {
+        let s = PlateScenario::square(8, MachineConfig::fem2_default());
+        let script = scenario_script(&s);
+        assert!(script.name.contains("plate 8x8"));
+        assert!(script.name.contains("crossbar"));
+        assert!(!script.is_empty());
+    }
+
+    #[test]
+    fn layer_grammars_cover_all_four_layers() {
+        let gs = layer_grammars();
+        assert_eq!(gs.len(), 4);
+        for (name, g) in gs {
+            assert!(g.rule_count() > 0, "{name} grammar is empty");
+            assert!(g.start().is_some(), "{name} grammar has a start symbol");
+        }
+    }
+}

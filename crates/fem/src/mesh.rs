@@ -152,7 +152,7 @@ impl Mesh {
             .min_by(|(_, a), (_, b)| {
                 let da = (a.x - x).powi(2) + (a.y - y).powi(2);
                 let db = (b.x - x).powi(2) + (b.y - y).powi(2);
-                da.partial_cmp(&db).unwrap()
+                da.total_cmp(&db)
             })
             .map(|(i, _)| i)
             .expect("empty mesh")

@@ -32,7 +32,7 @@ impl Partition {
             let el = &mesh.elements[e];
             el.nodes.iter().map(|&n| mesh.nodes[n].x).sum::<f64>() / el.nodes.len() as f64
         };
-        order.sort_by(|&a, &b| cx(a).partial_cmp(&cx(b)).unwrap().then(a.cmp(&b)));
+        order.sort_by(|&a, &b| cx(a).total_cmp(&cx(b)).then(a.cmp(&b)));
         let mut element_part = vec![0; ne];
         for (rank, &e) in order.iter().enumerate() {
             element_part[e] = rank * parts / ne.max(1);

@@ -180,7 +180,10 @@ pub fn analyze_substructures(
     fem2_par::chunks_mut(pool, &mut condensed, 1, |p, slot| {
         slot[0] = Some(condense_one(mesh, mat, cons, part, &iface_dofs, f_full, p));
     });
-    let condensed: Vec<Condensed> = condensed.into_iter().map(|c| c.unwrap()).collect();
+    let condensed: Vec<Condensed> = condensed
+        .into_iter()
+        .map(|c| c.expect("chunks_mut visited every part slot"))
+        .collect();
 
     // Assemble the interface system.
     let nb = iface_list.len();

@@ -229,6 +229,25 @@ impl Shape {
             ShapeKind::GraphEntry(nt) => vec![nt.as_str()],
         }
     }
+
+    /// Nonterminals this shape needs to be productive before it can be
+    /// satisfied by finite data (see [`Grammar::alternative_requires`]).
+    fn required(&self) -> Vec<&str> {
+        match &self.kind {
+            ShapeKind::Node { value, arcs, .. } => {
+                let mut v: Vec<&str> = arcs
+                    .iter()
+                    .filter(|a| a.mult == Multiplicity::One)
+                    .map(|a| a.target.as_str())
+                    .collect();
+                if let ValueSpec::Nested(nt) = value {
+                    v.push(nt);
+                }
+                v
+            }
+            ShapeKind::GraphEntry(nt) => vec![nt.as_str()],
+        }
+    }
 }
 
 /// Errors from grammar construction and conformance checking.
@@ -272,6 +291,8 @@ impl std::error::Error for GrammarError {}
 pub struct Grammar {
     name: String,
     rules: BTreeMap<String, Vec<Shape>>,
+    /// Nonterminals in declaration order; the first is the start symbol.
+    order: Vec<String>,
 }
 
 /// Builder for [`Grammar`]; validates cross-references at [`build`](GrammarBuilder::build).
@@ -309,6 +330,58 @@ impl Grammar {
         self.rules.keys().map(|s| s.as_str())
     }
 
+    /// The start symbol: the first nonterminal declared on the builder.
+    /// `None` only for an empty grammar.
+    pub fn start(&self) -> Option<&str> {
+        self.order.first().map(|s| s.as_str())
+    }
+
+    /// Nonterminal names in the order they were declared on the builder.
+    pub fn declaration_order(&self) -> impl Iterator<Item = &str> {
+        self.order.iter().map(|s| s.as_str())
+    }
+
+    /// The number of alternatives for `nt` (zero if undefined).
+    pub fn alternative_count(&self, nt: &str) -> usize {
+        self.rules.get(nt).map_or(0, Vec::len)
+    }
+
+    /// Nonterminals referenced from any alternative of `nt`, deduplicated
+    /// and sorted. Empty for undefined nonterminals.
+    pub fn referenced_by(&self, nt: &str) -> Vec<&str> {
+        let mut out: Vec<&str> = self
+            .rules
+            .get(nt)
+            .map(|shapes| shapes.iter().flat_map(Shape::referenced).collect())
+            .unwrap_or_default();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Nonterminals referenced from alternative `alt` of `nt` (in spec
+    /// order, duplicates preserved). Empty when out of range or undefined.
+    pub fn referenced_by_alternative(&self, nt: &str, alt: usize) -> Vec<&str> {
+        self.rules
+            .get(nt)
+            .and_then(|shapes| shapes.get(alt))
+            .map(Shape::referenced)
+            .unwrap_or_default()
+    }
+
+    /// Nonterminals that alternative `alt` of `nt` *requires* for finite,
+    /// non-cyclic data: required arcs and nested/graph-entry values. An
+    /// alternative is inductively productive when every requirement is;
+    /// optional arcs, indexed sequences (which may be empty), and the atom
+    /// half of `atom_or_nested` require nothing. Empty when out of range.
+    pub fn alternative_requires(&self, nt: &str, alt: usize) -> Vec<&str> {
+        self.rules
+            .get(nt)
+            .and_then(|shapes| shapes.get(alt))
+            .map(Shape::required)
+            .unwrap_or_default()
+    }
+
     /// Check that node `n` of graph `g` conforms to nonterminal `nt`.
     pub fn node_conforms(
         &self,
@@ -342,8 +415,9 @@ impl Grammar {
     }
 
     /// Human-readable descriptions of each alternative of `nt` (used by the
-    /// BNF renderer). Unknown nonterminals yield an empty list.
-    pub(crate) fn describe_alternatives(&self, nt: &str) -> Vec<String> {
+    /// BNF renderer and by well-formedness analyzers to compare
+    /// alternatives). Unknown nonterminals yield an empty list.
+    pub fn describe_alternatives(&self, nt: &str) -> Vec<String> {
         self.rules
             .get(nt)
             .map(|shapes| shapes.iter().map(describe_shape).collect())
@@ -532,6 +606,7 @@ impl GrammarBuilder {
         Ok(Grammar {
             name: self.name,
             rules: self.rules,
+            order: self.order,
         })
     }
 }
@@ -831,5 +906,85 @@ mod tests {
         assert_eq!(g.name(), "list");
         assert_eq!(g.rule_count(), 1);
         assert_eq!(g.nonterminals().collect::<Vec<_>>(), vec!["List"]);
+    }
+
+    #[test]
+    fn empty_grammar_builds_with_no_start() {
+        let g = Grammar::builder("empty").build().unwrap();
+        assert_eq!(g.rule_count(), 0);
+        assert_eq!(g.start(), None);
+        assert_eq!(g.declaration_order().count(), 0);
+        assert!(g.referenced_by("Anything").is_empty());
+        // Conformance queries against an empty grammar report the
+        // nonterminal as unknown rather than panicking.
+        let mut h = HGraph::new();
+        let gr = h.new_graph("x");
+        let n = h.add_node(gr, Value::int(0));
+        assert!(matches!(
+            g.node_conforms(&h, gr, n, "X"),
+            Err(GrammarError::UnknownNonterminal(_))
+        ));
+    }
+
+    #[test]
+    fn self_referential_production_introspects() {
+        // Loop ::= node(Int) { next -> Loop } — references itself in a
+        // *required* position, so only cyclic data can satisfy it.
+        let g = Grammar::builder("selfref")
+            .rule("Loop", Shape::node(AtomKind::Int).arc("next", "Loop"))
+            .build()
+            .unwrap();
+        assert_eq!(g.start(), Some("Loop"));
+        assert_eq!(g.referenced_by("Loop"), vec!["Loop"]);
+        assert_eq!(g.alternative_requires("Loop", 0), vec!["Loop"]);
+        // The optional-arc variant requires nothing.
+        let g2 = Grammar::builder("selfopt")
+            .rule("List", Shape::node(AtomKind::Int).arc_opt("next", "List"))
+            .build()
+            .unwrap();
+        assert_eq!(g2.referenced_by("List"), vec!["List"]);
+        assert!(g2.alternative_requires("List", 0).is_empty());
+    }
+
+    #[test]
+    fn unreachable_nonterminal_visible_via_start_and_references() {
+        // Orphan is declared but never referenced from the start symbol.
+        let g = Grammar::builder("unreach")
+            .rule("Root", Shape::node(AtomKind::Sym).arc_opt("kid", "Kid"))
+            .rule("Kid", Shape::node(AtomKind::Int))
+            .rule("Orphan", Shape::node(AtomKind::Float))
+            .build()
+            .unwrap();
+        assert_eq!(g.start(), Some("Root"));
+        assert_eq!(
+            g.declaration_order().collect::<Vec<_>>(),
+            vec!["Root", "Kid", "Orphan"]
+        );
+        // Transitive closure from the start never reaches Orphan.
+        let mut seen = std::collections::BTreeSet::new();
+        let mut work = vec!["Root"];
+        while let Some(nt) = work.pop() {
+            if seen.insert(nt) {
+                work.extend(g.referenced_by(nt));
+            }
+        }
+        assert!(seen.contains("Kid"));
+        assert!(!seen.contains("Orphan"));
+    }
+
+    #[test]
+    fn alternative_introspection_per_alternative() {
+        let g = Grammar::builder("alts")
+            .rule("Val", Shape::node(AtomKind::Int))
+            .rule("Val", Shape::nested("Sub"))
+            .rule("Sub", Shape::graph_entry("Leaf"))
+            .rule("Leaf", Shape::node(AtomKind::Sym))
+            .build()
+            .unwrap();
+        assert_eq!(g.alternative_count("Val"), 2);
+        assert!(g.referenced_by_alternative("Val", 0).is_empty());
+        assert_eq!(g.referenced_by_alternative("Val", 1), vec!["Sub"]);
+        assert!(g.referenced_by_alternative("Val", 2).is_empty());
+        assert_eq!(g.alternative_requires("Sub", 0), vec!["Leaf"]);
     }
 }

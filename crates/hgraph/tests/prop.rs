@@ -1,5 +1,9 @@
 //! Property tests for the H-graph substrate.
 
+// Test-only binary: unwrap is fine here, but the proptest! macro expands
+// helpers outside #[test] fns, past `allow-unwrap-in-tests` detection.
+#![allow(clippy::unwrap_used)]
+
 use fem2_hgraph::prelude::*;
 use proptest::prelude::*;
 

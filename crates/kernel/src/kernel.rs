@@ -595,7 +595,7 @@ impl KernelSim {
         };
         let (from, to) = (p.from, p.to);
         if p.attempts >= self.config.max_retransmits {
-            let p = self.pending.remove(&seq).unwrap();
+            let p = self.pending.remove(&seq).expect("checked present above");
             self.stats.drops.dead_letter += 1;
             let kind = p.msg.kind().trace_kind();
             self.machine.trace.emit(|| {
@@ -618,7 +618,10 @@ impl KernelSim {
         }
         let attempt = p.attempts + 1;
         let msg = p.msg.clone();
-        self.pending.get_mut(&seq).unwrap().attempts = attempt;
+        self.pending
+            .get_mut(&seq)
+            .expect("checked present above")
+            .attempts = attempt;
         self.stats.retransmits += 1;
         let kind = msg.kind().trace_kind();
         self.machine.trace.emit(|| {
@@ -795,7 +798,7 @@ impl KernelSim {
                     let at = self
                         .machine
                         .pe(self.machine.kernel_pe(cluster))
-                        .unwrap()
+                        .expect("kernel PE id is always in range")
                         .free_at;
                     self.queue.schedule(at, KEvent::Dispatch { cluster });
                 }
@@ -955,7 +958,10 @@ impl KernelSim {
             else {
                 return;
             };
-            let task = self.clusters[cluster as usize].ready.pop_front().unwrap();
+            let task = self.clusters[cluster as usize]
+                .ready
+                .pop_front()
+                .expect("ready checked non-empty above");
             let (needs_alloc, locals) = {
                 let rec = &self.tasks[task.0 as usize];
                 (!rec.locals_held, rec.locals_words)

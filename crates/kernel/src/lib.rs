@@ -29,13 +29,18 @@
 //!   numerical analyst's windows;
 //! * [`kernel`] — [`kernel::KernelSim`]: the per-cluster kernel loop over
 //!   the simulated machine — fields incoming messages on the kernel PE and
-//!   assigns available PEs to process them, with fault reconfiguration.
+//!   assigns available PEs to process them, with fault reconfiguration;
+//! * [`protocol`] — the message protocol as a finite automaton, for static
+//!   conformance checking of scenario message sequences.
+
+#![forbid(unsafe_code)]
 
 pub mod activation;
 pub mod codeblock;
 pub mod heap;
 pub mod kernel;
 pub mod message;
+pub mod protocol;
 pub mod window_desc;
 
 pub use activation::{ActivationRecord, TaskId, TaskState};
@@ -43,4 +48,5 @@ pub use codeblock::{CodeBlock, CodeId, CodeStore, WorkProfile};
 pub use heap::{Block, Heap, HeapError};
 pub use kernel::{DropCounts, KernelConfig, KernelSim, KernelStats};
 pub use message::{KernelMessage, MessageKind};
+pub use protocol::{ProtocolAutomaton, ProtocolState, ProtocolViolation};
 pub use window_desc::{WindowDescriptor, WindowKind};

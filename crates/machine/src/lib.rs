@@ -33,6 +33,8 @@
 //! scheduling, no randomness. Two runs over the same inputs produce the same
 //! event trace (property-tested in `tests/`).
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod fault;
 pub mod memory;

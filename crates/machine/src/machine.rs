@@ -137,6 +137,12 @@ impl Machine {
         Ok((pe.cluster * self.config.pes_per_cluster + pe.index) as usize)
     }
 
+    /// `flat` for ids produced by [`cluster_pes`](Self::cluster_pes), which
+    /// are in range by construction.
+    fn flat_known(&self, pe: PeId) -> usize {
+        self.flat(pe).expect("PE id from cluster_pes is in range")
+    }
+
     /// Read access to a PE.
     pub fn pe(&self, pe: PeId) -> Result<&Pe, MachineError> {
         Ok(&self.pes[self.flat(pe)?])
@@ -158,7 +164,7 @@ impl Machine {
         let dedicated = self.config.dedicated_kernel_pe && self.alive_count(c) > 1;
         self.cluster_pes(c)
             .filter(|&pe| {
-                let idx = self.flat(pe).unwrap();
+                let idx = self.flat_known(pe);
                 if self.pes[idx].failed {
                     return false;
                 }
@@ -173,7 +179,7 @@ impl Machine {
     /// Number of surviving PEs in cluster `c`.
     pub fn alive_count(&self, c: u32) -> u32 {
         self.cluster_pes(c)
-            .filter(|&pe| !self.pes[self.flat(pe).unwrap()].failed)
+            .filter(|&pe| !self.pes[self.flat_known(pe)].failed)
             .count() as u32
     }
 
@@ -182,7 +188,7 @@ impl Machine {
     pub fn pick_worker(&self, c: u32) -> Option<PeId> {
         self.worker_pes(c)
             .into_iter()
-            .min_by_key(|&pe| (self.pes[self.flat(pe).unwrap()].free_at, pe.index))
+            .min_by_key(|&pe| (self.pes[self.flat_known(pe)].free_at, pe.index))
     }
 
     /// Charge `count` units of `class` to `pe`, starting no earlier than
@@ -336,7 +342,7 @@ impl Machine {
             // Promote the lowest-indexed surviving PE to kernel duty.
             let successor = self
                 .cluster_pes(c)
-                .find(|&p| !self.pes[self.flat(p).unwrap()].failed)
+                .find(|&p| !self.pes[self.flat_known(p)].failed)
                 .expect("alive_count > 0");
             self.kernel_pe[c as usize] = successor.index;
         }

@@ -191,7 +191,7 @@ impl<E> Simulator<E> {
                 None => return true,
                 Some(t) if t > deadline => return false,
                 Some(_) => {
-                    let (at, ev) = self.queue.pop().unwrap();
+                    let (at, ev) = self.queue.pop().expect("next_time returned Some");
                     self.events_processed += 1;
                     handler(self, at, ev);
                 }

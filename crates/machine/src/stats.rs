@@ -89,10 +89,8 @@ impl Stats {
     fn cur(&mut self) -> &mut PhaseCounters {
         if !self.phases.contains_key(&self.current) {
             self.order.push(self.current.clone());
-            self.phases
-                .insert(self.current.clone(), PhaseCounters::default());
         }
-        self.phases.get_mut(&self.current).unwrap()
+        self.phases.entry(self.current.clone()).or_default()
     }
 
     /// Record `n` floating-point operations.

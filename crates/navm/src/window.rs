@@ -300,7 +300,8 @@ impl NaVm {
         let mut it = values.iter();
         for r in w.desc.row0..w.desc.row1 {
             for c in w.desc.col0..w.desc.col1 {
-                a.data[r as usize * a.cols + c as usize] = *it.next().unwrap();
+                a.data[r as usize * a.cols + c as usize] =
+                    *it.next().expect("asserted values.len() == w.len()");
             }
         }
     }
@@ -342,7 +343,8 @@ impl NaVm {
         let mut it = values.iter();
         for r in w.desc.row0..w.desc.row1 {
             for c in w.desc.col0..w.desc.col1 {
-                a.data[r as usize * a.cols + c as usize] += *it.next().unwrap();
+                a.data[r as usize * a.cols + c as usize] +=
+                    *it.next().expect("asserted values.len() == w.len()");
             }
         }
     }

@@ -145,7 +145,10 @@ impl Pool {
             s.spawn(|| ra = Some(a()));
             rb = Some(b());
         });
-        (ra.unwrap(), rb.unwrap())
+        (
+            ra.expect("scope joined the spawned half"),
+            rb.expect("closure b ran on the scope's own thread"),
+        )
     }
 
     /// Call `f(i)` for every `i` in `range`, in parallel, splitting the
@@ -292,9 +295,22 @@ impl<'env, 'state> Scope<'env, 'state> {
         // task before the environment frame is released.
         let state_ptr: *const ScopeState = self.state;
         let task: Box<dyn FnOnce() + Send + 'env> = Box::new(f);
+        // SAFETY: the transmute only erases the `'env` lifetime of the boxed
+        // closure (`Box<dyn FnOnce + Send + 'env>` -> `Box<dyn FnOnce + Send
+        // + 'static>`); layout of a boxed trait object does not depend on its
+        // lifetime bound. The erased borrow cannot dangle because
+        // `Pool::scope`'s join loop blocks until `state.pending` reaches
+        // zero, i.e. every spawned task has finished, before the `'env`
+        // environment frame can be released.
         let task: Job = unsafe { mem::transmute(task) };
         let state_addr = state_ptr as usize;
         let job: Job = Box::new(move || {
+            // SAFETY: `state_addr` is the address of the `ScopeState` that
+            // `Pool::scope` keeps alive on its stack until its join loop
+            // has observed `pending == 0`. This job holds a `pending` count (the
+            // `fetch_add` above precedes `push_job`, and the matching
+            // `fetch_sub` is the last thing this closure does), so the
+            // referenced state outlives every dereference here.
             let state = unsafe { &*(state_addr as *const ScopeState) };
             let result = panic::catch_unwind(AssertUnwindSafe(task));
             if let Err(p) = result {

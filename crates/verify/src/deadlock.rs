@@ -1,0 +1,407 @@
+//! Pass 2: static window-exchange deadlock detection.
+//!
+//! Window exchanges are rendezvous: a [`Op::WindowSend`] blocks its sender
+//! until the matching [`Op::WindowRecv`] runs, and vice versa. The pass
+//! first matches sends with receives — the k-th send from A to B through
+//! window W pairs with the k-th receive by B from A through W; leftovers
+//! are *unmatched pairs*, reported as errors because the blocked task can
+//! never proceed.
+//!
+//! Each matched pair is one rendezvous *event*. Both halves complete
+//! simultaneously, so event `e` must wait for every event that precedes
+//! either half in its task's program order: the pass draws an edge
+//! `e1 -> e2` whenever some task participates in both with `e1` first. A
+//! cycle in this event graph is a set of rendezvous all waiting on each
+//! other — a guaranteed deadlock — and the diagnostic spells out the
+//! shortest such cycle as a wait chain naming the tasks involved.
+
+use crate::diag::{Report, Severity, Span};
+use crate::script::{Op, ScenarioScript};
+use std::collections::BTreeMap;
+
+const PASS: &str = "deadlock";
+
+/// One half of a rendezvous, as collected from the script.
+#[derive(Clone, Debug)]
+struct Half {
+    /// Position in the participant's program order (index into its op list).
+    seq: usize,
+    span: Span,
+}
+
+/// A matched rendezvous event.
+#[derive(Clone, Debug)]
+struct Event {
+    from: String,
+    to: String,
+    window: String,
+    send: Half,
+    recv: Half,
+}
+
+/// Run the deadlock pass, appending findings to `report`.
+pub fn check(script: &ScenarioScript, report: &mut Report) {
+    // (from, to, window) -> FIFO of unmatched halves.
+    let mut sends: BTreeMap<(String, String, String), Vec<Half>> = BTreeMap::new();
+    let mut recvs: BTreeMap<(String, String, String), Vec<Half>> = BTreeMap::new();
+    let mut events: Vec<Event> = Vec::new();
+    // task -> ordered (seq, event index) participations.
+    let mut participation: BTreeMap<String, Vec<(usize, usize)>> = BTreeMap::new();
+
+    let bump = |task: &str, map: &mut BTreeMap<String, usize>| -> usize {
+        let c = map.entry(task.to_string()).or_insert(0);
+        let v = *c;
+        *c += 1;
+        v
+    };
+    let mut counters: BTreeMap<String, usize> = BTreeMap::new();
+
+    for (op, span) in script.ops() {
+        match op {
+            Op::WindowSend {
+                from, to, window, ..
+            } => {
+                let seq = bump(from, &mut counters);
+                if from == to {
+                    report.push(
+                        Severity::Error,
+                        PASS,
+                        Some(span),
+                        format!(
+                            "task '{from}' exchanges with itself through window '{window}': \
+                             the rendezvous can never complete"
+                        ),
+                    );
+                    continue;
+                }
+                let key = (from.clone(), to.clone(), window.clone());
+                let half = Half { seq, span };
+                if let Some(r) = recvs.get_mut(&key).and_then(pop_front) {
+                    push_event(
+                        &mut events,
+                        &mut participation,
+                        Event {
+                            from: from.clone(),
+                            to: to.clone(),
+                            window: window.clone(),
+                            send: half,
+                            recv: r,
+                        },
+                    );
+                } else {
+                    sends.entry(key).or_default().push(half);
+                }
+            }
+            Op::WindowRecv { task, from, window } => {
+                let seq = bump(task, &mut counters);
+                if task == from {
+                    report.push(
+                        Severity::Error,
+                        PASS,
+                        Some(span),
+                        format!(
+                            "task '{task}' receives from itself through window '{window}': \
+                             the rendezvous can never complete"
+                        ),
+                    );
+                    continue;
+                }
+                let key = (from.clone(), task.clone(), window.clone());
+                let half = Half { seq, span };
+                if let Some(s) = sends.get_mut(&key).and_then(pop_front) {
+                    push_event(
+                        &mut events,
+                        &mut participation,
+                        Event {
+                            from: from.clone(),
+                            to: task.clone(),
+                            window: window.clone(),
+                            send: s,
+                            recv: half,
+                        },
+                    );
+                } else {
+                    recvs.entry(key).or_default().push(half);
+                }
+            }
+            // Every other op advances its task's program order so that
+            // rendezvous positions stay comparable.
+            Op::Pause { task }
+            | Op::Resume { task }
+            | Op::Terminate { task }
+            | Op::WindowOpen { task, .. }
+            | Op::WindowClose { task, .. } => {
+                bump(task, &mut counters);
+            }
+            Op::Initiate { task, .. } => {
+                bump(task, &mut counters);
+            }
+            Op::Message { from, .. } => {
+                bump(from, &mut counters);
+            }
+            Op::RemoteCall { caller, .. } => {
+                bump(caller, &mut counters);
+            }
+            Op::RemoteReturn { .. } | Op::Alloc { .. } => {}
+        }
+    }
+
+    // Unmatched halves: the blocked task can never proceed.
+    for ((from, to, window), halves) in &sends {
+        for h in halves {
+            report.push(
+                Severity::Error,
+                PASS,
+                Some(h.span),
+                format!(
+                    "unmatched window send: '{from}' -> '{to}' through '{window}' has no \
+                     matching receive; '{from}' blocks forever"
+                ),
+            );
+        }
+    }
+    for ((from, to, window), halves) in &recvs {
+        for h in halves {
+            report.push(
+                Severity::Error,
+                PASS,
+                Some(h.span),
+                format!(
+                    "unmatched window receive: '{to}' <- '{from}' through '{window}' has no \
+                     matching send; '{to}' blocks forever"
+                ),
+            );
+        }
+    }
+
+    // Wait-for edges between events sharing a participant.
+    let n = events.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for parts in participation.values_mut() {
+        parts.sort_unstable();
+        for w in parts.windows(2) {
+            adj[w[0].1].push(w[1].1);
+        }
+    }
+
+    if let Some(cycle) = shortest_cycle(&adj) {
+        let first = &events[cycle[0]];
+        let mut chain = String::new();
+        for (i, &e) in cycle.iter().enumerate() {
+            let ev = &events[e];
+            if i > 0 {
+                chain.push_str(", then ");
+            }
+            chain.push_str(&format!(
+                "'{}' -> '{}' through '{}' (line {})",
+                ev.from, ev.to, ev.window, ev.send.span.line
+            ));
+        }
+        let tasks: Vec<&str> = {
+            let mut t: Vec<&str> = cycle
+                .iter()
+                .flat_map(|&e| [events[e].from.as_str(), events[e].to.as_str()])
+                .collect();
+            t.sort_unstable();
+            t.dedup();
+            t
+        };
+        report.push(
+            Severity::Error,
+            PASS,
+            Some(first.send.span),
+            format!(
+                "window-exchange deadlock among tasks {}: each rendezvous waits on the \
+                 next: {chain}, which waits on the first",
+                tasks
+                    .iter()
+                    .map(|t| format!("'{t}'"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        );
+    }
+}
+
+fn pop_front(v: &mut Vec<Half>) -> Option<Half> {
+    if v.is_empty() {
+        None
+    } else {
+        Some(v.remove(0))
+    }
+}
+
+fn push_event(
+    events: &mut Vec<Event>,
+    participation: &mut BTreeMap<String, Vec<(usize, usize)>>,
+    ev: Event,
+) {
+    let idx = events.len();
+    participation
+        .entry(ev.from.clone())
+        .or_default()
+        .push((ev.send.seq, idx));
+    participation
+        .entry(ev.to.clone())
+        .or_default()
+        .push((ev.recv.seq, idx));
+    events.push(ev);
+}
+
+/// Shortest directed cycle in `adj`, as the list of nodes in order, or
+/// `None` for an acyclic graph. BFS from each node; fine at script scale.
+fn shortest_cycle(adj: &[Vec<usize>]) -> Option<Vec<usize>> {
+    let n = adj.len();
+    let mut best: Option<Vec<usize>> = None;
+    for start in 0..n {
+        // BFS over successors looking for a path back to `start`.
+        let mut prev: Vec<Option<usize>> = vec![None; n];
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        seen[start] = true;
+        queue.push_back(start);
+        'bfs: while let Some(u) = queue.pop_front() {
+            for &v in &adj[u] {
+                if v == start {
+                    // Reconstruct start -> ... -> u, cycle closes u -> start.
+                    let mut path = vec![u];
+                    let mut cur = u;
+                    while let Some(p) = prev[cur] {
+                        path.push(p);
+                        cur = p;
+                    }
+                    if cur != start {
+                        path.push(start);
+                    }
+                    path.reverse();
+                    if best.as_ref().is_none_or(|b| path.len() < b.len()) {
+                        best = Some(path);
+                    }
+                    break 'bfs;
+                }
+                if !seen[v] {
+                    seen[v] = true;
+                    prev[v] = Some(u);
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(script: &ScenarioScript) -> Report {
+        let mut r = Report::new(script.name.clone(), script.source());
+        check(script, &mut r);
+        r
+    }
+
+    fn send(s: &mut ScenarioScript, from: &str, to: &str) {
+        s.push(Op::WindowSend {
+            from: from.into(),
+            to: to.into(),
+            window: "w".into(),
+            words: 1,
+        });
+    }
+
+    fn recv(s: &mut ScenarioScript, task: &str, from: &str) {
+        s.push(Op::WindowRecv {
+            task: task.into(),
+            from: from.into(),
+            window: "w".into(),
+        });
+    }
+
+    #[test]
+    fn matched_exchange_is_clean() {
+        let mut s = ScenarioScript::new("ok");
+        send(&mut s, "a", "b");
+        recv(&mut s, "b", "a");
+        send(&mut s, "b", "a");
+        recv(&mut s, "a", "b");
+        let r = run(&s);
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn two_task_head_to_head_send_deadlocks() {
+        // Both send first, then receive: the classic exchange deadlock.
+        let mut s = ScenarioScript::new("dl");
+        send(&mut s, "a", "b");
+        send(&mut s, "b", "a");
+        recv(&mut s, "b", "a");
+        recv(&mut s, "a", "b");
+        let r = run(&s);
+        assert_eq!(r.error_count(), 1, "{}", r.render());
+        let m = &r.diagnostics[0].message;
+        assert!(m.contains("deadlock"), "{m}");
+        assert!(m.contains("'a'") && m.contains("'b'"), "names tasks: {m}");
+    }
+
+    #[test]
+    fn three_task_ring_deadlocks() {
+        // a waits on b, b waits on c, c waits on a.
+        let mut s = ScenarioScript::new("ring");
+        send(&mut s, "a", "b");
+        send(&mut s, "b", "c");
+        send(&mut s, "c", "a");
+        recv(&mut s, "b", "a");
+        recv(&mut s, "c", "b");
+        recv(&mut s, "a", "c");
+        let r = run(&s);
+        assert_eq!(r.error_count(), 1, "{}", r.render());
+        let m = &r.diagnostics[0].message;
+        assert!(m.contains("'a'") && m.contains("'b'") && m.contains("'c'"));
+    }
+
+    #[test]
+    fn red_black_ordering_is_clean() {
+        // Even tasks send first; odd tasks receive first. Acyclic.
+        let mut s = ScenarioScript::new("rb");
+        send(&mut s, "t0", "t1");
+        recv(&mut s, "t1", "t0");
+        send(&mut s, "t1", "t0");
+        recv(&mut s, "t0", "t1");
+        send(&mut s, "t2", "t1");
+        recv(&mut s, "t1", "t2");
+        send(&mut s, "t1", "t2");
+        recv(&mut s, "t2", "t1");
+        let r = run(&s);
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn unmatched_send_and_recv_reported() {
+        let mut s = ScenarioScript::new("orphan");
+        send(&mut s, "a", "b"); // no recv
+        recv(&mut s, "c", "d"); // no send
+        let r = run(&s);
+        assert_eq!(r.error_count(), 2, "{}", r.render());
+        assert!(r.diagnostics[0].message.contains("unmatched window send"));
+        assert!(r.diagnostics[1]
+            .message
+            .contains("unmatched window receive"));
+    }
+
+    #[test]
+    fn self_exchange_rejected() {
+        let mut s = ScenarioScript::new("selfie");
+        send(&mut s, "a", "a");
+        let r = run(&s);
+        assert_eq!(r.error_count(), 1);
+        assert!(r.diagnostics[0].message.contains("itself"));
+    }
+
+    #[test]
+    fn shortest_cycle_prefers_small_cycles() {
+        // Graph: 0->1->2->0 and 3->4->3; shortest is the 2-cycle.
+        let adj = vec![vec![1], vec![2], vec![0], vec![4], vec![3]];
+        let c = shortest_cycle(&adj).unwrap();
+        assert_eq!(c.len(), 2);
+    }
+}

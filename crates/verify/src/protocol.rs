@@ -1,0 +1,409 @@
+//! Pass 1: kernel-protocol conformance.
+//!
+//! Replays a scenario script's message sequence through the
+//! [`ProtocolAutomaton`] exported by `fem2-kernel`, tracking one
+//! [`ProtocolState`] per task: Initiate/Terminate pairing, pause/resume
+//! legality, no traffic to (or from) tasks that were never initiated, and
+//! the window open → exchange → close ordering. Remote call/return
+//! correlation ids must pair exactly.
+
+use crate::diag::{Report, Severity, Span};
+use crate::script::{Op, ScenarioScript};
+use fem2_kernel::{MessageKind, ProtocolAutomaton, ProtocolState};
+use fem2_machine::MachineConfig;
+use std::collections::BTreeMap;
+
+const PASS: &str = "protocol";
+
+/// Run the protocol pass, appending findings to `report`.
+pub fn check(script: &ScenarioScript, machine: &MachineConfig, report: &mut Report) {
+    let mut states: BTreeMap<&str, ProtocolState> = BTreeMap::new();
+    // (task, window) -> line the window was opened on.
+    let mut windows: BTreeMap<(&str, &str), Span> = BTreeMap::new();
+    // call_id -> (caller, line) of the open remote call.
+    let mut calls: BTreeMap<u64, (&str, Span)> = BTreeMap::new();
+
+    for (op, span) in script.ops() {
+        match op {
+            Op::Initiate {
+                task,
+                cluster,
+                replications,
+            } => {
+                if *cluster >= machine.clusters {
+                    report.push(
+                        Severity::Error,
+                        PASS,
+                        Some(span),
+                        format!(
+                            "task '{task}' initiated on cluster {cluster}, but the machine \
+                             has only clusters 0..{}",
+                            machine.clusters
+                        ),
+                    );
+                }
+                if *replications == 0 {
+                    report.push(
+                        Severity::Warning,
+                        PASS,
+                        Some(span),
+                        format!("task '{task}' initiated with zero replications"),
+                    );
+                }
+                step(&mut states, task, MessageKind::InitiateTask, span, report);
+            }
+            Op::Pause { task } => step(&mut states, task, MessageKind::PauseNotify, span, report),
+            Op::Resume { task } => step(&mut states, task, MessageKind::Resume, span, report),
+            Op::Terminate { task } => {
+                step(
+                    &mut states,
+                    task,
+                    MessageKind::TerminateNotify,
+                    span,
+                    report,
+                );
+            }
+            Op::Message { from, to, kind } => {
+                require_active(&states, from, "send a message", span, report);
+                step(&mut states, to, *kind, span, report);
+            }
+            Op::RemoteCall { caller, call_id } => {
+                step(&mut states, caller, MessageKind::RemoteCall, span, report);
+                if let Some((prev_caller, prev)) = calls.insert(*call_id, (caller, span)) {
+                    report.push(
+                        Severity::Error,
+                        PASS,
+                        Some(span),
+                        format!(
+                            "remote call #{call_id} by '{caller}' reuses a correlation id \
+                             still open from '{prev_caller}' (line {})",
+                            prev.line
+                        ),
+                    );
+                }
+            }
+            Op::RemoteReturn { call_id } => match calls.remove(call_id) {
+                Some((caller, _)) => {
+                    step(&mut states, caller, MessageKind::RemoteReturn, span, report);
+                }
+                None => report.push(
+                    Severity::Error,
+                    PASS,
+                    Some(span),
+                    format!("remote return #{call_id} has no matching open remote call"),
+                ),
+            },
+            Op::WindowOpen { task, window } => {
+                require_active(&states, task, "open a window", span, report);
+                if windows.insert((task, window), span).is_some() {
+                    report.push(
+                        Severity::Error,
+                        PASS,
+                        Some(span),
+                        format!("task '{task}' opens window '{window}' twice"),
+                    );
+                }
+            }
+            Op::WindowSend {
+                from, to, window, ..
+            } => {
+                require_active(&states, from, "exchange through a window", span, report);
+                require_open(&windows, from, window, span, report);
+                require_open(&windows, to, window, span, report);
+            }
+            Op::WindowRecv { task, from, window } => {
+                require_active(&states, task, "exchange through a window", span, report);
+                require_open(&windows, task, window, span, report);
+                require_open(&windows, from, window, span, report);
+            }
+            Op::WindowClose { task, window } => {
+                if windows.remove(&(task.as_str(), window.as_str())).is_none() {
+                    report.push(
+                        Severity::Error,
+                        PASS,
+                        Some(span),
+                        format!("task '{task}' closes window '{window}' it never opened"),
+                    );
+                }
+            }
+            Op::Alloc { .. } => {}
+        }
+    }
+
+    // End-of-scenario hygiene.
+    for ((task, window), span) in &windows {
+        report.push(
+            Severity::Warning,
+            PASS,
+            Some(*span),
+            format!("task '{task}' leaves window '{window}' open at scenario end"),
+        );
+    }
+    for (call_id, (caller, span)) in &calls {
+        report.push(
+            Severity::Warning,
+            PASS,
+            Some(*span),
+            format!("remote call #{call_id} by '{caller}' is never returned"),
+        );
+    }
+    for (task, st) in &states {
+        if matches!(st, ProtocolState::Active | ProtocolState::Paused) {
+            report.push(
+                Severity::Warning,
+                PASS,
+                None,
+                format!("task '{task}' is never terminated (ends the scenario {st})"),
+            );
+        }
+    }
+}
+
+/// Apply `kind` to the automaton state of `task`, reporting a violation as
+/// an error that names the task.
+fn step<'s>(
+    states: &mut BTreeMap<&'s str, ProtocolState>,
+    task: &'s str,
+    kind: MessageKind,
+    span: Span,
+    report: &mut Report,
+) {
+    let cur = states
+        .get(task)
+        .copied()
+        .unwrap_or(ProtocolState::Uninitiated);
+    match ProtocolAutomaton::step(cur, kind) {
+        Ok(next) => {
+            states.insert(task, next);
+        }
+        Err(v) => report.push(
+            Severity::Error,
+            PASS,
+            Some(span),
+            format!("task '{task}': {v}"),
+        ),
+    }
+}
+
+fn require_active(
+    states: &BTreeMap<&str, ProtocolState>,
+    task: &str,
+    what: &str,
+    span: Span,
+    report: &mut Report,
+) {
+    let st = states
+        .get(task)
+        .copied()
+        .unwrap_or(ProtocolState::Uninitiated);
+    if st != ProtocolState::Active {
+        report.push(
+            Severity::Error,
+            PASS,
+            Some(span),
+            format!("task '{task}' cannot {what} while {st}"),
+        );
+    }
+}
+
+fn require_open(
+    windows: &BTreeMap<(&str, &str), Span>,
+    task: &str,
+    window: &str,
+    span: Span,
+    report: &mut Report,
+) {
+    if !windows.contains_key(&(task, window)) {
+        report.push(
+            Severity::Error,
+            PASS,
+            Some(span),
+            format!("task '{task}' exchanges through window '{window}' without opening it"),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(script: &ScenarioScript) -> Report {
+        let mut r = Report::new(script.name.clone(), script.source());
+        check(script, &MachineConfig::fem2_default(), &mut r);
+        r
+    }
+
+    fn msgs(r: &Report) -> Vec<&str> {
+        r.diagnostics.iter().map(|d| d.message.as_str()).collect()
+    }
+
+    #[test]
+    fn clean_lifecycle_with_window() {
+        let mut s = ScenarioScript::new("ok");
+        for t in ["a", "b"] {
+            s.push(Op::Initiate {
+                task: t.into(),
+                cluster: 0,
+                replications: 1,
+            });
+        }
+        for t in ["a", "b"] {
+            s.push(Op::WindowOpen {
+                task: t.into(),
+                window: "w".into(),
+            });
+        }
+        s.push(Op::WindowSend {
+            from: "a".into(),
+            to: "b".into(),
+            window: "w".into(),
+            words: 4,
+        });
+        s.push(Op::WindowRecv {
+            task: "b".into(),
+            from: "a".into(),
+            window: "w".into(),
+        });
+        for t in ["a", "b"] {
+            s.push(Op::WindowClose {
+                task: t.into(),
+                window: "w".into(),
+            });
+            s.push(Op::Terminate { task: t.into() });
+        }
+        let r = run(&s);
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn send_to_never_initiated_task_is_an_error() {
+        let mut s = ScenarioScript::new("ghost");
+        s.push(Op::Initiate {
+            task: "a".into(),
+            cluster: 0,
+            replications: 1,
+        });
+        s.push(Op::Message {
+            from: "a".into(),
+            to: "ghost".into(),
+            kind: MessageKind::Resume,
+        });
+        s.push(Op::Terminate { task: "a".into() });
+        let r = run(&s);
+        assert_eq!(r.error_count(), 1);
+        assert!(msgs(&r)[0].contains("ghost"), "{}", r.render());
+        assert!(msgs(&r)[0].contains("uninitiated"));
+    }
+
+    #[test]
+    fn double_initiate_and_double_terminate_rejected() {
+        let mut s = ScenarioScript::new("dup");
+        for _ in 0..2 {
+            s.push(Op::Initiate {
+                task: "a".into(),
+                cluster: 0,
+                replications: 1,
+            });
+        }
+        for _ in 0..2 {
+            s.push(Op::Terminate { task: "a".into() });
+        }
+        let r = run(&s);
+        assert_eq!(r.error_count(), 2, "{}", r.render());
+    }
+
+    #[test]
+    fn pause_resume_ordering_enforced() {
+        let mut s = ScenarioScript::new("pr");
+        s.push(Op::Initiate {
+            task: "a".into(),
+            cluster: 0,
+            replications: 1,
+        });
+        s.push(Op::Resume { task: "a".into() }); // not paused: error
+        s.push(Op::Pause { task: "a".into() });
+        s.push(Op::Resume { task: "a".into() }); // fine
+        s.push(Op::Terminate { task: "a".into() });
+        let r = run(&s);
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.diagnostics[0].span, Some(Span::line(2)));
+    }
+
+    #[test]
+    fn window_ordering_enforced() {
+        let mut s = ScenarioScript::new("w");
+        s.push(Op::Initiate {
+            task: "a".into(),
+            cluster: 0,
+            replications: 1,
+        });
+        s.push(Op::WindowSend {
+            from: "a".into(),
+            to: "a".into(),
+            window: "w".into(),
+            words: 1,
+        }); // never opened (2 findings: from + to are the same closed window)
+        s.push(Op::WindowClose {
+            task: "a".into(),
+            window: "w".into(),
+        }); // never opened
+        s.push(Op::Terminate { task: "a".into() });
+        let r = run(&s);
+        assert!(r.error_count() >= 2, "{}", r.render());
+    }
+
+    #[test]
+    fn unterminated_task_and_open_window_warn() {
+        let mut s = ScenarioScript::new("leak");
+        s.push(Op::Initiate {
+            task: "a".into(),
+            cluster: 0,
+            replications: 1,
+        });
+        s.push(Op::WindowOpen {
+            task: "a".into(),
+            window: "w".into(),
+        });
+        let r = run(&s);
+        assert_eq!(r.error_count(), 0);
+        assert_eq!(r.warning_count(), 2, "{}", r.render());
+    }
+
+    #[test]
+    fn remote_call_return_pairing() {
+        let mut s = ScenarioScript::new("rpc");
+        s.push(Op::Initiate {
+            task: "a".into(),
+            cluster: 0,
+            replications: 1,
+        });
+        s.push(Op::RemoteCall {
+            caller: "a".into(),
+            call_id: 1,
+        });
+        s.push(Op::RemoteReturn { call_id: 1 });
+        s.push(Op::RemoteReturn { call_id: 9 }); // no matching call
+        s.push(Op::RemoteCall {
+            caller: "a".into(),
+            call_id: 2,
+        }); // never returned
+        s.push(Op::Terminate { task: "a".into() });
+        let r = run(&s);
+        assert_eq!(r.error_count(), 1, "{}", r.render());
+        assert_eq!(r.warning_count(), 1);
+    }
+
+    #[test]
+    fn initiate_on_missing_cluster_rejected() {
+        let mut s = ScenarioScript::new("cluster");
+        s.push(Op::Initiate {
+            task: "a".into(),
+            cluster: 99,
+            replications: 1,
+        });
+        s.push(Op::Terminate { task: "a".into() });
+        let r = run(&s);
+        assert_eq!(r.error_count(), 1);
+        assert!(msgs(&r)[0].contains("cluster 99"));
+    }
+}

@@ -1,0 +1,275 @@
+//! The scenario script: a static, analyzable description of what a scenario
+//! will ask of the kernel and the machine.
+//!
+//! Scenarios in this repository are Rust code, so they cannot be analyzed
+//! directly; instead each scenario *lowers* to a [`ScenarioScript`] — a flat
+//! list of [`Op`]s in global program order, one textual line per op. The
+//! text is the scenario description the analyzer's diagnostics span into
+//! (line N of the rendered description is op N), so a finding always points
+//! at a concrete, human-readable step.
+//!
+//! Per-task program order is the order of a task's ops within the global
+//! list; ops of different tasks are concurrent unless a rendezvous orders
+//! them.
+
+use crate::diag::Span;
+use fem2_kernel::MessageKind;
+
+/// One step of a scenario, as seen by the kernel/machine layers.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Op {
+    /// Initiate `replications` replications of `task` on `cluster`.
+    Initiate {
+        /// Task name (unique per script).
+        task: String,
+        /// Hosting cluster.
+        cluster: u32,
+        /// Replication count K of the initiate message.
+        replications: u32,
+    },
+    /// `task` pauses itself (parent notified).
+    Pause {
+        /// The pausing task.
+        task: String,
+    },
+    /// Resume the paused `task`.
+    Resume {
+        /// The resumed task.
+        task: String,
+    },
+    /// `task` terminates (parent notified, activation record reclaimed).
+    Terminate {
+        /// The terminating task.
+        task: String,
+    },
+    /// A raw kernel message from `from` to `to` (for protocol checking of
+    /// arbitrary sequences; the lowered scenarios use the typed ops above).
+    Message {
+        /// Sending task.
+        from: String,
+        /// Subject/recipient task.
+        to: String,
+        /// Which of the seven kinds.
+        kind: MessageKind,
+    },
+    /// `caller` issues a remote procedure call with correlation `call_id`.
+    RemoteCall {
+        /// The calling task.
+        caller: String,
+        /// Correlation id; must be returned exactly once.
+        call_id: u64,
+    },
+    /// The remote procedure return matching `call_id`.
+    RemoteReturn {
+        /// Correlation id of the matching call.
+        call_id: u64,
+    },
+    /// `task` opens window `window` over some array.
+    WindowOpen {
+        /// The opening task.
+        task: String,
+        /// Window name.
+        window: String,
+    },
+    /// `from` sends `words` through `window` to `to` and blocks until the
+    /// matching receive (rendezvous).
+    WindowSend {
+        /// Sending task.
+        from: String,
+        /// Receiving task.
+        to: String,
+        /// Window name.
+        window: String,
+        /// Payload size.
+        words: u64,
+    },
+    /// `task` receives from `from` through `window`, blocking until the
+    /// matching send (rendezvous).
+    WindowRecv {
+        /// Receiving task.
+        task: String,
+        /// Expected sender.
+        from: String,
+        /// Window name.
+        window: String,
+    },
+    /// `task` closes `window`.
+    WindowClose {
+        /// The closing task.
+        task: String,
+        /// Window name.
+        window: String,
+    },
+    /// Allocate `words` words of heap on `cluster` (live for the rest of
+    /// the scenario: the analyzer's worst-case storage model).
+    Alloc {
+        /// Hosting cluster.
+        cluster: u32,
+        /// Demand in words.
+        words: u64,
+        /// What the storage is for (named in diagnostics).
+        what: String,
+    },
+}
+
+impl Op {
+    /// The one-line scenario-description rendering of this op.
+    pub fn describe(&self) -> String {
+        match self {
+            Op::Initiate {
+                task,
+                cluster,
+                replications,
+            } => format!("initiate {task} x{replications} on cluster {cluster}"),
+            Op::Pause { task } => format!("pause {task}"),
+            Op::Resume { task } => format!("resume {task}"),
+            Op::Terminate { task } => format!("terminate {task}"),
+            Op::Message { from, to, kind } => {
+                format!("message '{}' from {from} to {to}", kind.name())
+            }
+            Op::RemoteCall { caller, call_id } => {
+                format!("remote call #{call_id} by {caller}")
+            }
+            Op::RemoteReturn { call_id } => format!("remote return #{call_id}"),
+            Op::WindowOpen { task, window } => format!("{task} opens window {window}"),
+            Op::WindowSend {
+                from,
+                to,
+                window,
+                words,
+            } => format!("window {window}: {from} -> {to} ({words} words)"),
+            Op::WindowRecv { task, from, window } => {
+                format!("window {window}: {task} <- {from}")
+            }
+            Op::WindowClose { task, window } => format!("{task} closes window {window}"),
+            Op::Alloc {
+                cluster,
+                words,
+                what,
+            } => format!("alloc {words} words on cluster {cluster} for {what}"),
+        }
+    }
+}
+
+/// A lowered scenario: named ops plus the description text diagnostics
+/// span into.
+#[derive(Clone, Debug)]
+pub struct ScenarioScript {
+    /// Scenario name (shown in diagnostics as the "file" of a span).
+    pub name: String,
+    ops: Vec<Op>,
+}
+
+impl ScenarioScript {
+    /// An empty script named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ScenarioScript {
+            name: name.into(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// Append an op; returns the span of its description line.
+    pub fn push(&mut self, op: Op) -> Span {
+        self.ops.push(op);
+        Span::line(self.ops.len() as u32)
+    }
+
+    /// The ops with their spans, in global program order.
+    pub fn ops(&self) -> impl Iterator<Item = (&Op, Span)> {
+        self.ops
+            .iter()
+            .enumerate()
+            .map(|(i, op)| (op, Span::line(i as u32 + 1)))
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the script has no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The scenario description: one line per op, in order. Line `n`
+    /// (1-based) describes op `n`, which is what diagnostic spans index.
+    pub fn source(&self) -> String {
+        let mut out = String::new();
+        for op in &self.ops {
+            out.push_str(&op.describe());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_match_source_lines() {
+        let mut s = ScenarioScript::new("t");
+        let a = s.push(Op::Initiate {
+            task: "w0".into(),
+            cluster: 0,
+            replications: 1,
+        });
+        let b = s.push(Op::Terminate { task: "w0".into() });
+        assert_eq!(a, Span::line(1));
+        assert_eq!(b, Span::line(2));
+        let src = s.source();
+        let lines: Vec<&str> = src.lines().collect();
+        assert_eq!(lines[0], "initiate w0 x1 on cluster 0");
+        assert_eq!(lines[1], "terminate w0");
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn describe_covers_all_ops() {
+        let ops = [
+            Op::Pause { task: "a".into() },
+            Op::Resume { task: "a".into() },
+            Op::Message {
+                from: "a".into(),
+                to: "b".into(),
+                kind: MessageKind::Resume,
+            },
+            Op::RemoteCall {
+                caller: "a".into(),
+                call_id: 7,
+            },
+            Op::RemoteReturn { call_id: 7 },
+            Op::WindowOpen {
+                task: "a".into(),
+                window: "halo".into(),
+            },
+            Op::WindowSend {
+                from: "a".into(),
+                to: "b".into(),
+                window: "halo".into(),
+                words: 8,
+            },
+            Op::WindowRecv {
+                task: "b".into(),
+                from: "a".into(),
+                window: "halo".into(),
+            },
+            Op::WindowClose {
+                task: "a".into(),
+                window: "halo".into(),
+            },
+            Op::Alloc {
+                cluster: 1,
+                words: 100,
+                what: "vectors".into(),
+            },
+        ];
+        for op in ops {
+            assert!(!op.describe().is_empty());
+        }
+    }
+}

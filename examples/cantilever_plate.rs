@@ -7,6 +7,9 @@
 //!
 //! Run with: `cargo run --release --example cantilever_plate`
 
+// Demo binary: unwrap on infallible demo setup keeps the walkthrough readable.
+#![allow(clippy::unwrap_used)]
+
 use fem2_core::fem::solver::{cg, parallel_cg, skyline, IterControls};
 use fem2_core::fem::{assemble, cantilever_plate, SolverChoice};
 use fem2_core::par::Pool;

@@ -7,6 +7,9 @@
 //!
 //! Run with: `cargo run --example command_session`
 
+// Demo binary: unwrap on infallible demo setup keeps the walkthrough readable.
+#![allow(clippy::unwrap_used)]
+
 use fem2_core::appvm::{Database, Session, SessionError};
 
 fn main() {

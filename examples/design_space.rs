@@ -9,6 +9,9 @@
 //!
 //! Run with: `cargo run --release --example design_space`
 
+// Demo binary: unwrap on infallible demo setup keeps the walkthrough readable.
+#![allow(clippy::unwrap_used)]
+
 use fem2_core::{DesignSpace, LayerStack};
 
 fn main() {

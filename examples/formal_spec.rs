@@ -9,6 +9,9 @@
 //!
 //! Run with: `cargo run --example formal_spec`
 
+// Demo binary: unwrap on infallible demo setup keeps the walkthrough readable.
+#![allow(clippy::unwrap_used)]
+
 use fem2_core::hgraph::prelude::*;
 use fem2_core::hgraph::{to_dot, Transform};
 use fem2_core::spec;

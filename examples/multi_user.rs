@@ -10,6 +10,9 @@
 //!
 //! Run with: `cargo run --release --example multi_user`
 
+// Demo binary: unwrap on infallible demo setup keeps the walkthrough readable.
+#![allow(clippy::unwrap_used)]
+
 use fem2_core::appvm::{Database, Session};
 use fem2_core::machine::{MachineConfig, Topology};
 use fem2_core::scenario::PlateScenario;

@@ -8,6 +8,9 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
+// Demo binary: unwrap on infallible demo setup keeps the walkthrough readable.
+#![allow(clippy::unwrap_used)]
+
 use fem2_core::appvm::{Database, Session};
 use fem2_core::machine::MachineConfig;
 use fem2_core::scenario::PlateScenario;

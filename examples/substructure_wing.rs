@@ -8,6 +8,9 @@
 //!
 //! Run with: `cargo run --release --example substructure_wing`
 
+// Demo binary: unwrap on infallible demo setup keeps the walkthrough readable.
+#![allow(clippy::unwrap_used)]
+
 use fem2_core::fem::bc::{Constraints, LoadSet};
 use fem2_core::fem::partition::Partition;
 use fem2_core::fem::solver::skyline;

@@ -1,1 +1,3 @@
 //! Integration test crate for the FEM-2 workspace (tests live in `tests/tests/`).
+
+#![forbid(unsafe_code)]

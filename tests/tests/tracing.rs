@@ -29,7 +29,7 @@ fn scenario_trace_json(n: usize) -> Value {
         .with_trace(handle)
         .run();
     assert!(report.converged);
-    let rec = rec.lock().unwrap();
+    let rec = rec.lock().expect("no other holder of the recorder lock");
     serde_json::parse_value(&chrome::trace_json(&rec)).expect("exporter emits valid JSON")
 }
 
@@ -203,7 +203,7 @@ fn phase_table_reports_scenario_phases() {
     let _ = PlateScenario::square(10, MachineConfig::fem2_default())
         .with_trace(handle)
         .run();
-    let rec = rec.lock().unwrap();
+    let rec = rec.lock().expect("no other holder of the recorder lock");
     let table = chrome::phase_table(&rec);
     for phase in ["assembly", "solve", "stress"] {
         assert!(

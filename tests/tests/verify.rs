@@ -1,0 +1,321 @@
+//! Integration tests for the static analyzer (`fem2-verify`) and its wiring
+//! into the system: the pre-dispatch gate in `core::scenario`, the
+//! `fem2-report --check` catalog, and the console VERIFY command.
+
+use fem2_core::verify::{check_catalog, example_scenarios, layer_grammars, render_catalog};
+use fem2_core::PlateScenario;
+use fem2_machine::MachineConfig;
+use fem2_verify::{check_grammar, check_script, Op, ScenarioScript, Severity};
+
+fn initiate(s: &mut ScenarioScript, task: &str) {
+    s.push(Op::Initiate {
+        task: task.into(),
+        cluster: 0,
+        replications: 1,
+    });
+}
+
+fn open(s: &mut ScenarioScript, task: &str) {
+    s.push(Op::WindowOpen {
+        task: task.into(),
+        window: "halo".into(),
+    });
+}
+
+fn send(s: &mut ScenarioScript, from: &str, to: &str) {
+    s.push(Op::WindowSend {
+        from: from.into(),
+        to: to.into(),
+        window: "halo".into(),
+        words: 8,
+    });
+}
+
+fn recv(s: &mut ScenarioScript, task: &str, from: &str) {
+    s.push(Op::WindowRecv {
+        task: task.into(),
+        from: from.into(),
+        window: "halo".into(),
+    });
+}
+
+fn shutdown(s: &mut ScenarioScript, tasks: &[&str]) {
+    for t in tasks {
+        s.push(Op::WindowClose {
+            task: (*t).into(),
+            window: "halo".into(),
+        });
+        s.push(Op::Terminate { task: (*t).into() });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: a window-exchange cycle is statically rejected, naming the
+// tasks involved, without ever executing the simulation.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn window_exchange_cycle_statically_rejected_with_tasks_named() {
+    // Both tasks send first and receive second: the classic head-to-head
+    // rendezvous deadlock. Everything else about the scenario is legal.
+    let mut s = ScenarioScript::new("head-to-head");
+    initiate(&mut s, "east");
+    initiate(&mut s, "west");
+    open(&mut s, "east");
+    open(&mut s, "west");
+    send(&mut s, "east", "west");
+    send(&mut s, "west", "east");
+    recv(&mut s, "west", "east");
+    recv(&mut s, "east", "west");
+    shutdown(&mut s, &["east", "west"]);
+
+    let machine = MachineConfig::fem2_default();
+    let report = check_script(&s, &machine);
+    assert!(report.blocks(true), "deadlock must reject:\n{report}");
+    let dl = report
+        .diagnostics
+        .iter()
+        .find(|d| d.pass == "deadlock" && d.severity == Severity::Error)
+        .unwrap_or_else(|| panic!("no deadlock error in:\n{report}"));
+    assert!(dl.message.contains("deadlock"), "{}", dl.message);
+    assert!(
+        dl.message.contains("'east'") && dl.message.contains("'west'"),
+        "diagnostic names the tasks: {}",
+        dl.message
+    );
+    assert!(dl.span.is_some(), "diagnostic points into the description");
+}
+
+#[test]
+fn three_task_exchange_ring_rejected_with_counterexample_chain() {
+    let mut s = ScenarioScript::new("ring");
+    for t in ["a", "b", "c"] {
+        initiate(&mut s, t);
+        open(&mut s, t);
+    }
+    send(&mut s, "a", "b");
+    send(&mut s, "b", "c");
+    send(&mut s, "c", "a");
+    recv(&mut s, "b", "a");
+    recv(&mut s, "c", "b");
+    recv(&mut s, "a", "c");
+    shutdown(&mut s, &["a", "b", "c"]);
+
+    let report = check_script(&s, &MachineConfig::fem2_default());
+    let dl = report
+        .diagnostics
+        .iter()
+        .find(|d| d.pass == "deadlock")
+        .unwrap_or_else(|| panic!("no deadlock finding in:\n{report}"));
+    // The counterexample chain walks each rendezvous with its source line.
+    assert!(dl.message.contains("then"), "{}", dl.message);
+    assert!(dl.message.contains("line"), "{}", dl.message);
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: a config whose worst-case storage bound exceeds cluster
+// memory is rejected ahead of simulation, naming the cluster.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn storage_bound_over_cluster_memory_statically_rejected() {
+    // 300x300 plate = 450k words of solver vectors across 4 clusters of
+    // 64 Kwords each: hopeless, and the analyzer must say so by name.
+    let scenario = PlateScenario::square(300, MachineConfig::fem1_style(4));
+    let report = scenario.verify();
+    assert!(report.blocks(true), "storage must reject:\n{report}");
+    let st = report
+        .diagnostics
+        .iter()
+        .find(|d| d.pass == "storage" && d.severity == Severity::Error)
+        .unwrap_or_else(|| panic!("no storage error in:\n{report}"));
+    assert!(st.message.contains("cluster"), "{}", st.message);
+    assert!(st.message.contains("arena"), "{}", st.message);
+    assert!(st.message.contains("words over"), "{}", st.message);
+
+    // The gate turns that report into a rejected dispatch.
+    let err = scenario.try_run().expect_err("try_run must reject");
+    assert!(err.error_count() > 0);
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: the verify pass runs by default before scenario dispatch.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn verify_gate_runs_before_dispatch_by_default() {
+    let bad = PlateScenario::square(300, MachineConfig::fem1_style(4));
+    let panic = std::panic::catch_unwind(|| bad.run());
+    let msg = match panic {
+        Ok(_) => panic!("run() must panic on a rejected scenario"),
+        Err(e) => e.downcast_ref::<String>().cloned().unwrap_or_default(),
+    };
+    assert!(
+        msg.contains("rejected by static verification"),
+        "panic carries the diagnostics: {msg}"
+    );
+    assert!(
+        msg.contains("cluster"),
+        "diagnostics name the cluster: {msg}"
+    );
+}
+
+#[test]
+fn clean_scenario_passes_gate_and_runs() {
+    let scenario = PlateScenario::square(12, MachineConfig::fem2_default());
+    assert!(scenario.verify().is_clean());
+    let report = scenario.try_run().expect("clean scenario dispatches");
+    assert!(report.iterations > 0);
+}
+
+#[test]
+fn allow_warnings_lets_warning_only_scenarios_through() {
+    let mut r = fem2_verify::Report::new("w", "");
+    r.push(Severity::Warning, "storage", None, "tight fit");
+    assert!(r.blocks(false));
+    assert!(!r.blocks(true));
+    // And the scenario knob wires through to the gate.
+    let s = PlateScenario::square(12, MachineConfig::fem2_default()).with_allowed_warnings();
+    assert!(s.allow_warnings);
+    assert!(s.try_run().is_ok());
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: all seven examples and all four layer grammars pass clean.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn all_seven_example_scenarios_verify_clean() {
+    let scenarios = example_scenarios();
+    assert_eq!(scenarios.len(), 7);
+    for (name, scenario) in scenarios {
+        let report = scenario.verify();
+        assert!(report.is_clean(), "{name} not clean:\n{report}");
+    }
+}
+
+#[test]
+fn all_four_layer_grammars_verify_clean() {
+    let grammars = layer_grammars();
+    assert_eq!(grammars.len(), 4);
+    for (name, g) in grammars {
+        let report = check_grammar(&g);
+        assert!(report.is_clean(), "{name} grammar not clean:\n{report}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol pass through the kernel's exported automaton.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn traffic_to_never_initiated_task_rejected() {
+    let mut s = ScenarioScript::new("ghost");
+    initiate(&mut s, "real");
+    s.push(Op::Message {
+        from: "real".into(),
+        to: "phantom".into(),
+        kind: fem2_kernel::MessageKind::TerminateNotify,
+    });
+    s.push(Op::Terminate {
+        task: "real".into(),
+    });
+    let report = check_script(&s, &MachineConfig::fem2_default());
+    assert!(report.error_count() > 0, "{report}");
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("'phantom'") && d.message.contains("uninitiated")),
+        "{report}"
+    );
+}
+
+#[test]
+fn window_exchange_before_open_rejected() {
+    let mut s = ScenarioScript::new("early");
+    initiate(&mut s, "a");
+    initiate(&mut s, "b");
+    send(&mut s, "a", "b"); // neither side opened the window
+    recv(&mut s, "b", "a");
+    s.push(Op::Terminate { task: "a".into() });
+    s.push(Op::Terminate { task: "b".into() });
+    let report = check_script(&s, &MachineConfig::fem2_default());
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.pass == "protocol" && d.message.contains("without opening")),
+        "{report}"
+    );
+}
+
+#[test]
+fn diagnostics_span_into_the_scenario_description() {
+    let mut s = ScenarioScript::new("spans");
+    initiate(&mut s, "a"); // line 1
+    s.push(Op::Resume { task: "a".into() }); // line 2: not paused
+    s.push(Op::Terminate { task: "a".into() }); // line 3
+    let report = check_script(&s, &MachineConfig::fem2_default());
+    assert_eq!(report.error_count(), 1, "{report}");
+    let d = &report.diagnostics[0];
+    assert_eq!(d.span.map(|sp| sp.line), Some(2));
+    // The renderer excerpts the offending description line.
+    assert!(
+        report.render().contains("| resume a"),
+        "{}",
+        report.render()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// The --check catalog: deterministic, golden-pinned output.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn check_catalog_matches_committed_golden_file() {
+    let golden = include_str!("../golden/verify_check.txt");
+    let rendered = render_catalog(&check_catalog());
+    assert_eq!(
+        rendered, golden,
+        "fem2-report --check output drifted from tests/golden/verify_check.txt; \
+         regenerate with: cargo run --release -p fem2-bench --bin fem2-report -- --check"
+    );
+}
+
+#[test]
+fn check_catalog_is_deterministic_across_runs() {
+    let a = render_catalog(&check_catalog());
+    let b = render_catalog(&check_catalog());
+    assert_eq!(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// Console VERIFY command.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn console_verify_reports_clean_for_a_sane_model() {
+    let mut session = fem2_appvm::Session::new(fem2_appvm::Database::in_memory());
+    session.exec("DEFINE MODEL deck").unwrap();
+    session.exec("GENERATE GRID 8 4").unwrap();
+    let out = session.exec("VERIFY").unwrap();
+    assert!(out.contains("CLEAN"), "{out}");
+    assert!(out.contains("worst-case storage"), "{out}");
+}
+
+#[test]
+fn console_verify_requires_a_model() {
+    let mut session = fem2_appvm::Session::new(fem2_appvm::Database::in_memory());
+    assert!(session.exec("VERIFY").is_err());
+}
+
+#[test]
+fn console_verify_accepts_task_count() {
+    let mut session = fem2_appvm::Session::new(fem2_appvm::Database::in_memory());
+    session.exec("DEFINE MODEL deck").unwrap();
+    session.exec("GENERATE GRID 6 6").unwrap();
+    let out = session.exec("VERIFY TASKS 4").unwrap();
+    assert!(out.contains("4 tasks"), "{out}");
+    assert!(out.contains("CLEAN"), "{out}");
+}
