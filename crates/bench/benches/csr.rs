@@ -1,0 +1,54 @@
+//! Microbench: `Coo::to_csr` and `Csr::matvec` on 5-point Laplacians at
+//! n ∈ {1k, 10k} unknowns — the kernels the counting-sort CSR build and
+//! single-pass accessors are judged against.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fem2_core::fem::sparse::Coo;
+
+/// 5-point Laplacian COO for an nx×nx grid, with each stencil entry pushed
+/// separately so the build also exercises duplicate summation.
+fn laplacian_coo(nx: usize) -> Coo {
+    let n = nx * nx;
+    let mut coo = Coo::new(n);
+    for j in 0..nx {
+        for i in 0..nx {
+            let r = j * nx + i;
+            coo.add(r, r, 2.0);
+            coo.add(r, r, 2.0);
+            if i + 1 < nx {
+                coo.add(r, r + 1, -1.0);
+                coo.add(r + 1, r, -1.0);
+            }
+            if j + 1 < nx {
+                coo.add(r, r + nx, -1.0);
+                coo.add(r + nx, r, -1.0);
+            }
+        }
+    }
+    coo
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("csr");
+    g.sample_size(10);
+    for nx in [32usize, 100] {
+        let n = nx * nx;
+        let coo = laplacian_coo(nx);
+        g.bench_function(format!("to_csr_n{n}"), |b| {
+            b.iter(|| black_box(&coo).to_csr())
+        });
+        let a = coo.to_csr();
+        let x: Vec<f64> = (0..n).map(|i| (i % 13) as f64 - 6.0).collect();
+        let mut y = vec![0.0; n];
+        g.bench_function(format!("matvec_n{n}"), |b| {
+            b.iter(|| {
+                a.matvec(black_box(&x), &mut y);
+                y[0]
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Microbench: `EventQueue` schedule/pop churn — the DES inner loop every
+//! simulated cycle goes through. Run untraced (the common case) and traced
+//! into a small ring, to keep the cost of the depth probe honest.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fem2_core::machine::sim::EventQueue;
+use fem2_trace::TraceHandle;
+
+const CHURN: u64 = 10_000;
+
+/// Interleaved schedule/pop mix: keep ~64 events in flight, times drawn
+/// from a cheap LCG so heap order is non-trivial.
+fn churn(q: &mut EventQueue<u64>, rounds: u64) -> u64 {
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut sum = 0u64;
+    for i in 0..64 {
+        q.schedule(i, i);
+    }
+    for _ in 0..rounds {
+        let (at, ev) = q.pop().expect("queue is kept non-empty");
+        sum = sum.wrapping_add(at ^ ev);
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        q.schedule(at + 1 + (state >> 58), ev);
+    }
+    sum
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.sample_size(10);
+    g.bench_function("churn_untraced", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            black_box(churn(&mut q, CHURN))
+        })
+    });
+    g.bench_function("churn_traced", |b| {
+        b.iter(|| {
+            let (handle, _rec) = TraceHandle::ring(1 << 10);
+            let mut q = EventQueue::new();
+            q.set_trace(handle);
+            black_box(churn(&mut q, CHURN))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Microbench: `Network::transmit` on mesh and ring, healthy and with a
+//! failed link — the route-cache hot path (lookup + contention update).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fem2_core::machine::{MachineConfig, Network, Topology};
+
+fn all_pairs(net: &mut Network, clusters: u32) -> u64 {
+    let mut worst = 0;
+    for from in 0..clusters {
+        for to in 0..clusters {
+            if from != to {
+                // Fallible: a dead mesh link strands same-row pairs that
+                // XY and YX routing both cross; the None lookup is itself
+                // a cached hot path worth timing.
+                if let Some(arrival) = net.try_transmit(0, from, to, 64) {
+                    worst = worst.max(arrival);
+                }
+            }
+        }
+    }
+    worst
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("network_transmit");
+    g.sample_size(10);
+    let clusters = 16u32;
+    for (name, topo, broken) in [
+        ("mesh", Topology::Mesh2D { width: 4 }, None),
+        // +x link out of cluster 5: reroutes through the YX fallback.
+        (
+            "mesh_failed_link",
+            Topology::Mesh2D { width: 4 },
+            Some(5 * 4),
+        ),
+        ("ring", Topology::Ring, None),
+        // Forward link out of cluster 3: forces the backward detour.
+        ("ring_failed_link", Topology::Ring, Some(3)),
+    ] {
+        let cfg = MachineConfig::clustered(clusters, 2, topo);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut net = Network::new(&cfg);
+                if let Some(link) = broken {
+                    net.fail_link(link);
+                }
+                black_box(all_pairs(&mut net, clusters))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

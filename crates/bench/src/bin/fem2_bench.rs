@@ -1,0 +1,91 @@
+//! `fem2-bench` — run the fixed perf mix and emit `BENCH_fem2.json`.
+//!
+//! ```text
+//! fem2-bench --json BENCH_fem2.json   # run the suite, write JSON, print table
+//! fem2-bench --validate BENCH_fem2.json  # schema-check an existing document
+//! fem2-bench --no-route-cache         # ablation: reference recompute routing
+//! fem2-bench                          # run the suite, print the table only
+//! ```
+
+#![forbid(unsafe_code)]
+
+use fem2_bench::harness;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: fem2-bench [--json <path>] [--validate <path>] [--no-route-cache]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path: Option<String> = None;
+    let mut validate_path: Option<String> = None;
+    let mut route_cache = true;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--no-route-cache" => {
+                route_cache = false;
+                i += 1;
+            }
+            "--json" => {
+                let Some(p) = args.get(i + 1) else {
+                    eprintln!("--json requires a path\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                json_path = Some(p.clone());
+                i += 2;
+            }
+            "--validate" => {
+                let Some(p) = args.get(i + 1) else {
+                    eprintln!("--validate requires a path\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                validate_path = Some(p.clone());
+                i += 2;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(path) = validate_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("fem2-bench: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match harness::validate_json(&text) {
+            Ok(n) => {
+                println!("{path}: valid {} document, {n} records", harness::SCHEMA);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let suite = harness::run_suite_with(route_cache);
+    print!("{}", suite.table());
+    if let Some(path) = json_path {
+        let json = suite.to_json();
+        if let Err(e) = harness::validate_json(&json) {
+            eprintln!("fem2-bench: generated document failed self-validation: {e}");
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("fem2-bench: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -250,13 +250,19 @@ pub fn e4_task_init(ks: &[u32]) -> (String, Vec<TaskInitRow>) {
 // E5 — communication patterns × topologies × message sizes
 // ---------------------------------------------------------------------
 
-fn run_pattern(net: &mut Network, pattern: &str, clusters: u32, words: u64) -> u64 {
-    let mut done = 0u64;
+pub(crate) fn run_pattern(
+    net: &mut Network,
+    now: u64,
+    pattern: &str,
+    clusters: u32,
+    words: u64,
+) -> u64 {
+    let mut done = now;
     match pattern {
         "neighbor" => {
             for c in 0..clusters {
                 let to = (c + 1) % clusters;
-                done = done.max(net.transmit(0, c, to, words));
+                done = done.max(net.transmit(now, c, to, words));
             }
         }
         "irregular" => {
@@ -266,17 +272,17 @@ fn run_pattern(net: &mut Network, pattern: &str, clusters: u32, words: u64) -> u
                 if to == c {
                     to = (to + 1) % clusters;
                 }
-                done = done.max(net.transmit(0, c, to, words));
+                done = done.max(net.transmit(now, c, to, words));
             }
         }
         "all-to-one" => {
             for c in 1..clusters {
-                done = done.max(net.transmit(0, c, 0, words));
+                done = done.max(net.transmit(now, c, 0, words));
             }
         }
         "broadcast" => {
             for c in 1..clusters {
-                done = done.max(net.transmit(0, 0, c, words));
+                done = done.max(net.transmit(now, 0, c, words));
             }
         }
         other => panic!("unknown pattern {other}"),
@@ -309,7 +315,7 @@ pub fn e5_network() -> String {
                 let mut cfg = MachineConfig::clustered(clusters, 2, topo);
                 cfg.max_packet_words = 256;
                 let mut net = Network::new(&cfg);
-                cells.push(run_pattern(&mut net, pattern, clusters, words));
+                cells.push(run_pattern(&mut net, 0, pattern, clusters, words));
             }
             let _ = writeln!(
                 out,
@@ -415,11 +421,19 @@ pub fn e6_levels() -> String {
 // E7 — fault isolation, reliable delivery, and degradation
 // ---------------------------------------------------------------------
 
-/// The E7 workload: a 4x4 crossbar machine running 48 local tasks plus
-/// three cross-cluster RPCs, so the reliable layer carries real traffic.
-fn e7_run(plan: &FaultPlan) -> (KernelSim, u64) {
-    let machine = Machine::new(MachineConfig::clustered(4, 4, Topology::Crossbar));
+/// The E7 kernel workload (48 local tasks plus three staggered
+/// cross-cluster RPCs, so the reliable layer carries real traffic) on an
+/// arbitrary machine configuration with an optional trace sink — shared
+/// between the E7 fault sweep and the `fem2-bench` harness's traced DES
+/// record.
+pub(crate) fn e7_sim(
+    cfg: MachineConfig,
+    plan: &FaultPlan,
+    trace: fem2_trace::TraceHandle,
+) -> (KernelSim, u64) {
+    let machine = Machine::new(cfg);
     let mut sim = KernelSim::new(machine);
+    sim.set_trace(trace);
     let code = sim.register_code(CodeBlock::new(
         "work",
         32,
@@ -452,6 +466,15 @@ fn e7_run(plan: &FaultPlan) -> (KernelSim, u64) {
     sim.inject_faults(plan);
     let makespan = sim.run();
     (sim, makespan)
+}
+
+/// The E7 workload on its reference machine: a 4x4 crossbar, untraced.
+fn e7_run(plan: &FaultPlan) -> (KernelSim, u64) {
+    e7_sim(
+        MachineConfig::clustered(4, 4, Topology::Crossbar),
+        plan,
+        fem2_trace::TraceHandle::disabled(),
+    )
 }
 
 /// The E7 fault mixes. Link ids on the 4-cluster crossbar are

@@ -1,0 +1,413 @@
+//! The `fem2-bench --json` perf harness: a fixed experiment mix timed on
+//! the host, written as a machine-readable `BENCH_fem2.json`.
+//!
+//! The mix exercises the three hot paths every later PR is judged against:
+//!
+//! * **E1 plate sweep** — the full simulated plane (DES, kernel, network,
+//!   windows) at n ∈ {8, 16, 32, 48}, with a traced 48×48 run supplying
+//!   events/sec and peak DES queue depth;
+//! * **E5 network sweep** — the pattern × topology × size message mix on
+//!   the bare [`Network`] (route selection and link contention only);
+//! * **E9 solvers** — native-plane CG / Jacobi-PCG / skyline on the 32×32
+//!   plate system (CSR construction and matvec throughput).
+//!
+//! Every record carries host wall time *and* the deterministic simulated
+//! quantity it produced (cycles, or flops for native solvers), so a perf
+//! regression is distinguishable from a workload change: if `sim_cycles`
+//! moved, the workload changed; if only `wall_ns` moved, the
+//! implementation got slower or faster.
+
+use crate::experiments as ex;
+use fem2_core::fem::solver::{self, IterControls};
+use fem2_core::machine::fault::FaultPlan;
+use fem2_core::machine::{MachineConfig, Network, Topology};
+use fem2_core::scenario::PlateScenario;
+use fem2_trace::TraceHandle;
+use serde_json::Value;
+use std::time::Instant;
+
+/// Schema identifier written into (and required from) the JSON document.
+pub const SCHEMA: &str = "fem2-bench/1";
+
+/// Ring capacity for the traced E1 run; metrics are exact regardless of
+/// retention, so a modest ring keeps the traced run cheap.
+const TRACE_RING: usize = 1 << 12;
+
+/// One timed benchmark record.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Stable record name, e.g. `e1_plate_48`.
+    pub name: String,
+    /// Host wall time of the timed section, nanoseconds.
+    pub wall_ns: u64,
+    /// Deterministic simulated cycles produced (0 for native-plane work).
+    pub sim_cycles: u64,
+    /// Trace events observed (0 when the record ran untraced).
+    pub events: u64,
+    /// Events per host second of the traced run (0 when untraced).
+    pub events_per_sec: u64,
+    /// Peak DES queue depth observed (0 when untraced).
+    pub peak_queue_depth: u64,
+}
+
+impl BenchRecord {
+    fn untraced(name: impl Into<String>, wall_ns: u64, sim_cycles: u64) -> Self {
+        BenchRecord {
+            name: name.into(),
+            wall_ns,
+            sim_cycles,
+            events: 0,
+            events_per_sec: 0,
+            peak_queue_depth: 0,
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("name".into(), Value::Str(self.name.clone())),
+            ("wall_ns".into(), Value::UInt(self.wall_ns)),
+            ("sim_cycles".into(), Value::UInt(self.sim_cycles)),
+            ("events".into(), Value::UInt(self.events)),
+            ("events_per_sec".into(), Value::UInt(self.events_per_sec)),
+            (
+                "peak_queue_depth".into(),
+                Value::UInt(self.peak_queue_depth),
+            ),
+        ])
+    }
+}
+
+/// The full harness result.
+#[derive(Clone, Debug)]
+pub struct BenchSuite {
+    /// Machine configuration description the simulated records ran on.
+    pub machine: String,
+    /// All timed records, in run order.
+    pub records: Vec<BenchRecord>,
+}
+
+fn wall_of<T>(f: impl FnOnce() -> T) -> (u64, T) {
+    let t0 = Instant::now();
+    let out = f();
+    (t0.elapsed().as_nanos() as u64, out)
+}
+
+/// The default machine configuration with the route cache toggled; the
+/// `--no-route-cache` ablation runs the identical workload through the
+/// reference recompute path.
+fn e1_config(route_cache: bool) -> MachineConfig {
+    let mut cfg = MachineConfig::fem2_default();
+    cfg.route_cache = route_cache;
+    cfg
+}
+
+/// E1: the plate sweep on the simulated plane. Untraced runs time the hot
+/// loops; one traced 48×48 run supplies event throughput and queue depth.
+fn e1_records(records: &mut Vec<BenchRecord>, route_cache: bool) {
+    for &n in &[8usize, 16, 32, 48] {
+        let scenario = PlateScenario::square(n, e1_config(route_cache));
+        let (wall, report) = wall_of(|| scenario.run_unchecked());
+        records.push(BenchRecord::untraced(
+            format!("e1_plate_{n}"),
+            wall,
+            report.elapsed,
+        ));
+    }
+    // The traced run: same workload, plus observation.
+    let (handle, rec) = TraceHandle::ring(TRACE_RING);
+    let scenario = PlateScenario::square(48, e1_config(route_cache)).with_trace(handle);
+    let (wall, report) = wall_of(|| scenario.run_unchecked());
+    let rec = rec.lock().unwrap_or_else(|e| e.into_inner());
+    let events = rec.metrics().total_events();
+    let secs = (wall as f64 / 1e9).max(1e-9);
+    records.push(BenchRecord {
+        name: "e1_plate_48_traced".into(),
+        wall_ns: wall,
+        sim_cycles: report.elapsed,
+        events,
+        events_per_sec: (events as f64 / secs) as u64,
+        peak_queue_depth: rec.metrics().peak_queue_depth(),
+    });
+}
+
+/// E5: the communication-pattern sweep on the bare network. Each
+/// (pattern, size, topology) cell builds one network and replays the
+/// pattern 50 times at advancing simulated time — the steady-state shape a
+/// long simulation produces, where the same routes are looked up over and
+/// over. `sim_cycles` is the sum of per-repetition delivery makespans — a
+/// deterministic checksum of the route + contention model.
+fn e5_record(route_cache: bool) -> BenchRecord {
+    let clusters = 8u32;
+    let (wall, total) = wall_of(|| {
+        let mut total = 0u64;
+        for pattern in ["neighbor", "irregular", "all-to-one", "broadcast"] {
+            for &words in &[8u64, 256, 4096] {
+                for topo in [
+                    Topology::Bus,
+                    Topology::Ring,
+                    Topology::Mesh2D { width: 4 },
+                    Topology::Crossbar,
+                ] {
+                    let mut cfg = MachineConfig::clustered(clusters, 2, topo);
+                    cfg.max_packet_words = 256;
+                    cfg.route_cache = route_cache;
+                    let mut net = Network::new(&cfg);
+                    let mut now = 0u64;
+                    for _ in 0..50 {
+                        let done = ex::run_pattern(&mut net, now, pattern, clusters, words);
+                        total = total.wrapping_add(done - now);
+                        now = done;
+                    }
+                }
+            }
+        }
+        total
+    });
+    BenchRecord::untraced("e5_network", wall, total)
+}
+
+/// E7: the kernel workload (48 tasks + 3 RPCs on a 4x4 crossbar) under a
+/// link fault, repair, and degrade — traced, so this record carries a real
+/// DES queue depth: unlike the plate runs, which model primitives directly
+/// on the machine, the kernel schedules through the [`EventQueue`].
+fn e7_record(route_cache: bool) -> BenchRecord {
+    let mut cfg = MachineConfig::clustered(4, 4, Topology::Crossbar);
+    cfg.route_cache = route_cache;
+    let plan = FaultPlan::none()
+        .kill_link(20_000, 1)
+        .degrade_link(25_000, 2, 4)
+        .recover_link(60_000, 1);
+    let (handle, rec) = TraceHandle::ring(TRACE_RING);
+    let (wall, (_, makespan)) = wall_of(|| ex::e7_sim(cfg, &plan, handle));
+    let rec = rec.lock().unwrap_or_else(|e| e.into_inner());
+    let events = rec.metrics().total_events();
+    let secs = (wall as f64 / 1e9).max(1e-9);
+    BenchRecord {
+        name: "e7_kernel_traced".into(),
+        wall_ns: wall,
+        sim_cycles: makespan,
+        events,
+        events_per_sec: (events as f64 / secs) as u64,
+        peak_queue_depth: rec.metrics().peak_queue_depth(),
+    }
+}
+
+/// E9: native-plane solver wall times on the 32×32 plate system.
+/// `sim_cycles` carries the solver's flop count (its deterministic work
+/// measure); CSR assembly is timed separately as `e9_to_csr_32`.
+fn e9_records(records: &mut Vec<BenchRecord>) {
+    let nx = 32usize;
+    let (csr_wall, a) = wall_of(|| ex::solver_testmat(nx));
+    records.push(BenchRecord::untraced("e9_to_csr_32", csr_wall, 0));
+    let n = nx * nx;
+    let f: Vec<f64> = (0..n).map(|i| ((i * 31 + 7) % 17) as f64 - 8.0).collect();
+    let ctl = IterControls {
+        rel_tol: 1e-8,
+        max_iter: 200_000,
+    };
+    let (wall, log) = wall_of(|| solver::cg::solve(&a, &f, ctl, false).1);
+    records.push(BenchRecord::untraced("e9_cg_32", wall, log.flops));
+    let (wall, log) = wall_of(|| solver::cg::solve(&a, &f, ctl, true).1);
+    records.push(BenchRecord::untraced("e9_jacobi_pcg_32", wall, log.flops));
+    let (wall, _) = wall_of(|| solver::skyline::solve(&a, &f).expect("plate system is SPD"));
+    records.push(BenchRecord::untraced("e9_skyline_32", wall, 0));
+}
+
+/// Run the fixed mix and collect every record.
+pub fn run_suite() -> BenchSuite {
+    run_suite_with(true)
+}
+
+/// Run the fixed mix with the route cache toggled on the simulated-plane
+/// records (E1, E5, E7). `false` is the `--no-route-cache` ablation: same
+/// workload, reference recompute path. Native-plane E9 records are
+/// unaffected by the toggle.
+pub fn run_suite_with(route_cache: bool) -> BenchSuite {
+    let mut records = Vec::new();
+    e1_records(&mut records, route_cache);
+    records.push(e5_record(route_cache));
+    records.push(e7_record(route_cache));
+    e9_records(&mut records);
+    let mut machine = MachineConfig::fem2_default().describe();
+    if !route_cache {
+        machine.push_str(" [route cache off]");
+    }
+    BenchSuite { machine, records }
+}
+
+impl BenchSuite {
+    /// Serialize as the `fem2-bench/1` JSON document.
+    pub fn to_json(&self) -> String {
+        let doc = Value::Obj(vec![
+            ("schema".into(), Value::Str(SCHEMA.into())),
+            ("machine".into(), Value::Str(self.machine.clone())),
+            (
+                "results".into(),
+                Value::Arr(self.records.iter().map(BenchRecord::to_value).collect()),
+            ),
+        ]);
+        serde_json::to_string_pretty(&doc).expect("bench document has no non-finite floats")
+    }
+
+    /// A human-oriented summary table of the suite.
+    pub fn table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "fem2-bench suite on {}", self.machine);
+        let _ = writeln!(
+            out,
+            "{:<22} {:>12} {:>14} {:>10} {:>12} {:>8}",
+            "record", "wall(us)", "sim_cycles", "events", "events/s", "peak_q"
+        );
+        for r in &self.records {
+            let _ = writeln!(
+                out,
+                "{:<22} {:>12} {:>14} {:>10} {:>12} {:>8}",
+                r.name,
+                r.wall_ns / 1_000,
+                r.sim_cycles,
+                r.events,
+                r.events_per_sec,
+                r.peak_queue_depth
+            );
+        }
+        out
+    }
+}
+
+/// Validate a `BENCH_fem2.json` document against the `fem2-bench/1`
+/// schema. Returns the number of validated records.
+pub fn validate_json(text: &str) -> Result<usize, String> {
+    let doc: Value = serde_json::from_str(text).map_err(|e| format!("not JSON: {e}"))?;
+    let schema = doc.get_field("schema").map_err(|e| e.to_string())?;
+    match schema {
+        Value::Str(s) if s == SCHEMA => {}
+        other => return Err(format!("schema must be \"{SCHEMA}\", found {other:?}")),
+    }
+    match doc.get_field("machine").map_err(|e| e.to_string())? {
+        Value::Str(_) => {}
+        other => return Err(format!("machine must be a string, found {}", other.kind())),
+    }
+    let results = match doc.get_field("results").map_err(|e| e.to_string())? {
+        Value::Arr(items) => items,
+        other => return Err(format!("results must be an array, found {}", other.kind())),
+    };
+    if results.is_empty() {
+        return Err("results array is empty".into());
+    }
+    for (i, rec) in results.iter().enumerate() {
+        match rec
+            .get_field("name")
+            .map_err(|e| format!("record {i}: {e}"))?
+        {
+            Value::Str(s) if !s.is_empty() => {}
+            _ => return Err(format!("record {i}: name must be a non-empty string")),
+        }
+        for field in [
+            "wall_ns",
+            "sim_cycles",
+            "events",
+            "events_per_sec",
+            "peak_queue_depth",
+        ] {
+            match rec
+                .get_field(field)
+                .map_err(|e| format!("record {i}: {e}"))?
+            {
+                Value::UInt(_) => {}
+                Value::Int(v) if *v >= 0 => {}
+                other => {
+                    return Err(format!(
+                        "record {i}: {field} must be a non-negative integer, found {}",
+                        other.kind()
+                    ))
+                }
+            }
+        }
+    }
+    Ok(results.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny suite (not the full mix) keeps the test fast while covering
+    /// serialization + validation round trip.
+    fn small_suite() -> BenchSuite {
+        BenchSuite {
+            machine: "test".into(),
+            records: vec![
+                BenchRecord::untraced("a", 1_000, 42),
+                BenchRecord {
+                    name: "b".into(),
+                    wall_ns: 2_000,
+                    sim_cycles: 7,
+                    events: 10,
+                    events_per_sec: 5_000_000,
+                    peak_queue_depth: 3,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_validation() {
+        let json = small_suite().to_json();
+        assert_eq!(validate_json(&json), Ok(2));
+    }
+
+    #[test]
+    fn validation_rejects_malformed_documents() {
+        assert!(validate_json("not json").is_err());
+        assert!(validate_json("{}").is_err());
+        assert!(validate_json(r#"{"schema":"wrong","machine":"m","results":[]}"#).is_err());
+        let empty = format!(r#"{{"schema":"{SCHEMA}","machine":"m","results":[]}}"#);
+        assert!(validate_json(&empty).unwrap_err().contains("empty"));
+        let missing =
+            format!(r#"{{"schema":"{SCHEMA}","machine":"m","results":[{{"name":"x"}}]}}"#);
+        assert!(validate_json(&missing).unwrap_err().contains("wall_ns"));
+        let bad_name =
+            format!(r#"{{"schema":"{SCHEMA}","machine":"m","results":[{{"name":""}}]}}"#);
+        assert!(validate_json(&bad_name).unwrap_err().contains("name"));
+    }
+
+    #[test]
+    fn table_renders_every_record() {
+        let t = small_suite().table();
+        assert!(t.contains("record"));
+        assert!(t.lines().any(|l| l.starts_with("a ")));
+        assert!(t.lines().any(|l| l.starts_with("b ")));
+    }
+
+    #[test]
+    fn e5_record_is_deterministic_in_cycles() {
+        let a = e5_record(true);
+        let b = e5_record(true);
+        assert_eq!(a.sim_cycles, b.sim_cycles, "cycle checksum is seeded");
+        assert!(a.wall_ns > 0);
+    }
+
+    #[test]
+    fn e5_cycle_checksum_is_route_cache_invariant() {
+        let cached = e5_record(true);
+        let recompute = e5_record(false);
+        assert_eq!(cached.sim_cycles, recompute.sim_cycles);
+    }
+
+    #[test]
+    fn e7_record_observes_real_des_activity() {
+        let r = e7_record(true);
+        assert!(r.sim_cycles > 0);
+        assert!(r.events > 0, "kernel run must emit trace events");
+        assert!(
+            r.peak_queue_depth > 0,
+            "kernel run schedules through the DES queue"
+        );
+        let ablated = e7_record(false);
+        assert_eq!(
+            r.sim_cycles, ablated.sim_cycles,
+            "route cache must not change timing"
+        );
+    }
+}

@@ -31,10 +31,19 @@ pub fn element_matrix(mesh: &Mesh, elem: usize, mat: &Material) -> ElementMatrix
     }
 }
 
+/// Exact triplet count a full scatter of `mesh` produces: each element
+/// contributes a dense `(nodes·dof)²` block.
+fn scatter_triplets(mesh: &Mesh) -> usize {
+    mesh.elements
+        .iter()
+        .map(|e| (e.nodes.len() * DOF_PER_NODE).pow(2))
+        .sum()
+}
+
 /// Assemble the global stiffness matrix, sequentially.
 pub fn assemble(mesh: &Mesh, mat: &Material) -> Csr {
     let n = mesh.node_count() * DOF_PER_NODE;
-    let mut coo = Coo::new(n);
+    let mut coo = Coo::with_capacity(n, scatter_triplets(mesh));
     for e in 0..mesh.element_count() {
         let em = element_matrix(mesh, e, mat);
         scatter(&mut coo, &em);
@@ -55,7 +64,7 @@ pub fn assemble_par(pool: &Pool, mesh: &Mesh, mat: &Material) -> Csr {
         }
     });
     let n = mesh.node_count() * DOF_PER_NODE;
-    let mut coo = Coo::new(n);
+    let mut coo = Coo::with_capacity(n, scatter_triplets(mesh));
     for em in mats.into_iter().map(|m| m.expect("all chunks filled")) {
         scatter(&mut coo, &em);
     }

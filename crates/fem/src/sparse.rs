@@ -19,6 +19,15 @@ impl Coo {
         }
     }
 
+    /// An empty `n × n` builder with room for `triplets` entries, so
+    /// assembly-sized scatters don't grow the vector incrementally.
+    pub fn with_capacity(n: usize, triplets: usize) -> Self {
+        Coo {
+            n,
+            entries: Vec::with_capacity(triplets),
+        }
+    }
+
     /// Matrix order.
     pub fn order(&self) -> usize {
         self.n
@@ -38,33 +47,68 @@ impl Coo {
     }
 
     /// Compress to CSR, summing duplicates.
+    ///
+    /// O(nnz) counting build: a row histogram and prefix sum place every
+    /// triplet into its row segment in one scatter pass (no clone + global
+    /// sort of the triplet list); each row is then column-sorted with a
+    /// stable in-place insertion sort (rows are short in FEM stencils) and
+    /// duplicates are summed in insertion order as the row compacts.
     pub fn to_csr(&self) -> Csr {
         let n = self.n;
-        let mut sorted = self.entries.clone();
-        sorted.sort_unstable_by_key(|e| (e.0, e.1));
-        let mut rowptr = Vec::with_capacity(n + 1);
-        let mut colidx = Vec::new();
-        let mut vals = Vec::new();
-        rowptr.push(0);
-        let mut cur_row = 0;
-        for (r, c, v) in sorted {
-            while cur_row < r {
-                rowptr.push(colidx.len());
-                cur_row += 1;
+        let nnz = self.entries.len();
+        // Pass 1: per-row triplet counts → segment starts.
+        let mut start = vec![0usize; n + 1];
+        for &(r, _, _) in &self.entries {
+            start[r + 1] += 1;
+        }
+        for i in 0..n {
+            start[i + 1] += start[i];
+        }
+        // Pass 2: scatter triplets into their row segments, preserving
+        // insertion order within each row.
+        let mut colidx = vec![0usize; nnz];
+        let mut vals = vec![0.0f64; nnz];
+        let mut cursor = start.clone();
+        for &(r, c, v) in &self.entries {
+            let k = cursor[r];
+            cursor[r] += 1;
+            colidx[k] = c;
+            vals[k] = v;
+        }
+        // Pass 3: sort each row by column and sum duplicates, compacting
+        // behind a global write cursor (merging only shrinks, so writes
+        // never overtake unread segments).
+        let mut rowptr = vec![0usize; n + 1];
+        let mut w = 0usize;
+        for r in 0..n {
+            let (lo, hi) = (start[r], start[r + 1]);
+            // Stable insertion sort on the (col, val) pairs: keeps
+            // duplicate columns in insertion order so their sum
+            // accumulates deterministically.
+            for i in lo + 1..hi {
+                let (c, v) = (colidx[i], vals[i]);
+                let mut j = i;
+                while j > lo && colidx[j - 1] > c {
+                    colidx[j] = colidx[j - 1];
+                    vals[j] = vals[j - 1];
+                    j -= 1;
+                }
+                colidx[j] = c;
+                vals[j] = v;
             }
-            if let (Some(&last_c), Some(last_v)) = (colidx.last(), vals.last_mut()) {
-                if colidx.len() > rowptr[cur_row] && last_c == c {
-                    *last_v += v;
-                    continue;
+            for i in lo..hi {
+                if w > rowptr[r] && colidx[w - 1] == colidx[i] {
+                    vals[w - 1] += vals[i];
+                } else {
+                    colidx[w] = colidx[i];
+                    vals[w] = vals[i];
+                    w += 1;
                 }
             }
-            colidx.push(c);
-            vals.push(v);
+            rowptr[r + 1] = w;
         }
-        while cur_row < n {
-            rowptr.push(colidx.len());
-            cur_row += 1;
-        }
+        colidx.truncate(w);
+        vals.truncate(w);
         Csr {
             rowptr,
             colidx,
@@ -106,9 +150,23 @@ impl Csr {
         0.0
     }
 
-    /// The diagonal, as a vector (zeros where unstored).
+    /// The diagonal, as a vector (zeros where unstored). Single pass over
+    /// stored entries, early-exiting each row at the sorted column order.
     pub fn diagonal(&self) -> Vec<f64> {
-        (0..self.order()).map(|i| self.get(i, i)).collect()
+        let n = self.order();
+        let mut d = vec![0.0; n];
+        for (r, dr) in d.iter_mut().enumerate() {
+            for k in self.rowptr[r]..self.rowptr[r + 1] {
+                let c = self.colidx[k];
+                if c >= r {
+                    if c == r {
+                        *dr = self.vals[k];
+                    }
+                    break;
+                }
+            }
+        }
+        d
     }
 
     /// `y ← A·x`, sequential.
@@ -147,14 +205,60 @@ impl Csr {
         });
     }
 
-    /// Structural + numerical symmetry check within `tol`.
+    /// Structural + numerical symmetry check within `tol`. O(nnz): builds
+    /// the transpose with a counting pass, then merge-compares each row of
+    /// `A` against the matching row of `Aᵀ`, treating unstored entries as
+    /// zero (no per-entry `get` scans).
     pub fn is_symmetric(&self, tol: f64) -> bool {
         let n = self.order();
+        let nnz = self.nnz();
+        let mut tptr = vec![0usize; n + 1];
+        for &c in &self.colidx {
+            tptr[c + 1] += 1;
+        }
+        for i in 0..n {
+            tptr[i + 1] += tptr[i];
+        }
+        let mut tcol = vec![0usize; nnz];
+        let mut tval = vec![0.0f64; nnz];
+        let mut cursor = tptr.clone();
         for r in 0..n {
             for k in self.rowptr[r]..self.rowptr[r + 1] {
                 let c = self.colidx[k];
-                if (self.vals[k] - self.get(c, r)).abs() > tol {
-                    return false;
+                let q = cursor[c];
+                cursor[c] += 1;
+                tcol[q] = r;
+                tval[q] = self.vals[k];
+            }
+        }
+        // Rows of the transpose come out column-sorted because the source
+        // rows are visited in ascending order, so a two-pointer merge works.
+        for r in 0..n {
+            let (mut i, ei) = (self.rowptr[r], self.rowptr[r + 1]);
+            let (mut j, ej) = (tptr[r], tptr[r + 1]);
+            while i < ei || j < ej {
+                let ci = if i < ei { self.colidx[i] } else { usize::MAX };
+                let cj = if j < ej { tcol[j] } else { usize::MAX };
+                match ci.cmp(&cj) {
+                    std::cmp::Ordering::Equal => {
+                        if (self.vals[i] - tval[j]).abs() > tol {
+                            return false;
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Less => {
+                        if self.vals[i].abs() > tol {
+                            return false;
+                        }
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        if tval[j].abs() > tol {
+                            return false;
+                        }
+                        j += 1;
+                    }
                 }
             }
         }
@@ -169,7 +273,12 @@ impl Csr {
         for (new, &old) in keep.iter().enumerate() {
             map[old] = new;
         }
-        let mut coo = Coo::new(keep.len());
+        // Upper bound: everything stored in the kept rows survives.
+        let cap = keep
+            .iter()
+            .map(|&r| self.rowptr[r + 1] - self.rowptr[r])
+            .sum();
+        let mut coo = Coo::with_capacity(keep.len(), cap);
         for (new_r, &old_r) in keep.iter().enumerate() {
             for k in self.rowptr[old_r]..self.rowptr[old_r + 1] {
                 let old_c = self.colidx[k];

@@ -145,6 +145,8 @@ enum KEvent {
     Recover { pe: PeId },
     /// A link dies (`degrade` 0) or degrades (factor ≥ 1).
     LinkFault { link: usize, degrade: u32 },
+    /// A link is repaired: revived and un-degraded.
+    LinkRecover { link: usize },
     /// A memory bank of `words` capacity fails in `cluster`.
     MemFault { cluster: u32, words: Words },
 }
@@ -417,6 +419,9 @@ impl KernelSim {
                         },
                     );
                 }
+                FaultKind::LinkRecover { link } => {
+                    self.queue.schedule(f.at, KEvent::LinkRecover { link });
+                }
                 FaultKind::Memory { cluster, words } => {
                     self.queue
                         .schedule(f.at, KEvent::MemFault { cluster, words });
@@ -580,6 +585,9 @@ impl KernelSim {
                 } else {
                     self.machine.degrade_link(now, link, degrade);
                 }
+            }
+            KEvent::LinkRecover { link } => {
+                self.machine.recover_link(now, link);
             }
             KEvent::MemFault { cluster, words } => {
                 self.mem_fault(now, cluster, words);

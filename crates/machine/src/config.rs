@@ -104,6 +104,11 @@ pub struct MachineConfig {
     pub cost: CostModel,
     /// Whether each cluster reserves PE 0 as a dedicated kernel PE.
     pub dedicated_kernel_pe: bool,
+    /// Whether the network memoizes `(from, to)` routes between fault
+    /// transitions. On by default; turning it off selects the reference
+    /// recompute-per-message path (bitwise-identical results, slower) and
+    /// exists for determinism tests and the A3 ablation.
+    pub route_cache: bool,
 }
 
 impl MachineConfig {
@@ -122,6 +127,7 @@ impl MachineConfig {
             header_words: 4,
             cost: CostModel::default(),
             dedicated_kernel_pe: true,
+            route_cache: true,
         }
     }
 
@@ -140,6 +146,7 @@ impl MachineConfig {
             header_words: 4,
             cost: CostModel::default(),
             dedicated_kernel_pe: false,
+            route_cache: true,
         }
     }
 

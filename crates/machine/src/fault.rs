@@ -44,6 +44,11 @@ pub enum FaultKind {
         /// Capacity removed from the arena, words.
         words: Words,
     },
+    /// A network link is repaired: revived if dead, degradation cleared.
+    LinkRecover {
+        /// Link id in the topology's link-id scheme.
+        link: usize,
+    },
 }
 
 /// A scheduled hardware failure.
@@ -141,6 +146,16 @@ impl FaultPlan {
                 link,
                 degrade: Some(factor),
             },
+        })
+    }
+
+    /// Add a link repair: at `at` the link is revived (if dead) and any
+    /// degradation cleared. Pair with [`FaultPlan::kill_link`] or
+    /// [`FaultPlan::degrade_link`] to model a transient link outage.
+    pub fn recover_link(self, at: Cycles, link: usize) -> Self {
+        self.push(FaultEvent {
+            at,
+            kind: FaultKind::LinkRecover { link },
         })
     }
 

@@ -405,6 +405,22 @@ impl Machine {
         });
     }
 
+    /// Restore a network link to full health at time `at`: a dead link is
+    /// revived and any degradation cleared, so detoured routes snap back
+    /// to the primary path.
+    pub fn recover_link(&mut self, at: Cycles, link: usize) {
+        self.network.recover_link(link);
+        self.reconfigurations += 1;
+        self.trace.emit(|| {
+            TraceEvent::instant(
+                at,
+                NO_CLUSTER,
+                NO_PE,
+                EventKind::LinkRecover { link: link as u32 },
+            )
+        });
+    }
+
     /// A memory bank of `words` capacity fails in cluster `c` at time `at`.
     /// Returns the words of live allocations that no longer fit; the caller
     /// (the kernel) must invalidate victims to bring usage back within

@@ -10,9 +10,38 @@
 //!
 //! All state is deterministic: links are FIFO resources with a `free_at`
 //! time, and arrival times depend only on the sequence of `transmit` calls.
+//!
+//! Route selection is cached: the route for a `(from, to)` pair is computed
+//! once and reused until the link-fault state changes (an *epoch* counter
+//! bumped by [`Network::fail_link`], [`Network::degrade_link`], and
+//! [`Network::recover_link`] invalidates every cached entry at once). The
+//! hot paths — [`Network::try_transmit`] per packet and
+//! [`Network::estimate`] per retransmission-timeout computation — then
+//! serve routes out of the cache instead of re-deriving and re-allocating
+//! the path per message. Cached and uncached runs are bitwise identical:
+//! the cache stores exactly what [`Network::compute_route`] would return.
 
 use crate::config::{MachineConfig, Topology};
 use crate::{Cycles, Words};
+use std::cell::RefCell;
+
+/// One memoized route slot; valid only while `epoch` matches the cache's.
+#[derive(Clone, Debug, Default)]
+struct RouteSlot {
+    epoch: u64,
+    /// `None` = no live route this epoch; `Some((links, rerouted))`
+    /// otherwise.
+    route: Option<(Vec<usize>, bool)>,
+}
+
+/// The `(from, to) → route` table, invalidated wholesale by epoch bump.
+#[derive(Clone, Debug)]
+struct RouteCache {
+    /// Current fault-state generation. Slots from older epochs are stale.
+    epoch: u64,
+    /// `clusters × clusters` slots, row-major by source cluster.
+    slots: Vec<RouteSlot>,
+}
 
 /// The inter-cluster network: topology, per-link reservation times, and
 /// traffic counters.
@@ -32,6 +61,13 @@ pub struct Network {
     link_dead: Vec<bool>,
     /// Per-link occupancy multiplier (1 = healthy).
     link_degrade: Vec<u32>,
+    /// Whether route lookups memoize (config `route_cache`; off = the
+    /// reference path that recomputes every route, for determinism tests).
+    cache_enabled: bool,
+    /// Memoized routes. Interior-mutable so `&self` estimators can fill it.
+    cache: RefCell<RouteCache>,
+    /// Reusable path buffer for the transmit/estimate loops.
+    scratch: RefCell<Vec<usize>>,
     /// Remote messages transmitted.
     pub messages: u64,
     /// Packets transmitted (after segmentation).
@@ -65,6 +101,12 @@ impl Network {
             link_busy: vec![0; links],
             link_dead: vec![false; links],
             link_degrade: vec![1; links],
+            cache_enabled: cfg.route_cache,
+            cache: RefCell::new(RouteCache {
+                epoch: 1, // slots start at epoch 0, i.e. all stale
+                slots: vec![RouteSlot::default(); n * n],
+            }),
+            scratch: RefCell::new(Vec::new()),
             messages: 0,
             packets: 0,
             rerouted_packets: 0,
@@ -77,11 +119,28 @@ impl Network {
     /// detour where the topology allows.
     pub fn fail_link(&mut self, link: usize) {
         self.link_dead[link] = true;
+        self.invalidate_routes();
     }
 
     /// Degrade a link: its occupancy is multiplied by `factor` (≥ 1).
     pub fn degrade_link(&mut self, link: usize, factor: u32) {
         self.link_degrade[link] = factor.max(1);
+        self.invalidate_routes();
+    }
+
+    /// Restore a link to full health: revive it if dead and clear any
+    /// degradation. Routes that detoured around it snap back to the
+    /// primary path.
+    pub fn recover_link(&mut self, link: usize) {
+        self.link_dead[link] = false;
+        self.link_degrade[link] = 1;
+        self.invalidate_routes();
+    }
+
+    /// Invalidate every cached route at once: bump the epoch so slots from
+    /// the previous fault state read as stale.
+    fn invalidate_routes(&mut self) {
+        self.cache.get_mut().epoch += 1;
     }
 
     /// Whether `link` is dead.
@@ -202,8 +261,10 @@ impl Network {
 
     /// Pick a live route: the primary path when intact, otherwise the
     /// topology's deterministic detour. Returns the path and whether it is
-    /// a detour; `None` when every candidate crosses a dead link.
-    fn choose_route(&self, from: u32, to: u32) -> Option<(Vec<usize>, bool)> {
+    /// a detour; `None` when every candidate crosses a dead link. This is
+    /// the uncached reference computation; hot paths go through
+    /// [`Network::route_into`] which memoizes its result per epoch.
+    fn compute_route(&self, from: u32, to: u32) -> Option<(Vec<usize>, bool)> {
         let primary = self.primary_route(from, to);
         if self.path_alive(&primary) {
             return Some((primary, false));
@@ -234,6 +295,29 @@ impl Network {
         alt.map(|p| (p, true))
     }
 
+    /// Copy the current route for `(from, to)` into `buf`, computing and
+    /// caching it if this epoch has not seen the pair yet. Returns whether
+    /// the route is a detour, or `None` when no live route exists (also
+    /// cached, so repeated unreachable probes stay cheap).
+    fn route_into(&self, from: u32, to: u32, buf: &mut Vec<usize>) -> Option<bool> {
+        buf.clear();
+        if !self.cache_enabled {
+            let (path, rerouted) = self.compute_route(from, to)?;
+            buf.extend_from_slice(&path);
+            return Some(rerouted);
+        }
+        let mut cache = self.cache.borrow_mut();
+        let epoch = cache.epoch;
+        let slot = &mut cache.slots[from as usize * self.clusters as usize + to as usize];
+        if slot.epoch != epoch {
+            slot.route = self.compute_route(from, to);
+            slot.epoch = epoch;
+        }
+        let (path, rerouted) = slot.route.as_ref()?;
+        buf.extend_from_slice(path);
+        Some(*rerouted)
+    }
+
     /// The link ids a message from `from` to `to` would traverse right now,
     /// or `None` when no live route exists (reliable layers use this both
     /// to detect unreachable clusters and to loss-check in-flight packets).
@@ -241,7 +325,9 @@ impl Network {
         if from == to {
             return Some(Vec::new());
         }
-        self.choose_route(from, to).map(|(p, _)| p)
+        let mut buf = Vec::new();
+        self.route_into(from, to, &mut buf)?;
+        Some(buf)
     }
 
     /// Transmit `words` of payload from cluster `from` to cluster `to`,
@@ -272,7 +358,13 @@ impl Network {
         if from == to {
             return Some(now + words.div_ceil(self.words_per_cycle as Words).max(1));
         }
-        let (route, rerouted) = self.choose_route(from, to)?;
+        // Borrow the reusable path buffer out of its cell so the contention
+        // loop below can mutate link state without aliasing it.
+        let mut route = self.scratch.take();
+        let Some(rerouted) = self.route_into(from, to, &mut route) else {
+            self.scratch.replace(route);
+            return None;
+        };
         self.messages += 1;
         self.payload_words += words;
         let mut remaining = words;
@@ -309,6 +401,7 @@ impl Network {
             }
             arrival = arrival.max(t);
         }
+        self.scratch.replace(route);
         Some(arrival)
     }
 
@@ -321,10 +414,10 @@ impl Network {
         if from == to {
             return words.div_ceil(self.words_per_cycle as Words).max(1);
         }
-        let path = match self.choose_route(from, to) {
-            Some((p, _)) => p,
-            None => self.primary_route(from, to),
-        };
+        let mut path = self.scratch.take();
+        if self.route_into(from, to, &mut path).is_none() {
+            path = self.primary_route(from, to);
+        }
         let mut remaining = words;
         let mut first = true;
         let mut inject_at = 0;
@@ -345,6 +438,7 @@ impl Network {
             }
             arrival = arrival.max(t);
         }
+        self.scratch.replace(path);
         arrival
     }
 
@@ -653,6 +747,79 @@ mod tests {
         let t = n.transmit(0, 0, 2, 30);
         assert_eq!(est, t, "estimate equals transmit on an idle network");
         assert_eq!(n.estimate(3, 3, 64), 64);
+    }
+
+    #[test]
+    fn recover_link_restores_primary_route_and_clears_degrade() {
+        let mut c = cfg(Topology::Mesh2D { width: 2 }, 4);
+        c.link_latency = 0;
+        c.header_words = 0;
+        c.max_packet_words = 1000;
+        let mut n = Network::new(&c);
+        assert_eq!(n.route_links(0, 3), Some(vec![0, 6]));
+        n.fail_link(0);
+        assert_eq!(n.route_links(0, 3), Some(vec![2, 8]), "YX detour");
+        n.degrade_link(2, 8);
+        n.recover_link(0);
+        n.recover_link(2);
+        assert!(!n.link_is_dead(0));
+        assert_eq!(n.route_links(0, 3), Some(vec![0, 6]), "primary is back");
+        let t = n.transmit(0, 0, 3, 100);
+        assert_eq!(t, 200, "no residual degradation after repair");
+    }
+
+    #[test]
+    fn route_cache_serves_repeated_lookups_and_invalidates_on_faults() {
+        let c = cfg(Topology::Crossbar, 8);
+        let mut n = Network::new(&c);
+        // Same pair twice: second lookup is served from the cache and must
+        // equal the first.
+        let first = n.route_links(2, 5);
+        assert_eq!(n.route_links(2, 5), first);
+        // Kill the direct link: the cached entry must not survive.
+        let direct = first.unwrap()[0];
+        n.fail_link(direct);
+        let detour = n.route_links(2, 5).unwrap();
+        assert_eq!(detour.len(), 2, "two-hop detour after invalidation");
+        n.recover_link(direct);
+        assert_eq!(n.route_links(2, 5), Some(vec![direct]));
+    }
+
+    /// Cached and uncached networks must produce bitwise-identical arrival
+    /// times and traffic counters over an arbitrary transmit sequence that
+    /// spans a link failure and its repair.
+    #[test]
+    fn cached_matches_uncached_across_fail_and_recovery() {
+        let run = |route_cache: bool| {
+            let mut c = cfg(Topology::Ring, 8);
+            c.route_cache = route_cache;
+            let mut n = Network::new(&c);
+            let mut log = Vec::new();
+            let mut t = 0;
+            for step in 0..200u64 {
+                if step == 60 {
+                    n.fail_link(0);
+                }
+                if step == 140 {
+                    n.recover_link(0);
+                }
+                let from = (step * 3) % 8;
+                let to = (step * 5 + 1) % 8;
+                if let Some(arr) = n.try_transmit(t, from as u32, to as u32, 16 + step % 64) {
+                    log.push(arr);
+                    t = t.max(arr / 2);
+                }
+                log.push(n.estimate(to as u32, from as u32, 32));
+            }
+            (
+                log,
+                n.messages,
+                n.packets,
+                n.rerouted_packets,
+                n.total_link_busy(),
+            )
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

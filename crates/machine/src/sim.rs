@@ -88,13 +88,17 @@ impl<E> EventQueue<E> {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Reverse(Entry { at, seq, ev }));
-        let depth = self.heap.len() as u32;
+        // Read the depth inside the closure so the untraced hot path pays
+        // nothing for the observation.
+        let heap = &self.heap;
         self.trace.emit(|| {
             TraceEvent::instant(
                 at,
                 NO_CLUSTER,
                 NO_PE,
-                EventKind::DesSchedule { queue_depth: depth },
+                EventKind::DesSchedule {
+                    queue_depth: heap.len() as u32,
+                },
             )
         });
     }
@@ -108,13 +112,15 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(Cycles, E)> {
         self.heap.pop().map(|Reverse(e)| {
             self.now = e.at;
-            let depth = self.heap.len() as u32;
+            let heap = &self.heap;
             self.trace.emit(|| {
                 TraceEvent::instant(
                     e.at,
                     NO_CLUSTER,
                     NO_PE,
-                    EventKind::DesDispatch { queue_depth: depth },
+                    EventKind::DesDispatch {
+                        queue_depth: heap.len() as u32,
+                    },
                 )
             });
             (e.at, e.ev)

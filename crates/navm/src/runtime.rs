@@ -96,6 +96,11 @@ impl SimState {
                                 }
                                 Some(f) => self.machine.degrade_link(ev.at, link, f),
                             },
+                            FaultKind::LinkRecover { link } => {
+                                // Repair never loses in-flight packets, so
+                                // `link_died` stays untouched.
+                                self.machine.recover_link(ev.at, link);
+                            }
                             FaultKind::Memory { cluster, words } => {
                                 let lost = self.machine.fail_memory_bank(ev.at, cluster, words);
                                 if lost > 0 {

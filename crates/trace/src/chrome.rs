@@ -119,6 +119,7 @@ fn args_of(ev: &TraceEvent) -> String {
             format!("{{\"to_cluster\":{to_cluster}}}")
         }
         EventKind::PeRecover => "{}".to_string(),
+        EventKind::LinkRecover { link } => format!("{{\"link\":{link}}}"),
         EventKind::MemFault { words, lost } => {
             format!("{{\"words\":{words},\"lost\":{lost}}}")
         }
@@ -135,7 +136,10 @@ fn cat_of(ev: &TraceEvent) -> &'static str {
         EventKind::LinkTransfer { .. } => "network",
         EventKind::Task { .. } => "task",
         EventKind::AppCommand { .. } => "command",
-        EventKind::LinkFault { .. } | EventKind::PeRecover | EventKind::MemFault { .. } => "fault",
+        EventKind::LinkFault { .. }
+        | EventKind::LinkRecover { .. }
+        | EventKind::PeRecover
+        | EventKind::MemFault { .. } => "fault",
         EventKind::Retransmit { .. } | EventKind::DeadLetter { .. } => "reliable",
     }
 }
@@ -272,8 +276,9 @@ pub fn phase_table(rec: &RingRecorder) -> String {
         ));
         if pm.any_fault_activity() {
             out.push_str(&format!(
-                "  faults: link {} mem {} pe_recover {} | retransmits {} dead_letters {} stale {}\n",
+                "  faults: link {} link_recover {} mem {} pe_recover {} | retransmits {} dead_letters {} stale {}\n",
                 pm.link_faults,
+                pm.link_recoveries,
                 pm.mem_faults,
                 pm.pe_recoveries,
                 pm.retransmits,

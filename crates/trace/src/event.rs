@@ -290,6 +290,12 @@ pub enum EventKind {
     },
     /// A transiently failed PE rejoined the free pool.
     PeRecover,
+    /// A network link was restored to full health (revived and/or
+    /// un-degraded); detoured routes snap back to the primary path.
+    LinkRecover {
+        /// Link id in the topology's link-id scheme.
+        link: u32,
+    },
     /// A cluster-memory bank failed, shrinking the heap arena.
     MemFault {
         /// Words removed from the arena.
@@ -362,6 +368,7 @@ impl TraceEvent {
             EventKind::Retransmit { .. } => "retransmit",
             EventKind::DeadLetter { .. } => "dead_letter",
             EventKind::PeRecover => "pe_recover",
+            EventKind::LinkRecover { .. } => "link_recover",
             EventKind::MemFault { .. } => "mem_fault",
         }
     }
@@ -416,6 +423,7 @@ impl TraceEvent {
             }
             EventKind::PeRecover => (14, 0, 0, 0),
             EventKind::MemFault { words, lost } => (15, words, lost, 0),
+            EventKind::LinkRecover { link } => (16, link as u64, 0, 0),
         };
         out.push(tag);
         out.extend_from_slice(&a.to_le_bytes());

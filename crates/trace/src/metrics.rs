@@ -102,6 +102,8 @@ pub struct PhaseMetrics {
     pub window_words: [u64; 4],
     /// Link dead/degrade faults observed.
     pub link_faults: u64,
+    /// Links restored to full health.
+    pub link_recoveries: u64,
     /// Reliable-layer retransmits.
     pub retransmits: u64,
     /// Messages dead-lettered after exhausting retransmits.
@@ -170,6 +172,9 @@ impl PhaseMetrics {
             EventKind::PeRecover => {
                 self.pe_recoveries += 1;
             }
+            EventKind::LinkRecover { .. } => {
+                self.link_recoveries += 1;
+            }
             EventKind::MemFault { .. } => {
                 self.mem_faults += 1;
             }
@@ -181,6 +186,7 @@ impl PhaseMetrics {
     /// per-phase table line so healthy reports stay unchanged).
     pub fn any_fault_activity(&self) -> bool {
         self.link_faults != 0
+            || self.link_recoveries != 0
             || self.retransmits != 0
             || self.dead_letters != 0
             || self.pe_recoveries != 0
@@ -210,6 +216,22 @@ impl Metrics {
             self.phases.resize(idx + 1, PhaseMetrics::default());
         }
         &mut self.phases[idx]
+    }
+
+    /// Total events observed across all phases — the numerator of the
+    /// events/sec throughput figure the bench harness reports.
+    pub fn total_events(&self) -> u64 {
+        self.phases.iter().map(|p| p.events).sum()
+    }
+
+    /// Largest DES queue depth observed in any phase (at schedule or
+    /// dispatch) — the bench harness's peak-queue-depth figure.
+    pub fn peak_queue_depth(&self) -> u64 {
+        self.phases
+            .iter()
+            .map(|p| p.queue_depth.max)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Used by [`WindowStage`] display code: the four stage names in index
@@ -252,6 +274,28 @@ mod tests {
         h.record(5);
         h.record(6);
         assert_eq!(h.summarize(), "0:1 4..7:2");
+    }
+
+    #[test]
+    fn totals_aggregate_across_phases() {
+        let mut m = Metrics::default();
+        m.phase_mut(0).observe(&TraceEvent::instant(
+            0,
+            0,
+            0,
+            EventKind::DesSchedule { queue_depth: 3 },
+        ));
+        m.phase_mut(1).observe(&TraceEvent::instant(
+            5,
+            0,
+            0,
+            EventKind::DesDispatch { queue_depth: 9 },
+        ));
+        m.phase_mut(1)
+            .observe(&TraceEvent::instant(6, 0, 0, EventKind::PeRecover));
+        assert_eq!(m.total_events(), 3);
+        assert_eq!(m.peak_queue_depth(), 9);
+        assert_eq!(Metrics::default().peak_queue_depth(), 0);
     }
 
     #[test]
