@@ -1,19 +1,22 @@
 //! Microbench: `EventQueue` schedule/pop churn — the DES inner loop every
 //! simulated cycle goes through. Run untraced (the common case) and traced
-//! into a small ring, to keep the cost of the depth probe honest.
+//! into a small ring, to keep the cost of the depth probe honest, and on
+//! both backends (calendar vs reference heap) at shallow and deep
+//! queue depths — the calendar's O(1) buckets pull ahead as depth grows.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use fem2_core::machine::sim::EventQueue;
+use fem2_core::machine::DesQueue;
 use fem2_trace::TraceHandle;
 
 const CHURN: u64 = 10_000;
 
-/// Interleaved schedule/pop mix: keep ~64 events in flight, times drawn
-/// from a cheap LCG so heap order is non-trivial.
-fn churn(q: &mut EventQueue<u64>, rounds: u64) -> u64 {
+/// Interleaved schedule/pop mix: keep `depth` events in flight, times
+/// drawn from a cheap LCG so pop order is non-trivial.
+fn churn(q: &mut EventQueue<u64>, depth: u64, rounds: u64) -> u64 {
     let mut state = 0x9e37_79b9_7f4a_7c15u64;
     let mut sum = 0u64;
-    for i in 0..64 {
+    for i in 0..depth {
         q.schedule(i, i);
     }
     for _ in 0..rounds {
@@ -28,18 +31,22 @@ fn churn(q: &mut EventQueue<u64>, rounds: u64) -> u64 {
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("event_queue");
     g.sample_size(10);
-    g.bench_function("churn_untraced", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            black_box(churn(&mut q, CHURN))
-        })
-    });
+    for (backend, label) in [(DesQueue::Calendar, "calendar"), (DesQueue::Heap, "heap")] {
+        for depth in [64u64, 4096] {
+            g.bench_function(format!("churn_{label}_d{depth}"), |b| {
+                b.iter(|| {
+                    let mut q = EventQueue::with_backend(backend);
+                    black_box(churn(&mut q, depth, CHURN))
+                })
+            });
+        }
+    }
     g.bench_function("churn_traced", |b| {
         b.iter(|| {
             let (handle, _rec) = TraceHandle::ring(1 << 10);
             let mut q = EventQueue::new();
             q.set_trace(handle);
-            black_box(churn(&mut q, CHURN))
+            black_box(churn(&mut q, 64, CHURN))
         })
     });
     g.finish();

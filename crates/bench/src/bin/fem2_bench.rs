@@ -4,27 +4,63 @@
 //! fem2-bench --json BENCH_fem2.json   # run the suite, write JSON, print table
 //! fem2-bench --validate BENCH_fem2.json  # schema-check an existing document
 //! fem2-bench --no-route-cache         # ablation: reference recompute routing
+//! fem2-bench --des-queue heap         # ablation: reference binary-heap DES queue
+//! fem2-bench --repeat 5               # best + median wall times over 5 runs
 //! fem2-bench                          # run the suite, print the table only
 //! ```
+//!
+//! The sweep worker pool is sized from `FEM2_PAR_THREADS` (default: host
+//! parallelism); `FEM2_PAR_THREADS=1` serializes the sweeps.
 
 #![forbid(unsafe_code)]
 
-use fem2_bench::harness;
+use fem2_bench::harness::{self, BenchOptions};
+use fem2_core::machine::DesQueue;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: fem2-bench [--json <path>] [--validate <path>] [--no-route-cache]";
+const USAGE: &str = "usage: fem2-bench [--json <path>] [--validate <path>] \
+[--no-route-cache] [--des-queue calendar|heap] [--repeat <n>]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_path: Option<String> = None;
     let mut validate_path: Option<String> = None;
-    let mut route_cache = true;
+    let mut opts = BenchOptions::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--no-route-cache" => {
-                route_cache = false;
+                opts.route_cache = false;
                 i += 1;
+            }
+            "--des-queue" => {
+                let Some(q) = args.get(i + 1) else {
+                    eprintln!("--des-queue requires calendar|heap\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                opts.des_queue = match q.as_str() {
+                    "calendar" => DesQueue::Calendar,
+                    "heap" => DesQueue::Heap,
+                    other => {
+                        eprintln!("--des-queue must be calendar or heap, got {other:?}\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                i += 2;
+            }
+            "--repeat" => {
+                let Some(n) = args.get(i + 1) else {
+                    eprintln!("--repeat requires a count\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                opts.repeat = match n.parse::<u32>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("--repeat must be a positive integer, got {n:?}\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                i += 2;
             }
             "--json" => {
                 let Some(p) = args.get(i + 1) else {
@@ -63,7 +99,11 @@ fn main() -> ExitCode {
         };
         return match harness::validate_json(&text) {
             Ok(n) => {
-                println!("{path}: valid {} document, {n} records", harness::SCHEMA);
+                println!(
+                    "{path}: valid {} (or {}) document, {n} records",
+                    harness::SCHEMA,
+                    harness::SCHEMA_V1
+                );
                 ExitCode::SUCCESS
             }
             Err(e) => {
@@ -73,7 +113,7 @@ fn main() -> ExitCode {
         };
     }
 
-    let suite = harness::run_suite_with(route_cache);
+    let suite = harness::run_suite_opts(opts);
     print!("{}", suite.table());
     if let Some(path) = json_path {
         let json = suite.to_json();

@@ -478,8 +478,9 @@ fn e7_run(plan: &FaultPlan) -> (KernelSim, u64) {
 }
 
 /// The E7 fault mixes. Link ids on the 4-cluster crossbar are
-/// `from * 4 + to`; every dead link leaves a two-hop detour.
-fn e7_mixes() -> Vec<(&'static str, FaultPlan)> {
+/// `from * 4 + to`; every dead link leaves a two-hop detour. Shared with
+/// the `fem2-bench` harness's fault-mix sweep.
+pub(crate) fn e7_mixes() -> Vec<(&'static str, FaultPlan)> {
     vec![
         ("healthy", FaultPlan::none()),
         (

@@ -8,38 +8,79 @@
 //!   events/sec and peak DES queue depth;
 //! * **E5 network sweep** — the pattern × topology × size message mix on
 //!   the bare [`Network`] (route selection and link contention only);
+//! * **E7 kernel runs** — the traced fault-and-repair DES record plus the
+//!   untraced fault-mix sweep (healthy/pe/link/mem/combined);
 //! * **E9 solvers** — native-plane CG / Jacobi-PCG / skyline on the 32×32
 //!   plate system (CSR construction and matvec throughput).
+//!
+//! Independent sweep cells (E1 sizes, E5 grid cells, E7 mixes) fan across
+//! the `fem2-par` pool via [`crate::sweep::par_sweep`]; results come back
+//! in input order, so the table and JSON are byte-stable (modulo wall
+//! times) regardless of `FEM2_PAR_THREADS`.
 //!
 //! Every record carries host wall time *and* the deterministic simulated
 //! quantity it produced (cycles, or flops for native solvers), so a perf
 //! regression is distinguishable from a workload change: if `sim_cycles`
 //! moved, the workload changed; if only `wall_ns` moved, the
-//! implementation got slower or faster.
+//! implementation got slower or faster. With `--repeat N` the whole mix
+//! reruns N times: `wall_ns` is the best (minimum) wall time per record
+//! and `wall_ns_median` the median, which tames scheduler noise.
 
 use crate::experiments as ex;
+use crate::sweep::par_sweep;
 use fem2_core::fem::solver::{self, IterControls};
 use fem2_core::machine::fault::FaultPlan;
-use fem2_core::machine::{MachineConfig, Network, Topology};
+use fem2_core::machine::{DesQueue, MachineConfig, Network, Topology};
 use fem2_core::scenario::PlateScenario;
+use fem2_par::Pool;
 use fem2_trace::TraceHandle;
 use serde_json::Value;
 use std::time::Instant;
 
-/// Schema identifier written into (and required from) the JSON document.
-pub const SCHEMA: &str = "fem2-bench/1";
+/// Schema identifier written into the JSON document.
+pub const SCHEMA: &str = "fem2-bench/2";
+/// The previous schema (no `repeat`, no `wall_ns_median`); still accepted
+/// by [`validate_json`] so stored baselines keep validating.
+pub const SCHEMA_V1: &str = "fem2-bench/1";
 
 /// Ring capacity for the traced E1 run; metrics are exact regardless of
 /// retention, so a modest ring keeps the traced run cheap.
 const TRACE_RING: usize = 1 << 12;
+
+/// Suite knobs, wired to `fem2-bench` CLI flags.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchOptions {
+    /// Route cache on the simulated-plane records (`--no-route-cache`
+    /// ablation turns it off).
+    pub route_cache: bool,
+    /// DES queue backend for the simulated-plane records
+    /// (`--des-queue heap` is the reference-path ablation).
+    pub des_queue: DesQueue,
+    /// Times the whole mix runs; per record, `wall_ns` is the best and
+    /// `wall_ns_median` the median across runs.
+    pub repeat: u32,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions {
+            route_cache: true,
+            des_queue: DesQueue::Calendar,
+            repeat: 1,
+        }
+    }
+}
 
 /// One timed benchmark record.
 #[derive(Clone, Debug)]
 pub struct BenchRecord {
     /// Stable record name, e.g. `e1_plate_48`.
     pub name: String,
-    /// Host wall time of the timed section, nanoseconds.
+    /// Best host wall time of the timed section across repeats, nanoseconds.
     pub wall_ns: u64,
+    /// Median host wall time across repeats (equals `wall_ns` when the mix
+    /// ran once), nanoseconds.
+    pub wall_ns_median: u64,
     /// Deterministic simulated cycles produced (0 for native-plane work).
     pub sim_cycles: u64,
     /// Trace events observed (0 when the record ran untraced).
@@ -55,6 +96,7 @@ impl BenchRecord {
         BenchRecord {
             name: name.into(),
             wall_ns,
+            wall_ns_median: wall_ns,
             sim_cycles,
             events: 0,
             events_per_sec: 0,
@@ -66,6 +108,7 @@ impl BenchRecord {
         Value::Obj(vec![
             ("name".into(), Value::Str(self.name.clone())),
             ("wall_ns".into(), Value::UInt(self.wall_ns)),
+            ("wall_ns_median".into(), Value::UInt(self.wall_ns_median)),
             ("sim_cycles".into(), Value::UInt(self.sim_cycles)),
             ("events".into(), Value::UInt(self.events)),
             ("events_per_sec".into(), Value::UInt(self.events_per_sec)),
@@ -82,6 +125,8 @@ impl BenchRecord {
 pub struct BenchSuite {
     /// Machine configuration description the simulated records ran on.
     pub machine: String,
+    /// Times the mix ran (see [`BenchOptions::repeat`]).
+    pub repeat: u32,
     /// All timed records, in run order.
     pub records: Vec<BenchRecord>,
 }
@@ -92,30 +137,29 @@ fn wall_of<T>(f: impl FnOnce() -> T) -> (u64, T) {
     (t0.elapsed().as_nanos() as u64, out)
 }
 
-/// The default machine configuration with the route cache toggled; the
-/// `--no-route-cache` ablation runs the identical workload through the
-/// reference recompute path.
-fn e1_config(route_cache: bool) -> MachineConfig {
+/// The default machine configuration with the suite's ablation toggles
+/// applied; `--no-route-cache` / `--des-queue heap` run the identical
+/// workload through the reference paths.
+fn e1_config(opts: BenchOptions) -> MachineConfig {
     let mut cfg = MachineConfig::fem2_default();
-    cfg.route_cache = route_cache;
+    cfg.route_cache = opts.route_cache;
+    cfg.des_queue = opts.des_queue;
     cfg
 }
 
-/// E1: the plate sweep on the simulated plane. Untraced runs time the hot
-/// loops; one traced 48×48 run supplies event throughput and queue depth.
-fn e1_records(records: &mut Vec<BenchRecord>, route_cache: bool) {
-    for &n in &[8usize, 16, 32, 48] {
-        let scenario = PlateScenario::square(n, e1_config(route_cache));
+/// E1: the plate sweep on the simulated plane. The untraced sizes fan
+/// across the pool (each cell is its own scenario); one traced 48×48 run
+/// supplies event throughput and queue depth.
+fn e1_records(records: &mut Vec<BenchRecord>, opts: BenchOptions, pool: &Pool) {
+    let sized = par_sweep(pool, vec![8usize, 16, 32, 48], |n| {
+        let scenario = PlateScenario::square(n, e1_config(opts));
         let (wall, report) = wall_of(|| scenario.run_unchecked());
-        records.push(BenchRecord::untraced(
-            format!("e1_plate_{n}"),
-            wall,
-            report.elapsed,
-        ));
-    }
+        BenchRecord::untraced(format!("e1_plate_{n}"), wall, report.elapsed)
+    });
+    records.extend(sized);
     // The traced run: same workload, plus observation.
     let (handle, rec) = TraceHandle::ring(TRACE_RING);
-    let scenario = PlateScenario::square(48, e1_config(route_cache)).with_trace(handle);
+    let scenario = PlateScenario::square(48, e1_config(opts)).with_trace(handle);
     let (wall, report) = wall_of(|| scenario.run_unchecked());
     let rec = rec.lock().unwrap_or_else(|e| e.into_inner());
     let events = rec.metrics().total_events();
@@ -123,6 +167,7 @@ fn e1_records(records: &mut Vec<BenchRecord>, route_cache: bool) {
     records.push(BenchRecord {
         name: "e1_plate_48_traced".into(),
         wall_ns: wall,
+        wall_ns_median: wall,
         sim_cycles: report.elapsed,
         events,
         events_per_sec: (events as f64 / secs) as u64,
@@ -134,62 +179,94 @@ fn e1_records(records: &mut Vec<BenchRecord>, route_cache: bool) {
 /// (pattern, size, topology) cell builds one network and replays the
 /// pattern 50 times at advancing simulated time — the steady-state shape a
 /// long simulation produces, where the same routes are looked up over and
-/// over. `sim_cycles` is the sum of per-repetition delivery makespans — a
-/// deterministic checksum of the route + contention model.
-fn e5_record(route_cache: bool) -> BenchRecord {
+/// over. Cells are independent, so they fan across the pool; the checksum
+/// folds per-cell totals in grid order, giving the same `sim_cycles` as
+/// the sequential nested loops this replaced. It is the sum of
+/// per-repetition delivery makespans — a deterministic checksum of the
+/// route + contention model.
+fn e5_record(opts: BenchOptions, pool: &Pool) -> BenchRecord {
     let clusters = 8u32;
-    let (wall, total) = wall_of(|| {
-        let mut total = 0u64;
-        for pattern in ["neighbor", "irregular", "all-to-one", "broadcast"] {
-            for &words in &[8u64, 256, 4096] {
-                for topo in [
-                    Topology::Bus,
-                    Topology::Ring,
-                    Topology::Mesh2D { width: 4 },
-                    Topology::Crossbar,
-                ] {
-                    let mut cfg = MachineConfig::clustered(clusters, 2, topo);
-                    cfg.max_packet_words = 256;
-                    cfg.route_cache = route_cache;
-                    let mut net = Network::new(&cfg);
-                    let mut now = 0u64;
-                    for _ in 0..50 {
-                        let done = ex::run_pattern(&mut net, now, pattern, clusters, words);
-                        total = total.wrapping_add(done - now);
-                        now = done;
-                    }
-                }
+    let mut cells = Vec::new();
+    for pattern in ["neighbor", "irregular", "all-to-one", "broadcast"] {
+        for &words in &[8u64, 256, 4096] {
+            for topo in [
+                Topology::Bus,
+                Topology::Ring,
+                Topology::Mesh2D { width: 4 },
+                Topology::Crossbar,
+            ] {
+                cells.push((pattern, words, topo));
             }
         }
-        total
+    }
+    let (wall, total) = wall_of(|| {
+        par_sweep(pool, cells, |(pattern, words, topo)| {
+            let mut cfg = MachineConfig::clustered(clusters, 2, topo);
+            cfg.max_packet_words = 256;
+            cfg.route_cache = opts.route_cache;
+            cfg.des_queue = opts.des_queue;
+            let mut net = Network::new(&cfg);
+            let mut now = 0u64;
+            let mut cell_total = 0u64;
+            for _ in 0..50 {
+                let done = ex::run_pattern(&mut net, now, pattern, clusters, words);
+                cell_total = cell_total.wrapping_add(done - now);
+                now = done;
+            }
+            cell_total
+        })
+        .into_iter()
+        .fold(0u64, u64::wrapping_add)
     });
     BenchRecord::untraced("e5_network", wall, total)
 }
 
-/// E7: the kernel workload (48 tasks + 3 RPCs on a 4x4 crossbar) under a
-/// link fault, repair, and degrade — traced, so this record carries a real
-/// DES queue depth: unlike the plate runs, which model primitives directly
-/// on the machine, the kernel schedules through the [`EventQueue`].
-fn e7_record(route_cache: bool) -> BenchRecord {
+/// The E7 machine with the suite's ablation toggles applied.
+fn e7_config(opts: BenchOptions) -> MachineConfig {
     let mut cfg = MachineConfig::clustered(4, 4, Topology::Crossbar);
-    cfg.route_cache = route_cache;
+    cfg.route_cache = opts.route_cache;
+    cfg.des_queue = opts.des_queue;
+    cfg
+}
+
+/// E7 (traced): the kernel workload (48 tasks + 3 RPCs on a 4x4 crossbar)
+/// under a link fault, repair, and degrade — traced, so this record
+/// carries a real DES queue depth: unlike the plate runs, which model
+/// primitives directly on the machine, the kernel schedules through the
+/// [`EventQueue`](fem2_core::machine::EventQueue).
+fn e7_record(opts: BenchOptions) -> BenchRecord {
     let plan = FaultPlan::none()
         .kill_link(20_000, 1)
         .degrade_link(25_000, 2, 4)
         .recover_link(60_000, 1);
     let (handle, rec) = TraceHandle::ring(TRACE_RING);
-    let (wall, (_, makespan)) = wall_of(|| ex::e7_sim(cfg, &plan, handle));
+    let (wall, (_, makespan)) = wall_of(|| ex::e7_sim(e7_config(opts), &plan, handle));
     let rec = rec.lock().unwrap_or_else(|e| e.into_inner());
     let events = rec.metrics().total_events();
     let secs = (wall as f64 / 1e9).max(1e-9);
     BenchRecord {
         name: "e7_kernel_traced".into(),
         wall_ns: wall,
+        wall_ns_median: wall,
         sim_cycles: makespan,
         events,
         events_per_sec: (events as f64 / secs) as u64,
         peak_queue_depth: rec.metrics().peak_queue_depth(),
     }
+}
+
+/// E7 fault-mix sweep: the same kernel workload under each fault mix
+/// (healthy, pe, link, mem, combined), untraced, fanned across the pool.
+/// The kernel sim holds non-`Send` state, so each cell builds and consumes
+/// its sim inside the worker; only `(name, makespan)` crosses back.
+fn e7_mix_records(records: &mut Vec<BenchRecord>, opts: BenchOptions, pool: &Pool) {
+    let mixes = ex::e7_mixes();
+    let swept = par_sweep(pool, mixes, |(label, plan)| {
+        let (wall, (_, makespan)) =
+            wall_of(|| ex::e7_sim(e7_config(opts), &plan, TraceHandle::disabled()));
+        BenchRecord::untraced(format!("e7_mix_{label}"), wall, makespan)
+    });
+    records.extend(swept);
 }
 
 /// E9: native-plane solver wall times on the 32×32 plate system.
@@ -213,34 +290,81 @@ fn e9_records(records: &mut Vec<BenchRecord>) {
     records.push(BenchRecord::untraced("e9_skyline_32", wall, 0));
 }
 
-/// Run the fixed mix and collect every record.
+/// One pass over the fixed mix.
+fn run_mix(opts: BenchOptions, pool: &Pool) -> Vec<BenchRecord> {
+    let mut records = Vec::new();
+    e1_records(&mut records, opts, pool);
+    records.push(e5_record(opts, pool));
+    records.push(e7_record(opts));
+    e7_mix_records(&mut records, opts, pool);
+    e9_records(&mut records);
+    records
+}
+
+/// Run the fixed mix with default options and collect every record.
 pub fn run_suite() -> BenchSuite {
-    run_suite_with(true)
+    run_suite_opts(BenchOptions::default())
 }
 
 /// Run the fixed mix with the route cache toggled on the simulated-plane
-/// records (E1, E5, E7). `false` is the `--no-route-cache` ablation: same
-/// workload, reference recompute path. Native-plane E9 records are
-/// unaffected by the toggle.
+/// records. Kept for the `--no-route-cache` ablation's original call
+/// shape; see [`run_suite_opts`] for the full knob set.
 pub fn run_suite_with(route_cache: bool) -> BenchSuite {
-    let mut records = Vec::new();
-    e1_records(&mut records, route_cache);
-    records.push(e5_record(route_cache));
-    records.push(e7_record(route_cache));
-    e9_records(&mut records);
+    run_suite_opts(BenchOptions {
+        route_cache,
+        ..BenchOptions::default()
+    })
+}
+
+/// Run the fixed mix `opts.repeat` times and merge: per record, `wall_ns`
+/// is the minimum wall time across runs and `wall_ns_median` the median
+/// (upper median for even counts); deterministic fields come from the
+/// first run (they are identical across runs). The worker pool is sized
+/// from `FEM2_PAR_THREADS` (see [`Pool::from_env`]).
+pub fn run_suite_opts(opts: BenchOptions) -> BenchSuite {
+    let pool = Pool::from_env();
+    let repeat = opts.repeat.max(1);
+    let runs: Vec<Vec<BenchRecord>> = (0..repeat).map(|_| run_mix(opts, &pool)).collect();
+    let records = runs[0]
+        .iter()
+        .enumerate()
+        .map(|(i, r0)| {
+            let mut walls: Vec<u64> = runs.iter().map(|run| run[i].wall_ns).collect();
+            walls.sort_unstable();
+            let best = walls[0];
+            let median = walls[walls.len() / 2];
+            let mut merged = r0.clone();
+            merged.wall_ns = best;
+            merged.wall_ns_median = median;
+            if merged.events > 0 {
+                // Keep throughput consistent with the reported best wall.
+                let secs = (best as f64 / 1e9).max(1e-9);
+                merged.events_per_sec = (merged.events as f64 / secs) as u64;
+            }
+            merged
+        })
+        .collect();
     let mut machine = MachineConfig::fem2_default().describe();
-    if !route_cache {
+    if !opts.route_cache {
         machine.push_str(" [route cache off]");
     }
-    BenchSuite { machine, records }
+    if opts.des_queue == DesQueue::Heap {
+        machine.push_str(" [des queue heap]");
+    }
+    BenchSuite {
+        machine,
+        repeat,
+        records,
+    }
 }
 
 impl BenchSuite {
-    /// Serialize as the `fem2-bench/1` JSON document.
+    /// Serialize as the `fem2-bench/2` JSON document.
     pub fn to_json(&self) -> String {
         let doc = Value::Obj(vec![
             ("schema".into(), Value::Str(SCHEMA.into())),
             ("machine".into(), Value::Str(self.machine.clone())),
+            ("repeat".into(), Value::UInt(u64::from(self.repeat))),
             (
                 "results".into(),
                 Value::Arr(self.records.iter().map(BenchRecord::to_value).collect()),
@@ -253,18 +377,23 @@ impl BenchSuite {
     pub fn table(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "fem2-bench suite on {}", self.machine);
         let _ = writeln!(
             out,
-            "{:<22} {:>12} {:>14} {:>10} {:>12} {:>8}",
-            "record", "wall(us)", "sim_cycles", "events", "events/s", "peak_q"
+            "fem2-bench suite on {} (best of {})",
+            self.machine, self.repeat
+        );
+        let _ = writeln!(
+            out,
+            "{:<22} {:>12} {:>12} {:>14} {:>10} {:>12} {:>8}",
+            "record", "wall(us)", "median(us)", "sim_cycles", "events", "events/s", "peak_q"
         );
         for r in &self.records {
             let _ = writeln!(
                 out,
-                "{:<22} {:>12} {:>14} {:>10} {:>12} {:>8}",
+                "{:<22} {:>12} {:>12} {:>14} {:>10} {:>12} {:>8}",
                 r.name,
                 r.wall_ns / 1_000,
+                r.wall_ns_median / 1_000,
                 r.sim_cycles,
                 r.events,
                 r.events_per_sec,
@@ -275,18 +404,37 @@ impl BenchSuite {
     }
 }
 
-/// Validate a `BENCH_fem2.json` document against the `fem2-bench/1`
-/// schema. Returns the number of validated records.
+/// Validate a `BENCH_fem2.json` document. Accepts the current
+/// `fem2-bench/2` schema and the previous `fem2-bench/1` (which lacks the
+/// suite `repeat` and per-record `wall_ns_median` fields). Returns the
+/// number of validated records.
 pub fn validate_json(text: &str) -> Result<usize, String> {
     let doc: Value = serde_json::from_str(text).map_err(|e| format!("not JSON: {e}"))?;
     let schema = doc.get_field("schema").map_err(|e| e.to_string())?;
-    match schema {
-        Value::Str(s) if s == SCHEMA => {}
-        other => return Err(format!("schema must be \"{SCHEMA}\", found {other:?}")),
-    }
+    let v2 = match schema {
+        Value::Str(s) if s == SCHEMA => true,
+        Value::Str(s) if s == SCHEMA_V1 => false,
+        other => {
+            return Err(format!(
+                "schema must be \"{SCHEMA}\" or \"{SCHEMA_V1}\", found {other:?}"
+            ))
+        }
+    };
     match doc.get_field("machine").map_err(|e| e.to_string())? {
         Value::Str(_) => {}
         other => return Err(format!("machine must be a string, found {}", other.kind())),
+    }
+    if v2 {
+        match doc.get_field("repeat").map_err(|e| e.to_string())? {
+            Value::UInt(n) if *n >= 1 => {}
+            Value::Int(n) if *n >= 1 => {}
+            other => {
+                return Err(format!(
+                    "repeat must be a positive integer, found {}",
+                    other.kind()
+                ))
+            }
+        }
     }
     let results = match doc.get_field("results").map_err(|e| e.to_string())? {
         Value::Arr(items) => items,
@@ -294,6 +442,16 @@ pub fn validate_json(text: &str) -> Result<usize, String> {
     };
     if results.is_empty() {
         return Err("results array is empty".into());
+    }
+    let mut required = vec![
+        "wall_ns",
+        "sim_cycles",
+        "events",
+        "events_per_sec",
+        "peak_queue_depth",
+    ];
+    if v2 {
+        required.push("wall_ns_median");
     }
     for (i, rec) in results.iter().enumerate() {
         match rec
@@ -303,13 +461,7 @@ pub fn validate_json(text: &str) -> Result<usize, String> {
             Value::Str(s) if !s.is_empty() => {}
             _ => return Err(format!("record {i}: name must be a non-empty string")),
         }
-        for field in [
-            "wall_ns",
-            "sim_cycles",
-            "events",
-            "events_per_sec",
-            "peak_queue_depth",
-        ] {
+        for field in &required {
             match rec
                 .get_field(field)
                 .map_err(|e| format!("record {i}: {e}"))?
@@ -337,11 +489,13 @@ mod tests {
     fn small_suite() -> BenchSuite {
         BenchSuite {
             machine: "test".into(),
+            repeat: 1,
             records: vec![
                 BenchRecord::untraced("a", 1_000, 42),
                 BenchRecord {
                     name: "b".into(),
                     wall_ns: 2_000,
+                    wall_ns_median: 2_500,
                     sim_cycles: 7,
                     events: 10,
                     events_per_sec: 5_000_000,
@@ -358,18 +512,42 @@ mod tests {
     }
 
     #[test]
+    fn validation_accepts_the_previous_schema() {
+        let v1 = format!(
+            r#"{{"schema":"{SCHEMA_V1}","machine":"m","results":[
+                {{"name":"x","wall_ns":1,"sim_cycles":2,"events":0,
+                  "events_per_sec":0,"peak_queue_depth":0}}]}}"#
+        );
+        assert_eq!(validate_json(&v1), Ok(1));
+    }
+
+    #[test]
     fn validation_rejects_malformed_documents() {
         assert!(validate_json("not json").is_err());
         assert!(validate_json("{}").is_err());
         assert!(validate_json(r#"{"schema":"wrong","machine":"m","results":[]}"#).is_err());
-        let empty = format!(r#"{{"schema":"{SCHEMA}","machine":"m","results":[]}}"#);
+        let empty = format!(r#"{{"schema":"{SCHEMA}","machine":"m","repeat":1,"results":[]}}"#);
         assert!(validate_json(&empty).unwrap_err().contains("empty"));
-        let missing =
-            format!(r#"{{"schema":"{SCHEMA}","machine":"m","results":[{{"name":"x"}}]}}"#);
+        let missing = format!(
+            r#"{{"schema":"{SCHEMA}","machine":"m","repeat":1,"results":[{{"name":"x"}}]}}"#
+        );
         assert!(validate_json(&missing).unwrap_err().contains("wall_ns"));
-        let bad_name =
-            format!(r#"{{"schema":"{SCHEMA}","machine":"m","results":[{{"name":""}}]}}"#);
+        let bad_name = format!(
+            r#"{{"schema":"{SCHEMA}","machine":"m","repeat":1,"results":[{{"name":""}}]}}"#
+        );
         assert!(validate_json(&bad_name).unwrap_err().contains("name"));
+        // v2 requires the median field; a v2 doc with v1's record shape fails.
+        let no_median = format!(
+            r#"{{"schema":"{SCHEMA}","machine":"m","repeat":1,"results":[
+                {{"name":"x","wall_ns":1,"sim_cycles":2,"events":0,
+                  "events_per_sec":0,"peak_queue_depth":0}}]}}"#
+        );
+        assert!(validate_json(&no_median)
+            .unwrap_err()
+            .contains("wall_ns_median"));
+        // v2 requires the suite-level repeat.
+        let no_repeat = format!(r#"{{"schema":"{SCHEMA}","machine":"m","results":[]}}"#);
+        assert!(validate_json(&no_repeat).unwrap_err().contains("repeat"));
     }
 
     #[test]
@@ -382,32 +560,100 @@ mod tests {
 
     #[test]
     fn e5_record_is_deterministic_in_cycles() {
-        let a = e5_record(true);
-        let b = e5_record(true);
+        let pool = Pool::new(2);
+        let a = e5_record(BenchOptions::default(), &pool);
+        let b = e5_record(BenchOptions::default(), &pool);
         assert_eq!(a.sim_cycles, b.sim_cycles, "cycle checksum is seeded");
         assert!(a.wall_ns > 0);
     }
 
     #[test]
-    fn e5_cycle_checksum_is_route_cache_invariant() {
-        let cached = e5_record(true);
-        let recompute = e5_record(false);
+    fn e5_cycle_checksum_is_ablation_invariant() {
+        let pool = Pool::new(2);
+        let cached = e5_record(BenchOptions::default(), &pool);
+        let recompute = e5_record(
+            BenchOptions {
+                route_cache: false,
+                ..BenchOptions::default()
+            },
+            &pool,
+        );
         assert_eq!(cached.sim_cycles, recompute.sim_cycles);
     }
 
     #[test]
+    fn e5_checksum_is_thread_count_invariant() {
+        let serial = e5_record(BenchOptions::default(), &Pool::new(1));
+        let parallel = e5_record(BenchOptions::default(), &Pool::new(8));
+        assert_eq!(serial.sim_cycles, parallel.sim_cycles);
+    }
+
+    #[test]
     fn e7_record_observes_real_des_activity() {
-        let r = e7_record(true);
+        let r = e7_record(BenchOptions::default());
         assert!(r.sim_cycles > 0);
         assert!(r.events > 0, "kernel run must emit trace events");
         assert!(
             r.peak_queue_depth > 0,
             "kernel run schedules through the DES queue"
         );
-        let ablated = e7_record(false);
+        let ablated = e7_record(BenchOptions {
+            route_cache: false,
+            ..BenchOptions::default()
+        });
         assert_eq!(
             r.sim_cycles, ablated.sim_cycles,
             "route cache must not change timing"
         );
+        let heap = e7_record(BenchOptions {
+            des_queue: DesQueue::Heap,
+            ..BenchOptions::default()
+        });
+        assert_eq!(
+            r.sim_cycles, heap.sim_cycles,
+            "queue backend must not change timing"
+        );
+        assert_eq!(r.events, heap.events, "or the event stream");
+    }
+
+    #[test]
+    fn e7_phase_table_reports_des_throughput() {
+        let (handle, rec) = TraceHandle::ring(TRACE_RING);
+        ex::e7_sim(
+            e7_config(BenchOptions::default()),
+            &FaultPlan::none(),
+            handle,
+        );
+        let rec = rec.lock().unwrap_or_else(|e| e.into_inner());
+        let table = fem2_trace::chrome::phase_table(&rec);
+        assert!(
+            table.contains("des: dispatches"),
+            "kernel dispatches must surface in the metrics table:\n{table}"
+        );
+        assert!(table.contains("evt/Mcyc"), "with a throughput figure");
+    }
+
+    #[test]
+    fn e7_mix_sweep_is_thread_count_and_backend_invariant() {
+        let run = |threads: usize, q: DesQueue| {
+            let pool = Pool::new(threads);
+            let mut records = Vec::new();
+            e7_mix_records(
+                &mut records,
+                BenchOptions {
+                    des_queue: q,
+                    ..BenchOptions::default()
+                },
+                &pool,
+            );
+            records
+                .into_iter()
+                .map(|r| (r.name, r.sim_cycles))
+                .collect::<Vec<_>>()
+        };
+        let base = run(1, DesQueue::Calendar);
+        assert_eq!(base.len(), 5, "five fault mixes");
+        assert_eq!(base, run(4, DesQueue::Calendar), "thread-count invariant");
+        assert_eq!(base, run(4, DesQueue::Heap), "backend invariant");
     }
 }

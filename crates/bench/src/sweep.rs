@@ -1,0 +1,81 @@
+//! Order-stable parallel sweeps over independent scenario instances.
+//!
+//! A bench sweep (E1 plate sizes, the E5 pattern × words × topology grid,
+//! E7 fault mixes) is a list of independent simulations: each cell builds
+//! its own machine, runs to quiescence, and yields a deterministic result.
+//! [`par_sweep`] fans the cells across the `fem2-par` pool and collects the
+//! results **in input order** — each spawned task writes into its own
+//! pre-allocated slot, so the output is a pure function of the input list
+//! and the sweep is byte-stable regardless of thread count or completion
+//! order.
+//!
+//! Only the *results* cross threads (`R: Send`); the simulations themselves
+//! are constructed and consumed inside the worker closure, so non-`Send`
+//! state (e.g. the kernel's `Rc`-shared message payloads) never does.
+
+use fem2_par::Pool;
+
+/// Run `f` over every item of `items` on `pool`, returning the results in
+/// input order. Panics in `f` propagate after the scope joins (no slot is
+/// left unfilled on the success path).
+pub fn par_sweep<T, R, F>(pool: &Pool, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(items.len(), || None);
+    let f = &f;
+    pool.scope(|s| {
+        for (item, slot) in items.into_iter().zip(slots.iter_mut()) {
+            s.spawn(move || {
+                *slot = Some(f(item));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("scope joined every spawned task"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let pool = Pool::new(4);
+        let items: Vec<u64> = (0..100).collect();
+        // Uneven work so completion order differs from input order.
+        let out = par_sweep(&pool, items.clone(), |i| {
+            let mut acc = i;
+            for _ in 0..(i % 7) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (i, acc)
+        });
+        assert_eq!(out.len(), 100);
+        for (k, (i, _)) in out.iter().enumerate() {
+            assert_eq!(*i, k as u64, "slot {k} holds item {k}'s result");
+        }
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let items: Vec<u64> = (0..40).collect();
+        let run = |threads: usize| {
+            let pool = Pool::new(threads);
+            par_sweep(&pool, items.clone(), |i| i * i + 1)
+        };
+        assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn empty_sweep_is_fine() {
+        let pool = Pool::new(2);
+        let out: Vec<u32> = par_sweep(&pool, Vec::<u32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+}

@@ -42,6 +42,7 @@ use fem2_machine::fault::{FaultKind, FaultPlan};
 use fem2_machine::{CostClass, Cycles, EventQueue, Machine, PeId, Words};
 use fem2_trace::{EventKind, TaskStage, TraceEvent, TraceHandle, NO_PE};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::rc::Rc;
 
 /// Policy knobs for the kernel.
 #[derive(Clone, Copy, Debug)]
@@ -124,7 +125,7 @@ enum KEvent {
     Arrive {
         from: u32,
         to: u32,
-        msg: KernelMessage,
+        msg: Rc<KernelMessage>,
         seq: u64,
         links: Vec<usize>,
     },
@@ -151,12 +152,14 @@ enum KEvent {
     MemFault { cluster: u32, words: Words },
 }
 
-/// A remote message awaiting acknowledgement.
+/// A remote message awaiting acknowledgement. The payload is shared (not
+/// cloned) with every in-flight transmission attempt and the receiver's
+/// input queue: one allocation serves send, retransmit, and delivery.
 #[derive(Clone, Debug)]
 struct PendingMsg {
     from: u32,
     to: u32,
-    msg: KernelMessage,
+    msg: Rc<KernelMessage>,
     attempts: u32,
 }
 
@@ -164,7 +167,7 @@ struct PendingMsg {
 #[derive(Debug, Default)]
 struct ClusterState {
     /// Queued (sender, message) pairs awaiting decode.
-    input: VecDeque<(u32, KernelMessage)>,
+    input: VecDeque<(u32, Rc<KernelMessage>)>,
     kernel_busy: bool,
     ready: VecDeque<TaskId>,
     loaded: BTreeSet<CodeId>,
@@ -211,10 +214,11 @@ impl KernelSim {
         let clusters = (0..machine.config.clusters)
             .map(|_| ClusterState::default())
             .collect();
+        let queue = EventQueue::with_backend(machine.config.des_queue);
         KernelSim {
             machine,
             config: KernelConfig::default(),
-            queue: EventQueue::new(),
+            queue,
             clusters,
             code: CodeStore::new(),
             tasks: Vec::new(),
@@ -259,6 +263,7 @@ impl KernelSim {
     /// sub-layer (sequence number, ack, timeout, retransmit); local ones
     /// are delivered directly.
     pub fn send(&mut self, at: Cycles, from: u32, to: u32, msg: KernelMessage) {
+        let msg = Rc::new(msg);
         if from == to {
             self.transmit_message(at, from, to, msg, 0, 0);
             return;
@@ -270,7 +275,7 @@ impl KernelSim {
             PendingMsg {
                 from,
                 to,
-                msg: msg.clone(),
+                msg: Rc::clone(&msg),
                 attempts: 0,
             },
         );
@@ -295,7 +300,7 @@ impl KernelSim {
         at: Cycles,
         from: u32,
         to: u32,
-        msg: KernelMessage,
+        msg: Rc<KernelMessage>,
         seq: u64,
         attempt: u32,
     ) {
@@ -558,7 +563,7 @@ impl KernelSim {
                         },
                     )
                 });
-                self.execute(now, cluster, msg);
+                self.execute(now, cluster, &msg);
                 self.pump(now, cluster);
             }
             KEvent::TaskComplete { task, pe, epoch } => {
@@ -619,13 +624,13 @@ impl KernelSim {
             });
             // Re-queue the originating task so the work re-runs instead of
             // hanging on a reply that will never come.
-            if let KernelMessage::RemoteCall { caller, .. } = p.msg {
+            if let KernelMessage::RemoteCall { caller, .. } = *p.msg {
                 self.requeue_task(now, caller);
             }
             return;
         }
         let attempt = p.attempts + 1;
-        let msg = p.msg.clone();
+        let msg = Rc::clone(&p.msg); // shares the pending slot's allocation
         self.pending
             .get_mut(&seq)
             .expect("checked present above")
@@ -753,8 +758,10 @@ impl KernelSim {
         true
     }
 
-    fn execute(&mut self, now: Cycles, cluster: u32, msg: KernelMessage) {
-        match msg {
+    fn execute(&mut self, now: Cycles, cluster: u32, msg: &KernelMessage) {
+        // All message fields are `Copy`; matching on `*msg` copies the
+        // scalars out and leaves the shared allocation untouched.
+        match *msg {
             KernelMessage::InitiateTask {
                 code,
                 replications,

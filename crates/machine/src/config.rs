@@ -43,6 +43,32 @@ impl Topology {
     }
 }
 
+/// Which backing store the discrete-event engine uses.
+///
+/// Both backends pop events in exactly the same `(time, scheduling
+/// order)` sequence, so the choice is invisible to results — it only
+/// moves wall time. The calendar queue is the default; the binary heap
+/// is kept as the reference path for determinism tests and the A4
+/// ablation, mirroring the `route_cache` toggle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum DesQueue {
+    /// Two-level bucketed calendar queue with an overflow ladder.
+    #[default]
+    Calendar,
+    /// The reference `BinaryHeap` path.
+    Heap,
+}
+
+impl DesQueue {
+    /// A short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DesQueue::Calendar => "calendar",
+            DesQueue::Heap => "heap",
+        }
+    }
+}
+
 /// Abstract instruction costs, in cycles, for the PE model.
 ///
 /// These are deliberately coarse (the 1983 design method worked with
@@ -109,6 +135,11 @@ pub struct MachineConfig {
     /// recompute-per-message path (bitwise-identical results, slower) and
     /// exists for determinism tests and the A3 ablation.
     pub route_cache: bool,
+    /// Discrete-event queue backend. [`DesQueue::Calendar`] by default;
+    /// [`DesQueue::Heap`] selects the reference binary-heap path
+    /// (identical pop order, slower) for determinism tests and the A4
+    /// ablation.
+    pub des_queue: DesQueue,
 }
 
 impl MachineConfig {
@@ -128,6 +159,7 @@ impl MachineConfig {
             cost: CostModel::default(),
             dedicated_kernel_pe: true,
             route_cache: true,
+            des_queue: DesQueue::Calendar,
         }
     }
 
@@ -147,6 +179,7 @@ impl MachineConfig {
             cost: CostModel::default(),
             dedicated_kernel_pe: false,
             route_cache: true,
+            des_queue: DesQueue::Calendar,
         }
     }
 
@@ -323,5 +356,24 @@ mod tests {
     fn config_clone_eq() {
         let c = MachineConfig::fem2_default();
         assert_eq!(c.clone(), c);
+    }
+
+    #[test]
+    fn des_queue_defaults_to_calendar_and_names() {
+        assert_eq!(MachineConfig::fem2_default().des_queue, DesQueue::Calendar);
+        assert_eq!(MachineConfig::fem1_style(4).des_queue, DesQueue::Calendar);
+        assert_eq!(DesQueue::default(), DesQueue::Calendar);
+        assert_eq!(DesQueue::Calendar.name(), "calendar");
+        assert_eq!(DesQueue::Heap.name(), "heap");
+    }
+
+    #[test]
+    fn des_queue_round_trips_through_serde() {
+        let mut cfg = MachineConfig::fem2_default();
+        cfg.des_queue = DesQueue::Heap;
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: MachineConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.des_queue, DesQueue::Heap);
+        assert_eq!(back, cfg);
     }
 }

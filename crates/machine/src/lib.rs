@@ -45,7 +45,7 @@ pub mod stats;
 
 mod machine;
 
-pub use config::{CostModel, MachineConfig, Topology};
+pub use config::{CostModel, DesQueue, MachineConfig, Topology};
 pub use machine::{trace_cost_kind, Machine, MachineError};
 pub use memory::ClusterMemory;
 pub use network::Network;

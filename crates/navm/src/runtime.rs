@@ -62,6 +62,12 @@ pub(crate) struct SimState {
     pub(crate) retransmits: u64,
     /// Retries before a window exchange is declared undeliverable.
     pub(crate) max_retransmits: u32,
+    /// Scratch: words-per-cluster accumulator reused by every window
+    /// exchange, so the hot traffic path allocates nothing per call.
+    /// Indexed by cluster id; `None` = cluster not part of this exchange
+    /// (distinct from an empty window's `Some(0)`, which still pays the
+    /// descriptor round trip). Reset to all-`None` after use.
+    pub(crate) window_words_scratch: Vec<Option<u64>>,
 }
 
 impl SimState {
@@ -327,6 +333,7 @@ impl NaVm {
                 pending_recoveries: Vec::new(),
                 retransmits: 0,
                 max_retransmits: 4,
+                window_words_scratch: vec![None; clusters as usize],
             })),
             tasks: TaskSet::new(ntasks, clusters),
             arrays: Vec::new(),

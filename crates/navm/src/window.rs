@@ -103,17 +103,24 @@ impl NaVm {
         let ac = self.tasks.cluster_of(accessor);
         let t0 = s.now;
         s.apply_faults_through(t0);
-        // Group the window's rows by owning cluster.
-        let mut per_cluster: std::collections::BTreeMap<u32, u64> =
-            std::collections::BTreeMap::new();
+        // Group the window's rows by owning cluster, into the reusable
+        // per-cluster scratch (no allocation per exchange). Scanning the
+        // scratch in index order visits clusters ascending, exactly like
+        // the BTreeMap this replaced.
         for r in w.desc.row0..w.desc.row1 {
             let owner = self.tasks.owner_of(rows_total, r as usize);
             let c = self.tasks.cluster_of(owner);
-            *per_cluster.entry(c).or_insert(0) += cols;
+            let slot = &mut s.window_words_scratch[c as usize];
+            *slot = Some(slot.unwrap_or(0) + cols);
         }
         let start = s.now;
         let mut barrier = start;
-        for (c, words) in per_cluster {
+        for c in 0..s.window_words_scratch.len() as u32 {
+            // `take` reads the entry and resets it to `None`, so the
+            // scratch is clean for the next exchange.
+            let Some(words) = s.window_words_scratch[c as usize].take() else {
+                continue;
+            };
             if c == ac {
                 // Local segment: a shared-memory pass (the charge records
                 // the mem_words; counting them again here would double-book).
@@ -278,15 +285,25 @@ impl NaVm {
     /// are exact on both planes; the simulated plane charges locality-aware
     /// traffic.
     pub fn read_window(&mut self, accessor: TaskHandle, w: &Window) -> Vec<f64> {
+        let mut out = Vec::with_capacity(w.len() as usize);
+        self.read_window_into(accessor, w, &mut out);
+        out
+    }
+
+    /// [`NaVm::read_window`] into a caller-provided buffer: the buffer is
+    /// cleared and refilled, so a loop that reads windows repeatedly reuses
+    /// one allocation instead of creating a fresh `Vec` per read. Charges
+    /// and values are identical to `read_window`.
+    pub fn read_window_into(&mut self, accessor: TaskHandle, w: &Window, out: &mut Vec<f64>) {
         self.charge_window_traffic(w, accessor, true);
         let a = &self.arrays[w.array.0 as usize];
-        let mut out = Vec::with_capacity(w.len() as usize);
+        out.clear();
+        out.reserve(w.len() as usize);
         for r in w.desc.row0..w.desc.row1 {
             for c in w.desc.col0..w.desc.col1 {
                 out.push(a.data[r as usize * a.cols + c as usize]);
             }
         }
-        out
     }
 
     /// Write `values` (row-major, exactly `w.len()` of them) through the
@@ -388,6 +405,22 @@ mod tests {
         let w = vm.window(a, 1, 3, 1, 3);
         let vals = vm.read_window(TaskHandle(0), &w);
         assert_eq!(vals, vec![11.0, 12.0, 21.0, 22.0]);
+    }
+
+    #[test]
+    fn read_window_into_reuses_buffer_and_matches_read() {
+        let mut vm = sim(4);
+        let a = vm.array(6, 3);
+        vm.fill(a, |r, c| (r * 10 + c) as f64);
+        let w = vm.window(a, 1, 3, 1, 3);
+        let want = vm.read_window(TaskHandle(0), &w);
+        let mut buf = Vec::with_capacity(64);
+        let cap = buf.capacity();
+        for _ in 0..3 {
+            vm.read_window_into(TaskHandle(0), &w, &mut buf);
+            assert_eq!(buf, want);
+            assert_eq!(buf.capacity(), cap, "no reallocation across reads");
+        }
     }
 
     #[test]

@@ -91,6 +91,20 @@ impl Pool {
         Self::new(n)
     }
 
+    /// A pool sized from the `FEM2_PAR_THREADS` environment variable, or
+    /// the host's available parallelism when unset/unparsable. Lets bench
+    /// and CI runs pin the crew size (`FEM2_PAR_THREADS=1` serializes)
+    /// without a code change.
+    pub fn from_env() -> Self {
+        match std::env::var("FEM2_PAR_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            Some(n) if n > 0 => Self::new(n),
+            _ => Self::with_host_parallelism(),
+        }
+    }
+
     /// Number of worker threads.
     pub fn threads(&self) -> usize {
         self.threads
@@ -362,6 +376,21 @@ mod tests {
     fn host_parallelism_pool() {
         let p = Pool::with_host_parallelism();
         assert!(p.threads() >= 1);
+    }
+
+    #[test]
+    fn from_env_honors_thread_override() {
+        // Env mutation is process-global; this is the only test touching
+        // the variable, and it restores the prior state before returning.
+        let prev = std::env::var("FEM2_PAR_THREADS").ok();
+        std::env::set_var("FEM2_PAR_THREADS", "3");
+        assert_eq!(Pool::from_env().threads(), 3);
+        std::env::set_var("FEM2_PAR_THREADS", "not-a-number");
+        assert!(Pool::from_env().threads() >= 1);
+        match prev {
+            Some(v) => std::env::set_var("FEM2_PAR_THREADS", v),
+            None => std::env::remove_var("FEM2_PAR_THREADS"),
+        }
     }
 
     #[test]

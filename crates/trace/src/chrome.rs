@@ -61,8 +61,15 @@ fn tid_of(ev: &TraceEvent) -> u32 {
 
 fn args_of(ev: &TraceEvent) -> String {
     match ev.kind {
-        EventKind::DesSchedule { queue_depth } | EventKind::DesDispatch { queue_depth } => {
-            format!("{{\"queue_depth\":{queue_depth}}}")
+        EventKind::DesSchedule {
+            queue_depth,
+            events_processed,
+        }
+        | EventKind::DesDispatch {
+            queue_depth,
+            events_processed,
+        } => {
+            format!("{{\"queue_depth\":{queue_depth},\"events_processed\":{events_processed}}}")
         }
         EventKind::PeBusy { count, .. } => format!("{{\"count\":{count}}}"),
         EventKind::MsgSend {
@@ -274,6 +281,16 @@ pub fn phase_table(rec: &RingRecorder) -> String {
             pm.frees,
             format!("{}/{}/{}/{}", w[0], w[1], w[2], w[3]),
         ));
+        if pm.des_dispatches > 0 {
+            out.push_str(&format!(
+                "  des: dispatches {} events_processed {} span {} cyc throughput {} evt/Mcyc\n",
+                pm.des_dispatches,
+                pm.des_events_processed,
+                pm.des_last_dispatch_at
+                    .saturating_sub(pm.des_first_dispatch_at),
+                pm.des_throughput_per_mcycle(),
+            ));
+        }
         if pm.any_fault_activity() {
             out.push_str(&format!(
                 "  faults: link {} link_recover {} mem {} pe_recover {} | retransmits {} dead_letters {} stale {}\n",
@@ -401,7 +418,10 @@ mod tests {
                 100,
                 NO_CLUSTER,
                 NO_PE,
-                EventKind::DesSchedule { queue_depth: 3 },
+                EventKind::DesSchedule {
+                    queue_depth: 3,
+                    events_processed: 7,
+                },
             )
         });
         h.emit(|| {

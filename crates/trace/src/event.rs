@@ -186,11 +186,17 @@ pub enum EventKind {
     DesSchedule {
         /// Queue depth after insertion.
         queue_depth: u32,
+        /// Engine lifetime pop count at the moment of scheduling, so
+        /// trace-based throughput (events per cycle or second) can be
+        /// computed per phase.
+        events_processed: u64,
     },
     /// DES: the next event was popped for dispatch at `at`.
     DesDispatch {
         /// Queue depth after removal.
         queue_depth: u32,
+        /// Engine lifetime pop count including this dispatch.
+        events_processed: u64,
     },
     /// A PE executed `count` operations of one class; `dur` is the busy
     /// span (service start to completion, after any queueing on the PE).
@@ -385,8 +391,14 @@ impl TraceEvent {
         out.extend_from_slice(&self.pe.to_le_bytes());
         out.extend_from_slice(&self.phase.to_le_bytes());
         let (tag, a, b, c): (u8, u64, u64, u64) = match self.kind {
-            EventKind::DesSchedule { queue_depth } => (0, queue_depth as u64, 0, 0),
-            EventKind::DesDispatch { queue_depth } => (1, queue_depth as u64, 0, 0),
+            EventKind::DesSchedule {
+                queue_depth,
+                events_processed,
+            } => (0, queue_depth as u64, events_processed, 0),
+            EventKind::DesDispatch {
+                queue_depth,
+                events_processed,
+            } => (1, queue_depth as u64, events_processed, 0),
             EventKind::PeBusy { cost, count } => (2, cost.code() as u64, count, 0),
             EventKind::MsgSend {
                 msg,

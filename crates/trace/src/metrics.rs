@@ -114,6 +114,15 @@ pub struct PhaseMetrics {
     pub mem_faults: u64,
     /// Stale task completions discarded by the kernel.
     pub stale_tasks: u64,
+    /// DES dispatches (event pops) observed in this phase.
+    pub des_dispatches: u64,
+    /// Highest engine lifetime pop count seen in this phase (schedule or
+    /// dispatch events both carry it).
+    pub des_events_processed: u64,
+    /// Simulated time of the first DES dispatch seen in this phase.
+    pub des_first_dispatch_at: u64,
+    /// Simulated time of the last DES dispatch seen in this phase.
+    pub des_last_dispatch_at: u64,
     /// Histogram of kernel message wire sizes, words.
     pub msg_size: Histogram,
     /// Histogram of DES queue depths at schedule/dispatch.
@@ -128,8 +137,24 @@ impl PhaseMetrics {
     pub fn observe(&mut self, ev: &TraceEvent) {
         self.events += 1;
         match ev.kind {
-            EventKind::DesSchedule { queue_depth } | EventKind::DesDispatch { queue_depth } => {
+            EventKind::DesSchedule {
+                queue_depth,
+                events_processed,
+            } => {
                 self.queue_depth.record(queue_depth as u64);
+                self.des_events_processed = self.des_events_processed.max(events_processed);
+            }
+            EventKind::DesDispatch {
+                queue_depth,
+                events_processed,
+            } => {
+                self.queue_depth.record(queue_depth as u64);
+                self.des_events_processed = self.des_events_processed.max(events_processed);
+                if self.des_dispatches == 0 {
+                    self.des_first_dispatch_at = ev.at;
+                }
+                self.des_last_dispatch_at = ev.at;
+                self.des_dispatches += 1;
             }
             EventKind::PeBusy { .. } => {
                 self.busy_cycles += ev.dur;
@@ -197,6 +222,20 @@ impl PhaseMetrics {
     /// Total words across the four window stages.
     pub fn window_total(&self) -> u64 {
         self.window_words.iter().sum()
+    }
+
+    /// Trace-based DES throughput for this phase: dispatches per million
+    /// simulated cycles over the phase's dispatch span. 0 when the phase
+    /// saw fewer than two dispatches (no span to divide by).
+    pub fn des_throughput_per_mcycle(&self) -> u64 {
+        if self.des_dispatches < 2 {
+            return 0;
+        }
+        let span = self
+            .des_last_dispatch_at
+            .saturating_sub(self.des_first_dispatch_at)
+            .max(1);
+        self.des_dispatches.saturating_mul(1_000_000) / span
     }
 }
 
@@ -283,13 +322,19 @@ mod tests {
             0,
             0,
             0,
-            EventKind::DesSchedule { queue_depth: 3 },
+            EventKind::DesSchedule {
+                queue_depth: 3,
+                events_processed: 0,
+            },
         ));
         m.phase_mut(1).observe(&TraceEvent::instant(
             5,
             0,
             0,
-            EventKind::DesDispatch { queue_depth: 9 },
+            EventKind::DesDispatch {
+                queue_depth: 9,
+                events_processed: 1,
+            },
         ));
         m.phase_mut(1)
             .observe(&TraceEvent::instant(6, 0, 0, EventKind::PeRecover));
@@ -336,5 +381,50 @@ mod tests {
         assert_eq!(m.msgs_sent, 1);
         assert_eq!(m.msg_size.count, 1);
         assert_eq!(m.window_words[WindowStage::Transit.index()], 32);
+    }
+
+    #[test]
+    fn des_throughput_from_dispatch_span_and_counter() {
+        let mut m = PhaseMetrics::default();
+        // Fewer than two dispatches: no span, throughput 0.
+        m.observe(&TraceEvent::instant(
+            100,
+            0,
+            0,
+            EventKind::DesDispatch {
+                queue_depth: 1,
+                events_processed: 1,
+            },
+        ));
+        assert_eq!(m.des_throughput_per_mcycle(), 0);
+        // 5 dispatches over cycles 100..=500: span 400, 5M/400 = 12500.
+        for (i, at) in [200u64, 300, 400, 500].iter().enumerate() {
+            m.observe(&TraceEvent::instant(
+                *at,
+                0,
+                0,
+                EventKind::DesDispatch {
+                    queue_depth: 1,
+                    events_processed: 2 + i as u64,
+                },
+            ));
+        }
+        assert_eq!(m.des_dispatches, 5);
+        assert_eq!(m.des_events_processed, 5);
+        assert_eq!(m.des_first_dispatch_at, 100);
+        assert_eq!(m.des_last_dispatch_at, 500);
+        assert_eq!(m.des_throughput_per_mcycle(), 5_000_000 / 400);
+        // Schedule events raise the lifetime counter but not the dispatch span.
+        m.observe(&TraceEvent::instant(
+            600,
+            0,
+            0,
+            EventKind::DesSchedule {
+                queue_depth: 2,
+                events_processed: 9,
+            },
+        ));
+        assert_eq!(m.des_events_processed, 9);
+        assert_eq!(m.des_dispatches, 5);
     }
 }
