@@ -38,9 +38,13 @@ use serde_json::Value;
 use std::time::Instant;
 
 /// Schema identifier written into the JSON document.
-pub const SCHEMA: &str = "fem2-bench/2";
-/// The previous schema (no `repeat`, no `wall_ns_median`); still accepted
-/// by [`validate_json`] so stored baselines keep validating.
+pub const SCHEMA: &str = "fem2-bench/3";
+/// The previous schema (no `commit`, `plan_hash`, or `params` provenance
+/// fields); still accepted by [`validate_json`] so stored baselines keep
+/// validating.
+pub const SCHEMA_V2: &str = "fem2-bench/2";
+/// The original schema (additionally lacks `repeat` and
+/// `wall_ns_median`); also still accepted.
 pub const SCHEMA_V1: &str = "fem2-bench/1";
 
 /// Ring capacity for the traced E1 run; metrics are exact regardless of
@@ -125,10 +129,60 @@ impl BenchRecord {
 pub struct BenchSuite {
     /// Machine configuration description the simulated records ran on.
     pub machine: String,
+    /// Source commit the suite ran at (`FEM2_COMMIT` env override, then
+    /// `GITHUB_SHA`, then the enclosing `.git/HEAD`; `unknown` otherwise).
+    pub commit: String,
+    /// Content hash of the resolved simulated-plane machine plan, so
+    /// registry consumers can tell apart runs whose `machine` strings
+    /// collide but whose configurations differ.
+    pub plan_hash: String,
+    /// Flat `key=value` summary of the suite knobs, one line, for
+    /// registry display and grouping.
+    pub params: String,
     /// Times the mix ran (see [`BenchOptions::repeat`]).
     pub repeat: u32,
     /// All timed records, in run order.
     pub records: Vec<BenchRecord>,
+}
+
+/// The commit this suite ran at, best-effort and offline: an explicit
+/// `FEM2_COMMIT` wins, then CI's `GITHUB_SHA`, then the enclosing git
+/// checkout's `HEAD` (following one level of ref indirection, with a
+/// `packed-refs` fallback), and finally `"unknown"`.
+fn commit_id() -> String {
+    for var in ["FEM2_COMMIT", "GITHUB_SHA"] {
+        if let Ok(c) = std::env::var(var) {
+            let c = c.trim();
+            if !c.is_empty() {
+                return c.to_string();
+            }
+        }
+    }
+    let mut dir = std::env::current_dir().ok();
+    while let Some(d) = dir {
+        let git = d.join(".git");
+        if let Ok(text) = std::fs::read_to_string(git.join("HEAD")) {
+            let text = text.trim();
+            let Some(refname) = text.strip_prefix("ref: ") else {
+                return text.to_string(); // detached HEAD: the hash itself
+            };
+            if let Ok(h) = std::fs::read_to_string(git.join(refname)) {
+                return h.trim().to_string();
+            }
+            if let Ok(packed) = std::fs::read_to_string(git.join("packed-refs")) {
+                for line in packed.lines() {
+                    if let Some((hash, name)) = line.split_once(' ') {
+                        if name == refname {
+                            return hash.to_string();
+                        }
+                    }
+                }
+            }
+            return "unknown".to_string();
+        }
+        dir = d.parent().map(std::path::Path::to_path_buf);
+    }
+    "unknown".to_string()
 }
 
 fn wall_of<T>(f: impl FnOnce() -> T) -> (u64, T) {
@@ -351,19 +405,36 @@ pub fn run_suite_opts(opts: BenchOptions) -> BenchSuite {
     if opts.des_queue == DesQueue::Heap {
         machine.push_str(" [des queue heap]");
     }
+    let plan = e1_config(opts);
+    let params = format!(
+        "route_cache={} des_queue={} repeat={} threads={}",
+        if opts.route_cache { "on" } else { "off" },
+        match opts.des_queue {
+            DesQueue::Calendar => "calendar",
+            DesQueue::Heap => "heap",
+        },
+        repeat,
+        pool.threads(),
+    );
     BenchSuite {
         machine,
+        commit: commit_id(),
+        plan_hash: fem2_core::hash::hash_hex(fem2_core::hash::content_hash(&plan)),
+        params,
         repeat,
         records,
     }
 }
 
 impl BenchSuite {
-    /// Serialize as the `fem2-bench/2` JSON document.
+    /// Serialize as the `fem2-bench/3` JSON document.
     pub fn to_json(&self) -> String {
         let doc = Value::Obj(vec![
             ("schema".into(), Value::Str(SCHEMA.into())),
             ("machine".into(), Value::Str(self.machine.clone())),
+            ("commit".into(), Value::Str(self.commit.clone())),
+            ("plan_hash".into(), Value::Str(self.plan_hash.clone())),
+            ("params".into(), Value::Str(self.params.clone())),
             ("repeat".into(), Value::UInt(u64::from(self.repeat))),
             (
                 "results".into(),
@@ -405,24 +476,35 @@ impl BenchSuite {
 }
 
 /// Validate a `BENCH_fem2.json` document. Accepts the current
-/// `fem2-bench/2` schema and the previous `fem2-bench/1` (which lacks the
-/// suite `repeat` and per-record `wall_ns_median` fields). Returns the
-/// number of validated records.
+/// `fem2-bench/3` schema plus the previous two: `fem2-bench/2` lacks the
+/// `commit`/`plan_hash`/`params` provenance fields, and `fem2-bench/1`
+/// additionally lacks the suite `repeat` and per-record `wall_ns_median`.
+/// Returns the number of validated records.
 pub fn validate_json(text: &str) -> Result<usize, String> {
     let doc: Value = serde_json::from_str(text).map_err(|e| format!("not JSON: {e}"))?;
     let schema = doc.get_field("schema").map_err(|e| e.to_string())?;
-    let v2 = match schema {
-        Value::Str(s) if s == SCHEMA => true,
-        Value::Str(s) if s == SCHEMA_V1 => false,
+    let version = match schema {
+        Value::Str(s) if s == SCHEMA => 3,
+        Value::Str(s) if s == SCHEMA_V2 => 2,
+        Value::Str(s) if s == SCHEMA_V1 => 1,
         other => {
             return Err(format!(
-                "schema must be \"{SCHEMA}\" or \"{SCHEMA_V1}\", found {other:?}"
+                "schema must be \"{SCHEMA}\", \"{SCHEMA_V2}\", or \"{SCHEMA_V1}\", found {other:?}"
             ))
         }
     };
+    let v2 = version >= 2;
     match doc.get_field("machine").map_err(|e| e.to_string())? {
         Value::Str(_) => {}
         other => return Err(format!("machine must be a string, found {}", other.kind())),
+    }
+    if version >= 3 {
+        for field in ["commit", "plan_hash", "params"] {
+            match doc.get_field(field).map_err(|e| e.to_string())? {
+                Value::Str(s) if !s.is_empty() => {}
+                _ => return Err(format!("{field} must be a non-empty string")),
+            }
+        }
     }
     if v2 {
         match doc.get_field("repeat").map_err(|e| e.to_string())? {
@@ -489,6 +571,9 @@ mod tests {
     fn small_suite() -> BenchSuite {
         BenchSuite {
             machine: "test".into(),
+            commit: "deadbeef".into(),
+            plan_hash: "0123456789abcdef".into(),
+            params: "route_cache=on des_queue=calendar repeat=1 threads=2".into(),
             repeat: 1,
             records: vec![
                 BenchRecord::untraced("a", 1_000, 42),
@@ -512,13 +597,55 @@ mod tests {
     }
 
     #[test]
-    fn validation_accepts_the_previous_schema() {
+    fn validation_accepts_the_previous_schemas() {
         let v1 = format!(
             r#"{{"schema":"{SCHEMA_V1}","machine":"m","results":[
                 {{"name":"x","wall_ns":1,"sim_cycles":2,"events":0,
                   "events_per_sec":0,"peak_queue_depth":0}}]}}"#
         );
         assert_eq!(validate_json(&v1), Ok(1));
+        // v2: has repeat + median, no provenance fields.
+        let v2 = format!(
+            r#"{{"schema":"{SCHEMA_V2}","machine":"m","repeat":1,"results":[
+                {{"name":"x","wall_ns":1,"wall_ns_median":1,"sim_cycles":2,"events":0,
+                  "events_per_sec":0,"peak_queue_depth":0}}]}}"#
+        );
+        assert_eq!(validate_json(&v2), Ok(1));
+    }
+
+    #[test]
+    fn v3_requires_provenance_fields() {
+        // A v3 document with v2's shape (no commit/plan_hash/params) fails.
+        let bare = format!(
+            r#"{{"schema":"{SCHEMA}","machine":"m","repeat":1,"results":[
+                {{"name":"x","wall_ns":1,"wall_ns_median":1,"sim_cycles":2,"events":0,
+                  "events_per_sec":0,"peak_queue_depth":0}}]}}"#
+        );
+        assert!(validate_json(&bare).unwrap_err().contains("commit"));
+        let empty_commit = format!(
+            r#"{{"schema":"{SCHEMA}","machine":"m","commit":"","plan_hash":"p",
+                "params":"x","repeat":1,"results":[]}}"#
+        );
+        assert!(validate_json(&empty_commit).unwrap_err().contains("commit"));
+    }
+
+    #[test]
+    fn suite_carries_resolvable_provenance() {
+        // commit_id() inside this checkout resolves to a real hash (the
+        // repo is git-managed); plan_hash is a 16-hex-digit content hash.
+        let c = commit_id();
+        assert!(!c.is_empty());
+        let plan = e1_config(BenchOptions::default());
+        let h = fem2_core::hash::hash_hex(fem2_core::hash::content_hash(&plan));
+        assert_eq!(h.len(), 16);
+        assert!(h.chars().all(|ch| ch.is_ascii_hexdigit()));
+        // The plan hash moves when an ablation changes the plan.
+        let ablated = e1_config(BenchOptions {
+            route_cache: false,
+            ..BenchOptions::default()
+        });
+        let h2 = fem2_core::hash::hash_hex(fem2_core::hash::content_hash(&ablated));
+        assert_ne!(h, h2);
     }
 
     #[test]
@@ -526,27 +653,27 @@ mod tests {
         assert!(validate_json("not json").is_err());
         assert!(validate_json("{}").is_err());
         assert!(validate_json(r#"{"schema":"wrong","machine":"m","results":[]}"#).is_err());
-        let empty = format!(r#"{{"schema":"{SCHEMA}","machine":"m","repeat":1,"results":[]}}"#);
+        // Valid v3 preamble for docs probing record-level failures.
+        let head = format!(
+            r#""schema":"{SCHEMA}","machine":"m","commit":"c","plan_hash":"p","params":"x","repeat":1"#
+        );
+        let empty = format!(r#"{{{head},"results":[]}}"#);
         assert!(validate_json(&empty).unwrap_err().contains("empty"));
-        let missing = format!(
-            r#"{{"schema":"{SCHEMA}","machine":"m","repeat":1,"results":[{{"name":"x"}}]}}"#
-        );
+        let missing = format!(r#"{{{head},"results":[{{"name":"x"}}]}}"#);
         assert!(validate_json(&missing).unwrap_err().contains("wall_ns"));
-        let bad_name = format!(
-            r#"{{"schema":"{SCHEMA}","machine":"m","repeat":1,"results":[{{"name":""}}]}}"#
-        );
+        let bad_name = format!(r#"{{{head},"results":[{{"name":""}}]}}"#);
         assert!(validate_json(&bad_name).unwrap_err().contains("name"));
-        // v2 requires the median field; a v2 doc with v1's record shape fails.
+        // v2+ requires the median field; a doc with v1's record shape fails.
         let no_median = format!(
-            r#"{{"schema":"{SCHEMA}","machine":"m","repeat":1,"results":[
+            r#"{{{head},"results":[
                 {{"name":"x","wall_ns":1,"sim_cycles":2,"events":0,
                   "events_per_sec":0,"peak_queue_depth":0}}]}}"#
         );
         assert!(validate_json(&no_median)
             .unwrap_err()
             .contains("wall_ns_median"));
-        // v2 requires the suite-level repeat.
-        let no_repeat = format!(r#"{{"schema":"{SCHEMA}","machine":"m","results":[]}}"#);
+        // v2+ requires the suite-level repeat.
+        let no_repeat = format!(r#"{{"schema":"{SCHEMA_V2}","machine":"m","results":[]}}"#);
         assert!(validate_json(&no_repeat).unwrap_err().contains("repeat"));
     }
 

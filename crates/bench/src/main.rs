@@ -11,7 +11,9 @@
 //! `--check` instead runs the static verifier over the four layer grammars
 //! and the seven example scenarios without simulating a cycle, printing the
 //! diagnostic report. Exit status is non-zero if any subject is rejected;
-//! `--allow-warnings` lets warning-only subjects pass.
+//! `--allow-warnings` lets warning-only subjects pass, and `--json` emits
+//! the machine-readable catalog (the same diagnostic representation the
+//! `fem2-serve` HTTP rejection bodies use).
 
 #![forbid(unsafe_code)]
 
@@ -43,9 +45,13 @@ fn run_trace(path: &str) {
     println!("{}", chrome::phase_table(&rec));
 }
 
-fn run_check(allow_warnings: bool) -> ! {
+fn run_check(allow_warnings: bool, json: bool) -> ! {
     let reports = fem2_core::verify::check_catalog();
-    print!("{}", fem2_core::verify::render_catalog(&reports));
+    if json {
+        print!("{}", fem2_core::verify::catalog_json(&reports));
+    } else {
+        print!("{}", fem2_core::verify::render_catalog(&reports));
+    }
     let blocked = reports.iter().filter(|r| r.blocks(allow_warnings)).count();
     if blocked > 0 {
         eprintln!("fem2-report: {blocked} subject(s) rejected by static verification");
@@ -58,7 +64,8 @@ fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.iter().any(|a| a == "--check") {
         let allow_warnings = raw.iter().any(|a| a == "--allow-warnings");
-        run_check(allow_warnings);
+        let json = raw.iter().any(|a| a == "--json");
+        run_check(allow_warnings, json);
     }
     let mut ids: Vec<String> = Vec::new();
     let mut i = 0;

@@ -21,6 +21,9 @@
 //! * [`design`] — the design-space iteration loop: evaluate candidate
 //!   machine organizations against a workload, score them, and converge to
 //!   the "proper match of hardware and software organizations" (E10);
+//! * [`hash`] — stable content hashing (canonical JSON + FNV-1a) for run
+//!   descriptors, the key the serve layer's result cache and registry are
+//!   indexed by;
 //! * [`verify`] — the static analyzer wired into the system: every scenario
 //!   is lowered to a script and checked (protocol conformance, deadlock
 //!   freedom, storage bounds) *before* dispatch, and the layer grammars are
@@ -30,6 +33,7 @@
 #![forbid(unsafe_code)]
 
 pub mod design;
+pub mod hash;
 pub mod layers;
 pub mod scenario;
 pub mod spec;

@@ -129,6 +129,29 @@ pub fn render_catalog(reports: &[Report]) -> String {
     out
 }
 
+/// Render a catalog run as a machine-readable JSON document: the schema
+/// tag, every subject report in [`fem2_verify::Report`]'s JSON form, and
+/// the catalog-wide counts. This is the same representation the serve
+/// layer returns in HTTP rejection bodies, so one consumer handles both.
+pub fn catalog_json(reports: &[Report]) -> String {
+    use serde::json::Value;
+    use serde::Serialize as _;
+    let errors: usize = reports.iter().map(Report::error_count).sum();
+    let warnings: usize = reports.iter().map(Report::warning_count).sum();
+    let doc = Value::Obj(vec![
+        ("schema".into(), Value::Str("fem2-verify/1".into())),
+        (
+            "subjects".into(),
+            Value::Arr(reports.iter().map(|r| r.to_value()).collect()),
+        ),
+        ("errors".into(), Value::UInt(errors as u64)),
+        ("warnings".into(), Value::UInt(warnings as u64)),
+    ]);
+    let mut text = serde_json::to_string_pretty(&doc).expect("catalog has no non-finite floats");
+    text.push('\n');
+    text
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,6 +165,22 @@ mod tests {
         }
         let b = check_catalog();
         assert_eq!(render_catalog(&a), render_catalog(&b));
+    }
+
+    #[test]
+    fn catalog_json_is_valid_and_counts_subjects() {
+        let reports = check_catalog();
+        let text = catalog_json(&reports);
+        let v: serde::json::Value = serde_json::from_str(&text).expect("valid JSON");
+        assert_eq!(
+            v.get_field("schema").unwrap(),
+            &serde::json::Value::Str("fem2-verify/1".into())
+        );
+        match v.get_field("subjects").unwrap() {
+            serde::json::Value::Arr(items) => assert_eq!(items.len(), reports.len()),
+            other => panic!("subjects must be an array, got {other:?}"),
+        }
+        assert_eq!(v.get_field("errors").unwrap(), &serde::json::Value::UInt(0));
     }
 
     #[test]

@@ -1,0 +1,259 @@
+//! A minimal HTTP/1.1 layer over `std::net` — just enough protocol for the
+//! job API: request-line + headers + `Content-Length` bodies in,
+//! `Connection: close` JSON responses out. No external dependencies; the
+//! build environment is offline and the API surface is four endpoints.
+//!
+//! Limits are deliberate: request lines and headers are capped, bodies are
+//! capped at [`MAX_BODY`], and sockets carry read timeouts, so one slow or
+//! abusive client cannot pin a connection thread forever.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Largest accepted request body, bytes. Scenario specs are small; a
+/// 10k-op script is well under this.
+pub const MAX_BODY: usize = 1 << 20;
+/// Largest accepted header section, bytes.
+const MAX_HEADER_BYTES: usize = 16 << 10;
+/// Per-socket read/write timeout.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A parsed request: method, path, body.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, ... (uppercased).
+    pub method: String,
+    /// Request target, e.g. `/jobs/3/result` (query strings are kept).
+    pub path: String,
+    /// The body (empty when there was no `Content-Length`).
+    pub body: String,
+}
+
+/// A response to serialize: status code plus JSON (or text) body.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body text.
+    pub body: String,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            body: body.into(),
+            content_type: "application/json",
+        }
+    }
+
+    /// A plain-text response (errors before a body can be formed).
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            body: body.into(),
+            content_type: "text/plain; charset=utf-8",
+        }
+    }
+}
+
+/// The reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Errors that end a connection with a 4xx before dispatch.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Malformed request line or headers.
+    Malformed(String),
+    /// Body longer than [`MAX_BODY`].
+    TooLarge,
+    /// Socket error / timeout / early close.
+    Io(io::Error),
+}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Read and parse one request from `stream`. Returns `Ok(None)` on a
+/// clean immediate close (no bytes).
+pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, ParseError> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) if v.starts_with("HTTP/1") => (m.to_uppercase(), p.to_string()),
+        _ => {
+            return Err(ParseError::Malformed(format!(
+                "bad request line: {}",
+                line.trim_end()
+            )))
+        }
+    };
+    // Headers: we only need Content-Length.
+    let mut content_length = 0usize;
+    let mut header_bytes = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(ParseError::Malformed("eof in headers".into()));
+        }
+        header_bytes += header.len();
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(ParseError::Malformed("header section too large".into()));
+        }
+        let trimmed = header.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ParseError::Malformed("bad content-length".into()))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(ParseError::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body =
+        String::from_utf8(body).map_err(|_| ParseError::Malformed("body is not UTF-8".into()))?;
+    Ok(Some(Request { method, path, body }))
+}
+
+/// Serialize `resp` onto `stream` and flush. The connection is one-shot
+/// (`Connection: close`).
+pub fn write_response(stream: &mut TcpStream, resp: &Response) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.content_type,
+        resp.body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(resp.body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use std::thread;
+
+    /// Push raw bytes at a socket pair and parse them server-side.
+    fn parse_raw(raw: &'static [u8]) -> Result<Option<Request>, ParseError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(raw).unwrap();
+            // Keep the socket open until the server has read everything.
+            s.shutdown(std::net::Shutdown::Write).unwrap();
+            let mut sink = Vec::new();
+            let _ = s.read_to_end(&mut sink);
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let out = read_request(&mut stream);
+        drop(stream);
+        client.join().unwrap();
+        out
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req =
+            parse_raw(b"POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 9\r\n\r\n{\"nx\":16}")
+                .unwrap()
+                .expect("one request");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.body, "{\"nx\":16}");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse_raw(b"GET /jobs/3 HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/jobs/3");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn malformed_request_line_is_an_error() {
+        assert!(matches!(
+            parse_raw(b"nonsense\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_content_length_rejected() {
+        assert!(matches!(
+            parse_raw(b"POST / HTTP/1.1\r\nContent-Length: 9999999999\r\n\r\n"),
+            Err(ParseError::TooLarge)
+        ));
+    }
+
+    #[test]
+    fn immediate_close_is_none() {
+        assert!(parse_raw(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn response_roundtrip_over_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let req = read_request(&mut stream).unwrap().unwrap();
+            assert_eq!(req.path, "/healthz");
+            write_response(&mut stream, &Response::json(200, "{\"ok\":true}")).unwrap();
+        });
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        let mut text = String::new();
+        s.read_to_string(&mut text).unwrap();
+        server.join().unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Type: application/json"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn reason_phrases_cover_the_emitted_codes() {
+        for code in [200, 201, 400, 404, 405, 409, 413, 422, 500, 503] {
+            assert_ne!(reason(code), "Unknown", "{code}");
+        }
+    }
+}

@@ -1,0 +1,609 @@
+//! Job specifications: what a tenant submits, fully resolved and
+//! content-addressable.
+//!
+//! A submission is JSON describing one of two job kinds:
+//!
+//! * `plate` — a plate scenario (grid, machine configuration, solver
+//!   controls). Admitted plate jobs are *simulated* on the requested
+//!   machine and produce the full requirement outcome.
+//! * `script` — a raw kernel scenario script (the analyzer's op list).
+//!   Script jobs are *analysis* workloads: they run through the same
+//!   admission gate and, when clean, complete with a verification outcome
+//!   without simulating (there is no runnable semantics for arbitrary
+//!   scripts — the value of the job is the verdict).
+//!
+//! Every optional field is resolved to its default **before** hashing, so
+//! `{"kind":"plate","nx":32,"ny":32}` and the same submission with all
+//! defaults spelled out are the same job: one simulation, one registry
+//! record, every later submission a cache hit. The hash key is the
+//! canonical serialization of the resolved spec — (scenario, machine
+//! config, seed) — through [`fem2_core::hash`].
+
+use fem2_core::hash::{content_hash_value, hash_hex};
+use fem2_core::PlateScenario;
+use fem2_machine::MachineConfig;
+use fem2_verify::{check_script, Op, Report, ScenarioScript};
+use serde::json::Value;
+use serde::{Deserialize as _, Serialize as _};
+
+/// Default CG relative tolerance for plate jobs.
+const DEFAULT_TOL: f64 = 1e-6;
+/// Default CG iteration cap for plate jobs.
+const DEFAULT_MAX_ITERS: usize = 5000;
+
+/// A fully resolved plate-scenario job.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlateJob {
+    /// Display name (defaults to `plate {nx}x{ny}`).
+    pub name: String,
+    /// Grid points in x.
+    pub nx: usize,
+    /// Grid points in y.
+    pub ny: usize,
+    /// NA-VM task count (defaults to the machine's worker count).
+    pub tasks: u32,
+    /// Machine organization to simulate on.
+    pub machine: MachineConfig,
+    /// CG relative tolerance.
+    pub tol: f64,
+    /// CG iteration cap.
+    pub max_iters: usize,
+    /// Replication seed. Simulations are deterministic today, so the seed
+    /// only partitions the cache key — reserved for stochastic fault
+    /// plans; distinct seeds are distinct jobs.
+    pub seed: u64,
+    /// Let warning-severity findings through the admission gate.
+    pub allow_warnings: bool,
+}
+
+/// A fully resolved raw-script job (analysis only).
+#[derive(Clone, Debug)]
+pub struct ScriptJob {
+    /// Display name.
+    pub name: String,
+    /// The script ops, in global program order.
+    pub ops: Vec<Op>,
+    /// Machine the storage pass bounds against.
+    pub machine: MachineConfig,
+    /// Cache-key seed (see [`PlateJob::seed`]).
+    pub seed: u64,
+    /// Let warning-severity findings through the admission gate.
+    pub allow_warnings: bool,
+}
+
+/// One resolved submission.
+#[derive(Clone, Debug)]
+pub enum JobSpec {
+    /// Simulate a plate scenario.
+    Plate(PlateJob),
+    /// Verify a raw kernel script.
+    Script(ScriptJob),
+}
+
+/// The outcome of one completed job, as stored in the registry and served
+/// from `/jobs/<id>/result`.
+#[derive(Clone, Debug)]
+pub struct JobOutcome {
+    /// The outcome document (kind-tagged object).
+    pub value: Value,
+}
+
+fn field<'v>(v: &'v Value, name: &str) -> Option<&'v Value> {
+    match v {
+        Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn opt_u64(v: &Value, name: &str, default: u64) -> Result<u64, String> {
+    match field(v, name) {
+        None | Some(Value::Null) => Ok(default),
+        Some(f) => u64::from_value(f).map_err(|e| format!("field `{name}`: {e}")),
+    }
+}
+
+fn opt_bool(v: &Value, name: &str, default: bool) -> Result<bool, String> {
+    match field(v, name) {
+        None | Some(Value::Null) => Ok(default),
+        Some(f) => bool::from_value(f).map_err(|e| format!("field `{name}`: {e}")),
+    }
+}
+
+fn opt_f64(v: &Value, name: &str, default: f64) -> Result<f64, String> {
+    match field(v, name) {
+        None | Some(Value::Null) => Ok(default),
+        Some(f) => f64::from_value(f).map_err(|e| format!("field `{name}`: {e}")),
+    }
+}
+
+fn req_str(v: &Value, name: &str) -> Result<String, String> {
+    field(v, name)
+        .ok_or_else(|| format!("missing field `{name}`"))
+        .and_then(|f| String::from_value(f).map_err(|e| format!("field `{name}`: {e}")))
+}
+
+fn opt_machine(v: &Value) -> Result<MachineConfig, String> {
+    let machine = match field(v, "machine") {
+        None | Some(Value::Null) => MachineConfig::fem2_default(),
+        Some(m) => MachineConfig::from_value(m).map_err(|e| format!("field `machine`: {e}"))?,
+    };
+    machine.validate().map_err(|e| format!("machine: {e}"))?;
+    Ok(machine)
+}
+
+/// Parse one script op from its JSON form, e.g.
+/// `{"op":"window_send","from":"a","to":"b","window":"w","words":8}`.
+fn op_from_value(v: &Value) -> Result<Op, String> {
+    let kind = req_str(v, "op")?;
+    let s = |name: &str| req_str(v, name);
+    let n = |name: &str, default: u64| opt_u64(v, name, default);
+    Ok(match kind.as_str() {
+        "initiate" => Op::Initiate {
+            task: s("task")?,
+            cluster: u32::try_from(n("cluster", 0)?).map_err(|_| "cluster out of range")?,
+            replications: u32::try_from(n("replications", 1)?)
+                .map_err(|_| "replications out of range")?,
+        },
+        "pause" => Op::Pause { task: s("task")? },
+        "resume" => Op::Resume { task: s("task")? },
+        "terminate" => Op::Terminate { task: s("task")? },
+        "remote_call" => Op::RemoteCall {
+            caller: s("caller")?,
+            call_id: n("call_id", 0)?,
+        },
+        "remote_return" => Op::RemoteReturn {
+            call_id: n("call_id", 0)?,
+        },
+        "window_open" => Op::WindowOpen {
+            task: s("task")?,
+            window: s("window")?,
+        },
+        "window_send" => Op::WindowSend {
+            from: s("from")?,
+            to: s("to")?,
+            window: s("window")?,
+            words: n("words", 1)?,
+        },
+        "window_recv" => Op::WindowRecv {
+            task: s("task")?,
+            from: s("from")?,
+            window: s("window")?,
+        },
+        "window_close" => Op::WindowClose {
+            task: s("task")?,
+            window: s("window")?,
+        },
+        "alloc" => Op::Alloc {
+            cluster: u32::try_from(n("cluster", 0)?).map_err(|_| "cluster out of range")?,
+            words: n("words", 0)?,
+            what: s("what")?,
+        },
+        other => return Err(format!("unknown op `{other}`")),
+    })
+}
+
+fn op_to_value(op: &Op) -> Value {
+    let obj = |pairs: Vec<(&str, Value)>| {
+        Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    };
+    let s = |s: &str| Value::Str(s.to_string());
+    match op {
+        Op::Initiate {
+            task,
+            cluster,
+            replications,
+        } => obj(vec![
+            ("op", s("initiate")),
+            ("task", s(task)),
+            ("cluster", Value::UInt(u64::from(*cluster))),
+            ("replications", Value::UInt(u64::from(*replications))),
+        ]),
+        Op::Pause { task } => obj(vec![("op", s("pause")), ("task", s(task))]),
+        Op::Resume { task } => obj(vec![("op", s("resume")), ("task", s(task))]),
+        Op::Terminate { task } => obj(vec![("op", s("terminate")), ("task", s(task))]),
+        Op::Message { from, to, kind } => obj(vec![
+            ("op", s("message")),
+            ("from", s(from)),
+            ("to", s(to)),
+            ("kind", s(kind.name())),
+        ]),
+        Op::RemoteCall { caller, call_id } => obj(vec![
+            ("op", s("remote_call")),
+            ("caller", s(caller)),
+            ("call_id", Value::UInt(*call_id)),
+        ]),
+        Op::RemoteReturn { call_id } => obj(vec![
+            ("op", s("remote_return")),
+            ("call_id", Value::UInt(*call_id)),
+        ]),
+        Op::WindowOpen { task, window } => obj(vec![
+            ("op", s("window_open")),
+            ("task", s(task)),
+            ("window", s(window)),
+        ]),
+        Op::WindowSend {
+            from,
+            to,
+            window,
+            words,
+        } => obj(vec![
+            ("op", s("window_send")),
+            ("from", s(from)),
+            ("to", s(to)),
+            ("window", s(window)),
+            ("words", Value::UInt(*words)),
+        ]),
+        Op::WindowRecv { task, from, window } => obj(vec![
+            ("op", s("window_recv")),
+            ("task", s(task)),
+            ("from", s(from)),
+            ("window", s(window)),
+        ]),
+        Op::WindowClose { task, window } => obj(vec![
+            ("op", s("window_close")),
+            ("task", s(task)),
+            ("window", s(window)),
+        ]),
+        Op::Alloc {
+            cluster,
+            words,
+            what,
+        } => obj(vec![
+            ("op", s("alloc")),
+            ("cluster", Value::UInt(u64::from(*cluster))),
+            ("words", Value::UInt(*words)),
+            ("what", s(what)),
+        ]),
+    }
+}
+
+impl JobSpec {
+    /// Parse and resolve a submission body. Every optional field becomes
+    /// its default here, so the parsed spec — and therefore its content
+    /// hash — is independent of which defaults the tenant spelled out.
+    pub fn parse(body: &str) -> Result<JobSpec, String> {
+        let v = serde_json::parse_value(body).map_err(|e| format!("invalid JSON: {e}"))?;
+        Self::from_value(&v)
+    }
+
+    /// Resolve a submission from its JSON tree; see [`JobSpec::parse`].
+    pub fn from_value(v: &Value) -> Result<JobSpec, String> {
+        let kind = match field(v, "kind") {
+            None => "plate".to_string(),
+            Some(f) => String::from_value(f).map_err(|e| format!("field `kind`: {e}"))?,
+        };
+        match kind.as_str() {
+            "plate" => {
+                let nx = opt_u64(v, "nx", 0)? as usize;
+                let ny = opt_u64(v, "ny", 0)? as usize;
+                if nx < 2 || ny < 2 {
+                    return Err("plate jobs need nx >= 2 and ny >= 2".into());
+                }
+                if nx > 4096 || ny > 4096 {
+                    return Err("plate grids are capped at 4096 points per side".into());
+                }
+                let machine = opt_machine(v)?;
+                let tasks = match opt_u64(v, "tasks", 0)? {
+                    0 => machine.total_workers().max(1),
+                    t => u32::try_from(t).map_err(|_| "tasks out of range")?,
+                };
+                let name = match field(v, "name") {
+                    None | Some(Value::Null) => format!("plate {nx}x{ny}"),
+                    Some(f) => String::from_value(f).map_err(|e| format!("field `name`: {e}"))?,
+                };
+                let max_iters = opt_u64(v, "max_iters", DEFAULT_MAX_ITERS as u64)? as usize;
+                let tol = opt_f64(v, "tol", DEFAULT_TOL)?;
+                if !(tol.is_finite() && tol > 0.0) {
+                    return Err("tol must be a positive finite number".into());
+                }
+                Ok(JobSpec::Plate(PlateJob {
+                    name,
+                    nx,
+                    ny,
+                    tasks,
+                    machine,
+                    tol,
+                    max_iters,
+                    seed: opt_u64(v, "seed", 0)?,
+                    allow_warnings: opt_bool(v, "allow_warnings", false)?,
+                }))
+            }
+            "script" => {
+                let ops_value = field(v, "ops").ok_or("script jobs need an `ops` array")?;
+                let raw_ops = match ops_value {
+                    Value::Arr(items) => items,
+                    other => return Err(format!("`ops` must be an array, found {}", other.kind())),
+                };
+                if raw_ops.is_empty() {
+                    return Err("`ops` must not be empty".into());
+                }
+                if raw_ops.len() > 10_000 {
+                    return Err("script jobs are capped at 10000 ops".into());
+                }
+                let ops = raw_ops
+                    .iter()
+                    .enumerate()
+                    .map(|(i, op)| op_from_value(op).map_err(|e| format!("ops[{i}]: {e}")))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let name = match field(v, "name") {
+                    None | Some(Value::Null) => format!("script ({} ops)", ops.len()),
+                    Some(f) => String::from_value(f).map_err(|e| format!("field `name`: {e}"))?,
+                };
+                Ok(JobSpec::Script(ScriptJob {
+                    name,
+                    ops,
+                    machine: opt_machine(v)?,
+                    seed: opt_u64(v, "seed", 0)?,
+                    allow_warnings: opt_bool(v, "allow_warnings", false)?,
+                }))
+            }
+            other => Err(format!("unknown job kind `{other}` (plate|script)")),
+        }
+    }
+
+    /// The resolved spec as a JSON tree — the exact document the content
+    /// hash covers and the registry stores.
+    pub fn to_value(&self) -> Value {
+        match self {
+            JobSpec::Plate(p) => Value::Obj(vec![
+                ("kind".into(), Value::Str("plate".into())),
+                ("name".into(), Value::Str(p.name.clone())),
+                ("nx".into(), Value::UInt(p.nx as u64)),
+                ("ny".into(), Value::UInt(p.ny as u64)),
+                ("tasks".into(), Value::UInt(u64::from(p.tasks))),
+                ("machine".into(), p.machine.to_value()),
+                ("tol".into(), Value::Float(p.tol)),
+                ("max_iters".into(), Value::UInt(p.max_iters as u64)),
+                ("seed".into(), Value::UInt(p.seed)),
+                ("allow_warnings".into(), Value::Bool(p.allow_warnings)),
+            ]),
+            JobSpec::Script(s) => Value::Obj(vec![
+                ("kind".into(), Value::Str("script".into())),
+                ("name".into(), Value::Str(s.name.clone())),
+                (
+                    "ops".into(),
+                    Value::Arr(s.ops.iter().map(op_to_value).collect()),
+                ),
+                ("machine".into(), s.machine.to_value()),
+                ("seed".into(), Value::UInt(s.seed)),
+                ("allow_warnings".into(), Value::Bool(s.allow_warnings)),
+            ]),
+        }
+    }
+
+    /// The 16-hex-digit content hash of the resolved spec: the cache and
+    /// registry key. The display `name` is deliberately excluded — two
+    /// tenants naming the same work differently still share one record.
+    pub fn content_hash(&self) -> String {
+        let mut v = self.to_value();
+        if let Value::Obj(pairs) = &mut v {
+            pairs.retain(|(k, _)| k != "name");
+        }
+        hash_hex(content_hash_value(&v))
+    }
+
+    /// Display name of the job.
+    pub fn name(&self) -> &str {
+        match self {
+            JobSpec::Plate(p) => &p.name,
+            JobSpec::Script(s) => &s.name,
+        }
+    }
+
+    /// Whether warning-severity findings are allowed through admission.
+    pub fn allow_warnings(&self) -> bool {
+        match self {
+            JobSpec::Plate(p) => p.allow_warnings,
+            JobSpec::Script(s) => s.allow_warnings,
+        }
+    }
+
+    /// Run the static admission analysis for this job — the same passes
+    /// `PlateScenario::run` gates on, without simulating a cycle.
+    pub fn verify(&self) -> Report {
+        match self {
+            JobSpec::Plate(p) => p.scenario().verify(),
+            JobSpec::Script(s) => {
+                let mut script = ScenarioScript::new(s.name.clone());
+                for op in &s.ops {
+                    script.push(op.clone());
+                }
+                check_script(&script, &s.machine)
+            }
+        }
+    }
+
+    /// Execute the admitted job and produce its outcome. Plate jobs
+    /// simulate (the caller charges this against the run counter); script
+    /// jobs complete with their verification verdict.
+    pub fn execute(&self) -> JobOutcome {
+        match self {
+            JobSpec::Plate(p) => {
+                let report = p.scenario().run_unchecked();
+                JobOutcome {
+                    value: Value::Obj(vec![
+                        ("kind".into(), Value::Str("plate".into())),
+                        ("unknowns".into(), Value::UInt(report.unknowns as u64)),
+                        ("iterations".into(), Value::UInt(report.iterations as u64)),
+                        ("residual".into(), Value::Float(report.residual)),
+                        ("converged".into(), Value::Bool(report.converged)),
+                        ("sim_cycles".into(), Value::UInt(report.elapsed)),
+                        ("flops".into(), Value::UInt(report.total_flops)),
+                        ("messages".into(), Value::UInt(report.total_messages)),
+                        ("words_moved".into(), Value::UInt(report.total_words_moved)),
+                        (
+                            "peak_memory_words".into(),
+                            Value::UInt(report.peak_memory_words),
+                        ),
+                        (
+                            "total_memory_words".into(),
+                            Value::UInt(report.total_memory_words),
+                        ),
+                    ]),
+                }
+            }
+            JobSpec::Script(s) => {
+                let report = self.verify();
+                JobOutcome {
+                    value: Value::Obj(vec![
+                        ("kind".into(), Value::Str("script".into())),
+                        ("ops".into(), Value::UInt(s.ops.len() as u64)),
+                        ("status".into(), Value::Str(report.status().into())),
+                        (
+                            "warnings".into(),
+                            Value::UInt(report.warning_count() as u64),
+                        ),
+                    ]),
+                }
+            }
+        }
+    }
+}
+
+impl PlateJob {
+    /// The scenario this job simulates.
+    pub fn scenario(&self) -> PlateScenario {
+        let mut s = PlateScenario::square(self.nx, self.machine.clone());
+        s.ny = self.ny;
+        s.tasks = self.tasks;
+        s.tol = self.tol;
+        s.max_iters = self.max_iters;
+        s.allow_warnings = self.allow_warnings;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_plate_submission_resolves_defaults() {
+        let spec = JobSpec::parse(r#"{"kind":"plate","nx":16,"ny":16}"#).unwrap();
+        let JobSpec::Plate(p) = &spec else {
+            panic!("expected plate job");
+        };
+        assert_eq!(p.name, "plate 16x16");
+        assert_eq!(p.machine, MachineConfig::fem2_default());
+        assert_eq!(p.tasks, MachineConfig::fem2_default().total_workers());
+        assert_eq!(p.tol, DEFAULT_TOL);
+        assert_eq!(p.max_iters, DEFAULT_MAX_ITERS);
+        assert_eq!(p.seed, 0);
+        assert!(!p.allow_warnings);
+    }
+
+    #[test]
+    fn kind_defaults_to_plate() {
+        let spec = JobSpec::parse(r#"{"nx":8,"ny":8}"#).unwrap();
+        assert!(matches!(spec, JobSpec::Plate(_)));
+    }
+
+    #[test]
+    fn spelled_out_defaults_hash_identically() {
+        let minimal = JobSpec::parse(r#"{"kind":"plate","nx":16,"ny":16}"#).unwrap();
+        let spelled = JobSpec::parse(
+            r#"{"seed":0,"ny":16,"nx":16,"kind":"plate","allow_warnings":false,
+                "max_iters":5000,"tol":1e-6}"#,
+        )
+        .unwrap();
+        assert_eq!(minimal.content_hash(), spelled.content_hash());
+    }
+
+    #[test]
+    fn name_does_not_partition_the_cache_but_seed_does() {
+        let a = JobSpec::parse(r#"{"nx":16,"ny":16,"name":"alice's plate"}"#).unwrap();
+        let b = JobSpec::parse(r#"{"nx":16,"ny":16,"name":"bob's plate"}"#).unwrap();
+        assert_eq!(a.content_hash(), b.content_hash());
+        let c = JobSpec::parse(r#"{"nx":16,"ny":16,"seed":1}"#).unwrap();
+        assert_ne!(a.content_hash(), c.content_hash());
+    }
+
+    #[test]
+    fn machine_config_partitions_the_cache() {
+        let a = JobSpec::parse(r#"{"nx":16,"ny":16}"#).unwrap();
+        let b = JobSpec::parse(
+            r#"{"nx":16,"ny":16,"machine":{"clusters":8,"pes_per_cluster":8,
+                "memory_per_cluster":4194304,"topology":"Crossbar","link_latency":20,
+                "words_per_cycle":1,"max_packet_words":256,"header_words":4,
+                "cost":{"flop":4,"int_op":1,"mem_word":2,"msg_send":60,"msg_dispatch":80,
+                "task_create":120,"context_switch":40},"dedicated_kernel_pe":true,
+                "route_cache":true,"des_queue":"Calendar"}}"#,
+        )
+        .unwrap();
+        assert_ne!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn degenerate_submissions_rejected_at_parse() {
+        assert!(JobSpec::parse("not json").is_err());
+        assert!(JobSpec::parse(r#"{"kind":"plate","nx":1,"ny":16}"#).is_err());
+        assert!(JobSpec::parse(r#"{"kind":"plate","nx":16,"ny":16,"tol":-1.0}"#).is_err());
+        assert!(JobSpec::parse(r#"{"kind":"plate","nx":9999,"ny":16}"#).is_err());
+        assert!(JobSpec::parse(r#"{"kind":"script","ops":[]}"#).is_err());
+        assert!(JobSpec::parse(r#"{"kind":"wat"}"#).is_err());
+        assert!(JobSpec::parse(r#"{"kind":"script","ops":[{"op":"conjure"}]}"#).is_err());
+    }
+
+    #[test]
+    fn clean_plate_job_verifies_and_executes() {
+        let spec = JobSpec::parse(r#"{"nx":12,"ny":12}"#).unwrap();
+        assert!(spec.verify().is_clean());
+        let out = spec.execute();
+        assert_eq!(
+            field(&out.value, "converged").unwrap(),
+            &Value::Bool(true),
+            "{:?}",
+            out.value
+        );
+    }
+
+    #[test]
+    fn script_job_round_trips_ops_and_verifies() {
+        let body = r#"{"kind":"script","name":"ping","ops":[
+            {"op":"initiate","task":"a","cluster":0,"replications":1},
+            {"op":"initiate","task":"b","cluster":1},
+            {"op":"window_open","task":"a","window":"w"},
+            {"op":"window_open","task":"b","window":"w"},
+            {"op":"window_send","from":"a","to":"b","window":"w","words":8},
+            {"op":"window_recv","task":"b","from":"a","window":"w"},
+            {"op":"window_close","task":"a","window":"w"},
+            {"op":"window_close","task":"b","window":"w"},
+            {"op":"terminate","task":"a"},
+            {"op":"terminate","task":"b"}]}"#;
+        let spec = JobSpec::parse(body).unwrap();
+        let report = spec.verify();
+        assert!(report.is_clean(), "{report}");
+        // Ops survive the to_value round trip (the registry stores them).
+        let again = JobSpec::from_value(&spec.to_value()).unwrap();
+        assert_eq!(spec.content_hash(), again.content_hash());
+        let out = spec.execute();
+        assert_eq!(
+            field(&out.value, "status").unwrap(),
+            &Value::Str("CLEAN".into())
+        );
+    }
+
+    #[test]
+    fn deadlocking_script_is_rejected_by_admission() {
+        let body = r#"{"kind":"script","name":"head-to-head","ops":[
+            {"op":"initiate","task":"east"},
+            {"op":"initiate","task":"west"},
+            {"op":"window_open","task":"east","window":"halo"},
+            {"op":"window_open","task":"west","window":"halo"},
+            {"op":"window_send","from":"east","to":"west","window":"halo","words":8},
+            {"op":"window_send","from":"west","to":"east","window":"halo","words":8},
+            {"op":"window_recv","task":"west","from":"east","window":"halo"},
+            {"op":"window_recv","task":"east","from":"west","window":"halo"},
+            {"op":"window_close","task":"east","window":"halo"},
+            {"op":"window_close","task":"west","window":"halo"},
+            {"op":"terminate","task":"east"},
+            {"op":"terminate","task":"west"}]}"#;
+        let spec = JobSpec::parse(body).unwrap();
+        let report = spec.verify();
+        assert!(report.blocks(true), "{report}");
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.pass == "deadlock" && d.message.contains("'east'")));
+    }
+}

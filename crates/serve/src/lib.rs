@@ -1,0 +1,49 @@
+//! fem2-serve: a multi-tenant simulation service over the FEM-2 stack.
+//!
+//! The library behind the `fem2-serve` binary. Submissions are JSON job
+//! specs ([`job::JobSpec`]); every one is:
+//!
+//! 1. **gated** through the fem2-verify static analyzer — scenarios that
+//!    would deadlock or overflow cluster memory are rejected with a 422
+//!    carrying the structured diagnostics, before any cycle is simulated;
+//! 2. **content-hashed** over the fully resolved (scenario, machine,
+//!    seed) document via [`fem2_core::hash`] — identical submissions,
+//!    however spelled, hit the result cache instead of re-simulating;
+//! 3. **scheduled** across a bounded `fem2-par` worker pool — submissions
+//!    past the queue cap are shed with a 503;
+//! 4. **persisted** to an append-only, crash-safe JSONL registry
+//!    ([`registry`]) that survives restarts and feeds the static report
+//!    site ([`report`]).
+//!
+//! The HTTP layer ([`http`]) is a deliberate minimum over
+//! `std::net::TcpListener`: the build is offline, so there is no server
+//! framework to lean on — and none needed for four endpoints.
+
+#![forbid(unsafe_code)]
+
+pub(crate) mod util {
+    //! The vendored `serde_json` signatures return `Result` even where
+    //! serializing an already-built `Value` tree cannot fail; these
+    //! helpers absorb that so call sites stay infallible.
+    use serde::json::Value;
+
+    pub(crate) fn json_compact(v: &Value) -> String {
+        serde_json::to_string(v).unwrap_or_else(|e| format!("{{\"error\":\"serialize: {e}\"}}"))
+    }
+
+    pub(crate) fn json_pretty(v: &Value) -> String {
+        serde_json::to_string_pretty(v)
+            .unwrap_or_else(|e| format!("{{\"error\":\"serialize: {e}\"}}"))
+    }
+}
+
+pub mod client;
+pub mod http;
+pub mod job;
+pub mod registry;
+pub mod report;
+pub mod server;
+
+pub use job::{JobOutcome, JobSpec};
+pub use registry::{BenchRecord, Registry, RunRecord};
+pub use server::{start, ServeOptions, ServerHandle};

@@ -1,0 +1,526 @@
+//! The persistent run registry: an append-only JSONL log plus a derived
+//! index, both under the server's `--data-dir`.
+//!
+//! Layout (schema `fem2-registry/1`, documented in DESIGN.md):
+//!
+//! * `runs.jsonl` — one JSON object per line, append-only, flushed after
+//!   every record. Two record kinds share the log, discriminated by
+//!   `"kind"`: completed job runs (`"plate"` / `"script"`) and ingested
+//!   bench records (`"bench"`).
+//! * `index.json` — a derived summary (counts, hashes, names) rewritten
+//!   via temp-file + rename after every append. Purely a convenience for
+//!   humans and the report generator; the log is the source of truth and
+//!   the index is rebuilt from it on every open.
+//!
+//! Crash safety: a torn final line (power loss mid-append) is detected on
+//! replay and skipped with a warning — every earlier record still loads.
+//! Appends happen under the registry lock, so the log is totally ordered
+//! by the `seq` field.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+use serde::json::Value;
+
+use crate::util::{json_compact, json_pretty};
+
+use crate::job::{JobOutcome, JobSpec};
+
+/// Registry log schema identifier, stamped on every record.
+pub const SCHEMA: &str = "fem2-registry/1";
+
+/// A completed job run, as replayed from the log.
+#[derive(Clone, Debug)]
+pub struct RunRecord {
+    /// Total order of the record in the log.
+    pub seq: u64,
+    /// Content hash of the resolved spec (cache key).
+    pub hash: String,
+    /// Display name at first submission.
+    pub name: String,
+    /// `"plate"` or `"script"`.
+    pub kind: String,
+    /// The resolved spec document.
+    pub spec: Value,
+    /// The outcome document.
+    pub outcome: Value,
+    /// Wall-clock execution time, nanoseconds.
+    pub wall_ns: u64,
+}
+
+/// An ingested bench record (from `fem2-bench --json` output).
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Total order of the record in the log.
+    pub seq: u64,
+    /// Bench record name, e.g. `plate-conduction-32x32`.
+    pub name: String,
+    /// Source commit the suite ran at.
+    pub commit: String,
+    /// Machine-plan content hash from the suite.
+    pub plan_hash: String,
+    /// Flat parameter summary from the suite.
+    pub params: String,
+    /// Median wall time, nanoseconds.
+    pub wall_ns: u64,
+    /// Simulated cycles.
+    pub sim_cycles: u64,
+    /// DES events per wall second.
+    pub events_per_sec: f64,
+}
+
+/// The registry: in-memory replay of the log plus the open append handle.
+pub struct Registry {
+    dir: PathBuf,
+    log: File,
+    runs: Vec<RunRecord>,
+    benches: Vec<BenchRecord>,
+    next_seq: u64,
+}
+
+fn field<'v>(v: &'v Value, name: &str) -> Option<&'v Value> {
+    match v {
+        Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn str_field(v: &Value, name: &str) -> Option<String> {
+    match field(v, name) {
+        Some(Value::Str(s)) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+fn u64_field(v: &Value, name: &str) -> Option<u64> {
+    match field(v, name) {
+        Some(Value::UInt(u)) => Some(*u),
+        Some(Value::Int(i)) if *i >= 0 => Some(*i as u64),
+        _ => None,
+    }
+}
+
+fn f64_field(v: &Value, name: &str) -> Option<f64> {
+    match field(v, name) {
+        Some(Value::Float(f)) => Some(*f),
+        Some(Value::UInt(u)) => Some(*u as f64),
+        Some(Value::Int(i)) => Some(*i as f64),
+        _ => None,
+    }
+}
+
+impl Registry {
+    /// Open (creating if absent) the registry under `dir`, replaying the
+    /// log into memory and rebuilding `index.json`.
+    pub fn open(dir: &Path) -> Result<Registry, String> {
+        fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        let log_path = dir.join("runs.jsonl");
+        let mut runs = Vec::new();
+        let mut benches = Vec::new();
+        let mut next_seq = 0u64;
+        if log_path.exists() {
+            let reader = BufReader::new(
+                File::open(&log_path).map_err(|e| format!("open {}: {e}", log_path.display()))?,
+            );
+            for (lineno, line) in reader.lines().enumerate() {
+                let line = line.map_err(|e| format!("read {}: {e}", log_path.display()))?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let v = match serde_json::parse_value(&line) {
+                    Ok(v) => v,
+                    Err(_) => {
+                        // A torn trailing line from a crash mid-append.
+                        // Everything before it is intact; keep going so a
+                        // crash never bricks the registry.
+                        eprintln!(
+                            "fem2-serve: skipping malformed registry line {} in {}",
+                            lineno + 1,
+                            log_path.display()
+                        );
+                        continue;
+                    }
+                };
+                match str_field(&v, "kind").as_deref() {
+                    Some("bench") => {
+                        let rec = BenchRecord {
+                            seq: u64_field(&v, "seq").unwrap_or(next_seq),
+                            name: str_field(&v, "name").unwrap_or_default(),
+                            commit: str_field(&v, "commit").unwrap_or_default(),
+                            plan_hash: str_field(&v, "plan_hash").unwrap_or_default(),
+                            params: str_field(&v, "params").unwrap_or_default(),
+                            wall_ns: u64_field(&v, "wall_ns").unwrap_or(0),
+                            sim_cycles: u64_field(&v, "sim_cycles").unwrap_or(0),
+                            events_per_sec: f64_field(&v, "events_per_sec").unwrap_or(0.0),
+                        };
+                        next_seq = next_seq.max(rec.seq + 1);
+                        benches.push(rec);
+                    }
+                    Some(kind @ ("plate" | "script")) => {
+                        let (Some(hash), Some(spec), Some(outcome)) = (
+                            str_field(&v, "hash"),
+                            field(&v, "spec").cloned(),
+                            field(&v, "outcome").cloned(),
+                        ) else {
+                            eprintln!(
+                                "fem2-serve: skipping incomplete run record at line {}",
+                                lineno + 1
+                            );
+                            continue;
+                        };
+                        let rec = RunRecord {
+                            seq: u64_field(&v, "seq").unwrap_or(next_seq),
+                            hash,
+                            name: str_field(&v, "name").unwrap_or_default(),
+                            kind: kind.to_string(),
+                            spec,
+                            outcome,
+                            wall_ns: u64_field(&v, "wall_ns").unwrap_or(0),
+                        };
+                        next_seq = next_seq.max(rec.seq + 1);
+                        runs.push(rec);
+                    }
+                    _ => {
+                        eprintln!(
+                            "fem2-serve: skipping unknown registry record at line {}",
+                            lineno + 1
+                        );
+                    }
+                }
+            }
+        }
+        let log = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&log_path)
+            .map_err(|e| format!("append {}: {e}", log_path.display()))?;
+        let reg = Registry {
+            dir: dir.to_path_buf(),
+            log,
+            runs,
+            benches,
+            next_seq,
+        };
+        reg.write_index()?;
+        Ok(reg)
+    }
+
+    /// The registry's data directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The cached run for `hash`, if one was ever recorded.
+    pub fn lookup(&self, hash: &str) -> Option<&RunRecord> {
+        self.runs.iter().find(|r| r.hash == hash)
+    }
+
+    /// All job runs, in log order.
+    pub fn runs(&self) -> &[RunRecord] {
+        &self.runs
+    }
+
+    /// All ingested bench records, in log order.
+    pub fn benches(&self) -> &[BenchRecord] {
+        &self.benches
+    }
+
+    /// Number of job runs recorded.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Number of bench records ingested.
+    pub fn bench_count(&self) -> usize {
+        self.benches.len()
+    }
+
+    /// Record a completed job run: append to the log (flushed before
+    /// returning) and rewrite the index.
+    pub fn record_run(
+        &mut self,
+        spec: &JobSpec,
+        outcome: &JobOutcome,
+        wall_ns: u64,
+    ) -> Result<&RunRecord, String> {
+        let kind = match spec {
+            JobSpec::Plate(_) => "plate",
+            JobSpec::Script(_) => "script",
+        };
+        let rec = RunRecord {
+            seq: self.next_seq,
+            hash: spec.content_hash(),
+            name: spec.name().to_string(),
+            kind: kind.to_string(),
+            spec: spec.to_value(),
+            outcome: outcome.value.clone(),
+            wall_ns,
+        };
+        let doc = Value::Obj(vec![
+            ("schema".into(), Value::Str(SCHEMA.into())),
+            ("kind".into(), Value::Str(rec.kind.clone())),
+            ("seq".into(), Value::UInt(rec.seq)),
+            ("hash".into(), Value::Str(rec.hash.clone())),
+            ("name".into(), Value::Str(rec.name.clone())),
+            ("spec".into(), rec.spec.clone()),
+            ("outcome".into(), rec.outcome.clone()),
+            ("wall_ns".into(), Value::UInt(rec.wall_ns)),
+        ]);
+        self.append_line(&doc)?;
+        self.next_seq += 1;
+        self.runs.push(rec);
+        self.write_index()?;
+        Ok(self.runs.last().expect("just pushed"))
+    }
+
+    /// Ingest one bench record (already parsed from `fem2-bench --json`).
+    pub fn record_bench(&mut self, mut rec: BenchRecord) -> Result<(), String> {
+        rec.seq = self.next_seq;
+        let doc = Value::Obj(vec![
+            ("schema".into(), Value::Str(SCHEMA.into())),
+            ("kind".into(), Value::Str("bench".into())),
+            ("seq".into(), Value::UInt(rec.seq)),
+            ("name".into(), Value::Str(rec.name.clone())),
+            ("commit".into(), Value::Str(rec.commit.clone())),
+            ("plan_hash".into(), Value::Str(rec.plan_hash.clone())),
+            ("params".into(), Value::Str(rec.params.clone())),
+            ("wall_ns".into(), Value::UInt(rec.wall_ns)),
+            ("sim_cycles".into(), Value::UInt(rec.sim_cycles)),
+            ("events_per_sec".into(), Value::Float(rec.events_per_sec)),
+        ]);
+        self.append_line(&doc)?;
+        self.next_seq += 1;
+        self.benches.push(rec);
+        self.write_index()
+    }
+
+    /// Ingest every record of a `fem2-bench --json` suite document.
+    /// Returns the number of records ingested.
+    pub fn ingest_bench_suite(&mut self, doc: &Value) -> Result<usize, String> {
+        let schema = str_field(doc, "schema").unwrap_or_default();
+        if !schema.starts_with("fem2-bench/") {
+            return Err(format!("not a fem2-bench document (schema `{schema}`)"));
+        }
+        let commit = str_field(doc, "commit").unwrap_or_else(|| "unknown".into());
+        let plan_hash = str_field(doc, "plan_hash").unwrap_or_default();
+        let params = str_field(doc, "params").unwrap_or_default();
+        let Some(Value::Arr(records)) = field(doc, "results") else {
+            return Err("bench document has no results array".into());
+        };
+        let mut n = 0;
+        for r in records {
+            let Some(name) = str_field(r, "name") else {
+                continue;
+            };
+            self.record_bench(BenchRecord {
+                seq: 0, // assigned by record_bench
+                name,
+                commit: commit.clone(),
+                plan_hash: plan_hash.clone(),
+                params: params.clone(),
+                wall_ns: u64_field(r, "wall_ns_median")
+                    .or(u64_field(r, "wall_ns"))
+                    .unwrap_or(0),
+                sim_cycles: u64_field(r, "sim_cycles").unwrap_or(0),
+                events_per_sec: f64_field(r, "events_per_sec").unwrap_or(0.0),
+            })?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    fn append_line(&mut self, doc: &Value) -> Result<(), String> {
+        let mut line = json_compact(doc);
+        line.push('\n');
+        self.log
+            .write_all(line.as_bytes())
+            .and_then(|()| self.log.flush())
+            .map_err(|e| format!("append runs.jsonl: {e}"))
+    }
+
+    /// Rewrite `index.json` from the in-memory state, atomically
+    /// (temp file + rename) so readers never see a torn index.
+    fn write_index(&self) -> Result<(), String> {
+        let runs: Vec<Value> = self
+            .runs
+            .iter()
+            .map(|r| {
+                Value::Obj(vec![
+                    ("seq".into(), Value::UInt(r.seq)),
+                    ("hash".into(), Value::Str(r.hash.clone())),
+                    ("name".into(), Value::Str(r.name.clone())),
+                    ("kind".into(), Value::Str(r.kind.clone())),
+                    ("wall_ns".into(), Value::UInt(r.wall_ns)),
+                ])
+            })
+            .collect();
+        let benches: Vec<Value> = self
+            .benches
+            .iter()
+            .map(|b| {
+                Value::Obj(vec![
+                    ("seq".into(), Value::UInt(b.seq)),
+                    ("name".into(), Value::Str(b.name.clone())),
+                    ("commit".into(), Value::Str(b.commit.clone())),
+                    ("events_per_sec".into(), Value::Float(b.events_per_sec)),
+                ])
+            })
+            .collect();
+        let index = Value::Obj(vec![
+            ("schema".into(), Value::Str(SCHEMA.into())),
+            ("run_count".into(), Value::UInt(self.runs.len() as u64)),
+            ("bench_count".into(), Value::UInt(self.benches.len() as u64)),
+            ("runs".into(), Value::Arr(runs)),
+            ("benches".into(), Value::Arr(benches)),
+        ]);
+        let tmp = self.dir.join("index.json.tmp");
+        let final_path = self.dir.join("index.json");
+        let mut text = json_pretty(&index);
+        text.push('\n');
+        fs::write(&tmp, text).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+        fs::rename(&tmp, &final_path).map_err(|e| format!("rename index.json: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "fem2-serve-registry-{tag}-{}-{n}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_spec() -> JobSpec {
+        JobSpec::parse(r#"{"nx":12,"ny":12,"name":"sample"}"#).unwrap()
+    }
+
+    #[test]
+    fn records_persist_across_reopen() {
+        let dir = temp_dir("reopen");
+        let spec = sample_spec();
+        let outcome = spec.execute();
+        {
+            let mut reg = Registry::open(&dir).unwrap();
+            assert_eq!(reg.run_count(), 0);
+            reg.record_run(&spec, &outcome, 1234).unwrap();
+            assert_eq!(reg.run_count(), 1);
+        }
+        let reg = Registry::open(&dir).unwrap();
+        assert_eq!(reg.run_count(), 1);
+        let rec = reg.lookup(&spec.content_hash()).expect("cached run");
+        assert_eq!(rec.name, "sample");
+        assert_eq!(rec.kind, "plate");
+        assert_eq!(rec.wall_ns, 1234);
+        // The replayed spec re-parses to the same hash.
+        let replayed = JobSpec::from_value(&rec.spec).unwrap();
+        assert_eq!(replayed.content_hash(), spec.content_hash());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_trailing_line_is_skipped_not_fatal() {
+        let dir = temp_dir("torn");
+        let spec = sample_spec();
+        let outcome = spec.execute();
+        {
+            let mut reg = Registry::open(&dir).unwrap();
+            reg.record_run(&spec, &outcome, 1).unwrap();
+        }
+        // Simulate a crash mid-append: a half-written JSON line.
+        let log = dir.join("runs.jsonl");
+        let mut f = OpenOptions::new().append(true).open(&log).unwrap();
+        f.write_all(b"{\"schema\":\"fem2-registry/1\",\"kind\":\"plate\",\"se")
+            .unwrap();
+        drop(f);
+        let reg = Registry::open(&dir).unwrap();
+        assert_eq!(reg.run_count(), 1, "intact record survives the tear");
+        assert!(reg.lookup(&spec.content_hash()).is_some());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn seq_is_total_and_monotone_across_kinds() {
+        let dir = temp_dir("seq");
+        let mut reg = Registry::open(&dir).unwrap();
+        let spec = sample_spec();
+        let outcome = spec.execute();
+        reg.record_run(&spec, &outcome, 1).unwrap();
+        reg.record_bench(BenchRecord {
+            seq: 0,
+            name: "b".into(),
+            commit: "c".into(),
+            plan_hash: "p".into(),
+            params: "".into(),
+            wall_ns: 10,
+            sim_cycles: 20,
+            events_per_sec: 1.5,
+        })
+        .unwrap();
+        let spec2 = JobSpec::parse(r#"{"nx":14,"ny":14}"#).unwrap();
+        let outcome2 = spec2.execute();
+        reg.record_run(&spec2, &outcome2, 2).unwrap();
+        assert_eq!(reg.runs()[0].seq, 0);
+        assert_eq!(reg.benches()[0].seq, 1);
+        assert_eq!(reg.runs()[1].seq, 2);
+        // And reopen keeps counting from the max.
+        drop(reg);
+        let mut reg = Registry::open(&dir).unwrap();
+        let spec3 = JobSpec::parse(r#"{"nx":10,"ny":10}"#).unwrap();
+        let outcome3 = spec3.execute();
+        let rec = reg.record_run(&spec3, &outcome3, 3).unwrap();
+        assert_eq!(rec.seq, 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn index_json_reflects_the_log() {
+        let dir = temp_dir("index");
+        let spec = sample_spec();
+        let outcome = spec.execute();
+        let mut reg = Registry::open(&dir).unwrap();
+        reg.record_run(&spec, &outcome, 1).unwrap();
+        let text = fs::read_to_string(dir.join("index.json")).unwrap();
+        let v = serde_json::parse_value(&text).unwrap();
+        assert_eq!(u64_field(&v, "run_count"), Some(1));
+        assert_eq!(u64_field(&v, "bench_count"), Some(0));
+        assert_eq!(str_field(&v, "schema").as_deref(), Some(SCHEMA));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bench_suite_ingest_pulls_registry_fields() {
+        let dir = temp_dir("ingest");
+        let mut reg = Registry::open(&dir).unwrap();
+        let doc = serde_json::parse_value(
+            r#"{"schema":"fem2-bench/3","commit":"abc1234","plan_hash":"deadbeef00000000",
+                "params":"route_cache=on des_queue=Calendar repeat=3 threads=4",
+                "results":[
+                  {"name":"plate-16","wall_ns_median":100,"sim_cycles":200,"events_per_sec":5.0},
+                  {"name":"plate-32","wall_ns_median":400,"sim_cycles":800,"events_per_sec":6.0}
+                ]}"#,
+        )
+        .unwrap();
+        let n = reg.ingest_bench_suite(&doc).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(reg.bench_count(), 2);
+        let b = &reg.benches()[0];
+        assert_eq!(b.commit, "abc1234");
+        assert_eq!(b.plan_hash, "deadbeef00000000");
+        assert!(b.params.contains("des_queue=Calendar"));
+        assert_eq!(b.wall_ns, 100);
+        // Non-bench documents refuse cleanly.
+        let bad = serde_json::parse_value(r#"{"schema":"nope/1"}"#).unwrap();
+        assert!(reg.ingest_bench_suite(&bad).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

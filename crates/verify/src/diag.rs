@@ -6,6 +6,8 @@
 //! concerns. Rendering excerpts the offending line, compiler-style, so a
 //! diagnostic is actionable without re-deriving the scenario by hand.
 
+use serde::json::Value;
+use serde::Serialize;
 use std::fmt;
 
 /// How bad a finding is. Ordered: `Info < Warning < Error`.
@@ -36,6 +38,12 @@ impl fmt::Display for Severity {
     }
 }
 
+impl Serialize for Severity {
+    fn to_value(&self) -> Value {
+        Value::Str(self.name().into())
+    }
+}
+
 /// A source span: a 1-based line of the scenario description.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
 pub struct Span {
@@ -61,6 +69,27 @@ pub struct Diagnostic {
     pub message: String,
     /// Where in the scenario description it points, when it has a location.
     pub span: Option<Span>,
+}
+
+impl Serialize for Diagnostic {
+    /// The machine-readable form shared by the serve layer's HTTP
+    /// rejection bodies and `fem2-report --check --json`: the severity as
+    /// `kind`, the producing pass, the message, and the 1-based source
+    /// line (`null` for findings with no location).
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("kind".into(), self.severity.to_value()),
+            ("pass".into(), Value::Str(self.pass.into())),
+            ("message".into(), Value::Str(self.message.clone())),
+            (
+                "line".into(),
+                match self.span {
+                    Some(s) => Value::UInt(u64::from(s.line)),
+                    None => Value::Null,
+                },
+            ),
+        ])
+    }
 }
 
 /// The outcome of analyzing one subject (a scenario script or a grammar).
@@ -144,21 +173,46 @@ impl Report {
                 }
             }
         }
-        let status = if self.error_count() > 0 {
+        out.push_str(&format!(
+            "{}: {} ({} error(s), {} warning(s))\n",
+            self.subject,
+            self.status(),
+            self.error_count(),
+            self.warning_count()
+        ));
+        out
+    }
+}
+
+impl Report {
+    /// The status word of this report, as rendered and as serialized:
+    /// `REJECTED`, `PASSED WITH WARNINGS`, or `CLEAN`.
+    pub fn status(&self) -> &'static str {
+        if self.error_count() > 0 {
             "REJECTED"
         } else if self.warning_count() > 0 {
             "PASSED WITH WARNINGS"
         } else {
             "CLEAN"
-        };
-        out.push_str(&format!(
-            "{}: {} ({} error(s), {} warning(s))\n",
-            self.subject,
-            status,
-            self.error_count(),
-            self.warning_count()
-        ));
-        out
+        }
+    }
+}
+
+impl Serialize for Report {
+    /// The machine-readable report: subject, status, counts, and every
+    /// diagnostic in [`Diagnostic`]'s JSON form. The scenario source is
+    /// not embedded (it can be large); spans carry the line numbers.
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("subject".into(), Value::Str(self.subject.clone())),
+            ("status".into(), Value::Str(self.status().into())),
+            ("errors".into(), Value::UInt(self.error_count() as u64)),
+            ("warnings".into(), Value::UInt(self.warning_count() as u64)),
+            (
+                "diagnostics".into(),
+                Value::Arr(self.diagnostics.iter().map(Serialize::to_value).collect()),
+            ),
+        ])
     }
 }
 
@@ -213,5 +267,50 @@ mod tests {
         let mut warn = Report::new("b", "");
         warn.push(Severity::Warning, "storage", None, "w");
         assert!(warn.render().contains("PASSED WITH WARNINGS"));
+    }
+
+    #[test]
+    fn diagnostic_json_form_is_kind_pass_message_line() {
+        let mut r = Report::new("demo", "alpha\nbeta");
+        r.push(Severity::Error, "deadlock", Some(Span::line(2)), "cycle");
+        r.push(Severity::Info, "storage", None, "fyi");
+        let json = serde_json::to_string(&r).unwrap();
+        let v: Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v.get_field("subject").unwrap(), &Value::Str("demo".into()));
+        assert_eq!(
+            v.get_field("status").unwrap(),
+            &Value::Str("REJECTED".into())
+        );
+        assert_eq!(v.get_field("errors").unwrap(), &Value::UInt(1));
+        let diags = match v.get_field("diagnostics").unwrap() {
+            Value::Arr(items) => items,
+            other => panic!("diagnostics must be an array, got {other:?}"),
+        };
+        assert_eq!(diags.len(), 2);
+        assert_eq!(
+            diags[0].get_field("kind").unwrap(),
+            &Value::Str("error".into())
+        );
+        assert_eq!(
+            diags[0].get_field("pass").unwrap(),
+            &Value::Str("deadlock".into())
+        );
+        assert_eq!(
+            diags[0].get_field("message").unwrap(),
+            &Value::Str("cycle".into())
+        );
+        assert_eq!(diags[0].get_field("line").unwrap(), &Value::UInt(2));
+        assert_eq!(diags[1].get_field("line").unwrap(), &Value::Null);
+    }
+
+    #[test]
+    fn status_word_matches_render() {
+        let mut r = Report::new("s", "");
+        assert_eq!(r.status(), "CLEAN");
+        r.push(Severity::Warning, "storage", None, "w");
+        assert_eq!(r.status(), "PASSED WITH WARNINGS");
+        r.push(Severity::Error, "protocol", None, "e");
+        assert_eq!(r.status(), "REJECTED");
+        assert!(r.render().contains(r.status()));
     }
 }

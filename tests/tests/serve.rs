@@ -1,0 +1,269 @@
+//! End-to-end tests for the fem2-serve service: a real server on an
+//! ephemeral port, driven over HTTP through the thin client.
+//!
+//! These are the acceptance paths from the serve design:
+//!
+//! * submit → poll → result, with the outcome matching a direct
+//!   simulation of the same scenario;
+//! * an identical re-submission (different JSON field order) is a cache
+//!   hit — proven by the run counter staying at one simulation AND the
+//!   registry holding exactly one record;
+//! * a known-deadlocking script is rejected at admission with a 4xx
+//!   carrying the structured verify diagnostics;
+//! * the registry survives a server restart, turning the first
+//!   submission of the next lifetime into a cache hit.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use fem2_serve::client;
+use fem2_serve::{start, JobSpec, Registry, ServeOptions};
+use serde_json::Value;
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("fem2-serve-e2e-{tag}-{}-{n}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn get_u64(v: &Value, field: &str) -> u64 {
+    match v.get_field(field) {
+        Ok(Value::UInt(u)) => *u,
+        other => panic!("field {field}: {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: submit a scenario over HTTP, poll to completion, fetch the
+// result; then re-submit the identical job and prove nothing re-simulated.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn submit_poll_result_then_cached_resubmission() {
+    let dir = temp_dir("cache");
+    let handle = start(&ServeOptions::new(dir.clone())).expect("server starts");
+    let addr = handle.addr();
+
+    // Submit with spelled-out defaults...
+    let body = r#"{"kind":"plate","nx":16,"ny":16,"seed":0,"tol":1e-6,"max_iters":5000}"#;
+    let (status, resp) = client::request(addr, "POST", "/jobs", Some(body)).expect("submit");
+    assert_eq!(status, 201, "{resp}");
+    let v = serde_json::parse_value(&resp).expect("submit response is JSON");
+    let id = get_u64(&v, "id");
+
+    let outcome = client::wait_done(addr, id).expect("job completes");
+    assert_eq!(
+        outcome.get_field("converged").ok(),
+        Some(&Value::Bool(true))
+    );
+    // The served outcome matches a direct simulation of the same spec.
+    let spec = JobSpec::parse(body).expect("spec parses");
+    assert_eq!(outcome, spec.execute().value, "served result == direct run");
+
+    // ...and re-submit minimally, fields permuted: same resolved job.
+    let (status, resp) =
+        client::request(addr, "POST", "/jobs", Some(r#"{"ny":16,"nx":16}"#)).expect("resubmit");
+    assert_eq!(status, 200, "cache hit answers 200, not 201: {resp}");
+    let v = serde_json::parse_value(&resp).expect("JSON");
+    assert_eq!(
+        v.get_field("cached").ok(),
+        Some(&Value::Bool(true)),
+        "{resp}"
+    );
+
+    // Proof the second submission never simulated: the run counter still
+    // says one, and the registry holds exactly one record.
+    let (_, stats) = client::request(addr, "GET", "/stats", None).expect("stats");
+    let sv = serde_json::parse_value(&stats).expect("stats JSON");
+    assert_eq!(get_u64(&sv, "sims_run"), 1, "{stats}");
+    assert_eq!(get_u64(&sv, "cache_hits"), 1, "{stats}");
+    assert_eq!(get_u64(&sv, "registry_runs"), 1, "{stats}");
+
+    handle.stop();
+    // Registry on disk agrees: one record, keyed by the content hash.
+    let reg = Registry::open(&dir).expect("registry reopens");
+    assert_eq!(reg.run_count(), 1);
+    assert!(reg.lookup(&spec.content_hash()).is_some());
+    fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: a known-deadlocking script is refused at admission with the
+// structured diagnostics, before any worker sees it.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn deadlocking_script_rejected_with_structured_diagnostics() {
+    let dir = temp_dir("deadlock");
+    let handle = start(&ServeOptions::new(dir.clone())).expect("server starts");
+    let addr = handle.addr();
+
+    // Head-to-head rendezvous: both tasks send before either receives.
+    let body = r#"{"kind":"script","name":"head-to-head","ops":[
+        {"op":"initiate","task":"east"},
+        {"op":"initiate","task":"west"},
+        {"op":"window_open","task":"east","window":"halo"},
+        {"op":"window_open","task":"west","window":"halo"},
+        {"op":"window_send","from":"east","to":"west","window":"halo","words":8},
+        {"op":"window_send","from":"west","to":"east","window":"halo","words":8},
+        {"op":"window_recv","task":"west","from":"east","window":"halo"},
+        {"op":"window_recv","task":"east","from":"west","window":"halo"},
+        {"op":"window_close","task":"east","window":"halo"},
+        {"op":"window_close","task":"west","window":"halo"},
+        {"op":"terminate","task":"east"},
+        {"op":"terminate","task":"west"}]}"#;
+    let (status, resp) = client::request(addr, "POST", "/jobs", Some(body)).expect("submit");
+    assert_eq!(status, 422, "{resp}");
+    let v = serde_json::parse_value(&resp).expect("422 body is structured JSON");
+    assert_eq!(
+        v.get_field("status").ok(),
+        Some(&Value::Str("REJECTED".into())),
+        "{resp}"
+    );
+    // The diagnostics array carries the deadlock finding in its JSON form
+    // (kind / pass / message / line), naming the tasks.
+    let Ok(Value::Arr(diags)) = v.get_field("diagnostics") else {
+        panic!("diagnostics array: {resp}");
+    };
+    let deadlock = diags
+        .iter()
+        .find(|d| d.get_field("pass").ok() == Some(&Value::Str("deadlock".into())))
+        .unwrap_or_else(|| panic!("no deadlock diagnostic: {resp}"));
+    match deadlock.get_field("message") {
+        Ok(Value::Str(m)) => {
+            assert!(m.contains("'east'") && m.contains("'west'"), "{m}");
+        }
+        other => panic!("message field: {other:?}"),
+    }
+
+    // Rejected work never reached the scheduler or the registry.
+    let (_, stats) = client::request(addr, "GET", "/stats", None).expect("stats");
+    let sv = serde_json::parse_value(&stats).expect("stats JSON");
+    assert_eq!(get_u64(&sv, "sims_run"), 0, "{stats}");
+    assert_eq!(get_u64(&sv, "registry_runs"), 0, "{stats}");
+    handle.stop();
+    fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------------
+// The registry is the cache: a restarted server serves yesterday's runs.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn restarted_server_answers_from_persisted_registry() {
+    let dir = temp_dir("restart");
+    let body = r#"{"nx":14,"ny":14}"#;
+    {
+        let handle = start(&ServeOptions::new(dir.clone())).expect("first lifetime");
+        let addr = handle.addr();
+        let (status, resp) = client::request(addr, "POST", "/jobs", Some(body)).expect("submit");
+        assert_eq!(status, 201, "{resp}");
+        let v = serde_json::parse_value(&resp).expect("JSON");
+        client::wait_done(addr, get_u64(&v, "id")).expect("completes");
+        handle.stop();
+    }
+    let handle = start(&ServeOptions::new(dir.clone())).expect("second lifetime");
+    let addr = handle.addr();
+    let (status, resp) = client::request(addr, "POST", "/jobs", Some(body)).expect("resubmit");
+    assert_eq!(status, 200, "{resp}");
+    assert!(resp.contains("\"cached\":true"), "{resp}");
+    let (_, stats) = client::request(addr, "GET", "/stats", None).expect("stats");
+    let sv = serde_json::parse_value(&stats).expect("stats JSON");
+    assert_eq!(get_u64(&sv, "sims_run"), 0, "no simulation this lifetime");
+    handle.stop();
+    fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate submissions and routing.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn malformed_and_unknown_requests_get_clean_errors() {
+    let dir = temp_dir("errors");
+    let handle = start(&ServeOptions::new(dir.clone())).expect("server starts");
+    let addr = handle.addr();
+    let (status, resp) = client::request(addr, "POST", "/jobs", Some("{oops")).expect("send");
+    assert_eq!(status, 400, "{resp}");
+    assert!(resp.contains("invalid JSON"), "{resp}");
+    let (status, _) = client::request(addr, "GET", "/jobs/424242", None).expect("send");
+    assert_eq!(status, 404);
+    let (status, resp) = client::request(addr, "GET", "/jobs/424242/result", None).expect("send");
+    assert_eq!(status, 404, "{resp}");
+    let (status, _) = client::request(addr, "PUT", "/jobs", Some("{}")).expect("send");
+    assert_eq!(status, 405);
+    let (status, resp) = client::request(addr, "GET", "/healthz", None).expect("send");
+    assert_eq!(status, 200);
+    assert_eq!(resp, "{\"ok\":true}");
+    handle.stop();
+    fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------------
+// The generated report site reflects what the server ran.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn report_site_covers_server_runs() {
+    let dir = temp_dir("report");
+    let out = temp_dir("report-site");
+    let body = r#"{"nx":12,"ny":12,"name":"e2e plate"}"#;
+    {
+        let handle = start(&ServeOptions::new(dir.clone())).expect("server starts");
+        let addr = handle.addr();
+        let (_, resp) = client::request(addr, "POST", "/jobs", Some(body)).expect("submit");
+        let v = serde_json::parse_value(&resp).expect("JSON");
+        client::wait_done(addr, get_u64(&v, "id")).expect("completes");
+        handle.stop();
+    }
+    let pages = fem2_serve::report::generate(&dir, &out).expect("report generates");
+    assert_eq!(pages, 3);
+    let spec = JobSpec::parse(body).expect("spec");
+    let page = fs::read_to_string(out.join("runs").join(format!("{}.md", spec.content_hash())))
+        .expect("run page exists");
+    assert!(page.contains("- name: e2e plate"), "{page}");
+    assert!(page.contains("- converged: true"), "{page}");
+    let index = fs::read_to_string(out.join("index.md")).expect("index");
+    assert!(index.contains("e2e plate"), "{index}");
+    fs::remove_dir_all(&dir).ok();
+    fs::remove_dir_all(&out).ok();
+}
+
+#[test]
+fn report_page_matches_committed_golden_modulo_wall_time() {
+    // The CI smoke job submits {"nx":12,"ny":12} over HTTP and diffs the
+    // generated run page against this golden with `- wall time:` lines
+    // stripped; this test pins the same contract without the HTTP hop.
+    let golden = include_str!("../golden/serve_report_page.md");
+    let dir = temp_dir("golden");
+    let out = temp_dir("golden-site");
+    let spec = JobSpec::parse(r#"{"nx":12,"ny":12}"#).expect("spec");
+    let outcome = spec.execute();
+    {
+        let mut reg = Registry::open(&dir).expect("registry opens");
+        reg.record_run(&spec, &outcome, 0).expect("records");
+    }
+    fem2_serve::report::generate(&dir, &out).expect("report generates");
+    let page = fs::read_to_string(out.join("runs").join(format!("{}.md", spec.content_hash())))
+        .expect("run page exists");
+    let strip = |text: &str| {
+        text.lines()
+            .filter(|l| !l.starts_with("- wall time:"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        strip(&page),
+        strip(golden),
+        "serve report page drifted from tests/golden/serve_report_page.md; \
+         regenerate by running the server, submitting {{\"nx\":12,\"ny\":12}}, and \
+         copying the generated runs/{}.md",
+        spec.content_hash()
+    );
+    fs::remove_dir_all(&dir).ok();
+    fs::remove_dir_all(&out).ok();
+}

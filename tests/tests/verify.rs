@@ -284,6 +284,24 @@ fn check_catalog_matches_committed_golden_file() {
 }
 
 #[test]
+fn check_catalog_json_matches_committed_golden_file() {
+    let golden = include_str!("../golden/verify_check.json");
+    let rendered = fem2_core::verify::catalog_json(&check_catalog());
+    assert_eq!(
+        rendered, golden,
+        "fem2-report --check --json output drifted from tests/golden/verify_check.json; \
+         regenerate with: cargo run --release -p fem2-bench --bin fem2-report -- --check --json"
+    );
+    // And the golden document is well-formed JSON with one subject per
+    // catalog entry.
+    let v: serde_json::Value = serde_json::from_str(golden).expect("golden is valid JSON");
+    match v.get_field("subjects").expect("subjects field") {
+        serde_json::Value::Arr(items) => assert_eq!(items.len(), 4 + 7),
+        other => panic!("subjects must be an array, got {other:?}"),
+    }
+}
+
+#[test]
 fn check_catalog_is_deterministic_across_runs() {
     let a = render_catalog(&check_catalog());
     let b = render_catalog(&check_catalog());
