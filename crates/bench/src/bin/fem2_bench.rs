@@ -6,6 +6,8 @@
 //! fem2-bench --no-route-cache         # ablation: reference recompute routing
 //! fem2-bench --des-queue heap         # ablation: reference binary-heap DES queue
 //! fem2-bench --repeat 5               # best + median wall times over 5 runs
+//! fem2-bench --budget-cycles 20000    # cap E1 plate runs; overruns record "aborted"
+//! fem2-bench --budget-events 100000   # same, capped on DES events
 //! fem2-bench                          # run the suite, print the table only
 //! ```
 //!
@@ -19,7 +21,8 @@ use fem2_core::machine::DesQueue;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: fem2-bench [--json <path>] [--validate <path>] \
-[--no-route-cache] [--des-queue calendar|heap] [--repeat <n>]";
+[--no-route-cache] [--des-queue calendar|heap] [--repeat <n>] \
+[--budget-cycles <n>] [--budget-events <n>]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -60,6 +63,26 @@ fn main() -> ExitCode {
                         return ExitCode::FAILURE;
                     }
                 };
+                i += 2;
+            }
+            "--budget-cycles" | "--budget-events" => {
+                let flag = args[i].clone();
+                let Some(n) = args.get(i + 1) else {
+                    eprintln!("{flag} requires a count\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                let parsed = match n.parse::<u64>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("{flag} must be a positive integer, got {n:?}\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                if flag == "--budget-cycles" {
+                    opts.budget_cycles = Some(parsed);
+                } else {
+                    opts.budget_events = Some(parsed);
+                }
                 i += 2;
             }
             "--json" => {

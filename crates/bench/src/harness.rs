@@ -30,7 +30,7 @@ use crate::experiments as ex;
 use crate::sweep::par_sweep;
 use fem2_core::fem::solver::{self, IterControls};
 use fem2_core::machine::fault::FaultPlan;
-use fem2_core::machine::{DesQueue, MachineConfig, Network, Topology};
+use fem2_core::machine::{DesQueue, MachineConfig, Network, RunBudget, Topology};
 use fem2_core::scenario::PlateScenario;
 use fem2_par::Pool;
 use fem2_trace::TraceHandle;
@@ -38,10 +38,12 @@ use serde_json::Value;
 use std::time::Instant;
 
 /// Schema identifier written into the JSON document.
-pub const SCHEMA: &str = "fem2-bench/3";
-/// The previous schema (no `commit`, `plan_hash`, or `params` provenance
-/// fields); still accepted by [`validate_json`] so stored baselines keep
-/// validating.
+pub const SCHEMA: &str = "fem2-bench/4";
+/// The previous schema (no per-record `run_status`); still accepted by
+/// [`validate_json`] so stored baselines keep validating.
+pub const SCHEMA_V3: &str = "fem2-bench/3";
+/// Two revisions back (additionally no `commit`, `plan_hash`, or `params`
+/// provenance fields); also still accepted.
 pub const SCHEMA_V2: &str = "fem2-bench/2";
 /// The original schema (additionally lacks `repeat` and
 /// `wall_ns_median`); also still accepted.
@@ -63,6 +65,12 @@ pub struct BenchOptions {
     /// Times the whole mix runs; per record, `wall_ns` is the best and
     /// `wall_ns_median` the median across runs.
     pub repeat: u32,
+    /// Simulated-cycle budget applied to the E1 plate runs
+    /// (`--budget-cycles N`): a run past the budget ends as a
+    /// deterministic abort recorded with `run_status: "aborted"`.
+    pub budget_cycles: Option<u64>,
+    /// DES-event budget for the E1 plate runs (`--budget-events N`).
+    pub budget_events: Option<u64>,
 }
 
 impl Default for BenchOptions {
@@ -71,6 +79,20 @@ impl Default for BenchOptions {
             route_cache: true,
             des_queue: DesQueue::Calendar,
             repeat: 1,
+            budget_cycles: None,
+            budget_events: None,
+        }
+    }
+}
+
+impl BenchOptions {
+    /// The [`RunBudget`] the E1 plate scenarios run under; unlimited when
+    /// no override is set.
+    fn budget(&self) -> RunBudget {
+        RunBudget {
+            max_sim_cycles: self.budget_cycles,
+            max_des_events: self.budget_events,
+            ..RunBudget::unlimited()
         }
     }
 }
@@ -93,6 +115,9 @@ pub struct BenchRecord {
     pub events_per_sec: u64,
     /// Peak DES queue depth observed (0 when untraced).
     pub peak_queue_depth: u64,
+    /// How the record's run ended: `"ok"`, or `"aborted"` when a budget
+    /// override cut it short (schema v4).
+    pub run_status: String,
 }
 
 impl BenchRecord {
@@ -105,6 +130,7 @@ impl BenchRecord {
             events: 0,
             events_per_sec: 0,
             peak_queue_depth: 0,
+            run_status: "ok".into(),
         }
     }
 
@@ -120,6 +146,7 @@ impl BenchRecord {
                 "peak_queue_depth".into(),
                 Value::UInt(self.peak_queue_depth),
             ),
+            ("run_status".into(), Value::Str(self.run_status.clone())),
         ])
     }
 }
@@ -205,16 +232,26 @@ fn e1_config(opts: BenchOptions) -> MachineConfig {
 /// across the pool (each cell is its own scenario); one traced 48×48 run
 /// supplies event throughput and queue depth.
 fn e1_records(records: &mut Vec<BenchRecord>, opts: BenchOptions, pool: &Pool) {
+    // Under a budget override a plate run may end as a deterministic
+    // abort: the record then carries the cycles reached and says so.
+    let budgeted = |scenario: &PlateScenario| match scenario.run_budgeted() {
+        Ok(report) => (report.elapsed, "ok"),
+        Err(abort) => (abort.sim_cycles, "aborted"),
+    };
     let sized = par_sweep(pool, vec![8usize, 16, 32, 48], |n| {
-        let scenario = PlateScenario::square(n, e1_config(opts));
-        let (wall, report) = wall_of(|| scenario.run_unchecked());
-        BenchRecord::untraced(format!("e1_plate_{n}"), wall, report.elapsed)
+        let scenario = PlateScenario::square(n, e1_config(opts)).with_budget(opts.budget());
+        let (wall, (cycles, status)) = wall_of(|| budgeted(&scenario));
+        let mut r = BenchRecord::untraced(format!("e1_plate_{n}"), wall, cycles);
+        r.run_status = status.into();
+        r
     });
     records.extend(sized);
     // The traced run: same workload, plus observation.
     let (handle, rec) = TraceHandle::ring(TRACE_RING);
-    let scenario = PlateScenario::square(48, e1_config(opts)).with_trace(handle);
-    let (wall, report) = wall_of(|| scenario.run_unchecked());
+    let scenario = PlateScenario::square(48, e1_config(opts))
+        .with_trace(handle)
+        .with_budget(opts.budget());
+    let (wall, (cycles, status)) = wall_of(|| budgeted(&scenario));
     let rec = rec.lock().unwrap_or_else(|e| e.into_inner());
     let events = rec.metrics().total_events();
     let secs = (wall as f64 / 1e9).max(1e-9);
@@ -222,10 +259,11 @@ fn e1_records(records: &mut Vec<BenchRecord>, opts: BenchOptions, pool: &Pool) {
         name: "e1_plate_48_traced".into(),
         wall_ns: wall,
         wall_ns_median: wall,
-        sim_cycles: report.elapsed,
+        sim_cycles: cycles,
         events,
         events_per_sec: (events as f64 / secs) as u64,
         peak_queue_depth: rec.metrics().peak_queue_depth(),
+        run_status: status.into(),
     });
 }
 
@@ -306,6 +344,7 @@ fn e7_record(opts: BenchOptions) -> BenchRecord {
         events,
         events_per_sec: (events as f64 / secs) as u64,
         peak_queue_depth: rec.metrics().peak_queue_depth(),
+        run_status: "ok".into(),
     }
 }
 
@@ -406,7 +445,7 @@ pub fn run_suite_opts(opts: BenchOptions) -> BenchSuite {
         machine.push_str(" [des queue heap]");
     }
     let plan = e1_config(opts);
-    let params = format!(
+    let mut params = format!(
         "route_cache={} des_queue={} repeat={} threads={}",
         if opts.route_cache { "on" } else { "off" },
         match opts.des_queue {
@@ -416,6 +455,12 @@ pub fn run_suite_opts(opts: BenchOptions) -> BenchSuite {
         repeat,
         pool.threads(),
     );
+    if let Some(c) = opts.budget_cycles {
+        params.push_str(&format!(" budget_cycles={c}"));
+    }
+    if let Some(e) = opts.budget_events {
+        params.push_str(&format!(" budget_events={e}"));
+    }
     BenchSuite {
         machine,
         commit: commit_id(),
@@ -427,7 +472,7 @@ pub fn run_suite_opts(opts: BenchOptions) -> BenchSuite {
 }
 
 impl BenchSuite {
-    /// Serialize as the `fem2-bench/3` JSON document.
+    /// Serialize as the `fem2-bench/4` JSON document.
     pub fn to_json(&self) -> String {
         let doc = Value::Obj(vec![
             ("schema".into(), Value::Str(SCHEMA.into())),
@@ -476,7 +521,8 @@ impl BenchSuite {
 }
 
 /// Validate a `BENCH_fem2.json` document. Accepts the current
-/// `fem2-bench/3` schema plus the previous two: `fem2-bench/2` lacks the
+/// `fem2-bench/4` schema plus the previous three: `fem2-bench/3` lacks
+/// the per-record `run_status`, `fem2-bench/2` additionally lacks the
 /// `commit`/`plan_hash`/`params` provenance fields, and `fem2-bench/1`
 /// additionally lacks the suite `repeat` and per-record `wall_ns_median`.
 /// Returns the number of validated records.
@@ -484,12 +530,14 @@ pub fn validate_json(text: &str) -> Result<usize, String> {
     let doc: Value = serde_json::from_str(text).map_err(|e| format!("not JSON: {e}"))?;
     let schema = doc.get_field("schema").map_err(|e| e.to_string())?;
     let version = match schema {
-        Value::Str(s) if s == SCHEMA => 3,
+        Value::Str(s) if s == SCHEMA => 4,
+        Value::Str(s) if s == SCHEMA_V3 => 3,
         Value::Str(s) if s == SCHEMA_V2 => 2,
         Value::Str(s) if s == SCHEMA_V1 => 1,
         other => {
             return Err(format!(
-                "schema must be \"{SCHEMA}\", \"{SCHEMA_V2}\", or \"{SCHEMA_V1}\", found {other:?}"
+                "schema must be one of \"{SCHEMA}\", \"{SCHEMA_V3}\", \"{SCHEMA_V2}\", \
+                 or \"{SCHEMA_V1}\", found {other:?}"
             ))
         }
     };
@@ -558,6 +606,20 @@ pub fn validate_json(text: &str) -> Result<usize, String> {
                 }
             }
         }
+        if version >= 4 {
+            match rec
+                .get_field("run_status")
+                .map_err(|e| format!("record {i}: {e}"))?
+            {
+                Value::Str(s) if matches!(s.as_str(), "ok" | "failed" | "aborted") => {}
+                other => {
+                    return Err(format!(
+                        "record {i}: run_status must be \"ok\", \"failed\", or \"aborted\", \
+                         found {other:?}"
+                    ))
+                }
+            }
+        }
     }
     Ok(results.len())
 }
@@ -585,6 +647,7 @@ mod tests {
                     events: 10,
                     events_per_sec: 5_000_000,
                     peak_queue_depth: 3,
+                    run_status: "ok".into(),
                 },
             ],
         }
@@ -611,11 +674,67 @@ mod tests {
                   "events_per_sec":0,"peak_queue_depth":0}}]}}"#
         );
         assert_eq!(validate_json(&v2), Ok(1));
+        // v3: full provenance, no per-record run_status.
+        let v3 = format!(
+            r#"{{"schema":"{SCHEMA_V3}","machine":"m","commit":"c","plan_hash":"p",
+                "params":"x","repeat":1,"results":[
+                {{"name":"x","wall_ns":1,"wall_ns_median":1,"sim_cycles":2,"events":0,
+                  "events_per_sec":0,"peak_queue_depth":0}}]}}"#
+        );
+        assert_eq!(validate_json(&v3), Ok(1));
+    }
+
+    #[test]
+    fn v4_requires_run_status() {
+        let head = format!(
+            r#""schema":"{SCHEMA}","machine":"m","commit":"c","plan_hash":"p",
+               "params":"x","repeat":1"#
+        );
+        let record = r#""name":"x","wall_ns":1,"wall_ns_median":1,"sim_cycles":2,
+                        "events":0,"events_per_sec":0,"peak_queue_depth":0"#;
+        let missing = format!(r#"{{{head},"results":[{{{record}}}]}}"#);
+        assert!(validate_json(&missing).unwrap_err().contains("run_status"));
+        let bad = format!(r#"{{{head},"results":[{{{record},"run_status":"meh"}}]}}"#);
+        assert!(validate_json(&bad).unwrap_err().contains("run_status"));
+        let aborted = format!(r#"{{{head},"results":[{{{record},"run_status":"aborted"}}]}}"#);
+        assert_eq!(validate_json(&aborted), Ok(1));
+    }
+
+    #[test]
+    fn budgeted_e1_runs_abort_deterministically_into_records() {
+        let pool = Pool::new(2);
+        let opts = BenchOptions {
+            budget_cycles: Some(20_000),
+            ..BenchOptions::default()
+        };
+        let mut a = Vec::new();
+        e1_records(&mut a, opts, &pool);
+        let mut b = Vec::new();
+        e1_records(&mut b, opts, &pool);
+        // The large sizes blow the budget; the abort point is a property
+        // of the workload, so both passes agree exactly.
+        let key = |rs: &[BenchRecord]| {
+            rs.iter()
+                .map(|r| (r.name.clone(), r.sim_cycles, r.run_status.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(key(&a), key(&b));
+        assert!(
+            a.iter().any(|r| r.run_status == "aborted"),
+            "a 20k-cycle budget must cut the 48x48 plate short: {:?}",
+            key(&a)
+        );
+        assert!(
+            a.iter()
+                .all(|r| r.run_status == "aborted" || r.sim_cycles > 0),
+            "completed runs still carry their cycles"
+        );
     }
 
     #[test]
     fn v3_requires_provenance_fields() {
-        // A v3 document with v2's shape (no commit/plan_hash/params) fails.
+        // From v3 on, a document with v2's shape (no
+        // commit/plan_hash/params) fails.
         let bare = format!(
             r#"{{"schema":"{SCHEMA}","machine":"m","repeat":1,"results":[
                 {{"name":"x","wall_ns":1,"wall_ns_median":1,"sim_cycles":2,"events":0,

@@ -11,9 +11,9 @@
 
 use fem2_kernel::WorkProfile;
 use fem2_machine::stats::PhaseCounters;
-use fem2_machine::{Cycles, MachineConfig};
+use fem2_machine::{Cycles, MachineConfig, RunAborted, RunBudget};
 use fem2_navm::{ArrayId, NaVm};
-use fem2_trace::TraceHandle;
+use fem2_trace::{EventKind, TraceEvent, TraceHandle, NO_CLUSTER, NO_PE};
 
 /// Per-element assembly work of a Quad4 plane-stress element (four Gauss
 /// points of `BᵀDB` products plus bookkeeping), as charged on the simulated
@@ -55,7 +55,11 @@ pub fn plate_cg(
     let target = tol * rr.sqrt();
     let mut iters = 0;
     let mut res = rr.sqrt();
-    while iters < max_iters && res > target {
+    // The budget poll makes CG cooperatively abortable at iteration
+    // granularity: on the simulated plane an armed budget stops the loop at
+    // the first iteration boundary past the limit (deterministically for
+    // the cycle budget); unbudgeted and native-plane runs never see it.
+    while iters < max_iters && res > target && vm.budget_exceeded().is_none() {
         vm.stencil5(p, ap, nx, ny);
         let pap = vm.inner(p, ap);
         if pap <= 0.0 {
@@ -95,6 +99,11 @@ pub struct PlateScenario {
     /// Let warning-severity verification findings through the pre-dispatch
     /// gate ([`PlateScenario::run`] still hard-fails on errors).
     pub allow_warnings: bool,
+    /// Run budget enforced by [`run_budgeted`](Self::run_budgeted)
+    /// (unlimited by default). Like `trace`, this is an execution control,
+    /// not part of the scenario's identity: it lives outside the machine
+    /// config so armed budgets never perturb content hashes.
+    pub budget: RunBudget,
 }
 
 impl PlateScenario {
@@ -110,12 +119,19 @@ impl PlateScenario {
             max_iters: 5000,
             trace: TraceHandle::disabled(),
             allow_warnings: false,
+            budget: RunBudget::unlimited(),
         }
     }
 
     /// The same scenario with a trace sink attached.
     pub fn with_trace(mut self, trace: TraceHandle) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// The same scenario with a run budget armed.
+    pub fn with_budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -161,8 +177,28 @@ impl PlateScenario {
 
     /// Run without the pre-dispatch verification gate.
     pub fn run_unchecked(&self) -> ScenarioReport {
+        self.run_supervised(&RunBudget::unlimited())
+            .expect("an unlimited budget never aborts")
+    }
+
+    /// Run under the scenario's armed [`budget`](Self::budget): the same
+    /// execution as [`run_unchecked`](Self::run_unchecked), but a run that
+    /// exceeds a deterministic limit (sim cycles, DES events), blows its
+    /// wall-clock deadline, or is cooperatively cancelled winds down and
+    /// returns a structured [`RunAborted`] instead of a report.
+    ///
+    /// Abort points are checked at phase and solver-iteration granularity,
+    /// so for the deterministic limits the abort (cause and observed
+    /// progress) is itself deterministic: two budgeted runs of the same
+    /// scenario abort identically.
+    pub fn run_budgeted(&self) -> Result<ScenarioReport, RunAborted> {
+        self.run_supervised(&self.budget)
+    }
+
+    fn run_supervised(&self, budget: &RunBudget) -> Result<ScenarioReport, RunAborted> {
         let mut vm = NaVm::simulated(self.machine.clone(), self.tasks);
         vm.set_trace(self.trace.clone());
+        vm.set_budget(budget.clone());
         let elements = (self.nx - 1).max(1) * (self.ny - 1).max(1);
 
         vm.phase("assembly");
@@ -175,10 +211,12 @@ impl PlateScenario {
             })
             .collect();
         vm.pardo(&stmts);
+        self.check_abort(&vm)?;
 
         vm.phase("solve");
         let (iterations, residual, _x) =
             plate_cg(&mut vm, self.nx, self.ny, self.tol, self.max_iters);
+        self.check_abort(&vm)?;
 
         vm.phase("stress");
         let stmts: Vec<_> = vm
@@ -190,6 +228,7 @@ impl PlateScenario {
             })
             .collect();
         vm.pardo(&stmts);
+        self.check_abort(&vm)?;
 
         let machine = vm.machine().expect("simulated plane");
         let stats = &machine.stats;
@@ -204,7 +243,7 @@ impl PlateScenario {
             })
             .collect();
         let total = stats.total();
-        ScenarioReport {
+        Ok(ScenarioReport {
             elapsed: vm.elapsed(),
             iterations,
             residual,
@@ -217,7 +256,25 @@ impl PlateScenario {
             total_flops: total.flops,
             table: stats.table(),
             unknowns: self.nx * self.ny,
+        })
+    }
+
+    /// If the VM's budget has been exceeded, record a [`EventKind::RunAbort`]
+    /// instant in the trace and surface the structured abort.
+    fn check_abort(&self, vm: &NaVm) -> Result<(), RunAborted> {
+        if let Some(abort) = vm.budget_exceeded() {
+            let cause = abort.cause as u8;
+            self.trace.emit(|| {
+                TraceEvent::instant(
+                    vm.elapsed(),
+                    NO_CLUSTER,
+                    NO_PE,
+                    EventKind::RunAbort { cause },
+                )
+            });
+            return Err(abort);
         }
+        Ok(())
     }
 }
 
@@ -369,5 +426,48 @@ mod tests {
         let h = ScenarioReport::header();
         let row = r.row();
         assert_eq!(h.split_whitespace().count(), row.split_whitespace().count());
+    }
+
+    #[test]
+    fn unlimited_budget_matches_run_unchecked() {
+        let scenario = PlateScenario::square(12, MachineConfig::fem2_default());
+        let plain = scenario.run_unchecked();
+        let budgeted = scenario.run_budgeted().expect("unlimited budget");
+        assert_eq!(plain.elapsed, budgeted.elapsed);
+        assert_eq!(plain.iterations, budgeted.iterations);
+        assert_eq!(plain.residual.to_bits(), budgeted.residual.to_bits());
+        assert_eq!(plain.total_flops, budgeted.total_flops);
+    }
+
+    #[test]
+    fn cycle_budget_aborts_deterministically() {
+        let full = PlateScenario::square(16, MachineConfig::fem2_default()).run_unchecked();
+        let limit = full.elapsed / 4;
+        let scenario = PlateScenario::square(16, MachineConfig::fem2_default())
+            .with_budget(RunBudget::max_cycles(limit));
+        let first = scenario.run_budgeted().expect_err("budget must fire");
+        let second = scenario.run_budgeted().expect_err("budget must fire");
+        assert_eq!(first, second, "aborts are bitwise-repeatable");
+        assert_eq!(first.cause, crate::machine::AbortCause::CyclesExceeded);
+        assert!(
+            first.sim_cycles >= limit,
+            "abort observed past the limit: {} vs {}",
+            first.sim_cycles,
+            limit
+        );
+    }
+
+    #[test]
+    fn cancelled_run_surfaces_the_cancel_cause() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let cancel = Arc::new(AtomicBool::new(false));
+        cancel.store(true, Ordering::Relaxed);
+        let mut budget = RunBudget::unlimited();
+        budget.cancel = Some(cancel);
+        let err = PlateScenario::square(12, MachineConfig::fem2_default())
+            .with_budget(budget)
+            .run_budgeted()
+            .expect_err("pre-cancelled run aborts");
+        assert_eq!(err.cause, crate::machine::AbortCause::Cancelled);
     }
 }

@@ -35,6 +35,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod budget;
 pub mod config;
 pub mod fault;
 pub mod memory;
@@ -45,6 +46,7 @@ pub mod stats;
 
 mod machine;
 
+pub use budget::{AbortCause, BudgetMeter, RunAborted, RunBudget};
 pub use config::{CostModel, DesQueue, MachineConfig, Topology};
 pub use machine::{trace_cost_kind, Machine, MachineError};
 pub use memory::ClusterMemory;

@@ -25,6 +25,7 @@
 //! keys, so same-cycle FIFO ties and cross-bucket ordering reproduce the
 //! heap bit for bit — the property the oracle tests check.
 
+use crate::budget::{BudgetMeter, RunAborted};
 use crate::config::DesQueue;
 use crate::Cycles;
 use fem2_trace::{EventKind, TraceEvent, TraceHandle, NO_CLUSTER, NO_PE};
@@ -551,6 +552,25 @@ impl<E> Simulator<E> {
             }
         }
     }
+
+    /// Run until the queue drains or the budget fires, checking the meter
+    /// before every pop. A pending event whose time is past the cycle
+    /// budget aborts *before* dispatch, so the clock never advances beyond
+    /// the budget and the abort point is deterministic for the
+    /// deterministic limits (cycles, events).
+    pub fn run_budgeted<F>(&mut self, meter: &BudgetMeter, mut handler: F) -> Result<(), RunAborted>
+    where
+        F: FnMut(&mut Self, Cycles, E),
+    {
+        loop {
+            let Some(next) = self.queue.next_time() else {
+                return Ok(());
+            };
+            meter.check(next, self.queue.events_processed() + 1)?;
+            let (at, ev) = self.queue.pop().expect("next_time returned Some");
+            handler(self, at, ev);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -830,5 +850,63 @@ mod tests {
             };
             prop_assert_eq!(run(DesQueue::Calendar), run(DesQueue::Heap));
         }
+
+        /// A cycle-budgeted run aborts at the same event, clock, and pop
+        /// count on every repeat and on both backends — the abort point is
+        /// part of the deterministic contract.
+        #[test]
+        fn budgeted_run_aborts_identically(
+            times in proptest::collection::vec(0u64..10_000, 1..80),
+            max_cycles in 0u64..12_000,
+        ) {
+            let run = |kind: DesQueue| {
+                let mut sim = Simulator::with_backend(kind);
+                for (i, &t) in times.iter().enumerate() {
+                    sim.schedule(t, i);
+                }
+                let meter = crate::budget::RunBudget::max_cycles(max_cycles).start();
+                let mut seen = Vec::new();
+                let out = sim.run_budgeted(&meter, |_, at, ev| seen.push((at, ev)));
+                (out, seen, sim.now(), sim.events_processed())
+            };
+            let a = run(DesQueue::Calendar);
+            prop_assert_eq!(&a, &run(DesQueue::Calendar), "repeat run identical");
+            prop_assert_eq!(&a, &run(DesQueue::Heap), "backend-independent");
+            if let Err(abort) = &a.0 {
+                prop_assert_eq!(abort.cause, crate::budget::AbortCause::CyclesExceeded);
+                prop_assert!(a.2 <= max_cycles, "clock never passes the budget");
+            }
+        }
+    }
+
+    #[test]
+    fn budgeted_run_with_unlimited_budget_drains() {
+        let mut sim = Simulator::<u32>::new();
+        sim.schedule(10, 1);
+        sim.schedule(20, 2);
+        let meter = crate::budget::RunBudget::unlimited().start();
+        let mut seen = Vec::new();
+        sim.run_budgeted(&meter, |_, _, ev| seen.push(ev))
+            .expect("unlimited budget cannot abort");
+        assert_eq!(seen, vec![1, 2]);
+    }
+
+    #[test]
+    fn event_budget_bounds_the_pop_count() {
+        let mut sim = Simulator::<u32>::new();
+        for i in 0..10 {
+            sim.schedule(u64::from(i), i);
+        }
+        let budget = crate::budget::RunBudget {
+            max_des_events: Some(4),
+            ..Default::default()
+        };
+        let mut seen = 0;
+        let err = sim
+            .run_budgeted(&budget.start(), |_, _, _| seen += 1)
+            .unwrap_err();
+        assert_eq!(err.cause, crate::budget::AbortCause::EventsExceeded);
+        assert_eq!(seen, 4, "exactly the budgeted pops ran");
+        assert_eq!(sim.events_processed(), 4);
     }
 }

@@ -12,7 +12,9 @@
 use crate::task::{TaskHandle, TaskSet};
 use fem2_kernel::WorkProfile;
 use fem2_machine::fault::{FaultKind, FaultPlan};
-use fem2_machine::{CostClass, Cycles, Machine, MachineConfig, PeId, Words};
+use fem2_machine::{
+    BudgetMeter, CostClass, Cycles, Machine, MachineConfig, PeId, RunAborted, RunBudget, Words,
+};
 use fem2_par::Pool;
 use fem2_trace::{EventKind, MsgKind, TaskStage, TraceEvent, TraceHandle, NO_PE};
 use std::collections::BTreeSet;
@@ -68,6 +70,8 @@ pub(crate) struct SimState {
     /// (distinct from an empty window's `Some(0)`, which still pays the
     /// descriptor round trip). Reset to all-`None` after use.
     pub(crate) window_words_scratch: Vec<Option<u64>>,
+    /// Started run budget, checked as `now` advances. Unlimited by default.
+    pub(crate) budget: BudgetMeter,
 }
 
 impl SimState {
@@ -189,6 +193,12 @@ impl SimState {
         tasks: &TaskSet,
         work: &[(TaskHandle, WorkProfile)],
     ) -> Cycles {
+        // Budget-aborted runs wind down instead of charging further work:
+        // the caller polls `NaVm::budget_exceeded` and stops issuing ops,
+        // but any ops already in flight become no-ops here.
+        if self.budget.exceeded(self.now, 0).is_some() {
+            return self.now;
+        }
         let start = self.now;
         self.apply_faults_through(start);
         let mut barrier = start;
@@ -334,6 +344,7 @@ impl NaVm {
                 retransmits: 0,
                 max_retransmits: 4,
                 window_words_scratch: vec![None; clusters as usize],
+                budget: BudgetMeter::default(),
             })),
             tasks: TaskSet::new(ntasks, clusters),
             arrays: Vec::new(),
@@ -412,6 +423,28 @@ impl NaVm {
     pub fn inject_faults(&mut self, plan: &FaultPlan) {
         if let Plane::Sim(s) = &mut self.plane {
             s.faults = plan.clone();
+        }
+    }
+
+    /// Arm a run budget (simulated plane; no-op on native). The meter's
+    /// wall-clock anchor starts here; limits are checked as simulated time
+    /// advances. Programs should poll [`budget_exceeded`]
+    /// (Self::budget_exceeded) between operations and stop issuing work
+    /// once it fires — operations after that point are charged as no-ops.
+    pub fn set_budget(&mut self, budget: RunBudget) {
+        if let Plane::Sim(s) = &mut self.plane {
+            s.budget = budget.start();
+        }
+    }
+
+    /// Whether the armed budget has fired, and how (simulated plane; always
+    /// `None` on native). Purely a check against the current clock — calling
+    /// it does not advance time, so repeated polls are free and
+    /// deterministic for the cycle/event limits.
+    pub fn budget_exceeded(&self) -> Option<RunAborted> {
+        match &self.plane {
+            Plane::Native { .. } => None,
+            Plane::Sim(s) => s.budget.exceeded(s.now, 0),
         }
     }
 

@@ -17,10 +17,11 @@ use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use fem2_serve::{client, report, Registry, ServeOptions};
+use fem2_serve::{client, report, ChaosPlan, Registry, ServeOptions};
 
 const USAGE: &str = "usage: fem2-serve <serve|report|ingest-bench|submit|status|result|list> ...
-  serve        --data-dir DIR [--port N] [--workers N] [--queue N]
+  serve        --data-dir DIR [--port N] [--workers N] [--queue N] [--chaos PLAN]
+               PLAN is inline JSON ('{...}') or a file path; see chaos docs
   report       --data-dir DIR --out DIR
   ingest-bench --data-dir DIR FILE...
   submit       --addr HOST:PORT [--wait] FILE
@@ -36,6 +37,7 @@ struct Args {
     workers: usize,
     queue: usize,
     wait: bool,
+    chaos: Option<ChaosPlan>,
     positional: Vec<String>,
 }
 
@@ -48,6 +50,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         workers: 2,
         queue: 16,
         wait: false,
+        chaos: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -76,6 +79,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                 let raw = value("--queue")?;
                 out.queue = raw.parse().map_err(|e| format!("--queue {raw}: {e}"))?;
             }
+            "--chaos" => out.chaos = Some(ChaosPlan::load(&value("--chaos")?)?),
             "--wait" => out.wait = true,
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
             other => out.positional.push(other.to_string()),
@@ -103,15 +107,19 @@ fn job_id(a: &Args) -> Result<u64, String> {
 }
 
 fn cmd_serve(a: &Args) -> Result<(), String> {
-    let opts = ServeOptions {
-        data_dir: data_dir(a)?,
-        port: a.port,
-        workers: a.workers,
-        queue_capacity: a.queue,
-    };
+    let mut opts = ServeOptions::new(data_dir(a)?);
+    opts.port = a.port;
+    opts.workers = a.workers;
+    opts.queue_capacity = a.queue;
+    opts.chaos = a.chaos.clone();
     let mut handle = fem2_serve::start(&opts)?;
+    let chaos = if opts.chaos.as_ref().is_some_and(ChaosPlan::is_armed) {
+        ", CHAOS ARMED"
+    } else {
+        ""
+    };
     println!(
-        "fem2-serve listening on http://{} (data-dir {}, {} workers, queue {})",
+        "fem2-serve listening on http://{} (data-dir {}, {} workers, queue {}{chaos})",
         handle.addr(),
         opts.data_dir.display(),
         opts.workers,

@@ -62,6 +62,7 @@ pub fn wait_done(addr: SocketAddr, id: u64) -> Result<Value, String> {
         match v.get_field("status").map_err(|e| e.to_string())? {
             Value::Str(s) if s == "done" => break,
             Value::Str(s) if s == "failed" => return Err(format!("job {id} failed: {body}")),
+            Value::Str(s) if s == "aborted" => return Err(format!("job {id} aborted: {body}")),
             _ => {}
         }
         if Instant::now() > deadline {
@@ -75,4 +76,28 @@ pub fn wait_done(addr: SocketAddr, id: u64) -> Result<Value, String> {
     }
     let v = serde_json::parse_value(&body).map_err(|e| format!("bad result body: {e}"))?;
     v.get_field("outcome").cloned().map_err(|e| e.to_string())
+}
+
+/// Poll `/jobs/<id>` until the job settles (done, failed, or aborted) and
+/// return the terminal status name. Unlike [`wait_done`], a failed or
+/// aborted job is a normal answer here, not an error — the supervision
+/// tests assert on exactly how jobs end.
+pub fn wait_settled(addr: SocketAddr, id: u64) -> Result<String, String> {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, body) = request(addr, "GET", &format!("/jobs/{id}"), None)?;
+        if status != 200 {
+            return Err(format!("GET /jobs/{id} -> {status}: {body}"));
+        }
+        let v = serde_json::parse_value(&body).map_err(|e| format!("bad status body: {e}"))?;
+        if let Value::Str(s) = v.get_field("status").map_err(|e| e.to_string())? {
+            if matches!(s.as_str(), "done" | "failed" | "aborted") {
+                return Ok(s.clone());
+            }
+        }
+        if Instant::now() > deadline {
+            return Err(format!("job {id} did not settle in time"));
+        }
+        thread::sleep(Duration::from_millis(20));
+    }
 }

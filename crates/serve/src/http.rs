@@ -4,20 +4,27 @@
 //! build environment is offline and the API surface is four endpoints.
 //!
 //! Limits are deliberate: request lines and headers are capped, bodies are
-//! capped at [`MAX_BODY`], and sockets carry read timeouts, so one slow or
-//! abusive client cannot pin a connection thread forever.
+//! capped at [`MAX_BODY`], sockets carry per-read timeouts, and the whole
+//! request must arrive within a total deadline ([`REQUEST_DEADLINE`] by
+//! default), so one slow or abusive client cannot pin a connection thread
+//! forever. The per-read timeout alone is not enough: a slowloris client
+//! dripping one byte per timeout window would keep every individual read
+//! "making progress" indefinitely — the total deadline closes that hole.
 
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{self, BufReader, Read, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Largest accepted request body, bytes. Scenario specs are small; a
 /// 10k-op script is well under this.
 pub const MAX_BODY: usize = 1 << 20;
 /// Largest accepted header section, bytes.
 const MAX_HEADER_BYTES: usize = 16 << 10;
-/// Per-socket read/write timeout.
+/// Per-socket read/write timeout (one idle gap, not the whole request).
 pub const IO_TIMEOUT: Duration = Duration::from_secs(10);
+/// Default total per-request deadline: request line + headers + body must
+/// all arrive within this window, however steadily the bytes drip.
+pub const REQUEST_DEADLINE: Duration = Duration::from_secs(30);
 
 /// A parsed request: method, path, body.
 #[derive(Debug)]
@@ -71,9 +78,11 @@ pub fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         409 => "Conflict",
         413 => "Payload Too Large",
+        408 => "Request Timeout",
         422 => "Unprocessable Entity",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
@@ -85,7 +94,10 @@ pub enum ParseError {
     Malformed(String),
     /// Body longer than [`MAX_BODY`].
     TooLarge,
-    /// Socket error / timeout / early close.
+    /// The client idled past a read timeout or dripped bytes past the
+    /// total request deadline (answered with 408).
+    Timeout,
+    /// Socket error / early close.
     Io(io::Error),
 }
 
@@ -95,14 +107,79 @@ impl From<io::Error> for ParseError {
     }
 }
 
-/// Read and parse one request from `stream`. Returns `Ok(None)` on a
-/// clean immediate close (no bytes).
+/// Whether an IO error is a socket read timeout.
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Read and parse one request from `stream` under the default
+/// [`REQUEST_DEADLINE`]. Returns `Ok(None)` on a clean immediate close
+/// (no bytes).
 pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, ParseError> {
-    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    read_request_deadline(stream, REQUEST_DEADLINE)
+}
+
+/// Read and parse one request, requiring the whole request to arrive
+/// within `deadline`. Each individual read also keeps the idle
+/// [`IO_TIMEOUT`]; the socket read timeout is re-armed with the smaller of
+/// the two before every read, so neither a silent client nor a
+/// byte-dripping one can hold the thread past the deadline.
+pub fn read_request_deadline(
+    stream: &mut TcpStream,
+    deadline: Duration,
+) -> Result<Option<Request>, ParseError> {
+    let started = Instant::now();
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
-    let mut reader = BufReader::new(stream);
+    // The reader owns a clone of the socket handle; timeouts set through
+    // either handle apply to the shared underlying socket.
+    let mut reader = BufReader::new(stream.try_clone().map_err(ParseError::Io)?);
+    let arm = |sock: &TcpStream| -> Result<(), ParseError> {
+        let left = deadline
+            .checked_sub(started.elapsed())
+            .filter(|d| !d.is_zero())
+            .ok_or(ParseError::Timeout)?;
+        sock.set_read_timeout(Some(left.min(IO_TIMEOUT)))?;
+        Ok(())
+    };
+    // `BufReader::read_line` loops over as many socket reads as it takes
+    // to find `\n`, with the timeout armed only once — a byte-dripping
+    // client could stretch a single line far past the deadline. Reading
+    // byte-wise out of the buffer re-arms before every underlying read.
+    let read_line = |reader: &mut BufReader<TcpStream>, buf: &mut String| {
+        let mut bytes = Vec::new();
+        loop {
+            arm(reader.get_ref())?;
+            let mut byte = [0u8; 1];
+            let n = reader.read(&mut byte).map_err(|e| {
+                if is_timeout(&e) {
+                    ParseError::Timeout
+                } else {
+                    ParseError::Io(e)
+                }
+            })?;
+            if n == 0 {
+                break;
+            }
+            bytes.push(byte[0]);
+            if byte[0] == b'\n' {
+                break;
+            }
+            if bytes.len() > MAX_HEADER_BYTES {
+                return Err(ParseError::Malformed("header line too long".into()));
+            }
+        }
+        let n = bytes.len();
+        buf.push_str(
+            &String::from_utf8(bytes)
+                .map_err(|_| ParseError::Malformed("header is not UTF-8".into()))?,
+        );
+        Ok(n)
+    };
     let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
+    if read_line(&mut reader, &mut line)? == 0 {
         return Ok(None);
     }
     let mut parts = line.split_whitespace();
@@ -120,7 +197,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, ParseErro
     let mut header_bytes = 0usize;
     loop {
         let mut header = String::new();
-        if reader.read_line(&mut header)? == 0 {
+        if read_line(&mut reader, &mut header)? == 0 {
             return Err(ParseError::Malformed("eof in headers".into()));
         }
         header_bytes += header.len();
@@ -143,8 +220,23 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, ParseErro
     if content_length > MAX_BODY {
         return Err(ParseError::TooLarge);
     }
+    // Body, in chunks so the deadline is re-checked as bytes drip in.
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
+    let mut filled = 0usize;
+    while filled < content_length {
+        arm(reader.get_ref())?;
+        let n = reader.read(&mut body[filled..]).map_err(|e| {
+            if is_timeout(&e) {
+                ParseError::Timeout
+            } else {
+                ParseError::Io(e)
+            }
+        })?;
+        if n == 0 {
+            return Err(ParseError::Malformed("eof in body".into()));
+        }
+        filled += n;
+    }
     let body =
         String::from_utf8(body).map_err(|_| ParseError::Malformed("body is not UTF-8".into()))?;
     Ok(Some(Request { method, path, body }))
@@ -252,8 +344,60 @@ mod tests {
 
     #[test]
     fn reason_phrases_cover_the_emitted_codes() {
-        for code in [200, 201, 400, 404, 405, 409, 413, 422, 500, 503] {
+        for code in [200, 201, 400, 404, 405, 408, 409, 413, 422, 500, 503, 504] {
             assert_ne!(reason(code), "Unknown", "{code}");
         }
+    }
+
+    #[test]
+    fn slow_drip_client_hits_the_total_deadline() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            // Drip a byte at a time, each gap well inside any per-read
+            // timeout, never finishing the request line. Only a *total*
+            // deadline catches this.
+            for b in b"GET /jobs HTTP/1.1\r".iter().cycle().take(200) {
+                if s.write_all(&[*b]).is_err() {
+                    break;
+                }
+                thread::sleep(Duration::from_millis(20));
+            }
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let started = Instant::now();
+        let out = read_request_deadline(&mut stream, Duration::from_millis(300));
+        assert!(
+            matches!(out, Err(ParseError::Timeout)),
+            "expected timeout, got {out:?}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(3),
+            "deadline must bound the wait, waited {:?}",
+            started.elapsed()
+        );
+        drop(stream);
+        client.join().unwrap();
+    }
+
+    #[test]
+    fn silent_client_times_out_instead_of_hanging() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = thread::spawn(move || {
+            let s = TcpStream::connect(addr).unwrap();
+            // Connect and say nothing for longer than the deadline.
+            thread::sleep(Duration::from_millis(600));
+            drop(s);
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let out = read_request_deadline(&mut stream, Duration::from_millis(150));
+        assert!(
+            matches!(out, Err(ParseError::Timeout)),
+            "expected timeout, got {out:?}"
+        );
+        drop(stream);
+        client.join().unwrap();
     }
 }

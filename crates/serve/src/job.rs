@@ -21,15 +21,57 @@
 
 use fem2_core::hash::{content_hash_value, hash_hex};
 use fem2_core::PlateScenario;
-use fem2_machine::MachineConfig;
+use fem2_machine::{MachineConfig, RunAborted, RunBudget};
 use fem2_verify::{check_script, Op, Report, ScenarioScript};
 use serde::json::Value;
 use serde::{Deserialize as _, Serialize as _};
+use std::time::Duration;
 
 /// Default CG relative tolerance for plate jobs.
 const DEFAULT_TOL: f64 = 1e-6;
 /// Default CG iteration cap for plate jobs.
 const DEFAULT_MAX_ITERS: usize = 5000;
+
+/// How a supervised run ended, as persisted per registry record and served
+/// to clients. Absent in registry schema rev 1 records, which replay as
+/// [`RunStatus::Ok`] (rev 1 only ever persisted successful runs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunStatus {
+    /// The job completed and produced its outcome.
+    Ok,
+    /// The job panicked (or infrastructure failed it permanently); the
+    /// record carries the failure message instead of an outcome.
+    Failed,
+    /// The job exceeded its run budget or was cancelled; the record
+    /// carries the structured abort cause.
+    Aborted,
+}
+
+impl RunStatus {
+    /// Stable wire name (`ok` / `failed` / `aborted`).
+    pub fn name(self) -> &'static str {
+        match self {
+            RunStatus::Ok => "ok",
+            RunStatus::Failed => "failed",
+            RunStatus::Aborted => "aborted",
+        }
+    }
+
+    /// Parse a wire name back; `None` for anything unknown.
+    pub fn parse(s: &str) -> Option<RunStatus> {
+        match s {
+            "ok" => Some(RunStatus::Ok),
+            "failed" => Some(RunStatus::Failed),
+            "aborted" => Some(RunStatus::Aborted),
+            _ => None,
+        }
+    }
+
+    /// Whether this record carries a servable outcome.
+    pub fn is_ok(self) -> bool {
+        matches!(self, RunStatus::Ok)
+    }
+}
 
 /// A fully resolved plate-scenario job.
 #[derive(Clone, Debug, PartialEq)]
@@ -54,6 +96,18 @@ pub struct PlateJob {
     pub seed: u64,
     /// Let warning-severity findings through the admission gate.
     pub allow_warnings: bool,
+    /// Abort the simulation once its clock passes this many cycles.
+    /// Deterministic, so it partitions the cache key: a budgeted run and
+    /// an unbudgeted run of the same plate are different jobs.
+    pub budget_cycles: Option<u64>,
+    /// Abort after this many DES events. Deterministic; partitions the
+    /// cache key like [`budget_cycles`](Self::budget_cycles).
+    pub budget_events: Option<u64>,
+    /// Wall-clock deadline in milliseconds. Operational only: it depends
+    /// on host speed, so it is *excluded* from the resolved spec and the
+    /// content hash — two submissions differing only in `wall_ms` are the
+    /// same job.
+    pub budget_wall_ms: Option<u64>,
 }
 
 /// A fully resolved raw-script job (analysis only).
@@ -113,6 +167,47 @@ fn opt_f64(v: &Value, name: &str, default: f64) -> Result<f64, String> {
     match field(v, name) {
         None | Some(Value::Null) => Ok(default),
         Some(f) => f64::from_value(f).map_err(|e| format!("field `{name}`: {e}")),
+    }
+}
+
+fn opt_opt_u64(v: &Value, name: &str) -> Result<Option<u64>, String> {
+    match field(v, name) {
+        None | Some(Value::Null) => Ok(None),
+        Some(f) => u64::from_value(f)
+            .map(Some)
+            .map_err(|e| format!("field `{name}`: {e}")),
+    }
+}
+
+/// The three optional caps of a parsed `budget` object, in declaration
+/// order: `(max_sim_cycles, max_des_events, wall_ms)`.
+type BudgetCaps = (Option<u64>, Option<u64>, Option<u64>);
+
+/// Parse the optional nested `budget` object of a plate submission:
+/// `{"max_sim_cycles":N,"max_des_events":M,"wall_ms":W}`, every field
+/// optional.
+fn opt_budget(v: &Value) -> Result<BudgetCaps, String> {
+    match field(v, "budget") {
+        None | Some(Value::Null) => Ok((None, None, None)),
+        Some(b @ Value::Obj(_)) => {
+            let cycles = opt_opt_u64(b, "max_sim_cycles").map_err(|e| format!("budget: {e}"))?;
+            let events = opt_opt_u64(b, "max_des_events").map_err(|e| format!("budget: {e}"))?;
+            let wall = opt_opt_u64(b, "wall_ms").map_err(|e| format!("budget: {e}"))?;
+            for (name, limit) in [
+                ("max_sim_cycles", cycles),
+                ("max_des_events", events),
+                ("wall_ms", wall),
+            ] {
+                if limit == Some(0) {
+                    return Err(format!("budget: `{name}` must be positive when set"));
+                }
+            }
+            Ok((cycles, events, wall))
+        }
+        Some(other) => Err(format!(
+            "field `budget` must be an object, found {}",
+            other.kind()
+        )),
     }
 }
 
@@ -296,6 +391,7 @@ impl JobSpec {
                 if !(tol.is_finite() && tol > 0.0) {
                     return Err("tol must be a positive finite number".into());
                 }
+                let (budget_cycles, budget_events, budget_wall_ms) = opt_budget(v)?;
                 Ok(JobSpec::Plate(PlateJob {
                     name,
                     nx,
@@ -306,6 +402,9 @@ impl JobSpec {
                     max_iters,
                     seed: opt_u64(v, "seed", 0)?,
                     allow_warnings: opt_bool(v, "allow_warnings", false)?,
+                    budget_cycles,
+                    budget_events,
+                    budget_wall_ms,
                 }))
             }
             "script" => {
@@ -345,18 +444,36 @@ impl JobSpec {
     /// hash covers and the registry stores.
     pub fn to_value(&self) -> Value {
         match self {
-            JobSpec::Plate(p) => Value::Obj(vec![
-                ("kind".into(), Value::Str("plate".into())),
-                ("name".into(), Value::Str(p.name.clone())),
-                ("nx".into(), Value::UInt(p.nx as u64)),
-                ("ny".into(), Value::UInt(p.ny as u64)),
-                ("tasks".into(), Value::UInt(u64::from(p.tasks))),
-                ("machine".into(), p.machine.to_value()),
-                ("tol".into(), Value::Float(p.tol)),
-                ("max_iters".into(), Value::UInt(p.max_iters as u64)),
-                ("seed".into(), Value::UInt(p.seed)),
-                ("allow_warnings".into(), Value::Bool(p.allow_warnings)),
-            ]),
+            JobSpec::Plate(p) => {
+                let mut pairs = vec![
+                    ("kind".into(), Value::Str("plate".into())),
+                    ("name".into(), Value::Str(p.name.clone())),
+                    ("nx".into(), Value::UInt(p.nx as u64)),
+                    ("ny".into(), Value::UInt(p.ny as u64)),
+                    ("tasks".into(), Value::UInt(u64::from(p.tasks))),
+                    ("machine".into(), p.machine.to_value()),
+                    ("tol".into(), Value::Float(p.tol)),
+                    ("max_iters".into(), Value::UInt(p.max_iters as u64)),
+                    ("seed".into(), Value::UInt(p.seed)),
+                    ("allow_warnings".into(), Value::Bool(p.allow_warnings)),
+                ];
+                // Deterministic budget limits are part of the job's
+                // identity, but the key is appended only when one is set so
+                // pre-budget specs (and their content hashes) are
+                // bit-identical to what rev 1 of the registry recorded.
+                // `wall_ms` is operational and never serialized.
+                let mut budget = Vec::new();
+                if let Some(c) = p.budget_cycles {
+                    budget.push(("max_sim_cycles".to_string(), Value::UInt(c)));
+                }
+                if let Some(e) = p.budget_events {
+                    budget.push(("max_des_events".to_string(), Value::UInt(e)));
+                }
+                if !budget.is_empty() {
+                    pairs.push(("budget".into(), Value::Obj(budget)));
+                }
+                Value::Obj(pairs)
+            }
             JobSpec::Script(s) => Value::Obj(vec![
                 ("kind".into(), Value::Str("script".into())),
                 ("name".into(), Value::Str(s.name.clone())),
@@ -413,55 +530,75 @@ impl JobSpec {
         }
     }
 
-    /// Execute the admitted job and produce its outcome. Plate jobs
-    /// simulate (the caller charges this against the run counter); script
-    /// jobs complete with their verification verdict.
+    /// Execute the admitted job and produce its outcome, ignoring any run
+    /// budget. Plate jobs simulate (the caller charges this against the
+    /// run counter); script jobs complete with their verification verdict.
     pub fn execute(&self) -> JobOutcome {
         match self {
-            JobSpec::Plate(p) => {
-                let report = p.scenario().run_unchecked();
-                JobOutcome {
-                    value: Value::Obj(vec![
-                        ("kind".into(), Value::Str("plate".into())),
-                        ("unknowns".into(), Value::UInt(report.unknowns as u64)),
-                        ("iterations".into(), Value::UInt(report.iterations as u64)),
-                        ("residual".into(), Value::Float(report.residual)),
-                        ("converged".into(), Value::Bool(report.converged)),
-                        ("sim_cycles".into(), Value::UInt(report.elapsed)),
-                        ("flops".into(), Value::UInt(report.total_flops)),
-                        ("messages".into(), Value::UInt(report.total_messages)),
-                        ("words_moved".into(), Value::UInt(report.total_words_moved)),
-                        (
-                            "peak_memory_words".into(),
-                            Value::UInt(report.peak_memory_words),
-                        ),
-                        (
-                            "total_memory_words".into(),
-                            Value::UInt(report.total_memory_words),
-                        ),
-                    ]),
-                }
-            }
-            JobSpec::Script(s) => {
-                let report = self.verify();
-                JobOutcome {
-                    value: Value::Obj(vec![
-                        ("kind".into(), Value::Str("script".into())),
-                        ("ops".into(), Value::UInt(s.ops.len() as u64)),
-                        ("status".into(), Value::Str(report.status().into())),
-                        (
-                            "warnings".into(),
-                            Value::UInt(report.warning_count() as u64),
-                        ),
-                    ]),
-                }
-            }
+            JobSpec::Plate(p) => JobOutcome {
+                value: plate_outcome(&p.scenario().run_unchecked()),
+            },
+            JobSpec::Script(_) => self.script_outcome(),
+        }
+    }
+
+    /// Execute under the job's run budget: a plate simulation that exceeds
+    /// its budget winds down and returns the structured [`RunAborted`]
+    /// instead of running away. Script jobs never simulate, so they are
+    /// unaffected by budgets and always complete.
+    pub fn execute_budgeted(&self) -> Result<JobOutcome, RunAborted> {
+        match self {
+            JobSpec::Plate(p) => Ok(JobOutcome {
+                value: plate_outcome(&p.scenario().run_budgeted()?),
+            }),
+            JobSpec::Script(_) => Ok(self.script_outcome()),
+        }
+    }
+
+    fn script_outcome(&self) -> JobOutcome {
+        let JobSpec::Script(s) = self else {
+            unreachable!("script_outcome on a script spec only");
+        };
+        let report = self.verify();
+        JobOutcome {
+            value: Value::Obj(vec![
+                ("kind".into(), Value::Str("script".into())),
+                ("ops".into(), Value::UInt(s.ops.len() as u64)),
+                ("status".into(), Value::Str(report.status().into())),
+                (
+                    "warnings".into(),
+                    Value::UInt(report.warning_count() as u64),
+                ),
+            ]),
         }
     }
 }
 
+/// The outcome document of a completed plate simulation.
+fn plate_outcome(report: &fem2_core::ScenarioReport) -> Value {
+    Value::Obj(vec![
+        ("kind".into(), Value::Str("plate".into())),
+        ("unknowns".into(), Value::UInt(report.unknowns as u64)),
+        ("iterations".into(), Value::UInt(report.iterations as u64)),
+        ("residual".into(), Value::Float(report.residual)),
+        ("converged".into(), Value::Bool(report.converged)),
+        ("sim_cycles".into(), Value::UInt(report.elapsed)),
+        ("flops".into(), Value::UInt(report.total_flops)),
+        ("messages".into(), Value::UInt(report.total_messages)),
+        ("words_moved".into(), Value::UInt(report.total_words_moved)),
+        (
+            "peak_memory_words".into(),
+            Value::UInt(report.peak_memory_words),
+        ),
+        (
+            "total_memory_words".into(),
+            Value::UInt(report.total_memory_words),
+        ),
+    ])
+}
+
 impl PlateJob {
-    /// The scenario this job simulates.
+    /// The scenario this job simulates, with any run budget armed.
     pub fn scenario(&self) -> PlateScenario {
         let mut s = PlateScenario::square(self.nx, self.machine.clone());
         s.ny = self.ny;
@@ -469,7 +606,25 @@ impl PlateJob {
         s.tol = self.tol;
         s.max_iters = self.max_iters;
         s.allow_warnings = self.allow_warnings;
+        s.budget = self.budget();
         s
+    }
+
+    /// The job's run budget (unlimited when no field is set).
+    pub fn budget(&self) -> RunBudget {
+        RunBudget {
+            max_sim_cycles: self.budget_cycles,
+            max_des_events: self.budget_events,
+            wall_limit: self.budget_wall_ms.map(Duration::from_millis),
+            cancel: None,
+        }
+    }
+
+    /// Whether any budget limit is armed.
+    pub fn has_budget(&self) -> bool {
+        self.budget_cycles.is_some()
+            || self.budget_events.is_some()
+            || self.budget_wall_ms.is_some()
     }
 }
 
@@ -581,6 +736,63 @@ mod tests {
             field(&out.value, "status").unwrap(),
             &Value::Str("CLEAN".into())
         );
+    }
+
+    #[test]
+    fn unbudgeted_spec_has_no_budget_key_and_wall_ms_is_hash_neutral() {
+        let plain = JobSpec::parse(r#"{"nx":16,"ny":16}"#).unwrap();
+        assert!(
+            field(&plain.to_value(), "budget").is_none(),
+            "pre-budget specs must serialize unchanged"
+        );
+        // Wall-clock limits are operational, not identity.
+        let walled = JobSpec::parse(r#"{"nx":16,"ny":16,"budget":{"wall_ms":5000}}"#).unwrap();
+        assert_eq!(plain.content_hash(), walled.content_hash());
+        assert!(field(&walled.to_value(), "budget").is_none());
+    }
+
+    #[test]
+    fn deterministic_budget_limits_partition_the_cache_and_round_trip() {
+        let plain = JobSpec::parse(r#"{"nx":16,"ny":16}"#).unwrap();
+        let budgeted =
+            JobSpec::parse(r#"{"nx":16,"ny":16,"budget":{"max_sim_cycles":100000}}"#).unwrap();
+        assert_ne!(plain.content_hash(), budgeted.content_hash());
+        let again = JobSpec::from_value(&budgeted.to_value()).unwrap();
+        assert_eq!(budgeted.content_hash(), again.content_hash());
+        let JobSpec::Plate(p) = &again else {
+            panic!("expected plate job");
+        };
+        assert_eq!(p.budget_cycles, Some(100_000));
+    }
+
+    #[test]
+    fn degenerate_budgets_rejected_at_parse() {
+        assert!(JobSpec::parse(r#"{"nx":16,"ny":16,"budget":{"max_sim_cycles":0}}"#).is_err());
+        assert!(JobSpec::parse(r#"{"nx":16,"ny":16,"budget":7}"#).is_err());
+        assert!(JobSpec::parse(r#"{"nx":16,"ny":16,"budget":{"wall_ms":"soon"}}"#).is_err());
+    }
+
+    #[test]
+    fn budgeted_execute_aborts_runaway_plates() {
+        let spec =
+            JobSpec::parse(r#"{"nx":24,"ny":24,"budget":{"max_sim_cycles":10000}}"#).unwrap();
+        let first = spec.execute_budgeted().expect_err("budget must fire");
+        let second = spec.execute_budgeted().expect_err("budget must fire");
+        assert_eq!(first, second, "aborts repeat identically");
+        assert_eq!(first.cause, fem2_machine::AbortCause::CyclesExceeded);
+        // The same spec without supervision still completes.
+        let unbudgeted = JobSpec::parse(r#"{"nx":24,"ny":24}"#).unwrap();
+        assert!(unbudgeted.execute_budgeted().is_ok());
+    }
+
+    #[test]
+    fn run_status_wire_names_round_trip() {
+        for s in [RunStatus::Ok, RunStatus::Failed, RunStatus::Aborted] {
+            assert_eq!(RunStatus::parse(s.name()), Some(s));
+        }
+        assert_eq!(RunStatus::parse("exploded"), None);
+        assert!(RunStatus::Ok.is_ok());
+        assert!(!RunStatus::Failed.is_ok());
     }
 
     #[test]

@@ -18,6 +18,14 @@
 //! The HTTP layer ([`http`]) is a deliberate minimum over
 //! `std::net::TcpListener`: the build is offline, so there is no server
 //! framework to lean on — and none needed for four endpoints.
+//!
+//! Job execution is **supervised** ([`server`]): panics are isolated with
+//! `catch_unwind` and recorded as failures, run budgets
+//! ([`fem2_machine::RunBudget`], wired through the job spec's `budget`
+//! object) turn runaway simulations into structured aborts, specs whose
+//! latest record failed are quarantined, and a deterministic chaos
+//! harness ([`chaos`]) injects worker panics, stalls, and registry write
+//! errors to prove all of it under test.
 
 #![forbid(unsafe_code)]
 
@@ -37,6 +45,7 @@ pub(crate) mod util {
     }
 }
 
+pub mod chaos;
 pub mod client;
 pub mod http;
 pub mod job;
@@ -44,6 +53,7 @@ pub mod registry;
 pub mod report;
 pub mod server;
 
-pub use job::{JobOutcome, JobSpec};
+pub use chaos::{ChaosPlan, ChaosState};
+pub use job::{JobOutcome, JobSpec, RunStatus};
 pub use registry::{BenchRecord, Registry, RunRecord};
 pub use server::{start, ServeOptions, ServerHandle};

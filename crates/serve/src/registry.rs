@@ -1,21 +1,28 @@
 //! The persistent run registry: an append-only JSONL log plus a derived
 //! index, both under the server's `--data-dir`.
 //!
-//! Layout (schema `fem2-registry/1`, documented in DESIGN.md):
+//! Layout (schema `fem2-registry/2`, documented in DESIGN.md):
 //!
 //! * `runs.jsonl` — one JSON object per line, append-only, flushed after
 //!   every record. Two record kinds share the log, discriminated by
 //!   `"kind"`: completed job runs (`"plate"` / `"script"`) and ingested
 //!   bench records (`"bench"`).
-//! * `index.json` — a derived summary (counts, hashes, names) rewritten
-//!   via temp-file + rename after every append. Purely a convenience for
-//!   humans and the report generator; the log is the source of truth and
-//!   the index is rebuilt from it on every open.
+//! * `index.json` — a derived summary (counts, hashes, names, statuses)
+//!   rewritten via temp-file + rename after every append. Purely a
+//!   convenience for humans and the report generator; the log is the
+//!   source of truth and the index is rebuilt from it on every open.
 //!
-//! Crash safety: a torn final line (power loss mid-append) is detected on
-//! replay and skipped with a warning — every earlier record still loads.
-//! Appends happen under the registry lock, so the log is totally ordered
-//! by the `seq` field.
+//! Schema rev 2 adds a `status` field (`ok` / `failed` / `aborted`) and an
+//! optional `error` message to run records: the registry now remembers how
+//! a run *ended*, which is what poison quarantine replays from. Rev 1
+//! records have no `status` and replay as `ok` — rev 1 only ever persisted
+//! successful runs.
+//!
+//! Crash safety: a torn final line (power loss mid-append) is truncated
+//! away on open — before the append handle is created — so every earlier
+//! record still loads and the next append starts on a clean line instead
+//! of gluing onto the partial one. A malformed *interior* line (hand
+//! edits) is skipped with a warning as before.
 
 use std::fs::{self, File, OpenOptions};
 use std::io::{BufRead, BufReader, Write};
@@ -25,10 +32,13 @@ use serde::json::Value;
 
 use crate::util::{json_compact, json_pretty};
 
-use crate::job::{JobOutcome, JobSpec};
+use crate::job::{JobOutcome, JobSpec, RunStatus};
 
 /// Registry log schema identifier, stamped on every record.
-pub const SCHEMA: &str = "fem2-registry/1";
+pub const SCHEMA: &str = "fem2-registry/2";
+
+/// The previous schema revision (no `status` field; replayed as `ok`).
+pub const SCHEMA_V1: &str = "fem2-registry/1";
 
 /// A completed job run, as replayed from the log.
 #[derive(Clone, Debug)]
@@ -43,10 +53,14 @@ pub struct RunRecord {
     pub kind: String,
     /// The resolved spec document.
     pub spec: Value,
-    /// The outcome document.
+    /// The outcome document (`null` for failed / aborted runs).
     pub outcome: Value,
     /// Wall-clock execution time, nanoseconds.
     pub wall_ns: u64,
+    /// How the run ended.
+    pub status: RunStatus,
+    /// Failure or abort detail for non-`ok` runs.
+    pub error: Option<String>,
 }
 
 /// An ingested bench record (from `fem2-bench --json` output).
@@ -77,6 +91,34 @@ pub struct Registry {
     runs: Vec<RunRecord>,
     benches: Vec<BenchRecord>,
     next_seq: u64,
+    /// Appends attempted so far (1-based counter for fault injection).
+    writes: u64,
+    /// Chaos hook: append indices (1-based) that fail with a simulated
+    /// IO error instead of writing. Each index fires at most once.
+    fail_writes: Vec<u64>,
+}
+
+/// Truncate a torn trailing record (no final newline) left by a crash
+/// mid-append, so the next append starts on a fresh line. Complete lines
+/// are never touched.
+fn repair_torn_tail(log_path: &Path) -> Result<(), String> {
+    let bytes = fs::read(log_path).map_err(|e| format!("read {}: {e}", log_path.display()))?;
+    if bytes.is_empty() || bytes.ends_with(b"\n") {
+        return Ok(());
+    }
+    let keep = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
+    let f = OpenOptions::new()
+        .write(true)
+        .open(log_path)
+        .map_err(|e| format!("open {}: {e}", log_path.display()))?;
+    f.set_len(keep as u64)
+        .map_err(|e| format!("truncate {}: {e}", log_path.display()))?;
+    eprintln!(
+        "fem2-serve: truncated {} torn trailing bytes in {}",
+        bytes.len() - keep,
+        log_path.display()
+    );
+    Ok(())
 }
 
 fn field<'v>(v: &'v Value, name: &str) -> Option<&'v Value> {
@@ -120,6 +162,7 @@ impl Registry {
         let mut benches = Vec::new();
         let mut next_seq = 0u64;
         if log_path.exists() {
+            repair_torn_tail(&log_path)?;
             let reader = BufReader::new(
                 File::open(&log_path).map_err(|e| format!("open {}: {e}", log_path.display()))?,
             );
@@ -169,6 +212,11 @@ impl Registry {
                             );
                             continue;
                         };
+                        // Rev 1 records carry no status: they were only
+                        // ever written for successful runs.
+                        let status = str_field(&v, "status")
+                            .and_then(|s| RunStatus::parse(&s))
+                            .unwrap_or(RunStatus::Ok);
                         let rec = RunRecord {
                             seq: u64_field(&v, "seq").unwrap_or(next_seq),
                             hash,
@@ -177,6 +225,8 @@ impl Registry {
                             spec,
                             outcome,
                             wall_ns: u64_field(&v, "wall_ns").unwrap_or(0),
+                            status,
+                            error: str_field(&v, "error"),
                         };
                         next_seq = next_seq.max(rec.seq + 1);
                         runs.push(rec);
@@ -201,6 +251,8 @@ impl Registry {
             runs,
             benches,
             next_seq,
+            writes: 0,
+            fail_writes: Vec::new(),
         };
         reg.write_index()?;
         Ok(reg)
@@ -211,9 +263,37 @@ impl Registry {
         &self.dir
     }
 
-    /// The cached run for `hash`, if one was ever recorded.
+    /// The cached run for `hash`, if one was ever recorded. The *latest*
+    /// record wins: a hash that failed once and was later re-run
+    /// successfully (or vice versa) replays its most recent fate.
     pub fn lookup(&self, hash: &str) -> Option<&RunRecord> {
-        self.runs.iter().find(|r| r.hash == hash)
+        self.runs.iter().rev().find(|r| r.hash == hash)
+    }
+
+    /// Number of quarantined specs: distinct hashes whose latest record is
+    /// failed or aborted. Re-submissions of these replay the recorded
+    /// failure instead of burning a worker.
+    pub fn quarantine_size(&self) -> usize {
+        let mut seen = Vec::new();
+        let mut n = 0;
+        for r in self.runs.iter().rev() {
+            if seen.contains(&&r.hash) {
+                continue;
+            }
+            seen.push(&r.hash);
+            if !r.status.is_ok() {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Chaos hook: make the given append attempts (1-based, counted over
+    /// the registry's lifetime) fail with a simulated IO error. Used by
+    /// the fault-injection harness to exercise the server's registry
+    /// retry and failure paths; each listed index fires at most once.
+    pub fn inject_write_errors(&mut self, appends: Vec<u64>) {
+        self.fail_writes = appends;
     }
 
     /// All job runs, in log order.
@@ -236,12 +316,27 @@ impl Registry {
         self.benches.len()
     }
 
-    /// Record a completed job run: append to the log (flushed before
-    /// returning) and rewrite the index.
+    /// Record a successfully completed job run: append to the log
+    /// (flushed before returning) and rewrite the index.
     pub fn record_run(
         &mut self,
         spec: &JobSpec,
         outcome: &JobOutcome,
+        wall_ns: u64,
+    ) -> Result<&RunRecord, String> {
+        self.record_result(spec, RunStatus::Ok, Some(outcome), None, wall_ns)
+    }
+
+    /// Record how a supervised job run ended — success, failure, or
+    /// budget abort. Non-`ok` records persist with a `null` outcome and
+    /// the failure detail in `error`; they are what poison quarantine
+    /// replays to later submitters of the same spec.
+    pub fn record_result(
+        &mut self,
+        spec: &JobSpec,
+        status: RunStatus,
+        outcome: Option<&JobOutcome>,
+        error: Option<&str>,
         wall_ns: u64,
     ) -> Result<&RunRecord, String> {
         let kind = match spec {
@@ -254,10 +349,12 @@ impl Registry {
             name: spec.name().to_string(),
             kind: kind.to_string(),
             spec: spec.to_value(),
-            outcome: outcome.value.clone(),
+            outcome: outcome.map_or(Value::Null, |o| o.value.clone()),
             wall_ns,
+            status,
+            error: error.map(str::to_string),
         };
-        let doc = Value::Obj(vec![
+        let mut doc = vec![
             ("schema".into(), Value::Str(SCHEMA.into())),
             ("kind".into(), Value::Str(rec.kind.clone())),
             ("seq".into(), Value::UInt(rec.seq)),
@@ -266,8 +363,12 @@ impl Registry {
             ("spec".into(), rec.spec.clone()),
             ("outcome".into(), rec.outcome.clone()),
             ("wall_ns".into(), Value::UInt(rec.wall_ns)),
-        ]);
-        self.append_line(&doc)?;
+            ("status".into(), Value::Str(rec.status.name().into())),
+        ];
+        if let Some(e) = &rec.error {
+            doc.push(("error".into(), Value::Str(e.clone())));
+        }
+        self.append_line(&Value::Obj(doc))?;
         self.next_seq += 1;
         self.runs.push(rec);
         self.write_index()?;
@@ -331,6 +432,14 @@ impl Registry {
     }
 
     fn append_line(&mut self, doc: &Value) -> Result<(), String> {
+        self.writes += 1;
+        if let Some(pos) = self.fail_writes.iter().position(|&w| w == self.writes) {
+            self.fail_writes.swap_remove(pos);
+            return Err(format!(
+                "append runs.jsonl: injected write error (append #{})",
+                self.writes
+            ));
+        }
         let mut line = json_compact(doc);
         line.push('\n');
         self.log
@@ -351,6 +460,7 @@ impl Registry {
                     ("hash".into(), Value::Str(r.hash.clone())),
                     ("name".into(), Value::Str(r.name.clone())),
                     ("kind".into(), Value::Str(r.kind.clone())),
+                    ("status".into(), Value::Str(r.status.name().into())),
                     ("wall_ns".into(), Value::UInt(r.wall_ns)),
                 ])
             })
@@ -371,6 +481,10 @@ impl Registry {
             ("schema".into(), Value::Str(SCHEMA.into())),
             ("run_count".into(), Value::UInt(self.runs.len() as u64)),
             ("bench_count".into(), Value::UInt(self.benches.len() as u64)),
+            (
+                "quarantine_size".into(),
+                Value::UInt(self.quarantine_size() as u64),
+            ),
             ("runs".into(), Value::Arr(runs)),
             ("benches".into(), Value::Arr(benches)),
         ]);
@@ -495,6 +609,150 @@ mod tests {
         assert_eq!(u64_field(&v, "bench_count"), Some(0));
         assert_eq!(str_field(&v, "schema").as_deref(), Some(SCHEMA));
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failure_records_persist_and_latest_record_wins() {
+        let dir = temp_dir("failrec");
+        let spec = sample_spec();
+        {
+            let mut reg = Registry::open(&dir).unwrap();
+            reg.record_result(&spec, RunStatus::Failed, None, Some("scenario panicked"), 7)
+                .unwrap();
+        }
+        let mut reg = Registry::open(&dir).unwrap();
+        let rec = reg.lookup(&spec.content_hash()).expect("failure cached");
+        assert_eq!(rec.status, RunStatus::Failed);
+        assert_eq!(rec.error.as_deref(), Some("scenario panicked"));
+        assert_eq!(rec.outcome, Value::Null);
+        assert_eq!(reg.quarantine_size(), 1);
+        // A later successful run of the same spec supersedes the failure.
+        let outcome = spec.execute();
+        reg.record_run(&spec, &outcome, 9).unwrap();
+        let rec = reg.lookup(&spec.content_hash()).unwrap();
+        assert_eq!(rec.status, RunStatus::Ok);
+        assert_eq!(reg.quarantine_size(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rev1_records_without_status_replay_as_ok() {
+        let dir = temp_dir("rev1");
+        fs::create_dir_all(&dir).unwrap();
+        let spec = sample_spec();
+        let line = format!(
+            "{{\"schema\":\"fem2-registry/1\",\"kind\":\"plate\",\"seq\":0,\
+             \"hash\":\"{}\",\"name\":\"old\",\"spec\":{},\"outcome\":{{\"kind\":\"plate\"}},\
+             \"wall_ns\":5}}\n",
+            spec.content_hash(),
+            json_compact(&spec.to_value()),
+        );
+        fs::write(dir.join("runs.jsonl"), line).unwrap();
+        let reg = Registry::open(&dir).unwrap();
+        let rec = reg.lookup(&spec.content_hash()).expect("rev1 record loads");
+        assert_eq!(rec.status, RunStatus::Ok);
+        assert!(rec.error.is_none());
+        assert_eq!(reg.quarantine_size(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_so_appends_do_not_glue() {
+        let dir = temp_dir("glue");
+        let spec = sample_spec();
+        let outcome = spec.execute();
+        {
+            let mut reg = Registry::open(&dir).unwrap();
+            reg.record_run(&spec, &outcome, 1).unwrap();
+        }
+        let log = dir.join("runs.jsonl");
+        let mut f = OpenOptions::new().append(true).open(&log).unwrap();
+        f.write_all(b"{\"schema\":\"fem2-registry/2\",\"kind\":\"pla")
+            .unwrap();
+        drop(f);
+        // Reopen repairs the tail, then a fresh append lands on its own
+        // line — before the fix it glued onto the partial record and both
+        // were lost on the next replay.
+        let spec2 = JobSpec::parse(r#"{"nx":14,"ny":14}"#).unwrap();
+        let outcome2 = spec2.execute();
+        {
+            let mut reg = Registry::open(&dir).unwrap();
+            assert_eq!(reg.run_count(), 1);
+            reg.record_run(&spec2, &outcome2, 2).unwrap();
+        }
+        let reg = Registry::open(&dir).unwrap();
+        assert_eq!(reg.run_count(), 2, "post-tear append survives replay");
+        assert!(reg.lookup(&spec2.content_hash()).is_some());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_write_errors_fire_once_and_leave_the_log_clean() {
+        let dir = temp_dir("inject");
+        let spec = sample_spec();
+        let outcome = spec.execute();
+        let mut reg = Registry::open(&dir).unwrap();
+        reg.inject_write_errors(vec![1]);
+        let err = reg.record_run(&spec, &outcome, 1).expect_err("injected");
+        assert!(err.contains("injected write error"), "{err}");
+        assert_eq!(reg.run_count(), 0, "failed append records nothing");
+        // The same append retried succeeds (the injection is consumed).
+        reg.record_run(&spec, &outcome, 1).unwrap();
+        drop(reg);
+        let reg = Registry::open(&dir).unwrap();
+        assert_eq!(reg.run_count(), 1, "log holds exactly the real append");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    proptest::proptest! {
+        /// Crash-recovery invariant: truncating the log at *any* byte
+        /// offset loses at most the torn record. Every record wholly
+        /// before the cut replays; no partial record is ever yielded; the
+        /// rebuilt index agrees with the replay; and the repaired log
+        /// accepts appends cleanly.
+        #[test]
+        fn torn_tail_recovery_at_any_offset(cut_back in 0usize..400, runs in 2usize..5) {
+            let dir = temp_dir("prop-torn");
+            let specs: Vec<JobSpec> = (0..runs)
+                .map(|i| {
+                    JobSpec::parse(&format!("{{\"nx\":4,\"ny\":4,\"seed\":{i}}}")).unwrap()
+                })
+                .collect();
+            let outcome = JobOutcome { value: Value::Obj(vec![("kind".into(), Value::Str("plate".into()))]) };
+            let mut line_ends = Vec::new();
+            {
+                let mut reg = Registry::open(&dir).unwrap();
+                for spec in &specs {
+                    reg.record_run(spec, &outcome, 1).unwrap();
+                    line_ends.push(fs::metadata(dir.join("runs.jsonl")).unwrap().len());
+                }
+            }
+            let log = dir.join("runs.jsonl");
+            let full = fs::metadata(&log).unwrap().len();
+            let cut = full.saturating_sub(cut_back as u64);
+            OpenOptions::new().write(true).open(&log).unwrap().set_len(cut).unwrap();
+            // Records wholly before the cut must all survive.
+            let complete = line_ends.iter().filter(|&&e| e <= cut).count();
+            let reg = Registry::open(&dir).unwrap();
+            proptest::prop_assert_eq!(reg.run_count(), complete, "cut at {} of {}", cut, full);
+            for spec in specs.iter().take(complete) {
+                proptest::prop_assert!(reg.lookup(&spec.content_hash()).is_some());
+            }
+            // index.json agrees with the replay.
+            let idx = serde_json::parse_value(&fs::read_to_string(dir.join("index.json")).unwrap()).unwrap();
+            proptest::prop_assert_eq!(u64_field(&idx, "run_count"), Some(complete as u64));
+            // And the repaired log accepts a fresh append that survives.
+            drop(reg);
+            let extra = JobSpec::parse(r#"{"nx":4,"ny":4,"seed":999}"#).unwrap();
+            {
+                let mut reg = Registry::open(&dir).unwrap();
+                reg.record_run(&extra, &outcome, 1).unwrap();
+            }
+            let reg = Registry::open(&dir).unwrap();
+            proptest::prop_assert_eq!(reg.run_count(), complete + 1);
+            proptest::prop_assert!(reg.lookup(&extra.content_hash()).is_some());
+            fs::remove_dir_all(&dir).unwrap();
+        }
     }
 
     #[test]

@@ -18,24 +18,39 @@
 //! 4. **Registry** — completed runs are appended to the crash-safe JSONL
 //!    log before the job is marked done, so a result the server ever
 //!    reported is a result it can serve again after a restart.
+//!
+//! Jobs run *supervised*: execution is wrapped in `catch_unwind` so a
+//! panicking scenario fails its own job (structured 500, failure record,
+//! quarantine) without taking a worker or the server down; run budgets
+//! turn runaway simulations into structured 504 aborts; and a spec whose
+//! latest registry record is failed/aborted is *quarantined* — submitting
+//! it again replays the recorded failure instead of burning a worker on a
+//! known-poisonous job.
 
 use std::collections::HashMap;
 use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use fem2_par::Pool;
 use parking_lot::Mutex;
 use serde::json::Value;
 use serde::Serialize as _;
 
-use crate::http::{read_request, write_response, ParseError, Request, Response};
-use crate::job::JobSpec;
+use crate::chaos::{ChaosPlan, ChaosState};
+use crate::http::{
+    read_request_deadline, write_response, ParseError, Request, Response, REQUEST_DEADLINE,
+};
+use crate::job::{JobOutcome, JobSpec, RunStatus};
 use crate::registry::Registry;
 use crate::util::{json_compact, json_pretty};
+
+/// Backoff before the single registry-write retry.
+const RETRY_BACKOFF: Duration = Duration::from_millis(50);
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -48,16 +63,23 @@ pub struct ServeOptions {
     pub workers: usize,
     /// Maximum queued-or-running jobs before submissions shed with 503.
     pub queue_capacity: usize,
+    /// Total per-request read deadline (tests shrink this; production
+    /// keeps [`REQUEST_DEADLINE`]).
+    pub request_deadline: Duration,
+    /// Deterministic fault plan (`--chaos`); `None` in production.
+    pub chaos: Option<ChaosPlan>,
 }
 
 impl ServeOptions {
-    /// Defaults: ephemeral port, two workers, depth 16.
+    /// Defaults: ephemeral port, two workers, depth 16, no chaos.
     pub fn new(data_dir: PathBuf) -> Self {
         ServeOptions {
             data_dir,
             port: 0,
             workers: 2,
             queue_capacity: 16,
+            request_deadline: REQUEST_DEADLINE,
+            chaos: None,
         }
     }
 }
@@ -69,6 +91,7 @@ enum JobStatus {
     Running,
     Done,
     Failed,
+    Aborted,
 }
 
 impl JobStatus {
@@ -78,6 +101,7 @@ impl JobStatus {
             JobStatus::Running => "running",
             JobStatus::Done => "done",
             JobStatus::Failed => "failed",
+            JobStatus::Aborted => "aborted",
         }
     }
 }
@@ -123,6 +147,19 @@ pub struct State {
     shed: AtomicU64,
     /// Jobs queued or running right now.
     queue_depth: AtomicU64,
+    /// Jobs that panicked in a worker (isolated, recorded as failed).
+    panics: AtomicU64,
+    /// Jobs aborted by their run budget.
+    aborts: AtomicU64,
+    /// Submissions answered from a quarantined failure record.
+    quarantine_hits: AtomicU64,
+    /// Registry writes that failed once and were retried.
+    infra_retries: AtomicU64,
+    /// Whether the most recent registry write (after any retry) landed.
+    last_registry_write_ok: AtomicBool,
+    /// Armed chaos plan, if any.
+    chaos: Option<Arc<ChaosState>>,
+    request_deadline: Duration,
     next_id: AtomicU64,
     stop: AtomicBool,
     capacity: usize,
@@ -143,6 +180,17 @@ fn obj(pairs: Vec<(&str, Value)>) -> Value {
 
 fn error_body(msg: &str) -> String {
     json_compact(&obj(vec![("error", Value::Str(msg.to_string()))]))
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
 }
 
 impl State {
@@ -195,6 +243,45 @@ impl State {
         let registry = self.registry.lock();
         let mut tables = self.tables.lock();
         if let Some(rec) = registry.lookup(&hash) {
+            // Poison quarantine: a spec whose latest record failed or
+            // aborted replays that recorded fate — structured error, no
+            // worker burned on a known-poisonous job.
+            if !rec.status.is_ok() {
+                self.quarantine_hits.fetch_add(1, Ordering::Relaxed);
+                let (code, entry_status) = match rec.status {
+                    RunStatus::Aborted => (504, JobStatus::Aborted),
+                    _ => (500, JobStatus::Failed),
+                };
+                let err = rec
+                    .error
+                    .clone()
+                    .unwrap_or_else(|| format!("job previously {}", rec.status.name()));
+                let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+                let entry = JobEntry {
+                    id,
+                    hash: hash.clone(),
+                    name: spec.name().to_string(),
+                    kind: if matches!(spec, JobSpec::Plate(_)) {
+                        "plate"
+                    } else {
+                        "script"
+                    },
+                    status: entry_status,
+                    cached: true,
+                    outcome: None,
+                    wall_ns: rec.wall_ns,
+                    error: Some(err.clone()),
+                };
+                tables.jobs.push(entry);
+                let body = obj(vec![
+                    ("error", Value::Str(err)),
+                    ("status", Value::Str(rec.status.name().to_string())),
+                    ("quarantined", Value::Bool(true)),
+                    ("id", Value::UInt(id)),
+                    ("hash", Value::Str(hash)),
+                ]);
+                return Response::json(code, json_compact(&body));
+            }
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             let id = self.next_id.fetch_add(1, Ordering::Relaxed);
             let entry = JobEntry {
@@ -272,13 +359,22 @@ impl State {
             .is_err()
         {
             // Scheduler gone (shutdown race): fail the entry honestly.
-            self.finish(id, None, 0, Some("scheduler stopped".into()));
+            self.finish(
+                id,
+                JobStatus::Failed,
+                None,
+                0,
+                Some("scheduler stopped".into()),
+            );
             return Response::json(503, error_body("server is shutting down"));
         }
         Response::json(201, json_compact(&resp))
     }
 
-    /// Execute one admitted job on a pool worker.
+    /// Execute one admitted job on a pool worker, supervised: panics are
+    /// caught and recorded as failures, budget aborts surface as aborted,
+    /// and every ending — ok, failed, aborted — is persisted before the
+    /// job is published.
     fn run_job(self: &Arc<Self>, id: u64, spec: &JobSpec) {
         {
             let mut tables = self.tables.lock();
@@ -286,33 +382,108 @@ impl State {
                 e.status = JobStatus::Running;
             }
         }
+        let (chaos_panic, chaos_stall) = self
+            .chaos
+            .as_ref()
+            .map_or((false, None), |c| c.on_dispatch());
         let t0 = Instant::now();
-        let outcome = spec.execute();
+        // The unwind boundary: a panic in the scenario (or an injected
+        // one) must not cross into the pool scope, where it would poison
+        // every other tenant's worker.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(ms) = chaos_stall {
+                thread::sleep(Duration::from_millis(ms));
+            }
+            if chaos_panic {
+                panic!("chaos: injected worker panic");
+            }
+            spec.execute_budgeted()
+        }));
         let wall_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
         if matches!(spec, JobSpec::Plate(_)) {
             self.sims_run.fetch_add(1, Ordering::Relaxed);
         }
-        // Station 4: persist before publishing, so a result a tenant saw is
-        // a result the next server lifetime can still serve.
-        let persisted = self
-            .registry
-            .lock()
-            .record_run(spec, &outcome, wall_ns)
-            .map(|_| ());
-        match persisted {
-            Ok(()) => self.finish(id, Some(outcome.value), wall_ns, None),
-            Err(e) => self.finish(id, None, wall_ns, Some(e)),
+        match result {
+            Ok(Ok(outcome)) => {
+                // Station 4: persist before publishing, so a result a
+                // tenant saw is a result the next lifetime can serve.
+                match self.persist(spec, RunStatus::Ok, Some(&outcome), None, wall_ns) {
+                    Ok(()) => self.finish(id, JobStatus::Done, Some(outcome.value), wall_ns, None),
+                    Err(e) => self.finish(id, JobStatus::Failed, None, wall_ns, Some(e)),
+                }
+            }
+            Ok(Err(abort)) => {
+                self.aborts.fetch_add(1, Ordering::Relaxed);
+                let msg = abort.to_string();
+                // Persist the abort so quarantine replays it; if even the
+                // record fails, the in-memory entry still tells the truth.
+                let _ = self.persist(spec, RunStatus::Aborted, None, Some(&msg), wall_ns);
+                self.finish(id, JobStatus::Aborted, None, wall_ns, Some(msg));
+            }
+            Err(payload) => {
+                self.panics.fetch_add(1, Ordering::Relaxed);
+                // `&*payload` reborrows the boxed payload itself; a plain
+                // `&payload` would coerce the Box into the trait object and
+                // make every downcast miss.
+                let msg = format!("job panicked: {}", panic_message(&*payload));
+                let _ = self.persist(spec, RunStatus::Failed, None, Some(&msg), wall_ns);
+                self.finish(id, JobStatus::Failed, None, wall_ns, Some(msg));
+            }
         }
     }
 
-    fn finish(&self, id: u64, outcome: Option<Value>, wall_ns: u64, error: Option<String>) {
+    /// Append one result record, retrying once after a short backoff: a
+    /// failed write is infrastructure trouble (disk hiccup, injected
+    /// fault), not a property of the scenario, so one retry is cheap and
+    /// absorbs transients without masking a dead disk.
+    fn persist(
+        &self,
+        spec: &JobSpec,
+        status: RunStatus,
+        outcome: Option<&JobOutcome>,
+        error: Option<&str>,
+        wall_ns: u64,
+    ) -> Result<(), String> {
+        let attempt = || {
+            self.registry
+                .lock()
+                .record_result(spec, status, outcome, error, wall_ns)
+                .map(|_| ())
+        };
+        let first = match attempt() {
+            Ok(()) => {
+                self.last_registry_write_ok.store(true, Ordering::Relaxed);
+                return Ok(());
+            }
+            Err(e) => e,
+        };
+        self.infra_retries.fetch_add(1, Ordering::Relaxed);
+        thread::sleep(RETRY_BACKOFF);
+        match attempt() {
+            Ok(()) => {
+                self.last_registry_write_ok.store(true, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(second) => {
+                self.last_registry_write_ok.store(false, Ordering::Relaxed);
+                Err(format!(
+                    "registry write failed after retry: {second} (first attempt: {first})"
+                ))
+            }
+        }
+    }
+
+    fn finish(
+        &self,
+        id: u64,
+        status: JobStatus,
+        outcome: Option<Value>,
+        wall_ns: u64,
+        error: Option<String>,
+    ) {
         let mut tables = self.tables.lock();
         if let Some(e) = tables.jobs.iter_mut().find(|e| e.id == id) {
-            e.status = if error.is_some() {
-                JobStatus::Failed
-            } else {
-                JobStatus::Done
-            };
+            e.status = status;
             e.outcome = outcome;
             e.wall_ns = wall_ns;
             e.error = error;
@@ -340,6 +511,24 @@ impl State {
             ),
             ("capacity", Value::UInt(self.capacity as u64)),
             ("workers", Value::UInt(self.workers as u64)),
+            ("panics", Value::UInt(self.panics.load(Ordering::Relaxed))),
+            ("aborts", Value::UInt(self.aborts.load(Ordering::Relaxed))),
+            (
+                "quarantine_hits",
+                Value::UInt(self.quarantine_hits.load(Ordering::Relaxed)),
+            ),
+            (
+                "infra_retries",
+                Value::UInt(self.infra_retries.load(Ordering::Relaxed)),
+            ),
+            (
+                "quarantine_size",
+                Value::UInt(registry.quarantine_size() as u64),
+            ),
+            (
+                "last_registry_write_ok",
+                Value::Bool(self.last_registry_write_ok.load(Ordering::Relaxed)),
+            ),
             ("registry_runs", Value::UInt(registry.run_count() as u64)),
             (
                 "registry_benches",
@@ -347,6 +536,31 @@ impl State {
             ),
         ]);
         Response::json(200, json_pretty(&doc))
+    }
+
+    /// GET /readyz: readiness (distinct from /healthz liveness). Reports
+    /// load and persistence signals; answers 503 once the registry stops
+    /// accepting writes or shutdown has begun, so a balancer drains the
+    /// instance while /healthz stays green (the process itself is fine).
+    fn readyz(&self) -> Response {
+        let registry = self.registry.lock();
+        let quarantine = registry.quarantine_size();
+        drop(registry);
+        let in_flight = self.tables.lock().in_flight.len();
+        let write_ok = self.last_registry_write_ok.load(Ordering::Relaxed);
+        let ready = write_ok && !self.stop.load(Ordering::SeqCst);
+        let doc = obj(vec![
+            ("ready", Value::Bool(ready)),
+            (
+                "queue_depth",
+                Value::UInt(self.queue_depth.load(Ordering::Relaxed)),
+            ),
+            ("capacity", Value::UInt(self.capacity as u64)),
+            ("in_flight", Value::UInt(in_flight as u64)),
+            ("quarantine_size", Value::UInt(quarantine as u64)),
+            ("last_registry_write_ok", Value::Bool(write_ok)),
+        ]);
+        Response::json(if ready { 200 } else { 503 }, json_pretty(&doc))
     }
 
     fn job_detail(&self, id: u64) -> Response {
@@ -371,9 +585,28 @@ impl State {
                     ]);
                     Response::json(200, json_pretty(&doc))
                 }
-                (JobStatus::Failed, _) => {
-                    Response::json(500, error_body(e.error.as_deref().unwrap_or("job failed")))
-                }
+                (JobStatus::Failed, _) => Response::json(
+                    500,
+                    json_compact(&obj(vec![
+                        (
+                            "error",
+                            Value::Str(e.error.clone().unwrap_or_else(|| "job failed".into())),
+                        ),
+                        ("status", Value::Str("failed".into())),
+                        ("id", Value::UInt(e.id)),
+                    ])),
+                ),
+                (JobStatus::Aborted, _) => Response::json(
+                    504,
+                    json_compact(&obj(vec![
+                        (
+                            "error",
+                            Value::Str(e.error.clone().unwrap_or_else(|| "job aborted".into())),
+                        ),
+                        ("status", Value::Str("aborted".into())),
+                        ("id", Value::UInt(e.id)),
+                    ])),
+                ),
                 _ => Response::json(409, error_body(&format!("job {id} is {}", e.status.name()))),
             },
             None => Response::json(404, error_body(&format!("no job {id}"))),
@@ -417,6 +650,7 @@ impl State {
             ("GET", "/jobs") => self.job_list(),
             ("GET", "/stats") => self.stats(),
             ("GET", "/healthz") => Response::json(200, "{\"ok\":true}"),
+            ("GET", "/readyz") => self.readyz(),
             ("GET", p) => {
                 let rest = p.strip_prefix("/jobs/").unwrap_or("");
                 let (id_part, tail) = match rest.split_once('/') {
@@ -476,7 +710,16 @@ impl Drop for ServerHandle {
 
 /// Bind, spin up the scheduler and acceptor, and return the handle.
 pub fn start(opts: &ServeOptions) -> Result<ServerHandle, String> {
-    let registry = Registry::open(&opts.data_dir)?;
+    let mut registry = Registry::open(&opts.data_dir)?;
+    let chaos = match &opts.chaos {
+        Some(plan) => {
+            if !plan.registry_error_on_write.is_empty() {
+                registry.inject_write_errors(plan.registry_error_on_write.clone());
+            }
+            Some(Arc::new(ChaosState::new(plan.clone())))
+        }
+        None => None,
+    };
     let listener = TcpListener::bind(("127.0.0.1", opts.port))
         .map_err(|e| format!("bind 127.0.0.1:{}: {e}", opts.port))?;
     let addr = listener
@@ -491,6 +734,13 @@ pub fn start(opts: &ServeOptions) -> Result<ServerHandle, String> {
         cache_hits: AtomicU64::new(0),
         shed: AtomicU64::new(0),
         queue_depth: AtomicU64::new(0),
+        panics: AtomicU64::new(0),
+        aborts: AtomicU64::new(0),
+        quarantine_hits: AtomicU64::new(0),
+        infra_retries: AtomicU64::new(0),
+        last_registry_write_ok: AtomicBool::new(true),
+        chaos,
+        request_deadline: opts.request_deadline,
         next_id: AtomicU64::new(1),
         stop: AtomicBool::new(false),
         capacity: opts.queue_capacity.max(1),
@@ -528,11 +778,12 @@ pub fn start(opts: &ServeOptions) -> Result<ServerHandle, String> {
             let Ok(mut stream) = stream else { continue };
             let state = Arc::clone(&accept_state);
             thread::spawn(move || {
-                let resp = match read_request(&mut stream) {
+                let resp = match read_request_deadline(&mut stream, state.request_deadline) {
                     Ok(Some(req)) => state.dispatch(&req),
                     Ok(None) => return,
                     Err(ParseError::TooLarge) => Response::text(413, "body too large"),
                     Err(ParseError::Malformed(m)) => Response::text(400, m),
+                    Err(ParseError::Timeout) => Response::text(408, "request timed out"),
                     Err(ParseError::Io(_)) => return,
                 };
                 let _ = write_response(&mut stream, &resp);
@@ -676,6 +927,126 @@ mod tests {
         let (_, stats) = client::request(addr, "GET", "/stats", None).unwrap();
         let sv = serde_json::parse_value(&stats).unwrap();
         assert_ne!(sv.get_field("shed").unwrap(), &Value::UInt(0), "{stats}");
+        handle.stop();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn submit_id(addr: std::net::SocketAddr, body: &str) -> u64 {
+        let (status, resp) = client::request(addr, "POST", "/jobs", Some(body)).unwrap();
+        assert_eq!(status, 201, "{resp}");
+        let v = serde_json::parse_value(&resp).unwrap();
+        let Value::UInt(id) = v.get_field("id").unwrap() else {
+            panic!("id field: {resp}")
+        };
+        *id
+    }
+
+    #[test]
+    fn panicking_job_is_isolated_recorded_and_quarantined() {
+        let dir = temp_dir("panic");
+        let mut opts = ServeOptions::new(dir.clone());
+        opts.chaos = Some(ChaosPlan::parse(r#"{"panic_on_run":[1]}"#).unwrap());
+        let handle = start(&opts).unwrap();
+        let addr = handle.addr();
+
+        let id = submit_id(addr, r#"{"nx":12,"ny":12}"#);
+        assert_eq!(client::wait_settled(addr, id).unwrap(), "failed");
+        let (status, body) =
+            client::request(addr, "GET", &format!("/jobs/{id}/result"), None).unwrap();
+        assert_eq!(status, 500, "{body}");
+        assert!(body.contains("injected worker panic"), "{body}");
+
+        // The server survived: healthz green, a different job completes.
+        let (status, health) = client::request(addr, "GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(health, "{\"ok\":true}");
+        let id2 = submit_id(addr, r#"{"nx":8,"ny":8}"#);
+        assert_eq!(client::wait_settled(addr, id2).unwrap(), "done");
+
+        // Resubmitting the crasher replays the recorded failure from
+        // quarantine — no new run.
+        let (status, body) =
+            client::request(addr, "POST", "/jobs", Some(r#"{"nx":12,"ny":12}"#)).unwrap();
+        assert_eq!(status, 500, "{body}");
+        assert!(body.contains("\"quarantined\":true"), "{body}");
+        let (_, stats) = client::request(addr, "GET", "/stats", None).unwrap();
+        let sv = serde_json::parse_value(&stats).unwrap();
+        assert_eq!(sv.get_field("panics").unwrap(), &Value::UInt(1), "{stats}");
+        assert_eq!(sv.get_field("quarantine_hits").unwrap(), &Value::UInt(1));
+        assert_eq!(sv.get_field("quarantine_size").unwrap(), &Value::UInt(1));
+        assert_eq!(
+            sv.get_field("sims_run").unwrap(),
+            &Value::UInt(2),
+            "crasher ran once, healthy job once, replay zero: {stats}"
+        );
+        handle.stop();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn budgeted_runaway_aborts_with_504_and_is_recorded() {
+        let dir = temp_dir("budget");
+        let handle = start(&ServeOptions::new(dir.clone())).unwrap();
+        let addr = handle.addr();
+        let body = r#"{"nx":24,"ny":24,"budget":{"max_sim_cycles":10000}}"#;
+        let id = submit_id(addr, body);
+        assert_eq!(client::wait_settled(addr, id).unwrap(), "aborted");
+        let (status, resp) =
+            client::request(addr, "GET", &format!("/jobs/{id}/result"), None).unwrap();
+        assert_eq!(status, 504, "{resp}");
+        assert!(resp.contains("cycles_exceeded"), "{resp}");
+        // The abort is quarantined like any other non-ok ending.
+        let (status, resp) = client::request(addr, "POST", "/jobs", Some(body)).unwrap();
+        assert_eq!(status, 504, "{resp}");
+        assert!(resp.contains("\"quarantined\":true"), "{resp}");
+        // The same plate *without* a budget is a different job and runs.
+        let id2 = submit_id(addr, r#"{"nx":24,"ny":24}"#);
+        assert_eq!(client::wait_settled(addr, id2).unwrap(), "done");
+        let (_, stats) = client::request(addr, "GET", "/stats", None).unwrap();
+        let sv = serde_json::parse_value(&stats).unwrap();
+        assert_eq!(sv.get_field("aborts").unwrap(), &Value::UInt(1), "{stats}");
+        handle.stop();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_registry_error_is_absorbed_by_the_retry() {
+        let dir = temp_dir("retry");
+        let mut opts = ServeOptions::new(dir.clone());
+        opts.chaos = Some(ChaosPlan::parse(r#"{"registry_error_on_write":[1]}"#).unwrap());
+        let handle = start(&opts).unwrap();
+        let addr = handle.addr();
+        let id = submit_id(addr, r#"{"nx":10,"ny":10}"#);
+        assert_eq!(client::wait_settled(addr, id).unwrap(), "done");
+        let (_, stats) = client::request(addr, "GET", "/stats", None).unwrap();
+        let sv = serde_json::parse_value(&stats).unwrap();
+        assert_eq!(
+            sv.get_field("infra_retries").unwrap(),
+            &Value::UInt(1),
+            "{stats}"
+        );
+        assert_eq!(sv.get_field("registry_runs").unwrap(), &Value::UInt(1));
+        assert_eq!(
+            sv.get_field("last_registry_write_ok").unwrap(),
+            &Value::Bool(true)
+        );
+        handle.stop();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn readyz_reports_load_and_stays_distinct_from_healthz() {
+        let dir = temp_dir("readyz");
+        let handle = start(&ServeOptions::new(dir.clone())).unwrap();
+        let addr = handle.addr();
+        let (status, body) = client::request(addr, "GET", "/readyz", None).unwrap();
+        assert_eq!(status, 200, "{body}");
+        let v = serde_json::parse_value(&body).unwrap();
+        assert_eq!(v.get_field("ready").unwrap(), &Value::Bool(true));
+        assert!(v.get_field("queue_depth").is_ok(), "{body}");
+        assert!(v.get_field("in_flight").is_ok(), "{body}");
+        assert!(v.get_field("quarantine_size").is_ok(), "{body}");
+        assert!(v.get_field("last_registry_write_ok").is_ok(), "{body}");
         handle.stop();
         fs::remove_dir_all(&dir).unwrap();
     }

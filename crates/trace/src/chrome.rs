@@ -130,6 +130,7 @@ fn args_of(ev: &TraceEvent) -> String {
         EventKind::MemFault { words, lost } => {
             format!("{{\"words\":{words},\"lost\":{lost}}}")
         }
+        EventKind::RunAbort { cause } => format!("{{\"cause\":{cause}}}"),
     }
 }
 
@@ -146,7 +147,8 @@ fn cat_of(ev: &TraceEvent) -> &'static str {
         EventKind::LinkFault { .. }
         | EventKind::LinkRecover { .. }
         | EventKind::PeRecover
-        | EventKind::MemFault { .. } => "fault",
+        | EventKind::MemFault { .. }
+        | EventKind::RunAbort { .. } => "fault",
         EventKind::Retransmit { .. } | EventKind::DeadLetter { .. } => "reliable",
     }
 }

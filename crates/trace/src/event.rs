@@ -309,6 +309,12 @@ pub enum EventKind {
         /// Words of live allocations invalidated by the failure.
         lost: u64,
     },
+    /// A budgeted run was aborted by its supervisor. `cause` is the abort
+    /// cause code (0 cycles, 1 events, 2 wall deadline, 3 cancelled).
+    RunAbort {
+        /// Abort cause code.
+        cause: u8,
+    },
 }
 
 /// One recorded event.
@@ -376,6 +382,7 @@ impl TraceEvent {
             EventKind::PeRecover => "pe_recover",
             EventKind::LinkRecover { .. } => "link_recover",
             EventKind::MemFault { .. } => "mem_fault",
+            EventKind::RunAbort { .. } => "run_abort",
         }
     }
 
@@ -436,6 +443,7 @@ impl TraceEvent {
             EventKind::PeRecover => (14, 0, 0, 0),
             EventKind::MemFault { words, lost } => (15, words, lost, 0),
             EventKind::LinkRecover { link } => (16, link as u64, 0, 0),
+            EventKind::RunAbort { cause } => (17, cause as u64, 0, 0),
         };
         out.push(tag);
         out.extend_from_slice(&a.to_le_bytes());

@@ -114,6 +114,8 @@ pub struct PhaseMetrics {
     pub mem_faults: u64,
     /// Stale task completions discarded by the kernel.
     pub stale_tasks: u64,
+    /// Supervisor-initiated run aborts (budget exceeded / cancelled).
+    pub run_aborts: u64,
     /// DES dispatches (event pops) observed in this phase.
     pub des_dispatches: u64,
     /// Highest engine lifetime pop count seen in this phase (schedule or
@@ -202,6 +204,9 @@ impl PhaseMetrics {
             }
             EventKind::MemFault { .. } => {
                 self.mem_faults += 1;
+            }
+            EventKind::RunAbort { .. } => {
+                self.run_aborts += 1;
             }
             EventKind::AppCommand { .. } => {}
         }

@@ -14,11 +14,15 @@
 //!   submission of the next lifetime into a cache hit.
 
 use std::fs;
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+use std::time::Duration;
 
 use fem2_serve::client;
-use fem2_serve::{start, JobSpec, Registry, ServeOptions};
+use fem2_serve::{start, ChaosPlan, JobSpec, Registry, RunStatus, ServeOptions};
 use serde_json::Value;
 
 static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
@@ -231,6 +235,159 @@ fn report_site_covers_server_runs() {
     assert!(index.contains("e2e plate"), "{index}");
     fs::remove_dir_all(&dir).ok();
     fs::remove_dir_all(&out).ok();
+}
+
+// ---------------------------------------------------------------------------
+// Supervision acceptance: the server stays available while a chaos plan
+// injects a worker panic and a registry write error underneath healthy
+// traffic and a byte-dripping client; every ending is recorded with its
+// status and survives a restart.
+// ---------------------------------------------------------------------------
+
+fn submit(addr: std::net::SocketAddr, body: &str) -> (u16, String) {
+    client::request(addr, "POST", "/jobs", Some(body)).expect("submit")
+}
+
+fn submit_id(addr: std::net::SocketAddr, body: &str) -> u64 {
+    let (status, resp) = submit(addr, body);
+    assert_eq!(status, 201, "{resp}");
+    get_u64(&serde_json::parse_value(&resp).expect("JSON"), "id")
+}
+
+#[test]
+fn chaos_plan_keeps_the_server_available_and_records_every_ending() {
+    let dir = temp_dir("chaos");
+    let mut opts = ServeOptions::new(dir.clone());
+    // Run 1's registry append fails once (absorbed by the retry); run 2
+    // panics in the worker. The plan matches tests/golden/chaos_plan.json.
+    opts.chaos = Some(
+        ChaosPlan::parse(r#"{"seed":7,"panic_on_run":[2],"registry_error_on_write":[1]}"#)
+            .expect("plan parses"),
+    );
+    opts.request_deadline = Duration::from_millis(500);
+    let handle = start(&opts).expect("server starts");
+    let addr = handle.addr();
+
+    // A byte-dripping client chews on a connection for the whole test.
+    let drip = thread::spawn(move || {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        let req = b"POST /jobs HTTP/1.1\r\nContent-Length: 400\r\n";
+        for &b in req.iter().cycle().take(120) {
+            if s.write_all(&[b]).is_err() {
+                break; // server hung up at the deadline
+            }
+            thread::sleep(Duration::from_millis(20));
+        }
+        let mut resp = String::new();
+        let _ = s.read_to_string(&mut resp);
+        resp
+    });
+
+    // Healthy traffic proceeds underneath: run 1 hits the injected
+    // registry error, retries, and completes.
+    let run_a = r#"{"nx":10,"ny":10}"#;
+    let id_a = submit_id(addr, run_a);
+    assert_eq!(client::wait_settled(addr, id_a).expect("settles"), "done");
+
+    // Run 2 panics; the failure is structured, not a dead server.
+    let run_b = r#"{"nx":12,"ny":12}"#;
+    let id_b = submit_id(addr, run_b);
+    assert_eq!(client::wait_settled(addr, id_b).expect("settles"), "failed");
+    let (status, resp) =
+        client::request(addr, "GET", &format!("/jobs/{id_b}/result"), None).expect("result");
+    assert_eq!(status, 500, "{resp}");
+    assert!(resp.contains("injected worker panic"), "{resp}");
+
+    // Liveness is untouched throughout; readiness reports the wreckage.
+    let (status, health) = client::request(addr, "GET", "/healthz", None).expect("healthz");
+    assert_eq!(status, 200);
+    assert_eq!(health, "{\"ok\":true}");
+    let (status, ready) = client::request(addr, "GET", "/readyz", None).expect("readyz");
+    assert_eq!(status, 200, "{ready}");
+    let rv = serde_json::parse_value(&ready).expect("readyz JSON");
+    assert_eq!(get_u64(&rv, "quarantine_size"), 1, "{ready}");
+
+    // Resubmitting the crasher replays the recorded failure from
+    // quarantine — one structured 500, no second run.
+    let (status, resp) = submit(addr, run_b);
+    assert_eq!(status, 500, "{resp}");
+    assert!(resp.contains("\"quarantined\":true"), "{resp}");
+
+    // A third, healthy submission still completes.
+    let run_c = r#"{"nx":8,"ny":8}"#;
+    let id_c = submit_id(addr, run_c);
+    assert_eq!(client::wait_settled(addr, id_c).expect("settles"), "done");
+
+    let (_, stats) = client::request(addr, "GET", "/stats", None).expect("stats");
+    let sv = serde_json::parse_value(&stats).expect("stats JSON");
+    assert_eq!(get_u64(&sv, "sims_run"), 3, "{stats}");
+    assert_eq!(get_u64(&sv, "panics"), 1, "{stats}");
+    assert_eq!(get_u64(&sv, "quarantine_hits"), 1, "{stats}");
+    assert_eq!(get_u64(&sv, "infra_retries"), 1, "{stats}");
+
+    // The dripping client was cut off with a 408, not served and not
+    // allowed to squat past the deadline.
+    let dripped = drip.join().expect("drip thread");
+    assert!(dripped.contains("408"), "slow client got: {dripped:?}");
+
+    handle.stop();
+
+    // The registry replays cleanly with per-run statuses intact, and a
+    // restarted server still quarantines the crasher and serves the rest.
+    let reg = Registry::open(&dir).expect("registry reopens");
+    assert_eq!(reg.run_count(), 3);
+    let status_of = |body: &str| {
+        let spec = JobSpec::parse(body).expect("spec");
+        reg.lookup(&spec.content_hash()).expect("recorded").status
+    };
+    assert_eq!(status_of(run_a), RunStatus::Ok);
+    assert_eq!(status_of(run_b), RunStatus::Failed);
+    assert_eq!(status_of(run_c), RunStatus::Ok);
+    drop(reg);
+
+    let handle = start(&ServeOptions::new(dir.clone())).expect("second lifetime");
+    let addr = handle.addr();
+    let (status, resp) = submit(addr, run_a);
+    assert_eq!(status, 200, "{resp}");
+    assert!(resp.contains("\"cached\":true"), "{resp}");
+    let (status, resp) = submit(addr, run_b);
+    assert_eq!(status, 500, "{resp}");
+    assert!(resp.contains("\"quarantined\":true"), "{resp}");
+    handle.stop();
+    fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------------
+// Run budgets: a runaway submission terminates within its budget, is
+// recorded as aborted, and aborts at the same point on every lifetime.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn budgeted_runaway_aborts_identically_across_lifetimes() {
+    let body = r#"{"nx":24,"ny":24,"budget":{"max_sim_cycles":20000}}"#;
+    let mut errors = Vec::new();
+    for lifetime in 0..2 {
+        let dir = temp_dir(&format!("budget-{lifetime}"));
+        let handle = start(&ServeOptions::new(dir.clone())).expect("server starts");
+        let addr = handle.addr();
+        let id = submit_id(addr, body);
+        assert_eq!(client::wait_settled(addr, id).expect("settles"), "aborted");
+        let (status, resp) =
+            client::request(addr, "GET", &format!("/jobs/{id}/result"), None).expect("result");
+        assert_eq!(status, 504, "{resp}");
+        assert!(resp.contains("cycles_exceeded"), "{resp}");
+        handle.stop();
+        let reg = Registry::open(&dir).expect("registry reopens");
+        let spec = JobSpec::parse(body).expect("spec");
+        let rec = reg.lookup(&spec.content_hash()).expect("abort recorded");
+        assert_eq!(rec.status, RunStatus::Aborted);
+        errors.push(rec.error.clone().expect("abort carries its cause"));
+        fs::remove_dir_all(&dir).ok();
+    }
+    // Bitwise determinism: the abort fires at the same cycle and event
+    // count in every lifetime, so the recorded cause strings are equal.
+    assert_eq!(errors[0], errors[1], "abort point drifted across runs");
+    assert!(errors[0].contains("cycles_exceeded"), "{}", errors[0]);
 }
 
 #[test]
