@@ -17,7 +17,7 @@
 //! carry a budget: its serialized form participates in content hashes, so
 //! budgets thread through scenario/run APIs as runtime parameters instead.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -115,21 +115,36 @@ impl RunBudget {
         BudgetMeter {
             budget: self.clone(),
             started: Instant::now(),
+            wall_checks: AtomicU64::new(0),
         }
     }
 }
 
-/// How often (in checks) the wall clock is consulted; the deterministic
-/// limits are checked on every call. 512 keeps `Instant::now` off the hot
-/// DES path while bounding wall-deadline overshoot to a fraction of a
-/// millisecond of simulated work.
+/// How often (in calls to [`BudgetMeter::check`]) the wall clock is
+/// consulted; the deterministic limits are checked on every call. The
+/// gate is the meter's own call counter — not the caller-supplied event
+/// count, which some polling paths (the navm charge polls) always pass as
+/// 0 — so `Instant::now` stays off every hot path while bounding
+/// wall-deadline overshoot to a fraction of a millisecond of work.
 const WALL_CHECK_PERIOD: u64 = 512;
 
 /// A started budget: the limits plus the wall-clock anchor.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct BudgetMeter {
     budget: RunBudget,
     started: Instant,
+    /// Calls to `check` with a wall limit armed; gates the clock consult.
+    wall_checks: AtomicU64,
+}
+
+impl Clone for BudgetMeter {
+    fn clone(&self) -> Self {
+        BudgetMeter {
+            budget: self.budget.clone(),
+            started: self.started,
+            wall_checks: AtomicU64::new(self.wall_checks.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl Default for BudgetMeter {
@@ -148,7 +163,7 @@ impl BudgetMeter {
     /// limits (cycles, events) are checked first and on every call, so runs
     /// that abort on them abort identically across repeats; the wall clock
     /// is only consulted every [`WALL_CHECK_PERIOD`] calls (keyed off the
-    /// event count) and the cancel flag on every call.
+    /// meter's own call counter) and the cancel flag on every call.
     pub fn check(&self, sim_cycles: Cycles, des_events: u64) -> Result<(), RunAborted> {
         if self.budget.is_unlimited() {
             return Ok(());
@@ -174,7 +189,8 @@ impl BudgetMeter {
             }
         }
         if let Some(limit) = self.budget.wall_limit {
-            if des_events.is_multiple_of(WALL_CHECK_PERIOD) && self.started.elapsed() > limit {
+            let n = self.wall_checks.fetch_add(1, Ordering::Relaxed);
+            if n.is_multiple_of(WALL_CHECK_PERIOD) && self.started.elapsed() > limit {
                 return Err(abort(AbortCause::WallDeadline));
             }
         }
@@ -245,12 +261,14 @@ mod tests {
         };
         let meter = budget.start();
         std::thread::sleep(Duration::from_millis(5));
-        // Checked on event counts divisible by the wall period (incl. 0).
+        // The meter's first check consults the clock (call count 0).
         assert_eq!(
             meter.check(0, 0).unwrap_err().cause,
             AbortCause::WallDeadline
         );
-        // Off-period event counts skip the wall check.
+        // Further checks inside the same period skip the clock — even at
+        // event count 0, which the navm polling paths always pass.
+        assert!(meter.check(0, 0).is_ok());
         assert!(meter.check(0, 1).is_ok());
     }
 

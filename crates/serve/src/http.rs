@@ -125,7 +125,8 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, ParseErro
 /// Read and parse one request, requiring the whole request to arrive
 /// within `deadline`. Each individual read also keeps the idle
 /// [`IO_TIMEOUT`]; the socket read timeout is re-armed with the smaller of
-/// the two before every read, so neither a silent client nor a
+/// the two before every read that reaches the socket (already-buffered
+/// bytes are drained without re-arming), so neither a silent client nor a
 /// byte-dripping one can hold the thread past the deadline.
 pub fn read_request_deadline(
     stream: &mut TcpStream,
@@ -151,7 +152,12 @@ pub fn read_request_deadline(
     let read_line = |reader: &mut BufReader<TcpStream>, buf: &mut String| {
         let mut bytes = Vec::new();
         loop {
-            arm(reader.get_ref())?;
+            // Re-arming costs an `Instant::elapsed` plus a setsockopt
+            // syscall; bytes already buffered cost neither — only arm
+            // before reads that will actually hit the socket.
+            if reader.buffer().is_empty() {
+                arm(reader.get_ref())?;
+            }
             let mut byte = [0u8; 1];
             let n = reader.read(&mut byte).map_err(|e| {
                 if is_timeout(&e) {
@@ -224,7 +230,9 @@ pub fn read_request_deadline(
     let mut body = vec![0u8; content_length];
     let mut filled = 0usize;
     while filled < content_length {
-        arm(reader.get_ref())?;
+        if reader.buffer().is_empty() {
+            arm(reader.get_ref())?;
+        }
         let n = reader.read(&mut body[filled..]).map_err(|e| {
             if is_timeout(&e) {
                 ParseError::Timeout

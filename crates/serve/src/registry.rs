@@ -12,11 +12,14 @@
 //!   convenience for humans and the report generator; the log is the
 //!   source of truth and the index is rebuilt from it on every open.
 //!
-//! Schema rev 2 adds a `status` field (`ok` / `failed` / `aborted`) and an
-//! optional `error` message to run records: the registry now remembers how
-//! a run *ended*, which is what poison quarantine replays from. Rev 1
-//! records have no `status` and replay as `ok` — rev 1 only ever persisted
-//! successful runs.
+//! Schema rev 2 adds a `status` field (`ok` / `failed` / `aborted`), an
+//! optional `error` message, and (for aborted runs) a structured
+//! `abort_cause` to run records: the registry now remembers how a run
+//! *ended*, which is what poison quarantine replays from. Only
+//! *deterministic* endings quarantine — see [`RunRecord::quarantines`].
+//! Rev 1 records have no `status` and replay as `ok` — rev 1 only ever
+//! persisted successful runs; rev 2 records written before `abort_cause`
+//! existed recover the cause from the error text on load.
 //!
 //! Crash safety: a torn final line (power loss mid-append) is truncated
 //! away on open — before the append handle is created — so every earlier
@@ -24,6 +27,7 @@
 //! of gluing onto the partial one. A malformed *interior* line (hand
 //! edits) is skipped with a warning as before.
 
+use std::collections::HashSet;
 use std::fs::{self, File, OpenOptions};
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
@@ -61,6 +65,28 @@ pub struct RunRecord {
     pub status: RunStatus,
     /// Failure or abort detail for non-`ok` runs.
     pub error: Option<String>,
+    /// Structured abort cause for `aborted` runs (`cycles_exceeded`,
+    /// `events_exceeded`, `wall_deadline`, `cancelled`).
+    pub abort_cause: Option<String>,
+}
+
+impl RunRecord {
+    /// Whether this record poisons its content hash: only *deterministic*
+    /// endings quarantine. A panic or a cycle/event-budget abort is a
+    /// property of the spec and will repeat identically; a wall-deadline
+    /// or cancel abort is a host fact — and `wall_ms` is deliberately
+    /// hash-neutral, so quarantining it would poison the unbudgeted spec
+    /// for every tenant. Those re-run instead of replaying.
+    pub fn quarantines(&self) -> bool {
+        match self.status {
+            RunStatus::Ok => false,
+            RunStatus::Failed => true,
+            RunStatus::Aborted => matches!(
+                self.abort_cause.as_deref(),
+                Some("cycles_exceeded" | "events_exceeded")
+            ),
+        }
+    }
 }
 
 /// An ingested bench record (from `fem2-bench --json` output).
@@ -96,6 +122,9 @@ pub struct Registry {
     /// Chaos hook: append indices (1-based) that fail with a simulated
     /// IO error instead of writing. Each index fires at most once.
     fail_writes: Vec<u64>,
+    /// Hashes whose *latest* record quarantines, maintained incrementally
+    /// on load and append so `quarantine_size` is O(1) per probe.
+    poisoned: HashSet<String>,
 }
 
 /// Truncate a torn trailing record (no final newline) left by a crash
@@ -217,6 +246,23 @@ impl Registry {
                         let status = str_field(&v, "status")
                             .and_then(|s| RunStatus::parse(&s))
                             .unwrap_or(RunStatus::Ok);
+                        let error = str_field(&v, "error");
+                        // Records written before `abort_cause` existed
+                        // still carry the cause inside the error text
+                        // ("run aborted (wall_deadline) at ..."); sniff it
+                        // so old stores keep the same quarantine behavior.
+                        let abort_cause = str_field(&v, "abort_cause").or_else(|| {
+                            let err = error.as_deref()?;
+                            [
+                                "cycles_exceeded",
+                                "events_exceeded",
+                                "wall_deadline",
+                                "cancelled",
+                            ]
+                            .into_iter()
+                            .find(|c| err.contains(&format!("({c})")))
+                            .map(str::to_string)
+                        });
                         let rec = RunRecord {
                             seq: u64_field(&v, "seq").unwrap_or(next_seq),
                             hash,
@@ -226,7 +272,8 @@ impl Registry {
                             outcome,
                             wall_ns: u64_field(&v, "wall_ns").unwrap_or(0),
                             status,
-                            error: str_field(&v, "error"),
+                            error,
+                            abort_cause,
                         };
                         next_seq = next_seq.max(rec.seq + 1);
                         runs.push(rec);
@@ -245,6 +292,14 @@ impl Registry {
             .append(true)
             .open(&log_path)
             .map_err(|e| format!("append {}: {e}", log_path.display()))?;
+        let mut poisoned = HashSet::new();
+        for r in &runs {
+            if r.quarantines() {
+                poisoned.insert(r.hash.clone());
+            } else {
+                poisoned.remove(&r.hash);
+            }
+        }
         let reg = Registry {
             dir: dir.to_path_buf(),
             log,
@@ -253,6 +308,7 @@ impl Registry {
             next_seq,
             writes: 0,
             fail_writes: Vec::new(),
+            poisoned,
         };
         reg.write_index()?;
         Ok(reg)
@@ -270,22 +326,21 @@ impl Registry {
         self.runs.iter().rev().find(|r| r.hash == hash)
     }
 
-    /// Number of quarantined specs: distinct hashes whose latest record is
-    /// failed or aborted. Re-submissions of these replay the recorded
-    /// failure instead of burning a worker.
+    /// The latest *successful* run for `hash`, if any — what submission
+    /// serves when the latest record overall is a non-quarantining abort
+    /// (wall deadline, cancel) that a completed run already answered.
+    pub fn lookup_ok(&self, hash: &str) -> Option<&RunRecord> {
+        self.runs
+            .iter()
+            .rev()
+            .find(|r| r.hash == hash && r.status.is_ok())
+    }
+
+    /// Number of quarantined specs: distinct hashes whose latest record
+    /// [`quarantines`](RunRecord::quarantines). Re-submissions of these
+    /// replay the recorded failure instead of burning a worker.
     pub fn quarantine_size(&self) -> usize {
-        let mut seen = Vec::new();
-        let mut n = 0;
-        for r in self.runs.iter().rev() {
-            if seen.contains(&&r.hash) {
-                continue;
-            }
-            seen.push(&r.hash);
-            if !r.status.is_ok() {
-                n += 1;
-            }
-        }
-        n
+        self.poisoned.len()
     }
 
     /// Chaos hook: make the given append attempts (1-based, counted over
@@ -324,19 +379,21 @@ impl Registry {
         outcome: &JobOutcome,
         wall_ns: u64,
     ) -> Result<&RunRecord, String> {
-        self.record_result(spec, RunStatus::Ok, Some(outcome), None, wall_ns)
+        self.record_result(spec, RunStatus::Ok, Some(outcome), None, None, wall_ns)
     }
 
     /// Record how a supervised job run ended — success, failure, or
     /// budget abort. Non-`ok` records persist with a `null` outcome and
-    /// the failure detail in `error`; they are what poison quarantine
-    /// replays to later submitters of the same spec.
+    /// the failure detail in `error`; aborted records additionally carry
+    /// the structured `abort_cause`, which decides whether poison
+    /// quarantine replays them to later submitters of the same spec.
     pub fn record_result(
         &mut self,
         spec: &JobSpec,
         status: RunStatus,
         outcome: Option<&JobOutcome>,
         error: Option<&str>,
+        abort_cause: Option<&str>,
         wall_ns: u64,
     ) -> Result<&RunRecord, String> {
         let kind = match spec {
@@ -353,6 +410,7 @@ impl Registry {
             wall_ns,
             status,
             error: error.map(str::to_string),
+            abort_cause: abort_cause.map(str::to_string),
         };
         let mut doc = vec![
             ("schema".into(), Value::Str(SCHEMA.into())),
@@ -368,7 +426,15 @@ impl Registry {
         if let Some(e) = &rec.error {
             doc.push(("error".into(), Value::Str(e.clone())));
         }
+        if let Some(c) = &rec.abort_cause {
+            doc.push(("abort_cause".into(), Value::Str(c.clone())));
+        }
         self.append_line(&Value::Obj(doc))?;
+        if rec.quarantines() {
+            self.poisoned.insert(rec.hash.clone());
+        } else {
+            self.poisoned.remove(&rec.hash);
+        }
         self.next_seq += 1;
         self.runs.push(rec);
         self.write_index()?;
@@ -617,8 +683,15 @@ mod tests {
         let spec = sample_spec();
         {
             let mut reg = Registry::open(&dir).unwrap();
-            reg.record_result(&spec, RunStatus::Failed, None, Some("scenario panicked"), 7)
-                .unwrap();
+            reg.record_result(
+                &spec,
+                RunStatus::Failed,
+                None,
+                Some("scenario panicked"),
+                None,
+                7,
+            )
+            .unwrap();
         }
         let mut reg = Registry::open(&dir).unwrap();
         let rec = reg.lookup(&spec.content_hash()).expect("failure cached");
@@ -632,6 +705,98 @@ mod tests {
         let rec = reg.lookup(&spec.content_hash()).unwrap();
         assert_eq!(rec.status, RunStatus::Ok);
         assert_eq!(reg.quarantine_size(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn operational_aborts_do_not_quarantine_but_deterministic_ones_do() {
+        let dir = temp_dir("causes");
+        let spec = sample_spec();
+        {
+            let mut reg = Registry::open(&dir).unwrap();
+            // A wall-deadline abort is a host fact, not a spec fact — and
+            // wall_ms is hash-neutral, so quarantining it would poison the
+            // unbudgeted spec for everyone.
+            reg.record_result(
+                &spec,
+                RunStatus::Aborted,
+                None,
+                Some("run aborted (wall_deadline) at 10 sim cycles, 0 DES events"),
+                Some("wall_deadline"),
+                5,
+            )
+            .unwrap();
+            assert!(!reg.lookup(&spec.content_hash()).unwrap().quarantines());
+            assert_eq!(reg.quarantine_size(), 0);
+        }
+        // Survives reload the same way.
+        let mut reg = Registry::open(&dir).unwrap();
+        assert_eq!(reg.quarantine_size(), 0);
+        assert!(!reg.lookup(&spec.content_hash()).unwrap().quarantines());
+        // A cycle-budget abort is deterministic and does quarantine.
+        reg.record_result(
+            &spec,
+            RunStatus::Aborted,
+            None,
+            Some("run aborted (cycles_exceeded) at 101 sim cycles, 7 DES events"),
+            Some("cycles_exceeded"),
+            5,
+        )
+        .unwrap();
+        assert!(reg.lookup(&spec.content_hash()).unwrap().quarantines());
+        assert_eq!(reg.quarantine_size(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_abort_records_recover_their_cause_from_the_error_text() {
+        let dir = temp_dir("legacy-cause");
+        fs::create_dir_all(&dir).unwrap();
+        let spec = sample_spec();
+        // A rev-2 record written before `abort_cause` existed: the cause
+        // only lives inside the error text.
+        let line = format!(
+            "{{\"schema\":\"fem2-registry/2\",\"kind\":\"plate\",\"seq\":0,\
+             \"hash\":\"{}\",\"name\":\"old\",\"spec\":{},\"outcome\":null,\
+             \"wall_ns\":5,\"status\":\"aborted\",\
+             \"error\":\"run aborted (wall_deadline) at 9 sim cycles, 0 DES events\"}}\n",
+            spec.content_hash(),
+            json_compact(&spec.to_value()),
+        );
+        fs::write(dir.join("runs.jsonl"), line).unwrap();
+        let reg = Registry::open(&dir).unwrap();
+        let rec = reg.lookup(&spec.content_hash()).expect("record loads");
+        assert_eq!(rec.abort_cause.as_deref(), Some("wall_deadline"));
+        assert!(!rec.quarantines(), "sniffed wall abort must not quarantine");
+        assert_eq!(reg.quarantine_size(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lookup_ok_skips_trailing_aborts() {
+        let dir = temp_dir("lookup-ok");
+        let spec = sample_spec();
+        let outcome = spec.execute();
+        let mut reg = Registry::open(&dir).unwrap();
+        assert!(reg.lookup_ok(&spec.content_hash()).is_none());
+        reg.record_run(&spec, &outcome, 11).unwrap();
+        reg.record_result(
+            &spec,
+            RunStatus::Aborted,
+            None,
+            Some("run aborted (wall_deadline) at 2 sim cycles, 0 DES events"),
+            Some("wall_deadline"),
+            3,
+        )
+        .unwrap();
+        // lookup sees the latest (abort); lookup_ok still finds the run.
+        assert_eq!(
+            reg.lookup(&spec.content_hash()).unwrap().status,
+            RunStatus::Aborted
+        );
+        let ok = reg.lookup_ok(&spec.content_hash()).expect("ok record kept");
+        assert_eq!(ok.status, RunStatus::Ok);
+        assert_eq!(ok.wall_ns, 11);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -23,9 +23,11 @@
 //! panicking scenario fails its own job (structured 500, failure record,
 //! quarantine) without taking a worker or the server down; run budgets
 //! turn runaway simulations into structured 504 aborts; and a spec whose
-//! latest registry record is failed/aborted is *quarantined* — submitting
-//! it again replays the recorded failure instead of burning a worker on a
-//! known-poisonous job.
+//! latest registry record ended *deterministically* badly (panic,
+//! cycle/event budget) is *quarantined* — submitting it again replays the
+//! recorded failure instead of burning a worker on a known-poisonous job.
+//! Operational endings (wall deadline, cancel) never quarantine: they are
+//! host facts, not spec facts, so those specs re-run.
 
 use std::collections::HashMap;
 use std::net::{TcpListener, TcpStream};
@@ -242,10 +244,21 @@ impl State {
         // two identical concurrent submissions cannot both miss.
         let registry = self.registry.lock();
         let mut tables = self.tables.lock();
-        if let Some(rec) = registry.lookup(&hash) {
-            // Poison quarantine: a spec whose latest record failed or
-            // aborted replays that recorded fate — structured error, no
-            // worker burned on a known-poisonous job.
+        // Latest record wins, with one carve-out: an *operational* ending
+        // (wall deadline, cancel) is a host fact, not a spec fact — and
+        // `wall_ms` is hash-neutral, so replaying it would poison the
+        // identical unbudgeted spec for every tenant, permanently. Such a
+        // record never quarantines: an earlier ok record (same hash) still
+        // serves, and with none the spec simply re-runs.
+        let cached = match registry.lookup(&hash) {
+            Some(rec) if !rec.status.is_ok() && !rec.quarantines() => registry.lookup_ok(&hash),
+            other => other,
+        };
+        if let Some(rec) = cached {
+            // Poison quarantine: a spec whose latest record ended
+            // *deterministically* badly (panic, cycle/event budget)
+            // replays that recorded fate — structured error, no worker
+            // burned on a known-poisonous job.
             if !rec.status.is_ok() {
                 self.quarantine_hits.fetch_add(1, Ordering::Relaxed);
                 let (code, entry_status) = match rec.status {
@@ -407,7 +420,7 @@ impl State {
             Ok(Ok(outcome)) => {
                 // Station 4: persist before publishing, so a result a
                 // tenant saw is a result the next lifetime can serve.
-                match self.persist(spec, RunStatus::Ok, Some(&outcome), None, wall_ns) {
+                match self.persist(spec, RunStatus::Ok, Some(&outcome), None, None, wall_ns) {
                     Ok(()) => self.finish(id, JobStatus::Done, Some(outcome.value), wall_ns, None),
                     Err(e) => self.finish(id, JobStatus::Failed, None, wall_ns, Some(e)),
                 }
@@ -415,9 +428,18 @@ impl State {
             Ok(Err(abort)) => {
                 self.aborts.fetch_add(1, Ordering::Relaxed);
                 let msg = abort.to_string();
-                // Persist the abort so quarantine replays it; if even the
+                // Persist the abort with its structured cause — the cause
+                // decides whether quarantine replays it; if even the
                 // record fails, the in-memory entry still tells the truth.
-                let _ = self.persist(spec, RunStatus::Aborted, None, Some(&msg), wall_ns);
+                let cause = abort.cause.name();
+                let _ = self.persist(
+                    spec,
+                    RunStatus::Aborted,
+                    None,
+                    Some(&msg),
+                    Some(cause),
+                    wall_ns,
+                );
                 self.finish(id, JobStatus::Aborted, None, wall_ns, Some(msg));
             }
             Err(payload) => {
@@ -426,7 +448,7 @@ impl State {
                 // `&payload` would coerce the Box into the trait object and
                 // make every downcast miss.
                 let msg = format!("job panicked: {}", panic_message(&*payload));
-                let _ = self.persist(spec, RunStatus::Failed, None, Some(&msg), wall_ns);
+                let _ = self.persist(spec, RunStatus::Failed, None, Some(&msg), None, wall_ns);
                 self.finish(id, JobStatus::Failed, None, wall_ns, Some(msg));
             }
         }
@@ -442,12 +464,13 @@ impl State {
         status: RunStatus,
         outcome: Option<&JobOutcome>,
         error: Option<&str>,
+        abort_cause: Option<&str>,
         wall_ns: u64,
     ) -> Result<(), String> {
         let attempt = || {
             self.registry
                 .lock()
-                .record_result(spec, status, outcome, error, wall_ns)
+                .record_result(spec, status, outcome, error, abort_cause, wall_ns)
                 .map(|_| ())
         };
         let first = match attempt() {
@@ -1005,6 +1028,83 @@ mod tests {
         let (_, stats) = client::request(addr, "GET", "/stats", None).unwrap();
         let sv = serde_json::parse_value(&stats).unwrap();
         assert_eq!(sv.get_field("aborts").unwrap(), &Value::UInt(1), "{stats}");
+        handle.stop();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wall_abort_does_not_poison_the_hash_neutral_spec() {
+        let dir = temp_dir("wallq");
+        let spec = JobSpec::parse(r#"{"nx":12,"ny":12}"#).unwrap();
+        {
+            // Pre-seed the registry with a wall-deadline abort for the
+            // spec's hash — what a {"budget":{"wall_ms":1}} submission on
+            // a slow host would have recorded. wall_ms is hash-neutral,
+            // so this is the *same* hash as the unbudgeted spec.
+            let mut reg = Registry::open(&dir).unwrap();
+            reg.record_result(
+                &spec,
+                RunStatus::Aborted,
+                None,
+                Some("run aborted (wall_deadline) at 10 sim cycles, 0 DES events"),
+                Some("wall_deadline"),
+                5,
+            )
+            .unwrap();
+        }
+        let handle = start(&ServeOptions::new(dir.clone())).unwrap();
+        let addr = handle.addr();
+        // The abort is operational, not a property of the spec: the
+        // submission re-runs instead of replaying a quarantined 504.
+        let id = submit_id(addr, r#"{"nx":12,"ny":12}"#);
+        assert_eq!(client::wait_settled(addr, id).unwrap(), "done");
+        // The fresh ok record supersedes the abort for the next tenant.
+        let (status, body) =
+            client::request(addr, "POST", "/jobs", Some(r#"{"nx":12,"ny":12}"#)).unwrap();
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"cached\":true"), "{body}");
+        let (_, stats) = client::request(addr, "GET", "/stats", None).unwrap();
+        let sv = serde_json::parse_value(&stats).unwrap();
+        assert_eq!(sv.get_field("quarantine_hits").unwrap(), &Value::UInt(0));
+        assert_eq!(sv.get_field("quarantine_size").unwrap(), &Value::UInt(0));
+        handle.stop();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wall_abort_after_ok_still_serves_the_ok_record() {
+        let dir = temp_dir("wallok");
+        let spec = JobSpec::parse(r#"{"nx":12,"ny":12}"#).unwrap();
+        let outcome = spec.execute();
+        {
+            // An ok run followed by a wall abort of the same hash (e.g. a
+            // later submission with a too-tight wall_ms on a loaded host).
+            let mut reg = Registry::open(&dir).unwrap();
+            reg.record_run(&spec, &outcome, 42).unwrap();
+            reg.record_result(
+                &spec,
+                RunStatus::Aborted,
+                None,
+                Some("run aborted (wall_deadline) at 3 sim cycles, 0 DES events"),
+                Some("wall_deadline"),
+                2,
+            )
+            .unwrap();
+        }
+        let handle = start(&ServeOptions::new(dir.clone())).unwrap();
+        let addr = handle.addr();
+        // No re-run needed: the earlier completed result answers.
+        let (status, body) =
+            client::request(addr, "POST", "/jobs", Some(r#"{"nx":12,"ny":12}"#)).unwrap();
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"cached\":true"), "{body}");
+        let (_, stats) = client::request(addr, "GET", "/stats", None).unwrap();
+        let sv = serde_json::parse_value(&stats).unwrap();
+        assert_eq!(
+            sv.get_field("sims_run").unwrap(),
+            &Value::UInt(0),
+            "{stats}"
+        );
         handle.stop();
         fs::remove_dir_all(&dir).unwrap();
     }
