@@ -141,6 +141,12 @@ pub enum Command {
         /// Task-crew size (default: one task per worker PE).
         tasks: Option<u32>,
     },
+    /// Statically bound the cost of the distributed solve of the current
+    /// model (cycles, events, messages, memory) without running it.
+    Cost {
+        /// Task-crew size (default: one task per worker PE).
+        tasks: Option<u32>,
+    },
     /// Control event tracing of console commands.
     Trace(TraceAction),
     /// Show the command summary.
@@ -337,6 +343,13 @@ pub fn parse(line: &str) -> Result<Option<Command>, ParseError> {
             },
             _ => return err("usage: VERIFY [TASKS <n>]"),
         },
+        "COST" => match kw.get(1).map(|s| s.as_str()) {
+            None => Command::Cost { tasks: None },
+            Some("TASKS") if toks.len() == 3 => Command::Cost {
+                tasks: Some(parse_num(toks[2], "task count")?),
+            },
+            _ => return err("usage: COST [TASKS <n>]"),
+        },
         "TRACE" => match kw.get(1).map(|s| s.as_str()) {
             Some("ON") => Command::Trace(TraceAction::On),
             Some("OFF") => Command::Trace(TraceAction::Off),
@@ -374,6 +387,7 @@ FREQUENCY                           fundamental eigenvalue / mode
 DISPLAY MODEL|DISPLACEMENTS|STRESSES
 STORE | RETRIEVE <name> | LIST | DELETE <name>
 VERIFY [TASKS <n>]                  static checks of the distributed solve
+COST [TASKS <n>]                    static cost bounds of the distributed solve
 TRACE ON|OFF|EXPORT <path>          event tracing of commands
 HELP | QUIT";
 
@@ -520,6 +534,9 @@ mod tests {
     fn verify_commands_parse() {
         assert_eq!(one("VERIFY"), Command::Verify { tasks: None });
         assert_eq!(one("verify tasks 8"), Command::Verify { tasks: Some(8) });
+        assert_eq!(one("COST"), Command::Cost { tasks: None });
+        assert_eq!(one("cost tasks 8"), Command::Cost { tasks: Some(8) });
+        assert!(parse("COST TASKS").is_err());
         assert!(parse("VERIFY TASKS").is_err());
         assert!(parse("VERIFY NOW").is_err());
     }
@@ -561,7 +578,7 @@ mod tests {
     fn help_text_covers_every_command_family() {
         for kw in [
             "DEFINE", "GENERATE", "MATERIAL", "FIX", "LOADSET", "LOAD", "SOLVE", "STRESSES",
-            "DISPLAY", "STORE", "RETRIEVE", "LIST", "DELETE", "VERIFY", "TRACE", "QUIT",
+            "DISPLAY", "STORE", "RETRIEVE", "LIST", "DELETE", "VERIFY", "COST", "TRACE", "QUIT",
         ] {
             assert!(HELP_TEXT.contains(kw), "HELP missing {kw}");
         }

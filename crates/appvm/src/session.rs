@@ -344,6 +344,33 @@ impl Session {
                 let report = fem2_verify::check_script(&script, &machine);
                 Ok(report.render())
             }
+            Command::Cost { tasks } => {
+                let m = self.workspace.model()?;
+                let dofs = m.dof_count() as u64;
+                if dofs == 0 {
+                    return Err("no unknowns to bound (GENERATE first)".into());
+                }
+                let machine = fem2_machine::MachineConfig::fem2_default();
+                let tasks = tasks.unwrap_or_else(|| machine.total_workers());
+                let script = fem2_verify::lower::solve_script(
+                    format!("{} ({dofs} unknowns, {tasks} tasks)", m.name),
+                    &machine,
+                    tasks,
+                    fem2_verify::lower::SolveShape {
+                        unknowns: dofs,
+                        // CG keeps five vectors live: b, x, r, p, Ap.
+                        vectors: 5,
+                        // One boundary row of unknowns crosses each halo.
+                        halo_words: dofs.isqrt().max(1),
+                    },
+                );
+                let report = fem2_verify::check_cost(
+                    &script,
+                    &machine,
+                    &fem2_verify::CostParams::single_sweep(),
+                );
+                Ok(report.render())
+            }
             Command::Trace(action) => match action {
                 TraceAction::On => {
                     if self.trace.is_none() {

@@ -38,12 +38,15 @@ use serde_json::Value;
 use std::time::Instant;
 
 /// Schema identifier written into the JSON document.
-pub const SCHEMA: &str = "fem2-bench/4";
-/// The previous schema (no per-record `run_status`); still accepted by
-/// [`validate_json`] so stored baselines keep validating.
+pub const SCHEMA: &str = "fem2-bench/5";
+/// The previous schema (no per-record `predicted_events` /
+/// `predicted_cycles` / `tightness`); still accepted by [`validate_json`]
+/// so stored baselines keep validating.
+pub const SCHEMA_V4: &str = "fem2-bench/4";
+/// Two revisions back (additionally no per-record `run_status`).
 pub const SCHEMA_V3: &str = "fem2-bench/3";
-/// Two revisions back (additionally no `commit`, `plan_hash`, or `params`
-/// provenance fields); also still accepted.
+/// Three revisions back (additionally no `commit`, `plan_hash`, or
+/// `params` provenance fields); also still accepted.
 pub const SCHEMA_V2: &str = "fem2-bench/2";
 /// The original schema (additionally lacks `repeat` and
 /// `wall_ns_median`); also still accepted.
@@ -118,6 +121,15 @@ pub struct BenchRecord {
     /// How the record's run ended: `"ok"`, or `"aborted"` when a budget
     /// override cut it short (schema v4).
     pub run_status: String,
+    /// Static DES-event upper bound from the cost pass (schema v5; 0 for
+    /// records the analyzer does not model, e.g. native-plane solvers).
+    pub predicted_events: u64,
+    /// Static sim-cycle upper bound from the cost pass (schema v5; 0 when
+    /// unmodeled).
+    pub predicted_cycles: u64,
+    /// Bound tightness, `predicted_cycles / sim_cycles` (≥ 1 when the
+    /// bound is sound; 0.0 when unmodeled or the run did not complete).
+    pub tightness: f64,
 }
 
 impl BenchRecord {
@@ -131,7 +143,23 @@ impl BenchRecord {
             events_per_sec: 0,
             peak_queue_depth: 0,
             run_status: "ok".into(),
+            predicted_events: 0,
+            predicted_cycles: 0,
+            tightness: 0.0,
         }
+    }
+
+    /// Attach the static cost bounds (and, for completed runs, the
+    /// tightness ratio) to this record.
+    fn with_prediction(mut self, cost: &fem2_verify::CostReport) -> Self {
+        if cost.is_bounded() {
+            self.predicted_events = cost.des_events;
+            self.predicted_cycles = cost.sim_cycles;
+            if self.run_status == "ok" && self.sim_cycles > 0 {
+                self.tightness = cost.sim_cycles as f64 / self.sim_cycles as f64;
+            }
+        }
+        self
     }
 
     fn to_value(&self) -> Value {
@@ -147,6 +175,15 @@ impl BenchRecord {
                 Value::UInt(self.peak_queue_depth),
             ),
             ("run_status".into(), Value::Str(self.run_status.clone())),
+            (
+                "predicted_events".into(),
+                Value::UInt(self.predicted_events),
+            ),
+            (
+                "predicted_cycles".into(),
+                Value::UInt(self.predicted_cycles),
+            ),
+            ("tightness".into(), Value::Float(self.tightness)),
         ])
     }
 }
@@ -240,10 +277,11 @@ fn e1_records(records: &mut Vec<BenchRecord>, opts: BenchOptions, pool: &Pool) {
     };
     let sized = par_sweep(pool, vec![8usize, 16, 32, 48], |n| {
         let scenario = PlateScenario::square(n, e1_config(opts)).with_budget(opts.budget());
+        let cost = fem2_core::verify::scenario_cost(&scenario);
         let (wall, (cycles, status)) = wall_of(|| budgeted(&scenario));
         let mut r = BenchRecord::untraced(format!("e1_plate_{n}"), wall, cycles);
         r.run_status = status.into();
-        r
+        r.with_prediction(&cost)
     });
     records.extend(sized);
     // The traced run: same workload, plus observation.
@@ -251,20 +289,27 @@ fn e1_records(records: &mut Vec<BenchRecord>, opts: BenchOptions, pool: &Pool) {
     let scenario = PlateScenario::square(48, e1_config(opts))
         .with_trace(handle)
         .with_budget(opts.budget());
+    let cost = fem2_core::verify::scenario_cost(&scenario);
     let (wall, (cycles, status)) = wall_of(|| budgeted(&scenario));
     let rec = rec.lock().unwrap_or_else(|e| e.into_inner());
     let events = rec.metrics().total_events();
     let secs = (wall as f64 / 1e9).max(1e-9);
-    records.push(BenchRecord {
-        name: "e1_plate_48_traced".into(),
-        wall_ns: wall,
-        wall_ns_median: wall,
-        sim_cycles: cycles,
-        events,
-        events_per_sec: (events as f64 / secs) as u64,
-        peak_queue_depth: rec.metrics().peak_queue_depth(),
-        run_status: status.into(),
-    });
+    records.push(
+        BenchRecord {
+            name: "e1_plate_48_traced".into(),
+            wall_ns: wall,
+            wall_ns_median: wall,
+            sim_cycles: cycles,
+            events,
+            events_per_sec: (events as f64 / secs) as u64,
+            peak_queue_depth: rec.metrics().peak_queue_depth(),
+            run_status: status.into(),
+            predicted_events: 0,
+            predicted_cycles: 0,
+            tightness: 0.0,
+        }
+        .with_prediction(&cost),
+    );
 }
 
 /// E5: the communication-pattern sweep on the bare network. Each
@@ -345,6 +390,9 @@ fn e7_record(opts: BenchOptions) -> BenchRecord {
         events_per_sec: (events as f64 / secs) as u64,
         peak_queue_depth: rec.metrics().peak_queue_depth(),
         run_status: "ok".into(),
+        predicted_events: 0,
+        predicted_cycles: 0,
+        tightness: 0.0,
     }
 }
 
@@ -521,23 +569,26 @@ impl BenchSuite {
 }
 
 /// Validate a `BENCH_fem2.json` document. Accepts the current
-/// `fem2-bench/4` schema plus the previous three: `fem2-bench/3` lacks
-/// the per-record `run_status`, `fem2-bench/2` additionally lacks the
-/// `commit`/`plan_hash`/`params` provenance fields, and `fem2-bench/1`
-/// additionally lacks the suite `repeat` and per-record `wall_ns_median`.
-/// Returns the number of validated records.
+/// `fem2-bench/5` schema plus the previous four: `fem2-bench/4` lacks the
+/// per-record `predicted_events`/`predicted_cycles`/`tightness`,
+/// `fem2-bench/3` additionally lacks the per-record `run_status`,
+/// `fem2-bench/2` additionally lacks the `commit`/`plan_hash`/`params`
+/// provenance fields, and `fem2-bench/1` additionally lacks the suite
+/// `repeat` and per-record `wall_ns_median`. Returns the number of
+/// validated records.
 pub fn validate_json(text: &str) -> Result<usize, String> {
     let doc: Value = serde_json::from_str(text).map_err(|e| format!("not JSON: {e}"))?;
     let schema = doc.get_field("schema").map_err(|e| e.to_string())?;
     let version = match schema {
-        Value::Str(s) if s == SCHEMA => 4,
+        Value::Str(s) if s == SCHEMA => 5,
+        Value::Str(s) if s == SCHEMA_V4 => 4,
         Value::Str(s) if s == SCHEMA_V3 => 3,
         Value::Str(s) if s == SCHEMA_V2 => 2,
         Value::Str(s) if s == SCHEMA_V1 => 1,
         other => {
             return Err(format!(
-                "schema must be one of \"{SCHEMA}\", \"{SCHEMA_V3}\", \"{SCHEMA_V2}\", \
-                 or \"{SCHEMA_V1}\", found {other:?}"
+                "schema must be one of \"{SCHEMA}\", \"{SCHEMA_V4}\", \"{SCHEMA_V3}\", \
+                 \"{SCHEMA_V2}\", or \"{SCHEMA_V1}\", found {other:?}"
             ))
         }
     };
@@ -620,6 +671,37 @@ pub fn validate_json(text: &str) -> Result<usize, String> {
                 }
             }
         }
+        if version >= 5 {
+            for field in ["predicted_events", "predicted_cycles"] {
+                match rec
+                    .get_field(field)
+                    .map_err(|e| format!("record {i}: {e}"))?
+                {
+                    Value::UInt(_) => {}
+                    Value::Int(v) if *v >= 0 => {}
+                    other => {
+                        return Err(format!(
+                            "record {i}: {field} must be a non-negative integer, found {}",
+                            other.kind()
+                        ))
+                    }
+                }
+            }
+            match rec
+                .get_field("tightness")
+                .map_err(|e| format!("record {i}: {e}"))?
+            {
+                Value::Float(f) if *f >= 0.0 => {}
+                Value::UInt(_) => {}
+                Value::Int(v) if *v >= 0 => {}
+                other => {
+                    return Err(format!(
+                        "record {i}: tightness must be a non-negative number, found {}",
+                        other.kind()
+                    ))
+                }
+            }
+        }
     }
     Ok(results.len())
 }
@@ -648,6 +730,9 @@ mod tests {
                     events_per_sec: 5_000_000,
                     peak_queue_depth: 3,
                     run_status: "ok".into(),
+                    predicted_events: 12,
+                    predicted_cycles: 9,
+                    tightness: 9.0 / 7.0,
                 },
             ],
         }
@@ -682,12 +767,20 @@ mod tests {
                   "events_per_sec":0,"peak_queue_depth":0}}]}}"#
         );
         assert_eq!(validate_json(&v3), Ok(1));
+        // v4: run_status, no prediction fields.
+        let v4 = format!(
+            r#"{{"schema":"{SCHEMA_V4}","machine":"m","commit":"c","plan_hash":"p",
+                "params":"x","repeat":1,"results":[
+                {{"name":"x","wall_ns":1,"wall_ns_median":1,"sim_cycles":2,"events":0,
+                  "events_per_sec":0,"peak_queue_depth":0,"run_status":"ok"}}]}}"#
+        );
+        assert_eq!(validate_json(&v4), Ok(1));
     }
 
     #[test]
     fn v4_requires_run_status() {
         let head = format!(
-            r#""schema":"{SCHEMA}","machine":"m","commit":"c","plan_hash":"p",
+            r#""schema":"{SCHEMA_V4}","machine":"m","commit":"c","plan_hash":"p",
                "params":"x","repeat":1"#
         );
         let record = r#""name":"x","wall_ns":1,"wall_ns_median":1,"sim_cycles":2,
@@ -698,6 +791,59 @@ mod tests {
         assert!(validate_json(&bad).unwrap_err().contains("run_status"));
         let aborted = format!(r#"{{{head},"results":[{{{record},"run_status":"aborted"}}]}}"#);
         assert_eq!(validate_json(&aborted), Ok(1));
+    }
+
+    #[test]
+    fn v5_requires_prediction_fields() {
+        let head = format!(
+            r#""schema":"{SCHEMA}","machine":"m","commit":"c","plan_hash":"p",
+               "params":"x","repeat":1"#
+        );
+        let record = r#""name":"x","wall_ns":1,"wall_ns_median":1,"sim_cycles":2,
+                        "events":0,"events_per_sec":0,"peak_queue_depth":0,
+                        "run_status":"ok""#;
+        let missing = format!(r#"{{{head},"results":[{{{record}}}]}}"#);
+        assert!(validate_json(&missing)
+            .unwrap_err()
+            .contains("predicted_events"));
+        let no_tightness = format!(
+            r#"{{{head},"results":[{{{record},"predicted_events":3,"predicted_cycles":3}}]}}"#
+        );
+        assert!(validate_json(&no_tightness)
+            .unwrap_err()
+            .contains("tightness"));
+        let bad = format!(
+            r#"{{{head},"results":[{{{record},"predicted_events":3,"predicted_cycles":3,
+                "tightness":"big"}}]}}"#
+        );
+        assert!(validate_json(&bad).unwrap_err().contains("tightness"));
+        let full = format!(
+            r#"{{{head},"results":[{{{record},"predicted_events":3,"predicted_cycles":3,
+                "tightness":1.5}}]}}"#
+        );
+        assert_eq!(validate_json(&full), Ok(1));
+    }
+
+    #[test]
+    fn e1_records_carry_sound_prediction_bounds() {
+        let pool = Pool::new(2);
+        let mut records = Vec::new();
+        e1_records(&mut records, BenchOptions::default(), &pool);
+        for r in &records {
+            assert!(
+                r.predicted_cycles >= r.sim_cycles,
+                "{}: bound {} < actual {}",
+                r.name,
+                r.predicted_cycles,
+                r.sim_cycles
+            );
+            assert!(
+                r.tightness >= 1.0,
+                "{}: tightness {} should be >= 1 for completed runs",
+                r.name,
+                r.tightness
+            );
+        }
     }
 
     #[test]

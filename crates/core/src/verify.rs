@@ -10,11 +10,14 @@
 //! without simulating a cycle. A scenario that fails is rejected with
 //! diagnostics naming the tasks and clusters involved.
 
-use crate::scenario::PlateScenario;
+use crate::scenario::{PlateScenario, ASSEMBLY_PROFILE_PER_ELEMENT, STRESS_PROFILE_PER_ELEMENT};
 use crate::spec;
-use fem2_machine::{MachineConfig, Topology};
+use fem2_kernel::WorkProfile;
+use fem2_machine::{CostClass, MachineConfig, Topology};
 use fem2_verify::lower::{solve_script, SolveShape};
-use fem2_verify::{check_grammar, check_script, Report, ScenarioScript};
+use fem2_verify::{
+    check_grammar, check_script, CostModeler, CostParams, CostReport, Report, ScenarioScript,
+};
 
 /// Number of solver vectors a plate CG run keeps live: b, x, r, p, Ap.
 pub const CG_LIVE_VECTORS: u64 = 5;
@@ -36,6 +39,80 @@ pub fn scenario_script(s: &PlateScenario) -> ScenarioScript {
             halo_words: s.nx as u64,
         },
     )
+}
+
+/// Sound upper bounds for one plate scenario: the lowered script's spawn,
+/// window-exchange (swept `max_iters` times), and allocation structure,
+/// plus the numeric work the script does not carry — the per-element
+/// assembly/stress profiles and the solver's elementwise and reduction
+/// charges, each at its CG iteration cap.
+///
+/// Every number over-approximates what [`PlateScenario::run`] charges: the
+/// serial sum of all charges dominates the barrier-synchronized actual
+/// (see `fem2_verify::cost` for the argument), iteration-dependent work is
+/// taken at `max_iters >= iterations`, the script's halo pairs are a
+/// superset of the runtime's (shares of `nx*ny` versus shares of `ny`),
+/// and the per-cluster allocations are the exact arena claims. The
+/// soundness property test in `tests/tests/verify.rs` exercises this
+/// against real runs over randomized scenarios.
+pub fn scenario_cost(s: &PlateScenario) -> CostReport {
+    let script = scenario_script(s);
+    let params = CostParams {
+        sweep_iters: s.max_iters.max(1) as u64,
+    };
+    let mut m = CostModeler::new(script.name.clone(), &s.machine);
+    m.walk_script(&script, &params);
+
+    let n = (s.nx * s.ny) as u64;
+    let elements = ((s.nx - 1).max(1) * (s.ny - 1).max(1)) as u64;
+    let tasks = u64::from(s.tasks);
+    let iters = s.max_iters.max(1) as u64;
+    let clusters = s.machine.clusters;
+    let charge_profile = |m: &mut CostModeler, p: &WorkProfile, count: u64| {
+        m.charge(CostClass::Flop, p.flops.saturating_mul(count));
+        m.charge(CostClass::IntOp, p.int_ops.saturating_mul(count));
+        m.charge(CostClass::MemWord, p.mem_words.saturating_mul(count));
+    };
+
+    m.begin_phase("assembly");
+    charge_profile(&mut m, &ASSEMBLY_PROFILE_PER_ELEMENT, elements);
+    m.charge(CostClass::ContextSwitch, tasks);
+
+    m.begin_phase("solve");
+    // Parallel sections context-switch every task: the fill, two copies,
+    // and first inner product before the loop, then per iteration one
+    // stencil, two inners, two axpys, and one xpby.
+    let sections = 4 + 6 * iters;
+    m.charge(CostClass::ContextSwitch, sections.saturating_mul(tasks));
+    // fill(b): one int op and one stored word per element.
+    m.charge(CostClass::IntOp, n);
+    m.charge(CostClass::MemWord, n);
+    // copy(b, r) and copy(r, p): two words moved per element each.
+    m.charge(CostClass::MemWord, 4 * n);
+    // Inner products — one before the loop, two per iteration — at two
+    // flops and two words per element, each ending in a tree reduction of
+    // 2-word transfers to and from cluster 0.
+    let inners = 1 + 2 * iters;
+    m.charge(CostClass::Flop, inners.saturating_mul(2 * n));
+    m.charge(CostClass::MemWord, inners.saturating_mul(2 * n));
+    for c in 1..clusters {
+        m.message_times(c, 0, 2, inners);
+        m.message_times(0, c, 2, inners);
+    }
+    // axpy twice and xpby once per iteration: 2 flops, 3 words per element.
+    m.charge(CostClass::Flop, (3 * iters).saturating_mul(2 * n));
+    m.charge(CostClass::MemWord, (3 * iters).saturating_mul(3 * n));
+    // Stencil elementwise work per iteration; its halo exchange is already
+    // covered by the script's window sweeps above.
+    m.charge(CostClass::Flop, iters.saturating_mul(8 * n));
+    m.charge(CostClass::IntOp, iters.saturating_mul(6 * n));
+    m.charge(CostClass::MemWord, iters.saturating_mul(6 * n));
+
+    m.begin_phase("stress");
+    charge_profile(&mut m, &STRESS_PROFILE_PER_ELEMENT, elements);
+    m.charge(CostClass::ContextSwitch, tasks);
+
+    m.finish()
 }
 
 /// The four layer grammars, named, in layer order.
@@ -110,6 +187,39 @@ pub fn check_catalog() -> Vec<Report> {
     reports
 }
 
+/// Static cost bounds for every example scenario, in catalog order, each
+/// at its CG iteration cap.
+pub fn catalog_costs() -> Vec<(&'static str, CostReport)> {
+    example_scenarios()
+        .iter()
+        .map(|(name, scenario)| (*name, scenario_cost(scenario)))
+        .collect()
+}
+
+/// Render the catalog's cost bounds as the `fem2-report --check` table.
+pub fn render_cost_table(costs: &[(&str, CostReport)]) -> String {
+    let mut out = String::from(
+        "COST BOUNDS (sound upper bounds per example scenario, at the CG iteration cap)\n\n",
+    );
+    out.push_str(&format!(
+        "{:<18} {:>16} {:>12} {:>10} {:>10}  {}\n",
+        "scenario", "sim cycles", "DES events", "messages", "peak mem", "verdict"
+    ));
+    for (name, c) in costs {
+        let verdict = match &c.verdict {
+            fem2_verify::CostVerdict::Bounded => "bounded".to_string(),
+            fem2_verify::CostVerdict::Unbounded { span, .. } => {
+                format!("UNBOUNDED (line {})", span.line)
+            }
+        };
+        out.push_str(&format!(
+            "{name:<18} {:>16} {:>12} {:>10} {:>10}  {verdict}\n",
+            c.sim_cycles, c.des_events, c.messages, c.peak_memory_words
+        ));
+    }
+    out
+}
+
 /// Render a catalog run as the `fem2-report --check` output.
 pub fn render_catalog(reports: &[Report]) -> String {
     let mut out =
@@ -118,6 +228,8 @@ pub fn render_catalog(reports: &[Report]) -> String {
         out.push_str(&r.render());
         out.push('\n');
     }
+    out.push_str(&render_cost_table(&catalog_costs()));
+    out.push('\n');
     let errors: usize = reports.iter().map(Report::error_count).sum();
     let warnings: usize = reports.iter().map(Report::warning_count).sum();
     out.push_str(&format!(
@@ -139,10 +251,25 @@ pub fn catalog_json(reports: &[Report]) -> String {
     let errors: usize = reports.iter().map(Report::error_count).sum();
     let warnings: usize = reports.iter().map(Report::warning_count).sum();
     let doc = Value::Obj(vec![
-        ("schema".into(), Value::Str("fem2-verify/1".into())),
+        ("schema".into(), Value::Str("fem2-verify/2".into())),
         (
             "subjects".into(),
             Value::Arr(reports.iter().map(|r| r.to_value()).collect()),
+        ),
+        (
+            "cost".into(),
+            Value::Arr(
+                catalog_costs()
+                    .iter()
+                    .map(|(name, c)| {
+                        let Value::Obj(mut fields) = c.to_value() else {
+                            unreachable!("cost reports serialize as objects")
+                        };
+                        fields.insert(0, ("scenario".into(), Value::Str((*name).into())));
+                        Value::Obj(fields)
+                    })
+                    .collect(),
+            ),
         ),
         ("errors".into(), Value::UInt(errors as u64)),
         ("warnings".into(), Value::UInt(warnings as u64)),
@@ -174,7 +301,7 @@ mod tests {
         let v: serde::json::Value = serde_json::from_str(&text).expect("valid JSON");
         assert_eq!(
             v.get_field("schema").unwrap(),
-            &serde::json::Value::Str("fem2-verify/1".into())
+            &serde::json::Value::Str("fem2-verify/2".into())
         );
         match v.get_field("subjects").unwrap() {
             serde::json::Value::Arr(items) => assert_eq!(items.len(), reports.len()),

@@ -21,7 +21,11 @@ use fem2_serve::{client, report, ChaosPlan, Registry, ServeOptions};
 
 const USAGE: &str = "usage: fem2-serve <serve|report|ingest-bench|submit|status|result|list> ...
   serve        --data-dir DIR [--port N] [--workers N] [--queue N] [--chaos PLAN]
+               [--quota-cycles N] [--quota-events N] [--quota-memory WORDS]
+               [--budget-slack PCT]
                PLAN is inline JSON ('{...}') or a file path; see chaos docs
+               quotas reject plates whose static cost bound exceeds them (422);
+               --budget-slack pads auto-derived run budgets (default 150 = x1.5)
   report       --data-dir DIR --out DIR
   ingest-bench --data-dir DIR FILE...
   submit       --addr HOST:PORT [--wait] FILE
@@ -38,6 +42,10 @@ struct Args {
     queue: usize,
     wait: bool,
     chaos: Option<ChaosPlan>,
+    quota_cycles: Option<u64>,
+    quota_events: Option<u64>,
+    quota_memory: Option<u64>,
+    budget_slack: u64,
     positional: Vec<String>,
 }
 
@@ -51,6 +59,10 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         queue: 16,
         wait: false,
         chaos: None,
+        quota_cycles: None,
+        quota_events: None,
+        quota_memory: None,
+        budget_slack: 150,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -80,6 +92,33 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                 out.queue = raw.parse().map_err(|e| format!("--queue {raw}: {e}"))?;
             }
             "--chaos" => out.chaos = Some(ChaosPlan::load(&value("--chaos")?)?),
+            "--quota-cycles" => {
+                let raw = value("--quota-cycles")?;
+                out.quota_cycles = Some(
+                    raw.parse()
+                        .map_err(|e| format!("--quota-cycles {raw}: {e}"))?,
+                );
+            }
+            "--quota-events" => {
+                let raw = value("--quota-events")?;
+                out.quota_events = Some(
+                    raw.parse()
+                        .map_err(|e| format!("--quota-events {raw}: {e}"))?,
+                );
+            }
+            "--quota-memory" => {
+                let raw = value("--quota-memory")?;
+                out.quota_memory = Some(
+                    raw.parse()
+                        .map_err(|e| format!("--quota-memory {raw}: {e}"))?,
+                );
+            }
+            "--budget-slack" => {
+                let raw = value("--budget-slack")?;
+                out.budget_slack = raw
+                    .parse()
+                    .map_err(|e| format!("--budget-slack {raw}: {e}"))?;
+            }
             "--wait" => out.wait = true,
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
             other => out.positional.push(other.to_string()),
@@ -112,6 +151,10 @@ fn cmd_serve(a: &Args) -> Result<(), String> {
     opts.workers = a.workers;
     opts.queue_capacity = a.queue;
     opts.chaos = a.chaos.clone();
+    opts.quota_cycles = a.quota_cycles;
+    opts.quota_events = a.quota_events;
+    opts.quota_memory_words = a.quota_memory;
+    opts.budget_slack_percent = a.budget_slack;
     let mut handle = fem2_serve::start(&opts)?;
     let chaos = if opts.chaos.as_ref().is_some_and(ChaosPlan::is_armed) {
         ", CHAOS ARMED"

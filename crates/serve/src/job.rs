@@ -22,7 +22,7 @@
 use fem2_core::hash::{content_hash_value, hash_hex};
 use fem2_core::PlateScenario;
 use fem2_machine::{MachineConfig, RunAborted, RunBudget};
-use fem2_verify::{check_script, Op, Report, ScenarioScript};
+use fem2_verify::{check_cost, check_script, CostParams, CostReport, Op, Report, ScenarioScript};
 use serde::json::Value;
 use serde::{Deserialize as _, Serialize as _};
 use std::time::Duration;
@@ -530,6 +530,26 @@ impl JobSpec {
         }
     }
 
+    /// Sound static cost bounds for this job: what the run can consume,
+    /// *at most*, before a single cycle is simulated. Plate jobs bound
+    /// the full assembly → solve → stress pipeline at the CG iteration
+    /// cap; script jobs bound the script itself (they never simulate, so
+    /// their bound is trivially sound, but an `Unbounded` verdict still
+    /// flags scripts whose cost the analyzer cannot close, e.g. remote
+    /// calls).
+    pub fn cost_report(&self) -> CostReport {
+        match self {
+            JobSpec::Plate(p) => fem2_core::verify::scenario_cost(&p.scenario()),
+            JobSpec::Script(s) => {
+                let mut script = ScenarioScript::new(s.name.clone());
+                for op in &s.ops {
+                    script.push(op.clone());
+                }
+                check_cost(&script, &s.machine, &CostParams::single_sweep())
+            }
+        }
+    }
+
     /// Execute the admitted job and produce its outcome, ignoring any run
     /// budget. Plate jobs simulate (the caller charges this against the
     /// run counter); script jobs complete with their verification verdict.
@@ -551,6 +571,23 @@ impl JobSpec {
             JobSpec::Plate(p) => Ok(JobOutcome {
                 value: plate_outcome(&p.scenario().run_budgeted()?),
             }),
+            JobSpec::Script(_) => Ok(self.script_outcome()),
+        }
+    }
+
+    /// Execute under an explicit budget (the supervisor's *effective*
+    /// budget — see [`PlateJob::effective_budget`]) instead of the one
+    /// parsed from the submission. The budget is an execution harness, not
+    /// job identity: it never feeds the content hash.
+    pub fn execute_with_budget(&self, budget: RunBudget) -> Result<JobOutcome, RunAborted> {
+        match self {
+            JobSpec::Plate(p) => {
+                let mut s = p.scenario();
+                s.budget = budget;
+                Ok(JobOutcome {
+                    value: plate_outcome(&s.run_budgeted()?),
+                })
+            }
             JobSpec::Script(_) => Ok(self.script_outcome()),
         }
     }
@@ -610,7 +647,7 @@ impl PlateJob {
         s
     }
 
-    /// The job's run budget (unlimited when no field is set).
+    /// The budget exactly as submitted (unlimited when no field is set).
     pub fn budget(&self) -> RunBudget {
         RunBudget {
             max_sim_cycles: self.budget_cycles,
@@ -618,6 +655,37 @@ impl PlateJob {
             wall_limit: self.budget_wall_ms.map(Duration::from_millis),
             cancel: None,
         }
+    }
+
+    /// The budget the supervisor actually arms, by the precedence rule of
+    /// DESIGN.md §8.1: an explicitly submitted deterministic cap always
+    /// wins; a *missing* cycle or event cap is auto-derived from the
+    /// static cost bound padded by `slack_percent` (clamped to ≥ 100).
+    /// Soundness makes the derived cap safe: bound ≥ actual, so a healthy
+    /// run can never trip it — only a run that exceeds its own static
+    /// bound (a cost-model or simulator bug) aborts. On an `Unbounded`
+    /// verdict the missing caps fall back to unlimited; `wall_ms` is
+    /// operational and never auto-derived.
+    ///
+    /// Returns the armed budget plus whether any cap was auto-derived.
+    pub fn effective_budget(&self, cost: &CostReport, slack_percent: u64) -> (RunBudget, bool) {
+        let mut budget = self.budget();
+        let mut auto = false;
+        if cost.is_bounded() {
+            let slack = slack_percent.max(100);
+            // Saturate *up* on overflow: a cap too large is merely loose,
+            // a cap rounded below the bound would abort sound runs.
+            let pad = |bound: u64| bound.checked_mul(slack).map_or(u64::MAX, |v| v / 100);
+            if budget.max_sim_cycles.is_none() {
+                budget.max_sim_cycles = Some(pad(cost.sim_cycles).max(1));
+                auto = true;
+            }
+            if budget.max_des_events.is_none() {
+                budget.max_des_events = Some(pad(cost.des_events).max(1));
+                auto = true;
+            }
+        }
+        (budget, auto)
     }
 
     /// Whether any budget limit is armed.
@@ -746,9 +814,9 @@ mod tests {
             "pre-budget specs must serialize unchanged"
         );
         // Wall-clock limits are operational, not identity.
-        let walled = JobSpec::parse(r#"{"nx":16,"ny":16,"budget":{"wall_ms":5000}}"#).unwrap();
-        assert_eq!(plain.content_hash(), walled.content_hash());
-        assert!(field(&walled.to_value(), "budget").is_none());
+        let with_wall = JobSpec::parse(r#"{"nx":16,"ny":16,"budget":{"wall_ms":5000}}"#).unwrap();
+        assert_eq!(plain.content_hash(), with_wall.content_hash());
+        assert!(field(&with_wall.to_value(), "budget").is_none());
     }
 
     #[test]
@@ -783,6 +851,67 @@ mod tests {
         // The same spec without supervision still completes.
         let unbudgeted = JobSpec::parse(r#"{"nx":24,"ny":24}"#).unwrap();
         assert!(unbudgeted.execute_budgeted().is_ok());
+    }
+
+    #[test]
+    fn cost_bound_is_sound_for_the_default_plate_job() {
+        let spec = JobSpec::parse(r#"{"nx":12,"ny":12}"#).unwrap();
+        let cost = spec.cost_report();
+        assert!(cost.is_bounded());
+        let out = spec.execute();
+        let Some(Value::UInt(actual)) = field(&out.value, "sim_cycles") else {
+            panic!("{:?}", out.value);
+        };
+        assert!(
+            cost.sim_cycles >= *actual,
+            "bound {} < actual {actual}",
+            cost.sim_cycles
+        );
+    }
+
+    #[test]
+    fn effective_budget_prefers_explicit_caps_and_autofills_the_rest() {
+        let spec = JobSpec::parse(r#"{"nx":12,"ny":12,"budget":{"max_sim_cycles":777}}"#).unwrap();
+        let JobSpec::Plate(p) = &spec else {
+            panic!("expected plate job");
+        };
+        let cost = spec.cost_report();
+        let (budget, auto) = p.effective_budget(&cost, 150);
+        assert!(auto, "missing event cap must be auto-derived");
+        // The explicit cap survives untouched; the derived one carries
+        // the slack.
+        assert_eq!(budget.max_sim_cycles, Some(777));
+        assert_eq!(
+            budget.max_des_events,
+            Some(cost.des_events.checked_mul(150).unwrap() / 100)
+        );
+        // A fully explicit budget derives nothing.
+        let spec = JobSpec::parse(
+            r#"{"nx":12,"ny":12,"budget":{"max_sim_cycles":777,"max_des_events":888}}"#,
+        )
+        .unwrap();
+        let JobSpec::Plate(p) = &spec else {
+            panic!("expected plate job");
+        };
+        let (budget, auto) = p.effective_budget(&spec.cost_report(), 150);
+        assert!(!auto);
+        assert_eq!(budget.max_sim_cycles, Some(777));
+        assert_eq!(budget.max_des_events, Some(888));
+    }
+
+    #[test]
+    fn auto_derived_budget_never_aborts_a_sound_run() {
+        let spec = JobSpec::parse(r#"{"nx":12,"ny":12}"#).unwrap();
+        let JobSpec::Plate(p) = &spec else {
+            panic!("expected plate job");
+        };
+        // Even with zero slack the bound itself is ≥ the actual run.
+        let (budget, auto) = p.effective_budget(&spec.cost_report(), 100);
+        assert!(auto);
+        let out = spec
+            .execute_with_budget(budget)
+            .expect("auto budget must not fire on a healthy run");
+        assert_eq!(field(&out.value, "converged").unwrap(), &Value::Bool(true));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The persistent run registry: an append-only JSONL log plus a derived
 //! index, both under the server's `--data-dir`.
 //!
-//! Layout (schema `fem2-registry/2`, documented in DESIGN.md):
+//! Layout (schema `fem2-registry/3`, documented in DESIGN.md):
 //!
 //! * `runs.jsonl` — one JSON object per line, append-only, flushed after
 //!   every record. Two record kinds share the log, discriminated by
@@ -21,6 +21,12 @@
 //! persisted successful runs; rev 2 records written before `abort_cause`
 //! existed recover the cause from the error text on load.
 //!
+//! Schema rev 3 adds an optional `predicted` object to plate run records
+//! — the static cost bounds (`sim_cycles`, `des_events`, `messages`,
+//! `peak_memory_words`) the admission pass computed for the spec — so the
+//! report site can plot predicted-vs-actual tightness. Rev 1/2 records
+//! load with no prediction and render without tightness lines.
+//!
 //! Crash safety: a torn final line (power loss mid-append) is truncated
 //! away on open — before the append handle is created — so every earlier
 //! record still loads and the next append starts on a clean line instead
@@ -39,9 +45,12 @@ use crate::util::{json_compact, json_pretty};
 use crate::job::{JobOutcome, JobSpec, RunStatus};
 
 /// Registry log schema identifier, stamped on every record.
-pub const SCHEMA: &str = "fem2-registry/2";
+pub const SCHEMA: &str = "fem2-registry/3";
 
-/// The previous schema revision (no `status` field; replayed as `ok`).
+/// Rev 2: run endings (`status`/`error`/`abort_cause`), no `predicted`.
+pub const SCHEMA_V2: &str = "fem2-registry/2";
+
+/// Rev 1: no `status` field; records replay as `ok`.
 pub const SCHEMA_V1: &str = "fem2-registry/1";
 
 /// A completed job run, as replayed from the log.
@@ -68,6 +77,10 @@ pub struct RunRecord {
     /// Structured abort cause for `aborted` runs (`cycles_exceeded`,
     /// `events_exceeded`, `wall_deadline`, `cancelled`).
     pub abort_cause: Option<String>,
+    /// Static cost bounds predicted at admission (rev 3, plate runs with
+    /// a bounded verdict only): an object with `sim_cycles`,
+    /// `des_events`, `messages`, and `peak_memory_words`.
+    pub predicted: Option<Value>,
 }
 
 impl RunRecord {
@@ -274,6 +287,9 @@ impl Registry {
                             status,
                             error,
                             abort_cause,
+                            predicted: field(&v, "predicted")
+                                .filter(|p| matches!(p, Value::Obj(_)))
+                                .cloned(),
                         };
                         next_seq = next_seq.max(rec.seq + 1);
                         runs.push(rec);
@@ -400,6 +416,27 @@ impl Registry {
             JobSpec::Plate(_) => "plate",
             JobSpec::Script(_) => "script",
         };
+        // Rev 3: stamp plate records with the static cost bounds the
+        // admission pass predicted, so the report site can plot
+        // predicted-vs-actual tightness. Scripts never simulate, so a
+        // prediction would have nothing to be compared against.
+        let predicted = match spec {
+            JobSpec::Plate(_) => {
+                let cost = spec.cost_report();
+                cost.is_bounded().then(|| {
+                    Value::Obj(vec![
+                        ("sim_cycles".into(), Value::UInt(cost.sim_cycles)),
+                        ("des_events".into(), Value::UInt(cost.des_events)),
+                        ("messages".into(), Value::UInt(cost.messages)),
+                        (
+                            "peak_memory_words".into(),
+                            Value::UInt(cost.peak_memory_words),
+                        ),
+                    ])
+                })
+            }
+            JobSpec::Script(_) => None,
+        };
         let rec = RunRecord {
             seq: self.next_seq,
             hash: spec.content_hash(),
@@ -411,6 +448,7 @@ impl Registry {
             status,
             error: error.map(str::to_string),
             abort_cause: abort_cause.map(str::to_string),
+            predicted,
         };
         let mut doc = vec![
             ("schema".into(), Value::Str(SCHEMA.into())),
@@ -428,6 +466,9 @@ impl Registry {
         }
         if let Some(c) = &rec.abort_cause {
             doc.push(("abort_cause".into(), Value::Str(c.clone())));
+        }
+        if let Some(p) = &rec.predicted {
+            doc.push(("predicted".into(), p.clone()));
         }
         self.append_line(&Value::Obj(doc))?;
         if rec.quarantines() {
@@ -659,6 +700,46 @@ mod tests {
         let outcome3 = spec3.execute();
         let rec = reg.record_run(&spec3, &outcome3, 3).unwrap();
         assert_eq!(rec.seq, 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rev3_plate_records_persist_sound_predicted_bounds() {
+        let dir = temp_dir("predicted");
+        let spec = sample_spec();
+        let outcome = spec.execute();
+        {
+            let mut reg = Registry::open(&dir).unwrap();
+            reg.record_run(&spec, &outcome, 1).unwrap();
+        }
+        // The prediction survives the reopen replay.
+        let reg = Registry::open(&dir).unwrap();
+        let rec = reg.lookup(&spec.content_hash()).unwrap();
+        let pred = rec.predicted.as_ref().expect("plate runs carry bounds");
+        let bound = u64_field(pred, "sim_cycles").expect("predicted cycles");
+        let actual = u64_field(&rec.outcome, "sim_cycles").expect("actual cycles");
+        assert!(bound >= actual, "bound {bound} < actual {actual}");
+        assert!(u64_field(pred, "des_events").is_some());
+        assert!(u64_field(pred, "peak_memory_words").is_some());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pre_rev3_records_load_without_a_prediction() {
+        let dir = temp_dir("no-predicted");
+        fs::create_dir_all(&dir).unwrap();
+        let spec = sample_spec();
+        let line = format!(
+            "{{\"schema\":\"fem2-registry/2\",\"kind\":\"plate\",\"seq\":0,\
+             \"hash\":\"{}\",\"name\":\"old\",\"spec\":{},\"outcome\":{{\"kind\":\"plate\"}},\
+             \"wall_ns\":5,\"status\":\"ok\"}}\n",
+            spec.content_hash(),
+            json_compact(&spec.to_value()),
+        );
+        fs::write(dir.join("runs.jsonl"), line).unwrap();
+        let reg = Registry::open(&dir).unwrap();
+        let rec = reg.lookup(&spec.content_hash()).expect("rev2 record loads");
+        assert!(rec.predicted.is_none());
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -70,10 +70,24 @@ pub struct ServeOptions {
     pub request_deadline: Duration,
     /// Deterministic fault plan (`--chaos`); `None` in production.
     pub chaos: Option<ChaosPlan>,
+    /// Reject plate submissions whose static sim-cycle *bound* exceeds
+    /// this (`--quota-cycles`); `None` disables the check.
+    pub quota_cycles: Option<u64>,
+    /// Reject plate submissions whose static DES-event bound exceeds
+    /// this (`--quota-events`).
+    pub quota_events: Option<u64>,
+    /// Reject plate submissions whose static peak-memory bound (words on
+    /// the busiest cluster) exceeds this (`--quota-memory`).
+    pub quota_memory_words: Option<u64>,
+    /// Slack applied when auto-deriving a run budget from the static
+    /// cost bound, in percent (150 = bound × 1.5); clamped to ≥ 100 so
+    /// the derived cap can never undercut the bound.
+    pub budget_slack_percent: u64,
 }
 
 impl ServeOptions {
-    /// Defaults: ephemeral port, two workers, depth 16, no chaos.
+    /// Defaults: ephemeral port, two workers, depth 16, no chaos, no
+    /// quotas, 150% budget slack.
     pub fn new(data_dir: PathBuf) -> Self {
         ServeOptions {
             data_dir,
@@ -82,6 +96,10 @@ impl ServeOptions {
             queue_capacity: 16,
             request_deadline: REQUEST_DEADLINE,
             chaos: None,
+            quota_cycles: None,
+            quota_events: None,
+            quota_memory_words: None,
+            budget_slack_percent: 150,
         }
     }
 }
@@ -155,6 +173,12 @@ pub struct State {
     aborts: AtomicU64,
     /// Submissions answered from a quarantined failure record.
     quarantine_hits: AtomicU64,
+    /// Submissions rejected at admission because their static cost bound
+    /// exceeded an operator quota (or was unbounded under a quota).
+    cost_rejections: AtomicU64,
+    /// Admitted plate jobs whose run budget was (partly) auto-derived
+    /// from the static cost bound.
+    auto_budgeted: AtomicU64,
     /// Registry writes that failed once and were retried.
     infra_retries: AtomicU64,
     /// Whether the most recent registry write (after any retry) landed.
@@ -166,6 +190,12 @@ pub struct State {
     stop: AtomicBool,
     capacity: usize,
     workers: usize,
+    /// Operator quotas on the *static bounds* of plate submissions.
+    quota_cycles: Option<u64>,
+    quota_events: Option<u64>,
+    quota_memory_words: Option<u64>,
+    /// Slack (percent, ≥ 100) for budgets auto-derived from cost bounds.
+    budget_slack_percent: u64,
 }
 
 /// A running server: bound address plus its threads.
@@ -236,6 +266,20 @@ impl State {
                 );
             }
             return Response::json(422, json_pretty(&doc));
+        }
+        // Station 1b: predictive admission. When the operator armed a
+        // quota, the static cost pass upper-bounds the run before any
+        // cycle is simulated; a plate whose *bound* already exceeds the
+        // quota is refused here, before it can touch the cache, the
+        // queue, or a worker. The check is conservative by construction
+        // (the bound is sound, so it can over- but never under-estimate),
+        // which is the correct polarity for admission. Script jobs never
+        // simulate, so quotas do not apply to them.
+        if matches!(spec, JobSpec::Plate(_)) && self.has_quota() {
+            if let Some(resp) = self.enforce_quota(&spec) {
+                self.cost_rejections.fetch_add(1, Ordering::Relaxed);
+                return resp;
+            }
         }
         let hash = spec.content_hash();
 
@@ -384,6 +428,76 @@ impl State {
         Response::json(201, json_compact(&resp))
     }
 
+    fn has_quota(&self) -> bool {
+        self.quota_cycles.is_some()
+            || self.quota_events.is_some()
+            || self.quota_memory_words.is_some()
+    }
+
+    /// The quota gate: `Some(422)` when the spec's static cost bound
+    /// exceeds an armed quota (or carries an `Unbounded` verdict, which
+    /// no quota can admit). The response body carries the structured
+    /// diagnostics — each violation names the bound and the limit it
+    /// broke — plus the full cost report, so a rejected tenant can size
+    /// the job down without guessing.
+    fn enforce_quota(&self, spec: &JobSpec) -> Option<Response> {
+        let cost = spec.cost_report();
+        let mut violations: Vec<(String, Option<u32>)> = Vec::new();
+        match &cost.verdict {
+            fem2_verify::CostVerdict::Unbounded { reason, span } => {
+                violations.push((
+                    format!("cost bound is unbounded ({reason}); quotas cannot admit it"),
+                    Some(span.line),
+                ));
+            }
+            fem2_verify::CostVerdict::Bounded => {
+                for (what, bound, quota) in [
+                    ("sim cycles", cost.sim_cycles, self.quota_cycles),
+                    ("DES events", cost.des_events, self.quota_events),
+                    (
+                        "peak memory words",
+                        cost.peak_memory_words,
+                        self.quota_memory_words,
+                    ),
+                ] {
+                    if let Some(limit) = quota {
+                        if bound > limit {
+                            violations.push((
+                                format!(
+                                    "static bound of {bound} {what} exceeds the quota of {limit}"
+                                ),
+                                None,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        if violations.is_empty() {
+            return None;
+        }
+        let diagnostics: Vec<Value> = violations
+            .into_iter()
+            .map(|(message, line)| {
+                let mut pairs = vec![
+                    ("kind".to_string(), Value::Str("error".into())),
+                    ("pass".to_string(), Value::Str("cost".into())),
+                    ("message".to_string(), Value::Str(message)),
+                ];
+                if let Some(line) = line {
+                    pairs.push(("line".to_string(), Value::UInt(u64::from(line))));
+                }
+                Value::Obj(pairs)
+            })
+            .collect();
+        let doc = obj(vec![
+            ("error", Value::Str("rejected by cost quota".into())),
+            ("diagnostics", Value::Arr(diagnostics)),
+            ("cost", cost.to_value()),
+        ]);
+        Some(Response::json(422, json_pretty(&doc)))
+    }
+
     /// Execute one admitted job on a pool worker, supervised: panics are
     /// caught and recorded as failures, budget aborts surface as aborted,
     /// and every ending — ok, failed, aborted — is persisted before the
@@ -399,6 +513,22 @@ impl State {
             .chaos
             .as_ref()
             .map_or((false, None), |c| c.on_dispatch());
+        // Arm the effective budget: explicit caps win, missing cycle and
+        // event caps are auto-derived from the static cost bound × slack.
+        // Soundness (bound ≥ actual) means the derived cap only ever
+        // fires on a run that violates its own static bound — a
+        // cost-model or simulator bug, which *should* abort loudly.
+        let budget = match spec {
+            JobSpec::Plate(p) => {
+                let (budget, auto) =
+                    p.effective_budget(&spec.cost_report(), self.budget_slack_percent);
+                if auto {
+                    self.auto_budgeted.fetch_add(1, Ordering::Relaxed);
+                }
+                budget
+            }
+            JobSpec::Script(_) => fem2_machine::RunBudget::unlimited(),
+        };
         let t0 = Instant::now();
         // The unwind boundary: a panic in the scenario (or an injected
         // one) must not cross into the pool scope, where it would poison
@@ -410,7 +540,7 @@ impl State {
             if chaos_panic {
                 panic!("chaos: injected worker panic");
             }
-            spec.execute_budgeted()
+            spec.execute_with_budget(budget)
         }));
         let wall_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
         if matches!(spec, JobSpec::Plate(_)) {
@@ -541,6 +671,14 @@ impl State {
                 Value::UInt(self.quarantine_hits.load(Ordering::Relaxed)),
             ),
             (
+                "cost_rejections",
+                Value::UInt(self.cost_rejections.load(Ordering::Relaxed)),
+            ),
+            (
+                "auto_budgeted",
+                Value::UInt(self.auto_budgeted.load(Ordering::Relaxed)),
+            ),
+            (
                 "infra_retries",
                 Value::UInt(self.infra_retries.load(Ordering::Relaxed)),
             ),
@@ -581,6 +719,14 @@ impl State {
             ("capacity", Value::UInt(self.capacity as u64)),
             ("in_flight", Value::UInt(in_flight as u64)),
             ("quarantine_size", Value::UInt(quarantine as u64)),
+            (
+                "cost_rejections",
+                Value::UInt(self.cost_rejections.load(Ordering::Relaxed)),
+            ),
+            (
+                "auto_budgeted",
+                Value::UInt(self.auto_budgeted.load(Ordering::Relaxed)),
+            ),
             ("last_registry_write_ok", Value::Bool(write_ok)),
         ]);
         Response::json(if ready { 200 } else { 503 }, json_pretty(&doc))
@@ -760,6 +906,8 @@ pub fn start(opts: &ServeOptions) -> Result<ServerHandle, String> {
         panics: AtomicU64::new(0),
         aborts: AtomicU64::new(0),
         quarantine_hits: AtomicU64::new(0),
+        cost_rejections: AtomicU64::new(0),
+        auto_budgeted: AtomicU64::new(0),
         infra_retries: AtomicU64::new(0),
         last_registry_write_ok: AtomicBool::new(true),
         chaos,
@@ -768,6 +916,10 @@ pub fn start(opts: &ServeOptions) -> Result<ServerHandle, String> {
         stop: AtomicBool::new(false),
         capacity: opts.queue_capacity.max(1),
         workers: opts.workers.max(1),
+        quota_cycles: opts.quota_cycles,
+        quota_events: opts.quota_events,
+        quota_memory_words: opts.quota_memory_words,
+        budget_slack_percent: opts.budget_slack_percent.max(100),
     });
 
     // Scheduler: a long-lived fem2-par scope fed over a channel. Each
@@ -1028,6 +1180,67 @@ mod tests {
         let (_, stats) = client::request(addr, "GET", "/stats", None).unwrap();
         let sv = serde_json::parse_value(&stats).unwrap();
         assert_eq!(sv.get_field("aborts").unwrap(), &Value::UInt(1), "{stats}");
+        handle.stop();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn over_quota_plate_is_rejected_at_admission_with_the_bound() {
+        let dir = temp_dir("quota");
+        let mut opts = ServeOptions::new(dir.clone());
+        opts.quota_cycles = Some(1_000); // far below any real plate bound
+        let handle = start(&opts).unwrap();
+        let addr = handle.addr();
+        let (status, body) =
+            client::request(addr, "POST", "/jobs", Some(r#"{"nx":16,"ny":16}"#)).unwrap();
+        assert_eq!(status, 422, "{body}");
+        let v = serde_json::parse_value(&body).unwrap();
+        assert_eq!(
+            v.get_field("error").unwrap(),
+            &Value::Str("rejected by cost quota".into())
+        );
+        assert!(
+            body.contains("exceeds the quota of 1000"),
+            "diagnostics must carry the limit: {body}"
+        );
+        assert!(
+            body.contains("static bound of"),
+            "diagnostics must carry the bound: {body}"
+        );
+        // Nothing reached the cache, the scheduler, or the registry.
+        let (_, stats) = client::request(addr, "GET", "/stats", None).unwrap();
+        let sv = serde_json::parse_value(&stats).unwrap();
+        assert_eq!(sv.get_field("cost_rejections").unwrap(), &Value::UInt(1));
+        assert_eq!(sv.get_field("sims_run").unwrap(), &Value::UInt(0));
+        assert_eq!(sv.get_field("registry_runs").unwrap(), &Value::UInt(0));
+        // Script jobs never simulate, so quotas do not gate them.
+        let script = r#"{"kind":"script","ops":[
+            {"op":"initiate","task":"a"},{"op":"terminate","task":"a"}]}"#;
+        let id = submit_id(addr, script);
+        assert_eq!(client::wait_settled(addr, id).unwrap(), "done");
+        handle.stop();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn admitted_plates_get_auto_derived_budgets() {
+        let dir = temp_dir("autobudget");
+        let handle = start(&ServeOptions::new(dir.clone())).unwrap();
+        let addr = handle.addr();
+        let id = submit_id(addr, r#"{"nx":8,"ny":8}"#);
+        assert_eq!(client::wait_settled(addr, id).unwrap(), "done");
+        let (_, stats) = client::request(addr, "GET", "/stats", None).unwrap();
+        let sv = serde_json::parse_value(&stats).unwrap();
+        assert_eq!(
+            sv.get_field("auto_budgeted").unwrap(),
+            &Value::UInt(1),
+            "{stats}"
+        );
+        assert_eq!(sv.get_field("aborts").unwrap(), &Value::UInt(0));
+        let (_, ready) = client::request(addr, "GET", "/readyz", None).unwrap();
+        let rv = serde_json::parse_value(&ready).unwrap();
+        assert!(rv.get_field("auto_budgeted").is_ok(), "{ready}");
+        assert!(rv.get_field("cost_rejections").is_ok(), "{ready}");
         handle.stop();
         fs::remove_dir_all(&dir).unwrap();
     }

@@ -1,0 +1,699 @@
+//! Static cost bounds: an abstract interpreter over [`ScenarioScript`].
+//!
+//! The paper's premise is that FEM-2 programs are analyzable *before* they
+//! touch the machine. The other passes prove safety; this one proves
+//! **cost**: walking the lowered script (spawn fan-out, window-exchange
+//! structure, per-cluster allocations) against the [`MachineConfig`] yields
+//! sound upper bounds on total DES events, simulated cycles, kernel
+//! messages, peak per-cluster memory words, and per-link traffic — or an
+//! explicit [`CostVerdict::Unbounded`] when no bound can be established
+//! (remote calls carry no static work profile).
+//!
+//! # Soundness argument (the serial-sum bound)
+//!
+//! Simulated time only advances at primitive barriers, and after every
+//! primitive completes, every resource's busy-until time (PE `free_at`,
+//! link free time) is at most the new `now`: each hop's link occupancy ends
+//! no later than the packet's arrival, barriers take the max over arrivals,
+//! and every charged PE completes at or before the barrier. Therefore the
+//! makespan of a run is at most the **serial sum** of each primitive's
+//! isolated duration, and an isolated duration is at most the sum of its
+//! component charges (`count × unit cost`) plus its transmit bounds. The
+//! modeler accumulates exactly that serial sum, so
+//! `CostReport::sim_cycles >= elapsed` for every run the script describes.
+//!
+//! The transmit bound for a `words`-word cross-cluster message is
+//! `p·occ + h·(occ + latency)` where `p` is the packet count, `occ` the
+//! worst per-packet link occupancy, and `h` the topology's worst-case hop
+//! count *including fault detours* (crossbar re-routes via an intermediate
+//! cluster, two hops). Pipelined store-and-forward delivery finishes in
+//! `h·(occ + latency) + (p−1)·occ`, which the bound dominates; link
+//! contention is covered by the serial sum (every competitor's occupancy is
+//! part of its own isolated duration). The bound assumes healthy links:
+//! a degraded link multiplies occupancy dynamically, which no static
+//! analysis of the script can see (fault plans are runtime inputs), and
+//! none of the statically admitted job kinds carry one.
+
+use std::collections::BTreeMap;
+
+use fem2_machine::{CostClass, MachineConfig, Network, Topology};
+use serde::json::Value;
+use serde::Serialize;
+
+use crate::diag::Span;
+use crate::script::{Op, ScenarioScript};
+
+/// Parameters the script itself cannot carry: how many sweeps the window
+/// traffic repeats. The lowered solve script describes one red-black sweep;
+/// a CG run performs one per iteration, capped by `max_iters`.
+#[derive(Clone, Copy, Debug)]
+pub struct CostParams {
+    /// Multiplier applied to window-exchange ops (`WindowSend`,
+    /// `WindowRecv`); control ops (spawn, open/close, terminate) are
+    /// charged once.
+    pub sweep_iters: u64,
+}
+
+impl CostParams {
+    /// One sweep: bound the script exactly as written.
+    pub fn single_sweep() -> Self {
+        CostParams { sweep_iters: 1 }
+    }
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams::single_sweep()
+    }
+}
+
+/// Whether a bound could be established.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CostVerdict {
+    /// Every reported number is a sound upper bound.
+    Bounded,
+    /// No bound exists; the numbers cover only the boundable prefix.
+    Unbounded {
+        /// Why the analysis gave up (names the op).
+        reason: String,
+        /// The script line of the offending op.
+        span: Span,
+    },
+}
+
+/// Upper bounds attributed to one named phase.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseCost {
+    /// Phase name (`spawn`, `exchange`, `solve`, …).
+    pub name: String,
+    /// Simulated-cycle bound for work charged in this phase.
+    pub sim_cycles: u64,
+    /// DES-event bound for this phase.
+    pub des_events: u64,
+    /// Kernel-message bound for this phase.
+    pub messages: u64,
+}
+
+/// Sound upper bounds for one scenario, with per-phase breakdown.
+#[derive(Clone, Debug)]
+pub struct CostReport {
+    /// What was analyzed.
+    pub subject: String,
+    /// Per-phase bounds, in first-charge order.
+    pub phases: Vec<PhaseCost>,
+    /// Total DES-event bound (two events — schedule and dispatch — per
+    /// kernel message; plate runs drive the machine directly and process
+    /// zero DES events, so this is trivially sound for them).
+    pub des_events: u64,
+    /// Total simulated-cycle bound (the serial sum).
+    pub sim_cycles: u64,
+    /// Total kernel-message bound.
+    pub messages: u64,
+    /// Peak per-cluster memory bound: the busiest cluster's words.
+    pub peak_memory_words: u64,
+    /// Per-cluster memory words, indexed by cluster.
+    pub cluster_memory_words: Vec<u64>,
+    /// Per-link payload words, indexed by link id (healthy routes).
+    pub link_traffic_words: Vec<u64>,
+    /// Whether the bounds are sound or the script defeated the analysis.
+    pub verdict: CostVerdict,
+}
+
+impl CostReport {
+    /// True when every number is a sound upper bound.
+    pub fn is_bounded(&self) -> bool {
+        self.verdict == CostVerdict::Bounded
+    }
+
+    /// The most-trafficked link, as `(link id, payload words)`.
+    pub fn busiest_link(&self) -> Option<(usize, u64)> {
+        self.link_traffic_words
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by_key(|&(i, w)| (w, std::cmp::Reverse(i)))
+            .filter(|&(_, w)| w > 0)
+    }
+
+    /// Render the cost table, deterministic for golden comparison.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("cost bounds for {}:\n", self.subject));
+        out.push_str(&format!(
+            "  {:<12} {:>14} {:>12} {:>12}\n",
+            "phase", "sim cycles", "DES events", "messages"
+        ));
+        for p in &self.phases {
+            out.push_str(&format!(
+                "  {:<12} {:>14} {:>12} {:>12}\n",
+                p.name, p.sim_cycles, p.des_events, p.messages
+            ));
+        }
+        out.push_str(&format!(
+            "  {:<12} {:>14} {:>12} {:>12}\n",
+            "TOTAL", self.sim_cycles, self.des_events, self.messages
+        ));
+        let busiest = match self.busiest_link() {
+            Some((id, words)) => format!(", busiest link #{id} carries <= {words} words"),
+            None => String::new(),
+        };
+        out.push_str(&format!(
+            "  peak memory <= {} words on the busiest cluster{busiest}\n",
+            self.peak_memory_words
+        ));
+        match &self.verdict {
+            CostVerdict::Bounded => out.push_str("  verdict: BOUNDED\n"),
+            CostVerdict::Unbounded { reason, span } => {
+                out.push_str(&format!(
+                    "  verdict: UNBOUNDED at line {}: {reason}\n",
+                    span.line
+                ));
+            }
+        }
+        out
+    }
+}
+
+impl Serialize for CostReport {
+    fn to_value(&self) -> Value {
+        let verdict = match &self.verdict {
+            CostVerdict::Bounded => Value::Str("bounded".into()),
+            CostVerdict::Unbounded { reason, span } => Value::Obj(vec![
+                ("unbounded".into(), Value::Str(reason.clone())),
+                ("line".into(), Value::UInt(u64::from(span.line))),
+            ]),
+        };
+        Value::Obj(vec![
+            ("subject".into(), Value::Str(self.subject.clone())),
+            ("des_events".into(), Value::UInt(self.des_events)),
+            ("sim_cycles".into(), Value::UInt(self.sim_cycles)),
+            ("messages".into(), Value::UInt(self.messages)),
+            (
+                "peak_memory_words".into(),
+                Value::UInt(self.peak_memory_words),
+            ),
+            (
+                "cluster_memory_words".into(),
+                Value::Arr(
+                    self.cluster_memory_words
+                        .iter()
+                        .map(|&w| Value::UInt(w))
+                        .collect(),
+                ),
+            ),
+            (
+                "link_traffic_words".into(),
+                Value::Arr(
+                    self.link_traffic_words
+                        .iter()
+                        .map(|&w| Value::UInt(w))
+                        .collect(),
+                ),
+            ),
+            (
+                "phases".into(),
+                Value::Arr(
+                    self.phases
+                        .iter()
+                        .map(|p| {
+                            Value::Obj(vec![
+                                ("name".into(), Value::Str(p.name.clone())),
+                                ("sim_cycles".into(), Value::UInt(p.sim_cycles)),
+                                ("des_events".into(), Value::UInt(p.des_events)),
+                                ("messages".into(), Value::UInt(p.messages)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("verdict".into(), verdict),
+        ])
+    }
+}
+
+/// Accumulates the serial-sum bound. Layers above the script IR (the plate
+/// lowering in `fem2-core`) use this directly to add numeric work the
+/// script does not carry (elementwise profiles, reduction trees).
+pub struct CostModeler {
+    subject: String,
+    machine: MachineConfig,
+    network: Network,
+    worst_hops: u64,
+    phases: Vec<PhaseCost>,
+    current: usize,
+    cluster_memory_words: Vec<u64>,
+    link_traffic_words: Vec<u64>,
+    verdict: CostVerdict,
+}
+
+impl CostModeler {
+    /// A fresh modeler for `subject` on `machine`, with an empty first
+    /// phase named `total`.
+    pub fn new(subject: impl Into<String>, machine: &MachineConfig) -> Self {
+        let network = Network::new(machine);
+        let links = network.link_count();
+        let mut m = CostModeler {
+            subject: subject.into(),
+            machine: machine.clone(),
+            network,
+            worst_hops: worst_hops(machine),
+            phases: Vec::new(),
+            current: 0,
+            cluster_memory_words: vec![0; machine.clusters as usize],
+            link_traffic_words: vec![0; links],
+            verdict: CostVerdict::Bounded,
+        };
+        m.begin_phase("total");
+        m
+    }
+
+    /// Switch to (or create) the named phase; subsequent charges land
+    /// there. A `total` phase that was never charged is dropped on finish.
+    pub fn begin_phase(&mut self, name: &str) {
+        if let Some(i) = self.phases.iter().position(|p| p.name == name) {
+            self.current = i;
+            return;
+        }
+        self.phases.push(PhaseCost {
+            name: name.into(),
+            sim_cycles: 0,
+            des_events: 0,
+            messages: 0,
+        });
+        self.current = self.phases.len() - 1;
+    }
+
+    /// Charge `count` units of `class` (serialized PE work).
+    pub fn charge(&mut self, class: CostClass, count: u64) {
+        let unit = class.cycles(&self.machine.cost);
+        self.phases[self.current].sim_cycles = self.phases[self.current]
+            .sim_cycles
+            .saturating_add(unit.saturating_mul(count));
+    }
+
+    /// Bound one `words`-word transfer from cluster `from` to cluster
+    /// `to`. Same-cluster transfers cost only the copy cycles; cross-
+    /// cluster transfers add a kernel message, two DES events, the worst-
+    /// case transmit duration, and payload attribution along the healthy
+    /// route.
+    pub fn message(&mut self, from: u32, to: u32, words: u64) {
+        self.message_times(from, to, words, 1);
+    }
+
+    /// [`message`](Self::message), `count` times.
+    pub fn message_times(&mut self, from: u32, to: u32, words: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        if from == to {
+            let wpc = u64::from(self.machine.words_per_cycle.max(1));
+            let copy = words.div_ceil(wpc).max(1);
+            let p = &mut self.phases[self.current];
+            p.sim_cycles = p.sim_cycles.saturating_add(copy.saturating_mul(count));
+            return;
+        }
+        let tx = self.tx_bound(words);
+        let p = &mut self.phases[self.current];
+        p.sim_cycles = p.sim_cycles.saturating_add(tx.saturating_mul(count));
+        p.messages = p.messages.saturating_add(count);
+        p.des_events = p.des_events.saturating_add(2 * count);
+        if let Some(route) = self.network.route_links(from, to) {
+            for link in route {
+                self.link_traffic_words[link] =
+                    self.link_traffic_words[link].saturating_add(words.saturating_mul(count));
+            }
+        }
+    }
+
+    /// Worst-case cycles for one isolated `words`-word cross-cluster
+    /// transmit: packet count times worst occupancy, plus per-hop
+    /// store-and-forward latency over the topology's worst route.
+    pub fn tx_bound(&self, words: u64) -> u64 {
+        let mpw = self.machine.max_packet_words.max(1);
+        let wpc = u64::from(self.machine.words_per_cycle.max(1));
+        let packets = words.div_ceil(mpw).max(1);
+        let chunk = words.min(mpw);
+        let occ = (chunk + self.machine.header_words).div_ceil(wpc).max(1);
+        packets.saturating_mul(occ).saturating_add(
+            self.worst_hops
+                .saturating_mul(occ + self.machine.link_latency),
+        )
+    }
+
+    /// Record `words` allocated on `cluster` (allocations are exact, not
+    /// bounds: the lowering emits one `Alloc` per actual arena claim).
+    pub fn alloc(&mut self, cluster: u32, words: u64) {
+        if let Some(w) = self.cluster_memory_words.get_mut(cluster as usize) {
+            *w = w.saturating_add(words);
+        }
+    }
+
+    /// Give up: record why no bound exists. First reason wins.
+    pub fn unbounded(&mut self, reason: impl Into<String>, span: Span) {
+        if self.verdict == CostVerdict::Bounded {
+            self.verdict = CostVerdict::Unbounded {
+                reason: reason.into(),
+                span,
+            };
+        }
+    }
+
+    /// Walk a script, charging each op under `params`. Window-exchange
+    /// traffic multiplies by `params.sweep_iters`; everything else is
+    /// charged once. Tasks map to clusters via their `Initiate`; traffic
+    /// involving a never-initiated task is bounded as worst-case
+    /// cross-cluster (the protocol pass reports the script error).
+    pub fn walk_script(&mut self, script: &ScenarioScript, params: &CostParams) {
+        let sweeps = params.sweep_iters.max(1);
+        let mut cluster_of: BTreeMap<&str, u32> = BTreeMap::new();
+        let far = self.machine.clusters.saturating_sub(1);
+        for (op, span) in script.ops() {
+            match op {
+                Op::Initiate {
+                    task,
+                    cluster,
+                    replications,
+                } => {
+                    cluster_of.insert(task.as_str(), *cluster);
+                    self.begin_phase("spawn");
+                    let reps = u64::from((*replications).max(1));
+                    // Coordinator formats the initiate, the wire carries an
+                    // 8-word activation record, the hosting kernel PE
+                    // creates the task.
+                    self.charge(CostClass::MsgSend, reps);
+                    self.message_times(0, *cluster, 8, reps);
+                    self.charge(CostClass::TaskCreate, reps);
+                }
+                Op::Pause { task } | Op::Resume { task } | Op::Terminate { task } => {
+                    let c = cluster_of.get(task.as_str()).copied().unwrap_or(far);
+                    self.begin_phase("control");
+                    self.charge(CostClass::MsgSend, 1);
+                    self.message(0, c, 1);
+                    self.charge(CostClass::MsgDispatch, 1);
+                    self.charge(CostClass::ContextSwitch, 1);
+                }
+                Op::Message { from, to, .. } => {
+                    let cf = cluster_of.get(from.as_str()).copied().unwrap_or(0);
+                    let ct = cluster_of.get(to.as_str()).copied().unwrap_or(far);
+                    self.begin_phase("control");
+                    self.charge(CostClass::MsgSend, 1);
+                    self.message(cf, ct, 1);
+                    self.charge(CostClass::MsgDispatch, 1);
+                }
+                Op::RemoteCall { caller, .. } => {
+                    self.unbounded(
+                        format!(
+                            "remote call by '{caller}' carries no static work profile; \
+                             the callee's cost cannot be bounded from the script"
+                        ),
+                        span,
+                    );
+                }
+                Op::RemoteReturn { .. } => {
+                    self.unbounded(
+                        "remote return resumes a caller whose remaining cost \
+                         cannot be bounded from the script",
+                        span,
+                    );
+                }
+                Op::WindowOpen { .. } | Op::WindowClose { .. } => {
+                    self.begin_phase("exchange");
+                    self.charge(CostClass::IntOp, 1);
+                }
+                Op::WindowSend {
+                    from, to, words, ..
+                } => {
+                    let cf = cluster_of.get(from.as_str()).copied().unwrap_or(0);
+                    let ct = cluster_of.get(to.as_str()).copied().unwrap_or(far);
+                    self.begin_phase("exchange");
+                    if cf == ct {
+                        // Same-cluster exchange is a shared-memory copy on
+                        // the hosting cluster's kernel PE.
+                        self.charge(CostClass::MemWord, words.saturating_mul(sweeps));
+                    } else {
+                        self.charge(CostClass::MsgSend, sweeps);
+                        self.message_times(cf, ct, *words, sweeps);
+                    }
+                }
+                Op::WindowRecv { .. } => {
+                    self.begin_phase("exchange");
+                    self.charge(CostClass::MsgDispatch, sweeps);
+                }
+                Op::Alloc { cluster, words, .. } => {
+                    self.alloc(*cluster, *words);
+                }
+            }
+        }
+    }
+
+    /// Consume the modeler into its report.
+    pub fn finish(mut self) -> CostReport {
+        self.phases.retain(|p| {
+            p.name != "total" || p.sim_cycles > 0 || p.des_events > 0 || p.messages > 0
+        });
+        let totals = self.phases.iter().fold((0u64, 0u64, 0u64), |acc, p| {
+            (
+                acc.0.saturating_add(p.sim_cycles),
+                acc.1.saturating_add(p.des_events),
+                acc.2.saturating_add(p.messages),
+            )
+        });
+        CostReport {
+            subject: self.subject,
+            peak_memory_words: self.cluster_memory_words.iter().copied().max().unwrap_or(0),
+            cluster_memory_words: self.cluster_memory_words,
+            link_traffic_words: self.link_traffic_words,
+            sim_cycles: totals.0,
+            des_events: totals.1,
+            messages: totals.2,
+            verdict: self.verdict,
+            phases: self.phases,
+        }
+    }
+}
+
+/// Worst-case hop count between any two clusters, fault detours included:
+/// the crossbar's repair path routes via an intermediate cluster (2 hops),
+/// the ring may have to walk the long way around, and a mesh XY detour
+/// adds at most one extra row and column.
+fn worst_hops(cfg: &MachineConfig) -> u64 {
+    let n = u64::from(cfg.clusters.max(1));
+    match cfg.topology {
+        Topology::Bus => 1,
+        Topology::Crossbar => {
+            if n >= 3 {
+                2
+            } else {
+                1
+            }
+        }
+        Topology::Ring => (n - 1).max(1),
+        Topology::Mesh2D { width } => {
+            let w = u64::from(width.max(1));
+            let h = n.div_ceil(w);
+            (w - 1) + (h - 1) + 2
+        }
+    }
+}
+
+/// The cost pass: bound `script` on `machine` under `params`.
+pub fn check_cost(
+    script: &ScenarioScript,
+    machine: &MachineConfig,
+    params: &CostParams,
+) -> CostReport {
+    let mut m = CostModeler::new(script.name.clone(), machine);
+    m.walk_script(script, params);
+    m.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fem2_kernel::MessageKind;
+
+    fn machine() -> MachineConfig {
+        MachineConfig::fem2_default()
+    }
+
+    #[test]
+    fn empty_script_is_bounded_and_free() {
+        let r = check_cost(
+            &ScenarioScript::new("empty"),
+            &machine(),
+            &CostParams::single_sweep(),
+        );
+        assert!(r.is_bounded());
+        assert_eq!(r.sim_cycles, 0);
+        assert_eq!(r.des_events, 0);
+        assert_eq!(r.messages, 0);
+        assert_eq!(r.peak_memory_words, 0);
+        assert!(r.busiest_link().is_none());
+    }
+
+    #[test]
+    fn remote_call_defeats_the_bound() {
+        let mut s = ScenarioScript::new("rpc");
+        s.push(Op::Initiate {
+            task: "a".into(),
+            cluster: 0,
+            replications: 1,
+        });
+        s.push(Op::RemoteCall {
+            caller: "a".into(),
+            call_id: 1,
+        });
+        let r = check_cost(&s, &machine(), &CostParams::single_sweep());
+        assert!(!r.is_bounded());
+        let CostVerdict::Unbounded { reason, span } = &r.verdict else {
+            panic!("expected unbounded");
+        };
+        assert!(reason.contains("'a'"), "{reason}");
+        assert_eq!(span.line, 2);
+        assert!(r.render().contains("UNBOUNDED at line 2"));
+    }
+
+    #[test]
+    fn sweeps_multiply_window_traffic_only() {
+        let mut s = ScenarioScript::new("sweepy");
+        for (t, c) in [("a", 0u32), ("b", 1u32)] {
+            s.push(Op::Initiate {
+                task: t.into(),
+                cluster: c,
+                replications: 1,
+            });
+            s.push(Op::WindowOpen {
+                task: t.into(),
+                window: "w".into(),
+            });
+        }
+        s.push(Op::WindowSend {
+            from: "a".into(),
+            to: "b".into(),
+            window: "w".into(),
+            words: 16,
+        });
+        s.push(Op::WindowRecv {
+            task: "b".into(),
+            from: "a".into(),
+            window: "w".into(),
+        });
+        let one = check_cost(&s, &machine(), &CostParams { sweep_iters: 1 });
+        let ten = check_cost(&s, &machine(), &CostParams { sweep_iters: 10 });
+        assert_eq!(ten.messages, one.messages + 9, "send repeats per sweep");
+        let spawn = |r: &CostReport| {
+            r.phases
+                .iter()
+                .find(|p| p.name == "spawn")
+                .expect("spawn phase")
+                .clone()
+        };
+        assert_eq!(spawn(&one), spawn(&ten), "spawn is charged once");
+        assert!(ten.sim_cycles > one.sim_cycles);
+    }
+
+    #[test]
+    fn same_cluster_exchange_is_not_a_message() {
+        let mut s = ScenarioScript::new("local");
+        for t in ["a", "b"] {
+            s.push(Op::Initiate {
+                task: t.into(),
+                cluster: 0,
+                replications: 1,
+            });
+        }
+        s.push(Op::WindowSend {
+            from: "a".into(),
+            to: "b".into(),
+            window: "w".into(),
+            words: 64,
+        });
+        let r = check_cost(&s, &machine(), &CostParams::single_sweep());
+        assert_eq!(r.messages, 0);
+        assert_eq!(r.des_events, 0);
+        assert!(r.sim_cycles > 0, "the copy still costs cycles");
+    }
+
+    #[test]
+    fn allocations_accumulate_per_cluster() {
+        let mut s = ScenarioScript::new("mem");
+        s.push(Op::Alloc {
+            cluster: 1,
+            words: 100,
+            what: "x".into(),
+        });
+        s.push(Op::Alloc {
+            cluster: 1,
+            words: 50,
+            what: "y".into(),
+        });
+        s.push(Op::Alloc {
+            cluster: 2,
+            words: 120,
+            what: "z".into(),
+        });
+        let r = check_cost(&s, &machine(), &CostParams::single_sweep());
+        assert_eq!(r.cluster_memory_words, vec![0, 150, 120, 0]);
+        assert_eq!(r.peak_memory_words, 150);
+    }
+
+    #[test]
+    fn cross_cluster_traffic_lands_on_links() {
+        let mut s = ScenarioScript::new("wire");
+        for (t, c) in [("a", 0u32), ("b", 3u32)] {
+            s.push(Op::Initiate {
+                task: t.into(),
+                cluster: c,
+                replications: 1,
+            });
+        }
+        s.push(Op::Message {
+            from: "a".into(),
+            to: "b".into(),
+            kind: MessageKind::Resume,
+        });
+        let r = check_cost(&s, &machine(), &CostParams::single_sweep());
+        // Spawn of b (0->3, 8 words) plus the 1-word data message.
+        assert!(r.messages >= 2);
+        assert_eq!(r.des_events, 2 * r.messages);
+        let (link, words) = r.busiest_link().expect("traffic was attributed");
+        assert!(words >= 8, "spawn payload on link {link}: {words}");
+    }
+
+    #[test]
+    fn tx_bound_dominates_the_network_estimate() {
+        let cfg = machine();
+        let net = Network::new(&cfg);
+        let m = CostModeler::new("tx", &cfg);
+        for words in [0u64, 1, 7, 255, 256, 257, 10_000] {
+            for to in 1..cfg.clusters {
+                assert!(
+                    m.tx_bound(words) >= net.estimate(0, to, words),
+                    "tx_bound({words}) must dominate the contention-free estimate"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let mut s = ScenarioScript::new("json");
+        s.push(Op::Initiate {
+            task: "a".into(),
+            cluster: 1,
+            replications: 1,
+        });
+        let v = check_cost(&s, &machine(), &CostParams::single_sweep()).to_value();
+        assert_eq!(v.get_field("subject").unwrap(), &Value::Str("json".into()));
+        assert_eq!(
+            v.get_field("verdict").unwrap(),
+            &Value::Str("bounded".into())
+        );
+        for key in ["des_events", "sim_cycles", "messages", "peak_memory_words"] {
+            assert!(
+                matches!(v.get_field(key), Ok(Value::UInt(_))),
+                "{key} must serialize as an unsigned integer"
+            );
+        }
+    }
+}

@@ -42,6 +42,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cost;
 pub mod deadlock;
 pub mod diag;
 pub mod grammar;
@@ -50,6 +51,7 @@ pub mod protocol;
 pub mod script;
 pub mod storage;
 
+pub use cost::{check_cost, CostModeler, CostParams, CostReport, CostVerdict, PhaseCost};
 pub use diag::{Diagnostic, Report, Severity, Span};
 pub use script::{Op, ScenarioScript};
 

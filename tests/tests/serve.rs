@@ -154,6 +154,60 @@ fn deadlocking_script_rejected_with_structured_diagnostics() {
 }
 
 // ---------------------------------------------------------------------------
+// Predictive admission: a plate whose static cost bound exceeds the
+// configured quota is rejected at the front door — 422 with the bound in
+// the diagnostics — and never reaches a worker or the registry.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn over_quota_plate_rejected_before_any_worker_runs() {
+    let dir = temp_dir("quota");
+    let mut opts = ServeOptions::new(dir.clone());
+    opts.quota_cycles = Some(1_000);
+    let handle = start(&opts).expect("server starts");
+    let addr = handle.addr();
+
+    let (status, resp) =
+        client::request(addr, "POST", "/jobs", Some(r#"{"nx":32,"ny":32}"#)).expect("submit");
+    assert_eq!(status, 422, "{resp}");
+    let v = serde_json::parse_value(&resp).expect("422 body is structured JSON");
+    assert_eq!(
+        v.get_field("error").ok(),
+        Some(&Value::Str("rejected by cost quota".into())),
+        "{resp}"
+    );
+    // The cost diagnostic quotes the static bound against the quota.
+    let Ok(Value::Arr(diags)) = v.get_field("diagnostics") else {
+        panic!("diagnostics array: {resp}");
+    };
+    let cost = diags
+        .iter()
+        .find(|d| d.get_field("pass").ok() == Some(&Value::Str("cost".into())))
+        .unwrap_or_else(|| panic!("no cost diagnostic: {resp}"));
+    match cost.get_field("message") {
+        Ok(Value::Str(m)) => {
+            assert!(m.contains("static bound of"), "{m}");
+            assert!(m.contains("exceeds the quota of 1000"), "{m}");
+        }
+        other => panic!("message field: {other:?}"),
+    }
+    // The full cost report rides along so the client can see how far
+    // over it was; the bound it quotes is the one that tripped.
+    let bound = get_u64(v.get_field("cost").expect("cost report"), "sim_cycles");
+    assert!(bound > 1_000, "{resp}");
+
+    // Rejection happened at admission: no sim ran, nothing persisted,
+    // and the rejection counter says why.
+    let (_, stats) = client::request(addr, "GET", "/stats", None).expect("stats");
+    let sv = serde_json::parse_value(&stats).expect("stats JSON");
+    assert_eq!(get_u64(&sv, "sims_run"), 0, "{stats}");
+    assert_eq!(get_u64(&sv, "registry_runs"), 0, "{stats}");
+    assert_eq!(get_u64(&sv, "cost_rejections"), 1, "{stats}");
+    handle.stop();
+    fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------------
 // The registry is the cache: a restarted server serves yesterday's runs.
 // ---------------------------------------------------------------------------
 

@@ -337,3 +337,130 @@ fn console_verify_accepts_task_count() {
     assert!(out.contains("4 tasks"), "{out}");
     assert!(out.contains("CLEAN"), "{out}");
 }
+
+// ---------------------------------------------------------------------------
+// The cost pass: sound upper bounds, proven against real runs.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cost_bound_dominates_the_default_quickstart_run() {
+    let s = PlateScenario::square(16, MachineConfig::fem2_default());
+    let bound = fem2_core::verify::scenario_cost(&s);
+    assert!(bound.is_bounded(), "{}", bound.render());
+    let actual = s.run_unchecked();
+    assert!(
+        actual.elapsed <= bound.sim_cycles,
+        "cycle bound {} must cover the actual {}",
+        bound.sim_cycles,
+        actual.elapsed
+    );
+    assert!(actual.total_messages <= bound.messages);
+    assert!(actual.peak_memory_words <= bound.peak_memory_words);
+}
+
+#[test]
+fn console_cost_renders_the_bound_table() {
+    let mut session = fem2_appvm::Session::new(fem2_appvm::Database::in_memory());
+    session.exec("DEFINE MODEL deck").unwrap();
+    session.exec("GENERATE GRID 8 4").unwrap();
+    let out = session.exec("COST").unwrap();
+    assert!(out.contains("cost bounds for"), "{out}");
+    assert!(out.contains("BOUNDED"), "{out}");
+    let narrow = session.exec("COST TASKS 4").unwrap();
+    assert!(narrow.contains("4 tasks"), "{narrow}");
+}
+
+mod cost_soundness {
+    use super::*;
+    use fem2_core::verify::scenario_cost;
+    use fem2_machine::{RunBudget, Topology};
+    use proptest::prelude::*;
+
+    fn arb_topology() -> impl Strategy<Value = Topology> {
+        prop_oneof![
+            Just(Topology::Crossbar),
+            Just(Topology::Bus),
+            Just(Topology::Ring),
+            (2u32..4).prop_map(|width| Topology::Mesh2D { width }),
+        ]
+    }
+
+    fn arb_budget() -> impl Strategy<Value = Option<u64>> {
+        prop_oneof![Just(None), (500u64..200_000).prop_map(Some)]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        // The acceptance property: no randomized scenario — budgeted or
+        // not, on any topology — ever exceeds its static bound in cycles,
+        // messages, or peak memory. (Plate runs drive the machine
+        // directly and process zero DES events, so the event bound is
+        // checked through the message bound it is derived from.)
+        #[test]
+        fn no_randomized_scenario_exceeds_its_static_bound(
+            nx in 2usize..16,
+            ny in 2usize..16,
+            tasks in 1u32..12,
+            clusters in 1u32..5,
+            pes in 2u32..6,
+            max_iters in 1usize..32,
+            topology in arb_topology(),
+            budget_cycles in arb_budget(),
+        ) {
+            // A mesh width must divide the cluster count; degrade invalid
+            // draws to a 1-wide (column) mesh rather than rejecting them.
+            let topology = match topology {
+                Topology::Mesh2D { width } if !clusters.is_multiple_of(width) => {
+                    Topology::Mesh2D { width: 1 }
+                }
+                t => t,
+            };
+            let machine = MachineConfig::clustered(clusters, pes, topology);
+            let mut s = PlateScenario::square(nx, machine);
+            s.ny = ny;
+            s.tasks = tasks;
+            s.max_iters = max_iters;
+            if let Some(c) = budget_cycles {
+                s.budget = RunBudget::max_cycles(c);
+            }
+            let bound = scenario_cost(&s);
+            prop_assert!(bound.is_bounded(), "{}", bound.render());
+            prop_assert_eq!(bound.des_events, 2 * bound.messages);
+            match s.run_budgeted() {
+                Ok(r) => {
+                    prop_assert!(
+                        r.elapsed <= bound.sim_cycles,
+                        "cycle bound {} < actual {} ({}x{}, {} tasks, {} clusters)",
+                        bound.sim_cycles, r.elapsed, nx, ny, tasks, clusters
+                    );
+                    prop_assert!(
+                        r.total_messages <= bound.messages,
+                        "message bound {} < actual {}",
+                        bound.messages, r.total_messages
+                    );
+                    prop_assert!(
+                        2 * r.total_messages <= bound.des_events,
+                        "event bound {} < 2x actual messages {}",
+                        bound.des_events, r.total_messages
+                    );
+                    prop_assert!(
+                        r.peak_memory_words <= bound.peak_memory_words,
+                        "memory bound {} < actual {}",
+                        bound.peak_memory_words, r.peak_memory_words
+                    );
+                }
+                Err(aborted) => {
+                    // A budgeted abort's observed progress is a prefix of
+                    // the full run, so the bound still dominates it.
+                    prop_assert!(
+                        aborted.sim_cycles <= bound.sim_cycles,
+                        "cycle bound {} < aborted progress {}",
+                        bound.sim_cycles, aborted.sim_cycles
+                    );
+                    prop_assert!(aborted.des_events <= bound.des_events);
+                }
+            }
+        }
+    }
+}
