@@ -5,7 +5,8 @@
 //!
 //! * **E1 plate sweep** — the full simulated plane (DES, kernel, network,
 //!   windows) at n ∈ {8, 16, 32, 48}, with a traced 48×48 run supplying
-//!   events/sec and peak DES queue depth;
+//!   events/sec and peak DES queue depth, plus a 64×64 shard sweep
+//!   (1/2/4/8 cluster shards) recording sequential-vs-sharded speedup;
 //! * **E5 network sweep** — the pattern × topology × size message mix on
 //!   the bare [`Network`] (route selection and link contention only);
 //! * **E7 kernel runs** — the traced fault-and-repair DES record plus the
@@ -38,14 +39,16 @@ use serde_json::Value;
 use std::time::Instant;
 
 /// Schema identifier written into the JSON document.
-pub const SCHEMA: &str = "fem2-bench/5";
-/// The previous schema (no per-record `predicted_events` /
-/// `predicted_cycles` / `tightness`); still accepted by [`validate_json`]
-/// so stored baselines keep validating.
+pub const SCHEMA: &str = "fem2-bench/6";
+/// The previous schema (no per-record `shards` / `speedup`); still
+/// accepted by [`validate_json`] so stored baselines keep validating.
+pub const SCHEMA_V5: &str = "fem2-bench/5";
+/// Two revisions back (additionally no per-record `predicted_events` /
+/// `predicted_cycles` / `tightness`).
 pub const SCHEMA_V4: &str = "fem2-bench/4";
-/// Two revisions back (additionally no per-record `run_status`).
+/// Three revisions back (additionally no per-record `run_status`).
 pub const SCHEMA_V3: &str = "fem2-bench/3";
-/// Three revisions back (additionally no `commit`, `plan_hash`, or
+/// Four revisions back (additionally no `commit`, `plan_hash`, or
 /// `params` provenance fields); also still accepted.
 pub const SCHEMA_V2: &str = "fem2-bench/2";
 /// The original schema (additionally lacks `repeat` and
@@ -74,6 +77,10 @@ pub struct BenchOptions {
     pub budget_cycles: Option<u64>,
     /// DES-event budget for the E1 plate runs (`--budget-events N`).
     pub budget_events: Option<u64>,
+    /// Cluster shards the simulated-plane records run with
+    /// (`--shards N`; `MachineConfig::des_shards`). One shard is the
+    /// sequential reference engine.
+    pub shards: u32,
 }
 
 impl Default for BenchOptions {
@@ -84,6 +91,7 @@ impl Default for BenchOptions {
             repeat: 1,
             budget_cycles: None,
             budget_events: None,
+            shards: 1,
         }
     }
 }
@@ -112,9 +120,12 @@ pub struct BenchRecord {
     pub wall_ns_median: u64,
     /// Deterministic simulated cycles produced (0 for native-plane work).
     pub sim_cycles: u64,
-    /// Trace events observed (0 when the record ran untraced).
+    /// Events processed: trace events for traced records, the engine's
+    /// own event counter (machine charges and transfers, or DES queue
+    /// pops) otherwise — so throughput is tracked for every simulated row,
+    /// not only traced ones. 0 for native-plane work.
     pub events: u64,
-    /// Events per host second of the traced run (0 when untraced).
+    /// Events per host second (0 only when `events` is 0).
     pub events_per_sec: u64,
     /// Peak DES queue depth observed (0 when untraced).
     pub peak_queue_depth: u64,
@@ -130,6 +141,13 @@ pub struct BenchRecord {
     /// Bound tightness, `predicted_cycles / sim_cycles` (≥ 1 when the
     /// bound is sound; 0.0 when unmodeled or the run did not complete).
     pub tightness: f64,
+    /// Cluster shards the record ran with (schema v6; 1 = sequential
+    /// engine, also recorded for records sharding cannot touch).
+    pub shards: u32,
+    /// Sequential-vs-sharded wall speedup (schema v6): best sequential
+    /// wall over this record's wall, for shard-sweep records; 0.0 when
+    /// not applicable.
+    pub speedup: f64,
 }
 
 impl BenchRecord {
@@ -146,7 +164,18 @@ impl BenchRecord {
             predicted_events: 0,
             predicted_cycles: 0,
             tightness: 0.0,
+            shards: 1,
+            speedup: 0.0,
         }
+    }
+
+    /// Record the engine's own event count (untraced rows), deriving
+    /// throughput from this record's best wall time.
+    fn with_engine_events(mut self, events: u64) -> Self {
+        self.events = events;
+        let secs = (self.wall_ns as f64 / 1e9).max(1e-9);
+        self.events_per_sec = (events as f64 / secs) as u64;
+        self
     }
 
     /// Attach the static cost bounds (and, for completed runs, the
@@ -184,6 +213,8 @@ impl BenchRecord {
                 Value::UInt(self.predicted_cycles),
             ),
             ("tightness".into(), Value::Float(self.tightness)),
+            ("shards".into(), Value::UInt(u64::from(self.shards))),
+            ("speedup".into(), Value::Float(self.speedup)),
         ])
     }
 }
@@ -262,6 +293,7 @@ fn e1_config(opts: BenchOptions) -> MachineConfig {
     let mut cfg = MachineConfig::fem2_default();
     cfg.route_cache = opts.route_cache;
     cfg.des_queue = opts.des_queue;
+    cfg.des_shards = opts.shards;
     cfg
 }
 
@@ -272,15 +304,17 @@ fn e1_records(records: &mut Vec<BenchRecord>, opts: BenchOptions, pool: &Pool) {
     // Under a budget override a plate run may end as a deterministic
     // abort: the record then carries the cycles reached and says so.
     let budgeted = |scenario: &PlateScenario| match scenario.run_budgeted() {
-        Ok(report) => (report.elapsed, "ok"),
-        Err(abort) => (abort.sim_cycles, "aborted"),
+        Ok(report) => (report.elapsed, report.engine_events, "ok"),
+        Err(abort) => (abort.sim_cycles, abort.des_events, "aborted"),
     };
     let sized = par_sweep(pool, vec![8usize, 16, 32, 48], |n| {
         let scenario = PlateScenario::square(n, e1_config(opts)).with_budget(opts.budget());
         let cost = fem2_core::verify::scenario_cost(&scenario);
-        let (wall, (cycles, status)) = wall_of(|| budgeted(&scenario));
-        let mut r = BenchRecord::untraced(format!("e1_plate_{n}"), wall, cycles);
+        let (wall, (cycles, events, status)) = wall_of(|| budgeted(&scenario));
+        let mut r =
+            BenchRecord::untraced(format!("e1_plate_{n}"), wall, cycles).with_engine_events(events);
         r.run_status = status.into();
+        r.shards = opts.shards;
         r.with_prediction(&cost)
     });
     records.extend(sized);
@@ -290,7 +324,7 @@ fn e1_records(records: &mut Vec<BenchRecord>, opts: BenchOptions, pool: &Pool) {
         .with_trace(handle)
         .with_budget(opts.budget());
     let cost = fem2_core::verify::scenario_cost(&scenario);
-    let (wall, (cycles, status)) = wall_of(|| budgeted(&scenario));
+    let (wall, (cycles, _, status)) = wall_of(|| budgeted(&scenario));
     let rec = rec.lock().unwrap_or_else(|e| e.into_inner());
     let events = rec.metrics().total_events();
     let secs = (wall as f64 / 1e9).max(1e-9);
@@ -307,9 +341,49 @@ fn e1_records(records: &mut Vec<BenchRecord>, opts: BenchOptions, pool: &Pool) {
             predicted_events: 0,
             predicted_cycles: 0,
             tightness: 0.0,
+            shards: opts.shards,
+            speedup: 0.0,
         }
         .with_prediction(&cost),
     );
+}
+
+/// Grid size of the shard-sweep plate — the largest E1 plate in the suite.
+/// Big enough that host math and per-shard charging dominate over epoch
+/// synchronization, so the sweep measures the sharded engine's scaling.
+const SHARD_SWEEP_N: usize = 64;
+
+/// The shard sweep: the largest E1 plate run at 1, 2, 4, and 8 shards,
+/// sequentially (each run owns the host pool), recording engine events,
+/// events/sec, and the sequential-vs-sharded wall speedup per record. The
+/// simulated outcome is bitwise-identical across the sweep — only wall
+/// time may move — and the speedup is recomputed from merged best walls
+/// after `--repeat` runs.
+fn e1_shard_sweep(records: &mut Vec<BenchRecord>, opts: BenchOptions) {
+    let mut seq_wall = 0u64;
+    for shards in [1u32, 2, 4, 8] {
+        let sweep_opts = BenchOptions { shards, ..opts };
+        let scenario =
+            PlateScenario::square(SHARD_SWEEP_N, e1_config(sweep_opts)).with_budget(opts.budget());
+        let (wall, result) = wall_of(|| scenario.run_budgeted());
+        let (cycles, events, status) = match result {
+            Ok(report) => (report.elapsed, report.engine_events, "ok"),
+            Err(abort) => (abort.sim_cycles, abort.des_events, "aborted"),
+        };
+        if shards == 1 {
+            seq_wall = wall;
+        }
+        let mut r = BenchRecord::untraced(
+            format!("e1_plate_{SHARD_SWEEP_N}_shards_{shards}"),
+            wall,
+            cycles,
+        )
+        .with_engine_events(events);
+        r.run_status = status.into();
+        r.shards = shards;
+        r.speedup = seq_wall as f64 / (wall as f64).max(1.0);
+        records.push(r);
+    }
 }
 
 /// E5: the communication-pattern sweep on the bare network. Each
@@ -336,7 +410,7 @@ fn e5_record(opts: BenchOptions, pool: &Pool) -> BenchRecord {
             }
         }
     }
-    let (wall, total) = wall_of(|| {
+    let (wall, (total, messages)) = wall_of(|| {
         par_sweep(pool, cells, |(pattern, words, topo)| {
             let mut cfg = MachineConfig::clustered(clusters, 2, topo);
             cfg.max_packet_words = 256;
@@ -350,12 +424,15 @@ fn e5_record(opts: BenchOptions, pool: &Pool) -> BenchRecord {
                 cell_total = cell_total.wrapping_add(done - now);
                 now = done;
             }
-            cell_total
+            (cell_total, net.messages)
         })
         .into_iter()
-        .fold(0u64, u64::wrapping_add)
+        .fold((0u64, 0u64), |(t, m), (ct, cm)| {
+            (t.wrapping_add(ct), m + cm)
+        })
     });
-    BenchRecord::untraced("e5_network", wall, total)
+    // Engine events for the bare-network record: messages carried.
+    BenchRecord::untraced("e5_network", wall, total).with_engine_events(messages)
 }
 
 /// The E7 machine with the suite's ablation toggles applied.
@@ -393,6 +470,8 @@ fn e7_record(opts: BenchOptions) -> BenchRecord {
         predicted_events: 0,
         predicted_cycles: 0,
         tightness: 0.0,
+        shards: 1,
+        speedup: 0.0,
     }
 }
 
@@ -403,9 +482,10 @@ fn e7_record(opts: BenchOptions) -> BenchRecord {
 fn e7_mix_records(records: &mut Vec<BenchRecord>, opts: BenchOptions, pool: &Pool) {
     let mixes = ex::e7_mixes();
     let swept = par_sweep(pool, mixes, |(label, plan)| {
-        let (wall, (_, makespan)) =
+        let (wall, (sim, makespan)) =
             wall_of(|| ex::e7_sim(e7_config(opts), &plan, TraceHandle::disabled()));
         BenchRecord::untraced(format!("e7_mix_{label}"), wall, makespan)
+            .with_engine_events(sim.events_processed())
     });
     records.extend(swept);
 }
@@ -431,10 +511,31 @@ fn e9_records(records: &mut Vec<BenchRecord>) {
     records.push(BenchRecord::untraced("e9_skyline_32", wall, 0));
 }
 
+/// Recompute the shard-sweep speedups from (possibly repeat-merged) best
+/// walls: each `*_shards_N` record's speedup is the matching `*_shards_1`
+/// wall over its own.
+fn refresh_speedups(mut records: Vec<BenchRecord>) -> Vec<BenchRecord> {
+    let bases: Vec<(String, u64)> = records
+        .iter()
+        .filter(|r| r.name.ends_with("_shards_1"))
+        .map(|r| (r.name.trim_end_matches('1').to_string(), r.wall_ns))
+        .collect();
+    for r in &mut records {
+        if let Some((_, seq_wall)) = bases
+            .iter()
+            .find(|(prefix, _)| r.name.starts_with(prefix.as_str()))
+        {
+            r.speedup = *seq_wall as f64 / (r.wall_ns as f64).max(1.0);
+        }
+    }
+    records
+}
+
 /// One pass over the fixed mix.
 fn run_mix(opts: BenchOptions, pool: &Pool) -> Vec<BenchRecord> {
     let mut records = Vec::new();
     e1_records(&mut records, opts, pool);
+    e1_shard_sweep(&mut records, opts);
     records.push(e5_record(opts, pool));
     records.push(e7_record(opts));
     e7_mix_records(&mut records, opts, pool);
@@ -485,6 +586,7 @@ pub fn run_suite_opts(opts: BenchOptions) -> BenchSuite {
             merged
         })
         .collect();
+    let records = refresh_speedups(records);
     let mut machine = MachineConfig::fem2_default().describe();
     if !opts.route_cache {
         machine.push_str(" [route cache off]");
@@ -492,9 +594,12 @@ pub fn run_suite_opts(opts: BenchOptions) -> BenchSuite {
     if opts.des_queue == DesQueue::Heap {
         machine.push_str(" [des queue heap]");
     }
+    if opts.shards > 1 {
+        machine.push_str(&format!(" [des shards {}]", opts.shards));
+    }
     let plan = e1_config(opts);
     let mut params = format!(
-        "route_cache={} des_queue={} repeat={} threads={}",
+        "route_cache={} des_queue={} repeat={} threads={} shards={}",
         if opts.route_cache { "on" } else { "off" },
         match opts.des_queue {
             DesQueue::Calendar => "calendar",
@@ -502,6 +607,7 @@ pub fn run_suite_opts(opts: BenchOptions) -> BenchSuite {
         },
         repeat,
         pool.threads(),
+        opts.shards,
     );
     if let Some(c) = opts.budget_cycles {
         params.push_str(&format!(" budget_cycles={c}"));
@@ -520,7 +626,7 @@ pub fn run_suite_opts(opts: BenchOptions) -> BenchSuite {
 }
 
 impl BenchSuite {
-    /// Serialize as the `fem2-bench/4` JSON document.
+    /// Serialize as the `fem2-bench/6` JSON document.
     pub fn to_json(&self) -> String {
         let doc = Value::Obj(vec![
             ("schema".into(), Value::Str(SCHEMA.into())),
@@ -569,26 +675,27 @@ impl BenchSuite {
 }
 
 /// Validate a `BENCH_fem2.json` document. Accepts the current
-/// `fem2-bench/5` schema plus the previous four: `fem2-bench/4` lacks the
-/// per-record `predicted_events`/`predicted_cycles`/`tightness`,
-/// `fem2-bench/3` additionally lacks the per-record `run_status`,
-/// `fem2-bench/2` additionally lacks the `commit`/`plan_hash`/`params`
-/// provenance fields, and `fem2-bench/1` additionally lacks the suite
-/// `repeat` and per-record `wall_ns_median`. Returns the number of
-/// validated records.
+/// `fem2-bench/6` schema plus the previous five: `fem2-bench/5` lacks the
+/// per-record `shards`/`speedup`, `fem2-bench/4` additionally lacks
+/// `predicted_events`/`predicted_cycles`/`tightness`, `fem2-bench/3`
+/// additionally lacks the per-record `run_status`, `fem2-bench/2`
+/// additionally lacks the `commit`/`plan_hash`/`params` provenance
+/// fields, and `fem2-bench/1` additionally lacks the suite `repeat` and
+/// per-record `wall_ns_median`. Returns the number of validated records.
 pub fn validate_json(text: &str) -> Result<usize, String> {
     let doc: Value = serde_json::from_str(text).map_err(|e| format!("not JSON: {e}"))?;
     let schema = doc.get_field("schema").map_err(|e| e.to_string())?;
     let version = match schema {
-        Value::Str(s) if s == SCHEMA => 5,
+        Value::Str(s) if s == SCHEMA => 6,
+        Value::Str(s) if s == SCHEMA_V5 => 5,
         Value::Str(s) if s == SCHEMA_V4 => 4,
         Value::Str(s) if s == SCHEMA_V3 => 3,
         Value::Str(s) if s == SCHEMA_V2 => 2,
         Value::Str(s) if s == SCHEMA_V1 => 1,
         other => {
             return Err(format!(
-                "schema must be one of \"{SCHEMA}\", \"{SCHEMA_V4}\", \"{SCHEMA_V3}\", \
-                 \"{SCHEMA_V2}\", or \"{SCHEMA_V1}\", found {other:?}"
+                "schema must be one of \"{SCHEMA}\", \"{SCHEMA_V5}\", \"{SCHEMA_V4}\", \
+                 \"{SCHEMA_V3}\", \"{SCHEMA_V2}\", or \"{SCHEMA_V1}\", found {other:?}"
             ))
         }
     };
@@ -702,6 +809,35 @@ pub fn validate_json(text: &str) -> Result<usize, String> {
                 }
             }
         }
+        if version >= 6 {
+            match rec
+                .get_field("shards")
+                .map_err(|e| format!("record {i}: {e}"))?
+            {
+                Value::UInt(v) if *v > 0 => {}
+                Value::Int(v) if *v > 0 => {}
+                other => {
+                    return Err(format!(
+                        "record {i}: shards must be a positive integer, found {}",
+                        other.kind()
+                    ))
+                }
+            }
+            match rec
+                .get_field("speedup")
+                .map_err(|e| format!("record {i}: {e}"))?
+            {
+                Value::Float(f) if *f >= 0.0 => {}
+                Value::UInt(_) => {}
+                Value::Int(v) if *v >= 0 => {}
+                other => {
+                    return Err(format!(
+                        "record {i}: speedup must be a non-negative number, found {}",
+                        other.kind()
+                    ))
+                }
+            }
+        }
     }
     Ok(results.len())
 }
@@ -733,6 +869,8 @@ mod tests {
                     predicted_events: 12,
                     predicted_cycles: 9,
                     tightness: 9.0 / 7.0,
+                    shards: 4,
+                    speedup: 2.5,
                 },
             ],
         }
@@ -775,6 +913,15 @@ mod tests {
                   "events_per_sec":0,"peak_queue_depth":0,"run_status":"ok"}}]}}"#
         );
         assert_eq!(validate_json(&v4), Ok(1));
+        // v5: prediction fields, no shard fields.
+        let v5 = format!(
+            r#"{{"schema":"{SCHEMA_V5}","machine":"m","commit":"c","plan_hash":"p",
+                "params":"x","repeat":1,"results":[
+                {{"name":"x","wall_ns":1,"wall_ns_median":1,"sim_cycles":2,"events":0,
+                  "events_per_sec":0,"peak_queue_depth":0,"run_status":"ok",
+                  "predicted_events":3,"predicted_cycles":3,"tightness":1.5}}]}}"#
+        );
+        assert_eq!(validate_json(&v5), Ok(1));
     }
 
     #[test]
@@ -796,7 +943,7 @@ mod tests {
     #[test]
     fn v5_requires_prediction_fields() {
         let head = format!(
-            r#""schema":"{SCHEMA}","machine":"m","commit":"c","plan_hash":"p",
+            r#""schema":"{SCHEMA_V5}","machine":"m","commit":"c","plan_hash":"p",
                "params":"x","repeat":1"#
         );
         let record = r#""name":"x","wall_ns":1,"wall_ns_median":1,"sim_cycles":2,
@@ -821,6 +968,28 @@ mod tests {
             r#"{{{head},"results":[{{{record},"predicted_events":3,"predicted_cycles":3,
                 "tightness":1.5}}]}}"#
         );
+        assert_eq!(validate_json(&full), Ok(1));
+    }
+
+    #[test]
+    fn v6_requires_shard_fields() {
+        let head = format!(
+            r#""schema":"{SCHEMA}","machine":"m","commit":"c","plan_hash":"p",
+               "params":"x","repeat":1"#
+        );
+        let record = r#""name":"x","wall_ns":1,"wall_ns_median":1,"sim_cycles":2,
+                        "events":0,"events_per_sec":0,"peak_queue_depth":0,
+                        "run_status":"ok","predicted_events":3,"predicted_cycles":3,
+                        "tightness":1.5"#;
+        let missing = format!(r#"{{{head},"results":[{{{record}}}]}}"#);
+        assert!(validate_json(&missing).unwrap_err().contains("shards"));
+        let zero = format!(r#"{{{head},"results":[{{{record},"shards":0,"speedup":1.0}}]}}"#);
+        assert!(validate_json(&zero).unwrap_err().contains("shards"));
+        let no_speedup = format!(r#"{{{head},"results":[{{{record},"shards":2}}]}}"#);
+        assert!(validate_json(&no_speedup).unwrap_err().contains("speedup"));
+        let bad = format!(r#"{{{head},"results":[{{{record},"shards":2,"speedup":"fast"}}]}}"#);
+        assert!(validate_json(&bad).unwrap_err().contains("speedup"));
+        let full = format!(r#"{{{head},"results":[{{{record},"shards":2,"speedup":1.8}}]}}"#);
         assert_eq!(validate_json(&full), Ok(1));
     }
 

@@ -442,6 +442,35 @@ impl Network {
         arrival
     }
 
+    /// A lower bound on the delivery latency of *any* message from `from`
+    /// to `to` under the current route and link state, or `None` when no
+    /// live route exists.
+    ///
+    /// Every packet occupies each link of its route for at least one cycle
+    /// (scaled by the link's degradation factor) and then pays the link
+    /// latency, so the bound is `Σ (degrade + link_latency)` over the
+    /// current route — independent of message size, contention, and
+    /// injection time. This is the conservative lookahead the sharded DES
+    /// backend derives its epoch horizon from; it is only valid until the
+    /// next fault-state change, which recomputes routes.
+    pub fn min_delivery_latency(&self, from: u32, to: u32) -> Option<Cycles> {
+        if from == to {
+            // Local transfers cost at least one memory-pass cycle.
+            return Some(1);
+        }
+        let mut path = self.scratch.take();
+        if self.route_into(from, to, &mut path).is_none() {
+            self.scratch.replace(path);
+            return None;
+        }
+        let mut bound: Cycles = 0;
+        for &link in path.iter() {
+            bound += self.link_degrade[link] as Cycles + self.link_latency;
+        }
+        self.scratch.replace(path);
+        Some(bound.max(1))
+    }
+
     /// Highest per-link busy-cycle count (the bottleneck link).
     pub fn max_link_busy(&self) -> Cycles {
         self.link_busy.iter().copied().max().unwrap_or(0)

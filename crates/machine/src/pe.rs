@@ -75,7 +75,7 @@ impl CostClass {
 }
 
 /// State of one processing element.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct Pe {
     /// Simulation time at which the PE finishes its current work.
     pub free_at: Cycles,

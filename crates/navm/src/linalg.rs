@@ -89,11 +89,14 @@ impl NaVm {
     pub fn inner(&mut self, x: ArrayId, y: ArrayId) -> f64 {
         let n = self.len(x);
         assert_eq!(n, self.len(y), "length mismatch");
-        let result = match &self.plane {
-            Plane::Native { pool } => {
-                let xd = &self.arrays[x.0 as usize].data;
-                let yd = &self.arrays[y.0 as usize].data;
-                pool.map_reduce_index(
+        let result = {
+            let pool = self.pool().cloned();
+            let xd = &self.arrays[x.0 as usize].data;
+            let yd = &self.arrays[y.0 as usize].data;
+            match pool {
+                // Partials are combined in chunk order, so the pooled fold
+                // rounds identically to `chunked_fold_seq`.
+                Some(pool) => pool.map_reduce_index(
                     0..n.div_ceil(REDUCE_GRAIN),
                     1,
                     |chunk| {
@@ -107,12 +110,8 @@ impl NaVm {
                     },
                     |a, b| a + b,
                     0.0,
-                )
-            }
-            Plane::Sim(_) => {
-                let xd = &self.arrays[x.0 as usize].data;
-                let yd = &self.arrays[y.0 as usize].data;
-                chunked_fold_seq(n, |i| xd[i] * yd[i])
+                ),
+                None => chunked_fold_seq(n, |i| xd[i] * yd[i]),
             }
         };
         self.charge_elementwise(
@@ -205,17 +204,17 @@ impl NaVm {
     /// `x ← alpha·x`.
     pub fn scale(&mut self, x: ArrayId, alpha: f64) {
         let n = self.len(x);
+        let pool = self.pool().cloned();
         let xd = &mut self.arrays[x.0 as usize].data;
-        match &self.plane {
-            Plane::Native { pool } => {
-                let pool = pool.clone();
+        match pool {
+            Some(pool) => {
                 fem2_par::chunks_mut(&pool, xd, REDUCE_GRAIN, |_, piece| {
                     for v in piece.iter_mut() {
                         *v *= alpha;
                     }
                 });
             }
-            Plane::Sim(_) => {
+            None => {
                 for v in xd.iter_mut() {
                     *v *= alpha;
                 }

@@ -13,7 +13,8 @@ use crate::task::{TaskHandle, TaskSet};
 use fem2_kernel::WorkProfile;
 use fem2_machine::fault::{FaultKind, FaultPlan};
 use fem2_machine::{
-    BudgetMeter, CostClass, Cycles, Machine, MachineConfig, PeId, RunAborted, RunBudget, Words,
+    BudgetMeter, CostClass, Cycles, Machine, MachineConfig, PeId, RunAborted, RunBudget, ShardMap,
+    Words,
 };
 use fem2_par::Pool;
 use fem2_trace::{EventKind, MsgKind, TaskStage, TraceEvent, TraceHandle, NO_PE};
@@ -72,6 +73,15 @@ pub(crate) struct SimState {
     pub(crate) window_words_scratch: Vec<Option<u64>>,
     /// Started run budget, checked as `now` advances. Unlimited by default.
     pub(crate) budget: BudgetMeter,
+    /// Cluster-to-shard mapping (`MachineConfig::des_shards`). One shard =
+    /// the sequential reference path.
+    pub(crate) shards: ShardMap,
+    /// Host worker pool for sharded execution; `None` when the machine is
+    /// unsharded. Drives both the per-shard charging of parallel sections
+    /// and the host-side numerical loops (which stay bitwise-identical:
+    /// elementwise ops are row-disjoint and reductions fold in chunk
+    /// order).
+    pub(crate) pool: Option<Arc<Pool>>,
 }
 
 impl SimState {
@@ -204,6 +214,18 @@ impl SimState {
         let mut barrier = start;
         let charge_spawn = self.spawn_overhead && !self.spawned;
         self.spawned = true;
+        // Steady-state sections (no spawn traffic, so no network or kernel
+        // interaction — each task touches only its own cluster's PEs) run
+        // sharded when the machine is configured for it. Faults, budget
+        // checks, and all cross-cluster traffic happen between sections,
+        // which is exactly the epoch-barrier discipline the lookahead
+        // argument needs: within the section, shards cannot interact.
+        if !charge_spawn && self.shards.is_sharded() && self.pool.is_some() {
+            if let Some(b) = self.try_parallel_section_sharded(tasks, work, start) {
+                self.now = b;
+                return b;
+            }
+        }
         for &(t, w) in work {
             let c = tasks.cluster_of(t);
             let mut ready_at = start;
@@ -302,6 +324,86 @@ impl SimState {
         self.now = barrier;
         barrier
     }
+
+    /// The sharded twin of the steady-state `parallel_section` loop: split
+    /// the machine into per-shard [`fem2_machine::ShardSection`]s, charge
+    /// each shard's tasks concurrently on the pool, and let the machine
+    /// fold counters, trace events, and the event count back in shard
+    /// order. Work items are in task order and the block task map is
+    /// monotone, so each shard's items are one contiguous run and the
+    /// merged outcome is byte-identical to the sequential loop.
+    ///
+    /// Returns `None` (caller falls back to the sequential loop) when the
+    /// work list is not shard-monotone — possible only for hand-built
+    /// `pardo` statement lists.
+    fn try_parallel_section_sharded(
+        &mut self,
+        tasks: &TaskSet,
+        work: &[(TaskHandle, WorkProfile)],
+        start: Cycles,
+    ) -> Option<Cycles> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let map = self.shards;
+        let pool = Arc::clone(self.pool.as_ref()?);
+        let shard_of = |t: TaskHandle| map.shard_of(tasks.cluster_of(t));
+        if work.windows(2).any(|w| shard_of(w[0].0) > shard_of(w[1].0)) {
+            return None;
+        }
+        let slices: Vec<&[(TaskHandle, WorkProfile)]> = (0..map.shards())
+            .map(|k| {
+                let lo = work.partition_point(|&(t, _)| shard_of(t) < k);
+                let hi = work.partition_point(|&(t, _)| shard_of(t) <= k);
+                &work[lo..hi]
+            })
+            .collect();
+        let barriers: Vec<AtomicU64> = (0..map.shards()).map(|_| AtomicU64::new(start)).collect();
+        self.machine.run_sharded(&map, |sections| {
+            fem2_par::each_mut(&pool, sections, |k, sec| {
+                let mut local = start;
+                for &(t, w) in slices[k] {
+                    let c = tasks.cluster_of(t);
+                    let Some(pe) = sec.pick_worker(c) else {
+                        continue; // dead cluster: work is lost
+                    };
+                    sec.emit(|| {
+                        TraceEvent::instant(
+                            start,
+                            pe.cluster,
+                            pe.index,
+                            EventKind::Task {
+                                task: t.0,
+                                stage: TaskStage::Dispatched,
+                            },
+                        )
+                    });
+                    let _ = sec.charge(start, pe, CostClass::ContextSwitch, 1);
+                    let _ = sec.charge(start, pe, CostClass::IntOp, w.int_ops);
+                    let _ = sec.charge(start, pe, CostClass::MemWord, w.mem_words);
+                    let done = sec
+                        .charge(start, pe, CostClass::Flop, w.flops)
+                        .unwrap_or(start);
+                    sec.emit(|| {
+                        TraceEvent::instant(
+                            done,
+                            pe.cluster,
+                            pe.index,
+                            EventKind::Task {
+                                task: t.0,
+                                stage: TaskStage::Completed,
+                            },
+                        )
+                    });
+                    local = local.max(done);
+                }
+                barriers[k].store(local, Ordering::Relaxed);
+            });
+        });
+        Some(
+            barriers
+                .iter()
+                .fold(start, |b, a| b.max(a.load(Ordering::Relaxed))),
+        )
+    }
 }
 
 /// The numerical analyst's virtual machine.
@@ -333,6 +435,8 @@ impl NaVm {
     pub fn simulated(config: MachineConfig, ntasks: u32) -> Self {
         let machine = Machine::new(config);
         let clusters = machine.config.clusters;
+        let shards = ShardMap::for_config(&machine.config);
+        let pool = shards.is_sharded().then(|| Arc::new(Pool::from_env()));
         NaVm {
             plane: Plane::Sim(Box::new(SimState {
                 machine,
@@ -345,6 +449,8 @@ impl NaVm {
                 max_retransmits: 4,
                 window_words_scratch: vec![None; clusters as usize],
                 budget: BudgetMeter::default(),
+                shards,
+                pool,
             })),
             tasks: TaskSet::new(ntasks, clusters),
             arrays: Vec::new(),
@@ -598,8 +704,25 @@ impl NaVm {
                 });
             }
             Plane::Sim(s) => {
-                for (r, row) in a.data.chunks_mut(cols).enumerate() {
-                    f(r, row);
+                // Rows are disjoint, so running them on the shard pool is
+                // bitwise-identical to the sequential loop.
+                if let Some(pool) = s.pool.clone() {
+                    let grain_rows = rows.div_ceil(pool.threads() * 4).max(1);
+                    fem2_par::chunks_mut(
+                        &pool,
+                        &mut a.data,
+                        grain_rows * cols,
+                        |chunk_idx, piece| {
+                            let first_row = chunk_idx * grain_rows;
+                            for (k, row) in piece.chunks_mut(cols).enumerate() {
+                                f(first_row + k, row);
+                            }
+                        },
+                    );
+                } else {
+                    for (r, row) in a.data.chunks_mut(cols).enumerate() {
+                        f(r, row);
+                    }
                 }
                 let work: Vec<(TaskHandle, WorkProfile)> = self
                     .tasks
@@ -713,7 +836,10 @@ impl NaVm {
     pub(crate) fn pool(&self) -> Option<&Arc<Pool>> {
         match &self.plane {
             Plane::Native { pool } => Some(pool),
-            Plane::Sim(_) => None,
+            // A sharded simulated machine carries a host pool: linear-algebra
+            // host math runs on it with chunk layouts whose results are
+            // bitwise-independent of the thread count.
+            Plane::Sim(s) => s.pool.as_ref(),
         }
     }
 }
@@ -932,5 +1058,75 @@ mod tests {
         vm.broadcast(TaskHandle(0), 64);
         let t2 = vm.elapsed();
         assert!(t0 <= t1 && t1 <= t2);
+    }
+
+    /// The sharded plate path must be indistinguishable from the
+    /// sequential one: a representative workload (fill, compute foralls,
+    /// pardo, linear algebra, a broadcast, a remote call) run with
+    /// `des_shards` ∈ {2, 3, 4} produces byte-identical array contents,
+    /// elapsed cycles, statistics, event counts, and trace streams to
+    /// `des_shards = 1` — with and without a mid-run fault plan.
+    #[test]
+    fn sharded_vm_is_bitwise_identical_to_sequential() {
+        use fem2_trace::RingRecorder;
+        use std::sync::Mutex;
+
+        let run = |shards: u32, faulted: bool| {
+            let mut cfg = MachineConfig::fem2_default();
+            cfg.des_shards = shards;
+            let mut vm = NaVm::simulated(cfg, 8);
+            let rec = Arc::new(Mutex::new(RingRecorder::new(1 << 14)));
+            vm.set_trace(TraceHandle::new(rec.clone()));
+            if faulted {
+                vm.inject_faults(
+                    &FaultPlan::none()
+                        .kill_pe(5_000, PeId::new(1, 2))
+                        .kill_link(20_000, 3)
+                        .degrade_link(40_000, 7, 4),
+                );
+            }
+            let a = vm.array(96, 16);
+            let b = vm.array(96, 16);
+            vm.fill(a, |r, c| ((r * 17 + c * 3) % 13) as f64 * 0.5 - 2.0);
+            vm.fill(b, |r, c| ((r + c) % 7) as f64 * 0.25);
+            vm.forall_rows(a, WorkProfile::flops(200), |r, row| {
+                for (c, x) in row.iter_mut().enumerate() {
+                    *x = x.mul_add(1.0625, (r as f64 - c as f64) * 1e-3);
+                }
+            });
+            let statements: Vec<(TaskHandle, WorkProfile)> = vm
+                .tasks()
+                .iter()
+                .map(|t| (t, WorkProfile::flops(50 + 10 * t.0 as u64)))
+                .collect();
+            vm.pardo(&statements);
+            let dot = vm.inner(a, b);
+            vm.axpy(0.125, a, b);
+            vm.scale(b, 0.75);
+            vm.broadcast(TaskHandle(0), 64);
+            vm.remote_call(TaskHandle(0), TaskHandle(7), WorkProfile::flops(40), 8, 4);
+            let m = vm.machine().unwrap();
+            let trace: Vec<TraceEvent> = rec.lock().unwrap().events().copied().collect();
+            (
+                vm.snapshot(a),
+                vm.snapshot(b),
+                dot.to_bits(),
+                vm.elapsed(),
+                m.stats.total(),
+                m.events,
+                (0..m.config.clusters)
+                    .map(|c| m.alive_count(c))
+                    .collect::<Vec<_>>(),
+                trace,
+            )
+        };
+
+        for faulted in [false, true] {
+            let oracle = run(1, faulted);
+            for shards in [2u32, 3, 4] {
+                let got = run(shards, faulted);
+                assert_eq!(got, oracle, "shards={shards} faulted={faulted}");
+            }
+        }
     }
 }

@@ -304,6 +304,22 @@ impl<'env, 'state> Scope<'env, 'state> {
     where
         F: FnOnce() + Send + 'env,
     {
+        if self.pool.threads == 1 {
+            // A single-worker pool has no concurrency to win, so run the
+            // task inline on the spawning thread. This skips the boxing,
+            // queue traffic, and wakeups entirely — on fine-grained
+            // workloads (many small scopes) that overhead would otherwise
+            // dominate. Panics still surface through the scope's slot so
+            // propagation matches the queued path.
+            let result = panic::catch_unwind(AssertUnwindSafe(f));
+            if let Err(p) = result {
+                let mut slot = self.state.panic.lock();
+                if slot.is_none() {
+                    *slot = Some(p);
+                }
+            }
+            return;
+        }
         self.state.pending.fetch_add(1, Ordering::AcqRel);
         // Erase the borrow lifetime: sound because `Pool::scope` joins every
         // task before the environment frame is released.
@@ -355,6 +371,23 @@ where
     pool.scope(|s| {
         for (c, piece) in data.chunks_mut(chunk).enumerate() {
             s.spawn(move || f(c, piece));
+        }
+    });
+}
+
+/// Call `f(index, &mut item)` once per item of `items`, each call its own
+/// pool work item. The epoch-advance primitive of the sharded DES backend:
+/// one item per shard, every shard advanced concurrently, and the scope's
+/// join is the epoch barrier.
+pub fn each_mut<T, F>(pool: &Pool, items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let f = &f;
+    pool.scope(|s| {
+        for (i, item) in items.iter_mut().enumerate() {
+            s.spawn(move || f(i, item));
         }
     });
 }
@@ -547,6 +580,19 @@ mod tests {
         assert_eq!(data[0], 1);
         assert_eq!(data[32], 1);
         assert_eq!(data[33], 2);
+    }
+
+    #[test]
+    fn each_mut_visits_every_item_once_with_its_index() {
+        let p = Pool::new(4);
+        let mut items: Vec<(usize, u64)> = (0..37).map(|i| (i, 0)).collect();
+        each_mut(&p, &mut items, |i, item| {
+            assert_eq!(item.0, i, "index matches slice position");
+            item.1 += 1;
+        });
+        assert!(items.iter().all(|&(_, hits)| hits == 1));
+        // Empty slice is a no-op, not a hang.
+        each_mut(&p, &mut [] as &mut [u8], |_, _| unreachable!());
     }
 
     #[test]

@@ -507,6 +507,36 @@ impl JobSpec {
         }
     }
 
+    /// The cluster-shard count this job executes with under a server
+    /// configured for `server_shards`: a spec-level `des_shards` wins
+    /// (the tenant asked for a specific engine), otherwise the server's
+    /// setting applies. Sharding is bitwise-invisible to results, so —
+    /// like the run budget — it is an execution harness, never part of
+    /// the content hash.
+    pub fn effective_shards(&self, server_shards: u32) -> u32 {
+        let own = match self {
+            JobSpec::Plate(p) => p.machine.des_shards,
+            JobSpec::Script(s) => s.machine.des_shards,
+        };
+        if own > 1 {
+            own
+        } else {
+            server_shards.max(1)
+        }
+    }
+
+    /// A copy of this spec whose machine runs `shards` cluster shards.
+    /// Used by the server to execute admitted jobs sharded without
+    /// touching the submitted spec (or its hash).
+    pub fn with_exec_shards(&self, shards: u32) -> JobSpec {
+        let mut spec = self.clone();
+        match &mut spec {
+            JobSpec::Plate(p) => p.machine.des_shards = shards,
+            JobSpec::Script(s) => s.machine.des_shards = shards,
+        }
+        spec
+    }
+
     /// Whether warning-severity findings are allowed through admission.
     pub fn allow_warnings(&self) -> bool {
         match self {

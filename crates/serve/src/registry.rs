@@ -1,7 +1,7 @@
 //! The persistent run registry: an append-only JSONL log plus a derived
 //! index, both under the server's `--data-dir`.
 //!
-//! Layout (schema `fem2-registry/3`, documented in DESIGN.md):
+//! Layout (schema `fem2-registry/4`, documented in DESIGN.md):
 //!
 //! * `runs.jsonl` — one JSON object per line, append-only, flushed after
 //!   every record. Two record kinds share the log, discriminated by
@@ -27,6 +27,12 @@
 //! report site can plot predicted-vs-actual tightness. Rev 1/2 records
 //! load with no prediction and render without tightness lines.
 //!
+//! Schema rev 4 adds a `shards` field to run records — the cluster-shard
+//! count the run actually executed with — so cached results note their
+//! execution mode. Sharding is bitwise-invisible to outcomes, so the
+//! field is informational and hash-neutral; rev 1–3 records load
+//! unchanged and replay as `shards: 1` (the sequential engine).
+//!
 //! Crash safety: a torn final line (power loss mid-append) is truncated
 //! away on open — before the append handle is created — so every earlier
 //! record still loads and the next append starts on a clean line instead
@@ -45,7 +51,10 @@ use crate::util::{json_compact, json_pretty};
 use crate::job::{JobOutcome, JobSpec, RunStatus};
 
 /// Registry log schema identifier, stamped on every record.
-pub const SCHEMA: &str = "fem2-registry/3";
+pub const SCHEMA: &str = "fem2-registry/4";
+
+/// Rev 3: `predicted` cost bounds, no per-run `shards`.
+pub const SCHEMA_V3: &str = "fem2-registry/3";
 
 /// Rev 2: run endings (`status`/`error`/`abort_cause`), no `predicted`.
 pub const SCHEMA_V2: &str = "fem2-registry/2";
@@ -81,6 +90,9 @@ pub struct RunRecord {
     /// a bounded verdict only): an object with `sim_cycles`,
     /// `des_events`, `messages`, and `peak_memory_words`.
     pub predicted: Option<Value>,
+    /// Cluster-shard count the run executed with (rev 4); 1 — the
+    /// sequential engine — for records written before the field existed.
+    pub shards: u32,
 }
 
 impl RunRecord {
@@ -290,6 +302,10 @@ impl Registry {
                             predicted: field(&v, "predicted")
                                 .filter(|p| matches!(p, Value::Obj(_)))
                                 .cloned(),
+                            // Rev 1–3 records predate the field; they
+                            // only ever ran the sequential engine.
+                            shards: u64_field(&v, "shards")
+                                .map_or(1, |s| u32::try_from(s).unwrap_or(1).max(1)),
                         };
                         next_seq = next_seq.max(rec.seq + 1);
                         runs.push(rec);
@@ -395,7 +411,7 @@ impl Registry {
         outcome: &JobOutcome,
         wall_ns: u64,
     ) -> Result<&RunRecord, String> {
-        self.record_result(spec, RunStatus::Ok, Some(outcome), None, None, wall_ns)
+        self.record_result(spec, RunStatus::Ok, Some(outcome), None, None, wall_ns, 1)
     }
 
     /// Record how a supervised job run ended — success, failure, or
@@ -403,6 +419,9 @@ impl Registry {
     /// the failure detail in `error`; aborted records additionally carry
     /// the structured `abort_cause`, which decides whether poison
     /// quarantine replays them to later submitters of the same spec.
+    /// `shards` is the cluster-shard count the run executed with (rev 4);
+    /// pass 1 for the sequential engine.
+    #[allow(clippy::too_many_arguments)]
     pub fn record_result(
         &mut self,
         spec: &JobSpec,
@@ -411,6 +430,7 @@ impl Registry {
         error: Option<&str>,
         abort_cause: Option<&str>,
         wall_ns: u64,
+        shards: u32,
     ) -> Result<&RunRecord, String> {
         let kind = match spec {
             JobSpec::Plate(_) => "plate",
@@ -449,6 +469,7 @@ impl Registry {
             error: error.map(str::to_string),
             abort_cause: abort_cause.map(str::to_string),
             predicted,
+            shards: shards.max(1),
         };
         let mut doc = vec![
             ("schema".into(), Value::Str(SCHEMA.into())),
@@ -460,6 +481,7 @@ impl Registry {
             ("outcome".into(), rec.outcome.clone()),
             ("wall_ns".into(), Value::UInt(rec.wall_ns)),
             ("status".into(), Value::Str(rec.status.name().into())),
+            ("shards".into(), Value::UInt(u64::from(rec.shards))),
         ];
         if let Some(e) = &rec.error {
             doc.push(("error".into(), Value::Str(e.clone())));
@@ -744,6 +766,41 @@ mod tests {
     }
 
     #[test]
+    fn rev4_records_persist_their_shard_count_and_rev3_load_as_one() {
+        let dir = temp_dir("shards");
+        let spec = sample_spec();
+        let outcome = spec.execute();
+        {
+            let mut reg = Registry::open(&dir).unwrap();
+            reg.record_result(&spec, RunStatus::Ok, Some(&outcome), None, None, 7, 4)
+                .unwrap();
+            assert_eq!(reg.lookup(&spec.content_hash()).unwrap().shards, 4);
+        }
+        // The shard count survives the reopen replay.
+        let reg = Registry::open(&dir).unwrap();
+        assert_eq!(reg.lookup(&spec.content_hash()).unwrap().shards, 4);
+        drop(reg);
+        fs::remove_dir_all(&dir).unwrap();
+        // A rev-3 record (no `shards` field) loads unchanged and replays
+        // as the sequential engine.
+        let dir3 = temp_dir("shards-rev3");
+        fs::create_dir_all(&dir3).unwrap();
+        let line = format!(
+            "{{\"schema\":\"fem2-registry/3\",\"kind\":\"plate\",\"seq\":0,\
+             \"hash\":\"{}\",\"name\":\"old\",\"spec\":{},\"outcome\":{{\"kind\":\"plate\"}},\
+             \"wall_ns\":5,\"status\":\"ok\"}}\n",
+            spec.content_hash(),
+            json_compact(&spec.to_value()),
+        );
+        fs::write(dir3.join("runs.jsonl"), line).unwrap();
+        let reg = Registry::open(&dir3).unwrap();
+        let rec = reg.lookup(&spec.content_hash()).expect("rev3 record loads");
+        assert_eq!(rec.shards, 1);
+        assert_eq!(rec.status, RunStatus::Ok);
+        fs::remove_dir_all(&dir3).unwrap();
+    }
+
+    #[test]
     fn index_json_reflects_the_log() {
         let dir = temp_dir("index");
         let spec = sample_spec();
@@ -771,6 +828,7 @@ mod tests {
                 Some("scenario panicked"),
                 None,
                 7,
+                1,
             )
             .unwrap();
         }
@@ -805,6 +863,7 @@ mod tests {
                 Some("run aborted (wall_deadline) at 10 sim cycles, 0 DES events"),
                 Some("wall_deadline"),
                 5,
+                1,
             )
             .unwrap();
             assert!(!reg.lookup(&spec.content_hash()).unwrap().quarantines());
@@ -822,6 +881,7 @@ mod tests {
             Some("run aborted (cycles_exceeded) at 101 sim cycles, 7 DES events"),
             Some("cycles_exceeded"),
             5,
+            4,
         )
         .unwrap();
         assert!(reg.lookup(&spec.content_hash()).unwrap().quarantines());
@@ -868,6 +928,7 @@ mod tests {
             Some("run aborted (wall_deadline) at 2 sim cycles, 0 DES events"),
             Some("wall_deadline"),
             3,
+            1,
         )
         .unwrap();
         // lookup sees the latest (abort); lookup_ok still finds the run.
