@@ -9,7 +9,7 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e5_network");
     g.sample_size(30);
     for topo in [Topology::Bus, Topology::Crossbar] {
-        let cfg = MachineConfig::clustered(8, 2, topo);
+        let cfg = MachineConfig::clustered(8, 2, topo.clone());
         g.bench_function(format!("allpairs_{}", topo.name()), |b| {
             b.iter(|| {
                 let mut net = Network::new(&cfg);

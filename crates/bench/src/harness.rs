@@ -31,7 +31,9 @@ use crate::experiments as ex;
 use crate::sweep::par_sweep;
 use fem2_core::fem::solver::{self, IterControls};
 use fem2_core::machine::fault::FaultPlan;
-use fem2_core::machine::{DesQueue, MachineConfig, Network, RunBudget, Topology};
+use fem2_core::machine::{
+    CostClass, DesQueue, Machine, MachineConfig, Network, RunBudget, Topology,
+};
 use fem2_core::scenario::PlateScenario;
 use fem2_par::Pool;
 use fem2_trace::TraceHandle;
@@ -39,16 +41,19 @@ use serde_json::Value;
 use std::time::Instant;
 
 /// Schema identifier written into the JSON document.
-pub const SCHEMA: &str = "fem2-bench/6";
-/// The previous schema (no per-record `shards` / `speedup`); still
-/// accepted by [`validate_json`] so stored baselines keep validating.
+pub const SCHEMA: &str = "fem2-bench/7";
+/// The previous schema (no per-record `alloc_links` / `alloc_clusters` /
+/// `saturation_clusters`); still accepted by [`validate_json`] so stored
+/// baselines keep validating.
+pub const SCHEMA_V6: &str = "fem2-bench/6";
+/// Two revisions back (additionally no per-record `shards` / `speedup`).
 pub const SCHEMA_V5: &str = "fem2-bench/5";
-/// Two revisions back (additionally no per-record `predicted_events` /
+/// Three revisions back (additionally no per-record `predicted_events` /
 /// `predicted_cycles` / `tightness`).
 pub const SCHEMA_V4: &str = "fem2-bench/4";
-/// Three revisions back (additionally no per-record `run_status`).
+/// Four revisions back (additionally no per-record `run_status`).
 pub const SCHEMA_V3: &str = "fem2-bench/3";
-/// Four revisions back (additionally no `commit`, `plan_hash`, or
+/// Five revisions back (additionally no `commit`, `plan_hash`, or
 /// `params` provenance fields); also still accepted.
 pub const SCHEMA_V2: &str = "fem2-bench/2";
 /// The original schema (additionally lacks `repeat` and
@@ -148,6 +153,20 @@ pub struct BenchRecord {
     /// wall over this record's wall, for shard-sweep records; 0.0 when
     /// not applicable.
     pub speedup: f64,
+    /// Link records the sparse network slab materialized during the run
+    /// (schema v7) — the peak-RSS proxy for network state. 0 for records
+    /// that do not observe the machine (native solvers, bare-network
+    /// checksums).
+    pub alloc_links: u64,
+    /// Cluster PE lanes materialized during the run (schema v7) — the
+    /// peak-RSS proxy for machine state. 0 when unobserved.
+    pub alloc_clusters: u64,
+    /// For weak-scaling records: the smallest cluster count at which this
+    /// record's topology saturates its bisection under the sweep's fixed
+    /// per-cluster traffic (makespan more than doubles over the smallest
+    /// machine's). 0 when the topology never saturated in the sweep, or
+    /// for non-weak-scaling records (schema v7).
+    pub saturation_clusters: u64,
 }
 
 impl BenchRecord {
@@ -166,6 +185,9 @@ impl BenchRecord {
             tightness: 0.0,
             shards: 1,
             speedup: 0.0,
+            alloc_links: 0,
+            alloc_clusters: 0,
+            saturation_clusters: 0,
         }
     }
 
@@ -215,6 +237,12 @@ impl BenchRecord {
             ("tightness".into(), Value::Float(self.tightness)),
             ("shards".into(), Value::UInt(u64::from(self.shards))),
             ("speedup".into(), Value::Float(self.speedup)),
+            ("alloc_links".into(), Value::UInt(self.alloc_links)),
+            ("alloc_clusters".into(), Value::UInt(self.alloc_clusters)),
+            (
+                "saturation_clusters".into(),
+                Value::UInt(self.saturation_clusters),
+            ),
         ])
     }
 }
@@ -301,20 +329,16 @@ fn e1_config(opts: BenchOptions) -> MachineConfig {
 /// across the pool (each cell is its own scenario); one traced 48×48 run
 /// supplies event throughput and queue depth.
 fn e1_records(records: &mut Vec<BenchRecord>, opts: BenchOptions, pool: &Pool) {
-    // Under a budget override a plate run may end as a deterministic
-    // abort: the record then carries the cycles reached and says so.
-    let budgeted = |scenario: &PlateScenario| match scenario.run_budgeted() {
-        Ok(report) => (report.elapsed, report.engine_events, "ok"),
-        Err(abort) => (abort.sim_cycles, abort.des_events, "aborted"),
-    };
     let sized = par_sweep(pool, vec![8usize, 16, 32, 48], |n| {
         let scenario = PlateScenario::square(n, e1_config(opts)).with_budget(opts.budget());
         let cost = fem2_core::verify::scenario_cost(&scenario);
-        let (wall, (cycles, events, status)) = wall_of(|| budgeted(&scenario));
+        let (wall, (cycles, events, status, links, clusters)) = wall_of(|| budgeted(&scenario));
         let mut r =
             BenchRecord::untraced(format!("e1_plate_{n}"), wall, cycles).with_engine_events(events);
         r.run_status = status.into();
         r.shards = opts.shards;
+        r.alloc_links = links;
+        r.alloc_clusters = clusters;
         r.with_prediction(&cost)
     });
     records.extend(sized);
@@ -324,7 +348,7 @@ fn e1_records(records: &mut Vec<BenchRecord>, opts: BenchOptions, pool: &Pool) {
         .with_trace(handle)
         .with_budget(opts.budget());
     let cost = fem2_core::verify::scenario_cost(&scenario);
-    let (wall, (cycles, _, status)) = wall_of(|| budgeted(&scenario));
+    let (wall, (cycles, _, status, links, clusters)) = wall_of(|| budgeted(&scenario));
     let rec = rec.lock().unwrap_or_else(|e| e.into_inner());
     let events = rec.metrics().total_events();
     let secs = (wall as f64 / 1e9).max(1e-9);
@@ -343,9 +367,29 @@ fn e1_records(records: &mut Vec<BenchRecord>, opts: BenchOptions, pool: &Pool) {
             tightness: 0.0,
             shards: opts.shards,
             speedup: 0.0,
+            alloc_links: links,
+            alloc_clusters: clusters,
+            saturation_clusters: 0,
         }
         .with_prediction(&cost),
     );
+}
+
+/// Run a plate scenario under its budget: `(cycles, events, status,
+/// alloc_links, alloc_clusters)`. Under a budget override a run may end as
+/// a deterministic abort: the record then carries the cycles reached and
+/// says so (allocation counters are unobservable on the abort path).
+fn budgeted(scenario: &PlateScenario) -> (u64, u64, &'static str, u64, u64) {
+    match scenario.run_budgeted() {
+        Ok(report) => (
+            report.elapsed,
+            report.engine_events,
+            "ok",
+            report.alloc_link_records,
+            report.alloc_cluster_records,
+        ),
+        Err(abort) => (abort.sim_cycles, abort.des_events, "aborted", 0, 0),
+    }
 }
 
 /// Grid size of the shard-sweep plate — the largest E1 plate in the suite.
@@ -365,11 +409,7 @@ fn e1_shard_sweep(records: &mut Vec<BenchRecord>, opts: BenchOptions) {
         let sweep_opts = BenchOptions { shards, ..opts };
         let scenario =
             PlateScenario::square(SHARD_SWEEP_N, e1_config(sweep_opts)).with_budget(opts.budget());
-        let (wall, result) = wall_of(|| scenario.run_budgeted());
-        let (cycles, events, status) = match result {
-            Ok(report) => (report.elapsed, report.engine_events, "ok"),
-            Err(abort) => (abort.sim_cycles, abort.des_events, "aborted"),
-        };
+        let (wall, (cycles, events, status, links, clusters)) = wall_of(|| budgeted(&scenario));
         if shards == 1 {
             seq_wall = wall;
         }
@@ -382,7 +422,141 @@ fn e1_shard_sweep(records: &mut Vec<BenchRecord>, opts: BenchOptions) {
         r.run_status = status.into();
         r.shards = shards;
         r.speedup = seq_wall as f64 / (wall as f64).max(1.0);
+        r.alloc_links = links;
+        r.alloc_clusters = clusters;
         records.push(r);
+    }
+}
+
+/// Grid size of the large-machine E1 plate: the fixed plate workload on a
+/// 1024-cluster torus, three orders more clusters than the work needs.
+/// The row exists to prove sparse machine state end to end: the run must
+/// allocate link and cluster records proportional to the clusters the
+/// plate actually touches, never to the machine's size (CI gates on the
+/// `alloc_links` field).
+const TORUS_E1_N: usize = 32;
+/// Cluster count of the large-machine E1 row.
+const TORUS_E1_CLUSTERS: u32 = 1024;
+/// Task count of the large-machine E1 row: enough parallelism for the
+/// plate, far fewer than the machine's worker count, so most clusters
+/// never dispatch work and must never materialize PE records.
+const TORUS_E1_TASKS: u32 = 128;
+
+/// The large-machine E1 rows: the fixed plate at 1 and 4 shards on a
+/// 1024-cluster 32×32 torus. Simulated results are bitwise-identical
+/// across the pair; `refresh_speedups` pairs the rows by name.
+fn e1_torus_sweep(records: &mut Vec<BenchRecord>, opts: BenchOptions) {
+    let mut seq_wall = 0u64;
+    for shards in [1u32, 4] {
+        let side = (TORUS_E1_CLUSTERS as f64).sqrt() as u32;
+        let mut cfg = e1_config(BenchOptions { shards, ..opts });
+        cfg.clusters = TORUS_E1_CLUSTERS;
+        cfg.topology = Topology::Torus {
+            dims: vec![side, side],
+        };
+        let mut scenario = PlateScenario::square(TORUS_E1_N, cfg).with_budget(opts.budget());
+        scenario.tasks = TORUS_E1_TASKS;
+        let (wall, (cycles, events, status, links, clusters)) = wall_of(|| budgeted(&scenario));
+        if shards == 1 {
+            seq_wall = wall;
+        }
+        let mut r = BenchRecord::untraced(
+            format!("e1_plate_{TORUS_E1_N}_torus{TORUS_E1_CLUSTERS}_shards_{shards}"),
+            wall,
+            cycles,
+        )
+        .with_engine_events(events);
+        r.run_status = status.into();
+        r.shards = shards;
+        r.speedup = seq_wall as f64 / (wall as f64).max(1.0);
+        r.alloc_links = links;
+        r.alloc_clusters = clusters;
+        records.push(r);
+    }
+}
+
+/// Cluster counts of the weak-scaling sweep: fixed work per cluster from
+/// 32 to 4096 clusters, so perfect weak scaling is a flat makespan and a
+/// flat events/sec.
+const WS_CLUSTERS: [u32; 8] = [32, 64, 128, 256, 512, 1024, 2048, 4096];
+/// Payload words of each weak-scaling message.
+const WS_WORDS: u64 = 64;
+/// Flops charged per cluster per weak-scaling cell.
+const WS_FLOPS: u64 = 64;
+
+/// The topology of one weak-scaling cell. Both shapes factor every power
+/// of two in [`WS_CLUSTERS`]: the torus as the near-square 2-D grid, the
+/// fat tree with a `sqrt(n)`-ish radix.
+fn ws_topology(kind: &str, n: u32) -> Topology {
+    let k = n.trailing_zeros();
+    match kind {
+        "torus" => Topology::Torus {
+            dims: vec![1 << (k / 2), 1 << (k - k / 2)],
+        },
+        "fattree" => Topology::FatTree {
+            radix: 1 << (k / 2),
+        },
+        other => unreachable!("unknown weak-scaling topology {other}"),
+    }
+}
+
+/// One weak-scaling cell: every cluster charges [`WS_FLOPS`] flops and
+/// sends two [`WS_WORDS`]-word messages at time zero — one to its ring
+/// neighbor, one to its antipode (the antipodal half crosses the bisection,
+/// so a topology whose bisection bandwidth grows slower than the cluster
+/// count congests as the sweep scales). Returns `(makespan, events,
+/// alloc_links, alloc_clusters)`; all four are deterministic.
+fn ws_cell(opts: BenchOptions, kind: &str, n: u32) -> (u64, u64, u64, u64) {
+    let mut cfg = MachineConfig::clustered(n, 2, ws_topology(kind, n));
+    cfg.route_cache = opts.route_cache;
+    cfg.des_queue = opts.des_queue;
+    let mut m = Machine::new(cfg);
+    let mut makespan = 0u64;
+    for c in 0..n {
+        let pe = m.pick_worker(c).expect("two PEs per cluster");
+        let done = m
+            .charge(0, pe, CostClass::Flop, WS_FLOPS)
+            .expect("healthy machine");
+        let near = m.transmit(0, c, (c + 1) % n, WS_WORDS);
+        let far = m.transmit(0, c, (c + n / 2) % n, WS_WORDS);
+        makespan = makespan.max(done).max(near).max(far);
+    }
+    (
+        makespan,
+        m.events,
+        m.network.allocated_link_records() as u64,
+        m.allocated_cluster_records() as u64,
+    )
+}
+
+/// The weak-scaling sweep: [`ws_cell`] per topology per cluster count,
+/// recording events/sec, the allocated link/cluster records (the peak-RSS
+/// proxy: a dense machine would grow these with the id space, the sparse
+/// one only with touched state), and the topology's bisection saturation
+/// point — the smallest cluster count whose makespan more than doubles
+/// the 32-cluster makespan, stamped on every row of that topology.
+fn ws_records(records: &mut Vec<BenchRecord>, opts: BenchOptions) {
+    for kind in ["torus", "fattree"] {
+        let mut rows = Vec::new();
+        let mut base_makespan = 0u64;
+        let mut saturation = 0u64;
+        for n in WS_CLUSTERS {
+            let (wall, (makespan, events, links, clusters)) = wall_of(|| ws_cell(opts, kind, n));
+            if n == WS_CLUSTERS[0] {
+                base_makespan = makespan;
+            } else if saturation == 0 && makespan > 2 * base_makespan {
+                saturation = u64::from(n);
+            }
+            let mut r = BenchRecord::untraced(format!("ws_{kind}_{n}"), wall, makespan)
+                .with_engine_events(events);
+            r.alloc_links = links;
+            r.alloc_clusters = clusters;
+            rows.push(r);
+        }
+        for mut r in rows {
+            r.saturation_clusters = saturation;
+            records.push(r);
+        }
     }
 }
 
@@ -472,6 +646,9 @@ fn e7_record(opts: BenchOptions) -> BenchRecord {
         tightness: 0.0,
         shards: 1,
         speedup: 0.0,
+        alloc_links: 0,
+        alloc_clusters: 0,
+        saturation_clusters: 0,
     }
 }
 
@@ -536,6 +713,8 @@ fn run_mix(opts: BenchOptions, pool: &Pool) -> Vec<BenchRecord> {
     let mut records = Vec::new();
     e1_records(&mut records, opts, pool);
     e1_shard_sweep(&mut records, opts);
+    e1_torus_sweep(&mut records, opts);
+    ws_records(&mut records, opts);
     records.push(e5_record(opts, pool));
     records.push(e7_record(opts));
     e7_mix_records(&mut records, opts, pool);
@@ -626,7 +805,7 @@ pub fn run_suite_opts(opts: BenchOptions) -> BenchSuite {
 }
 
 impl BenchSuite {
-    /// Serialize as the `fem2-bench/6` JSON document.
+    /// Serialize as the `fem2-bench/7` JSON document.
     pub fn to_json(&self) -> String {
         let doc = Value::Obj(vec![
             ("schema".into(), Value::Str(SCHEMA.into())),
@@ -675,18 +854,21 @@ impl BenchSuite {
 }
 
 /// Validate a `BENCH_fem2.json` document. Accepts the current
-/// `fem2-bench/6` schema plus the previous five: `fem2-bench/5` lacks the
-/// per-record `shards`/`speedup`, `fem2-bench/4` additionally lacks
-/// `predicted_events`/`predicted_cycles`/`tightness`, `fem2-bench/3`
-/// additionally lacks the per-record `run_status`, `fem2-bench/2`
-/// additionally lacks the `commit`/`plan_hash`/`params` provenance
-/// fields, and `fem2-bench/1` additionally lacks the suite `repeat` and
-/// per-record `wall_ns_median`. Returns the number of validated records.
+/// `fem2-bench/7` schema plus the previous six: `fem2-bench/6` lacks the
+/// per-record `alloc_links`/`alloc_clusters`/`saturation_clusters`,
+/// `fem2-bench/5` additionally lacks `shards`/`speedup`, `fem2-bench/4`
+/// additionally lacks `predicted_events`/`predicted_cycles`/`tightness`,
+/// `fem2-bench/3` additionally lacks the per-record `run_status`,
+/// `fem2-bench/2` additionally lacks the `commit`/`plan_hash`/`params`
+/// provenance fields, and `fem2-bench/1` additionally lacks the suite
+/// `repeat` and per-record `wall_ns_median`. Returns the number of
+/// validated records.
 pub fn validate_json(text: &str) -> Result<usize, String> {
     let doc: Value = serde_json::from_str(text).map_err(|e| format!("not JSON: {e}"))?;
     let schema = doc.get_field("schema").map_err(|e| e.to_string())?;
     let version = match schema {
-        Value::Str(s) if s == SCHEMA => 6,
+        Value::Str(s) if s == SCHEMA => 7,
+        Value::Str(s) if s == SCHEMA_V6 => 6,
         Value::Str(s) if s == SCHEMA_V5 => 5,
         Value::Str(s) if s == SCHEMA_V4 => 4,
         Value::Str(s) if s == SCHEMA_V3 => 3,
@@ -694,8 +876,9 @@ pub fn validate_json(text: &str) -> Result<usize, String> {
         Value::Str(s) if s == SCHEMA_V1 => 1,
         other => {
             return Err(format!(
-                "schema must be one of \"{SCHEMA}\", \"{SCHEMA_V5}\", \"{SCHEMA_V4}\", \
-                 \"{SCHEMA_V3}\", \"{SCHEMA_V2}\", or \"{SCHEMA_V1}\", found {other:?}"
+                "schema must be one of \"{SCHEMA}\", \"{SCHEMA_V6}\", \"{SCHEMA_V5}\", \
+                 \"{SCHEMA_V4}\", \"{SCHEMA_V3}\", \"{SCHEMA_V2}\", or \"{SCHEMA_V1}\", \
+                 found {other:?}"
             ))
         }
     };
@@ -838,6 +1021,23 @@ pub fn validate_json(text: &str) -> Result<usize, String> {
                 }
             }
         }
+        if version >= 7 {
+            for field in ["alloc_links", "alloc_clusters", "saturation_clusters"] {
+                match rec
+                    .get_field(field)
+                    .map_err(|e| format!("record {i}: {e}"))?
+                {
+                    Value::UInt(_) => {}
+                    Value::Int(v) if *v >= 0 => {}
+                    other => {
+                        return Err(format!(
+                            "record {i}: {field} must be a non-negative integer, found {}",
+                            other.kind()
+                        ))
+                    }
+                }
+            }
+        }
     }
     Ok(results.len())
 }
@@ -871,6 +1071,9 @@ mod tests {
                     tightness: 9.0 / 7.0,
                     shards: 4,
                     speedup: 2.5,
+                    alloc_links: 12,
+                    alloc_clusters: 4,
+                    saturation_clusters: 0,
                 },
             ],
         }
@@ -922,6 +1125,16 @@ mod tests {
                   "predicted_events":3,"predicted_cycles":3,"tightness":1.5}}]}}"#
         );
         assert_eq!(validate_json(&v5), Ok(1));
+        // v6: shard fields, no allocation fields.
+        let v6 = format!(
+            r#"{{"schema":"{SCHEMA_V6}","machine":"m","commit":"c","plan_hash":"p",
+                "params":"x","repeat":1,"results":[
+                {{"name":"x","wall_ns":1,"wall_ns_median":1,"sim_cycles":2,"events":0,
+                  "events_per_sec":0,"peak_queue_depth":0,"run_status":"ok",
+                  "predicted_events":3,"predicted_cycles":3,"tightness":1.5,
+                  "shards":2,"speedup":1.8}}]}}"#
+        );
+        assert_eq!(validate_json(&v6), Ok(1));
     }
 
     #[test]
@@ -974,7 +1187,7 @@ mod tests {
     #[test]
     fn v6_requires_shard_fields() {
         let head = format!(
-            r#""schema":"{SCHEMA}","machine":"m","commit":"c","plan_hash":"p",
+            r#""schema":"{SCHEMA_V6}","machine":"m","commit":"c","plan_hash":"p",
                "params":"x","repeat":1"#
         );
         let record = r#""name":"x","wall_ns":1,"wall_ns_median":1,"sim_cycles":2,
@@ -991,6 +1204,133 @@ mod tests {
         assert!(validate_json(&bad).unwrap_err().contains("speedup"));
         let full = format!(r#"{{{head},"results":[{{{record},"shards":2,"speedup":1.8}}]}}"#);
         assert_eq!(validate_json(&full), Ok(1));
+    }
+
+    #[test]
+    fn v7_requires_allocation_fields() {
+        let head = format!(
+            r#""schema":"{SCHEMA}","machine":"m","commit":"c","plan_hash":"p",
+               "params":"x","repeat":1"#
+        );
+        let record = r#""name":"x","wall_ns":1,"wall_ns_median":1,"sim_cycles":2,
+                        "events":0,"events_per_sec":0,"peak_queue_depth":0,
+                        "run_status":"ok","predicted_events":3,"predicted_cycles":3,
+                        "tightness":1.5,"shards":2,"speedup":1.8"#;
+        let missing = format!(r#"{{{head},"results":[{{{record}}}]}}"#);
+        assert!(validate_json(&missing).unwrap_err().contains("alloc_links"));
+        let partial = format!(r#"{{{head},"results":[{{{record},"alloc_links":4}}]}}"#);
+        assert!(validate_json(&partial)
+            .unwrap_err()
+            .contains("alloc_clusters"));
+        let bad = format!(
+            r#"{{{head},"results":[{{{record},"alloc_links":4,"alloc_clusters":2,
+                "saturation_clusters":"never"}}]}}"#
+        );
+        assert!(validate_json(&bad)
+            .unwrap_err()
+            .contains("saturation_clusters"));
+        let full = format!(
+            r#"{{{head},"results":[{{{record},"alloc_links":4,"alloc_clusters":2,
+                "saturation_clusters":0}}]}}"#
+        );
+        assert_eq!(validate_json(&full), Ok(1));
+    }
+
+    #[test]
+    fn weak_scaling_sweep_is_deterministic_and_sparse() {
+        let opts = BenchOptions::default();
+        let mut a = Vec::new();
+        ws_records(&mut a, opts);
+        let mut b = Vec::new();
+        ws_records(&mut b, opts);
+        let key = |rs: &[BenchRecord]| {
+            rs.iter()
+                .map(|r| {
+                    (
+                        r.name.clone(),
+                        r.sim_cycles,
+                        r.events,
+                        r.alloc_links,
+                        r.alloc_clusters,
+                        r.saturation_clusters,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(key(&a), key(&b), "the sweep is a pure simulated quantity");
+        assert_eq!(a.len(), 2 * WS_CLUSTERS.len(), "both topologies, all sizes");
+        for r in &a {
+            let n: u64 = r.name.rsplit('_').next().unwrap().parse().unwrap();
+            assert_eq!(r.events, 3 * n, "fixed work per cluster");
+            assert_eq!(r.alloc_clusters, n, "every cluster ran work");
+            assert!(
+                r.alloc_links <= 6 * n,
+                "{}: {} link records is not O(active) for {} clusters",
+                r.name,
+                r.alloc_links,
+                n
+            );
+        }
+        // The 2-D torus bisection grows as sqrt(n) against antipodal
+        // traffic that grows as n: the sweep must find its saturation
+        // point. The fat tree's bisection grows with n: it must not.
+        let torus = a.iter().find(|r| r.name == "ws_torus_4096").unwrap();
+        assert!(
+            torus.saturation_clusters > 0,
+            "torus antipodal traffic must saturate, makespan {}",
+            torus.sim_cycles
+        );
+        let fat = a.iter().find(|r| r.name == "ws_fattree_4096").unwrap();
+        assert_eq!(
+            fat.saturation_clusters, 0,
+            "fat-tree bisection keeps up, makespan {}",
+            fat.sim_cycles
+        );
+    }
+
+    #[test]
+    fn torus_e1_rows_are_shard_invariant_and_o_active() {
+        let mut records = Vec::new();
+        e1_torus_sweep(&mut records, BenchOptions::default());
+        assert_eq!(records.len(), 2);
+        let (s1, s4) = (&records[0], &records[1]);
+        assert_eq!(s1.name, "e1_plate_32_torus1024_shards_1");
+        assert_eq!(s4.name, "e1_plate_32_torus1024_shards_4");
+        assert_eq!(s1.sim_cycles, s4.sim_cycles, "bitwise across shards");
+        assert_eq!(s1.events, s4.events);
+        assert_eq!(s1.alloc_links, s4.alloc_links);
+        assert_eq!(s1.alloc_clusters, s4.alloc_clusters);
+        assert_eq!(s1.run_status, "ok");
+        let n = u64::from(TORUS_E1_CLUSTERS);
+        assert!(
+            s1.alloc_links < 4 * n,
+            "{} link records on a {} cluster torus is not O(active)",
+            s1.alloc_links,
+            n
+        );
+        assert!(
+            s1.alloc_clusters < n / 2,
+            "{} cluster records: a {}-task plate must not touch most of the \
+             {n}-cluster machine",
+            s1.alloc_clusters,
+            TORUS_E1_TASKS
+        );
+    }
+
+    #[test]
+    fn refresh_speedups_ignores_weak_scaling_records() {
+        let mut records = vec![
+            BenchRecord::untraced("e1_plate_64_shards_1", 1_000, 5),
+            BenchRecord::untraced("e1_plate_64_shards_4", 500, 5),
+            BenchRecord::untraced("ws_torus_1024", 700, 9),
+            BenchRecord::untraced("ws_fattree_4096", 900, 9),
+        ];
+        records[2].saturation_clusters = 2048;
+        let out = refresh_speedups(records);
+        assert_eq!(out[1].speedup, 2.0, "shard rows keep pairing");
+        assert_eq!(out[2].speedup, 0.0, "weak-scaling rows have no base");
+        assert_eq!(out[3].speedup, 0.0);
+        assert_eq!(out[2].saturation_clusters, 2048, "fields pass through");
     }
 
     #[test]

@@ -43,11 +43,13 @@ impl CostWeights {
     /// The hardware cost of a configuration.
     pub fn cost(&self, cfg: &MachineConfig) -> f64 {
         let n = cfg.clusters as f64;
-        let links = match cfg.topology {
+        let links = match &cfg.topology {
             Topology::Bus => 1.0,
             Topology::Ring => 2.0 * n,
             Topology::Mesh2D { .. } => 4.0 * n,
             Topology::Crossbar => n * n,
+            Topology::Torus { dims } => 2.0 * dims.len() as f64 * n,
+            Topology::FatTree { .. } => 4.0 * n,
         };
         self.pe * cfg.total_pes() as f64 + self.cluster * n + self.link * links
     }

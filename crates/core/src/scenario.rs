@@ -257,6 +257,8 @@ impl PlateScenario {
             total_flops: total.flops,
             table: stats.table(),
             unknowns: self.nx * self.ny,
+            alloc_link_records: machine.network.allocated_link_records() as u64,
+            alloc_cluster_records: machine.allocated_cluster_records() as u64,
         })
     }
 
@@ -310,6 +312,11 @@ pub struct ScenarioReport {
     pub table: String,
     /// Number of unknowns solved.
     pub unknowns: usize,
+    /// Link records the sparse network slab materialized — the memory the
+    /// run actually paid for, versus the topology's full link id space.
+    pub alloc_link_records: u64,
+    /// Cluster PE lanes materialized (clusters that ran work or faulted).
+    pub alloc_cluster_records: u64,
 }
 
 impl ScenarioReport {
@@ -425,6 +432,42 @@ mod tests {
         for v in sol {
             assert!((v - 1.0).abs() < 1e-6, "A·x component {v}");
         }
+    }
+
+    #[test]
+    fn four_thousand_cluster_torus_plate_stays_o_active() {
+        // The headline sparse-state regression guard: a 64x64 torus of
+        // 4096 clusters running a 128-task plate must materialize link
+        // and cluster records proportional to the *active* set, not the
+        // machine size (link id space 16384; a dense or quadratic
+        // allocation would show up orders of magnitude above the bound).
+        let cfg = MachineConfig::clustered(
+            4096,
+            2,
+            fem2_machine::Topology::Torus { dims: vec![64, 64] },
+        );
+        let mut scenario = PlateScenario::square(32, cfg);
+        scenario.tasks = 128;
+        let r = scenario.run();
+        assert!(
+            r.converged,
+            "{} iters, residual {}",
+            r.iterations, r.residual
+        );
+        assert!(
+            r.alloc_cluster_records <= 256,
+            "cluster records must track the 128 active clusters, got {}",
+            r.alloc_cluster_records
+        );
+        // Each active cluster's traffic touches at most ~2·diameter
+        // directional links of dimension-order route (~8.7k here); a
+        // dense network would pin all 16384 records before the first
+        // message moved.
+        assert!(
+            r.alloc_link_records <= 10_000,
+            "link records must stay below the 16384-link id space, got {}",
+            r.alloc_link_records
+        );
     }
 
     #[test]

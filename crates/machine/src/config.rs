@@ -16,7 +16,7 @@ use crate::{Cycles, Words};
 use serde::{Deserialize, Serialize};
 
 /// Interconnection topology of the common communication network.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub enum Topology {
     /// Single shared medium: every transfer serializes on one resource.
     Bus,
@@ -29,6 +29,20 @@ pub enum Topology {
     },
     /// Full crossbar: dedicated path per (src, dst) pair, one hop.
     Crossbar,
+    /// Multi-dimensional torus (2-D/3-D/4-D), row-major over clusters;
+    /// dimension-order routing with per-dimension shortest wrap direction.
+    Torus {
+        /// Extent of each dimension, lowest-stride first. The product must
+        /// equal the cluster count and each extent must be >= 2.
+        dims: Vec<u32>,
+    },
+    /// Two-level fat tree: `radix`-wide edge pods of leaves under a rank
+    /// of `radix` core switches; deterministic up/down routing.
+    FatTree {
+        /// Leaves per edge pod (and core switch count). Must divide the
+        /// cluster count and be >= 2.
+        radix: u32,
+    },
 }
 
 impl Topology {
@@ -39,6 +53,8 @@ impl Topology {
             Topology::Ring => "ring",
             Topology::Mesh2D { .. } => "mesh2d",
             Topology::Crossbar => "crossbar",
+            Topology::Torus { .. } => "torus",
+            Topology::FatTree { .. } => "fattree",
         }
     }
 }
@@ -315,16 +331,48 @@ impl MachineConfig {
         if self.des_shards == 0 {
             return Err("des_shards must be >= 1".into());
         }
-        if let Topology::Mesh2D { width } = self.topology {
-            if width == 0 {
-                return Err("mesh width must be >= 1".into());
+        match &self.topology {
+            Topology::Mesh2D { width } => {
+                if *width == 0 {
+                    return Err("mesh width must be >= 1".into());
+                }
+                if !self.clusters.is_multiple_of(*width) {
+                    return Err(format!(
+                        "mesh width {} does not divide cluster count {}",
+                        width, self.clusters
+                    ));
+                }
             }
-            if !self.clusters.is_multiple_of(width) {
-                return Err(format!(
-                    "mesh width {} does not divide cluster count {}",
-                    width, self.clusters
-                ));
+            Topology::Torus { dims } => {
+                if !(2..=4).contains(&dims.len()) {
+                    return Err(format!(
+                        "torus dims must have 2 to 4 dimensions, got {}",
+                        dims.len()
+                    ));
+                }
+                if let Some(d) = dims.iter().find(|&&d| d < 2) {
+                    return Err(format!("torus dims entries must be >= 2, got {d}"));
+                }
+                let product = dims.iter().try_fold(1u32, |p, &d| p.checked_mul(d));
+                if product != Some(self.clusters) {
+                    return Err(format!(
+                        "torus dims {:?} do not factor cluster count {}",
+                        dims, self.clusters
+                    ));
+                }
             }
+            Topology::FatTree { radix } => {
+                if *radix < 2 {
+                    return Err(format!("fat-tree radix must be >= 2, got {radix}"));
+                }
+                if !self.clusters.is_multiple_of(*radix) {
+                    return Err(format!(
+                        "fat-tree radix {} does not divide cluster count {}",
+                        radix, self.clusters
+                    ));
+                }
+            }
+            Topology::Bus | Topology::Ring | Topology::Crossbar => {}
         }
         Ok(())
     }
@@ -420,6 +468,93 @@ mod tests {
         assert_eq!(Topology::Ring.name(), "ring");
         assert_eq!(Topology::Mesh2D { width: 2 }.name(), "mesh2d");
         assert_eq!(Topology::Crossbar.name(), "crossbar");
+        assert_eq!(Topology::Torus { dims: vec![2, 2] }.name(), "torus");
+        assert_eq!(Topology::FatTree { radix: 2 }.name(), "fattree");
+    }
+
+    #[test]
+    fn validate_checks_torus_dims() {
+        let mut c = MachineConfig::fem2_default();
+        c.clusters = 64;
+        c.topology = Topology::Torus { dims: vec![8, 8] };
+        c.validate().unwrap();
+        c.topology = Topology::Torus {
+            dims: vec![4, 4, 4],
+        };
+        c.validate().unwrap();
+        c.topology = Topology::Torus {
+            dims: vec![2, 2, 4, 4],
+        };
+        c.validate().unwrap();
+        // Product mismatch names the field.
+        c.topology = Topology::Torus { dims: vec![8, 4] };
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("torus dims"), "{err}");
+        assert!(err.contains("64"), "{err}");
+        // Too few / too many dimensions.
+        c.topology = Topology::Torus { dims: vec![64] };
+        assert!(c.validate().unwrap_err().contains("2 to 4"));
+        c.topology = Topology::Torus {
+            dims: vec![2, 2, 2, 2, 4],
+        };
+        assert!(c.validate().unwrap_err().contains("2 to 4"));
+        // Degenerate extents (would alias +/- wrap links).
+        c.topology = Topology::Torus { dims: vec![1, 64] };
+        assert!(c.validate().unwrap_err().contains(">= 2"));
+    }
+
+    #[test]
+    fn validate_checks_fat_tree_radix() {
+        let mut c = MachineConfig::fem2_default();
+        c.clusters = 64;
+        c.topology = Topology::FatTree { radix: 8 };
+        c.validate().unwrap();
+        c.topology = Topology::FatTree { radix: 64 };
+        c.validate().unwrap();
+        c.topology = Topology::FatTree { radix: 5 };
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("fat-tree radix"), "{err}");
+        assert!(err.contains("does not divide"), "{err}");
+        c.topology = Topology::FatTree { radix: 1 };
+        assert!(c.validate().unwrap_err().contains(">= 2"));
+        c.topology = Topology::FatTree { radix: 0 };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn new_topologies_round_trip_through_serde() {
+        let mut cfg = MachineConfig::clustered(
+            64,
+            4,
+            Topology::Torus {
+                dims: vec![4, 4, 4],
+            },
+        );
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: MachineConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+        cfg.topology = Topology::FatTree { radix: 8 };
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: MachineConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    /// Adding topology variants must not disturb the serialized bytes of
+    /// existing configurations (content hashes key caches and registries).
+    #[test]
+    fn existing_topology_serialization_is_stable() {
+        let json = serde_json::to_string(&MachineConfig::fem2_default()).unwrap();
+        assert!(json.contains("\"topology\":\"Crossbar\""), "{json}");
+        let json = serde_json::to_string(&MachineConfig::clustered(
+            6,
+            2,
+            Topology::Mesh2D { width: 3 },
+        ))
+        .unwrap();
+        assert!(
+            json.contains("\"topology\":{\"Mesh2D\":{\"width\":3}}"),
+            "{json}"
+        );
     }
 
     #[test]

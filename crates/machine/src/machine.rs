@@ -73,7 +73,10 @@ impl From<OutOfMemory> for MachineError {
 pub struct Machine {
     /// The configuration the machine was built from.
     pub config: MachineConfig,
-    pes: Vec<Pe>,
+    /// Per-cluster PE state, allocated on first touch (charge or fault).
+    /// `None` reads as a cluster of [`Pe::IDLE`]: on large machines only
+    /// the clusters that actually run work pay for PE records.
+    lanes: Vec<Option<Box<[Pe]>>>,
     memories: Vec<ClusterMemory>,
     /// The inter-cluster network.
     pub network: Network,
@@ -102,8 +105,7 @@ impl Machine {
     /// validated (or produced by presets) before construction.
     pub fn new(config: MachineConfig) -> Self {
         config.validate().expect("invalid machine configuration");
-        let total = config.total_pes() as usize;
-        let pes = vec![Pe::default(); total];
+        let lanes = vec![None; config.clusters as usize];
         let memories = (0..config.clusters)
             .map(|c| ClusterMemory::new(c, config.memory_per_cluster))
             .collect();
@@ -111,7 +113,7 @@ impl Machine {
         let kernel_pe = vec![0; config.clusters as usize];
         Machine {
             config,
-            pes,
+            lanes,
             memories,
             network,
             stats: Stats::new(),
@@ -136,22 +138,42 @@ impl Machine {
         self.trace.begin_phase(name, at);
     }
 
-    fn flat(&self, pe: PeId) -> Result<usize, MachineError> {
+    fn check(&self, pe: PeId) -> Result<(), MachineError> {
         if pe.cluster >= self.config.clusters || pe.index >= self.config.pes_per_cluster {
             return Err(MachineError::NoSuchPe(pe));
         }
-        Ok((pe.cluster * self.config.pes_per_cluster + pe.index) as usize)
+        Ok(())
     }
 
-    /// `flat` for ids produced by [`cluster_pes`](Self::cluster_pes), which
-    /// are in range by construction.
-    fn flat_known(&self, pe: PeId) -> usize {
-        self.flat(pe).expect("PE id from cluster_pes is in range")
+    /// Current state of an in-range PE, by value. Untouched clusters read
+    /// as [`Pe::IDLE`] without allocating their lane.
+    fn pe_state(&self, pe: PeId) -> Pe {
+        self.lanes[pe.cluster as usize]
+            .as_ref()
+            .map_or(Pe::IDLE, |lane| lane[pe.index as usize])
+    }
+
+    /// Mutable access to an in-range PE, allocating the cluster's lane on
+    /// first touch.
+    fn pe_state_mut(&mut self, pe: PeId) -> &mut Pe {
+        let ppc = self.config.pes_per_cluster as usize;
+        let lane = self.lanes[pe.cluster as usize]
+            .get_or_insert_with(|| vec![Pe::IDLE; ppc].into_boxed_slice());
+        &mut lane[pe.index as usize]
     }
 
     /// Read access to a PE.
     pub fn pe(&self, pe: PeId) -> Result<&Pe, MachineError> {
-        Ok(&self.pes[self.flat(pe)?])
+        self.check(pe)?;
+        Ok(self.lanes[pe.cluster as usize]
+            .as_ref()
+            .map_or(&Pe::IDLE, |lane| &lane[pe.index as usize]))
+    }
+
+    /// Number of clusters whose PE lane has been allocated (touched by a
+    /// charge or a fault) — the cluster-side O(active) memory proxy.
+    pub fn allocated_cluster_records(&self) -> usize {
+        self.lanes.iter().filter(|l| l.is_some()).count()
     }
 
     /// All PE ids in cluster `c`.
@@ -170,8 +192,7 @@ impl Machine {
         let dedicated = self.config.dedicated_kernel_pe && self.alive_count(c) > 1;
         self.cluster_pes(c)
             .filter(|&pe| {
-                let idx = self.flat_known(pe);
-                if self.pes[idx].failed {
+                if self.pe_state(pe).failed {
                     return false;
                 }
                 if dedicated && pe.index == self.kernel_pe[c as usize] {
@@ -184,9 +205,10 @@ impl Machine {
 
     /// Number of surviving PEs in cluster `c`.
     pub fn alive_count(&self, c: u32) -> u32 {
-        self.cluster_pes(c)
-            .filter(|&pe| !self.pes[self.flat_known(pe)].failed)
-            .count() as u32
+        match &self.lanes[c as usize] {
+            None => self.config.pes_per_cluster,
+            Some(lane) => lane.iter().filter(|p| !p.failed).count() as u32,
+        }
     }
 
     /// Earliest-free eligible worker PE of cluster `c` ("assigns available
@@ -194,7 +216,7 @@ impl Machine {
     pub fn pick_worker(&self, c: u32) -> Option<PeId> {
         self.worker_pes(c)
             .into_iter()
-            .min_by_key(|&pe| (self.pes[self.flat_known(pe)].free_at, pe.index))
+            .min_by_key(|&pe| (self.pe_state(pe).free_at, pe.index))
     }
 
     /// Charge `count` units of `class` to `pe`, starting no earlier than
@@ -206,8 +228,8 @@ impl Machine {
         class: CostClass,
         count: u64,
     ) -> Result<Cycles, MachineError> {
-        let idx = self.flat(pe)?;
-        if self.pes[idx].failed {
+        self.check(pe)?;
+        if self.pe_state(pe).failed {
             return Err(MachineError::PeFailed(pe));
         }
         match class {
@@ -221,8 +243,10 @@ impl Machine {
             }
             _ => {}
         }
-        let start = self.pes[idx].free_at.max(now);
-        let done = self.pes[idx].charge(now, class, count, &self.config.cost);
+        let cost = self.config.cost;
+        let state = self.pe_state_mut(pe);
+        let start = state.free_at.max(now);
+        let done = state.charge(now, class, count, &cost);
         self.trace.emit(|| {
             TraceEvent::span(
                 start,
@@ -348,13 +372,12 @@ impl Machine {
             self.config.clusters,
             "shard map does not match this machine"
         );
-        let ppc = self.config.pes_per_cluster as usize;
         let trace_on = self.trace.is_enabled();
         let mut sections = Vec::with_capacity(map.shards() as usize);
-        let mut rest: &mut [Pe] = &mut self.pes;
+        let mut rest: &mut [Option<Box<[Pe]>>] = &mut self.lanes;
         for shard in 0..map.shards() {
             let range = map.clusters_of(shard);
-            let count = (range.end - range.start) as usize * ppc;
+            let count = (range.end - range.start) as usize;
             let (head, tail) = rest.split_at_mut(count);
             rest = tail;
             sections.push(crate::shard::ShardSection::new(
@@ -394,11 +417,11 @@ impl Machine {
     /// lowest-indexed survivor. Returns [`MachineError::ClusterDead`] if no
     /// PE survives.
     pub fn fail_pe(&mut self, pe: PeId) -> Result<(), MachineError> {
-        let idx = self.flat(pe)?;
-        if self.pes[idx].failed {
+        self.check(pe)?;
+        if self.pe_state(pe).failed {
             return Ok(()); // already isolated
         }
-        self.pes[idx].failed = true;
+        self.pe_state_mut(pe).failed = true;
         self.reconfigurations += 1;
         let c = pe.cluster;
         if self.alive_count(c) == 0 {
@@ -408,7 +431,7 @@ impl Machine {
             // Promote the lowest-indexed surviving PE to kernel duty.
             let successor = self
                 .cluster_pes(c)
-                .find(|&p| !self.pes[self.flat_known(p)].failed)
+                .find(|&p| !self.pe_state(p).failed)
                 .expect("alive_count > 0");
             self.kernel_pe[c as usize] = successor.index;
         }
@@ -419,16 +442,17 @@ impl Machine {
     /// pool but does **not** reclaim kernel duty it was promoted away from
     /// (unless the cluster has no live kernel PE, i.e. it was dead).
     pub fn recover_pe(&mut self, at: Cycles, pe: PeId) -> Result<(), MachineError> {
-        let idx = self.flat(pe)?;
-        if !self.pes[idx].failed {
+        self.check(pe)?;
+        if !self.pe_state(pe).failed {
             return Ok(()); // never failed, or already recovered
         }
-        self.pes[idx].failed = false;
-        self.pes[idx].free_at = self.pes[idx].free_at.max(at);
+        let state = self.pe_state_mut(pe);
+        state.failed = false;
+        state.free_at = state.free_at.max(at);
         self.reconfigurations += 1;
         let c = pe.cluster as usize;
         let kp = PeId::new(pe.cluster, self.kernel_pe[c]);
-        if self.pes[self.flat(kp)?].failed {
+        if self.pe_state(kp).failed {
             self.kernel_pe[c] = pe.index;
         }
         self.trace
@@ -500,24 +524,51 @@ impl Machine {
     }
 
     /// Aggregate busy cycles over all PEs (for machine utilization).
+    /// Untouched clusters contribute zero and are skipped.
     pub fn total_busy_cycles(&self) -> Cycles {
-        self.pes.iter().map(|p| p.busy_cycles).sum()
+        self.lanes
+            .iter()
+            .flatten()
+            .flat_map(|lane| lane.iter())
+            .map(|p| p.busy_cycles)
+            .sum()
     }
 
     /// The latest `free_at` across all PEs: when the machine finishes all
-    /// charged work.
+    /// charged work. Untouched clusters are free at time 0.
     pub fn makespan(&self) -> Cycles {
-        self.pes.iter().map(|p| p.free_at).max().unwrap_or(0)
+        self.lanes
+            .iter()
+            .flatten()
+            .flat_map(|lane| lane.iter())
+            .map(|p| p.free_at)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Machine utilization over `[0, horizon]`: mean PE busy fraction,
-    /// counting only surviving PEs.
+    /// counting only surviving PEs. PEs in untouched clusters are alive
+    /// and idle, so they dilute the mean exactly as dense state did.
     pub fn utilization(&self, horizon: Cycles) -> f64 {
-        let alive: Vec<&Pe> = self.pes.iter().filter(|p| !p.failed).collect();
-        if alive.is_empty() || horizon == 0 {
+        if horizon == 0 {
             return 0.0;
         }
-        alive.iter().map(|p| p.utilization(horizon)).sum::<f64>() / alive.len() as f64
+        let mut failed = 0u64;
+        let mut sum = 0.0;
+        for lane in self.lanes.iter().flatten() {
+            for p in lane.iter() {
+                if p.failed {
+                    failed += 1;
+                } else {
+                    sum += p.utilization(horizon);
+                }
+            }
+        }
+        let alive = u64::from(self.config.total_pes()) - failed;
+        if alive == 0 {
+            return 0.0;
+        }
+        sum / alive as f64
     }
 }
 
@@ -849,6 +900,28 @@ mod tests {
         m.transmit(0, 1, 1, 16); // local: does not
         let _ = m.charge(0, PeId::new(9, 0), CostClass::Flop, 1); // error: does not
         assert_eq!(m.events, 2);
+    }
+
+    /// Cluster PE lanes allocate on first touch only; untouched clusters
+    /// read as idle without materializing records.
+    #[test]
+    fn cluster_pe_lanes_allocate_lazily() {
+        let mut m = Machine::new(MachineConfig::clustered(64, 8, Topology::Crossbar));
+        assert_eq!(m.allocated_cluster_records(), 0);
+        assert_eq!(m.pe(PeId::new(63, 7)).unwrap(), &Pe::IDLE);
+        assert_eq!(m.pick_worker(63), Some(PeId::new(63, 1)));
+        assert_eq!(m.alive_count(63), 8);
+        assert_eq!(m.allocated_cluster_records(), 0, "reads do not allocate");
+        m.charge(0, PeId::new(3, 1), CostClass::Flop, 10).unwrap();
+        m.charge(0, PeId::new(3, 2), CostClass::Flop, 10).unwrap();
+        m.fail_pe(PeId::new(9, 0)).unwrap();
+        assert_eq!(
+            m.allocated_cluster_records(),
+            2,
+            "one lane per touched cluster"
+        );
+        assert_eq!(m.makespan(), 40);
+        assert_eq!(m.total_busy_cycles(), 80);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The common communication network between clusters.
 //!
-//! Four topologies ([`Topology`]) with per-link contention and
+//! Six topologies ([`Topology`]) with per-link contention and
 //! store-and-forward packet transmission. Large messages are segmented into
 //! packets of at most `max_packet_words` payload, each charged a header —
 //! this is how the simulator honours the "large messages" requirement while
@@ -11,36 +11,79 @@
 //! All state is deterministic: links are FIFO resources with a `free_at`
 //! time, and arrival times depend only on the sequence of `transmit` calls.
 //!
+//! Link state is *sparse*: the topology defines a link-id space (up to
+//! `n²` ids for a crossbar), but per-link records (reservation time, busy
+//! cycles, fault state) live in a slab allocated on first touch, so memory
+//! scales with the links that actually carry traffic or carry a fault —
+//! not with the topology size. Links without a record behave as healthy
+//! and idle. Slab order never influences results: every behavior is keyed
+//! by link id, and the aggregate reports (max/total busy) are
+//! order-independent, so allocation history is invisible to outcomes.
+//!
 //! Route selection is cached: the route for a `(from, to)` pair is computed
-//! once and reused until the link-fault state changes (an *epoch* counter
-//! bumped by [`Network::fail_link`], [`Network::degrade_link`], and
-//! [`Network::recover_link`] invalidates every cached entry at once). The
-//! hot paths — [`Network::try_transmit`] per packet and
-//! [`Network::estimate`] per retransmission-timeout computation — then
-//! serve routes out of the cache instead of re-deriving and re-allocating
-//! the path per message. Cached and uncached runs are bitwise identical:
-//! the cache stores exactly what [`Network::compute_route`] would return.
+//! once and reused until the link-fault state changes
+//! ([`Network::fail_link`], [`Network::degrade_link`], and
+//! [`Network::recover_link`] clear the table wholesale). The cache is a
+//! map over *touched* pairs, not an `n²` table. The hot paths —
+//! [`Network::try_transmit`] per packet and [`Network::estimate`] per
+//! retransmission-timeout computation — then serve routes out of the cache
+//! instead of re-deriving and re-allocating the path per message. Cached
+//! and uncached runs are bitwise identical: the cache stores exactly what
+//! [`Network::compute_route`] would return.
 
 use crate::config::{MachineConfig, Topology};
 use crate::{Cycles, Words};
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 
-/// One memoized route slot; valid only while `epoch` matches the cache's.
+/// Per-link hot state, allocated on first touch (traffic or fault).
+///
+/// Structure-of-arrays over slab slots: the transmit inner loop walks
+/// `free`/`busy`/`degrade` by slot index after one id→slot resolution per
+/// route, so packet contention never pays a map lookup.
 #[derive(Clone, Debug, Default)]
-struct RouteSlot {
-    epoch: u64,
-    /// `None` = no live route this epoch; `Some((links, rerouted))`
-    /// otherwise.
-    route: Option<(Vec<usize>, bool)>,
+struct LinkSlab {
+    /// Link id → slot index. A `BTreeMap` keeps iteration deterministic
+    /// (the determinism lint bans hashed collections in the engine).
+    index: BTreeMap<usize, usize>,
+    /// Next-free time per slot.
+    free: Vec<Cycles>,
+    /// Cumulative busy cycles per slot (for utilization reports).
+    busy: Vec<Cycles>,
+    /// Dead links (packets cannot traverse; routes detour where possible).
+    dead: Vec<bool>,
+    /// Per-link occupancy multiplier (1 = healthy).
+    degrade: Vec<u32>,
 }
 
-/// The `(from, to) → route` table, invalidated wholesale by epoch bump.
-#[derive(Clone, Debug)]
-struct RouteCache {
-    /// Current fault-state generation. Slots from older epochs are stale.
-    epoch: u64,
-    /// `clusters × clusters` slots, row-major by source cluster.
-    slots: Vec<RouteSlot>,
+impl LinkSlab {
+    /// Slot for `link`, allocating a healthy idle record on first touch.
+    fn ensure(&mut self, link: usize) -> usize {
+        if let Some(&slot) = self.index.get(&link) {
+            return slot;
+        }
+        let slot = self.free.len();
+        self.index.insert(link, slot);
+        self.free.push(0);
+        self.busy.push(0);
+        self.dead.push(false);
+        self.degrade.push(1);
+        slot
+    }
+
+    /// Read-only probes: untouched links are healthy and idle.
+    fn is_dead(&self, link: usize) -> bool {
+        self.index.get(&link).is_some_and(|&s| self.dead[s])
+    }
+
+    fn degrade_of(&self, link: usize) -> u32 {
+        self.index.get(&link).map_or(1, |&s| self.degrade[s])
+    }
+
+    /// Number of allocated link records (the O(active) memory proxy).
+    fn len(&self) -> usize {
+        self.free.len()
+    }
 }
 
 /// The inter-cluster network: topology, per-link reservation times, and
@@ -53,21 +96,23 @@ pub struct Network {
     words_per_cycle: u32,
     max_packet_words: Words,
     header_words: Words,
-    /// Next-free time per link.
-    link_free: Vec<Cycles>,
-    /// Cumulative busy cycles per link (for utilization reports).
-    link_busy: Vec<Cycles>,
-    /// Dead links (packets cannot traverse; routes detour where possible).
-    link_dead: Vec<bool>,
-    /// Per-link occupancy multiplier (1 = healthy).
-    link_degrade: Vec<u32>,
+    /// Size of the topology's link-id space (not the allocated records).
+    links: usize,
+    /// Sparse per-link state, allocated on first touch.
+    slab: LinkSlab,
     /// Whether route lookups memoize (config `route_cache`; off = the
     /// reference path that recomputes every route, for determinism tests).
     cache_enabled: bool,
-    /// Memoized routes. Interior-mutable so `&self` estimators can fill it.
-    cache: RefCell<RouteCache>,
+    /// Memoized routes for touched `(from, to)` pairs, keyed
+    /// `from << 32 | to`; `None` = no live route under the current fault
+    /// state. Cleared wholesale on fault transitions. Interior-mutable so
+    /// `&self` estimators can fill it.
+    #[allow(clippy::type_complexity)]
+    cache: RefCell<BTreeMap<u64, Option<(Vec<usize>, bool)>>>,
     /// Reusable path buffer for the transmit/estimate loops.
     scratch: RefCell<Vec<usize>>,
+    /// Reusable route-slot buffer for the transmit contention loop.
+    scratch_slots: Vec<usize>,
     /// Remote messages transmitted.
     pub messages: u64,
     /// Packets transmitted (after segmentation).
@@ -80,33 +125,37 @@ pub struct Network {
     pub header_words_moved: u64,
 }
 
+/// Size of the link-id space for `topology` over `n` clusters.
+pub(crate) fn link_id_space(topology: &Topology, n: usize) -> usize {
+    match topology {
+        Topology::Bus => 1,
+        Topology::Ring => 2 * n,
+        Topology::Mesh2D { .. } => 4 * n,
+        Topology::Crossbar => n * n,
+        Topology::Torus { dims } => n * 2 * dims.len(),
+        Topology::FatTree { .. } => 4 * n,
+    }
+}
+
 impl Network {
-    /// Build the network for a machine configuration.
+    /// Build the network for a machine configuration. Allocation is
+    /// O(1) in the cluster count: link records and route-cache entries
+    /// appear only as traffic (or faults) touch them.
     pub fn new(cfg: &MachineConfig) -> Self {
         let n = cfg.clusters as usize;
-        let links = match cfg.topology {
-            Topology::Bus => 1,
-            Topology::Ring => 2 * n,
-            Topology::Mesh2D { .. } => 4 * n,
-            Topology::Crossbar => n * n,
-        };
         Network {
-            topology: cfg.topology,
+            topology: cfg.topology.clone(),
             clusters: cfg.clusters,
             link_latency: cfg.link_latency,
             words_per_cycle: cfg.words_per_cycle,
             max_packet_words: cfg.max_packet_words,
             header_words: cfg.header_words,
-            link_free: vec![0; links],
-            link_busy: vec![0; links],
-            link_dead: vec![false; links],
-            link_degrade: vec![1; links],
+            links: link_id_space(&cfg.topology, n),
+            slab: LinkSlab::default(),
             cache_enabled: cfg.route_cache,
-            cache: RefCell::new(RouteCache {
-                epoch: 1, // slots start at epoch 0, i.e. all stale
-                slots: vec![RouteSlot::default(); n * n],
-            }),
+            cache: RefCell::new(BTreeMap::new()),
             scratch: RefCell::new(Vec::new()),
+            scratch_slots: Vec::new(),
             messages: 0,
             packets: 0,
             rerouted_packets: 0,
@@ -118,13 +167,17 @@ impl Network {
     /// Kill a link: packets can no longer traverse it; routes that used it
     /// detour where the topology allows.
     pub fn fail_link(&mut self, link: usize) {
-        self.link_dead[link] = true;
+        assert!(link < self.links, "link out of range");
+        let slot = self.slab.ensure(link);
+        self.slab.dead[slot] = true;
         self.invalidate_routes();
     }
 
     /// Degrade a link: its occupancy is multiplied by `factor` (≥ 1).
     pub fn degrade_link(&mut self, link: usize, factor: u32) {
-        self.link_degrade[link] = factor.max(1);
+        assert!(link < self.links, "link out of range");
+        let slot = self.slab.ensure(link);
+        self.slab.degrade[slot] = factor.max(1);
         self.invalidate_routes();
     }
 
@@ -132,29 +185,38 @@ impl Network {
     /// degradation. Routes that detoured around it snap back to the
     /// primary path.
     pub fn recover_link(&mut self, link: usize) {
-        self.link_dead[link] = false;
-        self.link_degrade[link] = 1;
+        assert!(link < self.links, "link out of range");
+        let slot = self.slab.ensure(link);
+        self.slab.dead[slot] = false;
+        self.slab.degrade[slot] = 1;
         self.invalidate_routes();
     }
 
-    /// Invalidate every cached route at once: bump the epoch so slots from
-    /// the previous fault state read as stale.
+    /// Invalidate every cached route at once (fault-state change).
     fn invalidate_routes(&mut self) {
-        self.cache.get_mut().epoch += 1;
+        self.cache.get_mut().clear();
     }
 
     /// Whether `link` is dead.
     pub fn link_is_dead(&self, link: usize) -> bool {
-        self.link_dead[link]
+        self.slab.is_dead(link)
     }
 
     fn path_alive(&self, path: &[usize]) -> bool {
-        path.iter().all(|&l| !self.link_dead[l])
+        path.iter().all(|&l| !self.slab.is_dead(l))
     }
 
-    /// Number of links in the topology.
+    /// Number of links in the topology (the id space, not the allocated
+    /// records — see [`Network::allocated_link_records`] for those).
     pub fn link_count(&self) -> usize {
-        self.link_free.len()
+        self.links
+    }
+
+    /// Number of link records actually allocated: links that have carried
+    /// traffic or held a fault. The regression guard for the sparse-state
+    /// refactor and the weak-scaling study's RSS proxy.
+    pub fn allocated_link_records(&self) -> usize {
+        self.slab.len()
     }
 
     /// Hop count between two clusters (0 when equal).
@@ -162,7 +224,7 @@ impl Network {
         if from == to {
             return 0;
         }
-        match self.topology {
+        match &self.topology {
             Topology::Bus => 1,
             Topology::Crossbar => 1,
             Topology::Ring => {
@@ -175,6 +237,25 @@ impl Network {
                 let (fx, fy) = (from % width, from / width);
                 let (tx, ty) = (to % width, to / width);
                 fx.abs_diff(tx) + fy.abs_diff(ty)
+            }
+            Topology::Torus { dims } => {
+                let f = torus_coords(dims, from);
+                let t = torus_coords(dims, to);
+                dims.iter()
+                    .enumerate()
+                    .map(|(d, &dim)| {
+                        let fwd = (t[d] + dim - f[d]) % dim;
+                        let bwd = (f[d] + dim - t[d]) % dim;
+                        fwd.min(bwd)
+                    })
+                    .sum()
+            }
+            Topology::FatTree { radix } => {
+                if from / radix == to / radix {
+                    2 // up to the edge switch, down to the sibling leaf
+                } else {
+                    4 // leaf-up, edge-up, core-down, leaf-down
+                }
             }
         }
     }
@@ -240,13 +321,67 @@ impl Network {
         path
     }
 
+    /// Torus path with dimension-order routing. Link ids:
+    /// `node * 2·ndims + 2·d + {0:+, 1:-}` in dimension `d`. `rev` reverses
+    /// the dimension order; `anti` takes the long way around each
+    /// dimension. The primary route is `(rev: false, anti: false)`: lowest
+    /// dimension first, shorter wrap direction (ties go forward), which is
+    /// hop-minimal.
+    fn torus_path(&self, dims: &[u32], from: u32, to: u32, rev: bool, anti: bool) -> Vec<usize> {
+        let nd = dims.len();
+        let mut cur = torus_coords(dims, from);
+        let tgt = torus_coords(dims, to);
+        let mut path = Vec::new();
+        for i in 0..nd {
+            let d = if rev { nd - 1 - i } else { i };
+            let dim = dims[d];
+            let fwd = (tgt[d] + dim - cur[d]) % dim;
+            if fwd == 0 {
+                continue;
+            }
+            let bwd = dim - fwd;
+            let forward = (fwd <= bwd) != anti;
+            let steps = if forward { fwd } else { bwd };
+            for _ in 0..steps {
+                let node = torus_index(dims, &cur) as usize;
+                path.push(node * 2 * nd + 2 * d + usize::from(!forward));
+                cur[d] = if forward {
+                    (cur[d] + 1) % dim
+                } else {
+                    (cur[d] + dim - 1) % dim
+                };
+            }
+        }
+        path
+    }
+
+    /// Fat-tree up/down path through core switch `core` (ignored for
+    /// same-pod pairs, which turn around at the edge switch). Link ids for
+    /// `n` leaves, radix `r`, `p = n/r` pods: leaf-up = `node`, leaf-down =
+    /// `n + node`, edge-up(pod, core) = `2n + pod·r + core`, core-down(core,
+    /// pod) = `2n + p·r + pod·r + core`.
+    fn fat_tree_path(&self, radix: u32, from: u32, to: u32, core: u32) -> Vec<usize> {
+        let n = self.clusters as usize;
+        let r = radix as usize;
+        let (pod_a, pod_b) = ((from / radix) as usize, (to / radix) as usize);
+        let up = from as usize;
+        let down = n + to as usize;
+        if pod_a == pod_b {
+            return vec![up, down];
+        }
+        let pods = n / r;
+        let edge_up = 2 * n + pod_a * r + core as usize;
+        let core_down = 2 * n + pods * r + pod_b * r + core as usize;
+        vec![up, edge_up, core_down, down]
+    }
+
     /// The healthy-path route (ignores link faults).
     fn primary_route(&self, from: u32, to: u32) -> Vec<usize> {
         if from == to {
             return Vec::new();
         }
         let n = self.clusters as usize;
-        match self.topology {
+        match &self.topology {
             Topology::Bus => vec![0],
             Topology::Crossbar => vec![from as usize * n + to as usize],
             Topology::Ring => {
@@ -255,7 +390,9 @@ impl Network {
                 let bwd = (from + nc - to) % nc;
                 self.ring_path(from, to, fwd <= bwd)
             }
-            Topology::Mesh2D { width } => self.mesh_path(width, from, to, true),
+            Topology::Mesh2D { width } => self.mesh_path(*width, from, to, true),
+            Topology::Torus { dims } => self.torus_path(dims, from, to, false, false),
+            Topology::FatTree { radix } => self.fat_tree_path(*radix, from, to, to % radix),
         }
     }
 
@@ -263,14 +400,18 @@ impl Network {
     /// topology's deterministic detour. Returns the path and whether it is
     /// a detour; `None` when every candidate crosses a dead link. This is
     /// the uncached reference computation; hot paths go through
-    /// [`Network::route_into`] which memoizes its result per epoch.
+    /// [`Network::route_into`] which memoizes its result per fault epoch.
+    ///
+    /// Detour candidates are checked whole (`path_alive`), in a fixed
+    /// order, so a chosen detour never crosses — and never revisits — a
+    /// dead link, and the choice depends only on the fault state.
     fn compute_route(&self, from: u32, to: u32) -> Option<(Vec<usize>, bool)> {
         let primary = self.primary_route(from, to);
         if self.path_alive(&primary) {
             return Some((primary, false));
         }
         let n = self.clusters as usize;
-        let alt = match self.topology {
+        let alt = match &self.topology {
             Topology::Bus => None,
             Topology::Crossbar => {
                 // Two-hop detour via the lowest-indexed live intermediate.
@@ -288,8 +429,26 @@ impl Network {
                 self.path_alive(&other).then_some(other)
             }
             Topology::Mesh2D { width } => {
-                let yx = self.mesh_path(width, from, to, false);
+                let yx = self.mesh_path(*width, from, to, false);
                 self.path_alive(&yx).then_some(yx)
+            }
+            Topology::Torus { dims } => {
+                // Reverse the dimension order first (hop-minimal, like the
+                // mesh's YX fallback), then the long-way-around variants.
+                [(true, false), (false, true), (true, true)]
+                    .into_iter()
+                    .map(|(rev, anti)| self.torus_path(dims, from, to, rev, anti))
+                    .find(|p| self.path_alive(p))
+            }
+            Topology::FatTree { radix } => {
+                // Same hop count through any core: try them in ascending
+                // order. Same-pod pairs have a unique up/down path (no
+                // detour exists past a dead leaf link).
+                let radix = *radix;
+                (0..radix)
+                    .filter(|&c| c != to % radix)
+                    .map(|c| self.fat_tree_path(radix, from, to, c))
+                    .find(|p| self.path_alive(p))
             }
         };
         alt.map(|p| (p, true))
@@ -307,13 +466,11 @@ impl Network {
             return Some(rerouted);
         }
         let mut cache = self.cache.borrow_mut();
-        let epoch = cache.epoch;
-        let slot = &mut cache.slots[from as usize * self.clusters as usize + to as usize];
-        if slot.epoch != epoch {
-            slot.route = self.compute_route(from, to);
-            slot.epoch = epoch;
-        }
-        let (path, rerouted) = slot.route.as_ref()?;
+        let key = (u64::from(from) << 32) | u64::from(to);
+        let slot = cache
+            .entry(key)
+            .or_insert_with(|| self.compute_route(from, to));
+        let (path, rerouted) = slot.as_ref()?;
         buf.extend_from_slice(path);
         Some(*rerouted)
     }
@@ -367,6 +524,11 @@ impl Network {
         };
         self.messages += 1;
         self.payload_words += words;
+        // Resolve link ids to slab slots once per call; the per-packet
+        // contention loop below then indexes the slab vectors directly.
+        let mut slots = std::mem::take(&mut self.scratch_slots);
+        slots.clear();
+        slots.extend(route.iter().map(|&l| self.slab.ensure(l)));
         let mut remaining = words;
         let mut arrival = now;
         // Segment; a zero-word message still sends one header-only packet.
@@ -387,11 +549,11 @@ impl Network {
             let occ = packet_words.div_ceil(self.words_per_cycle as Words).max(1);
             // Store-and-forward over the route with per-link FIFO contention.
             let mut t = inject_at;
-            for (hop, link) in route.iter().enumerate() {
-                let link_occ = occ * self.link_degrade[*link] as Cycles;
-                let start = t.max(self.link_free[*link]);
-                self.link_free[*link] = start + link_occ;
-                self.link_busy[*link] += link_occ;
+            for (hop, slot) in slots.iter().enumerate() {
+                let link_occ = occ * self.slab.degrade[*slot] as Cycles;
+                let start = t.max(self.slab.free[*slot]);
+                self.slab.free[*slot] = start + link_occ;
+                self.slab.busy[*slot] += link_occ;
                 t = start + link_occ + self.link_latency;
                 if hop == 0 {
                     // The next packet can be injected once the first link
@@ -401,6 +563,7 @@ impl Network {
             }
             arrival = arrival.max(t);
         }
+        self.scratch_slots = slots;
         self.scratch.replace(route);
         Some(arrival)
     }
@@ -430,7 +593,7 @@ impl Network {
             let occ = packet_words.div_ceil(self.words_per_cycle as Words).max(1);
             let mut t = inject_at;
             for (hop, link) in path.iter().enumerate() {
-                let link_occ = occ * self.link_degrade[*link] as Cycles;
+                let link_occ = occ * self.slab.degrade_of(*link) as Cycles;
                 t += link_occ + self.link_latency;
                 if hop == 0 {
                     inject_at += link_occ;
@@ -465,20 +628,31 @@ impl Network {
         }
         let mut bound: Cycles = 0;
         for &link in path.iter() {
-            bound += self.link_degrade[link] as Cycles + self.link_latency;
+            bound += self.slab.degrade_of(link) as Cycles + self.link_latency;
         }
         self.scratch.replace(path);
         Some(bound.max(1))
     }
 
+    /// A machine-wide lower bound on remote delivery latency under a
+    /// *healthy* network: the cheapest possible cross-cluster hop costs at
+    /// least `hops × (1 + link_latency)` cycles. Faults only lengthen
+    /// routes (detours add links, degradation scales occupancy), so the
+    /// bound stays conservative without inspecting per-pair fault state —
+    /// which is what lets the sharded lookahead avoid the O(n²) pair scan
+    /// on large machines.
+    pub fn healthy_latency_floor(&self, min_hops: u32) -> Cycles {
+        (Cycles::from(min_hops) * (1 + self.link_latency)).max(1)
+    }
+
     /// Highest per-link busy-cycle count (the bottleneck link).
     pub fn max_link_busy(&self) -> Cycles {
-        self.link_busy.iter().copied().max().unwrap_or(0)
+        self.slab.busy.iter().copied().max().unwrap_or(0)
     }
 
     /// Total busy cycles across all links.
     pub fn total_link_busy(&self) -> Cycles {
-        self.link_busy.iter().sum()
+        self.slab.busy.iter().sum()
     }
 
     /// Total words moved including headers.
@@ -490,14 +664,43 @@ impl Network {
     /// Link fault state (dead/degraded) is hardware, not traffic, and is
     /// preserved.
     pub fn reset(&mut self) {
-        self.link_free.fill(0);
-        self.link_busy.fill(0);
+        self.slab.free.fill(0);
+        self.slab.busy.fill(0);
         self.messages = 0;
         self.packets = 0;
         self.rerouted_packets = 0;
         self.payload_words = 0;
         self.header_words_moved = 0;
     }
+
+    /// The network's topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+}
+
+/// Row-major coordinates of `node` in a torus of the given extents
+/// (dimension 0 has the lowest stride). Padded to the 4-D maximum.
+fn torus_coords(dims: &[u32], node: u32) -> [u32; 4] {
+    debug_assert!(dims.len() <= 4);
+    let mut c = [0u32; 4];
+    let mut rest = node;
+    for (d, &dim) in dims.iter().enumerate() {
+        c[d] = rest % dim;
+        rest /= dim;
+    }
+    c
+}
+
+/// Inverse of [`torus_coords`].
+fn torus_index(dims: &[u32], coords: &[u32; 4]) -> u32 {
+    let mut idx = 0;
+    let mut stride = 1;
+    for (d, &dim) in dims.iter().enumerate() {
+        idx += coords[d] * stride;
+        stride *= dim;
+    }
+    idx
 }
 
 #[cfg(test)]
@@ -861,5 +1064,157 @@ mod tests {
         n.transmit(0, 0, 1, 50);
         assert_eq!(n.max_link_busy(), 100);
         assert_eq!(n.total_link_busy(), 100);
+    }
+
+    fn torus(dims: &[u32]) -> MachineConfig {
+        let clusters = dims.iter().product();
+        let mut c = cfg(
+            Topology::Torus {
+                dims: dims.to_vec(),
+            },
+            clusters,
+        );
+        c.link_latency = 0;
+        c.header_words = 0;
+        c.max_packet_words = 1000;
+        c
+    }
+
+    #[test]
+    fn torus_and_fat_tree_link_id_spaces() {
+        assert_eq!(Network::new(&torus(&[4, 4])).link_count(), 64);
+        assert_eq!(Network::new(&torus(&[4, 4, 4])).link_count(), 64 * 6);
+        assert_eq!(
+            Network::new(&cfg(Topology::FatTree { radix: 4 }, 8)).link_count(),
+            32
+        );
+    }
+
+    #[test]
+    fn torus_hops_take_the_shorter_wrap_per_dimension() {
+        let n = Network::new(&torus(&[4, 4]));
+        assert_eq!(n.hops(0, 0), 0);
+        assert_eq!(n.hops(0, 1), 1);
+        assert_eq!(n.hops(0, 3), 1, "wraps backward in dim 0");
+        assert_eq!(n.hops(0, 5), 2);
+        assert_eq!(n.hops(0, 15), 2, "wraps in both dimensions");
+        let n = Network::new(&torus(&[4, 4, 4]));
+        assert_eq!(n.hops(0, 63), 3, "one backward wrap per dimension");
+    }
+
+    #[test]
+    fn torus_route_respects_dimension_order_and_wrap() {
+        let n = Network::new(&torus(&[4, 4]));
+        // 0 (0,0) -> 5 (1,1): +dim0 at node 0 (link 0), +dim1 at node 1
+        // (link 1*4+2 = 6).
+        assert_eq!(n.route_links(0, 5), Some(vec![0, 6]));
+        // 0 -> 3: backward wrap (1 hop, link 0*4+1) beats 3 forward hops.
+        assert_eq!(n.route_links(0, 3), Some(vec![1]));
+    }
+
+    #[test]
+    fn dead_torus_link_detours_in_reverse_dimension_order() {
+        let mut n = Network::new(&torus(&[4, 4]));
+        n.fail_link(0); // node 0's +dim0 link
+                        // dim1 first: +dim1 at node 0 (link 2), +dim0 at node 4 (link 16).
+        let detour = n.route_links(0, 5).unwrap();
+        assert_eq!(detour, vec![2, 16]);
+        assert_eq!(detour.len() as u32, n.hops(0, 5), "detour stays minimal");
+        assert!(detour.iter().all(|&l| !n.link_is_dead(l)));
+        // Kill the reverse-order path too: the long-way-around fallback
+        // still avoids every dead link.
+        n.fail_link(2);
+        let long_way = n.route_links(0, 5).unwrap();
+        assert!(long_way.iter().all(|&l| !n.link_is_dead(l)));
+        assert_eq!(long_way.len(), 6, "3 backward hops per dimension");
+        let t = n.transmit(0, 0, 5, 10);
+        assert_eq!(t, 60, "six store-and-forward hops");
+        assert_eq!(n.rerouted_packets, 1);
+    }
+
+    #[test]
+    fn fat_tree_routes_up_and_down() {
+        let mut c = cfg(Topology::FatTree { radix: 4 }, 8);
+        c.link_latency = 0;
+        c.header_words = 0;
+        c.max_packet_words = 1000;
+        let mut n = Network::new(&c);
+        // Same pod: leaf-up 0, leaf-down 8+1.
+        assert_eq!(n.route_links(0, 1), Some(vec![0, 9]));
+        assert_eq!(n.hops(0, 1), 2);
+        // Cross pod via core 5 % 4 = 1: leaf-up 0, edge-up 16+1,
+        // core-down 16+8+4+1, leaf-down 8+5.
+        assert_eq!(n.route_links(0, 5), Some(vec![0, 17, 29, 13]));
+        assert_eq!(n.hops(0, 5), 4);
+        let t = n.transmit(0, 0, 5, 10);
+        assert_eq!(t, 40, "four store-and-forward hops");
+    }
+
+    #[test]
+    fn dead_fat_tree_uplink_detours_through_another_core() {
+        let mut c = cfg(Topology::FatTree { radix: 4 }, 8);
+        c.link_latency = 0;
+        c.header_words = 0;
+        c.max_packet_words = 1000;
+        let mut n = Network::new(&c);
+        n.fail_link(17); // pod 0's edge-up to core 1 (primary for dst 5)
+                         // Core 0 is the lowest live alternative; hop count is unchanged.
+        assert_eq!(n.route_links(0, 5), Some(vec![0, 16, 28, 13]));
+        let t = n.transmit(0, 0, 5, 10);
+        assert_eq!(t, 40);
+        assert_eq!(n.rerouted_packets, 1);
+        // A dead leaf uplink has no alternative: the leaf is cut off.
+        n.fail_link(0);
+        assert_eq!(n.route_links(0, 5), None);
+        assert_eq!(n.route_links(0, 1), None);
+    }
+
+    /// The sparse-state regression guard: a big crossbar allocates link
+    /// records only for links that carry traffic or hold a fault — never
+    /// the n² id space.
+    #[test]
+    fn link_records_allocated_lazily() {
+        let mut n = Network::new(&cfg(Topology::Crossbar, 64));
+        assert_eq!(n.link_count(), 64 * 64);
+        assert_eq!(n.allocated_link_records(), 0, "no traffic, no records");
+        n.transmit(0, 0, 1, 100);
+        n.transmit(0, 0, 1, 100); // same pair reuses the record
+        n.transmit(0, 5, 9, 100);
+        assert_eq!(n.allocated_link_records(), 2, "one record per used link");
+        n.fail_link(63); // faults pin a record too
+        assert_eq!(n.allocated_link_records(), 3);
+        n.reset();
+        assert_eq!(n.total_link_busy(), 0);
+        assert!(n.link_is_dead(63), "reset keeps fault state");
+        assert_eq!(n.allocated_link_records(), 3, "reset keeps the slab");
+    }
+
+    #[test]
+    #[should_panic(expected = "link out of range")]
+    fn out_of_range_link_fault_panics() {
+        let mut n = Network::new(&cfg(Topology::Bus, 4));
+        n.fail_link(1);
+    }
+
+    #[test]
+    fn healthy_latency_floor_is_conservative() {
+        let mut c = cfg(Topology::Ring, 8);
+        c.link_latency = 20;
+        let mut n = Network::new(&c);
+        // Degrade and kill links arbitrarily: no pair's actual minimum
+        // delivery latency may dip below the healthy single-hop floor.
+        n.degrade_link(0, 7);
+        n.fail_link(3);
+        let floor = n.healthy_latency_floor(1);
+        for from in 0..8 {
+            for to in 0..8 {
+                if from == to {
+                    continue;
+                }
+                if let Some(b) = n.min_delivery_latency(from, to) {
+                    assert!(b >= floor, "{from}->{to}: {b} < {floor}");
+                }
+            }
+        }
     }
 }

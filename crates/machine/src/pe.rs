@@ -86,6 +86,14 @@ pub struct Pe {
 }
 
 impl Pe {
+    /// The state of a PE that has never been touched: free, idle, healthy.
+    /// Sparse machine state reads untouched PEs as this value.
+    pub const IDLE: Pe = Pe {
+        free_at: 0,
+        busy_cycles: 0,
+        failed: false,
+    };
+
     /// True if the PE can accept work at time `now` (free and not failed).
     pub fn available(&self, now: Cycles) -> bool {
         !self.failed && self.free_at <= now

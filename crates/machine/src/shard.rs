@@ -111,21 +111,55 @@ impl ShardMap {
     }
 }
 
+/// Cluster count up to which [`lookahead_horizon`] runs the exact
+/// pairwise scan. Beyond it the O(n²) scan would dominate epoch turnover,
+/// so large machines use the analytic healthy floor instead.
+const EXACT_LOOKAHEAD_SCAN_LIMIT: u32 = 64;
+
+/// The minimum hop count between any two *distinct* clusters of a
+/// topology: 1 everywhere except the fat tree, whose closest pair turns
+/// around at an edge switch (2 hops).
+fn min_remote_hops(topology: &crate::config::Topology) -> u32 {
+    match topology {
+        crate::config::Topology::FatTree { .. } => 2,
+        _ => 1,
+    }
+}
+
 /// The conservative lookahead horizon for `map` under the network's
-/// current fault state: the minimum, over ordered cluster pairs in
-/// *different* shards, of a lower bound on message delivery latency
-/// ([`Network::min_delivery_latency`]).
+/// current fault state.
 ///
-/// Pairs with no live route contribute nothing (they cannot interact at
-/// all); if every cross-shard pair is unreachable the horizon is
-/// [`Cycles::MAX`] and shards free-run to the next externally imposed
-/// barrier (e.g. a scheduled fault). The result is never zero.
+/// On machines of up to [`EXACT_LOOKAHEAD_SCAN_LIMIT`] clusters this is
+/// the minimum, over ordered cluster pairs in *different* shards, of a
+/// lower bound on message delivery latency
+/// ([`Network::min_delivery_latency`]). Pairs with no live route
+/// contribute nothing (they cannot interact at all); if every cross-shard
+/// pair is unreachable the horizon is [`Cycles::MAX`] and shards free-run
+/// to the next externally imposed barrier (e.g. a scheduled fault).
+///
+/// Larger machines use the analytic healthy floor
+/// ([`Network::healthy_latency_floor`]) over the topology's minimum
+/// remote hop count, which costs O(1) instead of O(n²) pairs. The floor
+/// is always ≤ the exact scan — faults only lengthen routes — and *any*
+/// positive lower bound on cross-shard delay yields the same
+/// bitwise-identical results (a smaller horizon only costs extra barrier
+/// epochs), so the switchover is invisible to outcomes.
+///
+/// The result is never zero.
 ///
 /// Validity: the bound is derived from the *current* latency graph, so it
 /// holds only while link state is constant. Callers recompute it at every
 /// epoch boundary and must cap the epoch at the next scheduled fault or
 /// repair time.
 pub fn lookahead_horizon(net: &Network, map: &ShardMap) -> Cycles {
+    if !map.is_sharded() {
+        // No cross-shard pair exists; free-run like the all-unreachable
+        // case of the pairwise scan.
+        return Cycles::MAX;
+    }
+    if map.clusters() > EXACT_LOOKAHEAD_SCAN_LIMIT {
+        return net.healthy_latency_floor(min_remote_hops(net.topology()));
+    }
     let mut min = Cycles::MAX;
     for a in 0..map.clusters() {
         for b in 0..map.clusters() {
@@ -440,7 +474,9 @@ impl<E, S> ShardedSim<E, S> {
 /// the machine folds back in shard order afterwards, so a sharded section
 /// is bitwise-identical to the sequential one.
 pub struct ShardSection<'m> {
-    pes: &'m mut [Pe],
+    /// This shard's contiguous slice of the machine's per-cluster PE
+    /// lanes; `None` lanes read as idle and materialize on first charge.
+    lanes: &'m mut [Option<Box<[Pe]>>],
     first_cluster: u32,
     config: &'m MachineConfig,
     kernel_pe: &'m [u32],
@@ -452,14 +488,14 @@ pub struct ShardSection<'m> {
 
 impl<'m> ShardSection<'m> {
     pub(crate) fn new(
-        pes: &'m mut [Pe],
+        lanes: &'m mut [Option<Box<[Pe]>>],
         first_cluster: u32,
         config: &'m MachineConfig,
         kernel_pe: &'m [u32],
         trace_on: bool,
     ) -> Self {
         ShardSection {
-            pes,
+            lanes,
             first_cluster,
             config,
             kernel_pe,
@@ -477,15 +513,15 @@ impl<'m> ShardSection<'m> {
 
     /// Number of clusters this section owns.
     pub fn cluster_count(&self) -> u32 {
-        self.pes.len() as u32 / self.config.pes_per_cluster
+        self.lanes.len() as u32
     }
 
-    fn flat(&self, pe: PeId) -> Result<usize, MachineError> {
+    fn local(&self, pe: PeId) -> Result<usize, MachineError> {
         let local = pe.cluster.wrapping_sub(self.first_cluster);
         if local >= self.cluster_count() || pe.index >= self.config.pes_per_cluster {
             return Err(MachineError::NoSuchPe(pe));
         }
-        Ok((local * self.config.pes_per_cluster + pe.index) as usize)
+        Ok(local as usize)
     }
 
     /// The current kernel PE of cluster `c`.
@@ -499,16 +535,18 @@ impl<'m> ShardSection<'m> {
     /// This runs once per dispatched task, so it is a single allocation-free
     /// pass over the cluster's lane: one scan yields the alive count (which
     /// decides whether the kernel PE is excluded) and the earliest-free
-    /// candidate both with and without the kernel PE.
+    /// candidate both with and without the kernel PE. An unmaterialized
+    /// lane reads as all-idle without allocating.
     pub fn pick_worker(&self, c: u32) -> Option<PeId> {
         let ppc = self.config.pes_per_cluster as usize;
         let local = c.wrapping_sub(self.first_cluster) as usize;
-        let lane = &self.pes[local * ppc..(local + 1) * ppc];
+        let lane = self.lanes[local].as_deref();
         let kernel = self.kernel_pe[c as usize];
         let mut alive = 0u32;
         let mut best_any: Option<(Cycles, u32)> = None;
         let mut best_worker: Option<(Cycles, u32)> = None;
-        for (i, p) in lane.iter().enumerate() {
+        for i in 0..ppc {
+            let p = lane.map_or(Pe::IDLE, |l| l[i]);
             if p.failed {
                 continue;
             }
@@ -534,8 +572,11 @@ impl<'m> ShardSection<'m> {
         class: CostClass,
         count: u64,
     ) -> Result<Cycles, MachineError> {
-        let idx = self.flat(pe)?;
-        if self.pes[idx].failed {
+        let local = self.local(pe)?;
+        let ppc = self.config.pes_per_cluster as usize;
+        let lane = self.lanes[local].get_or_insert_with(|| vec![Pe::IDLE; ppc].into_boxed_slice());
+        let state = &mut lane[pe.index as usize];
+        if state.failed {
             return Err(MachineError::PeFailed(pe));
         }
         match class {
@@ -545,8 +586,8 @@ impl<'m> ShardSection<'m> {
             CostClass::TaskCreate => self.counters.tasks_created += count,
             _ => {}
         }
-        let start = self.pes[idx].free_at.max(now);
-        let done = self.pes[idx].charge(now, class, count, &self.config.cost);
+        let start = state.free_at.max(now);
+        let done = state.charge(now, class, count, &self.config.cost);
         if self.trace_on {
             self.trace_buf.push(TraceEvent::span(
                 start,

@@ -10,6 +10,20 @@ fn topo_strategy() -> impl Strategy<Value = Topology> {
         Just(Topology::Ring),
         Just(Topology::Mesh2D { width: 4 }),
         Just(Topology::Crossbar),
+        Just(Topology::Torus { dims: vec![2, 4] }),
+        Just(Topology::Torus {
+            dims: vec![2, 2, 2],
+        }),
+        Just(Topology::FatTree { radix: 2 }),
+        Just(Topology::FatTree { radix: 4 }),
+    ]
+}
+
+/// Valid torus shapes for 2-D and 3-D routing tests (product ≤ 64).
+fn torus_dims_strategy() -> impl Strategy<Value = Vec<u32>> {
+    prop_oneof![
+        (2u32..=4, 2u32..=4).prop_map(|(a, b)| vec![a, b]),
+        (2u32..=3, 2u32..=3, 2u32..=3).prop_map(|(a, b, c)| vec![a, b, c]),
     ]
 }
 
@@ -74,6 +88,124 @@ proptest! {
         prop_assert_eq!(t1 - delay, t0, "time-shift invariant on a fresh net");
         // Arrival after start.
         prop_assert!(t0 > 0);
+    }
+
+    /// Torus dimension-order routes are hop-minimal (sum of per-dimension
+    /// shortest wrap distances, computed independently here), deterministic,
+    /// stay inside the link id space, and never revisit a link.
+    #[test]
+    fn torus_routes_are_dimension_order_minimal(
+        dims in torus_dims_strategy(),
+        from_raw in 0u32..64,
+        to_raw in 0u32..64,
+    ) {
+        let n: u32 = dims.iter().product();
+        let cfg = MachineConfig::clustered(n, 2, Topology::Torus { dims: dims.clone() });
+        let net = Network::new(&cfg);
+        let (from, to) = (from_raw % n, to_raw % n);
+        // Independent coordinate math: dimension 0 has the lowest stride.
+        let coords = |mut i: u32| -> Vec<u32> {
+            dims.iter().map(|&d| { let c = i % d; i /= d; c }).collect()
+        };
+        let (f, t) = (coords(from), coords(to));
+        let minimal: u32 = dims
+            .iter()
+            .enumerate()
+            .map(|(d, &dim)| {
+                let fwd = (t[d] + dim - f[d]) % dim;
+                fwd.min(dim - fwd)
+            })
+            .sum();
+        prop_assert_eq!(net.hops(from, to), minimal);
+        let route = net.route_links(from, to).expect("healthy torus is connected");
+        prop_assert_eq!(route.len() as u32, minimal, "route is hop-minimal");
+        let space = n as usize * 2 * dims.len();
+        let mut seen = std::collections::BTreeSet::new();
+        for &l in &route {
+            prop_assert!(l < space, "link id {l} outside id space {space}");
+            prop_assert!(seen.insert(l), "route revisits link {l}");
+        }
+        // A fresh network picks the identical route.
+        prop_assert_eq!(Network::new(&cfg).route_links(from, to).unwrap(), route);
+    }
+
+    /// Fat-tree up/down routes take exactly 2 hops inside a pod and 4
+    /// across pods, deterministically, without revisiting a link.
+    #[test]
+    fn fat_tree_routes_are_up_down_minimal(
+        radix_pow in 1u32..=3,
+        pods in 1u32..=4,
+        from_raw in 0u32..64,
+        to_raw in 0u32..64,
+    ) {
+        let radix = 1u32 << radix_pow;
+        let n = radix * pods;
+        let cfg = MachineConfig::clustered(n, 2, Topology::FatTree { radix });
+        let net = Network::new(&cfg);
+        let (from, to) = (from_raw % n, to_raw % n);
+        let expect = if from == to {
+            0
+        } else if from / radix == to / radix {
+            2
+        } else {
+            4
+        };
+        prop_assert_eq!(net.hops(from, to), expect);
+        let route = net.route_links(from, to).expect("healthy fat tree is connected");
+        prop_assert_eq!(route.len() as u32, expect, "up/down route is hop-minimal");
+        let space = 4 * n as usize;
+        let mut seen = std::collections::BTreeSet::new();
+        for &l in &route {
+            prop_assert!(l < space, "link id {l} outside id space {space}");
+            prop_assert!(seen.insert(l), "route revisits link {l}");
+        }
+        prop_assert_eq!(Network::new(&cfg).route_links(from, to).unwrap(), route);
+    }
+
+    /// Under arbitrary link kills, a chosen route (detour or not) never
+    /// crosses a dead link, never revisits any link, never beats the
+    /// healthy hop count, and is a pure function of the fault state.
+    #[test]
+    fn faulted_detours_avoid_dead_links(
+        torus_side in prop_oneof![Just(false), Just(true)],
+        kills in proptest::collection::btree_set(0usize..32, 0..6),
+        from_raw in 0u32..8,
+        to_raw in 0u32..8,
+    ) {
+        let n = 8u32;
+        let topo = if torus_side {
+            Topology::Torus { dims: vec![2, 4] }
+        } else {
+            Topology::FatTree { radix: 4 }
+        };
+        let cfg = MachineConfig::clustered(n, 2, topo);
+        let build = || {
+            let mut net = Network::new(&cfg);
+            for &k in &kills {
+                if k < net.link_count() {
+                    net.fail_link(k);
+                }
+            }
+            net
+        };
+        let net = build();
+        let (from, to) = (from_raw % n, to_raw % n);
+        match net.route_links(from, to) {
+            // Unreachable under these faults: acceptable, and stable.
+            None => prop_assert_eq!(build().route_links(from, to), None),
+            Some(route) => {
+                let mut seen = std::collections::BTreeSet::new();
+                for &l in &route {
+                    prop_assert!(!net.link_is_dead(l), "route crosses dead link {l}");
+                    prop_assert!(seen.insert(l), "route revisits link {l}");
+                }
+                prop_assert!(
+                    from == to || route.len() as u32 >= net.hops(from, to),
+                    "detour cannot beat the healthy hop count"
+                );
+                prop_assert_eq!(build().route_links(from, to).unwrap(), route);
+            }
+        }
     }
 
     /// Charging random work to random PEs keeps busy-cycle accounting

@@ -847,6 +847,7 @@ impl NaVm {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fem2_machine::Topology;
 
     fn sim(ntasks: u32) -> NaVm {
         NaVm::simulated(MachineConfig::fem2_default(), ntasks)
@@ -1071,17 +1072,26 @@ mod tests {
         use fem2_trace::RingRecorder;
         use std::sync::Mutex;
 
-        let run = |shards: u32, faulted: bool| {
+        let run = |shards: u32, faulted: bool, topology: &Topology| {
             let mut cfg = MachineConfig::fem2_default();
+            cfg.topology = topology.clone();
             cfg.des_shards = shards;
             let mut vm = NaVm::simulated(cfg, 8);
             let rec = Arc::new(Mutex::new(RingRecorder::new(1 << 14)));
             vm.set_trace(TraceHandle::new(rec.clone()));
             if faulted {
+                // Kill a link that leaves a detour on each topology: a
+                // leaf's only uplink (fat tree) would partition the
+                // network, so there the victim is a redundant edge-up
+                // link instead.
+                let victim = match topology {
+                    Topology::FatTree { .. } => 9,
+                    _ => 3,
+                };
                 vm.inject_faults(
                     &FaultPlan::none()
                         .kill_pe(5_000, PeId::new(1, 2))
-                        .kill_link(20_000, 3)
+                        .kill_link(20_000, victim)
                         .degrade_link(40_000, 7, 4),
                 );
             }
@@ -1121,11 +1131,24 @@ mod tests {
             )
         };
 
-        for faulted in [false, true] {
-            let oracle = run(1, faulted);
-            for shards in [2u32, 3, 4] {
-                let got = run(shards, faulted);
-                assert_eq!(got, oracle, "shards={shards} faulted={faulted}");
+        // The fault plan's link ids are valid on every topology here: the
+        // 4-cluster crossbar, 2x2 torus, and radix-2 fat tree all have a
+        // 16-id link space.
+        let topologies = [
+            Topology::Crossbar,
+            Topology::Torus { dims: vec![2, 2] },
+            Topology::FatTree { radix: 2 },
+        ];
+        for topology in &topologies {
+            for faulted in [false, true] {
+                let oracle = run(1, faulted, topology);
+                for shards in [2u32, 3, 4] {
+                    let got = run(shards, faulted, topology);
+                    assert_eq!(
+                        got, oracle,
+                        "shards={shards} faulted={faulted} topology={topology:?}"
+                    );
+                }
             }
         }
     }

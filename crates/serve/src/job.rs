@@ -217,12 +217,21 @@ fn req_str(v: &Value, name: &str) -> Result<String, String> {
         .and_then(|f| String::from_value(f).map_err(|e| format!("field `{name}`: {e}")))
 }
 
+/// Error-message prefix of a machine configuration that parsed but failed
+/// semantic validation (e.g. torus dims that do not factor the cluster
+/// count). The server maps these to 422 — the submission was well-formed,
+/// the configuration it describes is impossible — versus 400 for shape
+/// errors.
+pub const INVALID_MACHINE_PREFIX: &str = "invalid field `machine`: ";
+
 fn opt_machine(v: &Value) -> Result<MachineConfig, String> {
     let machine = match field(v, "machine") {
         None | Some(Value::Null) => MachineConfig::fem2_default(),
         Some(m) => MachineConfig::from_value(m).map_err(|e| format!("field `machine`: {e}"))?,
     };
-    machine.validate().map_err(|e| format!("machine: {e}"))?;
+    machine
+        .validate()
+        .map_err(|e| format!("{INVALID_MACHINE_PREFIX}{e}"))?;
     Ok(machine)
 }
 
@@ -784,6 +793,53 @@ mod tests {
         )
         .unwrap();
         assert_ne!(a.content_hash(), b.content_hash());
+    }
+
+    /// A 16-cluster submission body with the given topology JSON spliced
+    /// in — the shared scaffold for the new-topology admission tests.
+    fn sixteen_cluster_body(topology_json: &str) -> String {
+        format!(
+            r#"{{"nx":12,"ny":12,"machine":{{"clusters":16,"pes_per_cluster":2,
+                "memory_per_cluster":4194304,"topology":{topology_json},"link_latency":20,
+                "words_per_cycle":1,"max_packet_words":256,"header_words":4,
+                "cost":{{"flop":4,"int_op":1,"mem_word":2,"msg_send":60,"msg_dispatch":80,
+                "task_create":120,"context_switch":40}},"dedicated_kernel_pe":true,
+                "route_cache":true,"des_queue":"Calendar"}}}}"#
+        )
+    }
+
+    #[test]
+    fn torus_and_fat_tree_machines_round_trip_and_hash_stably() {
+        let torus = JobSpec::parse(&sixteen_cluster_body(r#"{"Torus":{"dims":[4,4]}}"#)).unwrap();
+        let fat = JobSpec::parse(&sixteen_cluster_body(r#"{"FatTree":{"radix":4}}"#)).unwrap();
+        // The registry stores to_value; new topologies must survive it
+        // bit-for-bit, keeping the content hash (the cache key) stable.
+        for spec in [&torus, &fat] {
+            let again = JobSpec::from_value(&spec.to_value()).unwrap();
+            assert_eq!(spec.to_value(), again.to_value());
+            assert_eq!(spec.content_hash(), again.content_hash());
+        }
+        // Topology partitions the cache: same shape, different network.
+        assert_ne!(torus.content_hash(), fat.content_hash());
+    }
+
+    #[test]
+    fn non_factoring_topologies_carry_the_invalid_machine_prefix() {
+        // Torus dims whose product misses the cluster count, and a
+        // fat-tree radix that does not divide it: both are semantic
+        // rejections the server maps to 422, so the error must carry
+        // [`INVALID_MACHINE_PREFIX`] and name the offending field.
+        let err = JobSpec::parse(&sixteen_cluster_body(r#"{"Torus":{"dims":[3,5]}}"#)).unwrap_err();
+        assert!(err.starts_with(INVALID_MACHINE_PREFIX), "{err}");
+        assert!(err.contains("torus dims"), "{err}");
+        assert!(err.contains("do not factor"), "{err}");
+        let err = JobSpec::parse(&sixteen_cluster_body(r#"{"FatTree":{"radix":5}}"#)).unwrap_err();
+        assert!(err.starts_with(INVALID_MACHINE_PREFIX), "{err}");
+        assert!(err.contains("fat-tree radix"), "{err}");
+        // A malformed machine object is a *shape* error, not a semantic
+        // one: it must NOT carry the 422 prefix.
+        let err = JobSpec::parse(r#"{"nx":12,"ny":12,"machine":{"clusters":16}}"#).unwrap_err();
+        assert!(!err.starts_with(INVALID_MACHINE_PREFIX), "{err}");
     }
 
     #[test]

@@ -47,7 +47,7 @@ use crate::chaos::{ChaosPlan, ChaosState};
 use crate::http::{
     read_request_deadline, write_response, ParseError, Request, Response, REQUEST_DEADLINE,
 };
-use crate::job::{JobOutcome, JobSpec, RunStatus};
+use crate::job::{self, JobOutcome, JobSpec, RunStatus};
 use crate::registry::Registry;
 use crate::util::{json_compact, json_pretty};
 
@@ -259,6 +259,13 @@ impl State {
         // Station 1: parse + static verification.
         let spec = match JobSpec::parse(body) {
             Ok(s) => s,
+            // A machine config that parsed but describes an impossible
+            // machine (torus dims that do not factor the cluster count,
+            // a fat-tree radix whose pods do not tile it) is a semantic
+            // rejection, not a malformed request: 422, naming the field.
+            Err(e) if e.contains(job::INVALID_MACHINE_PREFIX) => {
+                return Response::json(422, error_body(&e))
+            }
             Err(e) => return Response::json(400, error_body(&e)),
         };
         let report = spec.verify();
@@ -1092,6 +1099,39 @@ mod tests {
         let (_, stats) = client::request(addr, "GET", "/stats", None).unwrap();
         assert!(stats.contains("\"sims_run\": 0"), "{stats}");
         assert!(stats.contains("\"registry_runs\": 0"), "{stats}");
+        handle.stop();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn impossible_topology_gets_422_naming_the_field() {
+        let dir = temp_dir("topo422");
+        let handle = start(&ServeOptions::new(dir.clone())).unwrap();
+        let addr = handle.addr();
+        // Torus dims that do not factor the cluster count: the body is
+        // well-formed JSON describing an impossible machine, so the
+        // rejection is 422 (not 400) and names the offending field.
+        let body = r#"{"nx":12,"ny":12,"machine":{"clusters":16,"pes_per_cluster":2,
+            "memory_per_cluster":4194304,"topology":{"Torus":{"dims":[3,5]}},"link_latency":20,
+            "words_per_cycle":1,"max_packet_words":256,"header_words":4,
+            "cost":{"flop":4,"int_op":1,"mem_word":2,"msg_send":60,"msg_dispatch":80,
+            "task_create":120,"context_switch":40},"dedicated_kernel_pe":true,
+            "route_cache":true,"des_queue":"Calendar"}}"#;
+        let (status, resp) = client::request(addr, "POST", "/jobs", Some(body)).unwrap();
+        assert_eq!(status, 422, "{resp}");
+        assert!(resp.contains("field `machine`"), "{resp}");
+        assert!(resp.contains("torus dims"), "{resp}");
+        assert!(resp.contains("do not factor"), "{resp}");
+        // Same story for a fat-tree radix that does not divide the count.
+        let ft = body.replace(r#"{"Torus":{"dims":[3,5]}}"#, r#"{"FatTree":{"radix":5}}"#);
+        let (status, resp) = client::request(addr, "POST", "/jobs", Some(&ft)).unwrap();
+        assert_eq!(status, 422, "{resp}");
+        assert!(resp.contains("fat-tree radix"), "{resp}");
+        assert!(resp.contains("does not divide"), "{resp}");
+        // The factoring variant of the same submission is admitted.
+        let good = body.replace("[3,5]", "[4,4]");
+        let (status, resp) = client::request(addr, "POST", "/jobs", Some(&good)).unwrap();
+        assert_eq!(status, 201, "{resp}");
         handle.stop();
         fs::remove_dir_all(&dir).unwrap();
     }

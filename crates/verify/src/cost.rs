@@ -113,8 +113,12 @@ pub struct CostReport {
     pub peak_memory_words: u64,
     /// Per-cluster memory words, indexed by cluster.
     pub cluster_memory_words: Vec<u64>,
-    /// Per-link payload words, indexed by link id (healthy routes).
-    pub link_traffic_words: Vec<u64>,
+    /// Payload words per link that carries traffic, as `(link id, words)`
+    /// pairs sorted by link id. Sparse: the link id space can be quadratic
+    /// in clusters (crossbar), but a script touches O(routes used) links.
+    pub link_traffic_words: Vec<(usize, u64)>,
+    /// Size of the link id space (dense rendering upper bound).
+    pub link_id_space: usize,
     /// Whether the bounds are sound or the script defeated the analysis.
     pub verdict: CostVerdict,
 }
@@ -130,7 +134,6 @@ impl CostReport {
         self.link_traffic_words
             .iter()
             .copied()
-            .enumerate()
             .max_by_key(|&(i, w)| (w, std::cmp::Reverse(i)))
             .filter(|&(_, w)| w > 0)
     }
@@ -203,12 +206,15 @@ impl Serialize for CostReport {
             ),
             (
                 "link_traffic_words".into(),
-                Value::Arr(
-                    self.link_traffic_words
-                        .iter()
-                        .map(|&w| Value::UInt(w))
-                        .collect(),
-                ),
+                // Rendered dense over the id space so the JSON shape is
+                // independent of which links happened to carry traffic.
+                Value::Arr({
+                    let mut dense = vec![Value::UInt(0); self.link_id_space];
+                    for &(link, w) in &self.link_traffic_words {
+                        dense[link] = Value::UInt(w);
+                    }
+                    dense
+                }),
             ),
             (
                 "phases".into(),
@@ -242,7 +248,8 @@ pub struct CostModeler {
     phases: Vec<PhaseCost>,
     current: usize,
     cluster_memory_words: Vec<u64>,
-    link_traffic_words: Vec<u64>,
+    link_traffic_words: BTreeMap<usize, u64>,
+    link_id_space: usize,
     verdict: CostVerdict,
 }
 
@@ -260,7 +267,8 @@ impl CostModeler {
             phases: Vec::new(),
             current: 0,
             cluster_memory_words: vec![0; machine.clusters as usize],
-            link_traffic_words: vec![0; links],
+            link_traffic_words: BTreeMap::new(),
+            link_id_space: links,
             verdict: CostVerdict::Bounded,
         };
         m.begin_phase("total");
@@ -319,8 +327,8 @@ impl CostModeler {
         p.des_events = p.des_events.saturating_add(2 * count);
         if let Some(route) = self.network.route_links(from, to) {
             for link in route {
-                self.link_traffic_words[link] =
-                    self.link_traffic_words[link].saturating_add(words.saturating_mul(count));
+                let w = self.link_traffic_words.entry(link).or_insert(0);
+                *w = w.saturating_add(words.saturating_mul(count));
             }
         }
     }
@@ -462,7 +470,8 @@ impl CostModeler {
             subject: self.subject,
             peak_memory_words: self.cluster_memory_words.iter().copied().max().unwrap_or(0),
             cluster_memory_words: self.cluster_memory_words,
-            link_traffic_words: self.link_traffic_words,
+            link_traffic_words: self.link_traffic_words.into_iter().collect(),
+            link_id_space: self.link_id_space,
             sim_cycles: totals.0,
             des_events: totals.1,
             messages: totals.2,
@@ -474,11 +483,14 @@ impl CostModeler {
 
 /// Worst-case hop count between any two clusters, fault detours included:
 /// the crossbar's repair path routes via an intermediate cluster (2 hops),
-/// the ring may have to walk the long way around, and a mesh XY detour
-/// adds at most one extra row and column.
+/// the ring may have to walk the long way around, a mesh XY detour adds at
+/// most one extra row and column, a torus detour may take the long way
+/// around each dimension (`d - 1` hops per dimension of extent `d`), and a
+/// fat-tree detour through an alternate core is still the full up-down
+/// path (4 hops when more than one pod exists).
 fn worst_hops(cfg: &MachineConfig) -> u64 {
     let n = u64::from(cfg.clusters.max(1));
-    match cfg.topology {
+    match &cfg.topology {
         Topology::Bus => 1,
         Topology::Crossbar => {
             if n >= 3 {
@@ -489,9 +501,21 @@ fn worst_hops(cfg: &MachineConfig) -> u64 {
         }
         Topology::Ring => (n - 1).max(1),
         Topology::Mesh2D { width } => {
-            let w = u64::from(width.max(1));
+            let w = u64::from((*width).max(1));
             let h = n.div_ceil(w);
             (w - 1) + (h - 1) + 2
+        }
+        Topology::Torus { dims } => dims
+            .iter()
+            .map(|&d| u64::from(d.max(1)) - 1)
+            .sum::<u64>()
+            .max(1),
+        Topology::FatTree { radix } => {
+            if n > u64::from((*radix).max(1)) {
+                4
+            } else {
+                2
+            }
         }
     }
 }
@@ -673,6 +697,59 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn tx_bound_dominates_on_torus_and_fat_tree() {
+        let mut torus = machine();
+        torus.clusters = 64;
+        torus.topology = Topology::Torus {
+            dims: vec![4, 4, 4],
+        };
+        let mut fat = machine();
+        fat.clusters = 64;
+        fat.topology = Topology::FatTree { radix: 8 };
+        for cfg in [torus, fat] {
+            cfg.validate().unwrap();
+            let net = Network::new(&cfg);
+            let m = CostModeler::new("tx", &cfg);
+            for words in [0u64, 1, 255, 257, 10_000] {
+                for to in 1..cfg.clusters {
+                    assert!(
+                        m.tx_bound(words) >= net.estimate(0, to, words),
+                        "tx_bound({words}) must dominate on {}",
+                        cfg.topology.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn link_attribution_is_sparse_in_the_id_space() {
+        // A crossbar's link id space is quadratic, but a script that uses
+        // two routes must record exactly the links those routes touch.
+        let mut cfg = machine();
+        cfg.clusters = 64;
+        cfg.topology = Topology::Crossbar;
+        cfg.validate().unwrap();
+        let mut s = ScenarioScript::new("sparse");
+        for (t, c) in [("a", 0u32), ("b", 63u32)] {
+            s.push(Op::Initiate {
+                task: t.into(),
+                cluster: c,
+                replications: 1,
+            });
+        }
+        let r = check_cost(&s, &cfg, &CostParams::single_sweep());
+        assert_eq!(r.link_id_space, 64 * 64);
+        assert_eq!(
+            r.link_traffic_words.len(),
+            1,
+            "one cross-cluster route touches one crossbar link: {:?}",
+            r.link_traffic_words
+        );
+        assert_eq!(r.busiest_link(), Some((63, 8)));
     }
 
     #[test]
